@@ -1,0 +1,236 @@
+//! Sufficient-completeness checking.
+//!
+//! Paper §4.1: a specification is *sufficiently complete* iff every ground
+//! query term `q(t1, …, tn)` provably equals a parameter name — intuitively,
+//! every query can be evaluated. We check this two ways:
+//!
+//! 1. a **syntactic coverage** pass: every (query, update) pair must have at
+//!    least one defining equation (or a state-variable catch-all);
+//! 2. an **exhaustive evaluation** pass: every ground query application over
+//!    every state term of bounded depth must normalise to a parameter name.
+
+use eclectic_logic::Term;
+
+use crate::error::{AlgError, Result};
+use crate::induction::{param_tuples, state_terms};
+use crate::printer::term_str;
+use crate::rewrite::Rewriter;
+use crate::spec::AlgSpec;
+
+/// A (query, update) pair with no defining equation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissingCase {
+    /// Query function name.
+    pub query: String,
+    /// Update constructor name.
+    pub update: String,
+}
+
+/// A ground query term that did not reduce to a parameter name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StuckTerm {
+    /// The original query application.
+    pub term: String,
+    /// Its (non-parameter-name) normal form, or the error message.
+    pub normal_form: String,
+}
+
+/// Result of the sufficient-completeness analysis.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompletenessReport {
+    /// Pairs with no covering equation (syntactic pass).
+    pub missing: Vec<MissingCase>,
+    /// Terms that failed to evaluate (exhaustive pass).
+    pub stuck: Vec<StuckTerm>,
+    /// Ground query applications evaluated.
+    pub evaluated: usize,
+}
+
+impl CompletenessReport {
+    /// Whether the specification passed both passes.
+    #[must_use]
+    pub fn is_sufficiently_complete(&self) -> bool {
+        self.missing.is_empty() && self.stuck.is_empty()
+    }
+}
+
+/// Syntactic coverage: every (query, update) pair must have an equation
+/// whose lhs is `q(…, u(…))`, or a catch-all `q(…, U)` with variable state.
+///
+/// # Errors
+/// Propagates signature errors.
+pub fn coverage(spec: &AlgSpec) -> Result<Vec<MissingCase>> {
+    let sig = spec.signature();
+    let mut missing = Vec::new();
+    for q in sig.queries() {
+        // Catch-all equation: lhs state argument is a bare variable.
+        let catch_all = spec.equations_for(q).any(|eq| {
+            matches!(&eq.lhs, Term::App(_, args) if matches!(args.last(), Some(Term::Var(_))))
+        });
+        if catch_all {
+            continue;
+        }
+        for u in sig.updates() {
+            let covered = spec
+                .equations_for(q)
+                .any(|eq| eq.lhs_inner_update(sig) == Some(u));
+            if !covered {
+                missing.push(MissingCase {
+                    query: sig.logic().func(q).name.clone(),
+                    update: sig.logic().func(u).name.clone(),
+                });
+            }
+        }
+    }
+    Ok(missing)
+}
+
+/// Exhaustive evaluation of all ground query applications over all state
+/// terms with at most `max_steps` updates. Stops collecting after
+/// `max_failures` stuck terms.
+///
+/// # Errors
+/// Propagates unexpected rewriting errors (fuel exhaustion is recorded as a
+/// stuck term instead).
+pub fn exhaustive(
+    spec: &AlgSpec,
+    max_steps: usize,
+    max_failures: usize,
+) -> Result<CompletenessReport> {
+    let sig = spec.signature().clone();
+    let mut rw = Rewriter::new(spec);
+    let mut report = CompletenessReport {
+        missing: coverage(spec)?,
+        ..CompletenessReport::default()
+    };
+    'outer: for st in state_terms(&sig, max_steps)? {
+        for q in sig.queries() {
+            for params in param_tuples(&sig, &sig.query_params(q)?)? {
+                report.evaluated += 1;
+                let mut args = params.clone();
+                args.push(st.clone());
+                let t = Term::App(q, args);
+                match rw.normalize(&t) {
+                    Ok(n) if sig.is_param_name(&n) => {}
+                    Ok(n) => {
+                        report.stuck.push(StuckTerm {
+                            term: term_str(&sig, &t),
+                            normal_form: term_str(&sig, &n),
+                        });
+                    }
+                    Err(AlgError::RewriteLimit { term }) => {
+                        report.stuck.push(StuckTerm {
+                            term: term_str(&sig, &t),
+                            normal_form: format!("<fuel exhausted at {term}>"),
+                        });
+                    }
+                    Err(e) => return Err(e),
+                }
+                if report.stuck.len() >= max_failures {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_equations;
+    use crate::signature::AlgSignature;
+
+    fn sig() -> AlgSignature {
+        let mut a = AlgSignature::new().unwrap();
+        let course = a.add_param_sort("course", &["db", "ai"]).unwrap();
+        a.add_query("offered", &[course], None).unwrap();
+        a.add_update("initiate", &[], false).unwrap();
+        a.add_update("offer", &[course], true).unwrap();
+        a.add_update("cancel", &[course], true).unwrap();
+        a.add_param_var("c", course).unwrap();
+        a.add_param_var("c'", course).unwrap();
+        a
+    }
+
+    #[test]
+    fn complete_spec_passes() {
+        let mut a = sig();
+        let eqs = parse_equations(
+            &mut a,
+            &[
+                ("eq1", "offered(c, initiate) = False"),
+                ("eq3", "offered(c, offer(c, U)) = True"),
+                ("eq4", "c != c' ==> offered(c, offer(c', U)) = offered(c, U)"),
+                ("eq6", "offered(c, cancel(c, U)) = False"),
+                ("eq7", "c != c' ==> offered(c, cancel(c', U)) = offered(c, U)"),
+            ],
+        )
+        .unwrap();
+        let spec = AlgSpec::new(a, eqs).unwrap();
+        let report = exhaustive(&spec, 3, 10).unwrap();
+        assert!(report.is_sufficiently_complete(), "{report:?}");
+        assert!(report.evaluated > 0);
+    }
+
+    #[test]
+    fn missing_update_case_detected() {
+        let mut a = sig();
+        let eqs = parse_equations(
+            &mut a,
+            &[
+                ("eq1", "offered(c, initiate) = False"),
+                ("eq3", "offered(c, offer(c, U)) = True"),
+                ("eq4", "c != c' ==> offered(c, offer(c', U)) = offered(c, U)"),
+                // cancel is not covered at all.
+            ],
+        )
+        .unwrap();
+        let spec = AlgSpec::new(a, eqs).unwrap();
+        let missing = coverage(&spec).unwrap();
+        assert_eq!(
+            missing,
+            vec![MissingCase {
+                query: "offered".into(),
+                update: "cancel".into()
+            }]
+        );
+        let report = exhaustive(&spec, 2, 5).unwrap();
+        assert!(!report.is_sufficiently_complete());
+        assert!(!report.stuck.is_empty());
+    }
+
+    #[test]
+    fn partial_condition_coverage_detected_only_by_evaluation() {
+        // Syntactically covered, but the equation only handles c = c':
+        // ground instances with c ≠ c' get stuck. The exhaustive pass
+        // catches what the coverage pass cannot.
+        let mut a = sig();
+        let eqs = parse_equations(
+            &mut a,
+            &[
+                ("eq1", "offered(c, initiate) = False"),
+                ("eq3", "offered(c, offer(c, U)) = True"),
+                ("eq6", "offered(c, cancel(c, U)) = False"),
+                ("eq7", "c != c' ==> offered(c, cancel(c', U)) = offered(c, U)"),
+                // eq4 missing: offered(c, offer(c', U)) with c ≠ c' is stuck.
+            ],
+        )
+        .unwrap();
+        let spec = AlgSpec::new(a, eqs).unwrap();
+        assert!(coverage(&spec).unwrap().is_empty());
+        let report = exhaustive(&spec, 2, 50).unwrap();
+        assert!(!report.is_sufficiently_complete());
+        assert!(report.stuck.iter().any(|s| s.term.contains("offer")));
+    }
+
+    #[test]
+    fn catch_all_counts_as_coverage() {
+        let mut a = sig();
+        let eqs = parse_equations(&mut a, &[("all", "offered(c, U) = False")]).unwrap();
+        let spec = AlgSpec::new(a, eqs).unwrap();
+        assert!(coverage(&spec).unwrap().is_empty());
+        let report = exhaustive(&spec, 2, 5).unwrap();
+        assert!(report.is_sufficiently_complete());
+    }
+}

@@ -1,0 +1,145 @@
+//! Concrete syntax for conditional equations.
+//!
+//! An equation is written `condition ==> lhs = rhs` or just `lhs = rhs`.
+//! The condition uses the formula syntax of `eclectic-logic` (quantifiers,
+//! `=`, `!=`, connectives); both sides are terms. The separator `==>` cannot
+//! occur inside the formula syntax (`->` and `<->` are its arrows), so a
+//! plain textual split is unambiguous. Terms contain no `=`, so the
+//! remainder splits on its first `=`.
+//!
+//! Example (the paper's equation 4):
+//!
+//! ```text
+//! ~(c = c') ==> offered(c, offer(c', U)) = offered(c, U)
+//! ```
+
+use eclectic_logic::{parse_formula, parse_term, Formula};
+
+use crate::equation::ConditionalEquation;
+use crate::error::{AlgError, Result};
+use crate::signature::AlgSignature;
+
+/// Parses one conditional equation and validates it against the signature.
+///
+/// # Errors
+/// Returns parse and validation errors.
+pub fn parse_equation(
+    sig: &mut AlgSignature,
+    name: impl Into<String>,
+    input: &str,
+) -> Result<ConditionalEquation> {
+    let name = name.into();
+    let (cond_text, eq_text) = match input.split_once("==>") {
+        Some((c, e)) => (Some(c.trim()), e.trim()),
+        None => (None, input.trim()),
+    };
+    let condition = match cond_text {
+        Some(c) if !c.is_empty() => parse_formula(sig.logic_mut(), c)?,
+        _ => Formula::True,
+    };
+    let (lhs_text, rhs_text) = eq_text.split_once('=').ok_or_else(|| AlgError::BadEquation {
+        name: name.clone(),
+        reason: "missing `=` between sides".into(),
+    })?;
+    let lhs = parse_term(sig.logic_mut(), lhs_text.trim())?;
+    let rhs = parse_term(sig.logic_mut(), rhs_text.trim())?;
+    let eq = ConditionalEquation::new(name, condition, lhs, rhs);
+    eq.validate(sig)?;
+    Ok(eq)
+}
+
+/// Parses a list of `(name, text)` pairs.
+///
+/// # Errors
+/// Returns the first parse/validation error.
+pub fn parse_equations(
+    sig: &mut AlgSignature,
+    inputs: &[(&str, &str)],
+) -> Result<Vec<ConditionalEquation>> {
+    inputs
+        .iter()
+        .map(|(name, text)| parse_equation(sig, *name, text))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig() -> AlgSignature {
+        let mut a = AlgSignature::new().unwrap();
+        let student = a.add_param_sort("student", &["ana"]).unwrap();
+        let course = a.add_param_sort("course", &["db", "ai"]).unwrap();
+        a.add_query("offered", &[course], None).unwrap();
+        a.add_query("takes", &[student, course], None).unwrap();
+        a.add_update("initiate", &[], false).unwrap();
+        a.add_update("offer", &[course], true).unwrap();
+        a.add_update("cancel", &[course], true).unwrap();
+        a.add_param_var("c", course).unwrap();
+        a.add_param_var("c'", course).unwrap();
+        a.add_param_var("s", student).unwrap();
+        a
+    }
+
+    #[test]
+    fn unconditional_equation() {
+        let mut a = sig();
+        let eq = parse_equation(&mut a, "eq1", "offered(c, initiate) = False").unwrap();
+        assert_eq!(eq.condition, Formula::True);
+        assert_eq!(eq.name, "eq1");
+    }
+
+    #[test]
+    fn conditional_equation() {
+        let mut a = sig();
+        let eq = parse_equation(
+            &mut a,
+            "eq4",
+            "c != c' ==> offered(c, offer(c', U)) = offered(c, U)",
+        )
+        .unwrap();
+        assert_ne!(eq.condition, Formula::True);
+    }
+
+    #[test]
+    fn quantified_condition() {
+        let mut a = sig();
+        let eq = parse_equation(
+            &mut a,
+            "eq6",
+            "exists s:student. takes(s, c, U) = True ==> offered(c, cancel(c, U)) = True",
+        )
+        .unwrap();
+        assert!(matches!(eq.condition, Formula::Exists(..)));
+    }
+
+    #[test]
+    fn batch_parsing() {
+        let mut a = sig();
+        let eqs = parse_equations(
+            &mut a,
+            &[
+                ("eq1", "offered(c, initiate) = False"),
+                ("eq3", "offered(c, offer(c, U)) = True"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(eqs.len(), 2);
+    }
+
+    #[test]
+    fn missing_equals_reported() {
+        let mut a = sig();
+        assert!(matches!(
+            parse_equation(&mut a, "bad", "offered(c, initiate)"),
+            Err(AlgError::BadEquation { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_applies() {
+        let mut a = sig();
+        // rhs variable not in lhs.
+        assert!(parse_equation(&mut a, "bad", "offered(c, initiate) = offered(c', initiate)").is_err());
+    }
+}

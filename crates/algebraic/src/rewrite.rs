@@ -1,0 +1,569 @@
+//! Conditional term rewriting — the operational reading of an algebraic
+//! specification's equations.
+//!
+//! The paper (§4.1–4.2) views each conditional equation `P ⟹ t = t'` as a
+//! conditional term-rewriting rule whose right-hand side is "simpler" than
+//! the left. This module normalises ground terms by innermost rewriting:
+//! arguments first, then rule application at the root, with conditions
+//! evaluated recursively (quantifiers in antecedents enumerate the finite
+//! parameter carriers — they never quantify over states).
+//!
+//! Boolean connectives and the per-sort equality checks are evaluated
+//! built-in so that right-hand sides such as
+//! `(offered(c',σ) ∧ takes(s,c,σ)) ∨ takes(s,c',σ)` reduce once their query
+//! arguments do.
+
+use std::collections::BTreeMap;
+
+use eclectic_logic::{Formula, FuncId, Subst, Term, VarId};
+
+use crate::error::{AlgError, Result};
+use crate::printer::term_str;
+use crate::spec::AlgSpec;
+
+/// Matches `pattern` against `subject` (one-way unification), extending
+/// `binding`. Non-linear patterns are supported: repeated variables must
+/// match syntactically equal subterms.
+#[must_use]
+pub fn match_term(pattern: &Term, subject: &Term, binding: &mut Subst) -> bool {
+    match (pattern, subject) {
+        (Term::Var(x), _) => match binding.get(*x) {
+            Some(bound) => bound == subject,
+            None => {
+                binding.bind(*x, subject.clone());
+                true
+            }
+        },
+        (Term::App(f, fargs), Term::App(g, gargs)) => {
+            if f != g || fargs.len() != gargs.len() {
+                return false;
+            }
+            fargs
+                .iter()
+                .zip(gargs)
+                .all(|(p, s)| match_term(p, s, binding))
+        }
+        (Term::App(..), Term::Var(_)) => false,
+    }
+}
+
+/// Counters describing a rewriting run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Rule applications performed.
+    pub steps: usize,
+    /// Normal forms served from the cache.
+    pub cache_hits: usize,
+    /// Conditions evaluated.
+    pub conditions: usize,
+}
+
+/// A rewriting engine over one specification, with memoised normal forms.
+#[derive(Debug)]
+pub struct Rewriter<'a> {
+    spec: &'a AlgSpec,
+    cache: BTreeMap<Term, Term>,
+    /// Maximum rule applications per top-level `normalize` call.
+    fuel_limit: usize,
+    remaining: usize,
+    stats: RewriteStats,
+}
+
+impl<'a> Rewriter<'a> {
+    /// Creates a rewriter with the default fuel limit.
+    #[must_use]
+    pub fn new(spec: &'a AlgSpec) -> Self {
+        Rewriter::with_fuel(spec, 1_000_000)
+    }
+
+    /// Creates a rewriter with a custom fuel limit (rule applications per
+    /// top-level call) — useful for detecting non-terminating equation sets.
+    #[must_use]
+    pub fn with_fuel(spec: &'a AlgSpec, fuel_limit: usize) -> Self {
+        Rewriter {
+            spec,
+            cache: BTreeMap::new(),
+            fuel_limit,
+            remaining: fuel_limit,
+            stats: RewriteStats::default(),
+        }
+    }
+
+    /// The specification being evaluated.
+    #[must_use]
+    pub fn spec(&self) -> &AlgSpec {
+        self.spec
+    }
+
+    /// Statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> RewriteStats {
+        self.stats
+    }
+
+    /// Clears the memo cache (statistics are kept).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Normalises a term. Ground query terms of a sufficiently complete
+    /// specification reduce to parameter names; open terms reduce as far as
+    /// the rules allow.
+    ///
+    /// # Errors
+    /// Returns [`AlgError::RewriteLimit`] when fuel runs out, plus condition
+    /// evaluation errors on ground terms.
+    pub fn normalize(&mut self, t: &Term) -> Result<Term> {
+        self.remaining = self.fuel_limit;
+        self.norm(t)
+    }
+
+    fn norm(&mut self, t: &Term) -> Result<Term> {
+        if let Some(hit) = self.cache.get(t) {
+            self.stats.cache_hits += 1;
+            return Ok(hit.clone());
+        }
+        let out = self.norm_uncached(t)?;
+        self.cache.insert(t.clone(), out.clone());
+        Ok(out)
+    }
+
+    fn norm_uncached(&mut self, t: &Term) -> Result<Term> {
+        let Term::App(f, args) = t else {
+            return Ok(t.clone());
+        };
+        let mut nargs = Vec::with_capacity(args.len());
+        for a in args {
+            nargs.push(self.norm(a)?);
+        }
+        let t = Term::App(*f, nargs);
+
+        if let Some(b) = self.try_builtin(&t)? {
+            return Ok(b);
+        }
+
+        // Collect candidate equations up front to avoid borrowing issues.
+        let candidates: Vec<usize> = {
+            let mut v = Vec::new();
+            for (i, eq) in self.spec.equations().iter().enumerate() {
+                if eq.lhs_root() == Some(*f) {
+                    v.push(i);
+                }
+            }
+            v
+        };
+        for i in candidates {
+            let eq = &self.spec.equations()[i];
+            let mut binding = Subst::new();
+            if !match_term(&eq.lhs, &t, &mut binding) {
+                continue;
+            }
+            let cond = eq.condition.clone();
+            let rhs = eq.rhs.clone();
+            match self.eval_condition_subst(&cond, &binding) {
+                Ok(true) => {
+                    if self.remaining == 0 {
+                        return Err(AlgError::RewriteLimit {
+                            term: term_str(self.spec.signature(), &t),
+                        });
+                    }
+                    self.remaining -= 1;
+                    self.stats.steps += 1;
+                    let reduct = binding.apply_term(&rhs);
+                    return self.norm(&reduct);
+                }
+                Ok(false) => continue,
+                Err(AlgError::ConditionUndecided { .. }) if !t.is_ground() => {
+                    // Open subject: skip the rule rather than fail.
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(t)
+    }
+
+    /// Built-in evaluation of Boolean connectives and equality checks over
+    /// already-normalised arguments. Returns `None` when no simplification
+    /// applies.
+    fn try_builtin(&mut self, t: &Term) -> Result<Option<Term>> {
+        let Term::App(f, args) = t else {
+            return Ok(None);
+        };
+        let sig = self.spec.signature();
+        let tru = sig.true_term();
+        let fls = sig.false_term();
+        let is_true = |x: &Term| *x == tru;
+        let is_false = |x: &Term| *x == fls;
+
+        let out = if *f == sig.not_fn() {
+            let a = &args[0];
+            if is_true(a) {
+                Some(fls)
+            } else if is_false(a) {
+                Some(tru)
+            } else {
+                None
+            }
+        } else if *f == sig.and_fn() {
+            let (a, b) = (&args[0], &args[1]);
+            if is_false(a) || is_false(b) {
+                Some(fls)
+            } else if is_true(a) {
+                Some(b.clone())
+            } else if is_true(b) || a == b {
+                Some(a.clone())
+            } else {
+                None
+            }
+        } else if *f == sig.or_fn() {
+            let (a, b) = (&args[0], &args[1]);
+            if is_true(a) || is_true(b) {
+                Some(tru)
+            } else if is_false(a) {
+                Some(b.clone())
+            } else if is_false(b) || a == b {
+                Some(a.clone())
+            } else {
+                None
+            }
+        } else if *f == sig.imp_fn() {
+            let (a, b) = (&args[0], &args[1]);
+            if is_false(a) || is_true(b) {
+                Some(tru)
+            } else if is_true(a) {
+                Some(b.clone())
+            } else if is_false(b) {
+                // imp(x, False) = not(x); recurse for further simplification.
+                let n = Term::App(sig.not_fn(), vec![a.clone()]);
+                return Ok(Some(self.norm(&n)?));
+            } else {
+                None
+            }
+        } else if *f == sig.iff_fn() {
+            let (a, b) = (&args[0], &args[1]);
+            if is_true(a) {
+                Some(b.clone())
+            } else if is_true(b) {
+                Some(a.clone())
+            } else if is_false(a) {
+                let n = Term::App(sig.not_fn(), vec![b.clone()]);
+                return Ok(Some(self.norm(&n)?));
+            } else if is_false(b) {
+                let n = Term::App(sig.not_fn(), vec![a.clone()]);
+                return Ok(Some(self.norm(&n)?));
+            } else if a == b {
+                Some(tru)
+            } else {
+                None
+            }
+        } else if sig.param_sorts().any(|s| sig.eq_fn(s) == Some(*f)) {
+            let (a, b) = (&args[0], &args[1]);
+            if a == b {
+                Some(tru)
+            } else if sig.is_param_name(a) && sig.is_param_name(b) {
+                Some(fls)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Ok(out)
+    }
+
+    /// Evaluates a condition under a match binding.
+    fn eval_condition_subst(&mut self, cond: &Formula, binding: &Subst) -> Result<bool> {
+        self.stats.conditions += 1;
+        self.eval_cond(cond, binding)
+    }
+
+    fn eval_cond(&mut self, f: &Formula, binding: &Subst) -> Result<bool> {
+        match f {
+            Formula::True => Ok(true),
+            Formula::False => Ok(false),
+            Formula::Not(p) => Ok(!self.eval_cond(p, binding)?),
+            Formula::And(p, q) => Ok(self.eval_cond(p, binding)? && self.eval_cond(q, binding)?),
+            Formula::Or(p, q) => Ok(self.eval_cond(p, binding)? || self.eval_cond(q, binding)?),
+            Formula::Implies(p, q) => {
+                Ok(!self.eval_cond(p, binding)? || self.eval_cond(q, binding)?)
+            }
+            Formula::Iff(p, q) => Ok(self.eval_cond(p, binding)? == self.eval_cond(q, binding)?),
+            Formula::Eq(a, b) => {
+                let na = self.norm(&binding.apply_term(a))?;
+                let nb = self.norm(&binding.apply_term(b))?;
+                if na == nb {
+                    return Ok(true);
+                }
+                let sig = self.spec.signature();
+                if sig.is_param_name(&na) && sig.is_param_name(&nb) {
+                    return Ok(false);
+                }
+                Err(AlgError::ConditionUndecided {
+                    term: if sig.is_param_name(&na) {
+                        term_str(sig, &nb)
+                    } else {
+                        term_str(sig, &na)
+                    },
+                })
+            }
+            Formula::Exists(x, p) => {
+                for k in self.carrier(*x)? {
+                    let mut b2 = binding.clone();
+                    b2.bind(*x, k);
+                    if self.eval_cond(p, &b2)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Formula::Forall(x, p) => {
+                for k in self.carrier(*x)? {
+                    let mut b2 = binding.clone();
+                    b2.bind(*x, k);
+                    if !self.eval_cond(p, &b2)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Formula::Pred(..) | Formula::Possibly(..) | Formula::Necessarily(..) => {
+                Err(AlgError::BadCondition(
+                    "predicates/modalities cannot appear in equation conditions".into(),
+                ))
+            }
+        }
+    }
+
+    /// The parameter names of a variable's sort, as terms.
+    fn carrier(&self, x: VarId) -> Result<Vec<Term>> {
+        let sig = self.spec.signature();
+        let sort = sig.logic().var(x).sort;
+        if sort == sig.state_sort() {
+            return Err(AlgError::BadCondition(
+                "quantification over states in a condition".into(),
+            ));
+        }
+        Ok(sig
+            .param_names(sort)
+            .into_iter()
+            .map(Term::constant)
+            .collect())
+    }
+
+    /// Evaluates a ground Boolean term to `true`/`false`.
+    ///
+    /// # Errors
+    /// Returns [`AlgError::NotSufficientlyComplete`] if the term does not
+    /// reduce to `True` or `False`.
+    pub fn eval_bool(&mut self, t: &Term) -> Result<bool> {
+        let n = self.normalize(t)?;
+        let sig = self.spec.signature();
+        if n == sig.true_term() {
+            Ok(true)
+        } else if n == sig.false_term() {
+            Ok(false)
+        } else {
+            Err(AlgError::NotSufficientlyComplete {
+                term: term_str(sig, &n),
+            })
+        }
+    }
+
+    /// Evaluates a query application `q(params…, state)` to its normal form.
+    ///
+    /// # Errors
+    /// Propagates normalisation errors.
+    pub fn eval_query(&mut self, q: FuncId, params: &[Term], state: &Term) -> Result<Term> {
+        let mut args = params.to_vec();
+        args.push(state.clone());
+        self.normalize(&Term::App(q, args))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_equations;
+    use crate::signature::AlgSignature;
+
+    /// A miniature courses spec: offered only, with offer/cancel.
+    fn mini_spec() -> AlgSpec {
+        let mut a = AlgSignature::new().unwrap();
+        let course = a.add_param_sort("course", &["db", "ai"]).unwrap();
+        a.add_query("offered", &[course], None).unwrap();
+        a.add_update("initiate", &[], false).unwrap();
+        a.add_update("offer", &[course], true).unwrap();
+        a.add_update("cancel", &[course], true).unwrap();
+        a.add_param_var("c", course).unwrap();
+        a.add_param_var("c'", course).unwrap();
+        let eqs = parse_equations(
+            &mut a,
+            &[
+                ("eq1", "offered(c, initiate) = False"),
+                ("eq3", "offered(c, offer(c, U)) = True"),
+                ("eq4", "c != c' ==> offered(c, offer(c', U)) = offered(c, U)"),
+                ("eq6", "offered(c, cancel(c, U)) = False"),
+                ("eq7", "c != c' ==> offered(c, cancel(c', U)) = offered(c, U)"),
+            ],
+        )
+        .unwrap();
+        AlgSpec::new(a, eqs).unwrap()
+    }
+
+    fn term(spec: &AlgSpec, s: &str) -> Term {
+        let mut sig = spec.signature().logic().clone();
+        eclectic_logic::parse_term(&mut sig, s).unwrap()
+    }
+
+    #[test]
+    fn matching_is_nonlinear() {
+        let spec = mini_spec();
+        let pat = term(&spec, "offered(c, offer(c, U))");
+        let sub_ok = term(&spec, "offered(db, offer(db, initiate))");
+        let sub_bad = term(&spec, "offered(db, offer(ai, initiate))");
+        let mut b = Subst::new();
+        assert!(match_term(&pat, &sub_ok, &mut b));
+        let mut b = Subst::new();
+        assert!(!match_term(&pat, &sub_bad, &mut b));
+    }
+
+    #[test]
+    fn evaluates_queries_on_traces() {
+        let spec = mini_spec();
+        let mut rw = Rewriter::new(&spec);
+        // offered(db, cancel(db, offer(ai, offer(db, initiate)))) = False
+        let t = term(&spec, "offered(db, cancel(db, offer(ai, offer(db, initiate))))");
+        assert!(!rw.eval_bool(&t).unwrap());
+        // offered(ai, same trace) = True (cancel(db) does not affect ai).
+        let t = term(&spec, "offered(ai, cancel(db, offer(ai, offer(db, initiate))))");
+        assert!(rw.eval_bool(&t).unwrap());
+        // offered(db, initiate) = False
+        let t = term(&spec, "offered(db, initiate)");
+        assert!(!rw.eval_bool(&t).unwrap());
+        assert!(rw.stats().steps > 0);
+    }
+
+    #[test]
+    fn open_terms_reduce_partially() {
+        let spec = mini_spec();
+        let mut rw = Rewriter::new(&spec);
+        // offered(db, offer(db, U)) reduces to True even with U open.
+        let t = term(&spec, "offered(db, offer(db, U))");
+        let n = rw.normalize(&t).unwrap();
+        assert_eq!(n, spec.signature().true_term());
+        // offered(db, offer(ai, U)) reduces to offered(db, U) via eq4.
+        let t = term(&spec, "offered(db, offer(ai, U))");
+        let n = rw.normalize(&t).unwrap();
+        assert_eq!(n, term(&spec, "offered(db, U)"));
+    }
+
+    #[test]
+    fn boolean_builtins() {
+        let spec = mini_spec();
+        let mut rw = Rewriter::new(&spec);
+        let sig = spec.signature();
+        let t = Term::App(
+            sig.and_fn(),
+            vec![sig.true_term(), Term::App(sig.not_fn(), vec![sig.false_term()])],
+        );
+        assert!(rw.eval_bool(&t).unwrap());
+        let t = Term::App(sig.imp_fn(), vec![sig.true_term(), sig.false_term()]);
+        assert!(!rw.eval_bool(&t).unwrap());
+        let t = Term::App(sig.iff_fn(), vec![sig.false_term(), sig.false_term()]);
+        assert!(rw.eval_bool(&t).unwrap());
+    }
+
+    #[test]
+    fn eq_fn_builtin() {
+        let spec = mini_spec();
+        let mut rw = Rewriter::new(&spec);
+        let sig = spec.signature();
+        let course = sig.logic().sort_id("course").unwrap();
+        let eq = sig.eq_fn(course).unwrap();
+        let db = Term::constant(sig.logic().func_id("db").unwrap());
+        let ai = Term::constant(sig.logic().func_id("ai").unwrap());
+        assert!(rw
+            .eval_bool(&Term::App(eq, vec![db.clone(), db.clone()]))
+            .unwrap());
+        assert!(!rw.eval_bool(&Term::App(eq, vec![db, ai])).unwrap());
+    }
+
+    #[test]
+    fn nonterminating_spec_hits_fuel() {
+        // offered(c, offer(c, U)) = offered(c, offer(c, U)) — a loop.
+        let mut a = AlgSignature::new().unwrap();
+        let course = a.add_param_sort("course", &["db"]).unwrap();
+        a.add_query("offered", &[course], None).unwrap();
+        a.add_update("initiate", &[], false).unwrap();
+        a.add_update("offer", &[course], true).unwrap();
+        a.add_param_var("c", course).unwrap();
+        let lhs = eclectic_logic::parse_term(a.logic_mut(), "offered(c, offer(c, U))").unwrap();
+        let spin = crate::equation::ConditionalEquation::unconditional(
+            "spin",
+            lhs.clone(),
+            lhs.clone(),
+        );
+        let spec = AlgSpec::new(a, vec![spin]).unwrap();
+        let mut rw = Rewriter::with_fuel(&spec, 100);
+        let t = term(&spec, "offered(db, offer(db, initiate))");
+        assert!(matches!(
+            rw.normalize(&t),
+            Err(AlgError::RewriteLimit { .. })
+        ));
+    }
+
+    #[test]
+    fn quantified_condition_enumerates_carrier() {
+        // A spec where cancel's result depends on ∃-condition, paper style.
+        let mut a = AlgSignature::new().unwrap();
+        let student = a.add_param_sort("student", &["ana", "bob"]).unwrap();
+        let course = a.add_param_sort("course", &["db"]).unwrap();
+        a.add_query("offered", &[course], None).unwrap();
+        a.add_query("takes", &[student, course], None).unwrap();
+        a.add_update("initiate", &[], false).unwrap();
+        a.add_update("offer", &[course], true).unwrap();
+        a.add_update("cancel", &[course], true).unwrap();
+        a.add_update("enroll", &[student, course], true).unwrap();
+        a.add_param_var("c", course).unwrap();
+        a.add_param_var("c'", course).unwrap();
+        a.add_param_var("s", student).unwrap();
+        a.add_param_var("s'", student).unwrap();
+        let eqs = parse_equations(
+            &mut a,
+            &[
+                ("q1", "offered(c, initiate) = False"),
+                ("q2", "takes(s, c, initiate) = False"),
+                ("q3", "offered(c, offer(c, U)) = True"),
+                ("q5", "takes(s, c, offer(c', U)) = takes(s, c, U)"),
+                (
+                    "q6a",
+                    "exists s:student. takes(s, c, U) = True ==> offered(c, cancel(c, U)) = True",
+                ),
+                (
+                    "q6b",
+                    "~exists s:student. takes(s, c, U) = True ==> offered(c, cancel(c, U)) = False",
+                ),
+                ("q8", "takes(s, c, cancel(c', U)) = takes(s, c, U)"),
+                ("q9", "offered(c, enroll(s, c', U)) = offered(c, U)"),
+                ("q10", "takes(s, c, enroll(s, c, U)) = offered(c, U)"),
+                (
+                    "q11",
+                    "~(s = s' & c = c') ==> takes(s, c, enroll(s', c', U)) = takes(s, c, U)",
+                ),
+            ],
+        )
+        .unwrap();
+        let spec = AlgSpec::new(a, eqs).unwrap();
+        let mut rw = Rewriter::new(&spec);
+        // cancel db after ana enrolled: someone takes db ⇒ offered stays True.
+        let t = term(
+            &spec,
+            "offered(db, cancel(db, enroll(ana, db, offer(db, initiate))))",
+        );
+        assert!(rw.eval_bool(&t).unwrap());
+        // cancel db with nobody enrolled ⇒ False.
+        let t = term(&spec, "offered(db, cancel(db, offer(db, initiate)))");
+        assert!(!rw.eval_bool(&t).unwrap());
+    }
+}

@@ -1,0 +1,200 @@
+//! Property tests on the rewriting engine: normal forms are stable,
+//! evaluation is deterministic, observational equality is a congruence for
+//! update application, and equation order does not change ground semantics
+//! (the paper's guarded equations are confluent on ground terms).
+
+use eclectic_algebraic::{induction, observe, parse_equations, AlgSignature, AlgSpec, Rewriter};
+use eclectic_logic::Term;
+use proptest::prelude::*;
+
+/// The courses spec (paper equations) over 2×2 carriers.
+fn spec(reversed: bool) -> AlgSpec {
+    let mut a = AlgSignature::new().unwrap();
+    let student = a.add_param_sort("student", &["ana", "bob"]).unwrap();
+    let course = a.add_param_sort("course", &["db", "ai"]).unwrap();
+    a.add_query("offered", &[course], None).unwrap();
+    a.add_query("takes", &[student, course], None).unwrap();
+    a.add_update("initiate", &[], false).unwrap();
+    a.add_update("offer", &[course], true).unwrap();
+    a.add_update("cancel", &[course], true).unwrap();
+    a.add_update("enroll", &[student, course], true).unwrap();
+    a.add_update("transfer", &[student, course, course], true)
+        .unwrap();
+    a.add_param_var("s", student).unwrap();
+    a.add_param_var("s'", student).unwrap();
+    a.add_param_var("c", course).unwrap();
+    a.add_param_var("c'", course).unwrap();
+    a.add_param_var("c''", course).unwrap();
+    let mut eqs = parse_equations(
+        &mut a,
+        &[
+            ("eq1", "offered(c, initiate) = False"),
+            ("eq2", "takes(s, c, initiate) = False"),
+            ("eq3", "offered(c, offer(c, U)) = True"),
+            ("eq4", "c != c' ==> offered(c, offer(c', U)) = offered(c, U)"),
+            ("eq5", "takes(s, c, offer(c', U)) = takes(s, c, U)"),
+            (
+                "eq6a",
+                "exists s:student. takes(s, c, U) = True ==> offered(c, cancel(c, U)) = True",
+            ),
+            (
+                "eq6b",
+                "~exists s:student. takes(s, c, U) = True ==> offered(c, cancel(c, U)) = False",
+            ),
+            ("eq7", "c != c' ==> offered(c, cancel(c', U)) = offered(c, U)"),
+            ("eq8", "takes(s, c, cancel(c', U)) = takes(s, c, U)"),
+            ("eq9", "offered(c, enroll(s, c', U)) = offered(c, U)"),
+            ("eq10", "takes(s, c, enroll(s, c, U)) = offered(c, U)"),
+            (
+                "eq11",
+                "~(s = s' & c = c') ==> takes(s, c, enroll(s', c', U)) = takes(s, c, U)",
+            ),
+            ("eq12", "offered(c, transfer(s, c', c'', U)) = offered(c, U)"),
+            (
+                "eq13",
+                "takes(s, c', transfer(s, c, c', U)) = or(and(offered(c', U), and(takes(s, c, U), not(takes(s, c', U)))), takes(s, c', U))",
+            ),
+            (
+                "eq14",
+                "takes(s, c, transfer(s, c, c', U)) = and(takes(s, c, U), not(and(and(takes(s, c, U), not(takes(s, c', U))), offered(c', U))))",
+            ),
+            (
+                "eq15",
+                "s != s' | (c != c' & c != c'') ==> takes(s, c, transfer(s', c', c'', U)) = takes(s, c, U)",
+            ),
+        ],
+    )
+    .unwrap();
+    if reversed {
+        eqs.reverse();
+    }
+    AlgSpec::new(a, eqs).unwrap()
+}
+
+/// A trace as a list of op codes; decoded against the signature.
+fn decode_trace(spec: &AlgSpec, codes: &[u8]) -> Term {
+    let sig = spec.signature();
+    let l = sig.logic();
+    let initiate = l.func_id("initiate").unwrap();
+    let offer = l.func_id("offer").unwrap();
+    let cancel = l.func_id("cancel").unwrap();
+    let enroll = l.func_id("enroll").unwrap();
+    let transfer = l.func_id("transfer").unwrap();
+    let students = [l.func_id("ana").unwrap(), l.func_id("bob").unwrap()];
+    let courses = [l.func_id("db").unwrap(), l.func_id("ai").unwrap()];
+
+    let mut t = Term::constant(initiate);
+    for &b in codes {
+        let s = Term::constant(students[(b as usize >> 2) & 1]);
+        let c = Term::constant(courses[(b as usize >> 1) & 1]);
+        let c2 = Term::constant(courses[b as usize & 1]);
+        t = match b % 4 {
+            0 => Term::App(offer, vec![c, t]),
+            1 => Term::App(cancel, vec![c, t]),
+            2 => Term::App(enroll, vec![s, c, t]),
+            _ => Term::App(transfer, vec![s, c, c2, t]),
+        };
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Normal forms are fixed points: normalize(normalize(t)) == normalize(t).
+    #[test]
+    fn normalization_is_idempotent(codes in proptest::collection::vec(any::<u8>(), 0..25)) {
+        let spec = spec(false);
+        let sig = spec.signature().clone();
+        let t = decode_trace(&spec, &codes);
+        let mut rw = Rewriter::new(&spec);
+        for q in sig.queries() {
+            for params in induction::param_tuples(&sig, &sig.query_params(q).unwrap()).unwrap() {
+                let n1 = rw.eval_query(q, &params, &t).unwrap();
+                let n2 = rw.normalize(&n1).unwrap();
+                prop_assert_eq!(&n1, &n2);
+                prop_assert!(sig.is_param_name(&n1));
+            }
+        }
+    }
+
+    /// Evaluation is deterministic across rewriter instances (fresh cache).
+    #[test]
+    fn evaluation_is_deterministic(codes in proptest::collection::vec(any::<u8>(), 0..25)) {
+        let spec = spec(false);
+        let t = decode_trace(&spec, &codes);
+        let mut rw1 = Rewriter::new(&spec);
+        let mut rw2 = Rewriter::new(&spec);
+        let o1 = observe::observations(&mut rw1, &t).unwrap();
+        let o2 = observe::observations(&mut rw2, &t).unwrap();
+        prop_assert_eq!(o1, o2);
+    }
+
+    /// Ground confluence on the example: reversing the equation list (hence
+    /// the rule application order) never changes any observation — the
+    /// guards make the overlaps semantically disjoint or agreeing.
+    #[test]
+    fn equation_order_is_irrelevant(codes in proptest::collection::vec(any::<u8>(), 0..25)) {
+        let fwd = spec(false);
+        let rev = spec(true);
+        let t_f = decode_trace(&fwd, &codes);
+        // Signatures are constructed identically, so the term transfers.
+        let mut rw_f = Rewriter::new(&fwd);
+        let mut rw_r = Rewriter::new(&rev);
+        let of = observe::observations(&mut rw_f, &t_f).unwrap();
+        let or = observe::observations(&mut rw_r, &t_f).unwrap();
+        prop_assert_eq!(of, or);
+    }
+
+    /// Observational equality is a congruence: if σ ≈ σ' then u(p̄, σ) ≈
+    /// u(p̄, σ') for every update and parameters. Exercised via commuting
+    /// offers: offer(a, offer(b, σ)) ≈ offer(b, offer(a, σ)).
+    #[test]
+    fn update_application_is_a_congruence(codes in proptest::collection::vec(any::<u8>(), 0..20)) {
+        let spec = spec(false);
+        let sig = spec.signature().clone();
+        let l = sig.logic();
+        let offer = l.func_id("offer").unwrap();
+        let db = Term::constant(l.func_id("db").unwrap());
+        let ai = Term::constant(l.func_id("ai").unwrap());
+        let base = decode_trace(&spec, &codes);
+
+        let ab = Term::App(offer, vec![db.clone(), Term::App(offer, vec![ai.clone(), base.clone()])]);
+        let ba = Term::App(offer, vec![ai, Term::App(offer, vec![db, base])]);
+        let mut rw = Rewriter::new(&spec);
+        prop_assert!(observe::obs_equal(&mut rw, &ab, &ba).unwrap());
+
+        // And extending both observationally equal traces by the same op
+        // keeps them equal.
+        let enroll = l.func_id("enroll").unwrap();
+        let ana = Term::constant(l.func_id("ana").unwrap());
+        let c = Term::constant(l.func_id("db").unwrap());
+        let ab2 = Term::App(enroll, vec![ana.clone(), c.clone(), ab]);
+        let ba2 = Term::App(enroll, vec![ana, c, ba]);
+        prop_assert!(observe::obs_equal(&mut rw, &ab2, &ba2).unwrap());
+    }
+
+    /// The static constraint is an invariant of every random trace:
+    /// takes(s, c, σ) = True implies offered(c, σ) = True.
+    #[test]
+    fn static_constraint_invariant(codes in proptest::collection::vec(any::<u8>(), 0..40)) {
+        let spec = spec(false);
+        let sig = spec.signature().clone();
+        let l = sig.logic();
+        let t = decode_trace(&spec, &codes);
+        let takes = l.func_id("takes").unwrap();
+        let offered = l.func_id("offered").unwrap();
+        let mut rw = Rewriter::new(&spec);
+        for s in ["ana", "bob"] {
+            for c in ["db", "ai"] {
+                let st = Term::constant(l.func_id(s).unwrap());
+                let ct = Term::constant(l.func_id(c).unwrap());
+                let takes_v = rw.eval_query(takes, &[st, ct.clone()], &t).unwrap();
+                if takes_v == sig.true_term() {
+                    let off_v = rw.eval_query(offered, &[ct], &t).unwrap();
+                    prop_assert_eq!(off_v, sig.true_term());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! E3: the §4.4(a) analyses — circularity detection and exhaustive
+//! sufficient-completeness checking — vs check depth and domain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eclectic_algebraic::{completeness, termination};
+use eclectic_spec::domains::{bank, courses, library};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_completeness");
+    group.sample_size(10);
+
+    let specs = vec![
+        (
+            "courses",
+            courses::functions_level(&courses::CoursesConfig::default()).unwrap(),
+        ),
+        (
+            "library",
+            library::functions_level(&library::LibraryConfig::default()).unwrap(),
+        ),
+        (
+            "bank",
+            bank::functions_level(&bank::BankConfig::default()).unwrap(),
+        ),
+    ];
+
+    for (name, spec) in &specs {
+        group.bench_with_input(BenchmarkId::new("termination", name), spec, |b, spec| {
+            b.iter(|| {
+                let r = termination::check_termination(spec).unwrap();
+                assert!(r.is_terminating());
+            });
+        });
+        for depth in [1usize, 2] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("exhaustive_{name}"), depth),
+                spec,
+                |b, spec| {
+                    b.iter(|| {
+                        let r = completeness::exhaustive(spec, depth, 10).unwrap();
+                        assert!(r.is_sufficiently_complete());
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E1: modal model checking of the §3.2 axioms over Kripke universes of
+//! growing carrier size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eclectic_refine::{explore_algebraic, AlgExploreLimits};
+use eclectic_spec::domains::courses;
+use eclectic_temporal::satisfaction;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_model_checking");
+    group.sample_size(20);
+
+    for (students, crs) in [(1, 2), (2, 2), (2, 3)] {
+        let config = courses::CoursesConfig::sized(students, crs, courses::EquationStyle::Paper);
+        let spec = courses::courses(&config).unwrap();
+        let exploration = explore_algebraic(
+            &spec.functions,
+            &spec.interp_i,
+            spec.info_signature(),
+            &spec.info_domains,
+            AlgExploreLimits {
+                max_depth: 8,
+                max_states: 10_000,
+            },
+        )
+        .unwrap();
+        let u = exploration.universe;
+        let label = format!("{students}s{crs}c_{}states", u.state_count());
+
+        let static_ax = &spec.information.axioms[0].formula;
+        let trans_ax = &spec.information.axioms[1].formula;
+
+        group.bench_with_input(
+            BenchmarkId::new("static_axiom_all_states", &label),
+            &u,
+            |b, u| {
+                b.iter(|| {
+                    for s in u.state_indices() {
+                        assert!(satisfaction::models_at(u, s, static_ax).unwrap());
+                    }
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("transition_axiom_all_states", &label),
+            &u,
+            |b, u| {
+                b.iter(|| {
+                    for s in u.state_indices() {
+                        assert!(satisfaction::models_at(u, s, trans_ax).unwrap());
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

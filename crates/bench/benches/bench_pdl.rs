@@ -1,0 +1,61 @@
+//! E11: PDL model checking over finite universes of growing size.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eclectic_logic::{Domains, Formula, Signature, Term};
+use eclectic_rpr::pdl::{valid, Pdl};
+use eclectic_rpr::{parse_schema, DbState, FiniteUniverse, Schema, PAPER_COURSES_SCHEMA};
+
+fn setup(students: &[&str], courses: &[&str]) -> (Schema, FiniteUniverse) {
+    let mut sig = Signature::new();
+    sig.add_sort("student").unwrap();
+    sig.add_sort("course").unwrap();
+    let (rels, procs) = parse_schema(&mut sig, PAPER_COURSES_SCHEMA).unwrap();
+    let dom = Domains::from_names(&sig, &[("student", students), ("course", courses)]).unwrap();
+    let sig = Arc::new(sig);
+    let schema = Schema::new(sig.clone(), rels, procs).unwrap();
+    let template = DbState::new(sig, Arc::new(dom));
+    let offered = schema.signature().pred_id("OFFERED").unwrap();
+    let takes = schema.signature().pred_id("TAKES").unwrap();
+    let u = FiniteUniverse::enumerate(&template, &[offered, takes], &[], 1 << 16).unwrap();
+    (schema, u)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_pdl");
+    group.sample_size(10);
+
+    for (students, courses, label) in [
+        (vec!["s1"], vec!["c1", "c2"], "16"),
+        (vec!["s1"], vec!["c1", "c2", "c3"], "64"),
+        (vec!["s1", "s2"], vec!["c1", "c2", "c3"], "512"),
+    ] {
+        let (schema, u) = setup(
+            &students.iter().map(|s| &**s).collect::<Vec<_>>(),
+            &courses.iter().map(|s| &**s).collect::<Vec<_>>(),
+        );
+        let sig = schema.signature().clone();
+        let offered = sig.pred_id("OFFERED").unwrap();
+        let cv = sig.var_id("c").unwrap();
+        let initiate = schema.proc("initiate").unwrap().body.clone();
+        let none = Formula::forall(cv, Formula::Pred(offered, vec![Term::Var(cv)]).not());
+
+        // [initiate] ∀c ¬OFFERED(c): box over a deterministic program.
+        let contract = Pdl::after_all(initiate.clone(), Pdl::Atom(none.clone()));
+        group.bench_function(BenchmarkId::new("box_initiate", label), |b| {
+            b.iter(|| assert!(valid(&u, &contract).unwrap()));
+        });
+
+        // ⟨initiate*⟩ ∀c ¬OFFERED(c): diamond over an iterated program —
+        // requires the star of the meaning relation.
+        let star = Pdl::after_some(initiate.clone().star(), Pdl::Atom(none.clone()));
+        group.bench_function(BenchmarkId::new("diamond_star", label), |b| {
+            b.iter(|| assert!(valid(&u, &star).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

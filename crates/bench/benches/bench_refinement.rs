@@ -1,0 +1,75 @@
+//! E4/E6: the 1→2 refinement obligations — exploration of `M(T2)` and
+//! checking of all axioms at all states — vs exploration depth and carrier
+//! size; accessibility-policy ablation (single step vs transitive closure),
+//! and the observational-dedup ablation (term-level enumeration grows
+//! exponentially where the state quotient stays polynomial).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eclectic_refine::{check_refinement_1_2, AlgExploreLimits, Refine12Config};
+use eclectic_spec::domains::courses;
+use eclectic_temporal::AccessibilityPolicy;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_e6_refinement");
+    group.sample_size(10);
+
+    for (students, crs, depth) in [(1, 2, 6), (2, 2, 6), (2, 2, 8)] {
+        let config = courses::CoursesConfig::sized(students, crs, courses::EquationStyle::Paper);
+        let spec = courses::courses(&config).unwrap();
+        for policy in [AccessibilityPolicy::AsIs, AccessibilityPolicy::TransitiveClosure] {
+            let tag = format!(
+                "{students}s{crs}c_d{depth}_{}",
+                match policy {
+                    AccessibilityPolicy::AsIs => "step",
+                    AccessibilityPolicy::TransitiveClosure => "closure",
+                }
+            );
+            group.bench_function(BenchmarkId::new("check_1_2", &tag), |b| {
+                b.iter(|| {
+                    let mut cfg = Refine12Config::quick();
+                    cfg.limits = AlgExploreLimits {
+                        max_depth: depth,
+                        max_states: 10_000,
+                    };
+                    cfg.policy = policy;
+                    cfg.completeness_depth = 2;
+                    let r = check_refinement_1_2(
+                        &spec.information,
+                        &spec.functions,
+                        &spec.interp_i,
+                        spec.info_signature(),
+                        &spec.info_domains,
+                        cfg,
+                    )
+                    .unwrap();
+                    assert!(r.is_correct());
+                });
+            });
+        }
+    }
+
+    // Ablation: raw term enumeration vs the observational quotient. The
+    // number of distinct *terms* explodes with depth while the number of
+    // distinct *states* is bounded by the valid-state space.
+    let config = courses::CoursesConfig::sized(1, 2, courses::EquationStyle::Paper);
+    let spec = courses::functions_level(&config).unwrap();
+    let sig = spec.signature().clone();
+    for depth in [2usize, 3, 4] {
+        group.bench_function(BenchmarkId::new("term_enumeration", depth), |b| {
+            b.iter(|| eclectic_algebraic::induction::state_terms(&sig, depth).unwrap().len());
+        });
+        group.bench_function(BenchmarkId::new("state_quotient", depth), |b| {
+            b.iter(|| {
+                let mut rw = eclectic_algebraic::Rewriter::new(&spec);
+                let terms = eclectic_algebraic::induction::state_terms(&sig, depth).unwrap();
+                eclectic_algebraic::observe::quotient_states(&mut rw, &terms)
+                    .unwrap()
+                    .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

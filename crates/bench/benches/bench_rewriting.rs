@@ -1,0 +1,96 @@
+//! E2: query evaluation by conditional term rewriting — cost vs trace
+//! length, paper vs synthesised equation sets (the frame-axiom ablation),
+//! cold vs memoised.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eclectic_algebraic::Rewriter;
+use eclectic_logic::Term;
+use eclectic_spec::domains::courses::{functions_level, CoursesConfig, EquationStyle};
+
+/// A deterministic mixed trace of the given length.
+fn trace(spec: &eclectic_algebraic::AlgSpec, len: usize) -> Term {
+    let sig = spec.signature();
+    let l = sig.logic();
+    let initiate = l.func_id("initiate").unwrap();
+    let offer = l.func_id("offer").unwrap();
+    let enroll = l.func_id("enroll").unwrap();
+    let transfer = l.func_id("transfer").unwrap();
+    let courses: Vec<Term> = ["c1", "c2"]
+        .iter()
+        .map(|n| Term::constant(l.func_id(n).unwrap()))
+        .collect();
+    let students: Vec<Term> = ["s1", "s2"]
+        .iter()
+        .map(|n| Term::constant(l.func_id(n).unwrap()))
+        .collect();
+    let mut t = Term::constant(initiate);
+    for i in 0..len {
+        t = match i % 4 {
+            0 => Term::App(offer, vec![courses[i % 2].clone(), t]),
+            1 => Term::App(offer, vec![courses[(i + 1) % 2].clone(), t]),
+            2 => Term::App(
+                enroll,
+                vec![students[i % 2].clone(), courses[i % 2].clone(), t],
+            ),
+            _ => Term::App(
+                transfer,
+                vec![
+                    students[i % 2].clone(),
+                    courses[i % 2].clone(),
+                    courses[(i + 1) % 2].clone(),
+                    t,
+                ],
+            ),
+        };
+    }
+    t
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_rewriting");
+    group.sample_size(20);
+
+    for style in [EquationStyle::Paper, EquationStyle::Synthesized] {
+        let config = CoursesConfig::sized(2, 2, style);
+        let spec = functions_level(&config).unwrap();
+        let sig = spec.signature().clone();
+        let offered = sig.logic().func_id("offered").unwrap();
+        let c1 = Term::constant(sig.logic().func_id("c1").unwrap());
+        let tag = match style {
+            EquationStyle::Paper => "paper",
+            EquationStyle::Synthesized => "synth",
+        };
+
+        for len in [10usize, 50, 100, 200] {
+            let t = trace(&spec, len);
+            group.bench_with_input(
+                BenchmarkId::new(format!("cold_query_{tag}"), len),
+                &t,
+                |b, t| {
+                    b.iter(|| {
+                        let mut rw = Rewriter::new(&spec);
+                        rw.eval_query(offered, std::slice::from_ref(&c1), t).unwrap()
+                    });
+                },
+            );
+        }
+
+        // Memoised: all observations of a 100-step trace share subterm
+        // evaluations through the cache.
+        let t = trace(&spec, 100);
+        group.bench_with_input(
+            BenchmarkId::new(format!("all_observations_{tag}"), 100),
+            &t,
+            |b, t| {
+                b.iter(|| {
+                    let mut rw = Rewriter::new(&spec);
+                    eclectic_algebraic::observe::observations(&mut rw, t).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

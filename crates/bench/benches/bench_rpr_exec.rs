@@ -1,0 +1,75 @@
+//! E7: the representation level — operational execution scales linearly in
+//! trace length, while computing the full denotational meaning is
+//! exponential in the universe (which is why the denotation is a
+//! *specification* device, not an implementation one).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eclectic_logic::{Domains, Elem, Signature};
+use eclectic_rpr::{denote, exec, parse_schema, DbState, FiniteUniverse, Schema,
+    PAPER_COURSES_SCHEMA};
+
+fn schema_with(students: &[&str], courses: &[&str]) -> (Schema, DbState) {
+    let mut sig = Signature::new();
+    sig.add_sort("student").unwrap();
+    sig.add_sort("course").unwrap();
+    let (rels, procs) = parse_schema(&mut sig, PAPER_COURSES_SCHEMA).unwrap();
+    let dom = Domains::from_names(&sig, &[("student", students), ("course", courses)]).unwrap();
+    let sig = Arc::new(sig);
+    let schema = Schema::new(sig.clone(), rels, procs).unwrap();
+    (schema, DbState::new(sig, Arc::new(dom)))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_rpr");
+    group.sample_size(20);
+
+    // Operational: replay traces of growing length.
+    let (schema, s0) = schema_with(&["s1", "s2", "s3"], &["c1", "c2", "c3"]);
+    for len in [50usize, 200, 800] {
+        let mut ops: Vec<(&str, Vec<Elem>)> = vec![("initiate", vec![])];
+        for i in 0..len {
+            ops.push(match i % 3 {
+                0 => ("offer", vec![Elem((i % 3) as u32)]),
+                1 => ("enroll", vec![Elem((i % 3) as u32), Elem((i % 3) as u32)]),
+                _ => (
+                    "transfer",
+                    vec![
+                        Elem((i % 3) as u32),
+                        Elem((i % 3) as u32),
+                        Elem(((i + 1) % 3) as u32),
+                    ],
+                ),
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("exec_replay", len), &ops, |b, ops| {
+            b.iter(|| exec::replay(&schema, &s0, ops).unwrap());
+        });
+    }
+
+    // Denotational: full meaning of `offer` over universes of growing size.
+    for (students, courses, label) in [
+        (vec!["s1"], vec!["c1", "c2"], "16"),
+        (vec!["s1"], vec!["c1", "c2", "c3"], "64"),
+        (vec!["s1", "s2"], vec!["c1", "c2", "c3"], "512"),
+    ] {
+        let (schema, template) = schema_with(
+            &students.iter().map(|s| &**s).collect::<Vec<_>>(),
+            &courses.iter().map(|s| &**s).collect::<Vec<_>>(),
+        );
+        let offered = schema.signature().pred_id("OFFERED").unwrap();
+        let takes = schema.signature().pred_id("TAKES").unwrap();
+        let u = FiniteUniverse::enumerate(&template, &[offered, takes], &[], 1 << 16).unwrap();
+        group.bench_function(BenchmarkId::new("denote_offer", label), |b| {
+            b.iter(|| denote::proc_meaning(&u, &schema, "offer", &[Elem(0)]).unwrap());
+        });
+        group.bench_function(BenchmarkId::new("denote_cancel", label), |b| {
+            b.iter(|| denote::proc_meaning(&u, &schema, "cancel", &[Elem(0)]).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

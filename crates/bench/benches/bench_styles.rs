@@ -1,0 +1,87 @@
+//! E10: set-oriented vs tuple-oriented procedure styles (§5.2 remark) —
+//! the same update written both ways, compared on execution cost.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eclectic_logic::{Domains, Elem, Signature, Term};
+use eclectic_rpr::{exec, parse_schema, DbState, Schema, Stmt};
+
+/// clear(c): set-oriented relational assignment vs an unrolled sequence of
+/// per-tuple deletes, over a carrier of `n` students.
+fn setup(n: usize) -> (Schema, DbState) {
+    let students: Vec<String> = (0..n).map(|i| format!("s{i}")).collect();
+    let student_refs: Vec<&str> = students.iter().map(String::as_str).collect();
+
+    let mut sig = Signature::new();
+    sig.add_sort("student").unwrap();
+    sig.add_sort("course").unwrap();
+    let text = r"
+schema
+  TAKES(student, course);
+  proc clear_set(c: course) =
+    TAKES := {(s: student, c': course) | TAKES(s, c') & ~(c' = c)}
+  proc clear_tuple(c: course) = skip
+end-schema
+";
+    let (rels, mut procs) = parse_schema(&mut sig, text).unwrap();
+    let takes = sig.pred_id("TAKES").unwrap();
+    let c = sig.var_id("c").unwrap();
+    let student_sort = sig.sort_id("student").unwrap();
+
+    // Unrolled tuple-oriented body: delete TAKES(si, c) for every student.
+    let mut body: Option<Stmt> = None;
+    for name in &students {
+        let k = sig.add_constant(&format!("k_{name}"), student_sort).unwrap();
+        let del = Stmt::Delete(takes, vec![Term::constant(k), Term::Var(c)]);
+        body = Some(match body {
+            None => del,
+            Some(prev) => prev.seq(del),
+        });
+    }
+    procs.iter_mut().find(|p| p.name == "clear_tuple").unwrap().body = body.unwrap();
+
+    let dom = Domains::from_names(
+        &sig,
+        &[("student", &student_refs), ("course", &["c1", "c2"])],
+    )
+    .unwrap();
+    let sig = Arc::new(sig);
+    let schema = Schema::new(sig.clone(), rels, procs).unwrap();
+    let mut st = DbState::new(sig.clone(), Arc::new(dom));
+    for i in 0..n {
+        st.set_scalar(sig.func_id(&format!("k_s{i}")).unwrap(), Elem(i as u32))
+            .unwrap();
+        st.insert(takes, vec![Elem(i as u32), Elem(0)]).unwrap();
+        st.insert(takes, vec![Elem(i as u32), Elem(1)]).unwrap();
+    }
+    (schema, st)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_styles");
+    group.sample_size(30);
+
+    for n in [4usize, 16, 64] {
+        let (schema, st) = setup(n);
+        // Both styles must agree (sanity inside the bench).
+        let a = exec::call_deterministic(&schema, &st, "clear_set", &[Elem(0)]).unwrap();
+        let b2 = exec::call_deterministic(&schema, &st, "clear_tuple", &[Elem(0)]).unwrap();
+        let takes = schema.signature().pred_id("TAKES").unwrap();
+        assert_eq!(
+            a.structure().pred_relation(takes),
+            b2.structure().pred_relation(takes)
+        );
+
+        group.bench_function(BenchmarkId::new("set_oriented", n), |b| {
+            b.iter(|| exec::call_deterministic(&schema, &st, "clear_set", &[Elem(0)]).unwrap());
+        });
+        group.bench_function(BenchmarkId::new("tuple_oriented", n), |b| {
+            b.iter(|| exec::call_deterministic(&schema, &st, "clear_tuple", &[Elem(0)]).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E7 (syntax): W-grammar validation of schemas of growing size, plus the
+//! Earley metalanguage-membership kernel.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eclectic_logic::Signature;
+use eclectic_rpr::wgrammar::{self, earley, rpr_wgrammar};
+use eclectic_rpr::{parse_schema, Schema};
+
+/// A schema with `n` relations and `n` insert procedures.
+fn generated_schema(n: usize) -> Schema {
+    let mut text = String::from("schema\n");
+    for i in 0..n {
+        text.push_str(&format!("  REL{i}(course);\n"));
+    }
+    for i in 0..n {
+        text.push_str(&format!(
+            "  proc put{i}(c: course) = insert REL{i}(c)\n"
+        ));
+    }
+    text.push_str("end-schema\n");
+    let mut sig = Signature::new();
+    sig.add_sort("course").unwrap();
+    let (rels, procs) = parse_schema(&mut sig, &text).unwrap();
+    Schema::new(Arc::new(sig), rels, procs).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_wgrammar");
+    group.sample_size(10);
+
+    for n in [2usize, 4, 8] {
+        let schema = generated_schema(n);
+        group.bench_with_input(BenchmarkId::new("check_schema", n), &schema, |b, s| {
+            b.iter(|| wgrammar::check_schema(s).unwrap());
+        });
+    }
+
+    // Earley membership on the metagrammar: declaration lists of growing
+    // length (the kernel the consistent-substitution solver calls).
+    let g = rpr_wgrammar();
+    for n in [2usize, 8, 32] {
+        let mut tokens: Vec<String> = Vec::new();
+        for i in 0..n {
+            tokens.push("rel".into());
+            for ch in format!("r{i}").chars() {
+                tokens.push(ch.to_string());
+            }
+            tokens.push("has".into());
+            tokens.push("i".into());
+        }
+        group.bench_with_input(BenchmarkId::new("earley_decs", n), &tokens, |b, t| {
+            b.iter(|| assert!(earley::recognizes(&g.meta, "DECS", t)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

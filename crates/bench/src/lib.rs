@@ -1,0 +1,4 @@
+//! Benchmark and experiment-regeneration harness for the `eclectic`
+//! workspace. See `benches/` for the Criterion targets (one per experiment
+//! in EXPERIMENTS.md) and `src/bin/harness.rs` for the artifact checker
+//! that regenerates every paper artifact as a pass/fail table.

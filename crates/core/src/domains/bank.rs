@@ -1,0 +1,532 @@
+//! The bank-accounts domain: accounts with saturating natural-number
+//! balances.
+//!
+//! This domain exercises features the courses example does not: parameter
+//! *functions* (`succ`/`prd` on the amount sort, specified by ground
+//! equations at level 2 and by interpreted function tables at level 3),
+//! set-oriented relational assignment in procedures (the paper's §5.2
+//! remark on set- vs tuple-oriented styles), and an absorbing-state
+//! transition constraint ("a closed account stays closed").
+
+use std::sync::Arc;
+
+use eclectic_algebraic::{AlgSignature, AlgSpec, ConditionalEquation};
+use eclectic_logic::{parse_formula, Domains, Elem, Formula, Signature, Term, Theory};
+use eclectic_refine::{InterpretationI, InterpretationK, QueryImpl};
+use eclectic_rpr::{parse_schema, DbState, QueryDef, Schema};
+
+use crate::error::Result;
+use crate::spec::{CarrierSpec, TriLevelSpec};
+
+/// Configuration of the bank domain.
+#[derive(Debug, Clone)]
+pub struct BankConfig {
+    /// Account carrier.
+    pub accounts: Vec<String>,
+    /// Number of representable amounts (balances saturate at the top).
+    pub amounts: usize,
+}
+
+impl Default for BankConfig {
+    fn default() -> Self {
+        BankConfig {
+            accounts: vec!["acc1".into(), "acc2".into()],
+            amounts: 4,
+        }
+    }
+}
+
+impl BankConfig {
+    /// Carrier sizes for scaling.
+    #[must_use]
+    pub fn sized(accounts: usize, amounts: usize) -> Self {
+        BankConfig {
+            accounts: (1..=accounts).map(|i| format!("acc{i}")).collect(),
+            amounts,
+        }
+    }
+
+    fn amount_names(&self) -> Vec<String> {
+        (0..self.amounts).map(|i| format!("n{i}")).collect()
+    }
+
+    fn carriers(&self) -> CarrierSpec {
+        let accounts: Vec<&str> = self.accounts.iter().map(String::as_str).collect();
+        let amounts = self.amount_names();
+        let amounts: Vec<&str> = amounts.iter().map(String::as_str).collect();
+        CarrierSpec::new(&[("account", &accounts), ("nat", &amounts)])
+    }
+}
+
+/// The information-level theory: open/closed/balance db-predicates with
+/// four static axioms and the absorbing-closure transition axiom.
+///
+/// # Errors
+/// Propagates signature/parse errors.
+pub fn information_level() -> Result<Theory> {
+    let mut sig = Signature::new();
+    let account = sig.add_sort("account")?;
+    let nat = sig.add_sort("nat")?;
+    sig.add_db_predicate("open", &[account])?;
+    sig.add_db_predicate("closed", &[account])?;
+    sig.add_db_predicate("bal", &[account, nat])?;
+    sig.add_var("a", account)?;
+    sig.add_var("n", nat)?;
+
+    let st_excl = parse_formula(&mut sig, "~exists a:account. open(a) & closed(a)")?;
+    let st_bal_open =
+        parse_formula(&mut sig, "forall a:account. forall n:nat. bal(a, n) -> open(a)")?;
+    let st_open_bal =
+        parse_formula(&mut sig, "forall a:account. open(a) -> exists n:nat. bal(a, n)")?;
+    let st_functional = parse_formula(
+        &mut sig,
+        "forall a:account. forall n:nat. forall n':nat. bal(a, n) & bal(a, n') -> n = n'",
+    )?;
+    let tr_closed = parse_formula(&mut sig, "forall a:account. closed(a) -> box closed(a)")?;
+
+    let mut theory = Theory::new(Arc::new(sig));
+    theory.add_axiom("static-open-xor-closed", st_excl)?;
+    theory.add_axiom("static-balance-implies-open", st_bal_open)?;
+    theory.add_axiom("static-open-has-balance", st_open_bal)?;
+    theory.add_axiom("static-balance-functional", st_functional)?;
+    theory.add_axiom("transition-closed-absorbing", tr_closed)?;
+    Ok(theory)
+}
+
+/// The algebraic signature, including the `succ`/`prd` parameter functions.
+///
+/// # Errors
+/// Propagates signature errors.
+pub fn functions_signature(config: &BankConfig) -> Result<AlgSignature> {
+    let mut a = AlgSignature::new()?;
+    let accounts: Vec<&str> = config.accounts.iter().map(String::as_str).collect();
+    let amount_names = config.amount_names();
+    let amounts: Vec<&str> = amount_names.iter().map(String::as_str).collect();
+    let account = a.add_param_sort("account", &accounts)?;
+    let nat = a.add_param_sort("nat", &amounts)?;
+    a.add_param_func("succ", &[nat], nat)?;
+    a.add_param_func("prd", &[nat], nat)?;
+    a.add_query("is_open", &[account], None)?;
+    a.add_query("is_closed", &[account], None)?;
+    a.add_query("bal_is", &[account, nat], None)?;
+    a.add_update("initiate", &[], false)?;
+    a.add_update("open_acct", &[account], true)?;
+    a.add_update("close_acct", &[account], true)?;
+    a.add_update("deposit", &[account], true)?;
+    a.add_update("withdraw", &[account], true)?;
+    a.add_param_var("a", account)?;
+    a.add_param_var("a'", account)?;
+    a.add_param_var("n", nat)?;
+    a.add_param_var("n'", nat)?;
+    a.add_param_var("m", nat)?;
+    Ok(a)
+}
+
+/// The functions-level specification with hand-written equations (including
+/// the saturating `succ`/`prd` tables as ground equations).
+///
+/// # Errors
+/// Propagates parse/validation errors.
+pub fn functions_level(config: &BankConfig) -> Result<AlgSpec> {
+    let mut a = functions_signature(config)?;
+    let names = config.amount_names();
+
+    // Saturating successor/predecessor tables.
+    let mut eqs: Vec<ConditionalEquation> = Vec::new();
+    for i in 0..config.amounts {
+        let cur = &names[i];
+        let next = &names[(i + 1).min(config.amounts - 1)];
+        let prev = &names[i.saturating_sub(1)];
+        eqs.push(eclectic_algebraic::parse_equation(
+            &mut a,
+            format!("succ_{cur}"),
+            &format!("succ({cur}) = {next}"),
+        )?);
+        eqs.push(eclectic_algebraic::parse_equation(
+            &mut a,
+            format!("prd_{cur}"),
+            &format!("prd({cur}) = {prev}"),
+        )?);
+    }
+
+    const PRE_OPEN: &str = "is_open(a, U) = False & is_closed(a, U) = False";
+    const PRE_CLOSE: &str = "is_open(a, U) = True & bal_is(a, n0, U) = True";
+    const PRE_DEP: &str =
+        "is_open(a, U) = True & (exists m:nat. (bal_is(a, m, U) = True & succ(m) != m))";
+    const PRE_WDR: &str =
+        "is_open(a, U) = True & (exists m:nat. (bal_is(a, m, U) = True & prd(m) != m))";
+    let new_dep = "exists m:nat. (bal_is(a, m, U) = True & n = succ(m))";
+    let new_wdr = "exists m:nat. (bal_is(a, m, U) = True & n = prd(m))";
+
+    let texts: Vec<(String, String)> = vec![
+        // initiate.
+        ("i1".into(), "is_open(a, initiate) = False".into()),
+        ("i2".into(), "is_closed(a, initiate) = False".into()),
+        ("i3".into(), "bal_is(a, n, initiate) = False".into()),
+        // open_acct.
+        (
+            "o1".into(),
+            format!("{PRE_OPEN} ==> is_open(a, open_acct(a, U)) = True"),
+        ),
+        (
+            "o2".into(),
+            format!("~({PRE_OPEN}) ==> is_open(a, open_acct(a, U)) = is_open(a, U)"),
+        ),
+        (
+            "o3".into(),
+            "a != a' ==> is_open(a, open_acct(a', U)) = is_open(a, U)".into(),
+        ),
+        (
+            "o4".into(),
+            "is_closed(a, open_acct(a', U)) = is_closed(a, U)".into(),
+        ),
+        (
+            "o5".into(),
+            format!("{PRE_OPEN} & n = n0 ==> bal_is(a, n, open_acct(a, U)) = True"),
+        ),
+        (
+            "o6".into(),
+            format!("{PRE_OPEN} & n != n0 ==> bal_is(a, n, open_acct(a, U)) = bal_is(a, n, U)"),
+        ),
+        (
+            "o7".into(),
+            format!("~({PRE_OPEN}) ==> bal_is(a, n, open_acct(a, U)) = bal_is(a, n, U)"),
+        ),
+        (
+            "o8".into(),
+            "a != a' ==> bal_is(a, n, open_acct(a', U)) = bal_is(a, n, U)".into(),
+        ),
+        // close_acct.
+        (
+            "c1".into(),
+            format!("{PRE_CLOSE} ==> is_open(a, close_acct(a, U)) = False"),
+        ),
+        (
+            "c2".into(),
+            format!("~({PRE_CLOSE}) ==> is_open(a, close_acct(a, U)) = is_open(a, U)"),
+        ),
+        (
+            "c3".into(),
+            "a != a' ==> is_open(a, close_acct(a', U)) = is_open(a, U)".into(),
+        ),
+        (
+            "c4".into(),
+            format!("{PRE_CLOSE} ==> is_closed(a, close_acct(a, U)) = True"),
+        ),
+        (
+            "c5".into(),
+            format!("~({PRE_CLOSE}) ==> is_closed(a, close_acct(a, U)) = is_closed(a, U)"),
+        ),
+        (
+            "c6".into(),
+            "a != a' ==> is_closed(a, close_acct(a', U)) = is_closed(a, U)".into(),
+        ),
+        (
+            "c7".into(),
+            format!("{PRE_CLOSE} & n = n0 ==> bal_is(a, n, close_acct(a, U)) = False"),
+        ),
+        (
+            "c8".into(),
+            format!("{PRE_CLOSE} & n != n0 ==> bal_is(a, n, close_acct(a, U)) = bal_is(a, n, U)"),
+        ),
+        (
+            "c9".into(),
+            format!("~({PRE_CLOSE}) ==> bal_is(a, n, close_acct(a, U)) = bal_is(a, n, U)"),
+        ),
+        (
+            "c10".into(),
+            "a != a' ==> bal_is(a, n, close_acct(a', U)) = bal_is(a, n, U)".into(),
+        ),
+        // deposit.
+        (
+            "d1".into(),
+            format!("{PRE_DEP} & ({new_dep}) ==> bal_is(a, n, deposit(a, U)) = True"),
+        ),
+        (
+            "d2".into(),
+            format!("{PRE_DEP} & ~({new_dep}) ==> bal_is(a, n, deposit(a, U)) = False"),
+        ),
+        (
+            "d3".into(),
+            format!("~({PRE_DEP}) ==> bal_is(a, n, deposit(a, U)) = bal_is(a, n, U)"),
+        ),
+        (
+            "d4".into(),
+            "a != a' ==> bal_is(a, n, deposit(a', U)) = bal_is(a, n, U)".into(),
+        ),
+        (
+            "d5".into(),
+            "is_open(a, deposit(a', U)) = is_open(a, U)".into(),
+        ),
+        (
+            "d6".into(),
+            "is_closed(a, deposit(a', U)) = is_closed(a, U)".into(),
+        ),
+        // withdraw.
+        (
+            "w1".into(),
+            format!("{PRE_WDR} & ({new_wdr}) ==> bal_is(a, n, withdraw(a, U)) = True"),
+        ),
+        (
+            "w2".into(),
+            format!("{PRE_WDR} & ~({new_wdr}) ==> bal_is(a, n, withdraw(a, U)) = False"),
+        ),
+        (
+            "w3".into(),
+            format!("~({PRE_WDR}) ==> bal_is(a, n, withdraw(a, U)) = bal_is(a, n, U)"),
+        ),
+        (
+            "w4".into(),
+            "a != a' ==> bal_is(a, n, withdraw(a', U)) = bal_is(a, n, U)".into(),
+        ),
+        (
+            "w5".into(),
+            "is_open(a, withdraw(a', U)) = is_open(a, U)".into(),
+        ),
+        (
+            "w6".into(),
+            "is_closed(a, withdraw(a', U)) = is_closed(a, U)".into(),
+        ),
+    ];
+    for (name, text) in &texts {
+        eqs.push(eclectic_algebraic::parse_equation(&mut a, name.clone(), text)?);
+    }
+    Ok(AlgSpec::new(a, eqs)?)
+}
+
+/// The representation-level schema text (set-oriented deposit/withdraw).
+pub const BANK_SCHEMA: &str = r"
+schema
+  OPEN(account);
+  CLOSED(account);
+  BAL(account, nat);
+
+  proc initiate() = (OPEN := empty ; (CLOSED := empty ; BAL := empty))
+
+  proc open_acct(a: account) =
+    if ~OPEN(a) & ~CLOSED(a)
+    then (insert OPEN(a); insert BAL(a, zero)) fi
+
+  proc close_acct(a: account) =
+    if OPEN(a) & BAL(a, zero)
+    then (delete OPEN(a); (insert CLOSED(a); delete BAL(a, zero))) fi
+
+  proc deposit(a: account) =
+    if OPEN(a) & exists m:nat. (BAL(a, m) & ~(succ(m) = m))
+    then BAL := {(x: account, n: nat) |
+                 (BAL(x, n) & ~(x = a)) |
+                 (x = a & exists m:nat. (BAL(a, m) & n = succ(m)))} fi
+
+  proc withdraw(a: account) =
+    if OPEN(a) & exists m:nat. (BAL(a, m) & ~(prd(m) = m))
+    then BAL := {(x: account, n: nat) |
+                 (BAL(x, n) & ~(x = a)) |
+                 (x = a & exists m:nat. (BAL(a, m) & n = prd(m)))} fi
+end-schema
+";
+
+/// Parses the schema and builds the template state: domains plus the
+/// interpreted `succ`/`prd` tables and the `zero` constant.
+///
+/// # Errors
+/// Propagates parse errors.
+pub fn representation_level(
+    config: &BankConfig,
+) -> Result<(Schema, Arc<Domains>, DbState)> {
+    let mut sig = Signature::new();
+    let account = sig.add_sort("account")?;
+    let nat = sig.add_sort("nat")?;
+    let _ = account;
+    let zero = sig.add_constant("zero", nat)?;
+    let succ = sig.add_func("succ", &[nat], nat)?;
+    let prd = sig.add_func("prd", &[nat], nat)?;
+    let (rels, procs) = parse_schema(&mut sig, BANK_SCHEMA)?;
+    let domains = Arc::new(config.carriers().domains_for(&sig)?);
+    let sig = Arc::new(sig);
+    let schema = Schema::new(sig.clone(), rels, procs)?;
+
+    let mut template = DbState::new(sig, domains.clone());
+    template.set_scalar(zero, Elem(0))?;
+    let top = config.amounts as u32 - 1;
+    for i in 0..config.amounts as u32 {
+        template
+            .structure_mut()
+            .set_func(succ, vec![Elem(i)], Elem((i + 1).min(top)))?;
+        template
+            .structure_mut()
+            .set_func(prd, vec![Elem(i)], Elem(i.saturating_sub(1)))?;
+    }
+    Ok((schema, domains, template))
+}
+
+/// Assembles the full tri-level bank specification; the bundle's template
+/// state carries the interpreted arithmetic tables.
+///
+/// # Errors
+/// Propagates construction errors from all three levels.
+pub fn bank(config: &BankConfig) -> Result<TriLevelSpec> {
+    let information = information_level()?;
+    let info_domains = Arc::new(config.carriers().domains_for(&information.signature)?);
+    let functions = functions_level(config)?;
+    let (representation, repr_domains, template) = representation_level(config)?;
+
+    let interp_i = InterpretationI::new(
+        &information.signature,
+        functions.signature(),
+        &[
+            ("open", "is_open"),
+            ("closed", "is_closed"),
+            ("bal", "bal_is"),
+        ],
+    )?;
+
+    let rsig = representation.signature().clone();
+    let a_var = rsig.var_id("a")?;
+    let n_var = rsig.var_id("n")?;
+    let q_open = QueryDef::new(
+        &rsig,
+        "is_open",
+        vec![a_var],
+        Formula::Pred(rsig.pred_id("OPEN")?, vec![Term::Var(a_var)]),
+    )?;
+    let q_closed = QueryDef::new(
+        &rsig,
+        "is_closed",
+        vec![a_var],
+        Formula::Pred(rsig.pred_id("CLOSED")?, vec![Term::Var(a_var)]),
+    )?;
+    let q_bal = QueryDef::new(
+        &rsig,
+        "bal_is",
+        vec![a_var, n_var],
+        Formula::Pred(rsig.pred_id("BAL")?, vec![Term::Var(a_var), Term::Var(n_var)]),
+    )?;
+    let interp_k = InterpretationK::new(
+        &functions,
+        &representation,
+        vec![
+            ("is_open", QueryImpl::Bool(q_open)),
+            ("is_closed", QueryImpl::Bool(q_closed)),
+            ("bal_is", QueryImpl::Bool(q_bal)),
+        ],
+        &[
+            ("initiate", "initiate"),
+            ("open_acct", "open_acct"),
+            ("close_acct", "close_acct"),
+            ("deposit", "deposit"),
+            ("withdraw", "withdraw"),
+        ],
+    )?;
+
+    let spec = TriLevelSpec {
+        name: "bank".into(),
+        information,
+        info_domains,
+        functions,
+        representation,
+        repr_domains,
+        interp_i,
+        interp_k,
+        repr_template: template,
+    };
+    spec.check_shape()?;
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclectic_algebraic::Rewriter;
+    use eclectic_rpr::exec;
+
+    #[test]
+    fn assembles() {
+        let spec = bank(&BankConfig::default()).unwrap();
+        assert_eq!(spec.information.axioms.len(), 5);
+        assert_eq!(spec.functions.signature().queries().count(), 3);
+        assert_eq!(spec.representation.procs().len(), 5);
+    }
+
+    #[test]
+    fn level2_arithmetic() {
+        let spec = functions_level(&BankConfig::default()).unwrap();
+        let mut rw = Rewriter::new(&spec);
+        let mut lsig = spec.signature().logic().clone();
+        // deposit twice: balance is n2.
+        let t = eclectic_logic::parse_term(
+            &mut lsig,
+            "bal_is(acc1, n2, deposit(acc1, deposit(acc1, open_acct(acc1, initiate))))",
+        )
+        .unwrap();
+        assert!(rw.eval_bool(&t).unwrap());
+        // and not n1.
+        let t = eclectic_logic::parse_term(
+            &mut lsig,
+            "bal_is(acc1, n1, deposit(acc1, deposit(acc1, open_acct(acc1, initiate))))",
+        )
+        .unwrap();
+        assert!(!rw.eval_bool(&t).unwrap());
+        // withdraw at zero is a no-op.
+        let t = eclectic_logic::parse_term(
+            &mut lsig,
+            "bal_is(acc1, n0, withdraw(acc1, open_acct(acc1, initiate)))",
+        )
+        .unwrap();
+        assert!(rw.eval_bool(&t).unwrap());
+        // close only at zero balance.
+        let t = eclectic_logic::parse_term(
+            &mut lsig,
+            "is_closed(acc1, close_acct(acc1, deposit(acc1, open_acct(acc1, initiate))))",
+        )
+        .unwrap();
+        assert!(!rw.eval_bool(&t).unwrap());
+        let t = eclectic_logic::parse_term(
+            &mut lsig,
+            "is_closed(acc1, close_acct(acc1, open_acct(acc1, initiate)))",
+        )
+        .unwrap();
+        assert!(rw.eval_bool(&t).unwrap());
+    }
+
+    #[test]
+    fn level2_saturates_at_top() {
+        let config = BankConfig {
+            amounts: 3,
+            ..BankConfig::default()
+        };
+        let spec = functions_level(&config).unwrap();
+        let mut rw = Rewriter::new(&spec);
+        let mut lsig = spec.signature().logic().clone();
+        // Three deposits with max n2: the third is a no-op (pre fails).
+        let t = eclectic_logic::parse_term(
+            &mut lsig,
+            "bal_is(acc1, n2, deposit(acc1, deposit(acc1, deposit(acc1, open_acct(acc1, initiate)))))",
+        )
+        .unwrap();
+        assert!(rw.eval_bool(&t).unwrap());
+    }
+
+    #[test]
+    fn level3_set_oriented_procs_run() {
+        let config = BankConfig::default();
+        let (schema, _domains, template) = representation_level(&config).unwrap();
+        eclectic_rpr::wgrammar::check_schema(&schema).unwrap();
+        let bal = schema.signature().pred_id("BAL").unwrap();
+        let open = schema.signature().pred_id("OPEN").unwrap();
+        let st = exec::replay(
+            &schema,
+            &template,
+            &[
+                ("initiate", vec![]),
+                ("open_acct", vec![Elem(0)]),
+                ("deposit", vec![Elem(0)]),
+                ("deposit", vec![Elem(0)]),
+                ("withdraw", vec![Elem(0)]),
+            ],
+        )
+        .unwrap();
+        assert!(st.contains(open, &[Elem(0)]));
+        assert!(st.contains(bal, &[Elem(0), Elem(1)]));
+        assert_eq!(st.cardinality(bal), 1);
+    }
+}

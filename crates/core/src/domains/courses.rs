@@ -1,0 +1,426 @@
+//! The paper's running example: the courses/students database, specified at
+//! all three levels (§3.2, §4.2, §5.2).
+
+use std::sync::Arc;
+
+use eclectic_algebraic::{
+    parse_equations, synthesize, AlgSignature, AlgSpec, Effect, InitialState,
+    StructuredDescription,
+};
+use eclectic_logic::{parse_formula, Formula, Signature, Term, Theory};
+use eclectic_refine::{InterpretationI, InterpretationK, QueryImpl};
+use eclectic_rpr::{parse_schema, QueryDef, Schema, PAPER_COURSES_SCHEMA};
+
+use crate::error::Result;
+use crate::spec::{CarrierSpec, TriLevelSpec};
+
+/// Which functions-level equation set to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EquationStyle {
+    /// The paper's hand-written equations 1–15 (§4.2), which exploit the
+    /// static constraint for simplification.
+    Paper,
+    /// Equations synthesised mechanically from the structured descriptions
+    /// (the §4.2 methodology run by [`eclectic_algebraic::synthesize`]).
+    Synthesized,
+}
+
+/// Configuration of the courses domain.
+#[derive(Debug, Clone)]
+pub struct CoursesConfig {
+    /// Student carrier.
+    pub students: Vec<String>,
+    /// Course carrier.
+    pub courses: Vec<String>,
+    /// Equation set.
+    pub style: EquationStyle,
+}
+
+impl Default for CoursesConfig {
+    fn default() -> Self {
+        CoursesConfig {
+            students: vec!["ana".into(), "bob".into()],
+            courses: vec!["db".into(), "logic".into()],
+            style: EquationStyle::Paper,
+        }
+    }
+}
+
+impl CoursesConfig {
+    /// A configuration with the given carrier sizes (`s1`, `s2`, … and
+    /// `c1`, `c2`, …) — handy for scaling benches.
+    #[must_use]
+    pub fn sized(students: usize, courses: usize, style: EquationStyle) -> Self {
+        CoursesConfig {
+            students: (1..=students).map(|i| format!("s{i}")).collect(),
+            courses: (1..=courses).map(|i| format!("c{i}")).collect(),
+            style,
+        }
+    }
+
+    fn carriers(&self) -> CarrierSpec {
+        let students: Vec<&str> = self.students.iter().map(String::as_str).collect();
+        let courses: Vec<&str> = self.courses.iter().map(String::as_str).collect();
+        CarrierSpec::new(&[("student", &students), ("course", &courses)])
+    }
+}
+
+/// The information-level theory `T1` of §3.2: language with sorts
+/// `student`/`course`, db-predicates `offered`/`takes`, and the two axioms.
+///
+/// # Errors
+/// Propagates signature/parse errors (none for valid configs).
+pub fn information_level() -> Result<Theory> {
+    let mut sig = Signature::new();
+    let student = sig.add_sort("student")?;
+    let course = sig.add_sort("course")?;
+    sig.add_db_predicate("offered", &[course])?;
+    sig.add_db_predicate("takes", &[student, course])?;
+    sig.add_var("s", student)?;
+    sig.add_var("c", course)?;
+
+    // (1) a student cannot take a course that is not being offered.
+    let static_ax = parse_formula(
+        &mut sig,
+        "~exists s:student. exists c:course. takes(s, c) & ~offered(c)",
+    )?;
+    // (2) the number of courses taken by a student cannot drop to zero.
+    let trans_ax = parse_formula(
+        &mut sig,
+        "~exists s:student. exists c:course. dia (takes(s, c) & dia ~exists c':course. takes(s, c'))",
+    )?;
+
+    let mut theory = Theory::new(Arc::new(sig));
+    theory.add_axiom("static-1", static_ax)?;
+    theory.add_axiom("transition-2", trans_ax)?;
+    Ok(theory)
+}
+
+/// The algebraic signature of §4.2 (queries `offered`/`takes`, updates
+/// `initiate`/`offer`/`cancel`/`enroll`/`transfer`) over the given carriers.
+///
+/// # Errors
+/// Propagates signature errors.
+pub fn functions_signature(config: &CoursesConfig) -> Result<AlgSignature> {
+    let mut a = AlgSignature::new()?;
+    let students: Vec<&str> = config.students.iter().map(String::as_str).collect();
+    let courses: Vec<&str> = config.courses.iter().map(String::as_str).collect();
+    let student = a.add_param_sort("student", &students)?;
+    let course = a.add_param_sort("course", &courses)?;
+    a.add_query("offered", &[course], None)?;
+    a.add_query("takes", &[student, course], None)?;
+    a.add_update("initiate", &[], false)?;
+    a.add_update("offer", &[course], true)?;
+    a.add_update("cancel", &[course], true)?;
+    a.add_update("enroll", &[student, course], true)?;
+    a.add_update("transfer", &[student, course, course], true)?;
+    a.add_param_var("s", student)?;
+    a.add_param_var("s'", student)?;
+    a.add_param_var("c", course)?;
+    a.add_param_var("c'", course)?;
+    a.add_param_var("c''", course)?;
+    Ok(a)
+}
+
+/// The paper's equations 1–15 (§4.2), with equation 6 split into its two
+/// conditional forms.
+pub const PAPER_EQUATIONS: &[(&str, &str)] = &[
+    ("eq1", "offered(c, initiate) = False"),
+    ("eq2", "takes(s, c, initiate) = False"),
+    ("eq3", "offered(c, offer(c, U)) = True"),
+    ("eq4", "c != c' ==> offered(c, offer(c', U)) = offered(c, U)"),
+    ("eq5", "takes(s, c, offer(c', U)) = takes(s, c, U)"),
+    (
+        "eq6a",
+        "exists s:student. takes(s, c, U) = True ==> offered(c, cancel(c, U)) = True",
+    ),
+    (
+        "eq6b",
+        "~exists s:student. takes(s, c, U) = True ==> offered(c, cancel(c, U)) = False",
+    ),
+    ("eq7", "c != c' ==> offered(c, cancel(c', U)) = offered(c, U)"),
+    ("eq8", "takes(s, c, cancel(c', U)) = takes(s, c, U)"),
+    ("eq9", "offered(c, enroll(s, c', U)) = offered(c, U)"),
+    ("eq10", "takes(s, c, enroll(s, c, U)) = offered(c, U)"),
+    (
+        "eq11",
+        "~(s = s' & c = c') ==> takes(s, c, enroll(s', c', U)) = takes(s, c, U)",
+    ),
+    ("eq12", "offered(c, transfer(s, c', c'', U)) = offered(c, U)"),
+    (
+        "eq13",
+        "takes(s, c', transfer(s, c, c', U)) = or(and(offered(c', U), and(takes(s, c, U), not(takes(s, c', U)))), takes(s, c', U))",
+    ),
+    (
+        "eq14",
+        "takes(s, c, transfer(s, c, c', U)) = and(takes(s, c, U), not(and(and(takes(s, c, U), not(takes(s, c', U))), offered(c', U))))",
+    ),
+    (
+        "eq15",
+        "s != s' | (c != c' & c != c'') ==> takes(s, c, transfer(s', c', c'', U)) = takes(s, c, U)",
+    ),
+];
+
+/// The §4.2 structured descriptions of the four updates, plus the
+/// initial-state defaults.
+///
+/// # Errors
+/// Propagates signature/parse errors.
+pub fn structured_descriptions(
+    a: &mut AlgSignature,
+) -> Result<(InitialState, Vec<StructuredDescription>)> {
+    let offered = a.logic().func_id("offered")?;
+    let takes = a.logic().func_id("takes")?;
+    let initiate = a.logic().func_id("initiate")?;
+    let offer = a.logic().func_id("offer")?;
+    let cancel = a.logic().func_id("cancel")?;
+    let enroll = a.logic().func_id("enroll")?;
+    let transfer = a.logic().func_id("transfer")?;
+    let s = a.logic().var_id("s")?;
+    let c = a.logic().var_id("c")?;
+    let c1 = a.logic().var_id("c'")?;
+
+    let initial = InitialState {
+        update: initiate,
+        defaults: vec![(offered, a.false_term()), (takes, a.false_term())],
+    };
+
+    let d_offer = StructuredDescription {
+        update: offer,
+        params: vec![c],
+        comment: "course c is added as a new course".into(),
+        precondition: Formula::True,
+        effects: vec![Effect {
+            query: offered,
+            args: vec![Term::Var(c)],
+            value: a.true_term(),
+        }],
+        side_effects: vec![],
+    };
+
+    let pre_cancel = parse_formula(
+        a.logic_mut(),
+        "forall s:student. takes(s, c, U) = False",
+    )?;
+    let d_cancel = StructuredDescription {
+        update: cancel,
+        params: vec![c],
+        comment: "course c is cancelled, providing that no student is taking it".into(),
+        precondition: pre_cancel,
+        effects: vec![Effect {
+            query: offered,
+            args: vec![Term::Var(c)],
+            value: a.false_term(),
+        }],
+        side_effects: vec![],
+    };
+
+    let pre_enroll = parse_formula(a.logic_mut(), "offered(c, U) = True")?;
+    let d_enroll = StructuredDescription {
+        update: enroll,
+        params: vec![s, c],
+        comment: "student s enrolls in course c, which must be offered".into(),
+        precondition: pre_enroll,
+        effects: vec![Effect {
+            query: takes,
+            args: vec![Term::Var(s), Term::Var(c)],
+            value: a.true_term(),
+        }],
+        side_effects: vec![],
+    };
+
+    let pre_transfer = parse_formula(
+        a.logic_mut(),
+        "takes(s, c, U) = True & takes(s, c', U) = False & offered(c', U) = True",
+    )?;
+    let d_transfer = StructuredDescription {
+        update: transfer,
+        params: vec![s, c, c1],
+        comment: "student s transfers from course c to course c'".into(),
+        precondition: pre_transfer,
+        effects: vec![
+            Effect {
+                query: takes,
+                args: vec![Term::Var(s), Term::Var(c)],
+                value: a.false_term(),
+            },
+            Effect {
+                query: takes,
+                args: vec![Term::Var(s), Term::Var(c1)],
+                value: a.true_term(),
+            },
+        ],
+        side_effects: vec![],
+    };
+
+    Ok((initial, vec![d_offer, d_cancel, d_enroll, d_transfer]))
+}
+
+/// The functions-level specification `T2` with the chosen equation style.
+///
+/// # Errors
+/// Propagates signature/parse/synthesis errors.
+pub fn functions_level(config: &CoursesConfig) -> Result<AlgSpec> {
+    let mut a = functions_signature(config)?;
+    let eqs = match config.style {
+        EquationStyle::Paper => parse_equations(&mut a, PAPER_EQUATIONS)?,
+        EquationStyle::Synthesized => {
+            let (initial, descs) = structured_descriptions(&mut a)?;
+            synthesize(&mut a, &initial, &descs)?
+        }
+    };
+    Ok(AlgSpec::new(a, eqs)?)
+}
+
+/// The representation-level schema `T3` of §5.2, parsed from the canonical
+/// text, with domains for the given carriers.
+///
+/// # Errors
+/// Propagates parse errors.
+pub fn representation_level(config: &CoursesConfig) -> Result<(Schema, Arc<eclectic_logic::Domains>)> {
+    let mut sig = Signature::new();
+    sig.add_sort("student")?;
+    sig.add_sort("course")?;
+    let (rels, procs) = parse_schema(&mut sig, PAPER_COURSES_SCHEMA)?;
+    let domains = Arc::new(config.carriers().domains_for(&sig)?);
+    let schema = Schema::new(Arc::new(sig), rels, procs)?;
+    Ok((schema, domains))
+}
+
+/// Assembles the full tri-level courses specification.
+///
+/// # Errors
+/// Propagates construction errors from all three levels.
+pub fn courses(config: &CoursesConfig) -> Result<TriLevelSpec> {
+    let information = information_level()?;
+    let info_domains = Arc::new(config.carriers().domains_for(&information.signature)?);
+    let functions = functions_level(config)?;
+    let (representation, repr_domains) = representation_level(config)?;
+
+    let interp_i = InterpretationI::new(
+        &information.signature,
+        functions.signature(),
+        &[("offered", "offered"), ("takes", "takes")],
+    )?;
+
+    let rsig = representation.signature().clone();
+    let s = rsig.var_id("s")?;
+    let c = rsig.var_id("c")?;
+    let offered_rel = rsig.pred_id("OFFERED")?;
+    let takes_rel = rsig.pred_id("TAKES")?;
+    let q_offered = QueryDef::new(
+        &rsig,
+        "offered",
+        vec![c],
+        Formula::Pred(offered_rel, vec![Term::Var(c)]),
+    )?;
+    let q_takes = QueryDef::new(
+        &rsig,
+        "takes",
+        vec![s, c],
+        Formula::Pred(takes_rel, vec![Term::Var(s), Term::Var(c)]),
+    )?;
+    let interp_k = InterpretationK::new(
+        &functions,
+        &representation,
+        vec![
+            ("offered", QueryImpl::Bool(q_offered)),
+            ("takes", QueryImpl::Bool(q_takes)),
+        ],
+        &[
+            ("initiate", "initiate"),
+            ("offer", "offer"),
+            ("cancel", "cancel"),
+            ("enroll", "enroll"),
+            ("transfer", "transfer"),
+        ],
+    )?;
+
+    let repr_template = eclectic_rpr::DbState::new(
+        representation.signature().clone(),
+        repr_domains.clone(),
+    );
+    let spec = TriLevelSpec {
+        name: "courses".into(),
+        information,
+        info_domains,
+        functions,
+        representation,
+        repr_domains,
+        interp_i,
+        interp_k,
+        repr_template,
+    };
+    spec.check_shape()?;
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclectic_algebraic::Rewriter;
+
+    #[test]
+    fn assembles_both_styles() {
+        for style in [EquationStyle::Paper, EquationStyle::Synthesized] {
+            let config = CoursesConfig {
+                style,
+                ..CoursesConfig::default()
+            };
+            let spec = courses(&config).unwrap();
+            assert_eq!(spec.information.axioms.len(), 2);
+            assert_eq!(spec.functions.signature().queries().count(), 2);
+            assert_eq!(spec.representation.procs().len(), 5);
+        }
+    }
+
+    #[test]
+    fn paper_equations_reproduce_section_42() {
+        let config = CoursesConfig::default();
+        let spec = functions_level(&config).unwrap();
+        // 16 equations (the paper's 15 with eq6 split in two).
+        assert_eq!(spec.equations().len(), 16);
+        let mut rw = Rewriter::new(&spec);
+        let mut lsig = spec.signature().logic().clone();
+        let t = eclectic_logic::parse_term(
+            &mut lsig,
+            "offered(db, cancel(db, enroll(ana, db, offer(db, initiate))))",
+        )
+        .unwrap();
+        assert!(rw.eval_bool(&t).unwrap());
+        let t = eclectic_logic::parse_term(
+            &mut lsig,
+            "takes(ana, logic, transfer(ana, db, logic, enroll(ana, db, offer(logic, offer(db, initiate)))))",
+        )
+        .unwrap();
+        assert!(rw.eval_bool(&t).unwrap());
+    }
+
+    #[test]
+    fn both_styles_agree_observationally() {
+        let paper = functions_level(&CoursesConfig::default()).unwrap();
+        let synth = functions_level(&CoursesConfig {
+            style: EquationStyle::Synthesized,
+            ..CoursesConfig::default()
+        })
+        .unwrap();
+        // Same queries on the same trace shape must agree. Compare over all
+        // traces of up to 3 updates. (The two signatures have identical
+        // layouts by construction, so terms are interchangeable.)
+        let mut rw_p = Rewriter::new(&paper);
+        let mut rw_s = Rewriter::new(&synth);
+        let sig = paper.signature().clone();
+        for t in eclectic_algebraic::induction::state_terms(&sig, 2).unwrap() {
+            for q in sig.queries() {
+                for params in
+                    eclectic_algebraic::induction::param_tuples(&sig, &sig.query_params(q).unwrap())
+                        .unwrap()
+                {
+                    let vp = rw_p.eval_query(q, &params, &t).unwrap();
+                    let vs = rw_s.eval_query(q, &params, &t).unwrap();
+                    assert_eq!(vp, vs, "disagreement on {q:?} {params:?} at {t:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Worked domains specified at all three levels.
+//!
+//! - [`courses`](mod@courses): the paper's running example (§3.2/§4.2/§5.2);
+//! - [`library`](mod@library): fully mechanised pipeline — equations *and* schema derived
+//!   from structured descriptions;
+//! - [`bank`](mod@bank): parameter functions, set-oriented procedures, absorbing-state
+//!   transition constraint.
+
+pub mod bank;
+pub mod courses;
+pub mod library;
+
+pub use bank::{bank, BankConfig};
+pub use courses::{courses, CoursesConfig, EquationStyle};
+pub use library::{library, LibraryConfig};

@@ -1,0 +1,72 @@
+//! Error type for the tri-level framework.
+
+use std::fmt;
+
+/// Errors raised while assembling or verifying tri-level specifications.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// An underlying logic error.
+    Logic(eclectic_logic::LogicError),
+    /// An underlying algebraic error.
+    Alg(eclectic_algebraic::AlgError),
+    /// An underlying RPR error.
+    Rpr(eclectic_rpr::RprError),
+    /// An underlying refinement error.
+    Refine(eclectic_refine::RefineError),
+    /// The bundle is missing a required piece.
+    Incomplete(String),
+    /// The methodology pipeline could not derive an artefact.
+    Derivation(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Logic(e) => write!(f, "{e}"),
+            SpecError::Alg(e) => write!(f, "{e}"),
+            SpecError::Rpr(e) => write!(f, "{e}"),
+            SpecError::Refine(e) => write!(f, "{e}"),
+            SpecError::Incomplete(m) => write!(f, "incomplete specification: {m}"),
+            SpecError::Derivation(m) => write!(f, "derivation failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpecError::Logic(e) => Some(e),
+            SpecError::Alg(e) => Some(e),
+            SpecError::Rpr(e) => Some(e),
+            SpecError::Refine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<eclectic_logic::LogicError> for SpecError {
+    fn from(e: eclectic_logic::LogicError) -> Self {
+        SpecError::Logic(e)
+    }
+}
+
+impl From<eclectic_algebraic::AlgError> for SpecError {
+    fn from(e: eclectic_algebraic::AlgError) -> Self {
+        SpecError::Alg(e)
+    }
+}
+
+impl From<eclectic_rpr::RprError> for SpecError {
+    fn from(e: eclectic_rpr::RprError) -> Self {
+        SpecError::Rpr(e)
+    }
+}
+
+impl From<eclectic_refine::RefineError> for SpecError {
+    fn from(e: eclectic_refine::RefineError) -> Self {
+        SpecError::Refine(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, SpecError>;

@@ -1,0 +1,335 @@
+//! The constructive design methodology, mechanised end-to-end.
+//!
+//! The paper derives each lower level from the *same* structured
+//! descriptions (§4.2 for the equations, §5.2 for the procedures: "an
+//! update function f will follow the pattern `proc f(x) =
+//! (pre-conditions?; effects; side-effects) ∪ ¬pre-conditions?`, which can
+//! also be written using the if-then construct"). This module implements
+//! the §5.2 half: from an [`InitialState`] and [`StructuredDescription`]s,
+//! derive the representation-level schema — relations for the Boolean
+//! queries and an `if pre then effects fi` procedure per update. Combined
+//! with [`eclectic_algebraic::synthesize`], one structured description
+//! yields both `T2` and `T3`.
+
+use std::collections::BTreeMap;
+
+use eclectic_algebraic::{AlgSignature, InitialState, OpKind, StructuredDescription};
+use eclectic_logic::{Formula, FuncId, PredId, Signature, Term, VarId};
+use eclectic_rpr::{ProcDecl, RelTerm, Schema, Stmt};
+
+use crate::error::{Result, SpecError};
+
+/// Context for translating level-2 artefacts into level-3 syntax.
+struct Translator<'a> {
+    alg: &'a AlgSignature,
+    repr: &'a mut Signature,
+    /// Level-2 Boolean query → level-3 relation.
+    rel_for_query: BTreeMap<FuncId, PredId>,
+}
+
+impl Translator<'_> {
+    /// The level-3 variable corresponding to a level-2 variable (same name,
+    /// like-named sort), declared on demand.
+    fn var(&mut self, v: VarId) -> Result<VarId> {
+        let decl = self.alg.logic().var(v);
+        let name = decl.name.clone();
+        let sort_name = self.alg.logic().sort_name(decl.sort).to_string();
+        let sort = self.repr.sort_id(&sort_name).map_err(|_| {
+            SpecError::Derivation(format!(
+                "representation level lacks sort `{sort_name}` for variable `{name}`"
+            ))
+        })?;
+        Ok(self.repr.add_var(&name, sort)?)
+    }
+
+    /// Translates a level-2 parameter term: variables map to like-named
+    /// level-3 variables; parameter *names* (constants) map to like-named
+    /// level-3 constants, which callers interpret via
+    /// [`eclectic_rpr::DbState::bind_named_constants`]. Parameter functions
+    /// have no automatic counterpart.
+    fn term(&mut self, t: &Term) -> Result<Term> {
+        match t {
+            Term::Var(v) => Ok(Term::Var(self.var(*v)?)),
+            Term::App(f, args) if args.is_empty() => {
+                let decl = self.alg.logic().func(*f);
+                let name = decl.name.clone();
+                let sort_name = self.alg.logic().sort_name(decl.range).to_string();
+                let sort = self.repr.sort_id(&sort_name).map_err(|_| {
+                    SpecError::Derivation(format!(
+                        "representation level lacks sort `{sort_name}` for constant `{name}`"
+                    ))
+                })?;
+                let c = match self.repr.lookup(&name) {
+                    Some(eclectic_logic::Symbol::Func(c)) => c,
+                    Some(_) => {
+                        return Err(SpecError::Derivation(format!(
+                            "`{name}` clashes with a non-constant at level 3"
+                        )))
+                    }
+                    None => self.repr.add_constant(&name, sort)?,
+                };
+                Ok(Term::constant(c))
+            }
+            Term::App(..) => Err(SpecError::Derivation(
+                "parameter functions are not supported in derived procedure arguments".into(),
+            )),
+        }
+    }
+
+    /// Translates a Boolean level-2 term into a level-3 wff:
+    /// query applications become relation atoms, the connective functions
+    /// become connectives.
+    fn bool_term(&mut self, t: &Term) -> Result<Formula> {
+        let alg = self.alg;
+        match t {
+            Term::App(f, args) => {
+                if *f == alg.true_fn() {
+                    return Ok(Formula::True);
+                }
+                if *f == alg.false_fn() {
+                    return Ok(Formula::False);
+                }
+                if *f == alg.not_fn() {
+                    return Ok(self.bool_term(&args[0])?.not());
+                }
+                if *f == alg.and_fn() {
+                    return Ok(self.bool_term(&args[0])?.and(self.bool_term(&args[1])?));
+                }
+                if *f == alg.or_fn() {
+                    return Ok(self.bool_term(&args[0])?.or(self.bool_term(&args[1])?));
+                }
+                if *f == alg.imp_fn() {
+                    return Ok(self.bool_term(&args[0])?.implies(self.bool_term(&args[1])?));
+                }
+                if *f == alg.iff_fn() {
+                    return Ok(self.bool_term(&args[0])?.iff(self.bool_term(&args[1])?));
+                }
+                if alg.param_sorts().any(|s| alg.eq_fn(s) == Some(*f)) {
+                    return Ok(Formula::Eq(self.term(&args[0])?, self.term(&args[1])?));
+                }
+                if alg.kind(*f) == OpKind::Query {
+                    let rel = self.rel_for_query.get(f).copied().ok_or_else(|| {
+                        SpecError::Derivation(format!(
+                            "query `{}` has no relation mapping",
+                            alg.logic().func(*f).name
+                        ))
+                    })?;
+                    // Drop the state argument; translate the parameters.
+                    let params = &args[..args.len() - 1];
+                    let targs = params
+                        .iter()
+                        .map(|a| self.term(a))
+                        .collect::<Result<Vec<_>>>()?;
+                    return Ok(Formula::Pred(rel, targs));
+                }
+                Err(SpecError::Derivation(format!(
+                    "cannot translate term rooted at `{}`",
+                    alg.logic().func(*f).name
+                )))
+            }
+            Term::Var(_) => Err(SpecError::Derivation(
+                "bare Boolean variables are not supported".into(),
+            )),
+        }
+    }
+
+    /// Translates a level-2 condition (the equation antecedent fragment)
+    /// into a level-3 wff.
+    fn condition(&mut self, f: &Formula) -> Result<Formula> {
+        Ok(match f {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Not(p) => self.condition(p)?.not(),
+            Formula::And(p, q) => self.condition(p)?.and(self.condition(q)?),
+            Formula::Or(p, q) => self.condition(p)?.or(self.condition(q)?),
+            Formula::Implies(p, q) => self.condition(p)?.implies(self.condition(q)?),
+            Formula::Iff(p, q) => self.condition(p)?.iff(self.condition(q)?),
+            Formula::Forall(x, p) => Formula::forall(self.var(*x)?, self.condition(p)?),
+            Formula::Exists(x, p) => Formula::exists(self.var(*x)?, self.condition(p)?),
+            Formula::Eq(a, b) => {
+                // Boolean comparisons become wff equivalences; parameter
+                // comparisons become equalities.
+                let asort = a.sort(self.alg.logic())?;
+                if asort == self.alg.bool_sort() {
+                    let fa = self.bool_term(a)?;
+                    let fb = self.bool_term(b)?;
+                    match (fa, fb) {
+                        (x, Formula::True) | (Formula::True, x) => x,
+                        (x, Formula::False) | (Formula::False, x) => x.not(),
+                        (x, y) => x.iff(y),
+                    }
+                } else {
+                    Formula::Eq(self.term(a)?, self.term(b)?)
+                }
+            }
+            Formula::Pred(..) | Formula::Possibly(..) | Formula::Necessarily(..) => {
+                return Err(SpecError::Derivation(
+                    "invalid construct in a structured-description precondition".into(),
+                ))
+            }
+        })
+    }
+}
+
+/// Derives the representation-level schema from structured descriptions.
+///
+/// `relation_names` maps each Boolean query name to the relation name to
+/// declare (conventionally uppercase, per the paper).
+///
+/// Returns the extended representation signature together with the schema.
+///
+/// # Errors
+/// Returns [`SpecError::Derivation`] when an artefact cannot be expressed
+/// (non-Boolean effects, non-variable effect arguments, …).
+pub fn derive_schema(
+    alg: &AlgSignature,
+    initial: &InitialState,
+    descriptions: &[StructuredDescription],
+    relation_names: &[(&str, &str)],
+) -> Result<Schema> {
+    initial.validate(alg)?;
+    for d in descriptions {
+        d.validate(alg)?;
+    }
+
+    let mut repr = Signature::new();
+    // Sorts: every level-2 parameter sort except Bool, same names.
+    for s in alg.param_sorts() {
+        let name = alg.logic().sort_name(s);
+        if name != "Bool" {
+            repr.add_sort(name)?;
+        }
+    }
+    // Relations: one per Boolean query.
+    let mut rel_for_query = BTreeMap::new();
+    let mut relations = Vec::new();
+    for (qname, rname) in relation_names {
+        let q = alg
+            .logic()
+            .func_id(qname)
+            .map_err(|e| SpecError::Derivation(format!("{e}")))?;
+        if alg.kind(q) != OpKind::Query || alg.logic().func(q).range != alg.bool_sort() {
+            return Err(SpecError::Derivation(format!(
+                "`{qname}` is not a Boolean query"
+            )));
+        }
+        let sorts = alg
+            .query_params(q)?
+            .iter()
+            .map(|&s| repr.sort_id(alg.logic().sort_name(s)))
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        let rel = repr.add_db_predicate(rname, &sorts)?;
+        rel_for_query.insert(q, rel);
+        relations.push(rel);
+    }
+    for q in alg.queries() {
+        if !rel_for_query.contains_key(&q) {
+            return Err(SpecError::Derivation(format!(
+                "query `{}` has no relation mapping",
+                alg.logic().func(q).name
+            )));
+        }
+    }
+
+    let mut procs = Vec::new();
+
+    // initiate: empty (or full) relational assignments per default.
+    {
+        let tr = Translator {
+            alg,
+            repr: &mut repr,
+            rel_for_query: rel_for_query.clone(),
+        };
+        let mut body: Option<Stmt> = None;
+        for (q, default) in &initial.defaults {
+            let rel = tr.rel_for_query[q];
+            let wff = if *default == alg.true_term() {
+                Formula::True
+            } else if *default == alg.false_term() {
+                Formula::False
+            } else {
+                return Err(SpecError::Derivation(
+                    "only True/False initial defaults can be derived".into(),
+                ));
+            };
+            let domain = tr.repr.pred(rel).domain.clone();
+            let vars = domain
+                .iter()
+                .map(|&s| {
+                    let hint = tr.repr.sort_name(s).chars().next().unwrap_or('x').to_string();
+                    tr.repr.fresh_var(&hint, s)
+                })
+                .collect();
+            let stmt = Stmt::RelAssign(rel, RelTerm { vars, wff });
+            body = Some(match body {
+                None => stmt,
+                Some(prev) => prev.seq(stmt),
+            });
+        }
+        let body = body.ok_or_else(|| {
+            SpecError::Derivation("initial state has no query defaults".into())
+        })?;
+        procs.push(ProcDecl {
+            name: alg.logic().func(initial.update).name.clone(),
+            params: Vec::new(),
+            body,
+        });
+    }
+
+    // One procedure per description: if pre then effects fi.
+    for d in descriptions {
+        let mut tr = Translator {
+            alg,
+            repr: &mut repr,
+            rel_for_query: rel_for_query.clone(),
+        };
+        let params = d
+            .params
+            .iter()
+            .map(|&v| tr.var(v))
+            .collect::<Result<Vec<_>>>()?;
+        let pre = tr.condition(&d.precondition)?.simplify();
+        let mut effects: Option<Stmt> = None;
+        for e in d.all_effects() {
+            let rel = tr.rel_for_query.get(&e.query).copied().ok_or_else(|| {
+                SpecError::Derivation("effect on an unmapped query".into())
+            })?;
+            let args = e
+                .args
+                .iter()
+                .map(|a| tr.term(a))
+                .collect::<Result<Vec<_>>>()?;
+            let stmt = if e.value == alg.true_term() {
+                Stmt::Insert(rel, args)
+            } else if e.value == alg.false_term() {
+                Stmt::Delete(rel, args)
+            } else {
+                return Err(SpecError::Derivation(
+                    "only True/False effect values can be derived into insert/delete".into(),
+                ));
+            };
+            effects = Some(match effects {
+                None => stmt,
+                Some(prev) => prev.seq(stmt),
+            });
+        }
+        let effects = effects.ok_or_else(|| {
+            SpecError::Derivation(format!(
+                "update `{}` has no effects",
+                alg.logic().func(d.update).name
+            ))
+        })?;
+        let body = if pre == Formula::True {
+            effects
+        } else {
+            effects.guarded_by(pre)
+        };
+        procs.push(ProcDecl {
+            name: alg.logic().func(d.update).name.clone(),
+            params,
+            body,
+        });
+    }
+
+    Ok(Schema::new(std::sync::Arc::new(repr), relations, procs)?)
+}

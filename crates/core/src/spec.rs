@@ -1,0 +1,158 @@
+//! The tri-level specification bundle — the paper's conceptual design
+//! framework (§2): one database application described at the information,
+//! functions and representation levels, bound by the interpretations `I`
+//! and `K`.
+
+use std::sync::Arc;
+
+use eclectic_algebraic::AlgSpec;
+use eclectic_logic::{Domains, LogicError, Signature, Theory};
+use eclectic_refine::{InterpretationI, InterpretationK};
+use eclectic_rpr::{DbState, Schema};
+
+use crate::error::{Result, SpecError};
+
+/// Shared finite carriers, by sort name — instantiated into [`Domains`] for
+/// each level's signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CarrierSpec {
+    entries: Vec<(String, Vec<String>)>,
+}
+
+impl CarrierSpec {
+    /// Creates a carrier specification from `(sort, elements)` pairs.
+    #[must_use]
+    pub fn new(entries: &[(&str, &[&str])]) -> Self {
+        CarrierSpec {
+            entries: entries
+                .iter()
+                .map(|(s, es)| {
+                    (
+                        (*s).to_string(),
+                        es.iter().map(|e| (*e).to_string()).collect(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// The elements of a sort.
+    #[must_use]
+    pub fn elements(&self, sort: &str) -> Option<&[String]> {
+        self.entries
+            .iter()
+            .find(|(s, _)| s == sort)
+            .map(|(_, es)| es.as_slice())
+    }
+
+    /// Iterates over `(sort, elements)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[String])> {
+        self.entries
+            .iter()
+            .map(|(s, es)| (s.as_str(), es.as_slice()))
+    }
+
+    /// Builds [`Domains`] over a signature (sorts missing from the carrier
+    /// spec get empty carriers).
+    ///
+    /// # Errors
+    /// Propagates domain-construction errors.
+    pub fn domains_for(&self, sig: &Signature) -> std::result::Result<Domains, LogicError> {
+        let mut carriers = vec![Vec::new(); sig.sort_count()];
+        for (sort, elems) in &self.entries {
+            if let Ok(id) = sig.sort_id(sort) {
+                carriers[id.index()] = elems.clone();
+            }
+        }
+        Domains::new(sig, carriers)
+    }
+}
+
+/// A complete tri-level specification of one database application.
+#[derive(Debug)]
+pub struct TriLevelSpec {
+    /// Human-readable name of the application.
+    pub name: String,
+    /// `T1`: the information-level theory (temporal first-order axioms).
+    pub information: Theory,
+    /// Domains over the information signature.
+    pub info_domains: Arc<Domains>,
+    /// `T2`: the functions-level algebraic specification.
+    pub functions: AlgSpec,
+    /// `T3`: the representation-level schema.
+    pub representation: Schema,
+    /// Domains over the representation signature.
+    pub repr_domains: Arc<Domains>,
+    /// The interpretation `I` (level 1 → level 2).
+    pub interp_i: InterpretationI,
+    /// The interpretation `K` (level 2 → level 3).
+    pub interp_k: InterpretationK,
+    /// Template database state on which `initiate` acts. Usually empty, but
+    /// it may carry interpreted function tables (e.g. the bank domain's
+    /// saturating arithmetic).
+    pub repr_template: DbState,
+}
+
+impl TriLevelSpec {
+    /// The information-level signature.
+    #[must_use]
+    pub fn info_signature(&self) -> &Arc<Signature> {
+        &self.information.signature
+    }
+
+    /// An empty representation-level database state (all relations and
+    /// scalar variables as in the template).
+    #[must_use]
+    pub fn empty_state(&self) -> DbState {
+        self.repr_template.clone()
+    }
+
+    /// Sanity checks on the bundle: the information signature has at least
+    /// one db-predicate, the functions level at least one update, the
+    /// representation at least one procedure.
+    ///
+    /// # Errors
+    /// Returns [`SpecError::Incomplete`] naming the missing piece.
+    pub fn check_shape(&self) -> Result<()> {
+        if self.info_signature().db_pred_ids().next().is_none() {
+            return Err(SpecError::Incomplete(
+                "information level declares no db-predicates".into(),
+            ));
+        }
+        if self.functions.signature().updates().next().is_none() {
+            return Err(SpecError::Incomplete(
+                "functions level declares no updates".into(),
+            ));
+        }
+        if self.representation.procs().is_empty() {
+            return Err(SpecError::Incomplete(
+                "representation level declares no procedures".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carrier_spec_lookup() {
+        let cs = CarrierSpec::new(&[("student", &["ana", "bob"]), ("course", &["db"])]);
+        assert_eq!(cs.elements("student").unwrap().len(), 2);
+        assert!(cs.elements("nope").is_none());
+        assert_eq!(cs.iter().count(), 2);
+    }
+
+    #[test]
+    fn carrier_spec_builds_domains() {
+        let cs = CarrierSpec::new(&[("course", &["db", "ai"])]);
+        let mut sig = Signature::new();
+        sig.add_sort("course").unwrap();
+        sig.add_sort("unlisted").unwrap();
+        let dom = cs.domains_for(&sig).unwrap();
+        assert_eq!(dom.card(sig.sort_id("course").unwrap()), 2);
+        assert_eq!(dom.card(sig.sort_id("unlisted").unwrap()), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! One-call verification of a tri-level specification: every refinement
+//! obligation of the paper, plus the W-grammar syntax check and randomized
+//! cross-formalism testing.
+
+use eclectic_refine::{
+    check_equations, check_refinement_1_2, check_valid_reachable, cross_check, random_ops,
+    CrossCheckStats, FullReport, InducedAlgebra, Mismatch, Refine12Config,
+};
+use eclectic_rpr::wgrammar;
+
+use crate::error::Result;
+use crate::spec::TriLevelSpec;
+
+/// Bounds and knobs for a verification run.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyConfig {
+    /// Configuration of the 1→2 obligations (exploration depth, policy,
+    /// completeness depth).
+    pub refine12: Refine12Config,
+    /// Trace-length bound for the 2→3 equation check.
+    pub eq_depth: usize,
+    /// State cap for the 2→3 equation check.
+    pub eq_max_states: usize,
+    /// Cap on candidate-state enumeration for obligation (c).
+    pub candidate_cap: usize,
+    /// Number of random traces for the cross-formalism check.
+    pub random_traces: usize,
+    /// Length of each random trace.
+    pub trace_len: usize,
+}
+
+impl VerifyConfig {
+    /// Quick bounds suitable for unit tests and small carriers.
+    #[must_use]
+    pub fn quick() -> Self {
+        VerifyConfig {
+            refine12: Refine12Config::quick(),
+            eq_depth: 3,
+            eq_max_states: 2_000,
+            candidate_cap: 100_000,
+            random_traces: 5,
+            trace_len: 12,
+        }
+    }
+
+    /// Thorough bounds for integration tests and experiment regeneration.
+    #[must_use]
+    pub fn thorough() -> Self {
+        let mut refine12 = Refine12Config::quick();
+        refine12.limits.max_depth = 10;
+        refine12.completeness_depth = 3;
+        VerifyConfig {
+            refine12,
+            eq_depth: 4,
+            eq_max_states: 5_000,
+            candidate_cap: 1_000_000,
+            random_traces: 20,
+            trace_len: 30,
+        }
+    }
+}
+
+/// The outcome of a full verification run.
+#[derive(Debug)]
+pub struct VerificationOutcome {
+    /// Whether the schema derivation validated against the RPR W-grammar.
+    pub grammar_ok: bool,
+    /// The grammar error, if any.
+    pub grammar_error: Option<String>,
+    /// The refinement obligations.
+    pub report: FullReport,
+    /// First cross-formalism disagreement found by random traces, if any.
+    pub cross_mismatch: Option<Mismatch>,
+    /// Volume of the cross-formalism testing performed.
+    pub cross_stats: CrossCheckStats,
+}
+
+impl VerificationOutcome {
+    /// Whether everything holds.
+    #[must_use]
+    pub fn is_correct(&self) -> bool {
+        self.grammar_ok && self.report.is_correct() && self.cross_mismatch.is_none()
+    }
+}
+
+/// Runs the whole battery against a specification.
+///
+/// # Errors
+/// Propagates evaluation errors (bounded-verification *failures* are
+/// reported in the outcome, not as errors).
+pub fn verify(spec: &TriLevelSpec, config: &VerifyConfig) -> Result<VerificationOutcome> {
+    spec.check_shape()?;
+
+    // Syntactic correctness under the W-grammar (paper §5.4 step 1).
+    let (grammar_ok, grammar_error) = match wgrammar::check_schema(&spec.representation) {
+        Ok(_) => (true, None),
+        Err(e) => (false, Some(e.to_string())),
+    };
+
+    // 1→2 obligations (a), (b), (d).
+    let refine12 = check_refinement_1_2(
+        &spec.information,
+        &spec.functions,
+        &spec.interp_i,
+        spec.info_signature(),
+        &spec.info_domains,
+        config.refine12,
+    )?;
+
+    // Obligation (c).
+    let valid_reachable = check_valid_reachable(
+        &spec.information,
+        &refine12.exploration,
+        config.candidate_cap,
+    )?;
+
+    // 2→3 equation validity in the induced algebra.
+    let mut induced = InducedAlgebra::new(
+        &spec.functions,
+        &spec.representation,
+        &spec.interp_k,
+        spec.empty_state(),
+    )?;
+    let equations = check_equations(&mut induced, config.eq_depth, config.eq_max_states, 20)?;
+
+    // Randomised cross-formalism testing.
+    let initial_name = initial_update_name(spec)?;
+    let mut rng_state: u64 = 0x5eed_1234_abcd_0001;
+    let mut choose = move |n: usize| {
+        // xorshift64*.
+        rng_state ^= rng_state >> 12;
+        rng_state ^= rng_state << 25;
+        rng_state ^= rng_state >> 27;
+        (rng_state.wrapping_mul(0x2545_f491_4f6c_dd1d) % n.max(1) as u64) as usize
+    };
+    let mut cross_mismatch = None;
+    let mut cross_stats = CrossCheckStats::default();
+    for _ in 0..config.random_traces {
+        let ops = random_ops(
+            &spec.functions,
+            &induced,
+            &initial_name,
+            config.trace_len,
+            &mut choose,
+        )?;
+        let (mismatch, stats) = cross_check(&spec.functions, &mut induced, &ops)?;
+        cross_stats.ops += stats.ops;
+        cross_stats.comparisons += stats.comparisons;
+        if mismatch.is_some() {
+            cross_mismatch = mismatch;
+            break;
+        }
+    }
+
+    Ok(VerificationOutcome {
+        grammar_ok,
+        grammar_error,
+        report: FullReport {
+            refine12,
+            valid_reachable,
+            equations,
+        },
+        cross_mismatch,
+        cross_stats,
+    })
+}
+
+/// The name of the specification's initial update constant.
+fn initial_update_name(spec: &TriLevelSpec) -> Result<String> {
+    let alg = spec.functions.signature();
+    for u in alg.updates() {
+        if !alg.update_takes_state(u).map_err(crate::error::SpecError::Alg)? {
+            return Ok(alg.logic().func(u).name.clone());
+        }
+    }
+    Err(crate::error::SpecError::Incomplete(
+        "no initial state constant".into(),
+    ))
+}

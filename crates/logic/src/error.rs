@@ -1,0 +1,139 @@
+//! Error types for the logic crate.
+
+use std::fmt;
+
+/// Errors raised while building signatures, constructing syntax, or
+/// evaluating formulas over finite structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogicError {
+    /// A name was declared twice in the same signature.
+    DuplicateName(String),
+    /// A name was used but never declared.
+    UnknownName(String),
+    /// A sort id is not part of the signature.
+    UnknownSort(String),
+    /// An identifier resolved to a different kind of symbol than expected
+    /// (e.g. a predicate used where a function was required).
+    WrongSymbolKind {
+        /// The offending identifier.
+        name: String,
+        /// What the caller expected (`"function"`, `"predicate"`, ...).
+        expected: &'static str,
+    },
+    /// A function or predicate was applied to the wrong number of arguments.
+    ArityMismatch {
+        /// Symbol name.
+        name: String,
+        /// Declared arity.
+        expected: usize,
+        /// Number of arguments supplied.
+        found: usize,
+    },
+    /// A term of one sort appeared where another sort was required.
+    SortMismatch {
+        /// Human-readable description of the context.
+        context: String,
+        /// The sort that was required.
+        expected: String,
+        /// The sort that was found.
+        found: String,
+    },
+    /// A variable was re-declared with a different sort.
+    VariableSortConflict {
+        /// Variable name.
+        name: String,
+        /// Previously declared sort.
+        declared: String,
+        /// Newly requested sort.
+        requested: String,
+    },
+    /// First-order evaluation encountered a modal operator.
+    ModalInFirstOrder,
+    /// A function table has no entry for the given argument tuple.
+    UndefinedFunctionValue {
+        /// Function name.
+        name: String,
+    },
+    /// A valuation has no binding for a free variable.
+    UnboundVariable(String),
+    /// A domain element index is out of range for its sort.
+    ElementOutOfRange {
+        /// Sort name.
+        sort: String,
+        /// Offending index.
+        index: u32,
+    },
+    /// A structure refers to a signature different from the one expected.
+    SignatureMismatch,
+    /// Substitution would capture a free variable of the replacement term.
+    WouldCapture {
+        /// The variable that would be captured.
+        variable: String,
+    },
+    /// Parse error with position information.
+    Parse {
+        /// Byte offset in the input where the error occurred.
+        offset: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// An operation required a ground (variable-free) term.
+    NotGround,
+    /// Evaluation exceeded a configured resource limit.
+    LimitExceeded(String),
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::DuplicateName(n) => write!(f, "duplicate declaration of `{n}`"),
+            LogicError::UnknownName(n) => write!(f, "unknown identifier `{n}`"),
+            LogicError::UnknownSort(n) => write!(f, "unknown sort `{n}`"),
+            LogicError::WrongSymbolKind { name, expected } => {
+                write!(f, "`{name}` is not a {expected}")
+            }
+            LogicError::ArityMismatch {
+                name,
+                expected,
+                found,
+            } => write!(f, "`{name}` expects {expected} argument(s), got {found}"),
+            LogicError::SortMismatch {
+                context,
+                expected,
+                found,
+            } => write!(f, "sort mismatch in {context}: expected `{expected}`, found `{found}`"),
+            LogicError::VariableSortConflict {
+                name,
+                declared,
+                requested,
+            } => write!(
+                f,
+                "variable `{name}` already declared with sort `{declared}`, cannot redeclare as `{requested}`"
+            ),
+            LogicError::ModalInFirstOrder => {
+                write!(f, "modal operator in first-order evaluation context")
+            }
+            LogicError::UndefinedFunctionValue { name } => {
+                write!(f, "function `{name}` is undefined on the given arguments")
+            }
+            LogicError::UnboundVariable(n) => write!(f, "unbound variable `{n}`"),
+            LogicError::ElementOutOfRange { sort, index } => {
+                write!(f, "element index {index} out of range for sort `{sort}`")
+            }
+            LogicError::SignatureMismatch => write!(f, "structure built over a different signature"),
+            LogicError::WouldCapture { variable } => {
+                write!(f, "substitution would capture variable `{variable}`")
+            }
+            LogicError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            LogicError::NotGround => write!(f, "operation requires a ground term"),
+            LogicError::LimitExceeded(what) => write!(f, "resource limit exceeded: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LogicError>;

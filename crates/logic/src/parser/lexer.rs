@@ -1,0 +1,319 @@
+//! Lexer for the concrete syntax of terms and formulas.
+
+use crate::error::{LogicError, Result};
+
+/// A lexical token with its byte offset in the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub offset: usize,
+}
+
+/// The kinds of token recognised by the formula language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier (symbol or variable name).
+    Ident(String),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `.`.
+    Dot,
+    /// `:`.
+    Colon,
+    /// `=`.
+    Eq,
+    /// `!=`.
+    Neq,
+    /// `&`.
+    And,
+    /// `|`.
+    Or,
+    /// `~`.
+    Not,
+    /// `->`.
+    Arrow,
+    /// `<->`.
+    DArrow,
+    /// `forall` keyword.
+    Forall,
+    /// `exists` keyword.
+    Exists,
+    /// `dia` keyword (possibility, ◇).
+    Dia,
+    /// `box` keyword (necessity, □).
+    Box,
+    /// `true` keyword.
+    True,
+    /// `false` keyword.
+    False,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Short description for diagnostics.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Dot => "`.`".into(),
+            TokenKind::Colon => "`:`".into(),
+            TokenKind::Eq => "`=`".into(),
+            TokenKind::Neq => "`!=`".into(),
+            TokenKind::And => "`&`".into(),
+            TokenKind::Or => "`|`".into(),
+            TokenKind::Not => "`~`".into(),
+            TokenKind::Arrow => "`->`".into(),
+            TokenKind::DArrow => "`<->`".into(),
+            TokenKind::Forall => "`forall`".into(),
+            TokenKind::Exists => "`exists`".into(),
+            TokenKind::Dia => "`dia`".into(),
+            TokenKind::Box => "`box`".into(),
+            TokenKind::True => "`true`".into(),
+            TokenKind::False => "`false`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// Tokenises the input.
+///
+/// Identifiers are `[A-Za-z_][A-Za-z0-9_']*`; whitespace separates tokens;
+/// `#` starts a comment to end of line (also `'` is allowed inside
+/// identifiers so that the paper's primed variables `c'` lex naturally).
+///
+/// # Errors
+/// Returns [`LogicError::Parse`] on unexpected characters.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'.' => {
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b':' => {
+                tokens.push(Token {
+                    kind: TokenKind::Colon,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'&' => {
+                tokens.push(Token {
+                    kind: TokenKind::And,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'|' => {
+                tokens.push(Token {
+                    kind: TokenKind::Or,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'~' => {
+                tokens.push(Token {
+                    kind: TokenKind::Not,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Neq,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    return Err(LogicError::Parse {
+                        offset: i,
+                        message: "expected `!=`".into(),
+                    });
+                }
+            }
+            b'-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token {
+                        kind: TokenKind::Arrow,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    return Err(LogicError::Parse {
+                        offset: i,
+                        message: "expected `->`".into(),
+                    });
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'-') && bytes.get(i + 2) == Some(&b'>') {
+                    tokens.push(Token {
+                        kind: TokenKind::DArrow,
+                        offset: i,
+                    });
+                    i += 3;
+                } else {
+                    return Err(LogicError::Parse {
+                        offset: i,
+                        message: "expected `<->`".into(),
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let kind = match word {
+                    "forall" => TokenKind::Forall,
+                    "exists" => TokenKind::Exists,
+                    "dia" => TokenKind::Dia,
+                    "box" => TokenKind::Box,
+                    "true" => TokenKind::True,
+                    "false" => TokenKind::False,
+                    _ => TokenKind::Ident(word.to_string()),
+                };
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                // Numeric identifiers are allowed as element/constant names.
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_alphanumeric() {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(LogicError::Parse {
+                    offset: i,
+                    message: format!("unexpected character `{}`", other as char),
+                });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_formula() {
+        let toks = tokenize("forall s:student. takes(s, c') -> ~dia false").unwrap();
+        let kinds: Vec<_> = toks.into_iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Forall,
+                TokenKind::Ident("s".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("student".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("takes".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("s".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("c'".into()),
+                TokenKind::RParen,
+                TokenKind::Arrow,
+                TokenKind::Not,
+                TokenKind::Dia,
+                TokenKind::False,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_numbers() {
+        let toks = tokenize("a # comment\n 42").unwrap();
+        let kinds: Vec<_> = toks.into_iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("42".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(matches!(
+            tokenize("a $ b"),
+            Err(LogicError::Parse { .. })
+        ));
+        assert!(matches!(tokenize("a - b"), Err(LogicError::Parse { .. })));
+        assert!(matches!(tokenize("< b"), Err(LogicError::Parse { .. })));
+        assert!(matches!(tokenize("!b"), Err(LogicError::Parse { .. })));
+    }
+}

@@ -1,0 +1,6 @@
+//! Concrete-syntax parsing for terms and formulas.
+
+mod grammar;
+pub mod lexer;
+
+pub use grammar::{parse_formula, parse_term};

@@ -1,0 +1,242 @@
+//! Pretty-printing of terms and formulas in the crate's concrete syntax.
+//!
+//! Output round-trips through the parser (`parse(print(f)) == f`), which is
+//! exercised by property tests.
+
+use std::fmt;
+
+use crate::formula::Formula;
+use crate::signature::Signature;
+use crate::term::Term;
+
+/// Displays a term under a signature.
+#[derive(Debug, Clone, Copy)]
+pub struct TermDisplay<'a> {
+    sig: &'a Signature,
+    term: &'a Term,
+}
+
+/// Displays a formula under a signature.
+#[derive(Debug, Clone, Copy)]
+pub struct FormulaDisplay<'a> {
+    sig: &'a Signature,
+    formula: &'a Formula,
+}
+
+/// Creates a displayable wrapper for a term.
+#[must_use]
+pub fn term_display<'a>(sig: &'a Signature, term: &'a Term) -> TermDisplay<'a> {
+    TermDisplay { sig, term }
+}
+
+/// Creates a displayable wrapper for a formula.
+#[must_use]
+pub fn formula_display<'a>(sig: &'a Signature, formula: &'a Formula) -> FormulaDisplay<'a> {
+    FormulaDisplay { sig, formula }
+}
+
+impl fmt::Display for TermDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_term(f, self.sig, self.term)
+    }
+}
+
+fn write_term(f: &mut fmt::Formatter<'_>, sig: &Signature, t: &Term) -> fmt::Result {
+    match t {
+        Term::Var(v) => write!(f, "{}", sig.var(*v).name),
+        Term::App(func, args) => {
+            write!(f, "{}", sig.func(*func).name)?;
+            if !args.is_empty() {
+                write!(f, "(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write_term(f, sig, a)?;
+                }
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Binding strength used to decide parenthesisation.
+/// Higher binds tighter.
+fn precedence(f: &Formula) -> u8 {
+    match f {
+        Formula::Iff(..) => 1,
+        Formula::Implies(..) => 2,
+        Formula::Or(..) => 3,
+        Formula::And(..) => 4,
+        Formula::Not(..) | Formula::Possibly(..) | Formula::Necessarily(..) => 5,
+        Formula::Forall(..) | Formula::Exists(..) => 0, // body extends maximally
+        // Equality binds loosely enough that `~(c = c')` is parenthesised.
+        Formula::Eq(..) => 4,
+        _ => 6,
+    }
+}
+
+impl fmt::Display for FormulaDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_formula(f, self.sig, self.formula, 0)
+    }
+}
+
+fn write_child(
+    f: &mut fmt::Formatter<'_>,
+    sig: &Signature,
+    child: &Formula,
+    min: u8,
+) -> fmt::Result {
+    if precedence(child) < min {
+        write!(f, "(")?;
+        write_formula(f, sig, child, 0)?;
+        write!(f, ")")
+    } else {
+        write_formula(f, sig, child, min)
+    }
+}
+
+fn write_formula(
+    f: &mut fmt::Formatter<'_>,
+    sig: &Signature,
+    formula: &Formula,
+    _min: u8,
+) -> fmt::Result {
+    match formula {
+        Formula::True => write!(f, "true"),
+        Formula::False => write!(f, "false"),
+        Formula::Pred(p, args) => {
+            write!(f, "{}", sig.pred(*p).name)?;
+            if !args.is_empty() {
+                write!(f, "(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write_term(f, sig, a)?;
+                }
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Formula::Eq(a, b) => {
+            write_term(f, sig, a)?;
+            write!(f, " = ")?;
+            write_term(f, sig, b)
+        }
+        Formula::Not(p) => {
+            write!(f, "~")?;
+            write_child(f, sig, p, 5)
+        }
+        Formula::Possibly(p) => {
+            write!(f, "dia ")?;
+            write_child(f, sig, p, 5)
+        }
+        Formula::Necessarily(p) => {
+            write!(f, "box ")?;
+            write_child(f, sig, p, 5)
+        }
+        Formula::And(p, q) => {
+            write_child(f, sig, p, 4)?;
+            write!(f, " & ")?;
+            write_child(f, sig, q, 5)
+        }
+        Formula::Or(p, q) => {
+            write_child(f, sig, p, 3)?;
+            write!(f, " | ")?;
+            write_child(f, sig, q, 4)
+        }
+        Formula::Implies(p, q) => {
+            write_child(f, sig, p, 3)?;
+            write!(f, " -> ")?;
+            write_child(f, sig, q, 2)
+        }
+        Formula::Iff(p, q) => {
+            write_child(f, sig, p, 2)?;
+            write!(f, " <-> ")?;
+            write_child(f, sig, q, 2)
+        }
+        Formula::Forall(x, p) => {
+            let decl = sig.var(*x);
+            write!(
+                f,
+                "forall {}:{}. ",
+                decl.name,
+                sig.sort_name(decl.sort)
+            )?;
+            write_formula(f, sig, p, 0)
+        }
+        Formula::Exists(x, p) => {
+            let decl = sig.var(*x);
+            write!(
+                f,
+                "exists {}:{}. ",
+                decl.name,
+                sig.sort_name(decl.sort)
+            )?;
+            write_formula(f, sig, p, 0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::Signature;
+
+    fn sig() -> Signature {
+        let mut sig = Signature::new();
+        let student = sig.add_sort("student").unwrap();
+        let course = sig.add_sort("course").unwrap();
+        sig.add_db_predicate("offered", &[course]).unwrap();
+        sig.add_db_predicate("takes", &[student, course]).unwrap();
+        sig.add_var("s", student).unwrap();
+        sig.add_var("c", course).unwrap();
+        sig
+    }
+
+    #[test]
+    fn prints_static_axiom() {
+        let sig = sig();
+        let s = sig.var_id("s").unwrap();
+        let c = sig.var_id("c").unwrap();
+        let takes = sig.pred_id("takes").unwrap();
+        let offered = sig.pred_id("offered").unwrap();
+        let ax = Formula::exists(
+            s,
+            Formula::exists(
+                c,
+                Formula::Pred(takes, vec![Term::Var(s), Term::Var(c)])
+                    .and(Formula::Pred(offered, vec![Term::Var(c)]).not()),
+            ),
+        )
+        .not();
+        let text = formula_display(&sig, &ax).to_string();
+        assert_eq!(
+            text,
+            "~(exists s:student. exists c:course. takes(s, c) & ~offered(c))"
+        );
+    }
+
+    #[test]
+    fn parenthesises_by_precedence() {
+        let a = Formula::True;
+        let b = Formula::False;
+        let sig = sig();
+        // (a | b) & a needs parens on the left.
+        let f = a.clone().or(b).and(a);
+        let text = formula_display(&sig, &f).to_string();
+        assert_eq!(text, "(true | false) & true");
+    }
+
+    #[test]
+    fn modal_printing() {
+        let sig = sig();
+        let c = sig.var_id("c").unwrap();
+        let offered = sig.pred_id("offered").unwrap();
+        let f = Formula::Pred(offered, vec![Term::Var(c)]).possibly().not();
+        assert_eq!(formula_display(&sig, &f).to_string(), "~dia offered(c)");
+    }
+}

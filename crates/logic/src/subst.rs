@@ -1,0 +1,307 @@
+//! Substitution of terms for variables in terms and formulas.
+
+use std::collections::BTreeMap;
+
+use crate::error::{LogicError, Result};
+use crate::formula::Formula;
+use crate::signature::Signature;
+use crate::symbols::VarId;
+use crate::term::Term;
+
+/// A finite map from variables to replacement terms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Subst {
+    map: BTreeMap<VarId, Term>,
+}
+
+impl Subst {
+    /// The empty substitution.
+    #[must_use]
+    pub fn new() -> Self {
+        Subst::default()
+    }
+
+    /// A singleton substitution `[x ↦ t]`.
+    #[must_use]
+    pub fn single(x: VarId, t: Term) -> Self {
+        let mut s = Subst::new();
+        s.bind(x, t);
+        s
+    }
+
+    /// Binds `x ↦ t`, replacing any previous binding.
+    pub fn bind(&mut self, x: VarId, t: Term) -> &mut Self {
+        self.map.insert(x, t);
+        self
+    }
+
+    /// Looks up the binding for `x`.
+    #[must_use]
+    pub fn get(&self, x: VarId) -> Option<&Term> {
+        self.map.get(&x)
+    }
+
+    /// Removes the binding for `x`, returning it.
+    pub fn unbind(&mut self, x: VarId) -> Option<Term> {
+        self.map.remove(&x)
+    }
+
+    /// Number of bindings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether there are no bindings.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over the bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &Term)> {
+        self.map.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Whether every replacement term is ground.
+    #[must_use]
+    pub fn is_ground(&self) -> bool {
+        self.map.values().all(Term::is_ground)
+    }
+
+    /// Applies the substitution to a term.
+    #[must_use]
+    pub fn apply_term(&self, t: &Term) -> Term {
+        match t {
+            Term::Var(v) => self.map.get(v).cloned().unwrap_or_else(|| t.clone()),
+            Term::App(f, args) => {
+                Term::App(*f, args.iter().map(|a| self.apply_term(a)).collect())
+            }
+        }
+    }
+
+    /// Applies the substitution to a formula.
+    ///
+    /// Bindings for quantified variables are suspended inside their scope.
+    /// If a replacement term contains a variable that would be captured by a
+    /// quantifier, the quantified variable is renamed to a fresh variable of
+    /// the same sort (which requires mutable access to the signature).
+    ///
+    /// # Errors
+    /// Propagates signature errors (none are expected in practice).
+    pub fn apply_formula(&self, sig: &mut Signature, f: &Formula) -> Result<Formula> {
+        // Work on a clone so suspended bindings do not leak between branches.
+        let mut local = self.clone();
+        local.apply_formula_inner(sig, f)
+    }
+
+    fn apply_formula_inner(&mut self, sig: &mut Signature, f: &Formula) -> Result<Formula> {
+        Ok(match f {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Pred(p, args) => {
+                Formula::Pred(*p, args.iter().map(|a| self.apply_term(a)).collect())
+            }
+            Formula::Eq(a, b) => Formula::Eq(self.apply_term(a), self.apply_term(b)),
+            Formula::Not(p) => self.apply_formula_inner(sig, p)?.not(),
+            Formula::And(p, q) => self
+                .apply_formula_inner(sig, p)?
+                .and(self.apply_formula_inner(sig, q)?),
+            Formula::Or(p, q) => self
+                .apply_formula_inner(sig, p)?
+                .or(self.apply_formula_inner(sig, q)?),
+            Formula::Implies(p, q) => self
+                .apply_formula_inner(sig, p)?
+                .implies(self.apply_formula_inner(sig, q)?),
+            Formula::Iff(p, q) => self
+                .apply_formula_inner(sig, p)?
+                .iff(self.apply_formula_inner(sig, q)?),
+            Formula::Possibly(p) => self.apply_formula_inner(sig, p)?.possibly(),
+            Formula::Necessarily(p) => self.apply_formula_inner(sig, p)?.necessarily(),
+            Formula::Forall(x, p) => {
+                let (x2, body) = self.enter_binder(sig, *x, p)?;
+                Formula::forall(x2, body)
+            }
+            Formula::Exists(x, p) => {
+                let (x2, body) = self.enter_binder(sig, *x, p)?;
+                Formula::exists(x2, body)
+            }
+        })
+    }
+
+    /// Handles a quantifier binding `x`: suspends any binding for `x` and
+    /// renames `x` if some replacement term mentions it.
+    fn enter_binder(
+        &mut self,
+        sig: &mut Signature,
+        x: VarId,
+        body: &Formula,
+    ) -> Result<(VarId, Formula)> {
+        let suspended = self.unbind(x);
+
+        let capture = self
+            .map
+            .values()
+            .any(|t| t.vars().contains(&x));
+
+        let result = if capture {
+            let sort = sig.var(x).sort;
+            let hint = sig.var(x).name.clone();
+            let fresh = sig.fresh_var(&hint, sort);
+            // First rename x to fresh in the body, then apply self.
+            let renamed = Subst::single(x, Term::Var(fresh));
+            let mut renamer = renamed;
+            let body2 = renamer.apply_formula_inner(sig, body)?;
+            let inner = self.apply_formula_inner(sig, &body2)?;
+            Ok((fresh, inner))
+        } else {
+            let inner = self.apply_formula_inner(sig, body)?;
+            Ok((x, inner))
+        };
+
+        if let Some(t) = suspended {
+            self.bind(x, t);
+        }
+        result
+    }
+
+    /// Applies the substitution to a formula, erroring instead of renaming
+    /// when capture would occur. Useful when the signature must not grow.
+    ///
+    /// # Errors
+    /// Returns [`LogicError::WouldCapture`] on capture.
+    pub fn apply_formula_no_rename(&self, sig: &Signature, f: &Formula) -> Result<Formula> {
+        let mut local = self.clone();
+        local.apply_no_rename_inner(sig, f)
+    }
+
+    fn apply_no_rename_inner(&mut self, sig: &Signature, f: &Formula) -> Result<Formula> {
+        Ok(match f {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Pred(p, args) => {
+                Formula::Pred(*p, args.iter().map(|a| self.apply_term(a)).collect())
+            }
+            Formula::Eq(a, b) => Formula::Eq(self.apply_term(a), self.apply_term(b)),
+            Formula::Not(p) => self.apply_no_rename_inner(sig, p)?.not(),
+            Formula::And(p, q) => self
+                .apply_no_rename_inner(sig, p)?
+                .and(self.apply_no_rename_inner(sig, q)?),
+            Formula::Or(p, q) => self
+                .apply_no_rename_inner(sig, p)?
+                .or(self.apply_no_rename_inner(sig, q)?),
+            Formula::Implies(p, q) => self
+                .apply_no_rename_inner(sig, p)?
+                .implies(self.apply_no_rename_inner(sig, q)?),
+            Formula::Iff(p, q) => self
+                .apply_no_rename_inner(sig, p)?
+                .iff(self.apply_no_rename_inner(sig, q)?),
+            Formula::Possibly(p) => self.apply_no_rename_inner(sig, p)?.possibly(),
+            Formula::Necessarily(p) => self.apply_no_rename_inner(sig, p)?.necessarily(),
+            Formula::Forall(x, p) => {
+                let body = self.enter_binder_no_rename(sig, *x, p)?;
+                Formula::forall(*x, body)
+            }
+            Formula::Exists(x, p) => {
+                let body = self.enter_binder_no_rename(sig, *x, p)?;
+                Formula::exists(*x, body)
+            }
+        })
+    }
+
+    fn enter_binder_no_rename(
+        &mut self,
+        sig: &Signature,
+        x: VarId,
+        body: &Formula,
+    ) -> Result<Formula> {
+        if self.map.values().any(|t| t.vars().contains(&x)) {
+            return Err(LogicError::WouldCapture {
+                variable: sig.var(x).name.clone(),
+            });
+        }
+        let suspended = self.unbind(x);
+        let result = self.apply_no_rename_inner(sig, body);
+        if let Some(t) = suspended {
+            self.bind(x, t);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::Signature;
+
+    fn setup() -> (Signature, VarId, VarId, crate::symbols::FuncId) {
+        let mut sig = Signature::new();
+        let s = sig.add_sort("s").unwrap();
+        let x = sig.add_var("x", s).unwrap();
+        let y = sig.add_var("y", s).unwrap();
+        let a = sig.add_constant("a", s).unwrap();
+        (sig, x, y, a)
+    }
+
+    #[test]
+    fn term_substitution() {
+        let (_sig, x, y, a) = setup();
+        let s = Subst::single(x, Term::constant(a));
+        assert_eq!(s.apply_term(&Term::Var(x)), Term::constant(a));
+        assert_eq!(s.apply_term(&Term::Var(y)), Term::Var(y));
+    }
+
+    #[test]
+    fn binder_suspends_binding() {
+        let (mut sig, x, _y, a) = setup();
+        let p = sig.add_predicate("p", &[sig.sort_id("s").unwrap()]).unwrap();
+        let f = Formula::forall(x, Formula::Pred(p, vec![Term::Var(x)]));
+        let s = Subst::single(x, Term::constant(a));
+        let out = s.apply_formula(&mut sig, &f).unwrap();
+        // x is bound; nothing changes.
+        assert_eq!(out, f);
+    }
+
+    #[test]
+    fn capture_renames_bound_variable() {
+        let (mut sig, x, y, _a) = setup();
+        let sort = sig.sort_id("s").unwrap();
+        let p = sig.add_predicate("p", &[sort, sort]).unwrap();
+        // ∀y p(x, y) with [x ↦ y]: naive substitution captures y.
+        let f = Formula::forall(y, Formula::Pred(p, vec![Term::Var(x), Term::Var(y)]));
+        let s = Subst::single(x, Term::Var(y));
+        let out = s.apply_formula(&mut sig, &f).unwrap();
+        match out {
+            Formula::Forall(fresh, body) => {
+                assert_ne!(fresh, y, "bound variable must be renamed");
+                assert_eq!(
+                    *body,
+                    Formula::Pred(p, vec![Term::Var(y), Term::Var(fresh)])
+                );
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_rename_variant_errors_on_capture() {
+        let (mut sig, x, y, _a) = setup();
+        let sort = sig.sort_id("s").unwrap();
+        let p = sig.add_predicate("p", &[sort, sort]).unwrap();
+        let f = Formula::forall(y, Formula::Pred(p, vec![Term::Var(x), Term::Var(y)]));
+        let s = Subst::single(x, Term::Var(y));
+        assert!(matches!(
+            s.apply_formula_no_rename(&sig, &f),
+            Err(LogicError::WouldCapture { .. })
+        ));
+    }
+
+    #[test]
+    fn ground_substitution_is_ground() {
+        let (_sig, x, _y, a) = setup();
+        let s = Subst::single(x, Term::constant(a));
+        assert!(s.is_ground());
+        let s2 = Subst::single(x, Term::Var(x));
+        assert!(!s2.is_ground());
+    }
+}

@@ -1,0 +1,150 @@
+//! Identifiers and declarations for the symbols of a many-sorted language.
+//!
+//! The paper (§3.1) works with many-sorted first-order languages whose
+//! non-logical symbols are sorts, function symbols, and predicate symbols;
+//! predicate symbols describing database structures are distinguished as
+//! *db-predicate symbols*. Variables are typed by sorts and live in the
+//! signature's variable table so that ids stay small and copyable.
+
+use std::fmt;
+
+/// Identifier of a sort within a [`crate::Signature`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SortId(pub u32);
+
+/// Identifier of a function symbol within a [`crate::Signature`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+/// Identifier of a predicate symbol within a [`crate::Signature`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PredId(pub u32);
+
+/// Identifier of a variable within a [`crate::Signature`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl SortId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl FuncId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PredId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl VarId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Declaration of a sort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortDecl {
+    /// Sort name, unique within the signature.
+    pub name: String,
+}
+
+/// Declaration of a function symbol `f : s1 × … × sn → s`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncDecl {
+    /// Function name, unique within the signature.
+    pub name: String,
+    /// Domain sorts (empty for constants).
+    pub domain: Vec<SortId>,
+    /// Target sort.
+    pub range: SortId,
+}
+
+impl FuncDecl {
+    /// Number of arguments.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.domain.len()
+    }
+
+    /// Whether this is a constant symbol.
+    #[must_use]
+    pub fn is_constant(&self) -> bool {
+        self.domain.is_empty()
+    }
+}
+
+/// Declaration of a predicate symbol `p ⊆ s1 × … × sn`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredDecl {
+    /// Predicate name, unique within the signature.
+    pub name: String,
+    /// Argument sorts.
+    pub domain: Vec<SortId>,
+    /// Whether this predicate describes a database structure
+    /// (a *db-predicate symbol* in the paper's terminology).
+    pub db_predicate: bool,
+}
+
+impl PredDecl {
+    /// Number of arguments.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.domain.len()
+    }
+}
+
+/// Declaration of a typed variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Variable name, unique within the signature.
+    pub name: String,
+    /// The variable's sort.
+    pub sort: SortId,
+}
+
+/// What kind of symbol a name resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Symbol {
+    /// A sort.
+    Sort(SortId),
+    /// A function symbol.
+    Func(FuncId),
+    /// A predicate symbol.
+    Pred(PredId),
+    /// A variable.
+    Var(VarId),
+}
+
+impl Symbol {
+    /// Human-readable kind, for diagnostics.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Symbol::Sort(_) => "sort",
+            Symbol::Func(_) => "function",
+            Symbol::Pred(_) => "predicate",
+            Symbol::Var(_) => "variable",
+        }
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind())
+    }
+}

@@ -1,0 +1,153 @@
+//! Syntactic unification of terms (Robinson's algorithm with occurs check).
+//!
+//! Used by the algebraic level's overlap analysis: two equation left-hand
+//! sides can fire on the same redex exactly when they unify.
+
+use crate::error::Result;
+use crate::signature::Signature;
+use crate::subst::Subst;
+use crate::term::Term;
+
+/// Computes a most general unifier of `a` and `b`, if one exists.
+///
+/// Both terms are assumed well-sorted over `sig`; sorts are checked for
+/// variable bindings so that ill-sorted unifiers are rejected.
+///
+/// # Errors
+/// Propagates sorting errors.
+pub fn unify(sig: &Signature, a: &Term, b: &Term) -> Result<Option<Subst>> {
+    let mut subst = Subst::new();
+    if unify_into(sig, a, b, &mut subst)? {
+        Ok(Some(subst))
+    } else {
+        Ok(None)
+    }
+}
+
+fn unify_into(sig: &Signature, a: &Term, b: &Term, subst: &mut Subst) -> Result<bool> {
+    let a = subst.apply_term(a);
+    let b = subst.apply_term(b);
+    match (&a, &b) {
+        (Term::Var(x), Term::Var(y)) if x == y => Ok(true),
+        (Term::Var(x), t) | (t, Term::Var(x)) => {
+            if t.vars().contains(x) {
+                return Ok(false); // occurs check
+            }
+            if sig.var(*x).sort != t.sort(sig)? {
+                return Ok(false);
+            }
+            // Compose: apply [x ↦ t] to existing bindings, then add it.
+            let single = Subst::single(*x, t.clone());
+            let mut composed = Subst::new();
+            for (v, u) in subst.iter() {
+                composed.bind(v, single.apply_term(u));
+            }
+            composed.bind(*x, t.clone());
+            *subst = composed;
+            Ok(true)
+        }
+        (Term::App(f, fa), Term::App(g, ga)) => {
+            if f != g || fa.len() != ga.len() {
+                return Ok(false);
+            }
+            for (x, y) in fa.iter().zip(ga) {
+                if !unify_into(sig, x, y, subst)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+    }
+}
+
+/// Renames every variable of `t` to a fresh variable (same sorts), so two
+/// terms can be unified "apart". Returns the renamed term and the renaming.
+pub fn rename_apart(sig: &mut Signature, t: &Term) -> (Term, Subst) {
+    let mut renaming = Subst::new();
+    for v in t.vars() {
+        let decl = sig.var(v);
+        let hint = decl.name.clone();
+        let sort = decl.sort;
+        let fresh = sig.fresh_var(&hint, sort);
+        renaming.bind(v, Term::Var(fresh));
+    }
+    (renaming.apply_term(t), renaming)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::{FuncId, VarId};
+
+    fn setup() -> (Signature, FuncId, FuncId, FuncId, VarId, VarId) {
+        let mut sig = Signature::new();
+        let s = sig.add_sort("s").unwrap();
+        let a = sig.add_constant("a", s).unwrap();
+        let b = sig.add_constant("b", s).unwrap();
+        let f = sig.add_func("f", &[s, s], s).unwrap();
+        let x = sig.add_var("x", s).unwrap();
+        let y = sig.add_var("y", s).unwrap();
+        (sig, a, b, f, x, y)
+    }
+
+    #[test]
+    fn unifies_variable_with_term() {
+        let (sig, a, _b, f, x, y) = setup();
+        let t1 = Term::app(f, vec![Term::Var(x), Term::constant(a)]);
+        let t2 = Term::app(f, vec![Term::constant(a), Term::Var(y)]);
+        let mgu = unify(&sig, &t1, &t2).unwrap().expect("unifiable");
+        assert_eq!(mgu.apply_term(&t1), mgu.apply_term(&t2));
+        assert_eq!(mgu.get(x), Some(&Term::constant(a)));
+        assert_eq!(mgu.get(y), Some(&Term::constant(a)));
+    }
+
+    #[test]
+    fn clash_fails() {
+        let (sig, a, b, _f, _x, _y) = setup();
+        assert!(unify(&sig, &Term::constant(a), &Term::constant(b))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn occurs_check() {
+        let (sig, a, _b, f, x, _y) = setup();
+        let t = Term::app(f, vec![Term::Var(x), Term::constant(a)]);
+        assert!(unify(&sig, &Term::Var(x), &t).unwrap().is_none());
+    }
+
+    #[test]
+    fn chained_bindings_compose() {
+        let (sig, a, _b, f, x, y) = setup();
+        // f(x, x) ≟ f(y, a) ⇒ x = y = a.
+        let t1 = Term::app(f, vec![Term::Var(x), Term::Var(x)]);
+        let t2 = Term::app(f, vec![Term::Var(y), Term::constant(a)]);
+        let mgu = unify(&sig, &t1, &t2).unwrap().expect("unifiable");
+        assert_eq!(mgu.apply_term(&t1), mgu.apply_term(&t2));
+        assert_eq!(
+            mgu.apply_term(&Term::Var(y)),
+            Term::constant(a)
+        );
+    }
+
+    #[test]
+    fn sort_mismatch_fails() {
+        let mut sig = Signature::new();
+        let s = sig.add_sort("s").unwrap();
+        let t_sort = sig.add_sort("t").unwrap();
+        let a = sig.add_constant("a", t_sort).unwrap();
+        let x = sig.add_var("x", s).unwrap();
+        assert!(unify(&sig, &Term::Var(x), &Term::constant(a))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn rename_apart_avoids_sharing() {
+        let (mut sig, _a, _b, f, x, y) = setup();
+        let t = Term::app(f, vec![Term::Var(x), Term::Var(y)]);
+        let (renamed, renaming) = rename_apart(&mut sig, &t);
+        assert!(renamed.vars().is_disjoint(&t.vars()));
+        assert_eq!(renaming.apply_term(&t), renamed);
+    }
+}

@@ -1,0 +1,107 @@
+//! Valuations: assignments of domain elements to variables.
+
+use std::collections::BTreeMap;
+
+use crate::structure::Elem;
+use crate::symbols::VarId;
+
+/// A (partial) assignment of carrier elements to variables, used when
+/// evaluating formulas with free variables.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Valuation {
+    map: BTreeMap<VarId, Elem>,
+}
+
+impl Valuation {
+    /// The empty valuation.
+    #[must_use]
+    pub fn new() -> Self {
+        Valuation::default()
+    }
+
+    /// Builds a valuation from pairs.
+    #[must_use]
+    pub fn from_pairs(pairs: &[(VarId, Elem)]) -> Self {
+        let mut v = Valuation::new();
+        for (x, e) in pairs {
+            v.set(*x, *e);
+        }
+        v
+    }
+
+    /// Assigns `x ↦ e`, returning the previous assignment if any.
+    pub fn set(&mut self, x: VarId, e: Elem) -> Option<Elem> {
+        self.map.insert(x, e)
+    }
+
+    /// Looks up the assignment for `x`.
+    #[must_use]
+    pub fn get(&self, x: VarId) -> Option<Elem> {
+        self.map.get(&x).copied()
+    }
+
+    /// Removes the assignment for `x`.
+    pub fn unset(&mut self, x: VarId) -> Option<Elem> {
+        self.map.remove(&x)
+    }
+
+    /// Number of assignments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no variable is assigned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over the assignments.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, Elem)> + '_ {
+        self.map.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Runs `body` with `x ↦ e` temporarily assigned, restoring the previous
+    /// state afterwards. This is the `v[e/x]` operation of the satisfaction
+    /// definition.
+    pub fn with<T>(&mut self, x: VarId, e: Elem, body: impl FnOnce(&mut Valuation) -> T) -> T {
+        let saved = self.set(x, e);
+        let out = body(self);
+        match saved {
+            Some(prev) => {
+                self.set(x, prev);
+            }
+            None => {
+                self.unset(x);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_assignment_restores() {
+        let mut v = Valuation::new();
+        v.set(VarId(0), Elem(1));
+        let seen = v.with(VarId(0), Elem(5), |v| v.get(VarId(0)));
+        assert_eq!(seen, Some(Elem(5)));
+        assert_eq!(v.get(VarId(0)), Some(Elem(1)));
+
+        let seen = v.with(VarId(3), Elem(9), |v| v.get(VarId(3)));
+        assert_eq!(seen, Some(Elem(9)));
+        assert_eq!(v.get(VarId(3)), None);
+    }
+
+    #[test]
+    fn from_pairs_builds() {
+        let v = Valuation::from_pairs(&[(VarId(0), Elem(1)), (VarId(1), Elem(2))]);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.get(VarId(1)), Some(Elem(2)));
+        assert!(!v.is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! Property tests on the logic syntax: printer/parser round trips,
+//! substitution laws, and evaluation sanity over random formulas.
+
+use std::sync::Arc;
+
+use eclectic_logic::{
+    eval, formula_display, parse_formula, Domains, Elem, Formula, Signature, Structure, Subst,
+    Term, Valuation,
+};
+use proptest::prelude::*;
+
+/// The fixed test signature: two sorts, two predicates, two vars per sort.
+fn base_signature() -> Signature {
+    let mut sig = Signature::new();
+    let s = sig.add_sort("student").unwrap();
+    let c = sig.add_sort("course").unwrap();
+    sig.add_db_predicate("offered", &[c]).unwrap();
+    sig.add_db_predicate("takes", &[s, c]).unwrap();
+    sig.add_constant("ana", s).unwrap();
+    sig.add_constant("db", c).unwrap();
+    sig.add_var("s", s).unwrap();
+    sig.add_var("s'", s).unwrap();
+    sig.add_var("c", c).unwrap();
+    sig.add_var("c'", c).unwrap();
+    sig
+}
+
+/// Strategy producing well-sorted formulas over the base signature.
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    let sig = base_signature();
+    let offered = sig.pred_id("offered").unwrap();
+    let takes = sig.pred_id("takes").unwrap();
+    let ana = sig.func_id("ana").unwrap();
+    let db = sig.func_id("db").unwrap();
+    let vs = sig.var_id("s").unwrap();
+    let vs2 = sig.var_id("s'").unwrap();
+    let vc = sig.var_id("c").unwrap();
+    let vc2 = sig.var_id("c'").unwrap();
+
+    let student_term = prop_oneof![
+        Just(Term::Var(vs)),
+        Just(Term::Var(vs2)),
+        Just(Term::constant(ana)),
+    ];
+    let course_term = prop_oneof![
+        Just(Term::Var(vc)),
+        Just(Term::Var(vc2)),
+        Just(Term::constant(db)),
+    ];
+
+    let atom = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        course_term
+            .clone()
+            .prop_map(move |t| Formula::Pred(offered, vec![t])),
+        (student_term.clone(), course_term.clone())
+            .prop_map(move |(s, c)| Formula::Pred(takes, vec![s, c])),
+        (student_term.clone(), student_term.clone()).prop_map(|(a, b)| Formula::Eq(a, b)),
+        (course_term.clone(), course_term.clone()).prop_map(|(a, b)| Formula::Eq(a, b)),
+    ];
+
+    atom.prop_recursive(5, 48, 4, move |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.iff(b)),
+            inner.clone().prop_map(move |p| Formula::forall(vs, p)),
+            inner.clone().prop_map(move |p| Formula::exists(vc, p)),
+            inner.clone().prop_map(Formula::possibly),
+            inner.clone().prop_map(Formula::necessarily),
+        ]
+        .boxed()
+    })
+}
+
+fn sample_structure() -> Structure {
+    let sig = base_signature();
+    let dom = Domains::from_names(
+        &sig,
+        &[("student", &["ana", "bob"]), ("course", &["db", "ai"])],
+    )
+    .unwrap();
+    let offered = sig.pred_id("offered").unwrap();
+    let takes = sig.pred_id("takes").unwrap();
+    let mut st = Structure::new(Arc::new(sig), Arc::new(dom));
+    // ana is bound to elem 0 and db to elem 0 by name order.
+    st.insert_pred(offered, vec![Elem(0)]).unwrap();
+    st.insert_pred(takes, vec![Elem(0), Elem(0)]).unwrap();
+    let s = st.signature().clone();
+    st.set_constant(s.func_id("ana").unwrap(), Elem(0)).unwrap();
+    st.set_constant(s.func_id("db").unwrap(), Elem(0)).unwrap();
+    st
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print ∘ parse is the identity on formulas.
+    #[test]
+    fn printer_parser_round_trip(f in formula_strategy()) {
+        let mut sig = base_signature();
+        let printed = formula_display(&sig, &f).to_string();
+        let reparsed = parse_formula(&mut sig, &printed).unwrap();
+        prop_assert_eq!(f, reparsed, "printed: {}", printed);
+    }
+
+    /// Well-sortedness is stable under round trip.
+    #[test]
+    fn generated_formulas_are_well_sorted(f in formula_strategy()) {
+        let sig = base_signature();
+        prop_assert!(f.check(&sig).is_ok());
+    }
+
+    /// The empty substitution is the identity.
+    #[test]
+    fn empty_substitution_is_identity(f in formula_strategy()) {
+        let mut sig = base_signature();
+        let out = Subst::new().apply_formula(&mut sig, &f).unwrap();
+        prop_assert_eq!(f, out);
+    }
+
+    /// Eliminating necessity preserves first-order evaluation results (on
+    /// first-order formulas the transform is the identity semantically; on
+    /// modal formulas both sides stay modal).
+    #[test]
+    fn necessity_elimination_preserves_fo_semantics(f in formula_strategy()) {
+        let st = sample_structure();
+        let g = f.eliminate_necessity();
+        prop_assert_eq!(f.is_first_order(), g.is_first_order());
+        if f.is_first_order() && f.is_closed() {
+            let a = eval::models(&st, &f).unwrap();
+            let b = eval::models(&st, &g).unwrap();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Evaluation under a total valuation never errors on first-order
+    /// formulas, and boolean laws hold: ¬¬P ≡ P, P∧P ≡ P.
+    #[test]
+    fn evaluation_laws(f in formula_strategy()) {
+        if !f.is_first_order() {
+            return Ok(());
+        }
+        let st = sample_structure();
+        let sig = st.signature().clone();
+        let mut v = Valuation::new();
+        v.set(sig.var_id("s").unwrap(), Elem(0));
+        v.set(sig.var_id("s'").unwrap(), Elem(1));
+        v.set(sig.var_id("c").unwrap(), Elem(0));
+        v.set(sig.var_id("c'").unwrap(), Elem(1));
+        let base = eval::satisfies(&st, &v, &f).unwrap();
+        let double_neg = eval::satisfies(&st, &v, &f.clone().not().not()).unwrap();
+        prop_assert_eq!(base, double_neg);
+        let idem = eval::satisfies(&st, &v, &f.clone().and(f.clone())).unwrap();
+        prop_assert_eq!(base, idem);
+        let excluded_middle = eval::satisfies(&st, &v, &f.clone().or(f.clone().not())).unwrap();
+        prop_assert!(excluded_middle);
+    }
+
+    /// Simplification preserves first-order semantics and never grows the
+    /// formula.
+    #[test]
+    fn simplify_is_sound_and_shrinking(f in formula_strategy()) {
+        let g = f.simplify();
+        prop_assert!(g.size() <= f.size());
+        // Idempotent.
+        prop_assert_eq!(g.simplify(), g.clone());
+        if f.is_first_order() {
+            let st = sample_structure();
+            let sig = st.signature().clone();
+            let mut v = Valuation::new();
+            v.set(sig.var_id("s").unwrap(), Elem(0));
+            v.set(sig.var_id("s'").unwrap(), Elem(1));
+            v.set(sig.var_id("c").unwrap(), Elem(0));
+            v.set(sig.var_id("c'").unwrap(), Elem(1));
+            let a = eval::satisfies(&st, &v, &f).unwrap();
+            let b = eval::satisfies(&st, &v, &g).unwrap();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Free variables of a closure are empty; closing is idempotent.
+    #[test]
+    fn closure_removes_free_vars(f in formula_strategy()) {
+        let free: Vec<_> = f.free_vars().into_iter().collect();
+        let closed = Formula::forall_all(&free, f);
+        prop_assert!(closed.is_closed());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The parser never panics on arbitrary input — it returns errors.
+    #[test]
+    fn parser_never_panics(input in ".{0,60}") {
+        let mut sig = base_signature();
+        let _ = parse_formula(&mut sig, &input);
+    }
+
+    /// Arbitrary ASCII-ish operator soup is also handled gracefully.
+    #[test]
+    fn parser_handles_operator_soup(input in "[a-z()~&|<>=!.: -]{0,40}") {
+        let mut sig = base_signature();
+        let _ = parse_formula(&mut sig, &input);
+    }
+}

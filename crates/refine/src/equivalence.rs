@@ -1,0 +1,197 @@
+//! Cross-formalism agreement (paper §6): replaying the same update trace at
+//! the functions level (term rewriting) and at the representation level
+//! (procedure execution) must yield the same answer to every query — the
+//! one-to-one correspondence between query functions and relations.
+
+use std::collections::BTreeMap;
+
+use eclectic_algebraic::{induction, AlgSpec, Rewriter};
+use eclectic_logic::{Elem, Term};
+use eclectic_rpr::DbState;
+
+use crate::error::{RefineError, Result};
+use crate::interp2::{InducedAlgebra, IndValue};
+
+/// One operation of a replayable trace: update name plus parameter elements.
+pub type Op = (String, Vec<Elem>);
+
+/// A disagreement between the two levels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mismatch {
+    /// Query name.
+    pub query: String,
+    /// Rendered parameter tuple.
+    pub params: String,
+    /// Level-2 (rewriting) answer.
+    pub level2: String,
+    /// Level-3 (execution) answer.
+    pub level3: String,
+    /// Number of operations applied before the disagreement.
+    pub after_ops: usize,
+}
+
+/// Statistics from a cross-check run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrossCheckStats {
+    /// Operations replayed.
+    pub ops: usize,
+    /// Query instances compared.
+    pub comparisons: usize,
+}
+
+/// Replays `ops` at both levels, comparing every query after every step.
+/// Returns the first mismatch, if any.
+///
+/// # Errors
+/// Propagates rewriting/execution errors (e.g. the trace must start with an
+/// `initiate`-style constant; the first op's update must take no state).
+pub fn cross_check(
+    spec: &AlgSpec,
+    ind: &mut InducedAlgebra<'_>,
+    ops: &[Op],
+) -> Result<(Option<Mismatch>, CrossCheckStats)> {
+    let alg = spec.signature().clone();
+    let mut rw = Rewriter::new(spec);
+    let mut stats = CrossCheckStats::default();
+
+    let mut term: Option<Term> = None;
+    let mut state: Option<DbState> = None;
+
+    for (i, (name, args)) in ops.iter().enumerate() {
+        let u = alg
+            .logic()
+            .func_id(name)
+            .map_err(|e| RefineError::BadInterpretation(format!("{e}")))?;
+        let takes_state = alg.update_takes_state(u)?;
+        let sorts = alg.update_params(u)?;
+        if sorts.len() != args.len() {
+            return Err(RefineError::BadInterpretation(format!(
+                "`{name}` takes {} parameter(s), trace supplies {}",
+                sorts.len(),
+                args.len()
+            )));
+        }
+        let mut targs: Vec<Term> = Vec::with_capacity(args.len() + 1);
+        for (&sort, &e) in sorts.iter().zip(args) {
+            let lsort = ind.bridge().logic_sort(sort)?;
+            targs.push(ind.bridge().term_of_elem(lsort, e)?);
+        }
+        // Level 2: extend the trace term.
+        let new_term = if takes_state {
+            let prev = term.take().ok_or_else(|| {
+                RefineError::BadInterpretation(format!(
+                    "trace applies `{name}` before any initial state"
+                ))
+            })?;
+            let mut a = targs.clone();
+            a.push(prev);
+            Term::App(u, a)
+        } else {
+            Term::App(u, targs.clone())
+        };
+        // Level 3: run the induced update.
+        let mut env = BTreeMap::new();
+        let mut full_args = targs;
+        if takes_state {
+            let prev_state = state.take().expect("state tracks term");
+            let sv = alg.state_var();
+            env.insert(sv, IndValue::State(prev_state));
+            full_args.push(Term::Var(sv));
+        }
+        let next_state = match ind.eval_term(&Term::App(u, full_args), &env)? {
+            IndValue::State(s) => s,
+            _ => unreachable!("updates produce states"),
+        };
+
+        stats.ops += 1;
+
+        // Compare every query at both levels.
+        for q in alg.queries() {
+            let qsorts = alg.query_params(q)?;
+            for params in induction::param_tuples(&alg, &qsorts)? {
+                stats.comparisons += 1;
+                let l2 = rw.eval_query(q, &params, &new_term)?;
+                let elems: Vec<Elem> = params
+                    .iter()
+                    .map(|p| ind.bridge().elem_of_term(p).map(|(_, e)| e))
+                    .collect::<Result<_>>()?;
+                let sv = alg.state_var();
+                let mut env = BTreeMap::new();
+                env.insert(sv, IndValue::State(next_state.clone()));
+                let mut qargs: Vec<Term> = params.clone();
+                qargs.push(Term::Var(sv));
+                let l3 = ind.eval_term(&Term::App(q, qargs), &env)?;
+                let l2v = level2_value(spec, ind, &l2)?;
+                if l2v != l3 {
+                    let qname = alg.logic().func(q).name.clone();
+                    return Ok((
+                        Some(Mismatch {
+                            query: qname,
+                            params: format!("{elems:?}"),
+                            level2: eclectic_algebraic::term_str(&alg, &l2),
+                            level3: format!("{l3:?}"),
+                            after_ops: i + 1,
+                        }),
+                        stats,
+                    ));
+                }
+            }
+        }
+
+        term = Some(new_term);
+        state = Some(next_state);
+    }
+    Ok((None, stats))
+}
+
+fn level2_value(
+    spec: &AlgSpec,
+    ind: &InducedAlgebra<'_>,
+    t: &Term,
+) -> Result<IndValue> {
+    let alg = spec.signature();
+    if *t == alg.true_term() {
+        return Ok(IndValue::Bool(true));
+    }
+    if *t == alg.false_term() {
+        return Ok(IndValue::Bool(false));
+    }
+    let (sort, e) = ind.bridge().elem_of_term(t)?;
+    Ok(IndValue::Param(sort, e))
+}
+
+/// Generates a pseudo-random replayable trace of `len` operations starting
+/// with the given initial update name; `choose(n)` picks an index below `n`
+/// (callers supply the RNG so the crate stays dependency-free).
+///
+/// # Errors
+/// Propagates signature errors.
+pub fn random_ops(
+    spec: &AlgSpec,
+    ind: &InducedAlgebra<'_>,
+    initial: &str,
+    len: usize,
+    mut choose: impl FnMut(usize) -> usize,
+) -> Result<Vec<Op>> {
+    let alg = spec.signature();
+    let mut ops: Vec<Op> = vec![(initial.to_string(), Vec::new())];
+    let updates: Vec<_> = alg
+        .updates()
+        .filter(|&u| alg.update_takes_state(u).unwrap_or(false))
+        .collect();
+    if updates.is_empty() {
+        return Ok(ops);
+    }
+    for _ in 0..len {
+        let u = updates[choose(updates.len()) % updates.len()];
+        let sorts = alg.update_params(u)?;
+        let mut args = Vec::with_capacity(sorts.len());
+        for s in sorts {
+            let lsort = ind.bridge().logic_sort(s)?;
+            let card = ind.domains().card(lsort).max(1);
+            args.push(Elem((choose(card) % card) as u32));
+        }
+        ops.push((alg.logic().func(u).name.clone(), args));
+    }
+    Ok(ops)
+}

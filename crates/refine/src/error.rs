@@ -1,0 +1,70 @@
+//! Error types for the refinement crate.
+
+use std::fmt;
+
+use eclectic_algebraic::AlgError;
+use eclectic_logic::LogicError;
+use eclectic_rpr::RprError;
+
+/// Errors raised while building interpretations or checking refinements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RefineError {
+    /// An underlying logic error.
+    Logic(LogicError),
+    /// An underlying algebraic-specification error.
+    Alg(AlgError),
+    /// An underlying RPR error.
+    Rpr(RprError),
+    /// An interpretation could not be built.
+    BadInterpretation(String),
+    /// The parameter bridge between levels is inconsistent (sort or element
+    /// names do not line up).
+    BridgeMismatch(String),
+    /// A bound was exceeded during verification.
+    LimitExceeded(String),
+}
+
+impl fmt::Display for RefineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefineError::Logic(e) => write!(f, "{e}"),
+            RefineError::Alg(e) => write!(f, "{e}"),
+            RefineError::Rpr(e) => write!(f, "{e}"),
+            RefineError::BadInterpretation(m) => write!(f, "invalid interpretation: {m}"),
+            RefineError::BridgeMismatch(m) => write!(f, "parameter bridge mismatch: {m}"),
+            RefineError::LimitExceeded(m) => write!(f, "limit exceeded: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RefineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RefineError::Logic(e) => Some(e),
+            RefineError::Alg(e) => Some(e),
+            RefineError::Rpr(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LogicError> for RefineError {
+    fn from(e: LogicError) -> Self {
+        RefineError::Logic(e)
+    }
+}
+
+impl From<AlgError> for RefineError {
+    fn from(e: AlgError) -> Self {
+        RefineError::Alg(e)
+    }
+}
+
+impl From<RprError> for RefineError {
+    fn from(e: RprError) -> Self {
+        RefineError::Rpr(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, RefineError>;

@@ -1,0 +1,150 @@
+//! The §4.4 proof obligations, mechanised as bounded verification:
+//!
+//! (a) sufficient completeness (termination + exhaustive evaluation);
+//! (b) every reachable state is valid (static consistency);
+//! (c) every valid state is reachable (see [`crate::witness`]);
+//! (d) transition consistency.
+
+use std::sync::Arc;
+
+use eclectic_algebraic::{completeness, termination, AlgSpec};
+use eclectic_logic::{Domains, Signature, Theory};
+use eclectic_temporal::{constraints, satisfaction, AccessibilityPolicy, StateIdx};
+
+use crate::error::Result;
+use crate::interp1::InterpretationI;
+use crate::reach::{explore_algebraic, AlgExploreLimits, AlgebraicExploration};
+
+/// One axiom violation, with a replayable witness trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateViolation {
+    /// Name of the violated axiom.
+    pub axiom: String,
+    /// Universe state index.
+    pub state: StateIdx,
+    /// Rendering of the witness trace term reaching the state.
+    pub witness: String,
+}
+
+/// Configuration for the 1→2 refinement check.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Refine12Config {
+    /// Exploration bounds.
+    pub limits: AlgExploreLimits,
+    /// How accessibility is interpreted for the modal axioms.
+    pub policy: AccessibilityPolicy,
+    /// Depth for the exhaustive sufficient-completeness pass.
+    pub completeness_depth: usize,
+}
+
+impl Refine12Config {
+    /// Reasonable defaults: exploration depth 6, single-step accessibility,
+    /// completeness depth 3.
+    #[must_use]
+    pub fn quick() -> Self {
+        Refine12Config {
+            limits: AlgExploreLimits::default(),
+            policy: AccessibilityPolicy::AsIs,
+            completeness_depth: 3,
+        }
+    }
+}
+
+/// The outcome of checking that `T2` correctly refines `T1`.
+#[derive(Debug, Clone)]
+pub struct Refine12Report {
+    /// (a) circularity analysis of the Q-equations.
+    pub termination: termination::TerminationReport,
+    /// (a) coverage + exhaustive evaluation.
+    pub completeness: completeness::CompletenessReport,
+    /// (b) static-axiom violations at reachable states.
+    pub static_violations: Vec<StateViolation>,
+    /// (d) transition-axiom violations at reachable states.
+    pub transition_violations: Vec<StateViolation>,
+    /// The exploration that produced the universe `M(T2)`.
+    pub exploration: AlgebraicExploration,
+}
+
+impl Refine12Report {
+    /// Whether every checked obligation holds.
+    #[must_use]
+    pub fn is_correct(&self) -> bool {
+        self.termination.is_terminating()
+            && self.completeness.is_sufficiently_complete()
+            && self.static_violations.is_empty()
+            && self.transition_violations.is_empty()
+    }
+}
+
+/// Checks obligations (a), (b) and (d) for `T2` against `T1` under `I`.
+///
+/// # Errors
+/// Propagates exploration and evaluation errors.
+pub fn check_refinement_1_2(
+    theory: &Theory,
+    spec: &AlgSpec,
+    interp: &InterpretationI,
+    info_sig: &Arc<Signature>,
+    domains: &Arc<Domains>,
+    config: Refine12Config,
+) -> Result<Refine12Report> {
+    let termination = termination::check_termination(spec)?;
+    let completeness = completeness::exhaustive(spec, config.completeness_depth, 20)?;
+
+    let exploration = explore_algebraic(spec, interp, info_sig, domains, config.limits)?;
+
+    let universe;
+    let u = match config.policy {
+        AccessibilityPolicy::AsIs => &exploration.universe,
+        AccessibilityPolicy::TransitiveClosure => {
+            let mut c = exploration.universe.clone();
+            c.close_reflexive_transitive();
+            universe = c;
+            &universe
+        }
+    };
+
+    let mut static_violations = Vec::new();
+    let mut transition_violations = Vec::new();
+    for ax in &theory.axioms {
+        for s in u.state_indices() {
+            if !satisfaction::models_at(u, s, &ax.formula)? {
+                let v = StateViolation {
+                    axiom: ax.name.clone(),
+                    state: s,
+                    witness: format!(
+                        "{}",
+                        eclectic_logic::term_display(
+                            spec.signature().logic(),
+                            &exploration.witnesses[s.index()]
+                        )
+                    ),
+                };
+                match ax.kind() {
+                    eclectic_logic::ConstraintKind::Static => static_violations.push(v),
+                    eclectic_logic::ConstraintKind::Transition => transition_violations.push(v),
+                }
+            }
+        }
+    }
+
+    Ok(Refine12Report {
+        termination,
+        completeness,
+        static_violations,
+        transition_violations,
+        exploration,
+    })
+}
+
+/// The consistent states of the explored universe (models of the static
+/// axioms) — used by obligation (c).
+///
+/// # Errors
+/// Propagates evaluation errors.
+pub fn consistent_states(
+    theory: &Theory,
+    exploration: &AlgebraicExploration,
+) -> Result<Vec<StateIdx>> {
+    Ok(constraints::consistent_states(theory, &exploration.universe)?)
+}

@@ -1,0 +1,312 @@
+//! The induced mapping `M` from an algebraic specification to a Kripke
+//! universe of the information level (paper §4.3's "alternative semantical
+//! characterization of correct refinement").
+//!
+//! Each reachable ground state term (trace of updates) is mapped, through
+//! the interpretation `I`, to a structure of `L1`: the table of db-predicate
+//! `p` is the set of parameter tuples whose interpreting query evaluates to
+//! `True` by rewriting. States are deduplicated by their *full* observation
+//! table (observational equality, §4.1); accessibility edges are single
+//! update applications.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use eclectic_algebraic::{induction, observe, AlgSpec, Rewriter};
+use eclectic_logic::{Domains, Signature, Structure, Term};
+use eclectic_temporal::{StateIdx, Universe};
+
+use crate::bridge::ParamBridge;
+use crate::error::{RefineError, Result};
+use crate::interp1::InterpretationI;
+
+/// Bounds for algebraic exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlgExploreLimits {
+    /// Maximum update applications from `initiate`.
+    pub max_depth: usize,
+    /// Maximum distinct (observational) states.
+    pub max_states: usize,
+}
+
+impl Default for AlgExploreLimits {
+    fn default() -> Self {
+        AlgExploreLimits {
+            max_depth: 6,
+            max_states: 10_000,
+        }
+    }
+}
+
+/// The result of exploring an algebraic specification into a universe.
+#[derive(Debug, Clone)]
+pub struct AlgebraicExploration {
+    /// The induced Kripke universe `M(T2)` over the information signature.
+    pub universe: Universe,
+    /// A witness trace term per universe state, in state-index order.
+    pub witnesses: Vec<Term>,
+    /// Depth (updates from `initiate`) at which each state was first seen.
+    pub depth: Vec<usize>,
+    /// Whether exploration hit a limit.
+    pub truncated: bool,
+    /// Whether two observationally distinct states collapsed onto the same
+    /// `L1` structure (the interpretation abstracts information away).
+    pub abstraction_collision: bool,
+}
+
+/// Explores the reachable states of `spec` and builds `M(T2)`.
+///
+/// # Errors
+/// Propagates rewriting/bridge errors; limit hits set `truncated` instead
+/// of failing.
+pub fn explore_algebraic(
+    spec: &AlgSpec,
+    interp: &InterpretationI,
+    info_sig: &Arc<Signature>,
+    domains: &Arc<Domains>,
+    limits: AlgExploreLimits,
+) -> Result<AlgebraicExploration> {
+    let alg = spec.signature().clone();
+    let bridge = ParamBridge::new(&alg, info_sig, domains)?;
+    let mut rw = Rewriter::new(spec);
+
+    let mut universe = Universe::new(info_sig.clone(), domains.clone());
+    let mut witnesses: Vec<Term> = Vec::new();
+    let mut depth: Vec<usize> = Vec::new();
+    let mut by_obs: BTreeMap<observe::ObsTable, StateIdx> = BTreeMap::new();
+    let mut truncated = false;
+    let mut abstraction_collision = false;
+
+    let initials = induction::initial_state_terms(&alg)?;
+    if initials.is_empty() {
+        return Err(RefineError::Alg(eclectic_algebraic::AlgError::BadDescription(
+            "no initial state constant".into(),
+        )));
+    }
+
+    let mut queue: VecDeque<(StateIdx, Term, usize)> = VecDeque::new();
+
+    let admit = |rw: &mut Rewriter<'_>,
+                     universe: &mut Universe,
+                     by_obs: &mut BTreeMap<observe::ObsTable, StateIdx>,
+                     witnesses: &mut Vec<Term>,
+                     depth: &mut Vec<usize>,
+                     abstraction_collision: &mut bool,
+                     term: &Term,
+                     d: usize|
+     -> Result<(StateIdx, bool)> {
+        let obs = observe::observations(rw, term)?;
+        if let Some(&idx) = by_obs.get(&obs) {
+            return Ok((idx, false));
+        }
+        let st = structure_of(rw, interp, &bridge, info_sig, domains, term)?;
+        let pre_existing = universe.find_state(&st).is_some();
+        let (idx, fresh) = universe.add_state(st)?;
+        if pre_existing {
+            // Same L1 structure reached from a different observation table.
+            *abstraction_collision = true;
+            by_obs.insert(obs, idx);
+            return Ok((idx, false));
+        }
+        debug_assert!(fresh);
+        by_obs.insert(obs, idx);
+        witnesses.push(term.clone());
+        depth.push(d);
+        Ok((idx, true))
+    };
+
+    for t in initials {
+        let (idx, fresh) = admit(
+            &mut rw,
+            &mut universe,
+            &mut by_obs,
+            &mut witnesses,
+            &mut depth,
+            &mut abstraction_collision,
+            &t,
+            0,
+        )?;
+        if fresh {
+            queue.push_back((idx, t, 0));
+        }
+    }
+
+    while let Some((idx, term, d)) = queue.pop_front() {
+        if d >= limits.max_depth {
+            truncated = true;
+            continue;
+        }
+        for succ in induction::successor_terms(&alg, &term)? {
+            if universe.state_count() >= limits.max_states {
+                truncated = true;
+                break;
+            }
+            let (sidx, fresh) = admit(
+                &mut rw,
+                &mut universe,
+                &mut by_obs,
+                &mut witnesses,
+                &mut depth,
+                &mut abstraction_collision,
+                &succ,
+                d + 1,
+            )?;
+            universe.add_edge(idx, sidx);
+            if fresh {
+                queue.push_back((sidx, succ, d + 1));
+            }
+        }
+    }
+
+    Ok(AlgebraicExploration {
+        universe,
+        witnesses,
+        depth,
+        truncated,
+        abstraction_collision,
+    })
+}
+
+/// Builds the `L1` structure induced by a ground state term: each
+/// db-predicate holds of the tuples whose interpreting query rewrites to
+/// `True`.
+pub fn structure_of(
+    rw: &mut Rewriter<'_>,
+    interp: &InterpretationI,
+    bridge: &ParamBridge,
+    info_sig: &Arc<Signature>,
+    domains: &Arc<Domains>,
+    state_term: &Term,
+) -> Result<Structure> {
+    let alg = rw.spec().signature().clone();
+    let mut st = Structure::new(info_sig.clone(), domains.clone());
+    for (p, q) in interp.pairs() {
+        let qsorts = alg.query_params(q)?;
+        let lsorts: Vec<_> = qsorts
+            .iter()
+            .map(|&s| bridge.logic_sort(s))
+            .collect::<Result<_>>()?;
+        for tuple in domains.tuples(&lsorts) {
+            let args: Vec<Term> = tuple
+                .iter()
+                .zip(&lsorts)
+                .map(|(&e, &s)| bridge.term_of_elem(s, e))
+                .collect::<Result<_>>()?;
+            let mut full = args;
+            full.push(state_term.clone());
+            let v = rw.normalize(&Term::App(q, full))?;
+            if v == alg.true_term() {
+                st.insert_pred(p, tuple)?;
+            } else if v != alg.false_term() {
+                return Err(RefineError::Alg(
+                    eclectic_algebraic::AlgError::NotSufficientlyComplete {
+                        term: eclectic_algebraic::term_str(&alg, &v),
+                    },
+                ));
+            }
+        }
+    }
+    Ok(st)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclectic_algebraic::{parse_equations, AlgSignature};
+
+    /// Offered-only courses spec over 2 courses.
+    fn setup() -> (AlgSpec, InterpretationI, Arc<Signature>, Arc<Domains>) {
+        let mut a = AlgSignature::new().unwrap();
+        let course = a.add_param_sort("course", &["db", "ai"]).unwrap();
+        a.add_query("q_offered", &[course], None).unwrap();
+        a.add_update("initiate", &[], false).unwrap();
+        a.add_update("offer", &[course], true).unwrap();
+        a.add_update("cancel", &[course], true).unwrap();
+        a.add_param_var("c", course).unwrap();
+        a.add_param_var("c'", course).unwrap();
+        let eqs = parse_equations(
+            &mut a,
+            &[
+                ("eq1", "q_offered(c, initiate) = False"),
+                ("eq3", "q_offered(c, offer(c, U)) = True"),
+                ("eq4", "c != c' ==> q_offered(c, offer(c', U)) = q_offered(c, U)"),
+                ("eq6", "q_offered(c, cancel(c, U)) = False"),
+                ("eq7", "c != c' ==> q_offered(c, cancel(c', U)) = q_offered(c, U)"),
+            ],
+        )
+        .unwrap();
+        let spec = AlgSpec::new(a, eqs).unwrap();
+
+        let mut info = Signature::new();
+        let icourse = info.add_sort("course").unwrap();
+        info.add_db_predicate("offered", &[icourse]).unwrap();
+        let dom = Domains::from_names(&info, &[("course", &["db", "ai"])]).unwrap();
+        let interp =
+            InterpretationI::new(&info, spec.signature(), &[("offered", "q_offered")]).unwrap();
+        (spec, interp, Arc::new(info), Arc::new(dom))
+    }
+
+    #[test]
+    fn explores_the_powerset_of_offers() {
+        let (spec, interp, info, dom) = setup();
+        let exp = explore_algebraic(
+            &spec,
+            &interp,
+            &info,
+            &dom,
+            AlgExploreLimits {
+                max_depth: 5,
+                max_states: 100,
+            },
+        )
+        .unwrap();
+        // offer/cancel generate all 4 subsets of {db, ai}.
+        assert_eq!(exp.universe.state_count(), 4);
+        assert!(!exp.truncated);
+        assert!(!exp.abstraction_collision);
+        assert_eq!(exp.witnesses.len(), 4);
+        // Every state has 4 outgoing edges (2 offers + 2 cancels), possibly
+        // self-looping; count distinct targets ≥ 1.
+        for s in exp.universe.state_indices() {
+            assert!(!exp.universe.successors(s).is_empty());
+        }
+        // Depths: initiate at 0; singletons at 1; full set at 2.
+        assert_eq!(exp.depth.iter().filter(|&&d| d == 0).count(), 1);
+        assert_eq!(exp.depth.iter().filter(|&&d| d == 1).count(), 2);
+        assert_eq!(exp.depth.iter().filter(|&&d| d == 2).count(), 1);
+    }
+
+    #[test]
+    fn depth_limit_truncates() {
+        let (spec, interp, info, dom) = setup();
+        let exp = explore_algebraic(
+            &spec,
+            &interp,
+            &info,
+            &dom,
+            AlgExploreLimits {
+                max_depth: 1,
+                max_states: 100,
+            },
+        )
+        .unwrap();
+        assert!(exp.truncated);
+        assert_eq!(exp.universe.state_count(), 3); // {} and the singletons
+    }
+
+    #[test]
+    fn structures_reflect_queries() {
+        let (spec, interp, info, dom) = setup();
+        let alg = spec.signature().clone();
+        let bridge = ParamBridge::new(&alg, &info, &dom).unwrap();
+        let mut rw = Rewriter::new(&spec);
+        let initiate = alg.logic().func_id("initiate").unwrap();
+        let offer = alg.logic().func_id("offer").unwrap();
+        let db = Term::constant(alg.logic().func_id("db").unwrap());
+        let t = Term::App(offer, vec![db, Term::constant(initiate)]);
+        let st = structure_of(&mut rw, &interp, &bridge, &info, &dom, &t).unwrap();
+        let offered = info.pred_id("offered").unwrap();
+        assert!(st.pred_holds(offered, &[eclectic_logic::Elem(0)]));
+        assert!(!st.pred_holds(offered, &[eclectic_logic::Elem(1)]));
+    }
+}

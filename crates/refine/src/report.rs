@@ -1,0 +1,109 @@
+//! Human-readable rendering of refinement reports.
+
+use std::fmt;
+
+use crate::interp2::EquationCheckReport;
+use crate::obligations::Refine12Report;
+use crate::witness::ValidReachableReport;
+
+/// A combined report for one full tri-level verification run.
+#[derive(Debug, Clone)]
+pub struct FullReport {
+    /// The 1→2 obligations: (a) sufficient completeness, (b) static
+    /// consistency, (d) transition consistency.
+    pub refine12: Refine12Report,
+    /// Obligation (c): every valid state is reachable.
+    pub valid_reachable: ValidReachableReport,
+    /// The 2→3 check: every `A2` equation valid in `N(U)`.
+    pub equations: EquationCheckReport,
+}
+
+impl FullReport {
+    /// Whether every obligation holds.
+    #[must_use]
+    pub fn is_correct(&self) -> bool {
+        self.refine12.is_correct() && self.valid_reachable.holds() && self.equations.is_correct()
+    }
+}
+
+impl fmt::Display for FullReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "tri-level verification report")?;
+        writeln!(f, "==============================")?;
+        let r = &self.refine12;
+        writeln!(
+            f,
+            "(a) termination: {} (same-level edges: {}, ascending: {})",
+            if r.termination.is_terminating() { "ok" } else { "FAILED" },
+            r.termination.same_level_edges.len(),
+            r.termination.ascending.len()
+        )?;
+        if let Some(cycle) = &r.termination.cycle {
+            writeln!(f, "    cycle: {}", cycle.join(" -> "))?;
+        }
+        writeln!(
+            f,
+            "(a) sufficient completeness: {} ({} ground queries evaluated, {} stuck, {} uncovered pairs)",
+            if r.completeness.is_sufficiently_complete() { "ok" } else { "FAILED" },
+            r.completeness.evaluated,
+            r.completeness.stuck.len(),
+            r.completeness.missing.len()
+        )?;
+        writeln!(
+            f,
+            "(b) reachable => valid: {} ({} states, {} violations{})",
+            if r.static_violations.is_empty() { "ok" } else { "FAILED" },
+            r.exploration.universe.state_count(),
+            r.static_violations.len(),
+            if r.exploration.truncated { ", truncated" } else { "" }
+        )?;
+        for v in r.static_violations.iter().take(3) {
+            writeln!(f, "    {} fails at {}", v.axiom, v.witness)?;
+        }
+        writeln!(
+            f,
+            "(c) valid => reachable: {} ({} valid, {} reached{})",
+            if self.valid_reachable.holds() { "ok" } else { "FAILED" },
+            self.valid_reachable.valid,
+            self.valid_reachable.reachable_valid,
+            if self.valid_reachable.exploration_truncated {
+                ", exploration truncated"
+            } else {
+                ""
+            }
+        )?;
+        for s in self.valid_reachable.unreachable.iter().take(3) {
+            writeln!(f, "    unreached: {s}")?;
+        }
+        writeln!(
+            f,
+            "(d) transition consistency: {} ({} violations)",
+            if r.transition_violations.is_empty() { "ok" } else { "FAILED" },
+            r.transition_violations.len()
+        )?;
+        for v in r.transition_violations.iter().take(3) {
+            writeln!(f, "    {} fails at {}", v.axiom, v.witness)?;
+        }
+        writeln!(
+            f,
+            "2->3 equations: {} ({} instances over {} states, {} failures{})",
+            if self.equations.is_correct() { "ok" } else { "FAILED" },
+            self.equations.instances,
+            self.equations.states,
+            self.equations.failures.len(),
+            if self.equations.truncated { ", truncated" } else { "" }
+        )?;
+        for e in self.equations.failures.iter().take(3) {
+            writeln!(f, "    {} fails with {} at {}", e.equation, e.assignment, e.state)?;
+        }
+        writeln!(
+            f,
+            "verdict: {}",
+            if self.is_correct() {
+                "CORRECT REFINEMENT"
+            } else {
+                "REFINEMENT VIOLATIONS FOUND"
+            }
+        )
+    }
+}

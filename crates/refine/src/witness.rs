@@ -1,0 +1,170 @@
+//! Obligation (c): every valid state is reachable (paper §4.4).
+//!
+//! All candidate states — every assignment of relations to the
+//! db-predicates over the finite carriers — are enumerated; those modelling
+//! the static constraints are *valid*. Each valid state is then looked up in
+//! the explored universe `M(T2)`; valid-but-unreached states are reported
+//! with their rendering (they are genuine failures only if exploration was
+//! not truncated).
+
+use std::sync::Arc;
+
+use eclectic_logic::{Domains, Signature, Structure, Theory};
+
+use crate::error::{RefineError, Result};
+use crate::reach::AlgebraicExploration;
+
+/// Result of the valid-⊆-reachable check.
+#[derive(Debug, Clone)]
+pub struct ValidReachableReport {
+    /// Number of candidate states enumerated.
+    pub candidates: usize,
+    /// Number of valid states (models of the static axioms).
+    pub valid: usize,
+    /// Valid states found in the universe.
+    pub reachable_valid: usize,
+    /// Renderings of valid states missing from the universe.
+    pub unreachable: Vec<String>,
+    /// Whether the exploration that built the universe was truncated (in
+    /// which case `unreachable` entries are inconclusive).
+    pub exploration_truncated: bool,
+}
+
+impl ValidReachableReport {
+    /// Whether every valid state was reached (conclusively).
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.unreachable.is_empty()
+    }
+}
+
+/// Enumerates every structure over the db-predicates (the product of the
+/// per-predicate relation powersets).
+///
+/// # Errors
+/// Returns [`RefineError::LimitExceeded`] if more than `cap` states would
+/// be generated.
+pub fn enumerate_candidate_states(
+    info_sig: &Arc<Signature>,
+    domains: &Arc<Domains>,
+    cap: usize,
+) -> Result<Vec<Structure>> {
+    let mut states = vec![Structure::new(info_sig.clone(), domains.clone())];
+    for p in info_sig.db_pred_ids() {
+        let rows = domains.tuples(&info_sig.pred(p).domain);
+        let row_count = rows.len();
+        let overflow = states.len().checked_mul(1 << row_count);
+        if row_count >= usize::BITS as usize || !matches!(overflow, Some(n) if n <= cap) {
+            return Err(RefineError::LimitExceeded(format!(
+                "candidate state enumeration exceeds cap {cap}"
+            )));
+        }
+        let mut next = Vec::with_capacity(states.len() << row_count);
+        for st in &states {
+            for mask in 0..(1usize << row_count) {
+                let mut s2 = st.clone();
+                let tuples: std::collections::BTreeSet<_> = rows
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, t)| t.clone())
+                    .collect();
+                s2.set_pred_relation(p, tuples)?;
+                next.push(s2);
+            }
+        }
+        states = next;
+    }
+    Ok(states)
+}
+
+/// Checks obligation (c) against an exploration.
+///
+/// # Errors
+/// Propagates enumeration and evaluation errors.
+pub fn check_valid_reachable(
+    theory: &Theory,
+    exploration: &AlgebraicExploration,
+    cap: usize,
+) -> Result<ValidReachableReport> {
+    let u = &exploration.universe;
+    let candidates = enumerate_candidate_states(u.signature(), u.domains(), cap)?;
+    let mut report = ValidReachableReport {
+        candidates: candidates.len(),
+        valid: 0,
+        reachable_valid: 0,
+        unreachable: Vec::new(),
+        exploration_truncated: exploration.truncated,
+    };
+    for st in candidates {
+        if !theory.models_static(&st)? {
+            continue;
+        }
+        report.valid += 1;
+        if u.find_state(&st).is_some() {
+            report.reachable_valid += 1;
+        } else {
+            report.unreachable.push(render_structure(&st));
+        }
+    }
+    Ok(report)
+}
+
+/// Renders a structure's db-predicate tables compactly.
+fn render_structure(st: &Structure) -> String {
+    use std::fmt::Write as _;
+    let sig = st.signature();
+    let dom = st.domains();
+    let mut out = String::new();
+    for p in sig.db_pred_ids() {
+        let decl = sig.pred(p);
+        let _ = write!(out, "{}={{", decl.name);
+        let mut first = true;
+        for tuple in st.pred_relation(p) {
+            if !first {
+                let _ = write!(out, ",");
+            }
+            first = false;
+            let names: Vec<&str> = tuple
+                .iter()
+                .zip(&decl.domain)
+                .map(|(e, &s)| dom.elem_name(sig, s, *e).unwrap_or("?"))
+                .collect();
+            let _ = write!(out, "({})", names.join(","));
+        }
+        let _ = write!(out, "}} ");
+    }
+    out.trim_end().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_enumeration_counts() {
+        let mut sig = Signature::new();
+        let course = sig.add_sort("course").unwrap();
+        sig.add_db_predicate("offered", &[course]).unwrap();
+        let dom = Domains::from_names(&sig, &[("course", &["db", "ai"])]).unwrap();
+        let sig = Arc::new(sig);
+        let dom = Arc::new(dom);
+        let states = enumerate_candidate_states(&sig, &dom, 100).unwrap();
+        assert_eq!(states.len(), 4);
+        assert!(matches!(
+            enumerate_candidate_states(&sig, &dom, 3),
+            Err(RefineError::LimitExceeded(_))
+        ));
+    }
+
+    #[test]
+    fn render_is_compact() {
+        let mut sig = Signature::new();
+        let course = sig.add_sort("course").unwrap();
+        let offered = sig.add_db_predicate("offered", &[course]).unwrap();
+        let dom = Domains::from_names(&sig, &[("course", &["db"])]).unwrap();
+        let mut st = Structure::new(Arc::new(sig), Arc::new(dom));
+        st.insert_pred(offered, vec![eclectic_logic::Elem(0)]).unwrap();
+        assert_eq!(render_structure(&st), "offered={(db)}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Unit tests for interpretation validation error paths: `K` must reject
+//! arity, kind and Boolean-ness mismatches; the induced algebra must reject
+//! ill-typed evaluations; the bridge must reject misaligned carriers.
+
+use std::sync::Arc;
+
+use eclectic_algebraic::{parse_equations, AlgSignature, AlgSpec};
+use eclectic_logic::{Domains, Formula, Signature, Term};
+use eclectic_refine::{InducedAlgebra, InterpretationK, QueryImpl, RefineError};
+use eclectic_rpr::{DbState, ProcDecl, QueryDef, Schema, Stmt};
+
+fn alg_spec() -> AlgSpec {
+    let mut a = AlgSignature::new().unwrap();
+    let course = a.add_param_sort("course", &["db"]).unwrap();
+    a.add_query("offered", &[course], None).unwrap();
+    a.add_update("initiate", &[], false).unwrap();
+    a.add_update("offer", &[course], true).unwrap();
+    a.add_param_var("c", course).unwrap();
+    a.add_param_var("c'", course).unwrap();
+    let eqs = parse_equations(
+        &mut a,
+        &[
+            ("eq1", "offered(c, initiate) = False"),
+            ("eq3", "offered(c, offer(c, U)) = True"),
+            ("eq4", "c != c' ==> offered(c, offer(c', U)) = offered(c, U)"),
+        ],
+    )
+    .unwrap();
+    AlgSpec::new(a, eqs).unwrap()
+}
+
+fn schema() -> (Schema, DbState) {
+    let mut sig = Signature::new();
+    let course = sig.add_sort("course").unwrap();
+    let offered = sig.add_db_predicate("OFFERED", &[course]).unwrap();
+    let c = sig.add_var("c", course).unwrap();
+    let cv = sig.add_var("x", course).unwrap();
+    let p_init = ProcDecl {
+        name: "initiate".into(),
+        params: vec![],
+        body: Stmt::RelAssign(
+            offered,
+            eclectic_rpr::RelTerm {
+                vars: vec![cv],
+                wff: Formula::False,
+            },
+        ),
+    };
+    let p_offer = ProcDecl {
+        name: "offer".into(),
+        params: vec![c],
+        body: Stmt::Insert(offered, vec![Term::Var(c)]),
+    };
+    let dom = Domains::from_names(&sig, &[("course", &["db"])]).unwrap();
+    let sig = Arc::new(sig);
+    let schema = Schema::new(sig.clone(), vec![offered], vec![p_init, p_offer]).unwrap();
+    (schema, DbState::new(sig, Arc::new(dom)))
+}
+
+fn q_offered(schema: &Schema) -> QueryDef {
+    let sig = schema.signature();
+    let c = sig.var_id("c").unwrap();
+    QueryDef::new(
+        sig,
+        "offered",
+        vec![c],
+        Formula::Pred(sig.pred_id("OFFERED").unwrap(), vec![Term::Var(c)]),
+    )
+    .unwrap()
+}
+
+#[test]
+fn complete_k_builds() {
+    let spec = alg_spec();
+    let (schema, template) = schema();
+    let k = InterpretationK::new(
+        &spec,
+        &schema,
+        vec![("offered", QueryImpl::Bool(q_offered(&schema)))],
+        &[("initiate", "initiate"), ("offer", "offer")],
+    )
+    .unwrap();
+    // The induced algebra evaluates the level-2 term tree via the schema.
+    let mut ind = InducedAlgebra::new(&spec, &schema, &k, template).unwrap();
+    let alg = spec.signature().clone();
+    let mut lsig = alg.logic().clone();
+    let t = eclectic_logic::parse_term(&mut lsig, "offered(db, offer(db, initiate))").unwrap();
+    let v = ind.eval_term(&t, &std::collections::BTreeMap::new()).unwrap();
+    assert_eq!(v, eclectic_refine::IndValue::Bool(true));
+}
+
+#[test]
+fn missing_query_mapping_rejected() {
+    let spec = alg_spec();
+    let (schema, _) = schema();
+    let err = InterpretationK::new(
+        &spec,
+        &schema,
+        vec![],
+        &[("initiate", "initiate"), ("offer", "offer")],
+    )
+    .unwrap_err();
+    assert!(matches!(err, RefineError::BadInterpretation(_)));
+}
+
+#[test]
+fn missing_update_mapping_rejected() {
+    let spec = alg_spec();
+    let (schema, _) = schema();
+    let err = InterpretationK::new(
+        &spec,
+        &schema,
+        vec![("offered", QueryImpl::Bool(q_offered(&schema)))],
+        &[("initiate", "initiate")],
+    )
+    .unwrap_err();
+    assert!(matches!(err, RefineError::BadInterpretation(_)));
+}
+
+#[test]
+fn unknown_procedure_rejected() {
+    let spec = alg_spec();
+    let (schema, _) = schema();
+    let err = InterpretationK::new(
+        &spec,
+        &schema,
+        vec![("offered", QueryImpl::Bool(q_offered(&schema)))],
+        &[("initiate", "initiate"), ("offer", "missing_proc")],
+    )
+    .unwrap_err();
+    assert!(matches!(err, RefineError::BadInterpretation(_)));
+}
+
+#[test]
+fn arity_mismatch_rejected() {
+    let spec = alg_spec();
+    let (schema, _) = schema();
+    // Map the unary update `offer` to the nullary procedure `initiate`.
+    let err = InterpretationK::new(
+        &spec,
+        &schema,
+        vec![("offered", QueryImpl::Bool(q_offered(&schema)))],
+        &[("initiate", "initiate"), ("offer", "initiate")],
+    )
+    .unwrap_err();
+    assert!(matches!(err, RefineError::BadInterpretation(_)));
+}
+
+#[test]
+fn wrong_query_arity_rejected() {
+    let spec = alg_spec();
+    let (schema, _) = schema();
+    let sig = schema.signature();
+    // A nullary wff where a unary query is expected.
+    let bad = QueryDef::new(sig, "offered", vec![], Formula::True).unwrap();
+    let err = InterpretationK::new(
+        &spec,
+        &schema,
+        vec![("offered", QueryImpl::Bool(bad))],
+        &[("initiate", "initiate"), ("offer", "offer")],
+    )
+    .unwrap_err();
+    assert!(matches!(err, RefineError::BadInterpretation(_)));
+}
+
+#[test]
+fn bridge_rejects_misaligned_carriers() {
+    let spec = alg_spec();
+    let (schema, _) = schema();
+    // Domains whose element name differs from the parameter name.
+    let dom = Domains::from_names(schema.signature(), &[("course", &["not_db"])]).unwrap();
+    let template = DbState::new(schema.signature().clone(), Arc::new(dom));
+    let k = InterpretationK::new(
+        &spec,
+        &schema,
+        vec![("offered", QueryImpl::Bool(q_offered(&schema)))],
+        &[("initiate", "initiate"), ("offer", "offer")],
+    )
+    .unwrap();
+    assert!(matches!(
+        InducedAlgebra::new(&spec, &schema, &k, template),
+        Err(RefineError::BridgeMismatch(_))
+    ));
+}

@@ -1,0 +1,191 @@
+//! Binary relations over finite universes — the meanings of RPR statements.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A binary relation over state indices `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BinRel {
+    pairs: BTreeSet<(usize, usize)>,
+}
+
+impl BinRel {
+    /// The empty relation.
+    #[must_use]
+    pub fn new() -> Self {
+        BinRel::default()
+    }
+
+    /// The identity relation on `0..n`.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        BinRel {
+            pairs: (0..n).map(|i| (i, i)).collect(),
+        }
+    }
+
+    /// Builds from an iterator of pairs.
+    #[must_use]
+    pub fn from_pairs<I: IntoIterator<Item = (usize, usize)>>(pairs: I) -> Self {
+        BinRel {
+            pairs: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Inserts a pair; returns whether it was new.
+    pub fn insert(&mut self, a: usize, b: usize) -> bool {
+        self.pairs.insert((a, b))
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, a: usize, b: usize) -> bool {
+        self.pairs.contains(&(a, b))
+    }
+
+    /// Number of pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the relation is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates over the pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.pairs.iter().copied()
+    }
+
+    /// The image of a single state: `{b | (a, b) ∈ R}`.
+    #[must_use]
+    pub fn image(&self, a: usize) -> BTreeSet<usize> {
+        self.pairs
+            .range((a, 0)..=(a, usize::MAX))
+            .map(|&(_, b)| b)
+            .collect()
+    }
+
+    /// Union — `m(p ∪ q) = m(p) ∪ m(q)`.
+    #[must_use]
+    pub fn union(&self, other: &BinRel) -> BinRel {
+        BinRel {
+            pairs: self.pairs.union(&other.pairs).copied().collect(),
+        }
+    }
+
+    /// Composition — `m(p ; q) = m(p) ∘ m(q)` (apply `self` first).
+    #[must_use]
+    pub fn compose(&self, other: &BinRel) -> BinRel {
+        let mut by_src: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (b, c) in other.iter() {
+            by_src.entry(b).or_default().push(c);
+        }
+        let mut out = BinRel::new();
+        for (a, b) in self.iter() {
+            if let Some(cs) = by_src.get(&b) {
+                for &c in cs {
+                    out.insert(a, c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Reflexive-transitive closure over `0..n` — `m(p*) = (m(p))*`.
+    #[must_use]
+    pub fn star(&self, n: usize) -> BinRel {
+        let mut succ: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        for (a, b) in self.iter() {
+            succ.entry(a).or_default().insert(b);
+        }
+        let mut out = BinRel::new();
+        for start in 0..n {
+            // BFS from each node.
+            let mut seen = BTreeSet::new();
+            let mut stack = vec![start];
+            while let Some(x) = stack.pop() {
+                if seen.insert(x) {
+                    if let Some(next) = succ.get(&x) {
+                        for &y in next {
+                            if !seen.contains(&y) {
+                                stack.push(y);
+                            }
+                        }
+                    }
+                }
+            }
+            for b in seen {
+                out.insert(start, b);
+            }
+        }
+        out
+    }
+
+    /// Whether the relation is a partial function (each source has at most
+    /// one target).
+    #[must_use]
+    pub fn is_functional(&self) -> bool {
+        let mut last: Option<usize> = None;
+        for (a, _) in self.iter() {
+            if last == Some(a) {
+                return false;
+            }
+            last = Some(a);
+        }
+        true
+    }
+
+    /// Whether the relation is total on `0..n` (each source has at least one
+    /// target).
+    #[must_use]
+    pub fn is_total(&self, n: usize) -> bool {
+        (0..n).all(|a| self.pairs.range((a, 0)..=(a, usize::MAX)).next().is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_compose_star() {
+        let r = BinRel::from_pairs([(0, 1), (1, 2)]);
+        let s = BinRel::from_pairs([(2, 0)]);
+        assert_eq!(r.union(&s).len(), 3);
+
+        let rs = r.compose(&r);
+        assert!(rs.contains(0, 2));
+        assert_eq!(rs.len(), 1);
+
+        let star = r.star(3);
+        // identity + (0,1),(1,2),(0,2)
+        assert!(star.contains(0, 0));
+        assert!(star.contains(0, 2));
+        assert!(star.contains(2, 2));
+        assert!(!star.contains(2, 0));
+        assert_eq!(star.len(), 6);
+    }
+
+    #[test]
+    fn image_and_functionality() {
+        let r = BinRel::from_pairs([(0, 1), (0, 2), (1, 1)]);
+        assert_eq!(r.image(0).len(), 2);
+        assert_eq!(r.image(5).len(), 0);
+        assert!(!r.is_functional());
+        assert!(!r.is_total(3));
+        let f = BinRel::from_pairs([(0, 1), (1, 1), (2, 0)]);
+        assert!(f.is_functional());
+        assert!(f.is_total(3));
+    }
+
+    #[test]
+    fn identity_neutral_for_compose() {
+        let r = BinRel::from_pairs([(0, 1), (1, 2)]);
+        let id = BinRel::identity(3);
+        assert_eq!(r.compose(&id), r);
+        assert_eq!(id.compose(&r), r);
+    }
+}

@@ -1,0 +1,338 @@
+//! The denotational semantics of RPR (paper §5.1.2).
+//!
+//! For a fixed finite universe `U`, the meaning function `m` assigns to each
+//! statement a binary relation on `U`:
+//!
+//! 1. `m(x := t)` — pairs differing only on `x`, whose new value is `A(t)`;
+//! 2. `m(R := {x̄ / P})` — pairs differing only on `R`, set to `A({x̄/P})`;
+//! 3. `m(P?)` — the identity on states satisfying `P`;
+//! 4. `m(p ∪ q) = m(p) ∪ m(q)`;
+//! 5. `m(p ; q) = m(p) ∘ m(q)`;
+//! 6. `m(p*) = (m(p))*`;
+//!
+//! and `k` assigns to each procedure declaration a function from parameter
+//! values to binary relations (rule 7); parameter binding is carried by an
+//! environment [`Valuation`]. Derived constructs are interpreted through
+//! their definitions.
+
+use eclectic_logic::{eval, Elem, Valuation};
+
+use crate::ast::Stmt;
+use crate::binrel::BinRel;
+use crate::error::{Result, RprError};
+use crate::schema::Schema;
+use crate::universe::FiniteUniverse;
+
+/// Computes `m(stmt)` over the universe, with parameters bound by `env`.
+///
+/// # Errors
+/// Propagates evaluation errors; returns [`RprError::BadStatement`] if a
+/// result state escapes the universe (a non-program symbol was modified).
+pub fn meaning(u: &FiniteUniverse, stmt: &Stmt, env: &Valuation) -> Result<BinRel> {
+    let n = u.len();
+    match stmt {
+        Stmt::Skip => Ok(BinRel::identity(n)),
+        Stmt::Assign(x, t) => {
+            let mut out = BinRel::new();
+            for (i, st) in u.states().iter().enumerate() {
+                let v = eval::eval_term(st.structure(), env, t)?;
+                let mut next = st.clone();
+                next.set_scalar(*x, v)?;
+                out.insert(i, u.index_or_err(&next)?);
+            }
+            Ok(out)
+        }
+        Stmt::RelAssign(r, f) => {
+            let mut out = BinRel::new();
+            for (i, st) in u.states().iter().enumerate() {
+                let rows =
+                    eval::satisfying_assignments_with(st.structure(), env, &f.wff, &f.vars)?;
+                let mut next = st.clone();
+                next.structure_mut()
+                    .set_pred_relation(*r, rows.into_iter().collect())?;
+                out.insert(i, u.index_or_err(&next)?);
+            }
+            Ok(out)
+        }
+        Stmt::Test(p) => {
+            let mut out = BinRel::new();
+            for (i, st) in u.states().iter().enumerate() {
+                if eval::satisfies(st.structure(), env, p)? {
+                    out.insert(i, i);
+                }
+            }
+            Ok(out)
+        }
+        Stmt::Union(p, q) => Ok(meaning(u, p, env)?.union(&meaning(u, q, env)?)),
+        Stmt::Seq(p, q) => Ok(meaning(u, p, env)?.compose(&meaning(u, q, env)?)),
+        Stmt::Star(p) => Ok(meaning(u, p, env)?.star(n)),
+        Stmt::IfThen(c, p) => {
+            // (c?; p) ∪ ¬c?
+            let test = meaning(u, &Stmt::Test(c.clone()), env)?;
+            let ntest = meaning(u, &Stmt::Test(c.clone().not()), env)?;
+            Ok(test.compose(&meaning(u, p, env)?).union(&ntest))
+        }
+        Stmt::IfThenElse(c, p, q) => {
+            let test = meaning(u, &Stmt::Test(c.clone()), env)?;
+            let ntest = meaning(u, &Stmt::Test(c.clone().not()), env)?;
+            Ok(test
+                .compose(&meaning(u, p, env)?)
+                .union(&ntest.compose(&meaning(u, q, env)?)))
+        }
+        Stmt::While(c, p) => {
+            // (c?; p)* ; ¬c?
+            let test = meaning(u, &Stmt::Test(c.clone()), env)?;
+            let ntest = meaning(u, &Stmt::Test(c.clone().not()), env)?;
+            Ok(test.compose(&meaning(u, p, env)?).star(n).compose(&ntest))
+        }
+        Stmt::Insert(r, args) => {
+            let mut out = BinRel::new();
+            for (i, st) in u.states().iter().enumerate() {
+                let tuple = eval_tuple(st, env, args)?;
+                let mut next = st.clone();
+                next.insert(*r, tuple)?;
+                out.insert(i, u.index_or_err(&next)?);
+            }
+            Ok(out)
+        }
+        Stmt::Delete(r, args) => {
+            let mut out = BinRel::new();
+            for (i, st) in u.states().iter().enumerate() {
+                let tuple = eval_tuple(st, env, args)?;
+                let mut next = st.clone();
+                next.delete(*r, &tuple);
+                out.insert(i, u.index_or_err(&next)?);
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn eval_tuple(
+    st: &crate::state::DbState,
+    env: &Valuation,
+    args: &[eclectic_logic::Term],
+) -> Result<Vec<Elem>> {
+    args.iter()
+        .map(|t| eval::eval_term(st.structure(), env, t).map_err(RprError::Logic))
+        .collect()
+}
+
+/// Computes `k(d)(args)`: the binary relation of a procedure applied to
+/// concrete parameter values (rule 7).
+///
+/// # Errors
+/// Returns arity errors and propagates [`meaning`] errors.
+pub fn proc_meaning(
+    u: &FiniteUniverse,
+    schema: &Schema,
+    proc_name: &str,
+    args: &[Elem],
+) -> Result<BinRel> {
+    let proc = schema.proc_or_err(proc_name)?;
+    if proc.params.len() != args.len() {
+        return Err(RprError::ArityMismatch {
+            proc: proc_name.to_string(),
+            expected: proc.params.len(),
+            found: args.len(),
+        });
+    }
+    let mut env = Valuation::new();
+    for (&param, &value) in proc.params.iter().zip(args) {
+        env.set(param, value);
+    }
+    meaning(u, &proc.body, &env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{RelTerm, Stmt};
+    use crate::exec::run;
+    use crate::schema::ProcDecl;
+    use crate::state::DbState;
+    use eclectic_logic::{Domains, Formula, Signature, Term};
+    use std::sync::Arc;
+
+    /// One relation OFFERED over 2 courses, one scalar x: 8 states.
+    fn setup() -> (FiniteUniverse, Schema) {
+        let mut sig = Signature::new();
+        let course = sig.add_sort("course").unwrap();
+        let offered = sig.add_db_predicate("OFFERED", &[course]).unwrap();
+        let x = sig.add_constant("x", course).unwrap();
+        let cv = sig.add_var("c", course).unwrap();
+        let dom = Domains::from_names(&sig, &[("course", &["db", "ai"])]).unwrap();
+        let sig = Arc::new(sig);
+        let mut template = DbState::new(sig.clone(), Arc::new(dom));
+        template.set_scalar(x, Elem(0)).unwrap();
+        let u = FiniteUniverse::enumerate(&template, &[offered], &[x], 100).unwrap();
+
+        let p_offer = ProcDecl {
+            name: "offer".into(),
+            params: vec![cv],
+            body: Stmt::Insert(offered, vec![Term::Var(cv)]),
+        };
+        let p_clear = ProcDecl {
+            name: "clear".into(),
+            params: vec![],
+            body: Stmt::RelAssign(
+                offered,
+                RelTerm {
+                    vars: vec![cv],
+                    wff: Formula::False,
+                },
+            ),
+        };
+        let schema = Schema::new(sig, vec![offered], vec![p_offer, p_clear]).unwrap();
+        (u, schema)
+    }
+
+    fn env(u: &FiniteUniverse, value: Elem) -> Valuation {
+        let c = u.signature().var_id("c").unwrap();
+        let mut v = Valuation::new();
+        v.set(c, value);
+        v
+    }
+
+    #[test]
+    fn meanings_follow_the_rules() {
+        let (u, schema) = setup();
+        let n = u.len();
+        let offered = schema.signature().pred_id("OFFERED").unwrap();
+        let cv = schema.signature().var_id("c").unwrap();
+        let e = env(&u, Elem(0));
+
+        // Tests are sub-identities.
+        let some = Formula::exists(cv, Formula::Pred(offered, vec![Term::Var(cv)]));
+        let m_test = meaning(&u, &Stmt::Test(some.clone()), &e).unwrap();
+        assert!(m_test.iter().all(|(a, b)| a == b));
+        // Exactly the states with a non-empty OFFERED: 3 of 4 relation
+        // values × 2 scalar values = 6.
+        assert_eq!(m_test.len(), 6);
+
+        // Assignments are total functions.
+        let m_ins = meaning(&u, &Stmt::Insert(offered, vec![Term::Var(cv)]), &e).unwrap();
+        assert!(m_ins.is_functional());
+        assert!(m_ins.is_total(n));
+
+        // Union laws.
+        let skip = meaning(&u, &Stmt::Skip, &e).unwrap();
+        assert_eq!(skip, BinRel::identity(n));
+        let m_union = meaning(
+            &u,
+            &Stmt::Insert(offered, vec![Term::Var(cv)]).union(Stmt::Skip),
+            &e,
+        )
+        .unwrap();
+        assert_eq!(m_union, m_ins.union(&skip));
+    }
+
+    #[test]
+    fn meaning_agrees_with_execution_pointwise() {
+        let (u, schema) = setup();
+        let offered = schema.signature().pred_id("OFFERED").unwrap();
+        let cv = schema.signature().var_id("c").unwrap();
+        let e = env(&u, Elem(1));
+        let some = Formula::exists(cv, Formula::Pred(offered, vec![Term::Var(cv)]));
+        let cx = Term::Var(cv);
+
+        let programs = vec![
+            Stmt::Insert(offered, vec![cx.clone()]),
+            Stmt::Delete(offered, vec![cx.clone()]),
+            Stmt::Test(some.clone()),
+            Stmt::Insert(offered, vec![cx.clone()]).union(Stmt::Skip),
+            Stmt::Insert(offered, vec![cx.clone()])
+                .seq(Stmt::Delete(offered, vec![cx.clone()])),
+            Stmt::Insert(offered, vec![cx.clone()]).star(),
+            Stmt::Delete(offered, vec![cx.clone()]).guarded_by(some.clone()),
+            Stmt::IfThenElse(
+                some.clone(),
+                Box::new(Stmt::Skip),
+                Box::new(Stmt::Insert(offered, vec![cx.clone()])),
+            ),
+            Stmt::While(
+                some.clone().not(),
+                Box::new(Stmt::Insert(offered, vec![cx.clone()])),
+            ),
+        ];
+        for p in programs {
+            let m = meaning(&u, &p, &e).unwrap();
+            for (i, st) in u.states().iter().enumerate() {
+                let direct: std::collections::BTreeSet<usize> = run(st, &p, &e)
+                    .unwrap()
+                    .into_iter()
+                    .map(|s| u.index_or_err(&s).unwrap())
+                    .collect();
+                assert_eq!(m.image(i), direct, "mismatch for {p:?} at state {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn desugared_forms_have_identical_meaning() {
+        // Desugar extends the signature with fresh tuple variables, so it
+        // must happen before the universe is built over the shared Arc.
+        let mut sig = Signature::new();
+        let course = sig.add_sort("course").unwrap();
+        let offered = sig.add_db_predicate("OFFERED", &[course]).unwrap();
+        let cv = sig.add_var("c", course).unwrap();
+        let some = Formula::exists(cv, Formula::Pred(offered, vec![Term::Var(cv)]));
+        let program = Stmt::Delete(offered, vec![Term::Var(cv)]).guarded_by(some);
+        let core = program.desugar(&mut sig);
+
+        let dom = Domains::from_names(&sig, &[("course", &["db", "ai"])]).unwrap();
+        let sig = Arc::new(sig);
+        let template = DbState::new(sig.clone(), Arc::new(dom));
+        let u = FiniteUniverse::enumerate(&template, &[offered], &[], 100).unwrap();
+
+        let mut e = Valuation::new();
+        e.set(cv, Elem(0));
+        let m1 = meaning(&u, &program, &e).unwrap();
+        let m2 = meaning(&u, &core, &e).unwrap();
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn proc_meaning_binds_parameters() {
+        let (u, schema) = setup();
+        let offered = schema.signature().pred_id("OFFERED").unwrap();
+        let k = proc_meaning(&u, &schema, "offer", &[Elem(1)]).unwrap();
+        assert!(k.is_functional());
+        assert!(k.is_total(u.len()));
+        for (a, b) in k.iter() {
+            assert!(u.state(b).contains(offered, &[Elem(1)]));
+            let before = u.state(a);
+            let after = u.state(b);
+            assert_eq!(
+                before.contains(offered, &[Elem(0)]),
+                after.contains(offered, &[Elem(0)])
+            );
+        }
+        assert!(matches!(
+            proc_meaning(&u, &schema, "offer", &[]),
+            Err(RprError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            proc_meaning(&u, &schema, "nope", &[]),
+            Err(RprError::UnknownProc(_))
+        ));
+    }
+
+    #[test]
+    fn while_meaning_matches_definition() {
+        let (u, _schema) = setup();
+        let offered = u.signature().pred_id("OFFERED").unwrap();
+        let cv = u.signature().var_id("c").unwrap();
+        let e = env(&u, Elem(0));
+        let missing = Formula::exists(cv, Formula::Pred(offered, vec![Term::Var(cv)]).not());
+        let body = Stmt::Insert(offered, vec![Term::Var(cv)]);
+        let w = Stmt::While(missing.clone(), Box::new(body.clone()));
+        let m_w = meaning(&u, &w, &e).unwrap();
+        let manual = meaning(&u, &Stmt::Test(missing.clone()), &e)
+            .unwrap()
+            .compose(&meaning(&u, &body, &e).unwrap())
+            .star(u.len())
+            .compose(&meaning(&u, &Stmt::Test(missing.not()), &e).unwrap());
+        assert_eq!(m_w, manual);
+    }
+}

@@ -1,0 +1,651 @@
+//! Recursive-descent parser for the RPR schema language.
+//!
+//! ```text
+//! schema   ::= 'schema' decl* proc* 'end-schema'
+//! decl     ::= IDENT '(' IDENT (',' IDENT)* ')' ';'
+//! proc     ::= 'proc' IDENT '(' params? ')' '=' stmt
+//! params   ::= IDENT ':' IDENT (',' IDENT ':' IDENT)*
+//! stmt     ::= seq ('[]' seq)*                  -- union loosest
+//! seq      ::= postfix (';' postfix)*
+//! postfix  ::= primary '*'*
+//! primary  ::= '(' stmt ')'                     -- backtracks to a test
+//!            | IDENT ':=' (term | 'empty' | relterm)
+//!            | 'insert' IDENT '(' terms ')'
+//!            | 'delete' IDENT '(' terms ')'
+//!            | 'if' wff 'then' stmt ('else' stmt)? 'fi'
+//!            | 'while' wff 'do' stmt 'od'
+//!            | 'skip'
+//!            | wff '?'
+//! relterm  ::= '{' '(' binder (',' binder)* ')' '|' wff '}'
+//! binder   ::= IDENT (':' IDENT)?
+//! ```
+//!
+//! The embedded wff syntax mirrors `eclectic-logic` (without modalities,
+//! which do not exist at the representation level).
+
+use eclectic_logic::{Formula, PredId, Signature, Symbol, Term};
+
+use crate::ast::{RelTerm, Stmt};
+use crate::error::{Result, RprError};
+use crate::parser::lexer::{tokenize, Tok, Token};
+use crate::schema::ProcDecl;
+
+struct Parser<'a> {
+    sig: &'a mut Signature,
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+/// Parses a full schema text, declaring relations, parameters and variables
+/// in the signature as needed. Returns the declared relations and procs.
+///
+/// # Errors
+/// Returns [`RprError::Parse`] with byte offsets, plus validation errors.
+pub fn parse_schema(
+    sig: &mut Signature,
+    input: &str,
+) -> Result<(Vec<PredId>, Vec<ProcDecl>)> {
+    let toks = tokenize(input)?;
+    let mut p = Parser { sig, toks, pos: 0 };
+    p.expect(&Tok::KwSchema)?;
+    let mut relations = Vec::new();
+    // Declarations: IDENT '(' … — until `proc` or `end-schema`.
+    while matches!(p.peek().kind, Tok::Ident(_)) {
+        relations.push(p.declaration()?);
+    }
+    let mut procs = Vec::new();
+    while p.peek().kind == Tok::KwProc {
+        procs.push(p.proc_decl()?);
+    }
+    p.expect(&Tok::KwEndSchema)?;
+    p.expect_eof()?;
+    Ok((relations, procs))
+}
+
+/// Parses a single statement (for tests and interactive use).
+///
+/// # Errors
+/// See [`parse_schema`].
+pub fn parse_stmt(sig: &mut Signature, input: &str) -> Result<Stmt> {
+    let toks = tokenize(input)?;
+    let mut p = Parser { sig, toks, pos: 0 };
+    let s = p.stmt()?;
+    p.expect_eof()?;
+    // Free variables are allowed here: callers bind them via an environment.
+    Ok(s)
+}
+
+/// Parses a single first-order wff in the RPR syntax.
+///
+/// # Errors
+/// See [`parse_schema`].
+pub fn parse_wff(sig: &mut Signature, input: &str) -> Result<Formula> {
+    let toks = tokenize(input)?;
+    let mut p = Parser { sig, toks, pos: 0 };
+    let f = p.wff()?;
+    p.expect_eof()?;
+    f.check(p.sig)?;
+    Ok(f)
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos]
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].kind
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &Tok) -> bool {
+        if &self.peek().kind == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &Tok) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().kind.describe()
+            )))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if self.peek().kind == Tok::Eof {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "unexpected trailing {}",
+                self.peek().kind.describe()
+            )))
+        }
+    }
+
+    fn err(&self, message: String) -> RprError {
+        RprError::Parse {
+            offset: self.peek().offset,
+            message,
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match &self.peek().kind {
+            Tok::Ident(s) => {
+                let s = s.clone();
+                self.advance();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    // ---- schema parts -------------------------------------------------
+
+    fn declaration(&mut self) -> Result<PredId> {
+        let name = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut sorts = Vec::new();
+        loop {
+            let sname = self.ident()?;
+            sorts.push(self.sig.sort_id(&sname)?);
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        self.expect(&Tok::Semi)?;
+        match self.sig.lookup(&name) {
+            Some(Symbol::Pred(p)) => {
+                if self.sig.pred(p).domain != sorts {
+                    return Err(self.err(format!(
+                        "relation `{name}` re-declared with different columns"
+                    )));
+                }
+                Ok(p)
+            }
+            Some(_) => Err(self.err(format!("`{name}` is not a relation name"))),
+            None => Ok(self.sig.add_db_predicate(&name, &sorts)?),
+        }
+    }
+
+    fn proc_decl(&mut self) -> Result<ProcDecl> {
+        self.expect(&Tok::KwProc)?;
+        let name = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.peek().kind != Tok::RParen {
+            loop {
+                let pname = self.ident()?;
+                self.expect(&Tok::Colon)?;
+                let sname = self.ident()?;
+                let sort = self.sig.sort_id(&sname)?;
+                // Parameters are typed variables; re-declaring with the same
+                // sort reuses the existing variable.
+                let v = self.sig.add_var(&pname, sort)?;
+                params.push(v);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        self.expect(&Tok::Eq)?;
+        let body = self.stmt()?;
+        let allowed: std::collections::BTreeSet<_> = params.iter().copied().collect();
+        body.validate(self.sig, &allowed)?;
+        Ok(ProcDecl { name, params, body })
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        let mut left = self.seq()?;
+        while self.eat(&Tok::UnionOp) {
+            let right = self.seq()?;
+            left = left.union(right);
+        }
+        Ok(left)
+    }
+
+    fn seq(&mut self) -> Result<Stmt> {
+        let mut left = self.postfix()?;
+        while self.eat(&Tok::Semi) {
+            let right = self.postfix()?;
+            left = left.seq(right);
+        }
+        Ok(left)
+    }
+
+    fn postfix(&mut self) -> Result<Stmt> {
+        let mut s = self.primary()?;
+        while self.eat(&Tok::Star) {
+            s = s.star();
+        }
+        Ok(s)
+    }
+
+    fn primary(&mut self) -> Result<Stmt> {
+        match self.peek().kind.clone() {
+            Tok::KwSkip => {
+                self.advance();
+                Ok(Stmt::Skip)
+            }
+            Tok::KwInsert => {
+                self.advance();
+                let (r, args) = self.rel_tuple()?;
+                Ok(Stmt::Insert(r, args))
+            }
+            Tok::KwDelete => {
+                self.advance();
+                let (r, args) = self.rel_tuple()?;
+                Ok(Stmt::Delete(r, args))
+            }
+            Tok::KwIf => {
+                self.advance();
+                let cond = self.wff()?;
+                self.expect(&Tok::KwThen)?;
+                let then_branch = self.stmt()?;
+                let stmt = if self.eat(&Tok::KwElse) {
+                    let else_branch = self.stmt()?;
+                    Stmt::IfThenElse(cond, Box::new(then_branch), Box::new(else_branch))
+                } else {
+                    Stmt::IfThen(cond, Box::new(then_branch))
+                };
+                self.expect(&Tok::KwFi)?;
+                Ok(stmt)
+            }
+            Tok::KwWhile => {
+                self.advance();
+                let cond = self.wff()?;
+                self.expect(&Tok::KwDo)?;
+                let body = self.stmt()?;
+                self.expect(&Tok::KwOd)?;
+                Ok(Stmt::While(cond, Box::new(body)))
+            }
+            Tok::LParen => {
+                // Try `( stmt )`; backtrack to a parenthesised test.
+                let save = self.pos;
+                self.advance();
+                let attempt = (|| -> Result<Stmt> {
+                    let s = self.stmt()?;
+                    self.expect(&Tok::RParen)?;
+                    Ok(s)
+                })();
+                match attempt {
+                    Ok(s) => Ok(s),
+                    Err(_) => {
+                        self.pos = save;
+                        self.test_stmt()
+                    }
+                }
+            }
+            Tok::Ident(name) => {
+                if *self.peek2() == Tok::Assign {
+                    self.advance(); // ident
+                    self.advance(); // :=
+                    self.assignment(&name)
+                } else {
+                    self.test_stmt()
+                }
+            }
+            Tok::Not | Tok::KwForall | Tok::KwExists | Tok::KwTrue | Tok::KwFalse => {
+                self.test_stmt()
+            }
+            other => Err(self.err(format!("expected statement, found {}", other.describe()))),
+        }
+    }
+
+    fn test_stmt(&mut self) -> Result<Stmt> {
+        let f = self.wff()?;
+        self.expect(&Tok::Question)?;
+        Ok(Stmt::Test(f))
+    }
+
+    fn assignment(&mut self, name: &str) -> Result<Stmt> {
+        match self.sig.lookup(name) {
+            Some(Symbol::Pred(r)) => {
+                if self.eat(&Tok::KwEmpty) {
+                    let domain = self.sig.pred(r).domain.clone();
+                    let vars: Vec<_> = domain
+                        .iter()
+                        .map(|&s| {
+                            let hint =
+                                self.sig.sort_name(s).chars().next().unwrap_or('x').to_string();
+                            self.sig.fresh_var(&hint, s)
+                        })
+                        .collect();
+                    Ok(Stmt::RelAssign(
+                        r,
+                        RelTerm {
+                            vars,
+                            wff: Formula::False,
+                        },
+                    ))
+                } else {
+                    let rt = self.relterm()?;
+                    Ok(Stmt::RelAssign(r, rt))
+                }
+            }
+            Some(Symbol::Func(x)) => {
+                let t = self.term()?;
+                Ok(Stmt::Assign(x, t))
+            }
+            _ => Err(self.err(format!("`{name}` is not assignable"))),
+        }
+    }
+
+    fn rel_tuple(&mut self) -> Result<(PredId, Vec<Term>)> {
+        let name = self.ident()?;
+        let r = self.sig.pred_id(&name)?;
+        self.expect(&Tok::LParen)?;
+        let mut args = vec![self.term()?];
+        while self.eat(&Tok::Comma) {
+            args.push(self.term()?);
+        }
+        self.expect(&Tok::RParen)?;
+        Ok((r, args))
+    }
+
+    fn relterm(&mut self) -> Result<RelTerm> {
+        self.expect(&Tok::LBrace)?;
+        self.expect(&Tok::LParen)?;
+        let mut vars = Vec::new();
+        loop {
+            let vname = self.ident()?;
+            let var = if self.eat(&Tok::Colon) {
+                let sname = self.ident()?;
+                let sort = self.sig.sort_id(&sname)?;
+                self.sig.add_var(&vname, sort)?
+            } else {
+                self.sig.var_id(&vname)?
+            };
+            vars.push(var);
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        self.expect(&Tok::Bar)?;
+        let wff = self.wff()?;
+        self.expect(&Tok::RBrace)?;
+        Ok(RelTerm { vars, wff })
+    }
+
+    // ---- embedded wffs ---------------------------------------------------
+
+    fn wff(&mut self) -> Result<Formula> {
+        self.iff()
+    }
+
+    fn iff(&mut self) -> Result<Formula> {
+        let mut left = self.implies()?;
+        while self.eat(&Tok::DArrow) {
+            let right = self.implies()?;
+            left = left.iff(right);
+        }
+        Ok(left)
+    }
+
+    fn implies(&mut self) -> Result<Formula> {
+        let left = self.or()?;
+        if self.eat(&Tok::Arrow) {
+            let right = self.implies()?;
+            Ok(left.implies(right))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn or(&mut self) -> Result<Formula> {
+        let mut left = self.and()?;
+        while self.eat(&Tok::Bar) {
+            let right = self.and()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn and(&mut self) -> Result<Formula> {
+        let mut left = self.unary()?;
+        while self.eat(&Tok::And) {
+            let right = self.unary()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Formula> {
+        match self.peek().kind {
+            Tok::Not => {
+                self.advance();
+                Ok(self.unary()?.not())
+            }
+            Tok::KwForall => {
+                self.advance();
+                self.quantifier(true)
+            }
+            Tok::KwExists => {
+                self.advance();
+                self.quantifier(false)
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn quantifier(&mut self, universal: bool) -> Result<Formula> {
+        let mut binders = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let var = if self.eat(&Tok::Colon) {
+                let sname = self.ident()?;
+                let sort = self.sig.sort_id(&sname)?;
+                self.sig.add_var(&name, sort)?
+            } else {
+                self.sig.var_id(&name)?
+            };
+            binders.push(var);
+            if self.peek().kind == Tok::Dot || !matches!(self.peek().kind, Tok::Ident(_)) {
+                break;
+            }
+        }
+        self.expect(&Tok::Dot)?;
+        let body = self.wff()?;
+        Ok(if universal {
+            Formula::forall_all(&binders, body)
+        } else {
+            Formula::exists_all(&binders, body)
+        })
+    }
+
+    fn atom(&mut self) -> Result<Formula> {
+        match self.peek().kind.clone() {
+            Tok::KwTrue => {
+                self.advance();
+                Ok(Formula::True)
+            }
+            Tok::KwFalse => {
+                self.advance();
+                Ok(Formula::False)
+            }
+            Tok::LParen => {
+                self.advance();
+                let f = self.wff()?;
+                self.expect(&Tok::RParen)?;
+                Ok(f)
+            }
+            Tok::Ident(name) => {
+                if let Some(Symbol::Pred(p)) = self.sig.lookup(&name) {
+                    self.advance();
+                    let args = if self.eat(&Tok::LParen) {
+                        let mut args = vec![self.term()?];
+                        while self.eat(&Tok::Comma) {
+                            args.push(self.term()?);
+                        }
+                        self.expect(&Tok::RParen)?;
+                        args
+                    } else {
+                        Vec::new()
+                    };
+                    return Ok(Formula::Pred(p, args));
+                }
+                let left = self.term()?;
+                if self.eat(&Tok::Eq) {
+                    Ok(Formula::Eq(left, self.term()?))
+                } else if self.eat(&Tok::Neq) {
+                    Ok(Formula::Eq(left, self.term()?).not())
+                } else {
+                    Err(self.err("expected `=` or `!=` after term".into()))
+                }
+            }
+            other => Err(self.err(format!("expected wff atom, found {}", other.describe()))),
+        }
+    }
+
+    fn term(&mut self) -> Result<Term> {
+        let name = self.ident()?;
+        match self.sig.lookup(&name) {
+            Some(Symbol::Var(v)) => Ok(Term::Var(v)),
+            Some(Symbol::Func(f)) => {
+                let args = if self.eat(&Tok::LParen) {
+                    let mut args = vec![self.term()?];
+                    while self.eat(&Tok::Comma) {
+                        args.push(self.term()?);
+                    }
+                    self.expect(&Tok::RParen)?;
+                    args
+                } else {
+                    Vec::new()
+                };
+                Ok(Term::App(f, args))
+            }
+            Some(sym) => Err(self.err(format!(
+                "`{name}` is a {} where a term was expected",
+                sym.kind()
+            ))),
+            None => Err(self.err(format!("unknown identifier `{name}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig() -> Signature {
+        let mut sig = Signature::new();
+        sig.add_sort("student").unwrap();
+        sig.add_sort("course").unwrap();
+        sig
+    }
+
+    /// The paper's §5.2 schema, verbatim modulo ASCII syntax.
+    pub(crate) const PAPER_SCHEMA: &str = r"
+schema
+  OFFERED(course);
+  TAKES(student, course);
+
+  proc initiate() = (TAKES := empty ; OFFERED := empty)
+
+  proc offer(c: course) = insert OFFERED(c)
+
+  proc cancel(c: course) =
+    if ~exists s:student. TAKES(s, c) then delete OFFERED(c) fi
+
+  proc enroll(s: student, c: course) =
+    if OFFERED(c) then insert TAKES(s, c) fi
+
+  proc transfer(s: student, c: course, c2: course) =
+    if TAKES(s, c) & ~TAKES(s, c2) & OFFERED(c2)
+    then (delete TAKES(s, c); insert TAKES(s, c2)) fi
+end-schema
+";
+
+    #[test]
+    fn parses_the_paper_schema() {
+        let mut sg = sig();
+        let (relations, procs) = parse_schema(&mut sg, PAPER_SCHEMA).unwrap();
+        assert_eq!(relations.len(), 2);
+        assert_eq!(procs.len(), 5);
+        let names: Vec<&str> = procs.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["initiate", "offer", "cancel", "enroll", "transfer"]
+        );
+        assert_eq!(procs[4].params.len(), 3);
+        assert!(procs.iter().all(|p| p.body.is_deterministic()));
+    }
+
+    #[test]
+    fn parses_core_statements() {
+        let mut sg = sig();
+        parse_schema(&mut sg, "schema R(course); end-schema").unwrap();
+        let s = parse_stmt(&mut sg, "R := {(c: course) | ~R(c)}").unwrap();
+        assert!(matches!(s, Stmt::RelAssign(..)));
+        let s = parse_stmt(&mut sg, "(exists c:course. R(c))?").unwrap();
+        assert!(matches!(s, Stmt::Test(_)));
+        let s = parse_stmt(&mut sg, "R := empty [] skip ; skip").unwrap();
+        assert!(matches!(s, Stmt::Union(..)));
+        let s = parse_stmt(&mut sg, "skip*").unwrap();
+        assert!(matches!(s, Stmt::Star(_)));
+        let s = parse_stmt(&mut sg, "while exists c:course. R(c) do R := empty od").unwrap();
+        assert!(matches!(s, Stmt::While(..)));
+    }
+
+    #[test]
+    fn parenthesised_test_vs_grouped_statement() {
+        let mut sg = sig();
+        parse_schema(&mut sg, "schema R(course); end-schema").unwrap();
+        // Grouped statement.
+        let s = parse_stmt(&mut sg, "(skip ; skip)").unwrap();
+        assert!(matches!(s, Stmt::Seq(..)));
+        // Parenthesised formula as a test.
+        let s = parse_stmt(&mut sg, "(true & false)?").unwrap();
+        assert!(matches!(s, Stmt::Test(Formula::And(..))));
+    }
+
+    #[test]
+    fn scalar_assignment() {
+        let mut sg = sig();
+        let course = sg.sort_id("course").unwrap();
+        sg.add_constant("x", course).unwrap();
+        sg.add_constant("db", course).unwrap();
+        let s = parse_stmt(&mut sg, "x := db").unwrap();
+        assert!(matches!(s, Stmt::Assign(..)));
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let mut sg = sig();
+        let err = parse_schema(&mut sg, "schema R(course) end-schema").unwrap_err();
+        assert!(matches!(err, RprError::Parse { .. }));
+        let err = parse_schema(&mut sg, "schema R(nosort); end-schema").unwrap_err();
+        assert!(matches!(err, RprError::Logic(_)));
+    }
+
+    #[test]
+    fn redeclaration_checked() {
+        let mut sg = sig();
+        parse_schema(&mut sg, "schema R(course); end-schema").unwrap();
+        // Same columns: fine.
+        parse_schema(&mut sg, "schema R(course); end-schema").unwrap();
+        // Different columns: rejected.
+        let err = parse_schema(&mut sg, "schema R(student); end-schema").unwrap_err();
+        assert!(matches!(err, RprError::Parse { .. }));
+    }
+}

@@ -1,0 +1,351 @@
+//! Lexer for the RPR schema language.
+
+use crate::error::{Result, RprError};
+
+/// A lexical token with its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: Tok,
+    /// Byte offset of the first character.
+    pub offset: usize,
+}
+
+/// Token kinds of the schema language (statement syntax plus the embedded
+/// first-order formula syntax).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// `(` `)` `{` `}` `,` `;` `:` `?` `*` `|`
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `,`.
+    Comma,
+    /// `;`.
+    Semi,
+    /// `:`.
+    Colon,
+    /// `?`.
+    Question,
+    /// `*`.
+    Star,
+    /// `|`.
+    Bar,
+    /// `.`.
+    Dot,
+    /// `:=`.
+    Assign,
+    /// `[]` — union.
+    UnionOp,
+    /// `=`.
+    Eq,
+    /// `!=`.
+    Neq,
+    /// `&`.
+    And,
+    /// `~`.
+    Not,
+    /// `->`.
+    Arrow,
+    /// `<->`.
+    DArrow,
+    /// Keywords.
+    KwSchema,
+    /// `end-schema`.
+    KwEndSchema,
+    /// `proc`.
+    KwProc,
+    /// `if`.
+    KwIf,
+    /// `then`.
+    KwThen,
+    /// `else`.
+    KwElse,
+    /// `fi`.
+    KwFi,
+    /// `while`.
+    KwWhile,
+    /// `do`.
+    KwDo,
+    /// `od`.
+    KwOd,
+    /// `insert`.
+    KwInsert,
+    /// `delete`.
+    KwDelete,
+    /// `empty`.
+    KwEmpty,
+    /// `skip`.
+    KwSkip,
+    /// `forall`.
+    KwForall,
+    /// `exists`.
+    KwExists,
+    /// `true`.
+    KwTrue,
+    /// `false`.
+    KwFalse,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Short description for diagnostics.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+/// Tokenises the input. `#` starts a line comment; `/* … */` block comments
+/// are also accepted (the paper annotates descriptions that way).
+///
+/// # Errors
+/// Returns [`RprError::Parse`] on unexpected characters.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let b = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        let push = |out: &mut Vec<Token>, kind: Tok, at: usize| {
+            out.push(Token { kind, offset: at });
+        };
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'#' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= b.len() {
+                        return Err(RprError::Parse {
+                            offset: start,
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                    if b[i] == b'*' && b[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'(' => {
+                push(&mut out, Tok::LParen, i);
+                i += 1;
+            }
+            b')' => {
+                push(&mut out, Tok::RParen, i);
+                i += 1;
+            }
+            b'{' => {
+                push(&mut out, Tok::LBrace, i);
+                i += 1;
+            }
+            b'}' => {
+                push(&mut out, Tok::RBrace, i);
+                i += 1;
+            }
+            b',' => {
+                push(&mut out, Tok::Comma, i);
+                i += 1;
+            }
+            b';' => {
+                push(&mut out, Tok::Semi, i);
+                i += 1;
+            }
+            b'?' => {
+                push(&mut out, Tok::Question, i);
+                i += 1;
+            }
+            b'*' => {
+                push(&mut out, Tok::Star, i);
+                i += 1;
+            }
+            b'|' => {
+                push(&mut out, Tok::Bar, i);
+                i += 1;
+            }
+            b'.' => {
+                push(&mut out, Tok::Dot, i);
+                i += 1;
+            }
+            b'=' => {
+                push(&mut out, Tok::Eq, i);
+                i += 1;
+            }
+            b'&' => {
+                push(&mut out, Tok::And, i);
+                i += 1;
+            }
+            b'~' => {
+                push(&mut out, Tok::Not, i);
+                i += 1;
+            }
+            b':' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    push(&mut out, Tok::Assign, i);
+                    i += 2;
+                } else {
+                    push(&mut out, Tok::Colon, i);
+                    i += 1;
+                }
+            }
+            b'[' => {
+                if b.get(i + 1) == Some(&b']') {
+                    push(&mut out, Tok::UnionOp, i);
+                    i += 2;
+                } else {
+                    return Err(RprError::Parse {
+                        offset: i,
+                        message: "expected `[]`".into(),
+                    });
+                }
+            }
+            b'!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    push(&mut out, Tok::Neq, i);
+                    i += 2;
+                } else {
+                    return Err(RprError::Parse {
+                        offset: i,
+                        message: "expected `!=`".into(),
+                    });
+                }
+            }
+            b'-' => {
+                if b.get(i + 1) == Some(&b'>') {
+                    push(&mut out, Tok::Arrow, i);
+                    i += 2;
+                } else {
+                    return Err(RprError::Parse {
+                        offset: i,
+                        message: "expected `->`".into(),
+                    });
+                }
+            }
+            b'<' => {
+                if b.get(i + 1) == Some(&b'-') && b.get(i + 2) == Some(&b'>') {
+                    push(&mut out, Tok::DArrow, i);
+                    i += 3;
+                } else {
+                    return Err(RprError::Parse {
+                        offset: i,
+                        message: "expected `<->`".into(),
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'\'')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                // `end-schema` lexes as one keyword.
+                if word == "end" && input[i..].starts_with("-schema") {
+                    i += "-schema".len();
+                    push(&mut out, Tok::KwEndSchema, start);
+                    continue;
+                }
+                let kind = match word {
+                    "schema" => Tok::KwSchema,
+                    "proc" => Tok::KwProc,
+                    "if" => Tok::KwIf,
+                    "then" => Tok::KwThen,
+                    "else" => Tok::KwElse,
+                    "fi" => Tok::KwFi,
+                    "while" => Tok::KwWhile,
+                    "do" => Tok::KwDo,
+                    "od" => Tok::KwOd,
+                    "insert" => Tok::KwInsert,
+                    "delete" => Tok::KwDelete,
+                    "empty" => Tok::KwEmpty,
+                    "skip" => Tok::KwSkip,
+                    "forall" => Tok::KwForall,
+                    "exists" => Tok::KwExists,
+                    "true" => Tok::KwTrue,
+                    "false" => Tok::KwFalse,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                push(&mut out, kind, start);
+            }
+            other => {
+                return Err(RprError::Parse {
+                    offset: i,
+                    message: format!("unexpected character `{}`", other as char),
+                });
+            }
+        }
+    }
+    out.push(Token {
+        kind: Tok::Eof,
+        offset: input.len(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_schema_tokens() {
+        let toks = tokenize("schema OFFERED(course); proc offer(c: course) = insert OFFERED(c) end-schema").unwrap();
+        let kinds: Vec<_> = toks.into_iter().map(|t| t.kind).collect();
+        assert_eq!(kinds[0], Tok::KwSchema);
+        assert!(kinds.contains(&Tok::KwProc));
+        assert!(kinds.contains(&Tok::KwInsert));
+        assert_eq!(kinds[kinds.len() - 2], Tok::KwEndSchema);
+        assert_eq!(*kinds.last().unwrap(), Tok::Eof);
+    }
+
+    #[test]
+    fn assign_vs_colon() {
+        let toks = tokenize("R := x : y").unwrap();
+        let kinds: Vec<_> = toks.into_iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Tok::Ident("R".into()),
+                Tok::Assign,
+                Tok::Ident("x".into()),
+                Tok::Colon,
+                Tok::Ident("y".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn block_comments_skip() {
+        let toks = tokenize("a /* comment with insert */ b").unwrap();
+        assert_eq!(toks.len(), 3);
+        assert!(matches!(
+            tokenize("/* unterminated"),
+            Err(RprError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn union_token() {
+        let toks = tokenize("p [] q").unwrap();
+        assert_eq!(toks[1].kind, Tok::UnionOp);
+        assert!(matches!(tokenize("p [ q"), Err(RprError::Parse { .. })));
+    }
+}

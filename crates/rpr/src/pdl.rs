@@ -1,0 +1,206 @@
+//! A dynamic-logic extension over RPR programs.
+//!
+//! Paper §5.3 notes that extending the interpretation `K` to map arbitrary
+//! wffs "would need a full programming logic, such as Dynamic Logic (a
+//! separate paper will explore this possibility)". This module implements
+//! that extension: propositional dynamic logic whose programs are RPR
+//! statements and whose atoms are first-order wffs, model-checked over a
+//! finite universe.
+
+use eclectic_logic::{eval, Formula, Valuation};
+
+use crate::ast::Stmt;
+use crate::binrel::BinRel;
+use crate::denote::meaning;
+use crate::error::Result;
+use crate::universe::FiniteUniverse;
+
+/// A PDL formula over RPR programs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pdl {
+    /// A closed first-order wff, evaluated in the current state.
+    Atom(Formula),
+    /// `¬φ`.
+    Not(Box<Pdl>),
+    /// `φ ∧ ψ`.
+    And(Box<Pdl>, Box<Pdl>),
+    /// `φ ∨ ψ`.
+    Or(Box<Pdl>, Box<Pdl>),
+    /// `φ ⟹ ψ`.
+    Implies(Box<Pdl>, Box<Pdl>),
+    /// `[p]φ` — after every execution of `p`, `φ` holds.
+    Box(Stmt, std::boxed::Box<Pdl>),
+    /// `⟨p⟩φ` — some execution of `p` reaches a state where `φ` holds.
+    Diamond(Stmt, std::boxed::Box<Pdl>),
+}
+
+impl Pdl {
+    /// `¬φ`.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Pdl {
+        Pdl::Not(std::boxed::Box::new(self))
+    }
+
+    /// `φ ∧ ψ`.
+    #[must_use]
+    pub fn and(self, other: Pdl) -> Pdl {
+        Pdl::And(std::boxed::Box::new(self), std::boxed::Box::new(other))
+    }
+
+    /// `φ ∨ ψ`.
+    #[must_use]
+    pub fn or(self, other: Pdl) -> Pdl {
+        Pdl::Or(std::boxed::Box::new(self), std::boxed::Box::new(other))
+    }
+
+    /// `φ ⟹ ψ`.
+    #[must_use]
+    pub fn implies(self, other: Pdl) -> Pdl {
+        Pdl::Implies(std::boxed::Box::new(self), std::boxed::Box::new(other))
+    }
+
+    /// `[p]φ`.
+    #[must_use]
+    pub fn after_all(p: Stmt, phi: Pdl) -> Pdl {
+        Pdl::Box(p, std::boxed::Box::new(phi))
+    }
+
+    /// `⟨p⟩φ`.
+    #[must_use]
+    pub fn after_some(p: Stmt, phi: Pdl) -> Pdl {
+        Pdl::Diamond(p, std::boxed::Box::new(phi))
+    }
+}
+
+/// The set of state indices satisfying a PDL formula.
+///
+/// # Errors
+/// Propagates meaning/evaluation errors.
+pub fn satisfying_states(u: &FiniteUniverse, phi: &Pdl) -> Result<Vec<bool>> {
+    let n = u.len();
+    Ok(match phi {
+        Pdl::Atom(f) => {
+            let mut out = vec![false; n];
+            for (i, st) in u.states().iter().enumerate() {
+                out[i] = eval::models(st.structure(), f)?;
+            }
+            out
+        }
+        Pdl::Not(p) => satisfying_states(u, p)?.into_iter().map(|b| !b).collect(),
+        Pdl::And(p, q) => zip_with(satisfying_states(u, p)?, satisfying_states(u, q)?, |a, b| {
+            a && b
+        }),
+        Pdl::Or(p, q) => zip_with(satisfying_states(u, p)?, satisfying_states(u, q)?, |a, b| {
+            a || b
+        }),
+        Pdl::Implies(p, q) => {
+            zip_with(satisfying_states(u, p)?, satisfying_states(u, q)?, |a, b| {
+                !a || b
+            })
+        }
+        Pdl::Box(prog, p) => {
+            let m: BinRel = meaning(u, prog, &Valuation::new())?;
+            let inner = satisfying_states(u, p)?;
+            (0..n)
+                .map(|i| m.image(i).into_iter().all(|j| inner[j]))
+                .collect()
+        }
+        Pdl::Diamond(prog, p) => {
+            let m: BinRel = meaning(u, prog, &Valuation::new())?;
+            let inner = satisfying_states(u, p)?;
+            (0..n)
+                .map(|i| m.image(i).into_iter().any(|j| inner[j]))
+                .collect()
+        }
+    })
+}
+
+fn zip_with(a: Vec<bool>, b: Vec<bool>, f: impl Fn(bool, bool) -> bool) -> Vec<bool> {
+    a.into_iter().zip(b).map(|(x, y)| f(x, y)).collect()
+}
+
+/// Whether the PDL formula holds at a specific state.
+///
+/// # Errors
+/// See [`satisfying_states`].
+pub fn holds_at(u: &FiniteUniverse, i: usize, phi: &Pdl) -> Result<bool> {
+    Ok(satisfying_states(u, phi)?[i])
+}
+
+/// Whether the PDL formula holds at every state (validity in the universe).
+///
+/// # Errors
+/// See [`satisfying_states`].
+pub fn valid(u: &FiniteUniverse, phi: &Pdl) -> Result<bool> {
+    Ok(satisfying_states(u, phi)?.into_iter().all(|b| b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::DbState;
+    use eclectic_logic::{Domains, Signature, Term};
+    use std::sync::Arc;
+
+    fn setup() -> (FiniteUniverse, Stmt, Formula) {
+        let mut sig = Signature::new();
+        let course = sig.add_sort("course").unwrap();
+        let offered = sig.add_db_predicate("OFFERED", &[course]).unwrap();
+        let x = sig.add_constant("x", course).unwrap();
+        let dom = Domains::from_names(&sig, &[("course", &["db"])]).unwrap();
+        let sig = Arc::new(sig);
+        let mut template = DbState::new(sig.clone(), Arc::new(dom));
+        template.set_scalar(x, eclectic_logic::Elem(0)).unwrap();
+        let u = FiniteUniverse::enumerate(&template, &[offered], &[x], 100).unwrap();
+        let insert = Stmt::Insert(offered, vec![Term::constant(x)]);
+        let atom = Formula::Pred(offered, vec![Term::constant(x)]);
+        (u, insert, atom)
+    }
+
+    #[test]
+    fn box_and_diamond() {
+        let (u, insert, atom) = setup();
+        // [insert OFFERED(x)] OFFERED(x) is valid: after inserting it holds.
+        let phi = Pdl::after_all(insert.clone(), Pdl::Atom(atom.clone()));
+        assert!(valid(&u, &phi).unwrap());
+        // ⟨skip⟩ OFFERED(x) holds only where it already holds.
+        let psi = Pdl::after_some(Stmt::Skip, Pdl::Atom(atom.clone()));
+        let sat = satisfying_states(&u, &psi).unwrap();
+        assert!(sat.iter().any(|b| *b));
+        assert!(!sat.iter().all(|b| *b));
+    }
+
+    #[test]
+    fn box_vacuous_on_stuck_programs() {
+        let (u, _insert, atom) = setup();
+        // [false?] φ is valid: no execution exists.
+        let phi = Pdl::after_all(Stmt::Test(Formula::False), Pdl::Atom(atom.clone()).not());
+        assert!(valid(&u, &phi).unwrap());
+        // ⟨false?⟩ true is unsatisfiable.
+        let psi = Pdl::after_some(Stmt::Test(Formula::False), Pdl::Atom(Formula::True));
+        assert!(satisfying_states(&u, &psi).unwrap().iter().all(|b| !b));
+    }
+
+    #[test]
+    fn star_modalities() {
+        let (u, insert, atom) = setup();
+        // ⟨insert*⟩ OFFERED(x) is valid: iterate once.
+        let phi = Pdl::after_some(insert.clone().star(), Pdl::Atom(atom.clone()));
+        assert!(valid(&u, &phi).unwrap());
+        // [insert*] OFFERED(x) is not valid at the empty state (zero
+        // iterations keep it absent).
+        let psi = Pdl::after_all(insert.star(), Pdl::Atom(atom));
+        assert!(!valid(&u, &psi).unwrap());
+    }
+
+    #[test]
+    fn connectives() {
+        let (u, _insert, atom) = setup();
+        let a = Pdl::Atom(atom);
+        let tauto = a.clone().implies(a.clone().or(a.clone().not().not()));
+        assert!(valid(&u, &tauto).unwrap());
+        let contra = a.clone().and(a.not());
+        assert!(satisfying_states(&u, &contra).unwrap().iter().all(|b| !b));
+    }
+}

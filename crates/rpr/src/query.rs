@@ -1,0 +1,241 @@
+//! Query definitions at the representation level.
+//!
+//! Paper §5.2: "Query functions are trivially introduced by noting that the
+//! language allows logical-valued expressions of the form `R(t)`." More
+//! generally a query is any wff with free parameter variables; evaluating it
+//! in a state with the parameters bound yields the Boolean answer.
+
+use eclectic_logic::{eval, Elem, Formula, Valuation, VarId};
+
+use crate::error::{Result, RprError};
+use crate::state::DbState;
+
+/// A named Boolean query: a wff whose free variables are its parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryDef {
+    /// Query name (conventionally matching the level-2 query function).
+    pub name: String,
+    /// Parameter variables, in order.
+    pub params: Vec<VarId>,
+    /// The defining wff; free variables must be among `params`.
+    pub wff: Formula,
+}
+
+impl QueryDef {
+    /// Creates and validates a query definition.
+    ///
+    /// # Errors
+    /// Returns [`RprError::BadStatement`] if the wff has other free
+    /// variables or is not first-order.
+    pub fn new(
+        sig: &eclectic_logic::Signature,
+        name: impl Into<String>,
+        params: Vec<VarId>,
+        wff: Formula,
+    ) -> Result<Self> {
+        wff.check(sig)?;
+        if !wff.is_first_order() {
+            return Err(RprError::BadStatement(
+                "query wffs must be first-order".into(),
+            ));
+        }
+        for v in wff.free_vars() {
+            if !params.contains(&v) {
+                return Err(RprError::BadStatement(format!(
+                    "query wff has free variable `{}` outside its parameters",
+                    sig.var(v).name
+                )));
+            }
+        }
+        Ok(QueryDef {
+            name: name.into(),
+            params,
+            wff,
+        })
+    }
+
+    /// Evaluates the query in a state with the given parameter values.
+    ///
+    /// # Errors
+    /// Returns arity errors and propagates evaluation errors.
+    pub fn eval(&self, st: &DbState, args: &[Elem]) -> Result<bool> {
+        if args.len() != self.params.len() {
+            return Err(RprError::ArityMismatch {
+                proc: self.name.clone(),
+                expected: self.params.len(),
+                found: args.len(),
+            });
+        }
+        let mut v = Valuation::new();
+        for (&p, &a) in self.params.iter().zip(args) {
+            v.set(p, a);
+        }
+        Ok(eval::satisfies(st.structure(), &v, &self.wff)?)
+    }
+}
+
+
+/// A named *functional* query: a wff relating parameters to a unique output
+/// value — e.g. `balance(a) = v` defined by a wff over `(a, v)`. Used when a
+/// level-2 query has a non-Boolean target sort.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncQueryDef {
+    /// Query name.
+    pub name: String,
+    /// Parameter variables, in order.
+    pub params: Vec<VarId>,
+    /// The output variable (its sort is the query's target sort).
+    pub output: VarId,
+    /// The defining wff; free variables must be among `params` + `output`.
+    pub wff: Formula,
+}
+
+impl FuncQueryDef {
+    /// Creates and validates a functional query definition.
+    ///
+    /// # Errors
+    /// Returns [`RprError::BadStatement`] on stray free variables or
+    /// non-first-order wffs.
+    pub fn new(
+        sig: &eclectic_logic::Signature,
+        name: impl Into<String>,
+        params: Vec<VarId>,
+        output: VarId,
+        wff: Formula,
+    ) -> Result<Self> {
+        wff.check(sig)?;
+        if !wff.is_first_order() {
+            return Err(RprError::BadStatement(
+                "query wffs must be first-order".into(),
+            ));
+        }
+        for v in wff.free_vars() {
+            if !params.contains(&v) && v != output {
+                return Err(RprError::BadStatement(format!(
+                    "query wff has stray free variable `{}`",
+                    sig.var(v).name
+                )));
+            }
+        }
+        Ok(FuncQueryDef {
+            name: name.into(),
+            params,
+            output,
+            wff,
+        })
+    }
+
+    /// Evaluates the query: the unique output element satisfying the wff.
+    ///
+    /// # Errors
+    /// Returns [`RprError::Stuck`] when no output satisfies the wff and
+    /// [`RprError::Nondeterministic`] when several do.
+    pub fn eval(&self, st: &DbState, args: &[Elem]) -> Result<Elem> {
+        if args.len() != self.params.len() {
+            return Err(RprError::ArityMismatch {
+                proc: self.name.clone(),
+                expected: self.params.len(),
+                found: args.len(),
+            });
+        }
+        let mut v = Valuation::new();
+        for (&p, &a) in self.params.iter().zip(args) {
+            v.set(p, a);
+        }
+        let sort = st.signature().var(self.output).sort;
+        let mut found = Vec::new();
+        for e in st.domains().elems(sort) {
+            let holds = v.with(self.output, e, |v| {
+                eval::satisfies(st.structure(), v, &self.wff)
+            })?;
+            if holds {
+                found.push(e);
+            }
+        }
+        match found.len() {
+            1 => Ok(found[0]),
+            0 => Err(RprError::Stuck),
+            n => Err(RprError::Nondeterministic { outcomes: n }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclectic_logic::{Domains, Signature, Term};
+    use std::sync::Arc;
+
+    fn setup() -> (DbState, QueryDef, QueryDef) {
+        let mut sig = Signature::new();
+        let student = sig.add_sort("student").unwrap();
+        let course = sig.add_sort("course").unwrap();
+        let offered = sig.add_db_predicate("OFFERED", &[course]).unwrap();
+        let takes = sig.add_db_predicate("TAKES", &[student, course]).unwrap();
+        let s = sig.add_var("s", student).unwrap();
+        let c = sig.add_var("c", course).unwrap();
+        let dom = Domains::from_names(
+            &sig,
+            &[("student", &["ana"]), ("course", &["db", "ai"])],
+        )
+        .unwrap();
+        let q_offered = QueryDef::new(
+            &sig,
+            "offered",
+            vec![c],
+            Formula::Pred(offered, vec![Term::Var(c)]),
+        )
+        .unwrap();
+        let q_takes = QueryDef::new(
+            &sig,
+            "takes",
+            vec![s, c],
+            Formula::Pred(takes, vec![Term::Var(s), Term::Var(c)]),
+        )
+        .unwrap();
+        let mut st = DbState::new(Arc::new(sig), Arc::new(dom));
+        let sig2 = st.signature().clone();
+        st.insert(sig2.pred_id("OFFERED").unwrap(), vec![Elem(0)])
+            .unwrap();
+        (st, q_offered, q_takes)
+    }
+
+    #[test]
+    fn evaluates_with_parameters() {
+        let (st, q_offered, q_takes) = setup();
+        assert!(q_offered.eval(&st, &[Elem(0)]).unwrap());
+        assert!(!q_offered.eval(&st, &[Elem(1)]).unwrap());
+        assert!(!q_takes.eval(&st, &[Elem(0), Elem(0)]).unwrap());
+    }
+
+    #[test]
+    fn arity_checked() {
+        let (st, q_offered, _) = setup();
+        assert!(matches!(
+            q_offered.eval(&st, &[]),
+            Err(RprError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn stray_free_vars_rejected() {
+        let (st, _, _) = setup();
+        let sig = st.signature().clone();
+        let c = sig.var_id("c").unwrap();
+        let offered = sig.pred_id("OFFERED").unwrap();
+        assert!(QueryDef::new(
+            &sig,
+            "bad",
+            vec![],
+            Formula::Pred(offered, vec![Term::Var(c)])
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn modal_wff_rejected() {
+        let (st, _, _) = setup();
+        let sig = st.signature().clone();
+        assert!(QueryDef::new(&sig, "bad", vec![], Formula::True.possibly()).is_err());
+    }
+}

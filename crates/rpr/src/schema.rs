@@ -1,0 +1,181 @@
+//! Database schemas: relation declarations plus operation declarations.
+//!
+//! Paper §5.1.1: `schema SCL; OPL end-schema`, where SCL declares relation
+//! names with their column domains and OPL declares procedures
+//! `proc I(Y1, …, Ym) = S`. Parameters are typed variables bound to concrete
+//! values at call time (the `A[c1/Y1, …, cm/Ym]` of the semantics of `k`).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use eclectic_logic::{PredId, Signature, VarId};
+
+use crate::ast::Stmt;
+use crate::error::{Result, RprError};
+
+/// A procedure declaration `proc I(Y1, …, Ym) = S`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcDecl {
+    /// Operation identifier.
+    pub name: String,
+    /// Parameters: typed variables that may occur free in the body.
+    pub params: Vec<VarId>,
+    /// Operation body.
+    pub body: Stmt,
+}
+
+/// A database schema.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    sig: Arc<Signature>,
+    relations: Vec<PredId>,
+    procs: Vec<ProcDecl>,
+}
+
+impl Schema {
+    /// Creates a schema, validating every procedure body against the
+    /// signature with its parameters in scope.
+    ///
+    /// # Errors
+    /// Returns the first validation error.
+    pub fn new(sig: Arc<Signature>, relations: Vec<PredId>, procs: Vec<ProcDecl>) -> Result<Self> {
+        for &r in &relations {
+            if !sig.pred(r).db_predicate {
+                return Err(RprError::BadSchema(format!(
+                    "relation `{}` must be declared as a db-predicate",
+                    sig.pred(r).name
+                )));
+            }
+        }
+        let mut names = std::collections::BTreeSet::new();
+        for p in &procs {
+            if !names.insert(p.name.clone()) {
+                return Err(RprError::BadSchema(format!(
+                    "duplicate procedure `{}`",
+                    p.name
+                )));
+            }
+            let allowed: BTreeSet<VarId> = p.params.iter().copied().collect();
+            if allowed.len() != p.params.len() {
+                return Err(RprError::BadSchema(format!(
+                    "procedure `{}` repeats a parameter",
+                    p.name
+                )));
+            }
+            p.body.validate(&sig, &allowed)?;
+        }
+        Ok(Schema {
+            sig,
+            relations,
+            procs,
+        })
+    }
+
+    /// The underlying signature.
+    #[must_use]
+    pub fn signature(&self) -> &Arc<Signature> {
+        &self.sig
+    }
+
+    /// The declared relations, in declaration order.
+    #[must_use]
+    pub fn relations(&self) -> &[PredId] {
+        &self.relations
+    }
+
+    /// The procedures, in declaration order.
+    #[must_use]
+    pub fn procs(&self) -> &[ProcDecl] {
+        &self.procs
+    }
+
+    /// Finds a procedure by name.
+    #[must_use]
+    pub fn proc(&self, name: &str) -> Option<&ProcDecl> {
+        self.procs.iter().find(|p| p.name == name)
+    }
+
+    /// Finds a procedure by name, as a `Result`.
+    ///
+    /// # Errors
+    /// Returns [`RprError::UnknownProc`].
+    pub fn proc_or_err(&self, name: &str) -> Result<&ProcDecl> {
+        self.proc(name)
+            .ok_or_else(|| RprError::UnknownProc(name.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclectic_logic::{Formula, Term};
+
+    fn build() -> (Arc<Signature>, PredId, VarId) {
+        let mut sig = Signature::new();
+        let course = sig.add_sort("course").unwrap();
+        let offered = sig.add_db_predicate("OFFERED", &[course]).unwrap();
+        let c = sig.add_var("c", course).unwrap();
+        (Arc::new(sig), offered, c)
+    }
+
+    #[test]
+    fn valid_schema_builds() {
+        let (sig, offered, c) = build();
+        let proc_offer = ProcDecl {
+            name: "offer".into(),
+            params: vec![c],
+            body: Stmt::Insert(offered, vec![Term::Var(c)]),
+        };
+        let schema = Schema::new(sig, vec![offered], vec![proc_offer]).unwrap();
+        assert!(schema.proc("offer").is_some());
+        assert!(schema.proc_or_err("nope").is_err());
+    }
+
+    #[test]
+    fn duplicate_proc_rejected() {
+        let (sig, offered, c) = build();
+        let p = ProcDecl {
+            name: "offer".into(),
+            params: vec![c],
+            body: Stmt::Insert(offered, vec![Term::Var(c)]),
+        };
+        assert!(matches!(
+            Schema::new(sig, vec![offered], vec![p.clone(), p]),
+            Err(RprError::BadSchema(_))
+        ));
+    }
+
+    #[test]
+    fn repeated_parameter_rejected() {
+        let (sig, offered, c) = build();
+        let p = ProcDecl {
+            name: "offer".into(),
+            params: vec![c, c],
+            body: Stmt::Insert(offered, vec![Term::Var(c)]),
+        };
+        assert!(matches!(
+            Schema::new(sig, vec![offered], vec![p]),
+            Err(RprError::BadSchema(_))
+        ));
+    }
+
+    #[test]
+    fn non_db_predicate_relation_rejected() {
+        let mut sig = Signature::new();
+        let course = sig.add_sort("course").unwrap();
+        let aux = sig.add_predicate("AUX", &[course]).unwrap();
+        let schema = Schema::new(Arc::new(sig), vec![aux], vec![]);
+        assert!(matches!(schema, Err(RprError::BadSchema(_))));
+    }
+
+    #[test]
+    fn body_with_stray_variable_rejected() {
+        let (sig, offered, c) = build();
+        let p = ProcDecl {
+            name: "bad".into(),
+            params: vec![], // c is not a parameter here
+            body: Stmt::Test(Formula::Pred(offered, vec![Term::Var(c)])),
+        };
+        assert!(Schema::new(sig, vec![offered], vec![p]).is_err());
+    }
+}

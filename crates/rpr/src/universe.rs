@@ -1,0 +1,247 @@
+//! Finite universes for the denotational semantics.
+//!
+//! Paper §5.1.2: a universe for `L` is a set of structures such that (i) any
+//! two differ only on the program variables, (ii) every scalar program
+//! variable can take any domain value, and (iii) every relational program
+//! variable can take any relation value. Over finite domains the universe
+//! satisfying (i)–(iii) is itself finite — the full product of all relation
+//! values and scalar values — and this module enumerates it.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use eclectic_logic::{Domains, Elem, FuncId, PredId, Signature};
+
+use crate::error::{Result, RprError};
+use crate::state::DbState;
+
+/// A fully enumerated finite universe.
+#[derive(Debug, Clone)]
+pub struct FiniteUniverse {
+    sig: Arc<Signature>,
+    domains: Arc<Domains>,
+    relations: Vec<PredId>,
+    scalars: Vec<FuncId>,
+    states: Vec<DbState>,
+    index: BTreeMap<DbState, usize>,
+}
+
+impl FiniteUniverse {
+    /// Enumerates the universe over the given relational and scalar program
+    /// variables. Every other symbol's interpretation is the one in
+    /// `template` (usually an empty state).
+    ///
+    /// # Errors
+    /// Returns [`RprError::UniverseTooLarge`] if the product of relation
+    /// subsets and scalar values exceeds `cap`.
+    pub fn enumerate(
+        template: &DbState,
+        relations: &[PredId],
+        scalars: &[FuncId],
+        cap: usize,
+    ) -> Result<Self> {
+        let sig = template.signature().clone();
+        let domains = template.domains().clone();
+
+        // Count first.
+        let mut required: usize = 1;
+        for &r in relations {
+            let rows = domains.tuple_count(&sig.pred(r).domain);
+            let subsets = 1usize
+                .checked_shl(u32::try_from(rows).unwrap_or(u32::MAX))
+                .ok_or(RprError::UniverseTooLarge {
+                    required: usize::MAX,
+                    cap,
+                })?;
+            required = required
+                .checked_mul(subsets)
+                .ok_or(RprError::UniverseTooLarge {
+                    required: usize::MAX,
+                    cap,
+                })?;
+        }
+        for &x in scalars {
+            required = required
+                .checked_mul(domains.card(sig.func(x).range).max(1))
+                .ok_or(RprError::UniverseTooLarge {
+                    required: usize::MAX,
+                    cap,
+                })?;
+        }
+        if required > cap {
+            return Err(RprError::UniverseTooLarge { required, cap });
+        }
+
+        let mut states = vec![template.clone()];
+        for &r in relations {
+            let rows = domains.tuples(&sig.pred(r).domain);
+            let mut next = Vec::with_capacity(states.len() << rows.len().min(20));
+            for st in &states {
+                for mask in 0..(1usize << rows.len()) {
+                    let mut s2 = st.clone();
+                    let tuples: std::collections::BTreeSet<Vec<Elem>> = rows
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask & (1 << i) != 0)
+                        .map(|(_, t)| t.clone())
+                        .collect();
+                    s2.structure_mut().set_pred_relation(r, tuples)?;
+                    next.push(s2);
+                }
+            }
+            states = next;
+        }
+        for &x in scalars {
+            let sort = sig.func(x).range;
+            let mut next = Vec::with_capacity(states.len() * domains.card(sort).max(1));
+            for st in &states {
+                for e in domains.elems(sort) {
+                    let mut s2 = st.clone();
+                    s2.set_scalar(x, e)?;
+                    next.push(s2);
+                }
+            }
+            states = next;
+        }
+
+        let mut index = BTreeMap::new();
+        for (i, st) in states.iter().enumerate() {
+            index.insert(st.clone(), i);
+        }
+        Ok(FiniteUniverse {
+            sig,
+            domains,
+            relations: relations.to_vec(),
+            scalars: scalars.to_vec(),
+            states,
+            index,
+        })
+    }
+
+    /// The signature.
+    #[must_use]
+    pub fn signature(&self) -> &Arc<Signature> {
+        &self.sig
+    }
+
+    /// The shared domains.
+    #[must_use]
+    pub fn domains(&self) -> &Arc<Domains> {
+        &self.domains
+    }
+
+    /// The relational program variables.
+    #[must_use]
+    pub fn relations(&self) -> &[PredId] {
+        &self.relations
+    }
+
+    /// The scalar program variables.
+    #[must_use]
+    pub fn scalars(&self) -> &[FuncId] {
+        &self.scalars
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the universe is empty (it never is after `enumerate`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The state at an index.
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices.
+    #[must_use]
+    pub fn state(&self, i: usize) -> &DbState {
+        &self.states[i]
+    }
+
+    /// All states.
+    #[must_use]
+    pub fn states(&self) -> &[DbState] {
+        &self.states
+    }
+
+    /// The index of a state, if it belongs to the universe.
+    #[must_use]
+    pub fn index_of(&self, st: &DbState) -> Option<usize> {
+        self.index.get(st).copied()
+    }
+
+    /// The index of a state, erroring when it does not belong (which means
+    /// the state differs on a non-program symbol — condition (i) violated).
+    ///
+    /// # Errors
+    /// Returns [`RprError::BadStatement`].
+    pub fn index_or_err(&self, st: &DbState) -> Result<usize> {
+        self.index_of(st).ok_or_else(|| {
+            RprError::BadStatement(
+                "state outside the universe (differs on a non-program symbol)".into(),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn template() -> DbState {
+        let mut sig = Signature::new();
+        let course = sig.add_sort("course").unwrap();
+        sig.add_db_predicate("OFFERED", &[course]).unwrap();
+        sig.add_constant("x", course).unwrap();
+        let dom = Domains::from_names(&sig, &[("course", &["db", "ai"])]).unwrap();
+        DbState::new(Arc::new(sig), Arc::new(dom))
+    }
+
+    #[test]
+    fn enumerates_product() {
+        let t = template();
+        let sig = t.signature().clone();
+        let offered = sig.pred_id("OFFERED").unwrap();
+        let x = sig.func_id("x").unwrap();
+        let u = FiniteUniverse::enumerate(&t, &[offered], &[x], 100).unwrap();
+        // 2^2 relation values × 2 scalar values.
+        assert_eq!(u.len(), 8);
+        for i in 0..u.len() {
+            assert_eq!(u.index_of(u.state(i)), Some(i));
+        }
+    }
+
+    #[test]
+    fn cap_enforced() {
+        let t = template();
+        let sig = t.signature().clone();
+        let offered = sig.pred_id("OFFERED").unwrap();
+        assert!(matches!(
+            FiniteUniverse::enumerate(&t, &[offered], &[], 3),
+            Err(RprError::UniverseTooLarge { required: 4, cap: 3 })
+        ));
+    }
+
+    #[test]
+    fn closure_conditions_hold() {
+        // (ii)/(iii): for any state, flipping a scalar or relation value
+        // stays inside the universe.
+        let t = template();
+        let sig = t.signature().clone();
+        let offered = sig.pred_id("OFFERED").unwrap();
+        let x = sig.func_id("x").unwrap();
+        let u = FiniteUniverse::enumerate(&t, &[offered], &[x], 100).unwrap();
+        let st = u.state(0).clone();
+        let mut flipped = st.clone();
+        flipped.set_scalar(x, Elem(1)).unwrap();
+        assert!(u.index_of(&flipped).is_some());
+        let mut rel = st;
+        rel.insert(offered, vec![Elem(0)]).unwrap();
+        assert!(u.index_of(&rel).is_some());
+    }
+}

@@ -1,0 +1,202 @@
+//! Earley recognition over metagrammars.
+//!
+//! Decides whether a protonotion (token string) belongs to the language of
+//! a metanotion. General CFG recognition — handles left/right recursion and
+//! empty productions — so metagrammar authors need no normal form.
+
+use crate::wgrammar::meta::{MetaGrammar, MetaSym};
+
+/// An Earley item: production `lhs → rhs`, dot position, origin set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Item<'g> {
+    lhs: &'g str,
+    rhs: &'g [MetaSym],
+    dot: usize,
+    origin: usize,
+}
+
+impl<'g> Item<'g> {
+    fn next_sym(&self) -> Option<&'g MetaSym> {
+        self.rhs.get(self.dot)
+    }
+}
+
+/// Whether `tokens` is derivable from metanotion `start` in the metagrammar.
+#[must_use]
+pub fn recognizes(g: &MetaGrammar, start: &str, tokens: &[String]) -> bool {
+    if !g.has(start) {
+        return false;
+    }
+    let n = tokens.len();
+    let mut sets: Vec<Vec<Item<'_>>> = vec![Vec::new(); n + 1];
+
+    for rhs in g.productions_of(start) {
+        push(&mut sets[0], Item {
+            lhs: start,
+            rhs,
+            dot: 0,
+            origin: 0,
+        });
+    }
+
+    for i in 0..=n {
+        let mut j = 0;
+        while j < sets[i].len() {
+            let item = sets[i][j].clone();
+            j += 1;
+            match item.next_sym() {
+                Some(MetaSym::Meta(m)) => {
+                    // Predict.
+                    for rhs in g.productions_of(m) {
+                        push(&mut sets[i], Item {
+                            lhs: m,
+                            rhs,
+                            dot: 0,
+                            origin: i,
+                        });
+                    }
+                    // Magic completion for nullable nonterminals (Aycock &
+                    // Horspool): if m is already complete at i, advance.
+                    let advance = sets[i].iter().any(|c| {
+                        c.lhs == m && c.dot == c.rhs.len() && c.origin == i
+                    });
+                    if advance {
+                        push(&mut sets[i], Item {
+                            dot: item.dot + 1,
+                            ..item.clone()
+                        });
+                    }
+                }
+                Some(MetaSym::Mark(mark)) => {
+                    // Scan.
+                    if i < n && tokens[i] == *mark {
+                        let next = Item {
+                            dot: item.dot + 1,
+                            ..item.clone()
+                        };
+                        push(&mut sets[i + 1], next);
+                    }
+                }
+                None => {
+                    // Complete.
+                    let origin_items: Vec<Item<'_>> = sets[item.origin]
+                        .iter()
+                        .filter(|p| {
+                            matches!(p.next_sym(), Some(MetaSym::Meta(m)) if m == item.lhs)
+                        })
+                        .cloned()
+                        .collect();
+                    for p in origin_items {
+                        push(&mut sets[i], Item {
+                            dot: p.dot + 1,
+                            ..p
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    sets[n]
+        .iter()
+        .any(|it| it.lhs == start && it.dot == it.rhs.len() && it.origin == 0)
+}
+
+fn push<'g>(set: &mut Vec<Item<'g>>, item: Item<'g>) {
+    if !set.contains(&item) {
+        set.push(item);
+    }
+}
+
+/// Convenience: recognition over `&str` tokens.
+#[must_use]
+pub fn recognizes_strs(g: &MetaGrammar, start: &str, tokens: &[&str]) -> bool {
+    let owned: Vec<String> = tokens.iter().map(|s| (*s).to_string()).collect();
+    recognizes(g, start, &owned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn letters_grammar() -> MetaGrammar {
+        let mut g = MetaGrammar::new();
+        g.add_letters("LETTER", "abc");
+        g.add_identifier("ALPHA", "LETTER");
+        g.add_unary_number("NUM");
+        g
+    }
+
+    #[test]
+    fn identifiers() {
+        let g = letters_grammar();
+        assert!(recognizes_strs(&g, "ALPHA", &["a"]));
+        assert!(recognizes_strs(&g, "ALPHA", &["a", "b", "c", "a"]));
+        assert!(!recognizes_strs(&g, "ALPHA", &[]));
+        assert!(!recognizes_strs(&g, "ALPHA", &["a", "z"]));
+        assert!(!recognizes_strs(&g, "MISSING", &["a"]));
+    }
+
+    #[test]
+    fn unary_numbers() {
+        let g = letters_grammar();
+        assert!(recognizes_strs(&g, "NUM", &["i"]));
+        assert!(recognizes_strs(&g, "NUM", &["i", "i", "i"]));
+        assert!(!recognizes_strs(&g, "NUM", &[]));
+        assert!(!recognizes_strs(&g, "NUM", &["i", "a"]));
+    }
+
+    #[test]
+    fn composite_declaration_language() {
+        // DEC → 'rel' ALPHA 'has' NUM ; DECS → DEC | DEC DECS
+        let mut g = letters_grammar();
+        g.add(
+            "DEC",
+            vec![
+                MetaSym::mark("rel"),
+                MetaSym::meta("ALPHA"),
+                MetaSym::mark("has"),
+                MetaSym::meta("NUM"),
+            ],
+        );
+        g.add("DECS", vec![MetaSym::meta("DEC")]);
+        g.add("DECS", vec![MetaSym::meta("DEC"), MetaSym::meta("DECS")]);
+        assert!(recognizes_strs(
+            &g,
+            "DECS",
+            &["rel", "a", "b", "has", "i", "rel", "c", "has", "i", "i"]
+        ));
+        assert!(!recognizes_strs(
+            &g,
+            "DECS",
+            &["rel", "a", "has", "i", "rel"]
+        ));
+    }
+
+    #[test]
+    fn nullable_productions() {
+        // S → ε | 'a' S — exercises the nullable-completion path.
+        let mut g = MetaGrammar::new();
+        g.add("S", vec![]);
+        g.add("S", vec![MetaSym::mark("a"), MetaSym::meta("S")]);
+        assert!(recognizes_strs(&g, "S", &[]));
+        assert!(recognizes_strs(&g, "S", &["a", "a", "a"]));
+        assert!(!recognizes_strs(&g, "S", &["b"]));
+
+        // Nullable in the middle: T → S 'b' S.
+        g.add("T", vec![MetaSym::meta("S"), MetaSym::mark("b"), MetaSym::meta("S")]);
+        assert!(recognizes_strs(&g, "T", &["b"]));
+        assert!(recognizes_strs(&g, "T", &["a", "b", "a", "a"]));
+        assert!(!recognizes_strs(&g, "T", &["a", "a"]));
+    }
+
+    #[test]
+    fn ambiguous_grammars_accepted() {
+        // E → E '+' E | 'x' — ambiguity must not break recognition.
+        let mut g = MetaGrammar::new();
+        g.add("E", vec![MetaSym::meta("E"), MetaSym::mark("+"), MetaSym::meta("E")]);
+        g.add("E", vec![MetaSym::mark("x")]);
+        assert!(recognizes_strs(&g, "E", &["x", "+", "x", "+", "x"]));
+        assert!(!recognizes_strs(&g, "E", &["x", "+"]));
+    }
+}

@@ -1,0 +1,208 @@
+//! Hyperrules: the second level of a W-grammar.
+//!
+//! A *hypernotion* is a sequence of protonotion marks and metanotions; under
+//! a *consistent substitution* — the same metanotion replaced by the same
+//! protonotion everywhere in a rule — a hyperrule denotes the (usually
+//! infinite) family of ordinary productions obtained by instantiating its
+//! metanotions. This is what lets W-grammars express context-sensitive
+//! constraints such as "every relation used in OPL is declared in SCL".
+
+use crate::wgrammar::meta::MetaGrammar;
+
+/// One symbol of a hypernotion.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HyperSym {
+    /// A fixed protonotion mark.
+    Mark(String),
+    /// A metanotion, to be replaced under a consistent substitution.
+    Meta(String),
+}
+
+impl HyperSym {
+    /// Convenience constructor for a mark.
+    #[must_use]
+    pub fn mark(s: &str) -> HyperSym {
+        HyperSym::Mark(s.to_string())
+    }
+
+    /// Convenience constructor for a metanotion.
+    #[must_use]
+    pub fn meta(s: &str) -> HyperSym {
+        HyperSym::Meta(s.to_string())
+    }
+}
+
+/// A hypernotion: a sequence of marks and metanotions.
+pub type Hypernotion = Vec<HyperSym>;
+
+/// A protonotion: a concrete token string.
+pub type Protonotion = Vec<String>;
+
+/// Parses a compact hypernotion spec: whitespace-separated tokens,
+/// `UPPERCASE` words are metanotions, everything else is a mark.
+#[must_use]
+pub fn hyper(spec: &str) -> Hypernotion {
+    spec.split_whitespace()
+        .map(|w| {
+            if w.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit()) && !w.is_empty() {
+                HyperSym::meta(w)
+            } else {
+                HyperSym::mark(w)
+            }
+        })
+        .collect()
+}
+
+/// Parses a protonotion spec: whitespace-separated tokens.
+#[must_use]
+pub fn proto(spec: &str) -> Protonotion {
+    spec.split_whitespace().map(str::to_string).collect()
+}
+
+/// An item on the right-hand side of a hyperrule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RhsItem {
+    /// A nonterminal child: a derivation-tree node whose notion must match
+    /// this hypernotion.
+    Notion(Hypernotion),
+    /// A run of terminal leaves whose tokens must match this hypernotion.
+    Leaves(Hypernotion),
+}
+
+/// A hyperrule `lhs : rhs1, rhs2, …`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HyperRule {
+    /// Rule name, for diagnostics.
+    pub name: String,
+    /// The left-hand hypernotion.
+    pub lhs: Hypernotion,
+    /// The right-hand items, in order. Adjacent [`RhsItem::Leaves`] items
+    /// are not allowed (leaf runs between nodes must be one item).
+    pub rhs: Vec<RhsItem>,
+}
+
+/// A complete W-grammar: metarules plus hyperrules.
+#[derive(Debug, Clone, Default)]
+pub struct WGrammar {
+    /// The metagrammar (first level).
+    pub meta: MetaGrammar,
+    /// The hyperrules (second level).
+    pub rules: Vec<HyperRule>,
+}
+
+impl WGrammar {
+    /// Creates a W-grammar from its two levels, checking that rules use only
+    /// declared metanotions and never put two leaf-runs side by side.
+    ///
+    /// # Panics
+    /// Panics on a malformed rule set — grammars are program constants, so
+    /// malformedness is a programming error.
+    #[must_use]
+    pub fn new(meta: MetaGrammar, rules: Vec<HyperRule>) -> Self {
+        for rule in &rules {
+            let check_hyper = |h: &Hypernotion| {
+                for sym in h {
+                    if let HyperSym::Meta(m) = sym {
+                        assert!(
+                            meta.has(m),
+                            "rule `{}` uses undeclared metanotion `{m}`",
+                            rule.name
+                        );
+                    }
+                }
+            };
+            check_hyper(&rule.lhs);
+            let mut prev_leaves = false;
+            for item in &rule.rhs {
+                match item {
+                    RhsItem::Notion(h) => {
+                        check_hyper(h);
+                        prev_leaves = false;
+                    }
+                    RhsItem::Leaves(h) => {
+                        assert!(
+                            !prev_leaves,
+                            "rule `{}` has adjacent leaf-run items",
+                            rule.name
+                        );
+                        check_hyper(h);
+                        prev_leaves = true;
+                    }
+                }
+            }
+        }
+        WGrammar { meta, rules }
+    }
+
+    /// Rules whose lhs starts with the given mark (cheap pre-filter).
+    pub fn candidate_rules<'a>(&'a self, first: Option<&'a str>) -> impl Iterator<Item = &'a HyperRule> {
+        self.rules.iter().filter(move |r| match (r.lhs.first(), first) {
+            (Some(HyperSym::Mark(m)), Some(tok)) => m == tok,
+            (Some(HyperSym::Meta(_)), _) | (None, None) => true,
+            _ => false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hyper_and_proto_parsing() {
+        let h = hyper("rname ALPHA has NUM in DECS");
+        assert_eq!(h.len(), 6);
+        assert_eq!(h[0], HyperSym::mark("rname"));
+        assert_eq!(h[1], HyperSym::meta("ALPHA"));
+        let p = proto("rel a b has i i");
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared metanotion")]
+    fn undeclared_metanotion_panics() {
+        let meta = MetaGrammar::new();
+        let rules = vec![HyperRule {
+            name: "bad".into(),
+            lhs: hyper("x ALPHA"),
+            rhs: vec![],
+        }];
+        let _ = WGrammar::new(meta, rules);
+    }
+
+    #[test]
+    #[should_panic(expected = "adjacent leaf-run")]
+    fn adjacent_leaves_panic() {
+        let meta = MetaGrammar::new();
+        let rules = vec![HyperRule {
+            name: "bad".into(),
+            lhs: hyper("x"),
+            rhs: vec![
+                RhsItem::Leaves(hyper("a")),
+                RhsItem::Leaves(hyper("b")),
+            ],
+        }];
+        let _ = WGrammar::new(meta, rules);
+    }
+
+    #[test]
+    fn candidate_filter() {
+        let mut meta = MetaGrammar::new();
+        meta.add_letters("L", "a");
+        let rules = vec![
+            HyperRule {
+                name: "r1".into(),
+                lhs: hyper("stmt x"),
+                rhs: vec![],
+            },
+            HyperRule {
+                name: "r2".into(),
+                lhs: hyper("decl y"),
+                rhs: vec![],
+            },
+        ];
+        let g = WGrammar::new(meta, rules);
+        assert_eq!(g.candidate_rules(Some("stmt")).count(), 1);
+        assert_eq!(g.candidate_rules(Some("nope")).count(), 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Metagrammars: the context-free first level of a W-grammar.
+//!
+//! A W-grammar (two-level grammar, van Wijngaarden) has *metarules* — an
+//! ordinary context-free grammar whose nonterminals are the *metanotions*
+//! and whose sentences are *protonotions* (strings of small syntactic
+//! marks). Each metanotion denotes the (possibly infinite) language of
+//! protonotions derivable from it.
+
+use std::collections::BTreeMap;
+
+/// A symbol on the right-hand side of a metarule.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MetaSym {
+    /// A protonotion mark (terminal of the metagrammar).
+    Mark(String),
+    /// A metanotion (nonterminal).
+    Meta(String),
+}
+
+impl MetaSym {
+    /// Convenience constructor for a mark.
+    #[must_use]
+    pub fn mark(s: &str) -> MetaSym {
+        MetaSym::Mark(s.to_string())
+    }
+
+    /// Convenience constructor for a metanotion.
+    #[must_use]
+    pub fn meta(s: &str) -> MetaSym {
+        MetaSym::Meta(s.to_string())
+    }
+}
+
+/// The metarules: productions for each metanotion.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetaGrammar {
+    productions: BTreeMap<String, Vec<Vec<MetaSym>>>,
+}
+
+impl MetaGrammar {
+    /// An empty metagrammar.
+    #[must_use]
+    pub fn new() -> Self {
+        MetaGrammar::default()
+    }
+
+    /// Adds a production `lhs → rhs`.
+    pub fn add(&mut self, lhs: &str, rhs: Vec<MetaSym>) -> &mut Self {
+        self.productions
+            .entry(lhs.to_string())
+            .or_default()
+            .push(rhs);
+        self
+    }
+
+    /// Adds the standard unary-number metanotion: `name → 'i' | 'i' name`.
+    pub fn add_unary_number(&mut self, name: &str) -> &mut Self {
+        self.add(name, vec![MetaSym::mark("i")]);
+        self.add(name, vec![MetaSym::mark("i"), MetaSym::meta(name)]);
+        self
+    }
+
+    /// Adds an identifier metanotion `name → LETTER | LETTER name` over the
+    /// given single-character marks (shared `letter_meta` nonterminal).
+    pub fn add_identifier(&mut self, name: &str, letter_meta: &str) -> &mut Self {
+        self.add(name, vec![MetaSym::meta(letter_meta)]);
+        self.add(name, vec![MetaSym::meta(letter_meta), MetaSym::meta(name)]);
+        self
+    }
+
+    /// Adds a letter metanotion producing each of the given marks.
+    pub fn add_letters(&mut self, name: &str, marks: &str) -> &mut Self {
+        for ch in marks.chars() {
+            self.add(name, vec![MetaSym::Mark(ch.to_string())]);
+        }
+        self
+    }
+
+    /// Whether a metanotion is declared.
+    #[must_use]
+    pub fn has(&self, name: &str) -> bool {
+        self.productions.contains_key(name)
+    }
+
+    /// The productions of a metanotion.
+    #[must_use]
+    pub fn productions_of(&self, name: &str) -> &[Vec<MetaSym>] {
+        self.productions
+            .get(name)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// All declared metanotions.
+    pub fn metanotions(&self) -> impl Iterator<Item = &str> {
+        self.productions.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_api() {
+        let mut g = MetaGrammar::new();
+        g.add_letters("LETTER", "ab");
+        g.add_identifier("ALPHA", "LETTER");
+        g.add_unary_number("NUM");
+        assert!(g.has("ALPHA"));
+        assert!(!g.has("BETA"));
+        assert_eq!(g.productions_of("LETTER").len(), 2);
+        assert_eq!(g.productions_of("NUM").len(), 2);
+        assert_eq!(g.metanotions().count(), 3);
+    }
+}

@@ -1,0 +1,25 @@
+//! W-grammars (two-level van Wijngaarden grammars) and the RPR schema
+//! grammar — the *grammatical formalism* of the paper's §5.1.1.
+//!
+//! - [`meta`]: metarules (a context-free grammar of protonotions);
+//! - [`earley`]: general CFG recognition for metalanguage membership;
+//! - [`hyper`](mod@hyper): hypernotions and hyperrules;
+//! - [`solve`]: consistent-substitution search;
+//! - [`validate`](mod@validate): derivation trees and their validation;
+//! - [`rpr_grammar`]: the schema grammar itself, with the context-sensitive
+//!   "all relational program variables in OPL are declared in SCL" check.
+
+pub mod earley;
+pub mod generate;
+pub mod hyper;
+pub mod meta;
+pub mod rpr_grammar;
+pub mod solve;
+pub mod validate;
+
+pub use generate::{enumerate_protonotions, generate, GenLimits};
+pub use hyper::{hyper, proto, HyperRule, HyperSym, Hypernotion, Protonotion, RhsItem, WGrammar};
+pub use meta::{MetaGrammar, MetaSym};
+pub use rpr_grammar::{check_schema, rpr_wgrammar, schema_derivation};
+pub use solve::{Binding, Solver};
+pub use validate::{validate, Child, DerivTree};

@@ -1,0 +1,315 @@
+//! Consistent-substitution solving.
+//!
+//! Matching a hypernotion against a protonotion requires choosing, for each
+//! metanotion, a protonotion value that (a) is derivable from the metarules
+//! and (b) is the *same* everywhere the metanotion occurs in the rule — the
+//! consistent substitution of W-grammar theory. The solver searches split
+//! points with backtracking across a whole system of equations, memoising
+//! metalanguage membership tests.
+
+use std::collections::BTreeMap;
+
+use crate::wgrammar::earley::recognizes;
+use crate::wgrammar::hyper::{HyperSym, Hypernotion, Protonotion, WGrammar};
+
+/// A substitution: metanotion → protonotion.
+pub type Binding = BTreeMap<String, Protonotion>;
+
+/// An equation `hypernotion ≙ protonotion` to be satisfied under one
+/// consistent substitution.
+pub type Equation = (Hypernotion, Protonotion);
+
+/// Solver with memoised metalanguage membership.
+#[derive(Debug)]
+pub struct Solver<'g> {
+    grammar: &'g WGrammar,
+    memo: BTreeMap<(String, Protonotion), bool>,
+}
+
+impl<'g> Solver<'g> {
+    /// Creates a solver over a grammar.
+    #[must_use]
+    pub fn new(grammar: &'g WGrammar) -> Self {
+        Solver {
+            grammar,
+            memo: BTreeMap::new(),
+        }
+    }
+
+    /// Whether `tokens` belongs to the metalanguage of `meta`.
+    pub fn member(&mut self, meta: &str, tokens: &[String]) -> bool {
+        let key = (meta.to_string(), tokens.to_vec());
+        if let Some(&hit) = self.memo.get(&key) {
+            return hit;
+        }
+        let result = recognizes(&self.grammar.meta, meta, tokens);
+        self.memo.insert(key, result);
+        result
+    }
+
+    /// Solves a system of equations; returns a satisfying substitution.
+    pub fn solve(&mut self, equations: &[Equation]) -> Option<Binding> {
+        let mut binding = Binding::new();
+        if self.solve_from(equations, 0, &mut binding) {
+            Some(binding)
+        } else {
+            None
+        }
+    }
+
+    fn solve_from(&mut self, eqs: &[Equation], idx: usize, binding: &mut Binding) -> bool {
+        let Some((pattern, tokens)) = eqs.get(idx) else {
+            return true;
+        };
+        let pattern = pattern.clone();
+        let tokens = tokens.clone();
+        self.match_hyper(&pattern, &tokens, eqs, idx, binding)
+    }
+
+    /// Matches `pat` against `toks`, then continues with the remaining
+    /// equations; backtracks over metanotion split points.
+    fn match_hyper(
+        &mut self,
+        pat: &[HyperSym],
+        toks: &[String],
+        eqs: &[Equation],
+        idx: usize,
+        binding: &mut Binding,
+    ) -> bool {
+        match pat.first() {
+            None => toks.is_empty() && self.solve_from(eqs, idx + 1, binding),
+            Some(HyperSym::Mark(m)) => {
+                toks.first() == Some(m)
+                    && self.match_hyper(&pat[1..], &toks[1..], eqs, idx, binding)
+            }
+            Some(HyperSym::Meta(mv)) => {
+                if let Some(bound) = binding.get(mv).cloned() {
+                    return toks.len() >= bound.len()
+                        && toks[..bound.len()] == bound[..]
+                        && self.match_hyper(&pat[1..], &toks[bound.len()..], eqs, idx, binding);
+                }
+                for split in 0..=toks.len() {
+                    let candidate = &toks[..split];
+                    if !self.member(mv, candidate) {
+                        continue;
+                    }
+                    binding.insert(mv.clone(), candidate.to_vec());
+                    if self.match_hyper(&pat[1..], &toks[split..], eqs, idx, binding) {
+                        return true;
+                    }
+                    binding.remove(mv);
+                }
+                false
+            }
+        }
+    }
+
+    /// Enumerates up to `cap` satisfying substitutions (for generation —
+    /// ambiguous splits yield several).
+    pub fn solve_all(&mut self, equations: &[Equation], cap: usize) -> Vec<Binding> {
+        let mut out = Vec::new();
+        let mut binding = Binding::new();
+        self.solve_from_all(equations, 0, &mut binding, &mut out, cap);
+        out
+    }
+
+    fn solve_from_all(
+        &mut self,
+        eqs: &[Equation],
+        idx: usize,
+        binding: &mut Binding,
+        out: &mut Vec<Binding>,
+        cap: usize,
+    ) {
+        if out.len() >= cap {
+            return;
+        }
+        let Some((pattern, tokens)) = eqs.get(idx) else {
+            out.push(binding.clone());
+            return;
+        };
+        let pattern = pattern.clone();
+        let tokens = tokens.clone();
+        self.match_hyper_all(&pattern, &tokens, eqs, idx, binding, out, cap);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn match_hyper_all(
+        &mut self,
+        pat: &[HyperSym],
+        toks: &[String],
+        eqs: &[Equation],
+        idx: usize,
+        binding: &mut Binding,
+        out: &mut Vec<Binding>,
+        cap: usize,
+    ) {
+        if out.len() >= cap {
+            return;
+        }
+        match pat.first() {
+            None => {
+                if toks.is_empty() {
+                    self.solve_from_all(eqs, idx + 1, binding, out, cap);
+                }
+            }
+            Some(HyperSym::Mark(m)) => {
+                if toks.first() == Some(m) {
+                    self.match_hyper_all(&pat[1..], &toks[1..], eqs, idx, binding, out, cap);
+                }
+            }
+            Some(HyperSym::Meta(mv)) => {
+                if let Some(bound) = binding.get(mv).cloned() {
+                    if toks.len() >= bound.len() && toks[..bound.len()] == bound[..] {
+                        self.match_hyper_all(
+                            &pat[1..],
+                            &toks[bound.len()..],
+                            eqs,
+                            idx,
+                            binding,
+                            out,
+                            cap,
+                        );
+                    }
+                    return;
+                }
+                for split in 0..=toks.len() {
+                    let candidate = &toks[..split];
+                    if !self.member(mv, candidate) {
+                        continue;
+                    }
+                    binding.insert(mv.clone(), candidate.to_vec());
+                    self.match_hyper_all(&pat[1..], &toks[split..], eqs, idx, binding, out, cap);
+                    binding.remove(mv);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wgrammar::hyper::{hyper, proto, HyperRule};
+    use crate::wgrammar::meta::MetaGrammar;
+
+    fn grammar() -> WGrammar {
+        let mut meta = MetaGrammar::new();
+        meta.add_letters("LETTER", "abcdefghijklmnopqrstuvwxyz");
+        meta.add_identifier("ALPHA", "LETTER");
+        meta.add_identifier("ALPHA2", "LETTER");
+        meta.add_unary_number("NUM");
+        meta.add_unary_number("NUM2");
+        meta.add(
+            "DEC",
+            vec![
+                crate::wgrammar::meta::MetaSym::mark("rel"),
+                crate::wgrammar::meta::MetaSym::meta("ALPHA"),
+                crate::wgrammar::meta::MetaSym::mark("has"),
+                crate::wgrammar::meta::MetaSym::meta("NUM"),
+            ],
+        );
+        meta.add("DECS", vec![crate::wgrammar::meta::MetaSym::meta("DEC")]);
+        meta.add(
+            "DECS",
+            vec![
+                crate::wgrammar::meta::MetaSym::meta("DEC"),
+                crate::wgrammar::meta::MetaSym::meta("DECS"),
+            ],
+        );
+        WGrammar::new(meta, vec![HyperRule {
+            name: "dummy".into(),
+            lhs: hyper("x"),
+            rhs: vec![],
+        }])
+    }
+
+    #[test]
+    fn single_equation_matching() {
+        let g = grammar();
+        let mut s = Solver::new(&g);
+        // name ALPHA ≙ name f o o
+        let b = s
+            .solve(&[(hyper("name ALPHA"), proto("name f o o"))])
+            .expect("solvable");
+        assert_eq!(b["ALPHA"], proto("f o o"));
+        // Mark mismatch.
+        assert!(s.solve(&[(hyper("name ALPHA"), proto("decl f"))]).is_none());
+        // ALPHA cannot be empty.
+        assert!(s.solve(&[(hyper("name ALPHA"), proto("name"))]).is_none());
+    }
+
+    #[test]
+    fn consistency_across_occurrences() {
+        let g = grammar();
+        let mut s = Solver::new(&g);
+        // ALPHA twice, same value required.
+        let eqs = [(
+            hyper("eq ALPHA and ALPHA"),
+            proto("eq a b and a b"),
+        )];
+        assert!(s.solve(&eqs).is_some());
+        let eqs = [(
+            hyper("eq ALPHA and ALPHA"),
+            proto("eq a b and a c"),
+        )];
+        assert!(s.solve(&eqs).is_none());
+    }
+
+    #[test]
+    fn consistency_across_equations() {
+        let g = grammar();
+        let mut s = Solver::new(&g);
+        // ALPHA bound by the first equation must satisfy the second.
+        let eqs = [
+            (hyper("lhs ALPHA"), proto("lhs a b")),
+            (hyper("rhs ALPHA done"), proto("rhs a b done")),
+        ];
+        assert!(s.solve(&eqs).is_some());
+        let eqs = [
+            (hyper("lhs ALPHA"), proto("lhs a b")),
+            (hyper("rhs ALPHA done"), proto("rhs c done")),
+        ];
+        assert!(s.solve(&eqs).is_none());
+    }
+
+    #[test]
+    fn backtracking_over_splits() {
+        let g = grammar();
+        let mut s = Solver::new(&g);
+        // ALPHA ALPHA2 split of "a b c": first greedy choice may fail, the
+        // solver must find ALPHA = a, ALPHA2 = b c (or another valid split)
+        // subject to the second equation pinning ALPHA = a.
+        let eqs = [
+            (hyper("x ALPHA ALPHA2"), proto("x a b c")),
+            (hyper("y ALPHA"), proto("y a")),
+        ];
+        let b = s.solve(&eqs).expect("solvable");
+        assert_eq!(b["ALPHA"], proto("a"));
+        assert_eq!(b["ALPHA2"], proto("b c"));
+    }
+
+    #[test]
+    fn declaration_list_splits() {
+        let g = grammar();
+        let mut s = Solver::new(&g);
+        // DEC DECS split of a two-declaration list.
+        let eqs = [(
+            hyper("list rel ALPHA has NUM DECS"),
+            proto("list rel a has i rel b b has i i"),
+        )];
+        let b = s.solve(&eqs).expect("solvable");
+        assert_eq!(b["ALPHA"], proto("a"));
+        assert_eq!(b["NUM"], proto("i"));
+        assert_eq!(b["DECS"], proto("rel b b has i i"));
+    }
+
+    #[test]
+    fn membership_is_memoised() {
+        let g = grammar();
+        let mut s = Solver::new(&g);
+        assert!(s.member("NUM", &proto("i i")));
+        assert!(s.member("NUM", &proto("i i")));
+        assert!(!s.member("NUM", &proto("x")));
+    }
+}

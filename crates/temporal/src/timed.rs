@@ -1,0 +1,355 @@
+//! The time-sort alternative to modal operators.
+//!
+//! Paper §3.1: "A different approach could also be taken by selecting a
+//! many-sorted first-order language with a special sort interpreted as time
+//! (see [CCF, BADW])." This module implements that approach and proves it
+//! equivalent (by test) to the Kripke semantics:
+//!
+//! - every sort, function and predicate of `L` is copied into a new
+//!   language `L^time`, with each predicate gaining a leading `time`
+//!   argument;
+//! - a binary predicate `reach ⊆ time × time` encodes the accessibility
+//!   relation;
+//! - a universe `(S, R)` becomes a single first-order structure whose time
+//!   carrier is `S`;
+//! - `◇P` translates to `∃t' (reach(t, t') ∧ P[t'])` and `□P` to its dual.
+//!
+//! Agreement: `A ⊨_U P[v]` iff the timed structure satisfies the
+//! translation with the time variable valuated at `A`'s index.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use eclectic_logic::{
+    Domains, Elem, Formula, FuncId, LogicError, PredId, Result, Signature, SortId, Structure,
+    Term, VarId,
+};
+
+use crate::universe::Universe;
+
+/// A translation context from a language `L` to its timed counterpart.
+#[derive(Debug, Clone)]
+pub struct TimedTranslation {
+    sig: Signature,
+    time_sort: SortId,
+    reach: PredId,
+    pred_map: BTreeMap<PredId, PredId>,
+    func_map: BTreeMap<FuncId, FuncId>,
+    var_map: BTreeMap<VarId, VarId>,
+}
+
+impl TimedTranslation {
+    /// Builds the timed language for `orig`: same sorts/functions/variables,
+    /// predicates with a leading `time` argument, plus `reach`.
+    ///
+    /// # Errors
+    /// Propagates signature-building errors (none for well-formed inputs).
+    pub fn new(orig: &Signature) -> Result<Self> {
+        let mut sig = Signature::new();
+        let mut sort_map = BTreeMap::new();
+        for s in orig.sort_ids() {
+            sort_map.insert(s, sig.add_sort(orig.sort_name(s))?);
+        }
+        let time_sort = sig.add_sort("time")?;
+
+        let mut func_map = BTreeMap::new();
+        for f in orig.func_ids() {
+            let d = orig.func(f);
+            let domain: Vec<SortId> = d.domain.iter().map(|s| sort_map[s]).collect();
+            func_map.insert(f, sig.add_func(&d.name, &domain, sort_map[&d.range])?);
+        }
+        let mut pred_map = BTreeMap::new();
+        for p in orig.pred_ids() {
+            let d = orig.pred(p);
+            let mut domain = vec![time_sort];
+            domain.extend(d.domain.iter().map(|s| sort_map[s]));
+            let new = if d.db_predicate {
+                sig.add_db_predicate(&d.name, &domain)?
+            } else {
+                sig.add_predicate(&d.name, &domain)?
+            };
+            pred_map.insert(p, new);
+        }
+        let reach = sig.add_predicate("reach", &[time_sort, time_sort])?;
+
+        let mut var_map = BTreeMap::new();
+        for v in orig.var_ids() {
+            let d = orig.var(v);
+            var_map.insert(v, sig.add_var(&d.name, sort_map[&d.sort])?);
+        }
+
+        Ok(TimedTranslation {
+            sig,
+            time_sort,
+            reach,
+            pred_map,
+            func_map,
+            var_map,
+        })
+    }
+
+    /// The `time` sort of the timed language.
+    #[must_use]
+    pub fn time_sort(&self) -> SortId {
+        self.time_sort
+    }
+
+    /// The reachability predicate.
+    #[must_use]
+    pub fn reach(&self) -> PredId {
+        self.reach
+    }
+
+    /// A fresh time variable (for the "now" of a translation).
+    pub fn fresh_time_var(&mut self) -> VarId {
+        self.sig.fresh_var("t", self.time_sort)
+    }
+
+    /// The timed signature (borrow while translating; clone to freeze).
+    #[must_use]
+    pub fn signature(&self) -> &Signature {
+        &self.sig
+    }
+
+    fn term(&self, t: &Term) -> Term {
+        match t {
+            Term::Var(v) => Term::Var(self.var_map[v]),
+            Term::App(f, args) => {
+                Term::App(self.func_map[f], args.iter().map(|a| self.term(a)).collect())
+            }
+        }
+    }
+
+    /// Translates a wff of `L_T` at the time term `now` into a wff of the
+    /// timed language. Every predicate atom gains `now` as its first
+    /// argument; modal operators become quantification over reachable times.
+    ///
+    /// # Errors
+    /// Propagates signature errors (fresh-variable creation cannot fail).
+    pub fn translate(&mut self, f: &Formula, now: &Term) -> Result<Formula> {
+        Ok(match f {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Pred(p, args) => {
+                let mut targs = vec![now.clone()];
+                targs.extend(args.iter().map(|a| self.term(a)));
+                Formula::Pred(self.pred_map[p], targs)
+            }
+            Formula::Eq(a, b) => Formula::Eq(self.term(a), self.term(b)),
+            Formula::Not(p) => self.translate(p, now)?.not(),
+            Formula::And(p, q) => self.translate(p, now)?.and(self.translate(q, now)?),
+            Formula::Or(p, q) => self.translate(p, now)?.or(self.translate(q, now)?),
+            Formula::Implies(p, q) => {
+                self.translate(p, now)?.implies(self.translate(q, now)?)
+            }
+            Formula::Iff(p, q) => self.translate(p, now)?.iff(self.translate(q, now)?),
+            Formula::Forall(x, p) => Formula::forall(self.var_map[x], self.translate(p, now)?),
+            Formula::Exists(x, p) => Formula::exists(self.var_map[x], self.translate(p, now)?),
+            Formula::Possibly(p) => {
+                // ∃t' (reach(now, t') ∧ P[t'])
+                let t2 = self.fresh_time_var();
+                let inner = self.translate(p, &Term::Var(t2))?;
+                Formula::exists(
+                    t2,
+                    Formula::Pred(self.reach, vec![now.clone(), Term::Var(t2)]).and(inner),
+                )
+            }
+            Formula::Necessarily(p) => {
+                // ∀t' (reach(now, t') → P[t'])
+                let t2 = self.fresh_time_var();
+                let inner = self.translate(p, &Term::Var(t2))?;
+                Formula::forall(
+                    t2,
+                    Formula::Pred(self.reach, vec![now.clone(), Term::Var(t2)]).implies(inner),
+                )
+            }
+        })
+    }
+
+    /// Folds a whole Kripke universe into one first-order structure of the
+    /// timed language: the time carrier is the state set, `reach` is the
+    /// accessibility relation, and each timed predicate holds at `(t, x̄)`
+    /// iff the original predicate holds of `x̄` in state `t`.
+    ///
+    /// Function tables are copied from the first state (the paper requires
+    /// all states of a universe to share non-program interpretations).
+    ///
+    /// # Errors
+    /// Returns [`LogicError::LimitExceeded`] for empty universes and
+    /// propagates table-building errors.
+    pub fn structure(&self, u: &Universe) -> Result<Structure> {
+        if u.state_count() == 0 {
+            return Err(LogicError::LimitExceeded(
+                "cannot fold an empty universe".into(),
+            ));
+        }
+        let orig_sig = u.signature();
+        let orig_dom = u.domains();
+
+        // Domains: original carriers plus time named after state indices.
+        let mut carriers: Vec<Vec<String>> = Vec::with_capacity(self.sig.sort_count());
+        for s in orig_sig.sort_ids() {
+            let mut elems = Vec::with_capacity(orig_dom.card(s));
+            for e in orig_dom.elems(s) {
+                elems.push(orig_dom.elem_name(orig_sig, s, e)?.to_string());
+            }
+            carriers.push(elems);
+        }
+        carriers.push((0..u.state_count()).map(|i| format!("t{i}")).collect());
+        let domains = Domains::new(&self.sig, carriers)?;
+
+        let sig = Arc::new(self.sig.clone());
+        let mut st = Structure::new(sig, Arc::new(domains));
+
+        // Function tables from the first state.
+        let first = u.state(crate::universe::StateIdx(0));
+        for f in orig_sig.func_ids() {
+            let decl = orig_sig.func(f);
+            for args in orig_dom.tuples(&decl.domain) {
+                if first.func_defined(f, &args) {
+                    let v = first.func_value(f, &args)?;
+                    st.set_func(self.func_map[&f], args, v)?;
+                }
+            }
+        }
+        // Predicate tables, one time slice per state.
+        for idx in u.state_indices() {
+            let state = u.state(idx);
+            let t = Elem(idx.index() as u32);
+            for p in orig_sig.pred_ids() {
+                for tuple in state.pred_relation(p) {
+                    let mut timed = vec![t];
+                    timed.extend(tuple.iter().copied());
+                    st.insert_pred(self.pred_map[&p], timed)?;
+                }
+            }
+        }
+        // Reachability.
+        for (a, b) in u.edges() {
+            st.insert_pred(
+                self.reach,
+                vec![Elem(a.index() as u32), Elem(b.index() as u32)],
+            )?;
+        }
+        Ok(st)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::satisfaction;
+    use crate::universe::StateIdx;
+    use eclectic_logic::{eval, parse_formula, Valuation};
+
+    /// A 3-state universe over the courses vocabulary.
+    fn setup() -> (Universe, Signature) {
+        let mut sig = Signature::new();
+        let student = sig.add_sort("student").unwrap();
+        let course = sig.add_sort("course").unwrap();
+        sig.add_db_predicate("offered", &[course]).unwrap();
+        sig.add_db_predicate("takes", &[student, course]).unwrap();
+        sig.add_var("s", student).unwrap();
+        sig.add_var("c", course).unwrap();
+        sig.add_var("c'", course).unwrap();
+        let dom = Arc::new(
+            Domains::from_names(
+                &sig,
+                &[("student", &["ana"]), ("course", &["db", "ai"])],
+            )
+            .unwrap(),
+        );
+        let orig = sig.clone();
+        let sig = Arc::new(sig);
+        let offered = sig.pred_id("offered").unwrap();
+        let takes = sig.pred_id("takes").unwrap();
+
+        let mut u = Universe::new(sig.clone(), dom.clone());
+        let s0 = Structure::new(sig.clone(), dom.clone());
+        let mut s1 = s0.clone();
+        s1.insert_pred(offered, vec![Elem(0)]).unwrap();
+        let mut s2 = s1.clone();
+        s2.insert_pred(takes, vec![Elem(0), Elem(0)]).unwrap();
+        let (i0, _) = u.add_state(s0).unwrap();
+        let (i1, _) = u.add_state(s1).unwrap();
+        let (i2, _) = u.add_state(s2).unwrap();
+        u.add_edge(i0, i1);
+        u.add_edge(i1, i2);
+        u.add_edge(i2, i1);
+        (u, orig)
+    }
+
+    /// The agreement theorem on a battery of formulas: Kripke satisfaction
+    /// at state i ⟺ timed satisfaction with t ↦ i.
+    #[test]
+    fn kripke_and_timed_semantics_agree() {
+        let (u, mut orig) = setup();
+        let formulas = [
+            "exists c:course. offered(c)",
+            "dia exists c:course. offered(c)",
+            "box exists c:course. offered(c)",
+            "dia dia exists s:student. exists c:course. takes(s, c)",
+            "~exists s:student. exists c:course. takes(s, c) & ~offered(c)",
+            "forall c:course. offered(c) -> dia offered(c)",
+            "box (exists c:course. offered(c) -> dia exists s:student. exists c':course. takes(s, c'))",
+            "dia box dia true",
+            "forall s:student. box (exists c:course. takes(s, c) -> box exists c':course. takes(s, c'))",
+        ];
+        for text in formulas {
+            let f = parse_formula(&mut orig, text).unwrap();
+            let mut tr = TimedTranslation::new(&orig).unwrap();
+            let now = tr.fresh_time_var();
+            let translated = tr.translate(&f, &Term::Var(now)).unwrap();
+            let st = tr.structure(&u).unwrap();
+            for i in u.state_indices() {
+                let kripke = satisfaction::models_at(&u, i, &f).unwrap();
+                let mut v = Valuation::new();
+                v.set(now, Elem(i.index() as u32));
+                let timed = eval::satisfies(&st, &v, &translated).unwrap();
+                assert_eq!(kripke, timed, "disagreement on `{text}` at state {i:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn translation_is_first_order() {
+        let (_u, mut orig) = setup();
+        let f = parse_formula(&mut orig, "dia box dia exists c:course. offered(c)").unwrap();
+        let mut tr = TimedTranslation::new(&orig).unwrap();
+        let now = tr.fresh_time_var();
+        let translated = tr.translate(&f, &Term::Var(now)).unwrap();
+        assert!(translated.is_first_order());
+        assert!(translated.check(tr.signature()).is_ok());
+        // Exactly the `now` variable is free.
+        assert_eq!(translated.free_vars().len(), 1);
+    }
+
+    #[test]
+    fn reach_encodes_the_accessibility_relation() {
+        let (u, orig) = setup();
+        let tr = TimedTranslation::new(&orig).unwrap();
+        let st = tr.structure(&u).unwrap();
+        for a in u.state_indices() {
+            for b in u.state_indices() {
+                let edge = u.accessible(a, b);
+                let timed = st.pred_holds(
+                    tr.reach(),
+                    &[Elem(a.index() as u32), Elem(b.index() as u32)],
+                );
+                assert_eq!(edge, timed);
+            }
+        }
+        let _ = StateIdx(0);
+    }
+
+    #[test]
+    fn empty_universe_rejected() {
+        let (_u, orig) = setup();
+        let tr = TimedTranslation::new(&orig).unwrap();
+        let empty = Universe::new(
+            _u.signature().clone(),
+            _u.domains().clone(),
+        );
+        assert!(tr.structure(&empty).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! Traces: finite paths through a universe.
+//!
+//! A trace records the sequence of states visited by successive update
+//! applications; the paper's §5.4 proof represents states by the
+//! "sequence-composition (trace) of the operations used thus far".
+
+use eclectic_logic::{Formula, Result};
+
+use crate::satisfaction::models_at;
+use crate::universe::{StateIdx, Universe};
+
+/// A finite path `s0 → s1 → … → sn` through a universe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    states: Vec<StateIdx>,
+}
+
+impl Trace {
+    /// A trace starting at `start`.
+    #[must_use]
+    pub fn new(start: StateIdx) -> Self {
+        Trace {
+            states: vec![start],
+        }
+    }
+
+    /// Builds a trace from a state list, checking every consecutive pair is
+    /// an edge of the universe.
+    ///
+    /// Returns `None` if the list is empty or some step is not an edge.
+    #[must_use]
+    pub fn from_states(u: &Universe, states: Vec<StateIdx>) -> Option<Self> {
+        if states.is_empty() {
+            return None;
+        }
+        for w in states.windows(2) {
+            if !u.accessible(w[0], w[1]) {
+                return None;
+            }
+        }
+        Some(Trace { states })
+    }
+
+    /// Extends the trace by one step, which must be an edge of the universe.
+    ///
+    /// Returns whether the step was taken.
+    pub fn step(&mut self, u: &Universe, next: StateIdx) -> bool {
+        if u.accessible(self.last(), next) {
+            self.states.push(next);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The first state.
+    #[must_use]
+    pub fn first(&self) -> StateIdx {
+        self.states[0]
+    }
+
+    /// The last state.
+    #[must_use]
+    pub fn last(&self) -> StateIdx {
+        *self.states.last().expect("trace is non-empty")
+    }
+
+    /// Number of steps (edges).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len() - 1
+    }
+
+    /// Whether the trace has no steps.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The states visited, in order.
+    #[must_use]
+    pub fn states(&self) -> &[StateIdx] {
+        &self.states
+    }
+
+    /// The steps `(from, to)`, in order.
+    pub fn steps(&self) -> impl Iterator<Item = (StateIdx, StateIdx)> + '_ {
+        self.states.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// Checks a closed formula at every state of the trace; returns the
+    /// positions where it fails.
+    ///
+    /// # Errors
+    /// Propagates evaluation errors.
+    pub fn failing_positions(&self, u: &Universe, f: &Formula) -> Result<Vec<usize>> {
+        let mut out = Vec::new();
+        for (i, &s) in self.states.iter().enumerate() {
+            if !models_at(u, s, f)? {
+                out.push(i);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether the closed formula holds at every state of the trace.
+    ///
+    /// # Errors
+    /// Propagates evaluation errors.
+    pub fn invariant_holds(&self, u: &Universe, f: &Formula) -> Result<bool> {
+        Ok(self.failing_positions(u, f)?.is_empty())
+    }
+}
+
+/// Generates a pseudo-random walk of up to `max_len` steps from `start`,
+/// using the provided step chooser (so callers control the RNG; the crate
+/// itself stays dependency-free). The chooser receives the successor list
+/// and returns an index into it.
+#[must_use]
+pub fn random_walk(
+    u: &Universe,
+    start: StateIdx,
+    max_len: usize,
+    mut choose: impl FnMut(usize) -> usize,
+) -> Trace {
+    let mut trace = Trace::new(start);
+    for _ in 0..max_len {
+        let succs: Vec<StateIdx> = u.successors(trace.last()).iter().copied().collect();
+        if succs.is_empty() {
+            break;
+        }
+        let pick = succs[choose(succs.len()) % succs.len()];
+        let stepped = trace.step(u, pick);
+        debug_assert!(stepped);
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclectic_logic::{parse_formula, Domains, Elem, Signature, Structure};
+    use std::sync::Arc;
+
+    fn line_universe() -> (Universe, Vec<StateIdx>) {
+        let mut sig = Signature::new();
+        let course = sig.add_sort("course").unwrap();
+        sig.add_db_predicate("offered", &[course]).unwrap();
+        sig.add_var("c", course).unwrap();
+        let dom =
+            Arc::new(Domains::from_names(&sig, &[("course", &["a", "b"])]).unwrap());
+        let sig = Arc::new(sig);
+        let offered = sig.pred_id("offered").unwrap();
+        let mut u = Universe::new(sig.clone(), dom.clone());
+        let s0 = Structure::new(sig.clone(), dom.clone());
+        let mut s1 = s0.clone();
+        s1.insert_pred(offered, vec![Elem(0)]).unwrap();
+        let mut s2 = s1.clone();
+        s2.insert_pred(offered, vec![Elem(1)]).unwrap();
+        let (i0, _) = u.add_state(s0).unwrap();
+        let (i1, _) = u.add_state(s1).unwrap();
+        let (i2, _) = u.add_state(s2).unwrap();
+        u.add_edge(i0, i1);
+        u.add_edge(i1, i2);
+        (u, vec![i0, i1, i2])
+    }
+
+    #[test]
+    fn construction_validates_edges() {
+        let (u, idx) = line_universe();
+        assert!(Trace::from_states(&u, vec![idx[0], idx[1], idx[2]]).is_some());
+        assert!(Trace::from_states(&u, vec![idx[0], idx[2]]).is_none());
+        assert!(Trace::from_states(&u, vec![]).is_none());
+
+        let mut t = Trace::new(idx[0]);
+        assert!(t.step(&u, idx[1]));
+        assert!(!t.step(&u, idx[0]));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.first(), idx[0]);
+        assert_eq!(t.last(), idx[1]);
+    }
+
+    #[test]
+    fn invariants_along_trace() {
+        let (u, idx) = line_universe();
+        let mut sig = (**u.signature()).clone();
+        let t = Trace::from_states(&u, vec![idx[0], idx[1], idx[2]]).unwrap();
+        let some = parse_formula(&mut sig, "exists c:course. offered(c)").unwrap();
+        // Fails only at position 0 (the empty state).
+        assert_eq!(t.failing_positions(&u, &some).unwrap(), vec![0]);
+        assert!(!t.invariant_holds(&u, &some).unwrap());
+        let tauto = parse_formula(&mut sig, "true").unwrap();
+        assert!(t.invariant_holds(&u, &tauto).unwrap());
+    }
+
+    #[test]
+    fn random_walk_stops_at_sink() {
+        let (u, idx) = line_universe();
+        let t = random_walk(&u, idx[0], 10, |_| 0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.last(), idx[2]);
+        assert_eq!(t.steps().count(), 2);
+    }
+}

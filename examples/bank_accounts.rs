@@ -1,0 +1,86 @@
+//! The bank domain: saturating-arithmetic balances, an absorbing `closed`
+//! state, set-oriented procedures, and a functional (non-Boolean) query at
+//! the representation level.
+//!
+//! Run with: `cargo run --example bank_accounts`
+
+use eclectic::logic::{Elem, Formula, Term};
+use eclectic::rpr::{exec, FuncQueryDef};
+use eclectic::spec::domains::bank::{self, BankConfig};
+use eclectic::spec::{verify, VerifyConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = BankConfig::default();
+    let spec = bank::bank(&config)?;
+    let schema = &spec.representation;
+    let sig = schema.signature().clone();
+
+    // A functional query at level 3: balance(a) = the unique n with BAL(a,n).
+    let a_var = sig.var_id("a")?;
+    let n_var = sig.var_id("n")?;
+    let bal_rel = sig.pred_id("BAL")?;
+    let balance = FuncQueryDef::new(
+        &sig,
+        "balance",
+        vec![a_var],
+        n_var,
+        Formula::Pred(bal_rel, vec![Term::Var(a_var), Term::Var(n_var)]),
+    )?;
+
+    let acc1 = Elem(0);
+    let acc2 = Elem(1);
+    let mut state = spec.empty_state();
+    let show_balance = |state: &eclectic::rpr::DbState, who: &str, a: Elem| {
+        match balance.eval(state, &[a]) {
+            Ok(n) => println!("    balance({who}) = n{}", n.0),
+            Err(_) => println!("    balance({who}) undefined (not open)"),
+        }
+    };
+
+    println!("== a banking session ==");
+    for (op, args, label) in [
+        ("initiate", vec![], "reset the bank"),
+        ("open_acct", vec![acc1], "open acc1 (balance starts at n0)"),
+        ("deposit", vec![acc1], "deposit one unit"),
+        ("deposit", vec![acc1], "deposit another"),
+        ("open_acct", vec![acc2], "open acc2"),
+        ("withdraw", vec![acc2], "withdraw at zero: saturates (no effect)"),
+        ("close_acct", vec![acc1], "close acc1: rejected, balance not zero"),
+        ("withdraw", vec![acc1], "withdraw"),
+        ("withdraw", vec![acc1], "withdraw to zero"),
+        ("close_acct", vec![acc1], "close acc1: accepted"),
+        ("open_acct", vec![acc1], "reopen acc1: rejected, closed is absorbing"),
+    ] {
+        let before = state.clone();
+        state = exec::call_deterministic(schema, &state, op, &args)?;
+        println!(
+            "  {op:<10} — {label} [{}]",
+            if state == before { "no effect" } else { "applied" }
+        );
+    }
+    show_balance(&state, "acc1", acc1);
+    show_balance(&state, "acc2", acc2);
+    println!("\nfinal state:\n{}", state.render()?);
+
+    // Saturation at the top: deposits beyond the maximum are no-ops, so the
+    // level-2 equations and level-3 procedures agree even at the boundary.
+    println!("== saturation at n{} ==", config.amounts - 1);
+    let mut st = exec::replay(
+        schema,
+        &spec.empty_state(),
+        &[("initiate", vec![]), ("open_acct", vec![acc1])],
+    )?;
+    for i in 0..config.amounts + 2 {
+        st = exec::call_deterministic(schema, &st, "deposit", &[acc1])?;
+        let n = balance.eval(&st, &[acc1])?;
+        println!("  after {} deposits: balance = n{}", i + 1, n.0);
+    }
+
+    // Full verification, including the absorbing-closure transition axiom.
+    let mut vconfig = VerifyConfig::quick();
+    vconfig.refine12.limits.max_depth = 10;
+    let outcome = verify(&spec, &vconfig)?;
+    println!("\n{}", outcome.report);
+    assert!(outcome.is_correct());
+    Ok(())
+}

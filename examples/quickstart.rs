@@ -1,0 +1,60 @@
+//! Quickstart: specify the paper's courses database at all three levels and
+//! verify every refinement obligation in one call.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use eclectic::spec::domains::{courses, CoursesConfig};
+use eclectic::spec::{verify, VerifyConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's running example: students and courses, with
+    //   T1 — two temporal first-order axioms (§3.2),
+    //   T2 — the sixteen conditional equations (§4.2),
+    //   T3 — the five-procedure relational schema (§5.2),
+    // bound by the interpretations I and K.
+    let spec = courses(&CoursesConfig::default())?;
+
+    println!("specification: {}", spec.name);
+    println!(
+        "  information level : {} axioms ({} static, {} transition)",
+        spec.information.axioms.len(),
+        spec.information.static_axioms().count(),
+        spec.information.transition_axioms().count(),
+    );
+    println!(
+        "  functions level   : {} queries, {} updates, {} equations",
+        spec.functions.signature().queries().count(),
+        spec.functions.signature().updates().count(),
+        spec.functions.equations().len(),
+    );
+    println!(
+        "  representation    : {} relations, {} procedures",
+        spec.representation.relations().len(),
+        spec.representation.procs().len(),
+    );
+    println!();
+    println!("{}", eclectic::rpr::schema_str(&spec.representation));
+
+    // Verify: W-grammar syntax, obligations (a)-(d) of §4.4, the 2→3
+    // equation check of §5.4, and randomized cross-level agreement.
+    let mut config = VerifyConfig::quick();
+    config.refine12.limits.max_depth = 8;
+    let outcome = verify(&spec, &config)?;
+
+    println!("W-grammar syntax check: {}", if outcome.grammar_ok { "ok" } else { "FAILED" });
+    println!("{}", outcome.report);
+    println!(
+        "cross-level testing: {} ops, {} query comparisons, {}",
+        outcome.cross_stats.ops,
+        outcome.cross_stats.comparisons,
+        match &outcome.cross_mismatch {
+            None => "all agree".to_string(),
+            Some(m) => format!("MISMATCH: {m:?}"),
+        }
+    );
+
+    assert!(outcome.is_correct());
+    println!("\nthe representation correctly refines the functions level,");
+    println!("which correctly refines the information level. □");
+    Ok(())
+}

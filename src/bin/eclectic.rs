@@ -1,0 +1,193 @@
+//! `eclectic` — command-line front end for the tri-level specification
+//! framework.
+//!
+//! ```text
+//! eclectic axioms    <domain>                    print the T1 axioms
+//! eclectic equations <domain> [--style paper|synth]
+//! eclectic schema    <domain>                    print the T3 schema
+//! eclectic verify    <domain> [--depth N]        run every obligation
+//! eclectic trace     <domain> op[:a,b] …         replay operations
+//! ```
+//!
+//! Domains: `courses`, `library`, `bank`.
+
+use std::process::ExitCode;
+
+use eclectic::algebraic::equation_str;
+use eclectic::logic::{formula_display, Elem};
+use eclectic::rpr::{exec, schema_str};
+use eclectic::spec::domains::{bank, courses, library};
+use eclectic::spec::{verify, TriLevelSpec, VerifyConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: eclectic <axioms|equations|schema|verify|trace> <courses|library|bank> [args]\n\
+         \n\
+         eclectic axioms courses\n\
+         eclectic equations courses --style synth\n\
+         eclectic schema bank\n\
+         eclectic verify library --depth 8\n\
+         eclectic trace courses initiate offer:db enroll:ana,db cancel:db"
+    );
+    ExitCode::FAILURE
+}
+
+fn build(domain: &str, style: &str) -> Result<TriLevelSpec, String> {
+    match domain {
+        "courses" => {
+            let style = match style {
+                "synth" | "synthesized" => courses::EquationStyle::Synthesized,
+                _ => courses::EquationStyle::Paper,
+            };
+            courses::courses(&courses::CoursesConfig {
+                style,
+                ..courses::CoursesConfig::default()
+            })
+            .map_err(|e| e.to_string())
+        }
+        "library" => library::library(&library::LibraryConfig::default()).map_err(|e| e.to_string()),
+        "bank" => bank::bank(&bank::BankConfig::default()).map_err(|e| e.to_string()),
+        other => Err(format!("unknown domain `{other}`")),
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(cmd), Some(domain)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let style = flag_value(&args, "--style").unwrap_or_else(|| "paper".into());
+    let spec = match build(domain, &style) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cmd.as_str() {
+        "axioms" => {
+            for ax in &spec.information.axioms {
+                println!(
+                    "{:<32} [{}]  {}",
+                    ax.name,
+                    match ax.kind() {
+                        eclectic::logic::ConstraintKind::Static => "static",
+                        eclectic::logic::ConstraintKind::Transition => "transition",
+                    },
+                    formula_display(&spec.information.signature, &ax.formula)
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "equations" => {
+            for eq in spec.functions.equations() {
+                println!("{}", equation_str(spec.functions.signature(), eq));
+            }
+            ExitCode::SUCCESS
+        }
+        "schema" => {
+            print!("{}", schema_str(&spec.representation));
+            ExitCode::SUCCESS
+        }
+        "verify" => {
+            let mut config = VerifyConfig::quick();
+            config.refine12.limits.max_depth = flag_value(&args, "--depth")
+                .and_then(|d| d.parse().ok())
+                .unwrap_or(8);
+            match verify(&spec, &config) {
+                Ok(outcome) => {
+                    println!(
+                        "W-grammar syntax check: {}",
+                        if outcome.grammar_ok { "ok" } else { "FAILED" }
+                    );
+                    println!("{}", outcome.report);
+                    println!(
+                        "cross-level testing: {} comparisons, {}",
+                        outcome.cross_stats.comparisons,
+                        if outcome.cross_mismatch.is_none() {
+                            "all agree"
+                        } else {
+                            "MISMATCH"
+                        }
+                    );
+                    if outcome.is_correct() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "trace" => {
+            let schema = &spec.representation;
+            let mut state = spec.empty_state();
+            for call in &args[2..] {
+                if call.starts_with("--") {
+                    break;
+                }
+                let (name, argtext) = match call.split_once(':') {
+                    Some((n, a)) => (n, a),
+                    None => (call.as_str(), ""),
+                };
+                let Some(proc) = schema.proc(name) else {
+                    eprintln!("error: unknown procedure `{name}`");
+                    return ExitCode::FAILURE;
+                };
+                let names: Vec<&str> =
+                    argtext.split(',').filter(|s| !s.is_empty()).collect();
+                if names.len() != proc.params.len() {
+                    eprintln!(
+                        "error: `{name}` takes {} argument(s), got {}",
+                        proc.params.len(),
+                        names.len()
+                    );
+                    return ExitCode::FAILURE;
+                }
+                let mut elems: Vec<Elem> = Vec::new();
+                for (&p, n) in proc.params.iter().zip(&names) {
+                    let sort = schema.signature().var(p).sort;
+                    match spec.repr_domains.elem_by_name(sort, n) {
+                        Some(e) => elems.push(e),
+                        None => {
+                            eprintln!(
+                                "error: `{n}` is not a {}",
+                                schema.signature().sort_name(sort)
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                let before = state.clone();
+                state = match exec::call_deterministic(schema, &state, name, &elems) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                println!(
+                    "{call:<28} {}",
+                    if state == before {
+                        "no effect (precondition failed)"
+                    } else {
+                        "applied"
+                    }
+                );
+            }
+            println!("\n{}", state.render().unwrap_or_default());
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,145 @@
+//! E10 (§5.2 remark): "Explicitly quantified pre-conditions and the general
+//! form of assignments lead to a more 'set-oriented' style of programming,
+//! whereas the use of iteration and insert/delete statements favor a
+//! 'tuple-oriented' style." Both styles of the same update must have the
+//! same semantics — checked operationally on random traces and
+//! denotationally over a finite universe.
+
+use std::sync::Arc;
+
+use eclectic::logic::{Elem, Signature, Valuation};
+use eclectic::rpr::{denote, exec, parse_schema, parse_stmt, DbState, FiniteUniverse, Schema};
+
+/// Two implementations of `clear_course(c)` — remove every enrolment of
+/// course c:
+/// set-oriented:   TAKES := {(s, c') | TAKES(s, c') ∧ c' ≠ c}
+/// tuple-oriented: while ∃s TAKES(s, c) do … delete … od — expressed here
+/// with a per-student delete sequence (our carriers are finite and known).
+fn two_styles() -> (Schema, DbState) {
+    let mut sig = Signature::new();
+    sig.add_sort("student").unwrap();
+    sig.add_sort("course").unwrap();
+    let text = r"
+schema
+  TAKES(student, course);
+
+  proc clear_set(c: course) =
+    TAKES := {(s: student, c': course) | TAKES(s, c') & ~(c' = c)}
+
+  proc clear_tuple(c: course) =
+    while exists s:student. TAKES(s, c) do
+      TAKES := {(s: student, c': course) |
+                TAKES(s, c') & ~(c' = c & forall s':student. (TAKES(s', c) -> ~(s' = s) | s = s'))}
+    od
+end-schema
+";
+    // The tuple-style body above is deliberately awkward; replace it with a
+    // clean bounded loop built programmatically below instead.
+    let (rels, mut procs) = parse_schema(&mut sig, text).unwrap();
+
+    // Rebuild clear_tuple: delete TAKES(s, c) for each student constant in
+    // turn — the tuple-at-a-time style (finite carrier unrolled).
+    let takes = sig.pred_id("TAKES").unwrap();
+    let c = sig.var_id("c").unwrap();
+    let student = sig.sort_id("student").unwrap();
+    let s0 = sig.add_constant("st0", student).unwrap();
+    let s1 = sig.add_constant("st1", student).unwrap();
+    let body = eclectic::rpr::Stmt::Delete(
+        takes,
+        vec![eclectic::logic::Term::constant(s0), eclectic::logic::Term::Var(c)],
+    )
+    .seq(eclectic::rpr::Stmt::Delete(
+        takes,
+        vec![eclectic::logic::Term::constant(s1), eclectic::logic::Term::Var(c)],
+    ));
+    procs.iter_mut().find(|p| p.name == "clear_tuple").unwrap().body = body;
+
+    let dom = eclectic::logic::Domains::from_names(
+        &sig,
+        &[("student", &["ana", "bob"]), ("course", &["db", "logic"])],
+    )
+    .unwrap();
+    let sig = Arc::new(sig);
+    let schema = Schema::new(sig.clone(), rels, procs).unwrap();
+    let mut template = DbState::new(sig.clone(), Arc::new(dom));
+    template.set_scalar(sig.func_id("st0").unwrap(), Elem(0)).unwrap();
+    template.set_scalar(sig.func_id("st1").unwrap(), Elem(1)).unwrap();
+    (schema, template)
+}
+
+#[test]
+fn set_and_tuple_styles_agree_operationally() {
+    let (schema, template) = two_styles();
+    let takes = schema.signature().pred_id("TAKES").unwrap();
+    // Try every initial TAKES relation (16 of them) and both courses.
+    let rows: Vec<Vec<Elem>> = template
+        .domains()
+        .tuples(&schema.signature().pred(takes).domain);
+    for mask in 0..(1u32 << rows.len()) {
+        let mut st = template.clone();
+        for (i, row) in rows.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                st.insert(takes, row.clone()).unwrap();
+            }
+        }
+        for c in [Elem(0), Elem(1)] {
+            let a = exec::call_deterministic(&schema, &st, "clear_set", &[c]).unwrap();
+            let b = exec::call_deterministic(&schema, &st, "clear_tuple", &[c]).unwrap();
+            assert_eq!(
+                a.structure().pred_relation(takes),
+                b.structure().pred_relation(takes),
+                "styles disagree from mask {mask:#b} on course {c:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn set_and_tuple_styles_have_equal_denotations_modulo_scalars() {
+    let (schema, template) = two_styles();
+    let takes = schema.signature().pred_id("TAKES").unwrap();
+    let u = FiniteUniverse::enumerate(&template, &[takes], &[], 1 << 10).unwrap();
+    for c in [Elem(0), Elem(1)] {
+        let a = denote::proc_meaning(&u, &schema, "clear_set", &[c]).unwrap();
+        let b = denote::proc_meaning(&u, &schema, "clear_tuple", &[c]).unwrap();
+        assert_eq!(a, b, "denotations differ for course {c:?}");
+    }
+}
+
+#[test]
+fn while_loop_style_also_agrees() {
+    // A genuinely iterative tuple-oriented form: repeat single-row deletes
+    // chosen by a test, until no row for the course remains.
+    let (schema, template) = two_styles();
+    let sig = schema.signature().clone();
+    let takes = sig.pred_id("TAKES").unwrap();
+    let mut sig2 = (*sig).clone();
+    // (∃s TAKES(s,c))? ; (delete st0 row ∪ delete st1 row) — iterate, then
+    // exit when no row remains: while-loop over a nondeterministic body.
+    let stmt = parse_stmt(
+        &mut sig2,
+        "while exists s:student. TAKES(s, c) do (delete TAKES(st0, c) [] delete TAKES(st1, c)) od",
+    )
+    .unwrap();
+    // Run over every initial state; the while collects exactly the states
+    // with no remaining row — which is unique here, and equal to clear_set.
+    let rows: Vec<Vec<Elem>> = template.domains().tuples(&sig.pred(takes).domain);
+    let c_var = sig2.var_id("c").unwrap();
+    for mask in 0..(1u32 << rows.len()) {
+        let mut st = template.clone();
+        for (i, row) in rows.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                st.insert(takes, row.clone()).unwrap();
+            }
+        }
+        let mut env = Valuation::new();
+        env.set(c_var, Elem(0));
+        let results = exec::run(&st, &stmt, &env).unwrap();
+        assert_eq!(results.len(), 1, "while must converge deterministically");
+        let direct = exec::call_deterministic(&schema, &st, "clear_set", &[Elem(0)]).unwrap();
+        assert_eq!(
+            results.first().unwrap().structure().pred_relation(takes),
+            direct.structure().pred_relation(takes)
+        );
+    }
+}

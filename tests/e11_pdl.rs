@@ -1,0 +1,133 @@
+//! E11 (§5.3 note): the paper defers extending `K` to arbitrary wffs to "a
+//! full programming logic, such as Dynamic Logic (a separate paper will
+//! explore this possibility)". This implementation provides that extension:
+//! PDL over RPR programs, model-checked over finite universes — here used
+//! to state and verify contracts of the courses procedures.
+
+use std::sync::Arc;
+
+use eclectic::logic::{Formula, Signature, Term};
+use eclectic::rpr::pdl::{holds_at, satisfying_states, valid, Pdl};
+use eclectic::rpr::{parse_schema, DbState, FiniteUniverse, Schema, Stmt, PAPER_COURSES_SCHEMA};
+
+fn setup() -> (Schema, FiniteUniverse) {
+    let mut sig = Signature::new();
+    sig.add_sort("student").unwrap();
+    sig.add_sort("course").unwrap();
+    let (rels, procs) = parse_schema(&mut sig, PAPER_COURSES_SCHEMA).unwrap();
+    let dom = eclectic::logic::Domains::from_names(
+        &sig,
+        &[("student", &["ana"]), ("course", &["db", "logic"])],
+    )
+    .unwrap();
+    let sig = Arc::new(sig);
+    let schema = Schema::new(sig.clone(), rels, procs).unwrap();
+    let template = DbState::new(sig, Arc::new(dom));
+    let offered = schema.signature().pred_id("OFFERED").unwrap();
+    let takes = schema.signature().pred_id("TAKES").unwrap();
+    let u = FiniteUniverse::enumerate(&template, &[offered, takes], &[], 1 << 12).unwrap();
+    (schema, u)
+}
+
+/// The §3.2 static constraint as a closed wff of L3.
+fn static_constraint(sig: &Signature) -> Formula {
+    let offered = sig.pred_id("OFFERED").unwrap();
+    let takes = sig.pred_id("TAKES").unwrap();
+    let sv = sig.var_id("s").unwrap();
+    let cv = sig.var_id("c").unwrap();
+    Formula::forall(
+        sv,
+        Formula::forall(
+            cv,
+            Formula::Pred(takes, vec![Term::Var(sv), Term::Var(cv)])
+                .implies(Formula::Pred(offered, vec![Term::Var(cv)])),
+        ),
+    )
+}
+
+#[test]
+fn initiate_contracts_hold() {
+    let (schema, u) = setup();
+    let sig = schema.signature().clone();
+    let offered = sig.pred_id("OFFERED").unwrap();
+    let cv = sig.var_id("c").unwrap();
+    let initiate = schema.proc("initiate").unwrap().body.clone();
+
+    // [initiate] ∀c ¬OFFERED(c): after initialisation nothing is offered.
+    let none_offered = Formula::forall(cv, Formula::Pred(offered, vec![Term::Var(cv)]).not());
+    assert!(valid(&u, &Pdl::after_all(initiate.clone(), Pdl::Atom(none_offered))).unwrap());
+
+    // ⟨initiate⟩ true: initiate never gets stuck.
+    assert!(valid(&u, &Pdl::after_some(initiate.clone(), Pdl::Atom(Formula::True))).unwrap());
+
+    // [initiate] static-constraint: the empty state is consistent.
+    assert!(valid(&u, &Pdl::after_all(initiate, Pdl::Atom(static_constraint(&sig)))).unwrap());
+
+    // The constraint itself is satisfiable but not valid in the raw
+    // universe (which contains inconsistent states by construction).
+    let sat = satisfying_states(&u, &Pdl::Atom(static_constraint(&sig))).unwrap();
+    assert!(sat.iter().any(|b| *b));
+    assert!(!sat.iter().all(|b| *b));
+}
+
+#[test]
+fn diamond_star_expresses_reachability() {
+    let (schema, u) = setup();
+    let sig = schema.signature().clone();
+    let offered = sig.pred_id("OFFERED").unwrap();
+    let cv = sig.var_id("c").unwrap();
+
+    // ⟨OFFERED := full⟩ ∀c OFFERED(c) is valid.
+    let mut sig2 = (*sig).clone();
+    let fill = eclectic::rpr::parse_stmt(&mut sig2, "OFFERED := {(c: course) | true}").unwrap();
+    let all_offered = Formula::forall(cv, Formula::Pred(offered, vec![Term::Var(cv)]));
+    assert!(valid(&u, &Pdl::after_some(fill, Pdl::Atom(all_offered.clone()))).unwrap());
+
+    // ⟨skip*⟩ φ ≡ φ (star of identity adds nothing).
+    let phi = Pdl::after_some(Stmt::Skip.star(), Pdl::Atom(all_offered.clone()));
+    let direct = Pdl::Atom(all_offered);
+    assert_eq!(
+        satisfying_states(&u, &phi).unwrap(),
+        satisfying_states(&u, &direct).unwrap()
+    );
+}
+
+#[test]
+fn box_distributes_over_composition() {
+    // [p; q]φ ≡ [p][q]φ — a PDL law, checked semantically.
+    let (_schema, u) = setup();
+    let sig = u.signature().clone();
+    let offered = sig.pred_id("OFFERED").unwrap();
+    let cv = sig.var_id("c").unwrap();
+    let mut sig2 = (*sig).clone();
+    let p = eclectic::rpr::parse_stmt(&mut sig2, "OFFERED := {(c: course) | true}").unwrap();
+    let q = eclectic::rpr::parse_stmt(&mut sig2, "OFFERED := {(c: course) | false}").unwrap();
+    let phi = Formula::exists(cv, Formula::Pred(offered, vec![Term::Var(cv)])).not();
+
+    let seq_form = Pdl::after_all(p.clone().seq(q.clone()), Pdl::Atom(phi.clone()));
+    let nested = Pdl::after_all(p, Pdl::after_all(q, Pdl::Atom(phi)));
+    assert_eq!(
+        satisfying_states(&u, &seq_form).unwrap(),
+        satisfying_states(&u, &nested).unwrap()
+    );
+    assert!(valid(&u, &seq_form).unwrap());
+    assert!(holds_at(&u, 0, &seq_form).unwrap());
+}
+
+#[test]
+fn diamond_and_box_are_dual() {
+    // ⟨p⟩φ ≡ ¬[p]¬φ over the whole universe.
+    let (schema, u) = setup();
+    let sig = schema.signature().clone();
+    let offered = sig.pred_id("OFFERED").unwrap();
+    let cv = sig.var_id("c").unwrap();
+    let body = schema.proc("initiate").unwrap().body.clone();
+    let phi = Formula::exists(cv, Formula::Pred(offered, vec![Term::Var(cv)]));
+
+    let dia = Pdl::after_some(body.clone(), Pdl::Atom(phi.clone()));
+    let dual = Pdl::after_all(body, Pdl::Atom(phi).not()).not();
+    assert_eq!(
+        satisfying_states(&u, &dia).unwrap(),
+        satisfying_states(&u, &dual).unwrap()
+    );
+}

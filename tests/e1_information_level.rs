@@ -1,0 +1,134 @@
+//! E1 (§3.2): the information-level axioms of the courses database,
+//! checked over hand-built Kripke universes — consistent and violating.
+
+use std::sync::Arc;
+
+use eclectic::logic::{Elem, Structure};
+use eclectic::spec::domains::courses;
+use eclectic::temporal::{constraints, AccessibilityPolicy, Universe};
+
+/// A state seed: the offered courses and the (student, course) enrolments.
+type StateSeed<'a> = (&'a [u32], &'a [(u32, u32)]);
+
+/// Builds a universe over the courses information signature from a list of
+/// states and edges.
+fn universe(
+    states: &[StateSeed<'_>],
+    edges: &[(usize, usize)],
+) -> (eclectic::logic::Theory, Universe) {
+    let theory = courses::information_level().unwrap();
+    let sig = theory.signature.clone();
+    let dom = Arc::new(
+        eclectic::logic::Domains::from_names(
+            &sig,
+            &[
+                ("student", &["ana", "bob"]),
+                ("course", &["db", "logic", "ai"]),
+            ],
+        )
+        .unwrap(),
+    );
+    let offered = sig.pred_id("offered").unwrap();
+    let takes = sig.pred_id("takes").unwrap();
+    let mut u = Universe::new(sig.clone(), dom.clone());
+    let mut idx = Vec::new();
+    for (off, tak) in states {
+        let mut st = Structure::new(sig.clone(), dom.clone());
+        for &c in *off {
+            st.insert_pred(offered, vec![Elem(c)]).unwrap();
+        }
+        for &(s, c) in *tak {
+            st.insert_pred(takes, vec![Elem(s), Elem(c)]).unwrap();
+        }
+        let (i, _) = u.add_state(st).unwrap();
+        idx.push(i);
+    }
+    for &(a, b) in edges {
+        u.add_edge(idx[a], idx[b]);
+    }
+    (theory, u)
+}
+
+#[test]
+fn consistent_evolution_satisfies_both_axioms() {
+    // {} → {db offered} → {db offered, ana takes db}
+    //    → {db+logic offered, ana takes logic (transferred)}
+    let (theory, u) = universe(
+        &[
+            (&[], &[]),
+            (&[0], &[]),
+            (&[0], &[(0, 0)]),
+            (&[0, 1], &[(0, 1)]),
+        ],
+        &[(0, 1), (1, 2), (2, 3)],
+    );
+    let report = constraints::check_theory(&theory, &u, AccessibilityPolicy::AsIs).unwrap();
+    assert!(report.is_clean(), "{report:?}");
+    assert_eq!(report.states_checked, 4);
+}
+
+#[test]
+fn taking_an_unoffered_course_violates_the_static_axiom() {
+    // ana takes ai, which is not offered: axiom (1) fails.
+    let (theory, u) = universe(&[(&[0], &[(0, 2)])], &[]);
+    let report = constraints::check_theory(&theory, &u, AccessibilityPolicy::AsIs).unwrap();
+    assert_eq!(report.static_violations.len(), 1);
+    assert_eq!(report.static_violations[0].axiom, "static-1");
+    assert!(report.transition_violations.is_empty());
+}
+
+#[test]
+fn dropping_to_zero_courses_violates_the_transition_axiom() {
+    // ana takes db, then a future state has her taking nothing: axiom (2)
+    // fails at the state from which both are possible.
+    let (theory, u) = universe(
+        &[
+            (&[0], &[]),          // s0: db offered, nobody enrolled
+            (&[0], &[(0, 0)]),    // s1: ana takes db
+            (&[0], &[]),          // unreachable by updates, but modelled: drop
+        ],
+        &[(0, 1), (1, 2)],
+    );
+    let report = constraints::check_theory(&theory, &u, AccessibilityPolicy::AsIs).unwrap();
+    assert!(report.static_violations.is_empty());
+    assert!(!report.transition_violations.is_empty());
+    assert!(report
+        .transition_violations
+        .iter()
+        .all(|v| v.axiom == "transition-2"));
+}
+
+#[test]
+fn transition_axiom_allows_transfers() {
+    // ana takes db, then takes logic instead — never zero courses.
+    let (theory, u) = universe(
+        &[
+            (&[0, 1], &[(0, 0)]),
+            (&[0, 1], &[(0, 1)]),
+        ],
+        &[(0, 1), (1, 0)],
+    );
+    let report = constraints::check_theory(&theory, &u, AccessibilityPolicy::AsIs).unwrap();
+    assert!(report.is_clean(), "{report:?}");
+}
+
+#[test]
+fn closure_policy_detects_distant_violations() {
+    // Violation only two steps away: with single-step ◇ the middle state
+    // still catches it (◇◇), and the closure policy agrees.
+    let (theory, u) = universe(
+        &[
+            (&[0], &[(0, 0)]),
+            (&[0], &[(0, 0), (1, 0)]),
+            (&[0], &[]),
+        ],
+        &[(0, 1), (1, 2)],
+    );
+    for policy in [AccessibilityPolicy::AsIs, AccessibilityPolicy::TransitiveClosure] {
+        let report = constraints::check_theory(&theory, &u, policy).unwrap();
+        assert!(
+            !report.transition_violations.is_empty(),
+            "policy {policy:?} must find the violation"
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! E3 (§4.4a): sufficient completeness — termination (absence of
+//! circularity) plus exhaustive ground-query evaluation — for every domain,
+//! with failure injection showing the analyses catch broken specs.
+
+use eclectic::algebraic::{completeness, termination, AlgSpec, ConditionalEquation};
+use eclectic::spec::domains::{bank, courses, library};
+
+fn check_spec(spec: &AlgSpec, depth: usize) {
+    let t = termination::check_termination(spec).unwrap();
+    assert!(t.is_terminating(), "{t:?}");
+    let c = completeness::exhaustive(spec, depth, 10).unwrap();
+    assert!(c.is_sufficiently_complete(), "{c:?}");
+    assert!(c.evaluated > 0);
+}
+
+#[test]
+fn courses_paper_equations_are_sufficiently_complete() {
+    let spec = courses::functions_level(&courses::CoursesConfig::default()).unwrap();
+    check_spec(&spec, 3);
+}
+
+#[test]
+fn courses_synthesized_equations_are_sufficiently_complete() {
+    let spec = courses::functions_level(&courses::CoursesConfig {
+        style: courses::EquationStyle::Synthesized,
+        ..courses::CoursesConfig::default()
+    })
+    .unwrap();
+    check_spec(&spec, 3);
+}
+
+#[test]
+fn library_equations_are_sufficiently_complete() {
+    let spec = library::functions_level(&library::LibraryConfig::default()).unwrap();
+    check_spec(&spec, 2);
+}
+
+#[test]
+fn bank_equations_are_sufficiently_complete() {
+    let spec = bank::functions_level(&bank::BankConfig::default()).unwrap();
+    check_spec(&spec, 2);
+}
+
+/// Failure injection: removing an equation breaks completeness, and the
+/// exhaustive pass pinpoints the stuck terms.
+#[test]
+fn dropping_an_equation_is_detected() {
+    let full = courses::functions_level(&courses::CoursesConfig::default()).unwrap();
+    let sig = full.signature();
+    let eqs: Vec<ConditionalEquation> = full
+        .equations()
+        .iter()
+        .filter(|e| e.name != "eq7") // offered under cancel of another course
+        .cloned()
+        .collect();
+    let broken = AlgSpec::new((**sig).clone(), eqs).unwrap();
+    let report = completeness::exhaustive(&broken, 2, 50).unwrap();
+    assert!(!report.is_sufficiently_complete());
+    assert!(
+        report.stuck.iter().any(|s| s.term.contains("cancel")),
+        "{report:?}"
+    );
+    // The coverage pass alone cannot see it (cancel still has eq6a/eq6b).
+    assert!(completeness::coverage(&broken).unwrap().is_empty());
+}
+
+/// Failure injection: the paper's circularity warning, made concrete.
+#[test]
+fn circular_equations_are_detected() {
+    let full = courses::functions_level(&courses::CoursesConfig::default()).unwrap();
+    let mut sig = (**full.signature()).clone();
+    let mut eqs: Vec<ConditionalEquation> = full.equations().to_vec();
+    // "some other equation might reduce the problem of determining
+    //  takes(s,c,σ) to that of determining offered(c,σ), thereby creating a
+    //  circularity" — make offered-at-cancel depend on takes at the SAME
+    //  state and takes-at-cancel depend back on offered at the SAME state.
+    eqs.retain(|e| e.name != "eq6a" && e.name != "eq6b" && e.name != "eq8");
+    eqs.push(
+        eclectic::algebraic::parse_equation(
+            &mut sig,
+            "bad6",
+            "exists s:student. takes(s, c, cancel(c, U)) = True ==> offered(c, cancel(c, U)) = True",
+        )
+        .unwrap(),
+    );
+    eqs.push(
+        eclectic::algebraic::parse_equation(
+            &mut sig,
+            "bad8",
+            "offered(c', cancel(c', U)) = True ==> takes(s, c, cancel(c', U)) = takes(s, c, U)",
+        )
+        .unwrap(),
+    );
+    let broken = AlgSpec::new(sig, eqs).unwrap();
+    let report = termination::check_termination(&broken).unwrap();
+    assert!(!report.is_terminating());
+    let cycle = report.cycle.expect("cycle found");
+    assert!(cycle.contains(&"offered".to_string()) && cycle.contains(&"takes".to_string()));
+}
