@@ -7,6 +7,7 @@
 
 use std::collections::BTreeSet;
 
+use eclectic_kernel::TermStore;
 use eclectic_logic::{Formula, Term, VarId};
 
 use crate::error::{AlgError, Result};
@@ -109,18 +110,36 @@ impl ConditionalEquation {
     /// # Errors
     /// Returns [`AlgError::BadEquation`] describing the first violation.
     pub fn validate(&self, sig: &AlgSignature) -> Result<()> {
+        self.validate_with(sig, &mut TermStore::new()).map(|_| ())
+    }
+
+    /// Validates like [`ConditionalEquation::validate`], but interns both
+    /// sides into `store` and sorts them through the kernel's per-node sort
+    /// cache, so subterms shared across the equations of a specification are
+    /// sorted once instead of re-walked per equation. Returns the equation's
+    /// kind (computed from the already-cached lhs sort).
+    ///
+    /// # Errors
+    /// Returns [`AlgError::BadEquation`] describing the first violation.
+    pub fn validate_with(&self, sig: &AlgSignature, store: &mut TermStore) -> Result<EquationKind> {
         let bad = |reason: String| AlgError::BadEquation {
             name: self.name.clone(),
             reason,
         };
-        let ls = self
-            .lhs
-            .sort(sig.logic())
-            .map_err(|e| bad(format!("ill-sorted lhs: {e}")))?;
-        let rs = self
-            .rhs
-            .sort(sig.logic())
-            .map_err(|e| bad(format!("ill-sorted rhs: {e}")))?;
+        // On sort errors, re-sort the owned tree for the diagnostic: the
+        // kernel reports ids, `Term::sort` reports names. Cold path only.
+        let pretty = |t: &Term| match t.sort(sig.logic()) {
+            Err(e) => format!("{e}"),
+            Ok(_) => unreachable!("kernel and tree sorting agree"),
+        };
+        let lhs_id = self.lhs.intern(store);
+        let rhs_id = self.rhs.intern(store);
+        let ls = store
+            .sort_of(lhs_id, sig.logic())
+            .map_err(|_| bad(format!("ill-sorted lhs: {}", pretty(&self.lhs))))?;
+        let rs = store
+            .sort_of(rhs_id, sig.logic())
+            .map_err(|_| bad(format!("ill-sorted rhs: {}", pretty(&self.rhs))))?;
         if ls != rs {
             return Err(bad(format!(
                 "sides have different sorts `{}` and `{}`",
@@ -146,7 +165,11 @@ impl ConditionalEquation {
 
         check_condition_fragment(sig, &self.condition)
             .map_err(|e| bad(format!("{e}")))?;
-        Ok(())
+        Ok(if ls == sig.state_sort() {
+            EquationKind::U
+        } else {
+            EquationKind::Q
+        })
     }
 }
 

@@ -7,6 +7,7 @@
 //! the update functions (§4.2). This module enumerates `T` up to a step
 //! bound and checks properties over it.
 
+use eclectic_kernel::TermId;
 use eclectic_logic::{SortId, Term};
 
 use crate::error::{AlgError, Result};
@@ -36,6 +37,76 @@ pub fn param_tuples(sig: &AlgSignature, sorts: &[SortId]) -> Result<Vec<Vec<Term
             }
         }
         out = next;
+    }
+    Ok(out)
+}
+
+/// Like [`param_tuples`], but interned into the rewriter's store: tuples of
+/// parameter-name constant ids, ready for [`Rewriter::eval_query_id`].
+///
+/// # Errors
+/// Returns [`AlgError::NotAParamSort`] if a sort is the state sort.
+pub fn param_tuple_ids(rw: &mut Rewriter<'_>, sorts: &[SortId]) -> Result<Vec<Vec<TermId>>> {
+    let sig = rw.spec().signature().clone();
+    let mut out = vec![Vec::new()];
+    for &s in sorts {
+        if s == sig.state_sort() {
+            return Err(AlgError::NotAParamSort(
+                sig.logic().sort_name(s).to_string(),
+            ));
+        }
+        let names: Vec<TermId> = sig
+            .param_names(s)
+            .into_iter()
+            .map(|f| rw.store_mut().constant(f))
+            .collect();
+        let mut next = Vec::with_capacity(out.len() * names.len().max(1));
+        for prefix in &out {
+            for &n in &names {
+                let mut t = prefix.clone();
+                t.push(n);
+                next.push(t);
+            }
+        }
+        out = next;
+    }
+    Ok(out)
+}
+
+/// Like [`initial_state_terms`], but interned into the rewriter's store.
+///
+/// # Errors
+/// Propagates signature errors.
+pub fn initial_state_ids(rw: &mut Rewriter<'_>) -> Result<Vec<TermId>> {
+    let sig = rw.spec().signature().clone();
+    let mut out = Vec::new();
+    for u in sig.updates() {
+        if !sig.update_takes_state(u)? {
+            for params in param_tuple_ids(rw, &sig.update_params(u)?)? {
+                out.push(rw.app_id(u, &params));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Like [`successor_terms`], but over interned states: every state-taking
+/// update applied with every parameter tuple, built by id without cloning
+/// the (shared) state subtree.
+///
+/// # Errors
+/// Propagates signature errors.
+pub fn successor_ids(rw: &mut Rewriter<'_>, state: TermId) -> Result<Vec<TermId>> {
+    let sig = rw.spec().signature().clone();
+    let mut out = Vec::new();
+    for u in sig.updates() {
+        if sig.update_takes_state(u)? {
+            for params in param_tuple_ids(rw, &sig.update_params(u)?)? {
+                let mut args = params;
+                args.push(state);
+                out.push(rw.app_id(u, &args));
+            }
+        }
     }
     Ok(out)
 }

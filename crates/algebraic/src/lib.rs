@@ -58,6 +58,8 @@ pub mod confluence;
 mod equation;
 mod error;
 pub mod induction;
+#[cfg(feature = "legacy-rewrite")]
+pub mod legacy;
 pub mod observe;
 mod parser;
 mod printer;
@@ -72,7 +74,9 @@ pub use equation::{check_condition_fragment, ConditionalEquation, EquationKind};
 pub use error::{AlgError, Result};
 pub use parser::{parse_equation, parse_equations};
 pub use printer::{condition_str, equation_str, term_str};
-pub use rewrite::{match_term, RewriteStats, Rewriter};
+#[cfg(feature = "legacy-rewrite")]
+pub use legacy::LegacyRewriter;
+pub use rewrite::{match_id, match_term, RewriteStats, Rewriter};
 pub use signature::{AlgSignature, OpKind};
 pub use spec::AlgSpec;
 pub use structured::{Effect, InitialState, StructuredDescription};

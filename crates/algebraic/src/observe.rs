@@ -8,10 +8,11 @@
 
 use std::collections::BTreeMap;
 
+use eclectic_kernel::TermId;
 use eclectic_logic::{FuncId, Term};
 
 use crate::error::Result;
-use crate::induction::param_tuples;
+use crate::induction::{param_tuple_ids, param_tuples};
 use crate::rewrite::Rewriter;
 
 /// The table of all simple observations of a state: `(query, parameter
@@ -36,6 +37,51 @@ pub fn observations(rw: &mut Rewriter<'_>, state: &Term) -> Result<ObsTable> {
         }
     }
     Ok(out)
+}
+
+/// A precompiled plan for computing *observation keys*: the simple
+/// observations of a state as a flat vector of interned normal forms, in a
+/// fixed (query, parameter-tuple) order.
+///
+/// Because normal forms live in the rewriter's hash-consed store, two states
+/// are observationally equal iff their keys are equal as `Vec<TermId>` —
+/// comparison and hashing never look at term structure. This is the state
+/// identity used by reachability exploration, replacing whole-tree
+/// [`ObsTable`] comparison on the hot path.
+#[derive(Debug, Clone)]
+pub struct ObsKeys {
+    /// Per query, the interned parameter tuples to observe it at.
+    plan: Vec<(FuncId, Vec<Vec<TermId>>)>,
+}
+
+impl ObsKeys {
+    /// Compiles the observation plan for the rewriter's specification.
+    ///
+    /// # Errors
+    /// Propagates signature errors.
+    pub fn new(rw: &mut Rewriter<'_>) -> Result<Self> {
+        let sig = rw.spec().signature().clone();
+        let mut plan = Vec::new();
+        for q in sig.queries() {
+            let tuples = param_tuple_ids(rw, &sig.query_params(q)?)?;
+            plan.push((q, tuples));
+        }
+        Ok(ObsKeys { plan })
+    }
+
+    /// The observation key of an interned ground state term.
+    ///
+    /// # Errors
+    /// Propagates rewriting errors.
+    pub fn key(&self, rw: &mut Rewriter<'_>, state: TermId) -> Result<Vec<TermId>> {
+        let mut out = Vec::new();
+        for (q, tuples) in &self.plan {
+            for params in tuples {
+                out.push(rw.eval_query_id(*q, params, state)?);
+            }
+        }
+        Ok(out)
+    }
 }
 
 /// Whether two ground state terms are observationally equal — the equality

@@ -12,10 +12,21 @@
 //! built-in so that right-hand sides such as
 //! `(offered(c',σ) ∧ takes(s,c,σ)) ∨ takes(s,c',σ)` reduce once their query
 //! arguments do.
+//!
+//! # Interned representation
+//!
+//! The engine works over the hash-consed term kernel
+//! ([`eclectic_kernel::TermStore`]): every rule, every intermediate reduct
+//! and every normal form lives in one [`TermStore`] owned by the
+//! [`Rewriter`], so structural equality is [`TermId`] equality, the normal-
+//! form memo table is a flat `TermId → TermId` map, and substitution shares
+//! every unchanged subtree. The public [`Term`]-based API (`normalize`,
+//! `eval_bool`, `eval_query`) interns on entry and externs on exit; id-level
+//! variants (`normalize_id`, `eval_query_id`, …) let hot callers such as
+//! reachability exploration stay inside the store and never build trees.
 
-use std::collections::BTreeMap;
-
-use eclectic_logic::{Formula, FuncId, Subst, Term, VarId};
+use eclectic_kernel::{Binding, FxHashMap, TermId, TermNode, TermStore};
+use eclectic_logic::{Formula, FuncId, SortId, Subst, Term, VarId};
 
 use crate::error::{AlgError, Result};
 use crate::printer::term_str;
@@ -47,6 +58,34 @@ pub fn match_term(pattern: &Term, subject: &Term, binding: &mut Subst) -> bool {
     }
 }
 
+/// Matches an interned `pattern` against an interned `subject`, extending
+/// `binding`. Like [`match_term`] but over [`TermId`]s: the bound-variable
+/// consistency check for non-linear patterns is a single id comparison.
+#[must_use]
+pub fn match_id(
+    store: &TermStore,
+    pattern: TermId,
+    subject: TermId,
+    binding: &mut Binding,
+) -> bool {
+    match store.node(pattern) {
+        TermNode::Var(x) => match binding.get(*x) {
+            Some(bound) => bound == subject,
+            None => {
+                binding.bind(*x, subject);
+                true
+            }
+        },
+        TermNode::App(f, pargs) => match store.node(subject) {
+            TermNode::App(g, sargs) if f == g && pargs.len() == sargs.len() => pargs
+                .iter()
+                .zip(sargs.iter())
+                .all(|(&p, &s)| match_id(store, p, s, binding)),
+            _ => false,
+        },
+    }
+}
+
 /// Counters describing a rewriting run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RewriteStats {
@@ -58,11 +97,84 @@ pub struct RewriteStats {
     pub conditions: usize,
 }
 
+/// An equation condition compiled to interned leaves: connective structure
+/// mirrors [`Formula`], but the equality atoms hold [`TermId`]s so condition
+/// evaluation substitutes and normalises without rebuilding trees.
+#[derive(Debug, Clone)]
+enum Cond {
+    True,
+    False,
+    Not(Box<Cond>),
+    And(Box<Cond>, Box<Cond>),
+    Or(Box<Cond>, Box<Cond>),
+    Implies(Box<Cond>, Box<Cond>),
+    Iff(Box<Cond>, Box<Cond>),
+    Eq(TermId, TermId),
+    Exists(VarId, Box<Cond>),
+    Forall(VarId, Box<Cond>),
+    /// Predicates/modalities — rejected by equation validation, but kept so
+    /// compilation is total; evaluating one reports the same error the
+    /// formula evaluator would.
+    Unsupported,
+}
+
+fn compile_cond(store: &mut TermStore, f: &Formula) -> Cond {
+    match f {
+        Formula::True => Cond::True,
+        Formula::False => Cond::False,
+        Formula::Not(p) => Cond::Not(Box::new(compile_cond(store, p))),
+        Formula::And(p, q) => Cond::And(
+            Box::new(compile_cond(store, p)),
+            Box::new(compile_cond(store, q)),
+        ),
+        Formula::Or(p, q) => Cond::Or(
+            Box::new(compile_cond(store, p)),
+            Box::new(compile_cond(store, q)),
+        ),
+        Formula::Implies(p, q) => Cond::Implies(
+            Box::new(compile_cond(store, p)),
+            Box::new(compile_cond(store, q)),
+        ),
+        Formula::Iff(p, q) => Cond::Iff(
+            Box::new(compile_cond(store, p)),
+            Box::new(compile_cond(store, q)),
+        ),
+        Formula::Eq(a, b) => Cond::Eq(a.intern(store), b.intern(store)),
+        Formula::Exists(x, p) => Cond::Exists(*x, Box::new(compile_cond(store, p))),
+        Formula::Forall(x, p) => Cond::Forall(*x, Box::new(compile_cond(store, p))),
+        Formula::Pred(..) | Formula::Possibly(..) | Formula::Necessarily(..) => Cond::Unsupported,
+    }
+}
+
+/// A conditional equation compiled onto the store.
+#[derive(Debug, Clone)]
+struct Rule {
+    lhs: TermId,
+    rhs: TermId,
+    cond: Cond,
+}
+
 /// A rewriting engine over one specification, with memoised normal forms.
+///
+/// The engine owns a [`TermStore`] holding every term it has seen; the memo
+/// table maps interned input terms to interned normal forms, so a repeat
+/// normalisation of any previously-seen subterm is one hash lookup.
 #[derive(Debug)]
 pub struct Rewriter<'a> {
     spec: &'a AlgSpec,
-    cache: BTreeMap<Term, Term>,
+    store: TermStore,
+    /// Normal-form memo: interned term → interned normal form.
+    memo: FxHashMap<TermId, TermId>,
+    /// Compiled rules, in equation order.
+    rules: Vec<Rule>,
+    /// Rule indices grouped by lhs root symbol.
+    by_root: FxHashMap<FuncId, Vec<usize>>,
+    /// Interned `True` / `False`.
+    tru: TermId,
+    fls: TermId,
+    /// Finite carriers (interned parameter-name constants) per sort,
+    /// populated on first quantifier over that sort.
+    carriers: FxHashMap<SortId, Vec<TermId>>,
     /// Maximum rule applications per top-level `normalize` call.
     fuel_limit: usize,
     remaining: usize,
@@ -80,9 +192,30 @@ impl<'a> Rewriter<'a> {
     /// top-level call) — useful for detecting non-terminating equation sets.
     #[must_use]
     pub fn with_fuel(spec: &'a AlgSpec, fuel_limit: usize) -> Self {
+        let mut store = TermStore::new();
+        let sig = spec.signature();
+        let tru = store.constant(sig.true_fn());
+        let fls = store.constant(sig.false_fn());
+        let mut rules = Vec::with_capacity(spec.equations().len());
+        let mut by_root: FxHashMap<FuncId, Vec<usize>> = FxHashMap::default();
+        for (i, eq) in spec.equations().iter().enumerate() {
+            let lhs = eq.lhs.intern(&mut store);
+            let rhs = eq.rhs.intern(&mut store);
+            let cond = compile_cond(&mut store, &eq.condition);
+            rules.push(Rule { lhs, rhs, cond });
+            if let Some(root) = eq.lhs_root() {
+                by_root.entry(root).or_default().push(i);
+            }
+        }
         Rewriter {
             spec,
-            cache: BTreeMap::new(),
+            store,
+            memo: FxHashMap::default(),
+            rules,
+            by_root,
+            tru,
+            fls,
+            carriers: FxHashMap::default(),
             fuel_limit,
             remaining: fuel_limit,
             stats: RewriteStats::default(),
@@ -101,9 +234,51 @@ impl<'a> Rewriter<'a> {
         self.stats
     }
 
-    /// Clears the memo cache (statistics are kept).
+    /// Clears the memo cache (statistics and the term store are kept).
     pub fn clear_cache(&mut self) {
-        self.cache.clear();
+        self.memo.clear();
+    }
+
+    /// The term store backing this rewriter (terms stay valid for its whole
+    /// lifetime; the store only grows).
+    #[must_use]
+    pub fn store(&self) -> &TermStore {
+        &self.store
+    }
+
+    /// Mutable access to the backing store, for callers that build terms
+    /// directly from ids (e.g. successor construction during reachability
+    /// exploration). The store only grows, so existing ids stay valid.
+    pub fn store_mut(&mut self) -> &mut TermStore {
+        &mut self.store
+    }
+
+    /// Interns `f(args…)` directly from ids.
+    pub fn app_id(&mut self, f: FuncId, args: &[TermId]) -> TermId {
+        self.store.app(f, args)
+    }
+
+    /// Interned `True`.
+    #[must_use]
+    pub fn true_id(&self) -> TermId {
+        self.tru
+    }
+
+    /// Interned `False`.
+    #[must_use]
+    pub fn false_id(&self) -> TermId {
+        self.fls
+    }
+
+    /// Interns a term into this rewriter's store.
+    pub fn intern(&mut self, t: &Term) -> TermId {
+        t.intern(&mut self.store)
+    }
+
+    /// Reconstructs the owned tree for an interned term.
+    #[must_use]
+    pub fn extern_term(&self, id: TermId) -> Term {
+        Term::from_interned(&self.store, id)
     }
 
     /// Normalises a term. Ground query terms of a sufficiently complete
@@ -114,66 +289,70 @@ impl<'a> Rewriter<'a> {
     /// Returns [`AlgError::RewriteLimit`] when fuel runs out, plus condition
     /// evaluation errors on ground terms.
     pub fn normalize(&mut self, t: &Term) -> Result<Term> {
+        let id = self.intern(t);
+        let n = self.normalize_id(id)?;
+        Ok(self.extern_term(n))
+    }
+
+    /// Normalises an interned term, staying inside the store.
+    ///
+    /// # Errors
+    /// As [`Rewriter::normalize`].
+    pub fn normalize_id(&mut self, t: TermId) -> Result<TermId> {
         self.remaining = self.fuel_limit;
         self.norm(t)
     }
 
-    fn norm(&mut self, t: &Term) -> Result<Term> {
-        if let Some(hit) = self.cache.get(t) {
+    fn norm(&mut self, t: TermId) -> Result<TermId> {
+        if let Some(&hit) = self.memo.get(&t) {
             self.stats.cache_hits += 1;
-            return Ok(hit.clone());
+            return Ok(hit);
         }
         let out = self.norm_uncached(t)?;
-        self.cache.insert(t.clone(), out.clone());
+        self.memo.insert(t, out);
         Ok(out)
     }
 
-    fn norm_uncached(&mut self, t: &Term) -> Result<Term> {
-        let Term::App(f, args) = t else {
-            return Ok(t.clone());
+    fn norm_uncached(&mut self, t: TermId) -> Result<TermId> {
+        let (f, args) = match self.store.node(t) {
+            TermNode::Var(_) => return Ok(t),
+            TermNode::App(f, args) => (*f, args.to_vec()),
         };
         let mut nargs = Vec::with_capacity(args.len());
         for a in args {
             nargs.push(self.norm(a)?);
         }
-        let t = Term::App(*f, nargs);
+        let t = self.store.app(f, &nargs);
 
-        if let Some(b) = self.try_builtin(&t)? {
+        if let Some(b) = self.try_builtin(t, f, &nargs)? {
             return Ok(b);
         }
 
-        // Collect candidate equations up front to avoid borrowing issues.
-        let candidates: Vec<usize> = {
-            let mut v = Vec::new();
-            for (i, eq) in self.spec.equations().iter().enumerate() {
-                if eq.lhs_root() == Some(*f) {
-                    v.push(i);
-                }
-            }
-            v
+        let candidates = match self.by_root.get(&f) {
+            Some(v) => v.clone(),
+            None => return Ok(t),
         };
         for i in candidates {
-            let eq = &self.spec.equations()[i];
-            let mut binding = Subst::new();
-            if !match_term(&eq.lhs, &t, &mut binding) {
+            let mut binding = Binding::new();
+            if !match_id(&self.store, self.rules[i].lhs, t, &mut binding) {
                 continue;
             }
-            let cond = eq.condition.clone();
-            let rhs = eq.rhs.clone();
-            match self.eval_condition_subst(&cond, &binding) {
+            let cond = self.rules[i].cond.clone();
+            match self.eval_condition(&cond, &binding) {
                 Ok(true) => {
                     if self.remaining == 0 {
                         return Err(AlgError::RewriteLimit {
-                            term: term_str(self.spec.signature(), &t),
+                            term: term_str(self.spec.signature(), &self.extern_term(t)),
                         });
                     }
                     self.remaining -= 1;
                     self.stats.steps += 1;
-                    let reduct = binding.apply_term(&rhs);
-                    return self.norm(&reduct);
+                    let rhs = self.rules[i].rhs;
+                    let reduct = self.store.subst(rhs, &binding);
+                    return self.norm(reduct);
                 }
                 Ok(false) => continue,
-                Err(AlgError::ConditionUndecided { .. }) if !t.is_ground() => {
+                Err(AlgError::ConditionUndecided { .. }) if !self.store.is_ground(t) => {
                     // Open subject: skip the rule rather than fail.
                     continue;
                 }
@@ -184,84 +363,81 @@ impl<'a> Rewriter<'a> {
     }
 
     /// Built-in evaluation of Boolean connectives and equality checks over
-    /// already-normalised arguments. Returns `None` when no simplification
-    /// applies.
-    fn try_builtin(&mut self, t: &Term) -> Result<Option<Term>> {
-        let Term::App(f, args) = t else {
-            return Ok(None);
-        };
+    /// already-normalised arguments (id comparisons throughout). Returns
+    /// `None` when no simplification applies.
+    fn try_builtin(&mut self, _t: TermId, f: FuncId, args: &[TermId]) -> Result<Option<TermId>> {
         let sig = self.spec.signature();
-        let tru = sig.true_term();
-        let fls = sig.false_term();
-        let is_true = |x: &Term| *x == tru;
-        let is_false = |x: &Term| *x == fls;
+        let (tru, fls) = (self.tru, self.fls);
 
-        let out = if *f == sig.not_fn() {
-            let a = &args[0];
-            if is_true(a) {
+        let out = if f == sig.not_fn() {
+            let a = args[0];
+            if a == tru {
                 Some(fls)
-            } else if is_false(a) {
+            } else if a == fls {
                 Some(tru)
             } else {
                 None
             }
-        } else if *f == sig.and_fn() {
-            let (a, b) = (&args[0], &args[1]);
-            if is_false(a) || is_false(b) {
+        } else if f == sig.and_fn() {
+            let (a, b) = (args[0], args[1]);
+            if a == fls || b == fls {
                 Some(fls)
-            } else if is_true(a) {
-                Some(b.clone())
-            } else if is_true(b) || a == b {
-                Some(a.clone())
+            } else if a == tru {
+                Some(b)
+            } else if b == tru || a == b {
+                Some(a)
             } else {
                 None
             }
-        } else if *f == sig.or_fn() {
-            let (a, b) = (&args[0], &args[1]);
-            if is_true(a) || is_true(b) {
+        } else if f == sig.or_fn() {
+            let (a, b) = (args[0], args[1]);
+            if a == tru || b == tru {
                 Some(tru)
-            } else if is_false(a) {
-                Some(b.clone())
-            } else if is_false(b) || a == b {
-                Some(a.clone())
+            } else if a == fls {
+                Some(b)
+            } else if b == fls || a == b {
+                Some(a)
             } else {
                 None
             }
-        } else if *f == sig.imp_fn() {
-            let (a, b) = (&args[0], &args[1]);
-            if is_false(a) || is_true(b) {
+        } else if f == sig.imp_fn() {
+            let (a, b) = (args[0], args[1]);
+            if a == fls || b == tru {
                 Some(tru)
-            } else if is_true(a) {
-                Some(b.clone())
-            } else if is_false(b) {
+            } else if a == tru {
+                Some(b)
+            } else if b == fls {
                 // imp(x, False) = not(x); recurse for further simplification.
-                let n = Term::App(sig.not_fn(), vec![a.clone()]);
-                return Ok(Some(self.norm(&n)?));
+                let not_fn = sig.not_fn();
+                let n = self.store.app(not_fn, &[a]);
+                return Ok(Some(self.norm(n)?));
             } else {
                 None
             }
-        } else if *f == sig.iff_fn() {
-            let (a, b) = (&args[0], &args[1]);
-            if is_true(a) {
-                Some(b.clone())
-            } else if is_true(b) {
-                Some(a.clone())
-            } else if is_false(a) {
-                let n = Term::App(sig.not_fn(), vec![b.clone()]);
-                return Ok(Some(self.norm(&n)?));
-            } else if is_false(b) {
-                let n = Term::App(sig.not_fn(), vec![a.clone()]);
-                return Ok(Some(self.norm(&n)?));
+        } else if f == sig.iff_fn() {
+            let (a, b) = (args[0], args[1]);
+            if a == tru {
+                Some(b)
+            } else if b == tru {
+                Some(a)
+            } else if a == fls {
+                let not_fn = sig.not_fn();
+                let n = self.store.app(not_fn, &[b]);
+                return Ok(Some(self.norm(n)?));
+            } else if b == fls {
+                let not_fn = sig.not_fn();
+                let n = self.store.app(not_fn, &[a]);
+                return Ok(Some(self.norm(n)?));
             } else if a == b {
                 Some(tru)
             } else {
                 None
             }
-        } else if sig.param_sorts().any(|s| sig.eq_fn(s) == Some(*f)) {
-            let (a, b) = (&args[0], &args[1]);
+        } else if sig.param_sorts().any(|s| sig.eq_fn(s) == Some(f)) {
+            let (a, b) = (args[0], args[1]);
             if a == b {
                 Some(tru)
-            } else if sig.is_param_name(a) && sig.is_param_name(b) {
+            } else if self.is_param_name(a) && self.is_param_name(b) {
                 Some(fls)
             } else {
                 None
@@ -272,42 +448,51 @@ impl<'a> Rewriter<'a> {
         Ok(out)
     }
 
+    /// Whether an interned term is a parameter name (a constant of a
+    /// non-state sort).
+    fn is_param_name(&self, t: TermId) -> bool {
+        match self.store.node(t) {
+            TermNode::App(f, args) if args.is_empty() => {
+                let sig = self.spec.signature();
+                sig.logic().func(*f).range != sig.state_sort()
+            }
+            _ => false,
+        }
+    }
+
     /// Evaluates a condition under a match binding.
-    fn eval_condition_subst(&mut self, cond: &Formula, binding: &Subst) -> Result<bool> {
+    fn eval_condition(&mut self, cond: &Cond, binding: &Binding) -> Result<bool> {
         self.stats.conditions += 1;
         self.eval_cond(cond, binding)
     }
 
-    fn eval_cond(&mut self, f: &Formula, binding: &Subst) -> Result<bool> {
-        match f {
-            Formula::True => Ok(true),
-            Formula::False => Ok(false),
-            Formula::Not(p) => Ok(!self.eval_cond(p, binding)?),
-            Formula::And(p, q) => Ok(self.eval_cond(p, binding)? && self.eval_cond(q, binding)?),
-            Formula::Or(p, q) => Ok(self.eval_cond(p, binding)? || self.eval_cond(q, binding)?),
-            Formula::Implies(p, q) => {
-                Ok(!self.eval_cond(p, binding)? || self.eval_cond(q, binding)?)
-            }
-            Formula::Iff(p, q) => Ok(self.eval_cond(p, binding)? == self.eval_cond(q, binding)?),
-            Formula::Eq(a, b) => {
-                let na = self.norm(&binding.apply_term(a))?;
-                let nb = self.norm(&binding.apply_term(b))?;
+    fn eval_cond(&mut self, c: &Cond, binding: &Binding) -> Result<bool> {
+        match c {
+            Cond::True => Ok(true),
+            Cond::False => Ok(false),
+            Cond::Not(p) => Ok(!self.eval_cond(p, binding)?),
+            Cond::And(p, q) => Ok(self.eval_cond(p, binding)? && self.eval_cond(q, binding)?),
+            Cond::Or(p, q) => Ok(self.eval_cond(p, binding)? || self.eval_cond(q, binding)?),
+            Cond::Implies(p, q) => Ok(!self.eval_cond(p, binding)? || self.eval_cond(q, binding)?),
+            Cond::Iff(p, q) => Ok(self.eval_cond(p, binding)? == self.eval_cond(q, binding)?),
+            Cond::Eq(a, b) => {
+                let sa = self.store.subst(*a, binding);
+                let sb = self.store.subst(*b, binding);
+                let na = self.norm(sa)?;
+                let nb = self.norm(sb)?;
                 if na == nb {
                     return Ok(true);
                 }
-                let sig = self.spec.signature();
-                if sig.is_param_name(&na) && sig.is_param_name(&nb) {
+                if self.is_param_name(na) && self.is_param_name(nb) {
                     return Ok(false);
                 }
+                let sig = self.spec.signature();
+                let open = if self.is_param_name(na) { nb } else { na };
                 Err(AlgError::ConditionUndecided {
-                    term: if sig.is_param_name(&na) {
-                        term_str(sig, &nb)
-                    } else {
-                        term_str(sig, &na)
-                    },
+                    term: term_str(sig, &self.extern_term(open)),
                 })
             }
-            Formula::Exists(x, p) => {
+            Cond::Exists(x, p) => {
                 for k in self.carrier(*x)? {
                     let mut b2 = binding.clone();
                     b2.bind(*x, k);
@@ -317,7 +502,7 @@ impl<'a> Rewriter<'a> {
                 }
                 Ok(false)
             }
-            Formula::Forall(x, p) => {
+            Cond::Forall(x, p) => {
                 for k in self.carrier(*x)? {
                     let mut b2 = binding.clone();
                     b2.bind(*x, k);
@@ -327,16 +512,15 @@ impl<'a> Rewriter<'a> {
                 }
                 Ok(true)
             }
-            Formula::Pred(..) | Formula::Possibly(..) | Formula::Necessarily(..) => {
-                Err(AlgError::BadCondition(
-                    "predicates/modalities cannot appear in equation conditions".into(),
-                ))
-            }
+            Cond::Unsupported => Err(AlgError::BadCondition(
+                "predicates/modalities cannot appear in equation conditions".into(),
+            )),
         }
     }
 
-    /// The parameter names of a variable's sort, as terms.
-    fn carrier(&self, x: VarId) -> Result<Vec<Term>> {
+    /// The parameter names of a variable's sort, as interned constants
+    /// (cached per sort after the first enumeration).
+    fn carrier(&mut self, x: VarId) -> Result<Vec<TermId>> {
         let sig = self.spec.signature();
         let sort = sig.logic().var(x).sort;
         if sort == sig.state_sort() {
@@ -344,11 +528,16 @@ impl<'a> Rewriter<'a> {
                 "quantification over states in a condition".into(),
             ));
         }
-        Ok(sig
-            .param_names(sort)
+        if let Some(c) = self.carriers.get(&sort) {
+            return Ok(c.clone());
+        }
+        let names = sig.param_names(sort);
+        let ids: Vec<TermId> = names
             .into_iter()
-            .map(Term::constant)
-            .collect())
+            .map(|f| self.store.constant(f))
+            .collect();
+        self.carriers.insert(sort, ids.clone());
+        Ok(ids)
     }
 
     /// Evaluates a ground Boolean term to `true`/`false`.
@@ -357,15 +546,24 @@ impl<'a> Rewriter<'a> {
     /// Returns [`AlgError::NotSufficientlyComplete`] if the term does not
     /// reduce to `True` or `False`.
     pub fn eval_bool(&mut self, t: &Term) -> Result<bool> {
-        let n = self.normalize(t)?;
-        let sig = self.spec.signature();
-        if n == sig.true_term() {
+        let id = self.intern(t);
+        self.eval_bool_id(id)
+    }
+
+    /// Evaluates an interned ground Boolean term to `true`/`false`.
+    ///
+    /// # Errors
+    /// As [`Rewriter::eval_bool`].
+    pub fn eval_bool_id(&mut self, t: TermId) -> Result<bool> {
+        let n = self.normalize_id(t)?;
+        if n == self.tru {
             Ok(true)
-        } else if n == sig.false_term() {
+        } else if n == self.fls {
             Ok(false)
         } else {
+            let sig = self.spec.signature();
             Err(AlgError::NotSufficientlyComplete {
-                term: term_str(sig, &n),
+                term: term_str(sig, &self.extern_term(n)),
             })
         }
     }
@@ -375,9 +573,23 @@ impl<'a> Rewriter<'a> {
     /// # Errors
     /// Propagates normalisation errors.
     pub fn eval_query(&mut self, q: FuncId, params: &[Term], state: &Term) -> Result<Term> {
+        let mut args: Vec<TermId> = params.iter().map(|p| p.intern(&mut self.store)).collect();
+        args.push(state.intern(&mut self.store));
+        let t = self.store.app(q, &args);
+        let n = self.normalize_id(t)?;
+        Ok(self.extern_term(n))
+    }
+
+    /// Evaluates a query application over interned arguments, returning the
+    /// interned normal form.
+    ///
+    /// # Errors
+    /// Propagates normalisation errors.
+    pub fn eval_query_id(&mut self, q: FuncId, params: &[TermId], state: TermId) -> Result<TermId> {
         let mut args = params.to_vec();
-        args.push(state.clone());
-        self.normalize(&Term::App(q, args))
+        args.push(state);
+        let t = self.store.app(q, &args);
+        self.normalize_id(t)
     }
 }
 
@@ -386,6 +598,7 @@ mod tests {
     use super::*;
     use crate::parser::parse_equations;
     use crate::signature::AlgSignature;
+    use crate::spec::AlgSpec;
 
     /// A miniature courses spec: offered only, with offer/cancel.
     fn mini_spec() -> AlgSpec {
@@ -429,6 +642,19 @@ mod tests {
     }
 
     #[test]
+    fn id_matching_agrees_with_tree_matching() {
+        let spec = mini_spec();
+        let mut store = TermStore::new();
+        let pat = term(&spec, "offered(c, offer(c, U))").intern(&mut store);
+        let sub_ok = term(&spec, "offered(db, offer(db, initiate))").intern(&mut store);
+        let sub_bad = term(&spec, "offered(db, offer(ai, initiate))").intern(&mut store);
+        let mut b = Binding::new();
+        assert!(match_id(&store, pat, sub_ok, &mut b));
+        let mut b = Binding::new();
+        assert!(!match_id(&store, pat, sub_bad, &mut b));
+    }
+
+    #[test]
     fn evaluates_queries_on_traces() {
         let spec = mini_spec();
         let mut rw = Rewriter::new(&spec);
@@ -442,6 +668,19 @@ mod tests {
         let t = term(&spec, "offered(db, initiate)");
         assert!(!rw.eval_bool(&t).unwrap());
         assert!(rw.stats().steps > 0);
+    }
+
+    #[test]
+    fn memo_serves_repeat_normalisations() {
+        let spec = mini_spec();
+        let mut rw = Rewriter::new(&spec);
+        let t = term(&spec, "offered(db, cancel(db, offer(ai, offer(db, initiate))))");
+        let id = rw.intern(&t);
+        let n1 = rw.normalize_id(id).unwrap();
+        let hits_before = rw.stats().cache_hits;
+        let n2 = rw.normalize_id(id).unwrap();
+        assert_eq!(n1, n2);
+        assert!(rw.stats().cache_hits > hits_before);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use eclectic_kernel::TermStore;
 use eclectic_logic::{FuncId, Term};
 
 use crate::equation::{ConditionalEquation, EquationKind};
@@ -16,6 +17,9 @@ use crate::signature::{AlgSignature, OpKind};
 pub struct AlgSpec {
     sig: Arc<AlgSignature>,
     equations: Vec<ConditionalEquation>,
+    /// Equation kinds, cached at validation time (per-equation sorts come
+    /// from the kernel's per-node sort cache, shared across all equations).
+    kinds: Vec<EquationKind>,
     /// Equation indices grouped by lhs root symbol for fast rule lookup.
     by_root: std::collections::BTreeMap<FuncId, Vec<usize>>,
 }
@@ -28,8 +32,13 @@ impl AlgSpec {
     pub fn new(sig: AlgSignature, equations: Vec<ConditionalEquation>) -> Result<Self> {
         let sig = Arc::new(sig);
         let mut by_root = std::collections::BTreeMap::new();
+        // One store for the whole specification: subterms shared across
+        // equations (state variables, nested update patterns) are interned
+        // and sorted once.
+        let mut store = TermStore::new();
+        let mut kinds = Vec::with_capacity(equations.len());
         for (i, eq) in equations.iter().enumerate() {
-            eq.validate(&sig)?;
+            kinds.push(eq.validate_with(&sig, &mut store)?);
             let root = eq.lhs_root().ok_or_else(|| AlgError::BadEquation {
                 name: eq.name.clone(),
                 reason: "lhs must be a function application".into(),
@@ -39,6 +48,7 @@ impl AlgSpec {
         Ok(AlgSpec {
             sig,
             equations,
+            kinds,
             by_root,
         })
     }
@@ -64,32 +74,41 @@ impl AlgSpec {
             .map(|&i| &self.equations[i])
     }
 
+    /// The kind of the `i`-th equation (cached at validation time — no
+    /// re-sorting).
+    #[must_use]
+    pub fn kind_of(&self, i: usize) -> EquationKind {
+        self.kinds[i]
+    }
+
     /// The Q-equations.
     ///
     /// # Errors
-    /// Propagates sorting errors (none once validated).
+    /// Infallible since kinds are cached at validation time; the `Result`
+    /// is kept for signature stability.
     pub fn q_equations(&self) -> Result<Vec<&ConditionalEquation>> {
-        let mut out = Vec::new();
-        for eq in &self.equations {
-            if eq.kind(&self.sig)? == EquationKind::Q {
-                out.push(eq);
-            }
-        }
-        Ok(out)
+        Ok(self
+            .equations
+            .iter()
+            .zip(&self.kinds)
+            .filter(|(_, k)| **k == EquationKind::Q)
+            .map(|(e, _)| e)
+            .collect())
     }
 
     /// The U-equations.
     ///
     /// # Errors
-    /// Propagates sorting errors (none once validated).
+    /// Infallible since kinds are cached at validation time; the `Result`
+    /// is kept for signature stability.
     pub fn u_equations(&self) -> Result<Vec<&ConditionalEquation>> {
-        let mut out = Vec::new();
-        for eq in &self.equations {
-            if eq.kind(&self.sig)? == EquationKind::U {
-                out.push(eq);
-            }
-        }
-        Ok(out)
+        Ok(self
+            .equations
+            .iter()
+            .zip(&self.kinds)
+            .filter(|(_, k)| **k == EquationKind::U)
+            .map(|(e, _)| e)
+            .collect())
     }
 
     /// Finds an equation by name.

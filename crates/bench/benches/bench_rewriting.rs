@@ -2,8 +2,8 @@
 //! length, paper vs synthesised equation sets (the frame-axiom ablation),
 //! cold vs memoised.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eclectic_algebraic::Rewriter;
+use eclectic_bench::Runner;
 use eclectic_logic::Term;
 use eclectic_spec::domains::courses::{functions_level, CoursesConfig, EquationStyle};
 
@@ -46,9 +46,8 @@ fn trace(spec: &eclectic_algebraic::AlgSpec, len: usize) -> Term {
     t
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e2_rewriting");
-    group.sample_size(20);
+fn main() {
+    let mut r = Runner::new("e2_rewriting").sample_size(20);
 
     for style in [EquationStyle::Paper, EquationStyle::Synthesized] {
         let config = CoursesConfig::sized(2, 2, style);
@@ -63,34 +62,19 @@ fn bench(c: &mut Criterion) {
 
         for len in [10usize, 50, 100, 200] {
             let t = trace(&spec, len);
-            group.bench_with_input(
-                BenchmarkId::new(format!("cold_query_{tag}"), len),
-                &t,
-                |b, t| {
-                    b.iter(|| {
-                        let mut rw = Rewriter::new(&spec);
-                        rw.eval_query(offered, std::slice::from_ref(&c1), t).unwrap()
-                    });
-                },
-            );
+            r.bench(format!("cold_query_{tag}/{len}"), || {
+                let mut rw = Rewriter::new(&spec);
+                rw.eval_query(offered, std::slice::from_ref(&c1), &t).unwrap()
+            });
         }
 
         // Memoised: all observations of a 100-step trace share subterm
         // evaluations through the cache.
         let t = trace(&spec, 100);
-        group.bench_with_input(
-            BenchmarkId::new(format!("all_observations_{tag}"), 100),
-            &t,
-            |b, t| {
-                b.iter(|| {
-                    let mut rw = Rewriter::new(&spec);
-                    eclectic_algebraic::observe::observations(&mut rw, t).unwrap()
-                });
-            },
-        );
+        r.bench(format!("all_observations_{tag}/100"), || {
+            let mut rw = Rewriter::new(&spec);
+            eclectic_algebraic::observe::observations(&mut rw, &t).unwrap()
+        });
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eclectic_bench::Runner;
 use eclectic_logic::{Domains, Elem, Signature};
 use eclectic_rpr::{denote, exec, parse_schema, DbState, FiniteUniverse, Schema,
     PAPER_COURSES_SCHEMA};
@@ -21,9 +21,8 @@ fn schema_with(students: &[&str], courses: &[&str]) -> (Schema, DbState) {
     (schema, DbState::new(sig, Arc::new(dom)))
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e7_rpr");
-    group.sample_size(20);
+fn main() {
+    let mut r = Runner::new("e7_rpr").sample_size(20);
 
     // Operational: replay traces of growing length.
     let (schema, s0) = schema_with(&["s1", "s2", "s3"], &["c1", "c2", "c3"]);
@@ -43,8 +42,8 @@ fn bench(c: &mut Criterion) {
                 ),
             });
         }
-        group.bench_with_input(BenchmarkId::new("exec_replay", len), &ops, |b, ops| {
-            b.iter(|| exec::replay(&schema, &s0, ops).unwrap());
+        r.bench(format!("exec_replay/{len}"), || {
+            exec::replay(&schema, &s0, &ops).unwrap()
         });
     }
 
@@ -61,15 +60,12 @@ fn bench(c: &mut Criterion) {
         let offered = schema.signature().pred_id("OFFERED").unwrap();
         let takes = schema.signature().pred_id("TAKES").unwrap();
         let u = FiniteUniverse::enumerate(&template, &[offered, takes], &[], 1 << 16).unwrap();
-        group.bench_function(BenchmarkId::new("denote_offer", label), |b| {
-            b.iter(|| denote::proc_meaning(&u, &schema, "offer", &[Elem(0)]).unwrap());
+        r.bench(format!("denote_offer/{label}"), || {
+            denote::proc_meaning(&u, &schema, "offer", &[Elem(0)]).unwrap()
         });
-        group.bench_function(BenchmarkId::new("denote_cancel", label), |b| {
-            b.iter(|| denote::proc_meaning(&u, &schema, "cancel", &[Elem(0)]).unwrap());
+        r.bench(format!("denote_cancel/{label}"), || {
+            denote::proc_meaning(&u, &schema, "cancel", &[Elem(0)]).unwrap()
         });
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eclectic_bench::Runner;
 use eclectic_logic::{Domains, Elem, Signature, Term};
 use eclectic_rpr::{exec, parse_schema, DbState, Schema, Stmt};
 
@@ -58,9 +58,8 @@ end-schema
     (schema, st)
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e10_styles");
-    group.sample_size(30);
+fn main() {
+    let mut r = Runner::new("e10_styles").sample_size(30);
 
     for n in [4usize, 16, 64] {
         let (schema, st) = setup(n);
@@ -73,15 +72,12 @@ fn bench(c: &mut Criterion) {
             b2.structure().pred_relation(takes)
         );
 
-        group.bench_function(BenchmarkId::new("set_oriented", n), |b| {
-            b.iter(|| exec::call_deterministic(&schema, &st, "clear_set", &[Elem(0)]).unwrap());
+        r.bench(format!("set_oriented/{n}"), || {
+            exec::call_deterministic(&schema, &st, "clear_set", &[Elem(0)]).unwrap()
         });
-        group.bench_function(BenchmarkId::new("tuple_oriented", n), |b| {
-            b.iter(|| exec::call_deterministic(&schema, &st, "clear_tuple", &[Elem(0)]).unwrap());
+        r.bench(format!("tuple_oriented/{n}"), || {
+            exec::call_deterministic(&schema, &st, "clear_tuple", &[Elem(0)]).unwrap()
         });
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eclectic_bench::Runner;
 use eclectic_logic::Signature;
 use eclectic_rpr::wgrammar::{self, earley, rpr_wgrammar};
 use eclectic_rpr::{parse_schema, Schema};
@@ -26,14 +26,13 @@ fn generated_schema(n: usize) -> Schema {
     Schema::new(Arc::new(sig), rels, procs).unwrap()
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e7_wgrammar");
-    group.sample_size(10);
+fn main() {
+    let mut r = Runner::new("e7_wgrammar").sample_size(10);
 
     for n in [2usize, 4, 8] {
         let schema = generated_schema(n);
-        group.bench_with_input(BenchmarkId::new("check_schema", n), &schema, |b, s| {
-            b.iter(|| wgrammar::check_schema(s).unwrap());
+        r.bench(format!("check_schema/{n}"), || {
+            wgrammar::check_schema(&schema).unwrap()
         });
     }
 
@@ -50,12 +49,9 @@ fn bench(c: &mut Criterion) {
             tokens.push("has".into());
             tokens.push("i".into());
         }
-        group.bench_with_input(BenchmarkId::new("earley_decs", n), &tokens, |b, t| {
-            b.iter(|| assert!(earley::recognizes(&g.meta, "DECS", t)));
+        r.bench(format!("earley_decs/{n}"), || {
+            assert!(earley::recognizes(&g.meta, "DECS", &tokens));
         });
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

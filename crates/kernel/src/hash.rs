@@ -1,0 +1,86 @@
+//! A fast, deterministic, non-cryptographic hasher for interning tables.
+//!
+//! The kernel's hot maps are keyed by 32-bit handles ([`crate::TermId`],
+//! [`crate::FuncId`]) whose distribution is already dense and sequential;
+//! SipHash's DoS resistance buys nothing here and costs a constant factor on
+//! every cache probe. This is the FxHash multiply-xor scheme (as used by
+//! rustc), implemented locally so the workspace stays dependency-free.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc FxHash scheme.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash state: a single u64 folded with multiply-xor per word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.fold(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.fold(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.fold(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.fold(n as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`] — the kernel's standard map type.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_spreading() {
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..1000u32 {
+            let mut h = FxHasher::default();
+            h.write_u32(i);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 1000, "no collisions on sequential u32s");
+        let mut a = FxHasher::default();
+        a.write_u32(42);
+        let mut b = FxHasher::default();
+        b.write_u32(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

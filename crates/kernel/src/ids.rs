@@ -1,0 +1,57 @@
+//! Identifiers for the symbols of a many-sorted language.
+//!
+//! These ids are the currency shared by every level of the system: the
+//! logic, algebraic, and representation layers all name sorts, function
+//! symbols, predicate symbols, and variables by the same small copyable
+//! handles, which is what lets one interned term kernel serve all of them.
+//! Declarations (names, domains, ranges) live in the owning signature; the
+//! kernel only needs the ids and, through [`crate::SortOracle`], the sort
+//! discipline.
+
+/// Identifier of a sort within a signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SortId(pub u32);
+
+/// Identifier of a function symbol within a signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+/// Identifier of a predicate symbol within a signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PredId(pub u32);
+
+/// Identifier of a variable within a signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl SortId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl FuncId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PredId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl VarId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}

@@ -1,0 +1,30 @@
+//! # eclectic-kernel
+//!
+//! The hash-consed term kernel shared by every specification level of the
+//! eclectic workspace: the logic level (§3 of the paper), the algebraic
+//! rewriting level (§4), and the RPR representation level (§5) all
+//! manipulate first-order terms over the same id vocabulary, and this crate
+//! gives them one interning substrate with:
+//!
+//! - **O(1) structural equality and hashing** — a [`TermStore`] issues one
+//!   [`TermId`] per distinct tree, so id equality *is* semantic equality;
+//! - **cached per-node metadata** — groundness, size, depth computed once at
+//!   intern time, and sorts cached on first demand via a [`SortOracle`];
+//! - **structural sharing** — repeated subterms (e.g. common trace
+//!   prefixes of database update histories) are stored once, which is what
+//!   makes memoised rewriting and reachability deduplication cheap;
+//! - **substitution over interned terms** ([`TermStore::subst`]) with
+//!   ground short-circuiting.
+//!
+//! The crate is dependency-free and defines only ids, terms, and hashing;
+//! names, declarations, parsing and printing stay in `eclectic-logic`.
+
+#![warn(missing_docs)]
+
+pub mod hash;
+mod ids;
+mod store;
+
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use ids::{FuncId, PredId, SortId, VarId};
+pub use store::{Binding, SortError, SortOracle, TermId, TermNode, TermStore};

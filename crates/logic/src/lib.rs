@@ -55,6 +55,10 @@ mod theory;
 mod unify;
 mod valuation;
 
+/// The hash-consed term kernel this crate's interning layer is built on.
+pub use eclectic_kernel as kernel;
+pub use eclectic_kernel::{Binding, SortOracle, TermId, TermNode, TermStore};
+
 pub use error::{LogicError, Result};
 pub use formula::Formula;
 pub use parser::{parse_formula, parse_term};

@@ -331,6 +331,24 @@ impl Signature {
     }
 }
 
+/// The signature is the kernel's sort oracle: interned terms can have their
+/// sorts computed bottom-up and cached per node via
+/// [`eclectic_kernel::TermStore::sort_of`], replacing the full-tree
+/// recomputation of [`crate::Term::sort`] on hot paths.
+impl eclectic_kernel::SortOracle for Signature {
+    fn var_sort(&self, v: VarId) -> SortId {
+        self.var(v).sort
+    }
+
+    fn func_domain(&self, f: FuncId) -> &[SortId] {
+        &self.func(f).domain
+    }
+
+    fn func_range(&self, f: FuncId) -> SortId {
+        self.func(f).range
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,56 +5,16 @@
 //! predicate symbols describing database structures are distinguished as
 //! *db-predicate symbols*. Variables are typed by sorts and live in the
 //! signature's variable table so that ids stay small and copyable.
+//!
+//! The id types themselves ([`SortId`], [`FuncId`], [`PredId`], [`VarId`])
+//! are defined in `eclectic-kernel` and re-exported here: the hash-consed
+//! term kernel and every specification level share one id vocabulary, so a
+//! term interned at the algebraic level can be compared or reused at the
+//! logic level without translation.
 
 use std::fmt;
 
-/// Identifier of a sort within a [`crate::Signature`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct SortId(pub u32);
-
-/// Identifier of a function symbol within a [`crate::Signature`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct FuncId(pub u32);
-
-/// Identifier of a predicate symbol within a [`crate::Signature`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct PredId(pub u32);
-
-/// Identifier of a variable within a [`crate::Signature`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct VarId(pub u32);
-
-impl SortId {
-    /// The raw index.
-    #[must_use]
-    pub fn index(self) -> usize {
-        self.0 as usize
-    }
-}
-
-impl FuncId {
-    /// The raw index.
-    #[must_use]
-    pub fn index(self) -> usize {
-        self.0 as usize
-    }
-}
-
-impl PredId {
-    /// The raw index.
-    #[must_use]
-    pub fn index(self) -> usize {
-        self.0 as usize
-    }
-}
-
-impl VarId {
-    /// The raw index.
-    #[must_use]
-    pub fn index(self) -> usize {
-        self.0 as usize
-    }
-}
+pub use eclectic_kernel::{FuncId, PredId, SortId, VarId};
 
 /// Declaration of a sort.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -2,6 +2,8 @@
 
 use std::collections::BTreeSet;
 
+use eclectic_kernel::{TermId, TermNode, TermStore};
+
 use crate::error::{LogicError, Result};
 use crate::signature::Signature;
 use crate::symbols::{FuncId, SortId, VarId};
@@ -138,6 +140,35 @@ impl Term {
     pub fn contains(&self, other: &Term) -> bool {
         self.subterms().contains(&other)
     }
+
+    /// Interns this term into a kernel [`TermStore`], returning its handle.
+    ///
+    /// The handle's equality is structural equality (the store's
+    /// hash-consing invariant), so interning is the bridge from this owned
+    /// tree representation to the O(1)-comparable interned one used by the
+    /// rewriting and reachability hot paths.
+    pub fn intern(&self, store: &mut TermStore) -> TermId {
+        match self {
+            Term::Var(v) => store.var(*v),
+            Term::App(f, args) => {
+                let ids: Vec<TermId> = args.iter().map(|a| a.intern(store)).collect();
+                store.app(*f, &ids)
+            }
+        }
+    }
+
+    /// Reconstructs an owned [`Term`] from an interned handle (the inverse
+    /// of [`Term::intern`] up to structural equality).
+    #[must_use]
+    pub fn from_interned(store: &TermStore, id: TermId) -> Term {
+        match store.node(id) {
+            TermNode::Var(v) => Term::Var(*v),
+            TermNode::App(f, args) => Term::App(
+                *f,
+                args.iter().map(|&a| Term::from_interned(store, a)).collect(),
+            ),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -190,6 +221,34 @@ mod tests {
         assert_eq!(t.vars().into_iter().collect::<Vec<_>>(), vec![x]);
         assert_eq!(t.size(), 3);
         assert_eq!(t.depth(), 2);
+    }
+
+    #[test]
+    fn intern_roundtrips_and_kernel_subst_agrees_with_subst() {
+        let (_sig, a, f, x) = sample();
+        let t = Term::app(
+            f,
+            vec![
+                Term::app(f, vec![Term::constant(a), Term::Var(x)]),
+                Term::Var(x),
+            ],
+        );
+        let mut store = TermStore::new();
+        let id = t.intern(&mut store);
+        // Roundtrip, and interning idempotence at the handle level.
+        assert_eq!(Term::from_interned(&store, id), t);
+        assert_eq!(t.intern(&mut store), id);
+
+        // Kernel substitution agrees with the tree-level `Subst`.
+        let repl = Term::app(f, vec![Term::constant(a), Term::constant(a)]);
+        let expected = crate::Subst::single(x, repl.clone()).apply_term(&t);
+        let mut b = eclectic_kernel::Binding::new();
+        let repl_id = repl.intern(&mut store);
+        b.bind(x, repl_id);
+        let got = store.subst(id, &b);
+        assert_eq!(Term::from_interned(&store, got), expected);
+        // The substituted term is ground, so re-substituting is the identity.
+        assert_eq!(store.subst(got, &b), got);
     }
 
     #[test]

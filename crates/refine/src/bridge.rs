@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 
 use eclectic_algebraic::AlgSignature;
+use eclectic_kernel::{TermId, TermNode, TermStore};
 use eclectic_logic::{Domains, Elem, FuncId, Signature, SortId, Term};
 
 use crate::error::{RefineError, Result};
@@ -102,6 +103,21 @@ impl ParamBridge {
     pub fn elem_of_term(&self, t: &Term) -> Result<(SortId, Elem)> {
         match t {
             Term::App(f, args) if args.is_empty() => self.elem(*f),
+            _ => Err(RefineError::BridgeMismatch(
+                "parameter term is not a constant".into(),
+            )),
+        }
+    }
+
+    /// The element denoted by an interned ground parameter term (must be a
+    /// constant) — the id-based counterpart of [`ParamBridge::elem_of_term`]
+    /// used by interned evaluation paths: one node lookup, no tree walk.
+    ///
+    /// # Errors
+    /// Returns [`RefineError::BridgeMismatch`] for non-constant terms.
+    pub fn elem_of_id(&self, store: &TermStore, t: TermId) -> Result<(SortId, Elem)> {
+        match store.node(t) {
+            TermNode::App(f, args) if args.is_empty() => self.elem(*f),
             _ => Err(RefineError::BridgeMismatch(
                 "parameter term is not a constant".into(),
             )),

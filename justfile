@@ -1,0 +1,15 @@
+# Task runner for the eclectic workspace (https://github.com/casey/just).
+
+# The full offline gate: release build, tests, lints with warnings denied.
+verify:
+    cargo build --release --workspace
+    cargo test -q --workspace
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Timing benches, one target per experiment in EXPERIMENTS.md.
+bench:
+    cargo bench --workspace
+
+# Regenerate the EXPERIMENTS.md artifact table and BENCH_rewrite.json.
+harness:
+    cargo run -p eclectic-bench --bin harness --release

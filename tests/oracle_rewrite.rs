@@ -1,0 +1,97 @@
+//! Differential oracle for the hash-consed rewriter (the PR's safety net):
+//! on every ground state term of the bank/library/courses domains up to
+//! depth 4, every query observation computed by the interned rewriter —
+//! through both the `Term`-level API and the fully id-level API — must be
+//! identical to the normal form produced by the legacy tree-cloning
+//! implementation (`LegacyRewriter`, kept behind the `legacy-rewrite`
+//! feature exactly for this test).
+
+use eclectic_algebraic::{induction, AlgSpec, LegacyRewriter, Rewriter};
+use eclectic_kernel::TermId;
+use eclectic_spec::domains::{bank, courses, library};
+
+/// Compares legacy vs interned observations over all ground state terms of
+/// `spec` up to `depth` update applications, returning the number of
+/// (state, query, tuple) points compared.
+fn check_domain(name: &str, spec: &AlgSpec, depth: usize) -> usize {
+    let sig = spec.signature().clone();
+    let states = induction::state_terms(&sig, depth).unwrap();
+    assert!(
+        !states.is_empty(),
+        "{name}: no ground state terms generated"
+    );
+
+    // One rewriter of each kind per domain: the interned one keeps its memo
+    // table across states (the configuration the library actually runs in),
+    // so the oracle also exercises cache correctness, not just cold paths.
+    let mut legacy = LegacyRewriter::new(spec);
+    let mut rw = Rewriter::new(spec);
+    let queries: Vec<_> = sig.queries().collect();
+    assert!(!queries.is_empty(), "{name}: domain has no queries");
+
+    let mut compared = 0usize;
+    for state in &states {
+        let state_id = rw.intern(state);
+        for &q in &queries {
+            let sorts = sig.query_params(q).unwrap();
+            for params in induction::param_tuples(&sig, &sorts).unwrap() {
+                let expected = legacy.eval_query(q, &params, state).unwrap();
+
+                // Term-level API of the interned rewriter.
+                let got = rw.eval_query(q, &params, state).unwrap();
+                assert_eq!(
+                    expected, got,
+                    "{name}: Term-level disagreement on query {q:?} {params:?} at {state:?}"
+                );
+
+                // Fully interned path: ids in, id out.
+                let pids: Vec<TermId> = params.iter().map(|p| rw.intern(p)).collect();
+                let gid = rw.eval_query_id(q, &pids, state_id).unwrap();
+                assert_eq!(
+                    expected,
+                    rw.extern_term(gid),
+                    "{name}: id-level disagreement on query {q:?} {params:?} at {state:?}"
+                );
+                compared += 1;
+            }
+        }
+    }
+    compared
+}
+
+#[test]
+fn courses_interned_rewriter_matches_legacy_to_depth_4() {
+    let spec = courses::functions_level(&courses::CoursesConfig::sized(
+        1,
+        2,
+        courses::EquationStyle::Paper,
+    ))
+    .unwrap();
+    let compared = check_domain("courses", &spec, 4);
+    assert!(compared > 1_000, "courses: only {compared} points compared");
+}
+
+#[test]
+fn courses_synthesized_equations_match_legacy() {
+    let spec = courses::functions_level(&courses::CoursesConfig::sized(
+        1,
+        2,
+        courses::EquationStyle::Synthesized,
+    ))
+    .unwrap();
+    assert!(check_domain("courses-synth", &spec, 4) > 1_000);
+}
+
+#[test]
+fn library_interned_rewriter_matches_legacy_to_depth_4() {
+    let spec = library::functions_level(&library::LibraryConfig::sized(1, 2)).unwrap();
+    let compared = check_domain("library", &spec, 4);
+    assert!(compared > 100, "library: only {compared} points compared");
+}
+
+#[test]
+fn bank_interned_rewriter_matches_legacy_to_depth_4() {
+    let spec = bank::functions_level(&bank::BankConfig::sized(2, 2)).unwrap();
+    let compared = check_domain("bank", &spec, 4);
+    assert!(compared > 100, "bank: only {compared} points compared");
+}
