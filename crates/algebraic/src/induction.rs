@@ -7,7 +7,7 @@
 //! the update functions (§4.2). This module enumerates `T` up to a step
 //! bound and checks properties over it.
 
-use eclectic_kernel::TermId;
+use eclectic_kernel::{Interner, TermId};
 use eclectic_logic::{SortId, Term};
 
 use crate::error::{AlgError, Result};
@@ -46,7 +46,10 @@ pub fn param_tuples(sig: &AlgSignature, sorts: &[SortId]) -> Result<Vec<Vec<Term
 ///
 /// # Errors
 /// Returns [`AlgError::NotAParamSort`] if a sort is the state sort.
-pub fn param_tuple_ids(rw: &mut Rewriter<'_>, sorts: &[SortId]) -> Result<Vec<Vec<TermId>>> {
+pub fn param_tuple_ids<S: Interner>(
+    rw: &mut Rewriter<'_, S>,
+    sorts: &[SortId],
+) -> Result<Vec<Vec<TermId>>> {
     let sig = rw.spec().signature().clone();
     let mut out = vec![Vec::new()];
     for &s in sorts {
@@ -77,7 +80,7 @@ pub fn param_tuple_ids(rw: &mut Rewriter<'_>, sorts: &[SortId]) -> Result<Vec<Ve
 ///
 /// # Errors
 /// Propagates signature errors.
-pub fn initial_state_ids(rw: &mut Rewriter<'_>) -> Result<Vec<TermId>> {
+pub fn initial_state_ids<S: Interner>(rw: &mut Rewriter<'_, S>) -> Result<Vec<TermId>> {
     let sig = rw.spec().signature().clone();
     let mut out = Vec::new();
     for u in sig.updates() {
@@ -96,7 +99,7 @@ pub fn initial_state_ids(rw: &mut Rewriter<'_>) -> Result<Vec<TermId>> {
 ///
 /// # Errors
 /// Propagates signature errors.
-pub fn successor_ids(rw: &mut Rewriter<'_>, state: TermId) -> Result<Vec<TermId>> {
+pub fn successor_ids<S: Interner>(rw: &mut Rewriter<'_, S>, state: TermId) -> Result<Vec<TermId>> {
     let sig = rw.spec().signature().clone();
     let mut out = Vec::new();
     for u in sig.updates() {
@@ -109,6 +112,74 @@ pub fn successor_ids(rw: &mut Rewriter<'_>, state: TermId) -> Result<Vec<TermId>
         }
     }
     Ok(out)
+}
+
+/// A precompiled successor plan: every state-taking update paired with its
+/// interned parameter tuples, enumerated once. Per-state successor
+/// construction is then pure id appends into a reusable buffer — no
+/// re-enumeration of tuples and no fresh allocations on the exploration hot
+/// path.
+#[derive(Debug, Clone)]
+pub struct SuccessorPlan {
+    plan: Vec<(eclectic_logic::FuncId, Vec<Vec<TermId>>)>,
+    /// Total successors per state (sum of tuple counts).
+    count: usize,
+    /// Widest parameter tuple, for pre-sizing the argument buffer.
+    max_params: usize,
+}
+
+impl SuccessorPlan {
+    /// Compiles the plan for the rewriter's specification.
+    ///
+    /// # Errors
+    /// Propagates signature errors.
+    pub fn new<S: Interner>(rw: &mut Rewriter<'_, S>) -> Result<Self> {
+        let sig = rw.spec().signature().clone();
+        let mut plan = Vec::new();
+        let mut count = 0;
+        let mut max_params = 0;
+        for u in sig.updates() {
+            if sig.update_takes_state(u)? {
+                let tuples = param_tuple_ids(rw, &sig.update_params(u)?)?;
+                count += tuples.len();
+                max_params = max_params.max(tuples.first().map_or(0, Vec::len));
+                plan.push((u, tuples));
+            }
+        }
+        Ok(SuccessorPlan {
+            plan,
+            count,
+            max_params,
+        })
+    }
+
+    /// Number of successors every state has under this plan.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Builds the one-step successors of `state` into a reusable buffer
+    /// (cleared first), in the same (update, parameter-tuple) order as
+    /// [`successor_ids`].
+    pub fn successors_into<S: Interner>(
+        &self,
+        rw: &mut Rewriter<'_, S>,
+        state: TermId,
+        out: &mut Vec<TermId>,
+    ) {
+        out.clear();
+        out.reserve(self.count);
+        let mut args: Vec<TermId> = Vec::with_capacity(self.max_params + 1);
+        for (u, tuples) in &self.plan {
+            for params in tuples {
+                args.clear();
+                args.extend_from_slice(params);
+                args.push(state);
+                out.push(rw.app_id(*u, &args));
+            }
+        }
+    }
 }
 
 /// The initial state terms: update constants that take no state argument
@@ -249,7 +320,10 @@ mod tests {
             &[
                 ("eq1", "offered(c, initiate) = False"),
                 ("eq3", "offered(c, offer(c, U)) = True"),
-                ("eq4", "c != c' ==> offered(c, offer(c', U)) = offered(c, U)"),
+                (
+                    "eq4",
+                    "c != c' ==> offered(c, offer(c', U)) = offered(c, U)",
+                ),
             ],
         )
         .unwrap();

@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use eclectic_kernel::TermId;
+use eclectic_kernel::{Interner, TermId};
 use eclectic_logic::{FuncId, Term};
 
 use crate::error::Result;
@@ -52,35 +52,89 @@ pub fn observations(rw: &mut Rewriter<'_>, state: &Term) -> Result<ObsTable> {
 pub struct ObsKeys {
     /// Per query, the interned parameter tuples to observe it at.
     plan: Vec<(FuncId, Vec<Vec<TermId>>)>,
+    /// Total number of observations in a key (row width).
+    arity: usize,
 }
+
+/// Reserved function id used by [`ObsKeys::key_id`] to pack an observation
+/// row into a single interned tuple node. It can never collide with a
+/// declared symbol (signatures allocate function ids from 0 upward), and the
+/// tuple node is only ever used as an identity — it is never normalised,
+/// printed, or sorted.
+pub const OBS_TUPLE_FN: FuncId = FuncId(u32::MAX);
 
 impl ObsKeys {
     /// Compiles the observation plan for the rewriter's specification.
     ///
     /// # Errors
     /// Propagates signature errors.
-    pub fn new(rw: &mut Rewriter<'_>) -> Result<Self> {
+    pub fn new<S: Interner>(rw: &mut Rewriter<'_, S>) -> Result<Self> {
         let sig = rw.spec().signature().clone();
         let mut plan = Vec::new();
+        let mut arity = 0;
         for q in sig.queries() {
             let tuples = param_tuple_ids(rw, &sig.query_params(q)?)?;
+            arity += tuples.len();
             plan.push((q, tuples));
         }
-        Ok(ObsKeys { plan })
+        Ok(ObsKeys { plan, arity })
     }
 
-    /// The observation key of an interned ground state term.
+    /// Number of observations in a key — callers pre-size row buffers from
+    /// this.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Computes the observation row of an interned ground state term into a
+    /// caller-supplied scratch buffer (cleared first), avoiding a fresh
+    /// allocation per state on the exploration hot path.
     ///
     /// # Errors
     /// Propagates rewriting errors.
-    pub fn key(&self, rw: &mut Rewriter<'_>, state: TermId) -> Result<Vec<TermId>> {
-        let mut out = Vec::new();
+    pub fn key_into<S: Interner>(
+        &self,
+        rw: &mut Rewriter<'_, S>,
+        state: TermId,
+        out: &mut Vec<TermId>,
+    ) -> Result<()> {
+        out.clear();
+        out.reserve(self.arity);
         for (q, tuples) in &self.plan {
             for params in tuples {
                 out.push(rw.eval_query_id(*q, params, state)?);
             }
         }
+        Ok(())
+    }
+
+    /// The observation key of an interned ground state term, as a fresh
+    /// vector of normal-form ids.
+    ///
+    /// # Errors
+    /// Propagates rewriting errors.
+    pub fn key<S: Interner>(&self, rw: &mut Rewriter<'_, S>, state: TermId) -> Result<Vec<TermId>> {
+        let mut out = Vec::with_capacity(self.arity);
+        self.key_into(rw, state, &mut out)?;
         Ok(out)
+    }
+
+    /// The observation key packed into a single interned tuple node (under
+    /// the reserved [`OBS_TUPLE_FN`] symbol): observationally equal states
+    /// get the same id, so frontier dedup becomes one id comparison. `row`
+    /// is a reusable scratch buffer for the observation row.
+    ///
+    /// # Errors
+    /// Propagates rewriting errors.
+    pub fn key_id<S: Interner>(
+        &self,
+        rw: &mut Rewriter<'_, S>,
+        state: TermId,
+        row: &mut Vec<TermId>,
+    ) -> Result<TermId> {
+        self.key_into(rw, state, row)?;
+        Ok(rw.app_id(OBS_TUPLE_FN, row))
     }
 }
 
@@ -98,11 +152,7 @@ pub fn obs_equal(rw: &mut Rewriter<'_>, a: &Term, b: &Term) -> Result<bool> {
 ///
 /// # Errors
 /// Propagates rewriting errors.
-pub fn obs_diff(
-    rw: &mut Rewriter<'_>,
-    a: &Term,
-    b: &Term,
-) -> Result<ObsDiff> {
+pub fn obs_diff(rw: &mut Rewriter<'_>, a: &Term, b: &Term) -> Result<ObsDiff> {
     let ta = observations(rw, a)?;
     let tb = observations(rw, b)?;
     let mut out = ObsDiff::new();
@@ -120,10 +170,7 @@ pub fn obs_diff(
 ///
 /// # Errors
 /// Propagates rewriting errors.
-pub fn quotient_states(
-    rw: &mut Rewriter<'_>,
-    states: &[Term],
-) -> Result<Vec<(Term, ObsTable)>> {
+pub fn quotient_states(rw: &mut Rewriter<'_>, states: &[Term]) -> Result<Vec<(Term, ObsTable)>> {
     let mut seen: BTreeMap<ObsTable, Term> = BTreeMap::new();
     let mut order = Vec::new();
     for st in states {
@@ -135,7 +182,6 @@ pub fn quotient_states(
     }
     Ok(order)
 }
-
 
 /// Result of checking the observability condition (§4.1): states identified
 /// by their simple observations must be *indistinguishable* — applying the
@@ -227,9 +273,15 @@ mod tests {
             &[
                 ("eq1", "offered(c, initiate) = False"),
                 ("eq3", "offered(c, offer(c, U)) = True"),
-                ("eq4", "c != c' ==> offered(c, offer(c', U)) = offered(c, U)"),
+                (
+                    "eq4",
+                    "c != c' ==> offered(c, offer(c', U)) = offered(c, U)",
+                ),
                 ("eq6", "offered(c, cancel(c, U)) = False"),
-                ("eq7", "c != c' ==> offered(c, cancel(c', U)) = offered(c, U)"),
+                (
+                    "eq7",
+                    "c != c' ==> offered(c, cancel(c', U)) = offered(c, U)",
+                ),
             ],
         )
         .unwrap();
@@ -311,7 +363,10 @@ mod tests {
                 // by cancel-after-offer = True (pattern on the nested term).
                 ("c1", "fired(c, cancel(c', offer(c'', U))) = True"),
                 ("c2", "fired(c, cancel(c', initiate)) = False"),
-                ("c3", "fired(c, cancel(c', cancel(c'', U))) = fired(c, cancel(c'', U))"),
+                (
+                    "c3",
+                    "fired(c, cancel(c', cancel(c'', U))) = fired(c, cancel(c'', U))",
+                ),
             ],
         );
         let eqs = match eqs {

@@ -25,7 +25,9 @@
 //! variants (`normalize_id`, `eval_query_id`, …) let hot callers such as
 //! reachability exploration stay inside the store and never build trees.
 
-use eclectic_kernel::{Binding, FxHashMap, TermId, TermNode, TermStore};
+use std::sync::Arc;
+
+use eclectic_kernel::{Binding, FxHashMap, Interner, SharedMemo, TermId, TermNode, TermStore};
 use eclectic_logic::{Formula, FuncId, SortId, Subst, Term, VarId};
 
 use crate::error::{AlgError, Result};
@@ -61,9 +63,11 @@ pub fn match_term(pattern: &Term, subject: &Term, binding: &mut Subst) -> bool {
 /// Matches an interned `pattern` against an interned `subject`, extending
 /// `binding`. Like [`match_term`] but over [`TermId`]s: the bound-variable
 /// consistency check for non-linear patterns is a single id comparison.
+/// Generic over the store backend so the concurrent exploration paths can
+/// match through per-thread handles.
 #[must_use]
-pub fn match_id(
-    store: &TermStore,
+pub fn match_id<S: Interner + ?Sized>(
+    store: &S,
     pattern: TermId,
     subject: TermId,
     binding: &mut Binding,
@@ -118,7 +122,7 @@ enum Cond {
     Unsupported,
 }
 
-fn compile_cond(store: &mut TermStore, f: &Formula) -> Cond {
+fn compile_cond<S: Interner>(store: &mut S, f: &Formula) -> Cond {
     match f {
         Formula::True => Cond::True,
         Formula::False => Cond::False,
@@ -156,13 +160,18 @@ struct Rule {
 
 /// A rewriting engine over one specification, with memoised normal forms.
 ///
-/// The engine owns a [`TermStore`] holding every term it has seen; the memo
-/// table maps interned input terms to interned normal forms, so a repeat
-/// normalisation of any previously-seen subterm is one hash lookup.
+/// The engine owns a term store backend `S` holding every term it has seen;
+/// the memo table maps interned input terms to interned normal forms, so a
+/// repeat normalisation of any previously-seen subterm is one hash lookup.
+///
+/// `S` defaults to the serial [`TermStore`] (so `Rewriter<'_>` keeps its
+/// pre-existing meaning); parallel exploration instantiates it with a
+/// per-thread `StoreHandle` onto a shared `ConcurrentTermStore`, optionally
+/// wiring the thread-local memo to a cross-thread [`SharedMemo`].
 #[derive(Debug)]
-pub struct Rewriter<'a> {
+pub struct Rewriter<'a, S: Interner = TermStore> {
     spec: &'a AlgSpec,
-    store: TermStore,
+    store: S,
     /// Normal-form memo: interned term → interned normal form.
     memo: FxHashMap<TermId, TermId>,
     /// Compiled rules, in equation order.
@@ -179,20 +188,41 @@ pub struct Rewriter<'a> {
     fuel_limit: usize,
     remaining: usize,
     stats: RewriteStats,
+    /// Optional cross-thread normal-form memo, consulted on a local-memo
+    /// miss and fed with every normal form this rewriter computes.
+    shared_memo: Option<Arc<SharedMemo>>,
 }
 
 impl<'a> Rewriter<'a> {
-    /// Creates a rewriter with the default fuel limit.
+    /// Creates a rewriter over a fresh serial [`TermStore`] with the default
+    /// fuel limit.
     #[must_use]
     pub fn new(spec: &'a AlgSpec) -> Self {
         Rewriter::with_fuel(spec, 1_000_000)
     }
 
-    /// Creates a rewriter with a custom fuel limit (rule applications per
-    /// top-level call) — useful for detecting non-terminating equation sets.
+    /// Creates a rewriter over a fresh serial [`TermStore`] with a custom
+    /// fuel limit (rule applications per top-level call) — useful for
+    /// detecting non-terminating equation sets.
     #[must_use]
     pub fn with_fuel(spec: &'a AlgSpec, fuel_limit: usize) -> Self {
-        let mut store = TermStore::new();
+        Rewriter::with_store_and_fuel(spec, TermStore::new(), fuel_limit)
+    }
+}
+
+impl<'a, S: Interner> Rewriter<'a, S> {
+    /// Creates a rewriter over a caller-supplied store backend (e.g. a
+    /// per-thread `StoreHandle` onto a shared concurrent store) with the
+    /// default fuel limit. Rule compilation interns through the backend, so
+    /// handles onto the same concurrent store agree on every rule id.
+    #[must_use]
+    pub fn with_store(spec: &'a AlgSpec, store: S) -> Self {
+        Rewriter::with_store_and_fuel(spec, store, 1_000_000)
+    }
+
+    /// As [`Rewriter::with_store`], with a custom fuel limit.
+    #[must_use]
+    pub fn with_store_and_fuel(spec: &'a AlgSpec, mut store: S, fuel_limit: usize) -> Self {
         let sig = spec.signature();
         let tru = store.constant(sig.true_fn());
         let fls = store.constant(sig.false_fn());
@@ -219,7 +249,15 @@ impl<'a> Rewriter<'a> {
             fuel_limit,
             remaining: fuel_limit,
             stats: RewriteStats::default(),
+            shared_memo: None,
         }
+    }
+
+    /// Attaches a cross-thread normal-form memo: `norm` consults it on a
+    /// local-memo miss and publishes every normal form it computes, so
+    /// rewriters on sibling threads reuse each other's work.
+    pub fn set_shared_memo(&mut self, memo: Arc<SharedMemo>) {
+        self.shared_memo = Some(memo);
     }
 
     /// The specification being evaluated.
@@ -242,14 +280,14 @@ impl<'a> Rewriter<'a> {
     /// The term store backing this rewriter (terms stay valid for its whole
     /// lifetime; the store only grows).
     #[must_use]
-    pub fn store(&self) -> &TermStore {
+    pub fn store(&self) -> &S {
         &self.store
     }
 
     /// Mutable access to the backing store, for callers that build terms
     /// directly from ids (e.g. successor construction during reachability
     /// exploration). The store only grows, so existing ids stay valid.
-    pub fn store_mut(&mut self) -> &mut TermStore {
+    pub fn store_mut(&mut self) -> &mut S {
         &mut self.store
     }
 
@@ -308,8 +346,18 @@ impl<'a> Rewriter<'a> {
             self.stats.cache_hits += 1;
             return Ok(hit);
         }
+        if let Some(shared) = &self.shared_memo {
+            if let Some(hit) = shared.get(t) {
+                self.stats.cache_hits += 1;
+                self.memo.insert(t, hit);
+                return Ok(hit);
+            }
+        }
         let out = self.norm_uncached(t)?;
         self.memo.insert(t, out);
+        if let Some(shared) = &self.shared_memo {
+            shared.insert(t, out);
+        }
         Ok(out)
     }
 
@@ -532,10 +580,7 @@ impl<'a> Rewriter<'a> {
             return Ok(c.clone());
         }
         let names = sig.param_names(sort);
-        let ids: Vec<TermId> = names
-            .into_iter()
-            .map(|f| self.store.constant(f))
-            .collect();
+        let ids: Vec<TermId> = names.into_iter().map(|f| self.store.constant(f)).collect();
         self.carriers.insert(sort, ids.clone());
         Ok(ids)
     }
@@ -615,9 +660,15 @@ mod tests {
             &[
                 ("eq1", "offered(c, initiate) = False"),
                 ("eq3", "offered(c, offer(c, U)) = True"),
-                ("eq4", "c != c' ==> offered(c, offer(c', U)) = offered(c, U)"),
+                (
+                    "eq4",
+                    "c != c' ==> offered(c, offer(c', U)) = offered(c, U)",
+                ),
                 ("eq6", "offered(c, cancel(c, U)) = False"),
-                ("eq7", "c != c' ==> offered(c, cancel(c', U)) = offered(c, U)"),
+                (
+                    "eq7",
+                    "c != c' ==> offered(c, cancel(c', U)) = offered(c, U)",
+                ),
             ],
         )
         .unwrap();
@@ -659,10 +710,16 @@ mod tests {
         let spec = mini_spec();
         let mut rw = Rewriter::new(&spec);
         // offered(db, cancel(db, offer(ai, offer(db, initiate)))) = False
-        let t = term(&spec, "offered(db, cancel(db, offer(ai, offer(db, initiate))))");
+        let t = term(
+            &spec,
+            "offered(db, cancel(db, offer(ai, offer(db, initiate))))",
+        );
         assert!(!rw.eval_bool(&t).unwrap());
         // offered(ai, same trace) = True (cancel(db) does not affect ai).
-        let t = term(&spec, "offered(ai, cancel(db, offer(ai, offer(db, initiate))))");
+        let t = term(
+            &spec,
+            "offered(ai, cancel(db, offer(ai, offer(db, initiate))))",
+        );
         assert!(rw.eval_bool(&t).unwrap());
         // offered(db, initiate) = False
         let t = term(&spec, "offered(db, initiate)");
@@ -674,7 +731,10 @@ mod tests {
     fn memo_serves_repeat_normalisations() {
         let spec = mini_spec();
         let mut rw = Rewriter::new(&spec);
-        let t = term(&spec, "offered(db, cancel(db, offer(ai, offer(db, initiate))))");
+        let t = term(
+            &spec,
+            "offered(db, cancel(db, offer(ai, offer(db, initiate))))",
+        );
         let id = rw.intern(&t);
         let n1 = rw.normalize_id(id).unwrap();
         let hits_before = rw.stats().cache_hits;
@@ -704,7 +764,10 @@ mod tests {
         let sig = spec.signature();
         let t = Term::App(
             sig.and_fn(),
-            vec![sig.true_term(), Term::App(sig.not_fn(), vec![sig.false_term()])],
+            vec![
+                sig.true_term(),
+                Term::App(sig.not_fn(), vec![sig.false_term()]),
+            ],
         );
         assert!(rw.eval_bool(&t).unwrap());
         let t = Term::App(sig.imp_fn(), vec![sig.true_term(), sig.false_term()]);
@@ -738,11 +801,8 @@ mod tests {
         a.add_update("offer", &[course], true).unwrap();
         a.add_param_var("c", course).unwrap();
         let lhs = eclectic_logic::parse_term(a.logic_mut(), "offered(c, offer(c, U))").unwrap();
-        let spin = crate::equation::ConditionalEquation::unconditional(
-            "spin",
-            lhs.clone(),
-            lhs.clone(),
-        );
+        let spin =
+            crate::equation::ConditionalEquation::unconditional("spin", lhs.clone(), lhs.clone());
         let spec = AlgSpec::new(a, vec![spin]).unwrap();
         let mut rw = Rewriter::with_fuel(&spec, 100);
         let t = term(&spec, "offered(db, offer(db, initiate))");

@@ -1,0 +1,183 @@
+//! Determinism of the parallel engines: on every packaged domain, the
+//! level-synchronous parallel exploration, the parallel cross-level check
+//! and the parallel RPR reachability must reproduce the serial results
+//! bit-for-bit at every thread count.
+
+use eclectic_refine::{
+    cross_check_threads, explore_algebraic_threads, random_ops, AlgExploreLimits, InducedAlgebra,
+};
+use eclectic_spec::domains::{bank, courses, library};
+use eclectic_spec::TriLevelSpec;
+
+const THREADS: [usize; 3] = [2, 4, 8];
+
+fn domains() -> Vec<(&'static str, TriLevelSpec, usize)> {
+    vec![
+        (
+            "courses",
+            courses::courses(&courses::CoursesConfig::default()).unwrap(),
+            6,
+        ),
+        (
+            "library",
+            library::library(&library::LibraryConfig::default()).unwrap(),
+            6,
+        ),
+        ("bank", bank::bank(&bank::BankConfig::default()).unwrap(), 8),
+    ]
+}
+
+#[test]
+fn parallel_exploration_matches_serial_on_every_domain() {
+    for (name, spec, depth) in domains() {
+        let limits = AlgExploreLimits {
+            max_depth: depth,
+            max_states: 10_000,
+        };
+        let serial = explore_algebraic_threads(
+            &spec.functions,
+            &spec.interp_i,
+            spec.info_signature(),
+            &spec.info_domains,
+            limits,
+            1,
+        )
+        .unwrap();
+        for threads in THREADS {
+            let par = explore_algebraic_threads(
+                &spec.functions,
+                &spec.interp_i,
+                spec.info_signature(),
+                &spec.info_domains,
+                limits,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(
+                par.universe.state_count(),
+                serial.universe.state_count(),
+                "{name}: state count at {threads} threads"
+            );
+            assert_eq!(
+                par.witnesses, serial.witnesses,
+                "{name}: witness order at {threads} threads"
+            );
+            assert_eq!(
+                par.depth, serial.depth,
+                "{name}: witness depths at {threads} threads"
+            );
+            assert_eq!(
+                par.truncated, serial.truncated,
+                "{name}: truncation at {threads} threads"
+            );
+            assert_eq!(
+                par.abstraction_collision, serial.abstraction_collision,
+                "{name}: collision flag at {threads} threads"
+            );
+            assert_eq!(
+                par.universe.edge_count(),
+                serial.universe.edge_count(),
+                "{name}: edge count at {threads} threads"
+            );
+            for s in serial.universe.state_indices() {
+                assert_eq!(
+                    par.universe.successors(s),
+                    serial.universe.successors(s),
+                    "{name}: successor sets at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_parallel_exploration_matches_serial() {
+    // Limits low enough to trip both the depth and the state bound.
+    let spec = courses::courses(&courses::CoursesConfig::default()).unwrap();
+    for limits in [
+        AlgExploreLimits {
+            max_depth: 1,
+            max_states: 10_000,
+        },
+        AlgExploreLimits {
+            max_depth: 6,
+            max_states: 3,
+        },
+    ] {
+        let serial = explore_algebraic_threads(
+            &spec.functions,
+            &spec.interp_i,
+            spec.info_signature(),
+            &spec.info_domains,
+            limits,
+            1,
+        )
+        .unwrap();
+        assert!(serial.truncated);
+        for threads in THREADS {
+            let par = explore_algebraic_threads(
+                &spec.functions,
+                &spec.interp_i,
+                spec.info_signature(),
+                &spec.info_domains,
+                limits,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(par.witnesses, serial.witnesses);
+            assert_eq!(par.depth, serial.depth);
+            assert_eq!(par.truncated, serial.truncated);
+            assert_eq!(par.universe.edge_count(), serial.universe.edge_count());
+        }
+    }
+}
+
+#[test]
+fn parallel_cross_check_matches_serial_on_every_domain() {
+    for (name, spec, _) in domains() {
+        let mut ind = InducedAlgebra::new(
+            &spec.functions,
+            &spec.representation,
+            &spec.interp_k,
+            spec.empty_state(),
+        )
+        .unwrap();
+        let mut state = 0x5eed_cafe_u64;
+        let mut rng = move |n: usize| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_f491_4f6c_dd1d) % n.max(1) as u64) as usize
+        };
+        let ops = random_ops(&spec.functions, &ind, "initiate", 20, &mut rng).unwrap();
+        let (m1, s1) = cross_check_threads(&spec.functions, &mut ind, &ops, 1).unwrap();
+        for threads in THREADS {
+            let (m, s) = cross_check_threads(&spec.functions, &mut ind, &ops, threads).unwrap();
+            assert_eq!(m, m1, "{name}: mismatch report at {threads} threads");
+            assert_eq!(s, s1, "{name}: stats at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn parallel_rpr_reachability_matches_serial_on_every_domain() {
+    for (name, spec, depth) in domains() {
+        let mk = || {
+            InducedAlgebra::new(
+                &spec.functions,
+                &spec.representation,
+                &spec.interp_k,
+                spec.empty_state(),
+            )
+            .unwrap()
+        };
+        let (serial, t1) = mk().reachable_states_threads(depth, 10_000, 1).unwrap();
+        for threads in THREADS {
+            let (par, t) = mk()
+                .reachable_states_threads(depth, 10_000, threads)
+                .unwrap();
+            assert_eq!(par, serial, "{name}: state order at {threads} threads");
+            assert_eq!(t, t1, "{name}: truncation at {threads} threads");
+        }
+    }
+}

@@ -1,0 +1,609 @@
+//! A thread-shareable hash-consed term store.
+//!
+//! # Sharding scheme
+//!
+//! [`ConcurrentTermStore`] splits the interner into [`NUM_SHARDS`] shards,
+//! selected by the node hash. Each shard owns
+//!
+//! - a `Mutex`-protected dedup table (`node hash → candidate slots`), and
+//! - an **append-only chunked arena** of nodes. Chunks double in size
+//!   (chunk *k* holds 2^(10+*k*) slots) and are published through
+//!   `AtomicPtr`s, so a chunk never moves once allocated and readers never
+//!   take a lock: looking a node up from a [`TermId`] is two atomic loads
+//!   and a pointer offset.
+//!
+//! A [`TermId`] from this store encodes `(slot << 4) | shard`, so ids are
+//! stable for the lifetime of the store and node lookup needs no search.
+//!
+//! # Why the hash-consing invariant holds under concurrency
+//!
+//! All *writes* to a shard (dedup probe + slot append) happen under that
+//! shard's mutex, so two threads racing to intern the same term serialize on
+//! its shard and the second one finds the first one's node — one node per
+//! distinct term, exactly as in the serial [`TermStore`](crate::TermStore).
+//! Readers are safe without the lock because a thread can only hold a
+//! [`TermId`] that was either interned by itself (program order) or received
+//! from another thread through a synchronizing operation (mutex release,
+//! channel, `thread::scope` join), each of which establishes happens-before
+//! with the slot write.
+//!
+//! # Per-thread handles
+//!
+//! Threads intern through a [`StoreHandle`] — `Arc` of the store plus a
+//! private intern cache — which keeps repeat interns (the common case inside
+//! a rewrite loop) entirely off the shard locks. [`SharedMemo`] provides the
+//! matching sharded normal-form memo so rewriters on different threads reuse
+//! each other's work: it is safe to share because the normal form of an
+//! interned term is a pure function of the term.
+
+use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hash::FxHashMap;
+use crate::ids::{FuncId, VarId};
+use crate::store::{hash_app, hash_var, Interner, TermId, TermNode};
+
+/// Number of low id bits that address the shard.
+const SHARD_BITS: u32 = 4;
+/// Number of shards in a [`ConcurrentTermStore`] (and in a [`SharedMemo`]).
+const NUM_SHARDS: usize = 1 << SHARD_BITS;
+/// log2 of the first chunk's slot count.
+const CHUNK0_BITS: u32 = 10;
+/// Chunks 0..19 cover the full 2^28 slots a shard can address.
+const MAX_CHUNKS: usize = 19;
+/// Per-shard slot capacity implied by the id encoding.
+const MAX_SLOTS: u32 = 1 << (32 - SHARD_BITS);
+
+/// Maps a slot index to `(chunk, offset)`. Chunk `k` starts at slot
+/// `(2^k - 1) << CHUNK0_BITS` and holds `2^(CHUNK0_BITS + k)` slots.
+fn slot_addr(slot: u32) -> (usize, usize) {
+    let q = (slot >> CHUNK0_BITS) + 1;
+    let k = 31 - q.leading_zeros();
+    let start = ((1u32 << k) - 1) << CHUNK0_BITS;
+    (k as usize, (slot - start) as usize)
+}
+
+fn chunk_cap(k: usize) -> usize {
+    1usize << (CHUNK0_BITS as usize + k)
+}
+
+fn chunk_start(k: usize) -> u32 {
+    ((1u32 << k) - 1) << CHUNK0_BITS
+}
+
+/// One arena slot: the node plus the intern-time metadata the serial store
+/// keeps in its parallel `meta` vector.
+struct Slot {
+    node: TermNode,
+    ground: bool,
+    size: u32,
+    depth: u32,
+}
+
+/// Dedup state of one shard; only ever touched under the shard mutex.
+#[derive(Default)]
+struct ShardInner {
+    /// Node hash → candidate slot indices (collisions resolved structurally).
+    dedup: FxHashMap<u64, Vec<u32>>,
+}
+
+struct Shard {
+    inner: Mutex<ShardInner>,
+    /// Doubling chunks of the append-only arena; null until allocated.
+    chunks: [AtomicPtr<Slot>; MAX_CHUNKS],
+    /// Published slot count; stored with `Release` after the slot write.
+    len: AtomicU32,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            inner: Mutex::new(ShardInner::default()),
+            chunks: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            len: AtomicU32::new(0),
+        }
+    }
+
+    /// Lock-free slot read. Sound for any slot index that reached the caller
+    /// through a legitimately-held [`TermId`] (see the module docs).
+    fn slot(&self, s: u32) -> &Slot {
+        let (k, off) = slot_addr(s);
+        let ptr = self.chunks[k].load(Ordering::Acquire);
+        debug_assert!(!ptr.is_null());
+        // SAFETY: `s` was published by an intern that wrote the slot before
+        // releasing the shard mutex; the chunk pointer never changes once
+        // non-null and chunks never move or shrink.
+        unsafe { &*ptr.add(off) }
+    }
+
+    /// Interns under the shard mutex: probes the dedup table, and on a miss
+    /// appends `make()` to the arena. `is_match` performs the structural
+    /// comparison against a candidate node.
+    fn intern(
+        &self,
+        shard: u32,
+        h: u64,
+        is_match: impl Fn(&TermNode) -> bool,
+        make: impl FnOnce() -> Slot,
+    ) -> TermId {
+        let mut inner = self.inner.lock().expect("shard mutex poisoned");
+        if let Some(slots) = inner.dedup.get(&h) {
+            for &s in slots {
+                if is_match(&self.slot(s).node) {
+                    return TermId::from_raw((s << SHARD_BITS) | shard);
+                }
+            }
+        }
+        let slot = self.len.load(Ordering::Relaxed);
+        assert!(slot < MAX_SLOTS, "concurrent term store shard is full");
+        let (k, off) = slot_addr(slot);
+        let mut ptr = self.chunks[k].load(Ordering::Acquire);
+        if ptr.is_null() {
+            let mut chunk: Vec<Slot> = Vec::with_capacity(chunk_cap(k));
+            ptr = chunk.as_mut_ptr();
+            std::mem::forget(chunk);
+            self.chunks[k].store(ptr, Ordering::Release);
+        }
+        // SAFETY: we hold the shard mutex, `off < chunk_cap(k)` by
+        // construction of `slot_addr`, and slot `slot` has never been
+        // written (the arena is append-only).
+        unsafe { ptr.add(off).write(make()) };
+        self.len.store(slot + 1, Ordering::Release);
+        inner.dedup.entry(h).or_default().push(slot);
+        TermId::from_raw((slot << SHARD_BITS) | shard)
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        let len = *self.len.get_mut();
+        for k in 0..MAX_CHUNKS {
+            let ptr = *self.chunks[k].get_mut();
+            if ptr.is_null() {
+                continue;
+            }
+            let init = (len.saturating_sub(chunk_start(k)) as usize).min(chunk_cap(k));
+            // SAFETY: the chunk was allocated by `Vec::with_capacity` with
+            // this capacity and its first `init` slots were initialized by
+            // `intern`; reconstructing the Vec drops both.
+            unsafe { drop(Vec::from_raw_parts(ptr, init, chunk_cap(k))) };
+        }
+    }
+}
+
+/// A hash-consed term store shareable across threads (`Send + Sync`).
+///
+/// Maintains the same invariant as the serial
+/// [`TermStore`](crate::TermStore) — one node per structurally distinct
+/// term, so [`TermId`] equality is structural equality — under concurrent
+/// interning from any number of threads. See the module docs for the
+/// sharding scheme and the soundness argument.
+///
+/// Intern methods take `&self`; threads normally go through a
+/// [`StoreHandle`], which adds a per-thread cache and implements
+/// [`Interner`].
+pub struct ConcurrentTermStore {
+    shards: [Shard; NUM_SHARDS],
+}
+
+impl Default for ConcurrentTermStore {
+    fn default() -> Self {
+        ConcurrentTermStore::new()
+    }
+}
+
+impl std::fmt::Debug for ConcurrentTermStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentTermStore")
+            .field("len", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ConcurrentTermStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        ConcurrentTermStore {
+            shards: std::array::from_fn(|_| Shard::new()),
+        }
+    }
+
+    /// Creates an empty store already wrapped for sharing.
+    #[must_use]
+    pub fn shared() -> Arc<Self> {
+        Arc::new(ConcurrentTermStore::new())
+    }
+
+    /// Number of distinct interned terms across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.len.load(Ordering::Acquire) as usize)
+            .sum()
+    }
+
+    /// Whether no term has been interned yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn slot_of(&self, t: TermId) -> &Slot {
+        let raw = t.raw();
+        let shard = (raw as usize) & (NUM_SHARDS - 1);
+        self.shards[shard].slot(raw >> SHARD_BITS)
+    }
+
+    /// Interns a variable term.
+    pub fn var(&self, v: VarId) -> TermId {
+        let h = hash_var(v);
+        let si = (h as usize) & (NUM_SHARDS - 1);
+        self.shards[si].intern(
+            si as u32,
+            h,
+            |n| matches!(n, TermNode::Var(w) if *w == v),
+            || Slot {
+                node: TermNode::Var(v),
+                ground: false,
+                size: 1,
+                depth: 1,
+            },
+        )
+    }
+
+    /// Interns an application `f(args…)`. Constants are `app(f, &[])`.
+    ///
+    /// # Panics
+    /// Panics if an argument id was issued by a different store.
+    pub fn app(&self, f: FuncId, args: &[TermId]) -> TermId {
+        let h = hash_app(f, args);
+        let mut ground = true;
+        let mut size = 1u32;
+        let mut depth = 0u32;
+        for &a in args {
+            let s = self.slot_of(a);
+            ground &= s.ground;
+            size = size.saturating_add(s.size);
+            depth = depth.max(s.depth);
+        }
+        let si = (h as usize) & (NUM_SHARDS - 1);
+        self.shards[si].intern(
+            si as u32,
+            h,
+            |n| matches!(n, TermNode::App(g, gargs) if *g == f && gargs.as_ref() == args),
+            || Slot {
+                node: TermNode::App(f, args.into()),
+                ground,
+                size,
+                depth: depth + 1,
+            },
+        )
+    }
+
+    /// Interns a constant (0-ary application).
+    pub fn constant(&self, f: FuncId) -> TermId {
+        self.app(f, &[])
+    }
+
+    /// The node denoted by an id (lock-free).
+    #[must_use]
+    pub fn node(&self, t: TermId) -> &TermNode {
+        &self.slot_of(t).node
+    }
+
+    /// Whether the term contains no variables (cached at intern time).
+    #[must_use]
+    pub fn is_ground(&self, t: TermId) -> bool {
+        self.slot_of(t).ground
+    }
+
+    /// Number of symbol occurrences (cached at intern time).
+    #[must_use]
+    pub fn size(&self, t: TermId) -> usize {
+        self.slot_of(t).size as usize
+    }
+
+    /// Maximum nesting depth; a constant or variable has depth 1 (cached).
+    #[must_use]
+    pub fn depth(&self, t: TermId) -> usize {
+        self.slot_of(t).depth as usize
+    }
+}
+
+/// A per-thread handle to a [`ConcurrentTermStore`].
+///
+/// Adds a private `hash → candidate ids` cache in front of the shared store
+/// so repeat interns — the overwhelmingly common case inside a rewrite
+/// loop — never touch a shard lock. Implements [`Interner`], so a
+/// `Rewriter` (or any other store-generic pass) runs over it unchanged.
+///
+/// Handles are cheap to create (clone of an `Arc` + empty map): spawn one
+/// per worker thread.
+pub struct StoreHandle {
+    store: Arc<ConcurrentTermStore>,
+    cache: FxHashMap<u64, Vec<TermId>>,
+}
+
+impl StoreHandle {
+    /// Creates a handle over `store` with an empty local cache.
+    #[must_use]
+    pub fn new(store: Arc<ConcurrentTermStore>) -> Self {
+        StoreHandle {
+            store,
+            cache: FxHashMap::default(),
+        }
+    }
+
+    /// The shared store behind this handle.
+    #[must_use]
+    pub fn store(&self) -> &Arc<ConcurrentTermStore> {
+        &self.store
+    }
+}
+
+impl std::fmt::Debug for StoreHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreHandle")
+            .field("store", &self.store)
+            .field("cached", &self.cache.len())
+            .finish()
+    }
+}
+
+impl Clone for StoreHandle {
+    /// Clones the `Arc`, not the cache: the clone starts cold.
+    fn clone(&self) -> Self {
+        StoreHandle::new(Arc::clone(&self.store))
+    }
+}
+
+impl Interner for StoreHandle {
+    fn var(&mut self, v: VarId) -> TermId {
+        let h = hash_var(v);
+        if let Some(ids) = self.cache.get(&h) {
+            for &id in ids {
+                if matches!(self.store.node(id), TermNode::Var(w) if *w == v) {
+                    return id;
+                }
+            }
+        }
+        let id = self.store.var(v);
+        self.cache.entry(h).or_default().push(id);
+        id
+    }
+
+    fn app(&mut self, f: FuncId, args: &[TermId]) -> TermId {
+        let h = hash_app(f, args);
+        if let Some(ids) = self.cache.get(&h) {
+            for &id in ids {
+                if let TermNode::App(g, gargs) = self.store.node(id) {
+                    if *g == f && gargs.as_ref() == args {
+                        return id;
+                    }
+                }
+            }
+        }
+        let id = self.store.app(f, args);
+        self.cache.entry(h).or_default().push(id);
+        id
+    }
+
+    fn node(&self, t: TermId) -> &TermNode {
+        self.store.node(t)
+    }
+
+    fn is_ground(&self, t: TermId) -> bool {
+        self.store.is_ground(t)
+    }
+
+    fn size(&self, t: TermId) -> usize {
+        self.store.size(t)
+    }
+
+    fn depth(&self, t: TermId) -> usize {
+        self.store.depth(t)
+    }
+}
+
+/// A sharded, thread-shared `term → normal form` memo.
+///
+/// Rewriters on different threads consult it on a local-memo miss and
+/// publish every normal form they compute, so the frontier workers of a
+/// parallel exploration reuse each other's rewriting work (successor states
+/// share long trace prefixes). Sharing is sound because the normal form of
+/// an interned term is a deterministic function of the term: whichever
+/// thread wins the race writes the same value.
+pub struct SharedMemo {
+    shards: [Mutex<FxHashMap<TermId, TermId>>; NUM_SHARDS],
+}
+
+impl std::fmt::Debug for SharedMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedMemo").finish_non_exhaustive()
+    }
+}
+
+impl Default for SharedMemo {
+    fn default() -> Self {
+        SharedMemo::new()
+    }
+}
+
+impl SharedMemo {
+    /// Creates an empty memo.
+    #[must_use]
+    pub fn new() -> Self {
+        SharedMemo {
+            shards: std::array::from_fn(|_| Mutex::new(FxHashMap::default())),
+        }
+    }
+
+    /// Looks up the recorded normal form of `t`, if any thread has
+    /// published one.
+    #[must_use]
+    pub fn get(&self, t: TermId) -> Option<TermId> {
+        self.shards[(t.raw() as usize) & (NUM_SHARDS - 1)]
+            .lock()
+            .expect("memo mutex poisoned")
+            .get(&t)
+            .copied()
+    }
+
+    /// Publishes `t → nf` for other threads.
+    pub fn insert(&self, t: TermId, nf: TermId) {
+        self.shards[(t.raw() as usize) & (NUM_SHARDS - 1)]
+            .lock()
+            .expect("memo mutex poisoned")
+            .insert(t, nf);
+    }
+}
+
+/// The worker-thread count selected by the `ECLECTIC_THREADS` environment
+/// variable: unset or unparsable means `1` (serial — the safe default for
+/// the many small explorations in unit tests), `0` or `auto` means
+/// [`std::thread::available_parallelism`], and any other `N` means `N`.
+#[must_use]
+pub fn env_threads() -> usize {
+    match std::env::var("ECLECTIC_THREADS") {
+        Ok(s) => {
+            let s = s.trim();
+            if s == "0" || s.eq_ignore_ascii_case("auto") {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            } else {
+                s.parse::<usize>().map_or(1, |n| n.max(1))
+            }
+        }
+        Err(_) => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const _: () = {
+        const fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConcurrentTermStore>();
+        assert_send_sync::<StoreHandle>();
+        assert_send_sync::<SharedMemo>();
+    };
+
+    #[test]
+    fn slot_addressing_is_a_bijection() {
+        let mut expected = 0u32;
+        for k in 0..6 {
+            assert_eq!(chunk_start(k), expected);
+            for off in [0usize, 1, chunk_cap(k) - 1] {
+                let slot = expected + u32::try_from(off).unwrap();
+                assert_eq!(slot_addr(slot), (k, off));
+            }
+            expected += u32::try_from(chunk_cap(k)).unwrap();
+        }
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_metadata_matches_serial() {
+        let store = ConcurrentTermStore::new();
+        let a = store.constant(FuncId(1));
+        let x = store.var(VarId(0));
+        let t1 = store.app(FuncId(10), &[a, x]);
+        let t2 = store.app(FuncId(10), &[a, x]);
+        assert_eq!(t1, t2);
+        assert_eq!(store.len(), 3);
+        assert!(store.is_ground(a));
+        assert!(!store.is_ground(t1));
+        assert_eq!(store.size(t1), 3);
+        assert_eq!(store.depth(t1), 2);
+        assert!(matches!(store.node(x), TermNode::Var(v) if *v == VarId(0)));
+    }
+
+    #[test]
+    fn handle_cache_agrees_with_store() {
+        let store = ConcurrentTermStore::shared();
+        let mut h1 = StoreHandle::new(Arc::clone(&store));
+        let mut h2 = StoreHandle::new(Arc::clone(&store));
+        let a1 = h1.constant(FuncId(7));
+        let a2 = h2.constant(FuncId(7));
+        assert_eq!(a1, a2);
+        let t1 = h1.app(FuncId(3), &[a1, a1]);
+        let t2 = h2.app(FuncId(3), &[a2, a2]);
+        assert_eq!(t1, t2);
+        assert_eq!(store.len(), 2);
+    }
+
+    /// Satellite stress test: 100k terms interned from 8 threads, with every
+    /// thread interning an overlapping slice, must produce no duplicate
+    /// nodes and fully agreeing ids.
+    #[test]
+    fn stress_100k_terms_from_8_threads_no_duplicates() {
+        const TERMS: u32 = 100_000;
+        const THREADS: usize = 8;
+        let store = ConcurrentTermStore::shared();
+        let ids: Vec<Vec<TermId>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|w| {
+                    let store = Arc::clone(&store);
+                    scope.spawn(move || {
+                        let mut h = StoreHandle::new(store);
+                        // Each worker starts at a different offset so the
+                        // interleaving differs per thread, but all workers
+                        // cover the same 100k terms: f(c_i, c_{i+1}).
+                        (0..TERMS)
+                            .map(|j| {
+                                let i = (j + u32::try_from(w).unwrap() * 12_347) % TERMS;
+                                let a = h.constant(FuncId(i));
+                                let b = h.constant(FuncId((i + 1) % TERMS));
+                                h.app(FuncId(TERMS), &[a, b])
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // 100k constants + 100k distinct applications, regardless of how the
+        // 8 threads raced.
+        assert_eq!(store.len(), 2 * TERMS as usize);
+        // Every thread got the same id for the same term.
+        for w in 1..THREADS {
+            for j in 0..TERMS as usize {
+                let i = (u32::try_from(j).unwrap() + u32::try_from(w).unwrap() * 12_347) % TERMS;
+                assert_eq!(ids[w][j], ids[0][i as usize]);
+            }
+        }
+        // And the ids are distinct across distinct terms.
+        let set: std::collections::BTreeSet<_> = ids[0].iter().copied().collect();
+        assert_eq!(set.len(), TERMS as usize);
+    }
+
+    #[test]
+    fn shared_memo_roundtrips() {
+        let store = ConcurrentTermStore::new();
+        let a = store.constant(FuncId(1));
+        let b = store.constant(FuncId(2));
+        let memo = SharedMemo::new();
+        assert_eq!(memo.get(a), None);
+        memo.insert(a, b);
+        assert_eq!(memo.get(a), Some(b));
+    }
+
+    #[test]
+    fn chunk_growth_across_boundaries() {
+        // Push one shard past several chunk boundaries: intern > 16 * 3072
+        // terms so some shard exceeds chunks 0 and 1.
+        let store = ConcurrentTermStore::new();
+        let n = 60_000u32;
+        let mut ids = Vec::new();
+        for i in 0..n {
+            ids.push(store.constant(FuncId(i)));
+        }
+        assert_eq!(store.len(), n as usize);
+        for (i, &id) in ids.iter().enumerate() {
+            assert!(
+                matches!(store.node(id), TermNode::App(f, args) if f.0 == u32::try_from(i).unwrap() && args.is_empty())
+            );
+        }
+    }
+}

@@ -21,10 +21,12 @@
 
 #![warn(missing_docs)]
 
+mod concurrent;
 pub mod hash;
 mod ids;
 mod store;
 
+pub use concurrent::{env_threads, ConcurrentTermStore, SharedMemo, StoreHandle};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{FuncId, PredId, SortId, VarId};
-pub use store::{Binding, SortError, SortOracle, TermId, TermNode, TermStore};
+pub use store::{Binding, Interner, SortError, SortOracle, TermId, TermNode, TermStore};

@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 
 use eclectic_algebraic::AlgSignature;
-use eclectic_kernel::{TermId, TermNode, TermStore};
+use eclectic_kernel::{Interner, TermId, TermNode};
 use eclectic_logic::{Domains, Elem, FuncId, Signature, SortId, Term};
 
 use crate::error::{RefineError, Result};
@@ -81,9 +81,10 @@ impl ParamBridge {
     /// # Errors
     /// Returns [`RefineError::BridgeMismatch`] for unmapped sorts.
     pub fn logic_sort(&self, alg_sort: SortId) -> Result<SortId> {
-        self.sort_map.get(&alg_sort).copied().ok_or_else(|| {
-            RefineError::BridgeMismatch("unmapped algebraic sort".into())
-        })
+        self.sort_map
+            .get(&alg_sort)
+            .copied()
+            .ok_or_else(|| RefineError::BridgeMismatch("unmapped algebraic sort".into()))
     }
 
     /// The element denoted by an algebraic parameter constant.
@@ -115,7 +116,7 @@ impl ParamBridge {
     ///
     /// # Errors
     /// Returns [`RefineError::BridgeMismatch`] for non-constant terms.
-    pub fn elem_of_id(&self, store: &TermStore, t: TermId) -> Result<(SortId, Elem)> {
+    pub fn elem_of_id<S: Interner + ?Sized>(&self, store: &S, t: TermId) -> Result<(SortId, Elem)> {
         match store.node(t) {
             TermNode::App(f, args) if args.is_empty() => self.elem(*f),
             _ => Err(RefineError::BridgeMismatch(
@@ -170,7 +171,10 @@ mod tests {
         let (lsort, e) = b.elem(db).unwrap();
         assert_eq!(e, Elem(0));
         assert_eq!(b.constant(lsort, e).unwrap(), db);
-        assert_eq!(b.term_of_elem(lsort, Elem(1)).unwrap(), Term::constant(a.logic().func_id("ai").unwrap()));
+        assert_eq!(
+            b.term_of_elem(lsort, Elem(1)).unwrap(),
+            Term::constant(a.logic().func_id("ai").unwrap())
+        );
         let asort = a.logic().sort_id("course").unwrap();
         assert_eq!(b.logic_sort(asort).unwrap(), lsort);
     }

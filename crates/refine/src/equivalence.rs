@@ -2,16 +2,26 @@
 //! the functions level (term rewriting) and at the representation level
 //! (procedure execution) must yield the same answer to every query — the
 //! one-to-one correspondence between query functions and relations.
+//!
+//! With more than one thread (see [`eclectic_kernel::env_threads`]) the
+//! level-2 side of each step — one rewriting evaluation per (query,
+//! parameter tuple) — is fanned out across worker threads sharing one
+//! [`ConcurrentTermStore`] and [`SharedMemo`]; level-3 execution and the
+//! comparisons stay on the calling thread, in the same (query, tuple) order
+//! as the serial check, so the reported mismatch (if any) is identical.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use eclectic_algebraic::{induction, AlgSpec, Rewriter};
-use eclectic_kernel::TermId;
-use eclectic_logic::{Elem, Term};
+use eclectic_kernel::{
+    env_threads, ConcurrentTermStore, Interner, SharedMemo, StoreHandle, TermId,
+};
+use eclectic_logic::{Elem, FuncId, Term};
 use eclectic_rpr::DbState;
 
 use crate::error::{RefineError, Result};
-use crate::interp2::{InducedAlgebra, IndValue};
+use crate::interp2::{IndValue, InducedAlgebra};
 
 /// One operation of a replayable trace: update name plus parameter elements.
 pub type Op = (String, Vec<Elem>);
@@ -40,7 +50,12 @@ pub struct CrossCheckStats {
     pub comparisons: usize,
 }
 
-/// Replays `ops` at both levels, comparing every query after every step.
+/// One comparison site: a query, its parameter tuple as terms, and the same
+/// tuple interned. Enumerated once per check, not once per step.
+type QueryItem = (FuncId, Vec<Term>, Vec<TermId>);
+
+/// Replays `ops` at both levels, comparing every query after every step,
+/// using [`env_threads`] worker threads for the level-2 evaluations.
 /// Returns the first mismatch, if any.
 ///
 /// # Errors
@@ -51,116 +66,249 @@ pub fn cross_check(
     ind: &mut InducedAlgebra<'_>,
     ops: &[Op],
 ) -> Result<(Option<Mismatch>, CrossCheckStats)> {
-    let alg = spec.signature().clone();
-    let mut rw = Rewriter::new(spec);
-    let mut stats = CrossCheckStats::default();
+    cross_check_threads(spec, ind, ops, env_threads())
+}
 
-    // Level-2 state is tracked as an interned trace term: each step appends
-    // one update by id, sharing the entire previous trace, and each query is
-    // evaluated through the rewriter's id-keyed memo table.
+/// As [`cross_check`], with an explicit thread count.
+///
+/// # Errors
+/// See [`cross_check`].
+pub fn cross_check_threads(
+    spec: &AlgSpec,
+    ind: &mut InducedAlgebra<'_>,
+    ops: &[Op],
+    threads: usize,
+) -> Result<(Option<Mismatch>, CrossCheckStats)> {
+    if threads <= 1 {
+        cross_check_serial(ind, ops, Rewriter::new(spec))
+    } else {
+        cross_check_parallel(spec, ind, ops, threads)
+    }
+}
+
+/// Enumerates every (query, parameter tuple) comparison site, with the
+/// tuples both as terms (for level 3) and interned (for level 2). The term
+/// and id enumerations align because `param_tuples` and `param_tuple_ids`
+/// produce tuples in the same order.
+fn query_items<S: Interner>(
+    rw: &mut Rewriter<'_, S>,
+    ind: &InducedAlgebra<'_>,
+) -> Result<Vec<QueryItem>> {
+    let alg = rw.spec().signature().clone();
+    let mut items = Vec::new();
+    let queries: Vec<_> = alg.queries().collect();
+    for q in queries {
+        let qsorts = alg.query_params(q)?;
+        let tuple_ids = induction::param_tuple_ids(rw, &qsorts)?;
+        for (params, param_ids) in induction::param_tuples(&alg, &qsorts)?
+            .into_iter()
+            .zip(tuple_ids)
+        {
+            // Pre-validate the bridge mapping so workers never need it.
+            for &p in &param_ids {
+                ind.bridge().elem_of_id(rw.store(), p)?;
+            }
+            items.push((q, params, param_ids));
+        }
+    }
+    Ok(items)
+}
+
+/// Extends the interned level-2 trace term by one operation and runs the
+/// induced level-3 update, returning the new (term, state) pair.
+fn step<S: Interner>(
+    rw: &mut Rewriter<'_, S>,
+    ind: &mut InducedAlgebra<'_>,
+    name: &str,
+    args: &[Elem],
+    term: &mut Option<TermId>,
+    state: &mut Option<DbState>,
+) -> Result<(TermId, DbState)> {
+    let alg = rw.spec().signature().clone();
+    let u = alg
+        .logic()
+        .func_id(name)
+        .map_err(|e| RefineError::BadInterpretation(format!("{e}")))?;
+    let takes_state = alg.update_takes_state(u)?;
+    let sorts = alg.update_params(u)?;
+    if sorts.len() != args.len() {
+        return Err(RefineError::BadInterpretation(format!(
+            "`{name}` takes {} parameter(s), trace supplies {}",
+            sorts.len(),
+            args.len()
+        )));
+    }
+    let mut targs: Vec<Term> = Vec::with_capacity(args.len() + 1);
+    for (&sort, &e) in sorts.iter().zip(args) {
+        let lsort = ind.bridge().logic_sort(sort)?;
+        targs.push(ind.bridge().term_of_elem(lsort, e)?);
+    }
+    // Level 2: extend the interned trace term, sharing the previous trace.
+    let targ_ids: Vec<TermId> = targs.iter().map(|t| rw.intern(t)).collect();
+    let new_term = if takes_state {
+        let prev = term.take().ok_or_else(|| {
+            RefineError::BadInterpretation(format!(
+                "trace applies `{name}` before any initial state"
+            ))
+        })?;
+        let mut a = targ_ids;
+        a.push(prev);
+        rw.app_id(u, &a)
+    } else {
+        rw.app_id(u, &targ_ids)
+    };
+    // Level 3: run the induced update.
+    let mut env = BTreeMap::new();
+    let mut full_args = targs;
+    if takes_state {
+        let prev_state = state.take().expect("state tracks term");
+        let sv = alg.state_var();
+        env.insert(sv, IndValue::State(prev_state));
+        full_args.push(Term::Var(sv));
+    }
+    let next_state = match ind.eval_term(&Term::App(u, full_args), &env)? {
+        IndValue::State(s) => s,
+        _ => unreachable!("updates produce states"),
+    };
+    Ok((new_term, next_state))
+}
+
+/// Compares one site's level-2 answer against level-3 execution, building
+/// the mismatch report if they disagree.
+fn compare_site<S: Interner>(
+    rw: &mut Rewriter<'_, S>,
+    ind: &mut InducedAlgebra<'_>,
+    item: &QueryItem,
+    l2: TermId,
+    next_state: &DbState,
+    after_ops: usize,
+) -> Result<Option<Mismatch>> {
+    let (q, params, param_ids) = item;
+    let alg = rw.spec().signature().clone();
+    let elems: Vec<Elem> = param_ids
+        .iter()
+        .map(|&p| ind.bridge().elem_of_id(rw.store(), p).map(|(_, e)| e))
+        .collect::<Result<_>>()?;
+    let sv = alg.state_var();
+    let mut env = BTreeMap::new();
+    env.insert(sv, IndValue::State(next_state.clone()));
+    let mut qargs: Vec<Term> = params.clone();
+    qargs.push(Term::Var(sv));
+    let l3 = ind.eval_term(&Term::App(*q, qargs), &env)?;
+    let l2v = level2_value(ind, rw, l2)?;
+    if l2v != l3 {
+        let qname = alg.logic().func(*q).name.clone();
+        let l2_term = rw.extern_term(l2);
+        return Ok(Some(Mismatch {
+            query: qname,
+            params: format!("{elems:?}"),
+            level2: eclectic_algebraic::term_str(&alg, &l2_term),
+            level3: format!("{l3:?}"),
+            after_ops,
+        }));
+    }
+    Ok(None)
+}
+
+fn cross_check_serial<S: Interner>(
+    ind: &mut InducedAlgebra<'_>,
+    ops: &[Op],
+    mut rw: Rewriter<'_, S>,
+) -> Result<(Option<Mismatch>, CrossCheckStats)> {
+    let mut stats = CrossCheckStats::default();
+    let items = query_items(&mut rw, ind)?;
+
     let mut term: Option<TermId> = None;
     let mut state: Option<DbState> = None;
 
     for (i, (name, args)) in ops.iter().enumerate() {
-        let u = alg
-            .logic()
-            .func_id(name)
-            .map_err(|e| RefineError::BadInterpretation(format!("{e}")))?;
-        let takes_state = alg.update_takes_state(u)?;
-        let sorts = alg.update_params(u)?;
-        if sorts.len() != args.len() {
-            return Err(RefineError::BadInterpretation(format!(
-                "`{name}` takes {} parameter(s), trace supplies {}",
-                sorts.len(),
-                args.len()
-            )));
-        }
-        let mut targs: Vec<Term> = Vec::with_capacity(args.len() + 1);
-        for (&sort, &e) in sorts.iter().zip(args) {
-            let lsort = ind.bridge().logic_sort(sort)?;
-            targs.push(ind.bridge().term_of_elem(lsort, e)?);
-        }
-        // Level 2: extend the interned trace term.
-        let targ_ids: Vec<TermId> = targs.iter().map(|t| rw.intern(t)).collect();
-        let new_term = if takes_state {
-            let prev = term.take().ok_or_else(|| {
-                RefineError::BadInterpretation(format!(
-                    "trace applies `{name}` before any initial state"
-                ))
-            })?;
-            let mut a = targ_ids;
-            a.push(prev);
-            rw.app_id(u, &a)
-        } else {
-            rw.app_id(u, &targ_ids)
-        };
-        // Level 3: run the induced update.
-        let mut env = BTreeMap::new();
-        let mut full_args = targs;
-        if takes_state {
-            let prev_state = state.take().expect("state tracks term");
-            let sv = alg.state_var();
-            env.insert(sv, IndValue::State(prev_state));
-            full_args.push(Term::Var(sv));
-        }
-        let next_state = match ind.eval_term(&Term::App(u, full_args), &env)? {
-            IndValue::State(s) => s,
-            _ => unreachable!("updates produce states"),
-        };
-
+        let (new_term, next_state) = step(&mut rw, ind, name, args, &mut term, &mut state)?;
         stats.ops += 1;
-
-        // Compare every query at both levels. The level-2 side stays
-        // interned end to end; tuples are enumerated in the same order by
-        // `param_tuples` and `param_tuple_ids`, so the two zips align.
-        let queries: Vec<_> = alg.queries().collect();
-        for q in queries {
-            let qsorts = alg.query_params(q)?;
-            let tuple_ids = induction::param_tuple_ids(&mut rw, &qsorts)?;
-            for (params, param_ids) in induction::param_tuples(&alg, &qsorts)?
-                .into_iter()
-                .zip(tuple_ids)
-            {
-                stats.comparisons += 1;
-                let l2 = rw.eval_query_id(q, &param_ids, new_term)?;
-                let elems: Vec<Elem> = param_ids
-                    .iter()
-                    .map(|&p| ind.bridge().elem_of_id(rw.store(), p).map(|(_, e)| e))
-                    .collect::<Result<_>>()?;
-                let sv = alg.state_var();
-                let mut env = BTreeMap::new();
-                env.insert(sv, IndValue::State(next_state.clone()));
-                let mut qargs: Vec<Term> = params;
-                qargs.push(Term::Var(sv));
-                let l3 = ind.eval_term(&Term::App(q, qargs), &env)?;
-                let l2v = level2_value(spec, ind, &mut rw, l2)?;
-                if l2v != l3 {
-                    let qname = alg.logic().func(q).name.clone();
-                    let l2_term = rw.extern_term(l2);
-                    return Ok((
-                        Some(Mismatch {
-                            query: qname,
-                            params: format!("{elems:?}"),
-                            level2: eclectic_algebraic::term_str(&alg, &l2_term),
-                            level3: format!("{l3:?}"),
-                            after_ops: i + 1,
-                        }),
-                        stats,
-                    ));
-                }
+        for item in &items {
+            stats.comparisons += 1;
+            let l2 = rw.eval_query_id(item.0, &item.2, new_term)?;
+            if let Some(m) = compare_site(&mut rw, ind, item, l2, &next_state, i + 1)? {
+                return Ok((Some(m), stats));
             }
         }
-
         term = Some(new_term);
         state = Some(next_state);
     }
     Ok((None, stats))
 }
 
-fn level2_value(
-    _spec: &AlgSpec,
+fn cross_check_parallel(
+    spec: &AlgSpec,
+    ind: &mut InducedAlgebra<'_>,
+    ops: &[Op],
+    threads: usize,
+) -> Result<(Option<Mismatch>, CrossCheckStats)> {
+    let store = ConcurrentTermStore::shared();
+    let memo = Arc::new(SharedMemo::default());
+    let mut rw0 = Rewriter::with_store(spec, StoreHandle::new(store.clone()));
+    rw0.set_shared_memo(memo.clone());
+    let mut stats = CrossCheckStats::default();
+    let items = query_items(&mut rw0, ind)?;
+
+    let mut workers: Vec<Rewriter<'_, StoreHandle>> = (0..threads)
+        .map(|_| {
+            let mut rw = Rewriter::with_store(spec, StoreHandle::new(store.clone()));
+            rw.set_shared_memo(memo.clone());
+            rw
+        })
+        .collect();
+
+    let mut term: Option<TermId> = None;
+    let mut state: Option<DbState> = None;
+
+    for (i, (name, args)) in ops.iter().enumerate() {
+        let (new_term, next_state) = step(&mut rw0, ind, name, args, &mut term, &mut state)?;
+        stats.ops += 1;
+
+        // Fan the level-2 evaluations across the workers; ids are
+        // comparable across rewriters because every handle interns into the
+        // same concurrent store. Chunks are contiguous, so joining in chunk
+        // order surfaces errors in the serial site order.
+        let chunk = items.len().div_ceil(workers.len()).max(1);
+        let l2_chunks: Vec<Result<Vec<TermId>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .zip(workers.iter_mut())
+                .map(|(sites, w)| {
+                    scope.spawn(move || {
+                        sites
+                            .iter()
+                            .map(|(q, _, param_ids)| {
+                                w.eval_query_id(*q, param_ids, new_term)
+                                    .map_err(RefineError::Alg)
+                            })
+                            .collect::<Result<Vec<TermId>>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut l2s: Vec<TermId> = Vec::with_capacity(items.len());
+        for c in l2_chunks {
+            l2s.extend(c?);
+        }
+
+        // Level 3 and the comparison stay serial, in site order.
+        for (item, &l2) in items.iter().zip(&l2s) {
+            stats.comparisons += 1;
+            if let Some(m) = compare_site(&mut rw0, ind, item, l2, &next_state, i + 1)? {
+                return Ok((Some(m), stats));
+            }
+        }
+        term = Some(new_term);
+        state = Some(next_state);
+    }
+    Ok((None, stats))
+}
+
+fn level2_value<S: Interner>(
     ind: &InducedAlgebra<'_>,
-    rw: &mut Rewriter<'_>,
+    rw: &mut Rewriter<'_, S>,
     t: TermId,
 ) -> Result<IndValue> {
     if t == rw.true_id() {

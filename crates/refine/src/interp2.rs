@@ -10,7 +10,7 @@
 //! refines `T2` iff every equation of `A2` is valid in the induced algebra,
 //! which [`check_equations`] verifies by bounded induction on trace length.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use eclectic_algebraic::{AlgSpec, OpKind, Rewriter};
@@ -393,25 +393,17 @@ impl<'a> InducedAlgebra<'a> {
     ///
     /// # Errors
     /// Propagates evaluation errors; predicates and modalities are invalid.
-    pub fn eval_condition(
-        &mut self,
-        f: &Formula,
-        env: &BTreeMap<VarId, IndValue>,
-    ) -> Result<bool> {
+    pub fn eval_condition(&mut self, f: &Formula, env: &BTreeMap<VarId, IndValue>) -> Result<bool> {
         match f {
             Formula::True => Ok(true),
             Formula::False => Ok(false),
             Formula::Not(p) => Ok(!self.eval_condition(p, env)?),
-            Formula::And(p, q) => {
-                Ok(self.eval_condition(p, env)? && self.eval_condition(q, env)?)
-            }
+            Formula::And(p, q) => Ok(self.eval_condition(p, env)? && self.eval_condition(q, env)?),
             Formula::Or(p, q) => Ok(self.eval_condition(p, env)? || self.eval_condition(q, env)?),
             Formula::Implies(p, q) => {
                 Ok(!self.eval_condition(p, env)? || self.eval_condition(q, env)?)
             }
-            Formula::Iff(p, q) => {
-                Ok(self.eval_condition(p, env)? == self.eval_condition(q, env)?)
-            }
+            Formula::Iff(p, q) => Ok(self.eval_condition(p, env)? == self.eval_condition(q, env)?),
             Formula::Eq(a, b) => Ok(self.eval_term(a, env)? == self.eval_term(b, env)?),
             Formula::Exists(x, p) | Formula::Forall(x, p) => {
                 let universal = matches!(f, Formula::Forall(..));
@@ -437,7 +429,8 @@ impl<'a> InducedAlgebra<'a> {
     }
 
     /// Enumerates the database states reachable by at most `max_depth`
-    /// procedure calls from the interpreted `initiate`.
+    /// procedure calls from the interpreted `initiate`, using
+    /// [`eclectic_kernel::env_threads`] worker threads.
     ///
     /// # Errors
     /// Propagates execution errors; hitting `max_states` reports truncation
@@ -446,6 +439,24 @@ impl<'a> InducedAlgebra<'a> {
         &mut self,
         max_depth: usize,
         max_states: usize,
+    ) -> Result<(Vec<DbState>, bool)> {
+        self.reachable_states_threads(max_depth, max_states, eclectic_kernel::env_threads())
+    }
+
+    /// As [`InducedAlgebra::reachable_states`], with an explicit thread
+    /// count. Procedure execution is pure (state in, state out), so the
+    /// BFS parallelises level-synchronously: workers run the procedure
+    /// calls of a level, the merge admits results in (parent, operation)
+    /// order — the serial FIFO order — so the returned state order is
+    /// identical for every thread count.
+    ///
+    /// # Errors
+    /// See [`InducedAlgebra::reachable_states`].
+    pub fn reachable_states_threads(
+        &mut self,
+        max_depth: usize,
+        max_states: usize,
+        threads: usize,
     ) -> Result<(Vec<DbState>, bool)> {
         let alg = self.spec.signature().clone();
         let mut initial = Vec::new();
@@ -461,47 +472,101 @@ impl<'a> InducedAlgebra<'a> {
                 }
             }
         }
+        // Precompute the operation list once: every state-taking procedure
+        // with every parameter-element tuple, in (update, tuple) order.
+        let mut ops: Vec<(String, Vec<Elem>)> = Vec::new();
+        for u in alg.updates() {
+            if !alg.update_takes_state(u)? {
+                continue;
+            }
+            let proc = self.k.proc_name(u).expect("coverage checked").to_string();
+            for params in self.param_tuples_for_update(u)? {
+                let elems: Vec<Elem> = params
+                    .iter()
+                    .map(|p| self.bridge.elem_of_term(p).map(|(_, e)| e))
+                    .collect::<Result<_>>()?;
+                ops.push((proc.clone(), elems));
+            }
+        }
+
         let mut seen: BTreeSet<DbState> = BTreeSet::new();
         let mut order = Vec::new();
-        let mut queue: VecDeque<(DbState, usize)> = VecDeque::new();
         let mut truncated = false;
+        let mut frontier: Vec<DbState> = Vec::new();
         for s in initial {
             if seen.insert(s.clone()) {
                 order.push(s.clone());
-                queue.push_back((s, 0));
+                frontier.push(s);
             }
         }
-        let updates: Vec<FuncId> = alg.updates().collect();
-        while let Some((st, d)) = queue.pop_front() {
+
+        let schema = self.schema;
+        let mut d = 0;
+        while !frontier.is_empty() {
             if d >= max_depth {
                 truncated = true;
-                continue;
+                break;
             }
-            for &u in &updates {
-                if !alg.update_takes_state(u)? {
-                    continue;
+            // All successors of the level, grouped per parent in op order.
+            let per_parent: Vec<Vec<DbState>> = if threads <= 1 || frontier.len() == 1 {
+                let mut out = Vec::with_capacity(frontier.len());
+                for st in &frontier {
+                    out.push(
+                        ops.iter()
+                            .map(|(proc, elems)| {
+                                exec::call_deterministic(schema, st, proc, elems)
+                                    .map_err(RefineError::from)
+                            })
+                            .collect::<Result<Vec<DbState>>>()?,
+                    );
                 }
-                let proc = self
-                    .k
-                    .proc_name(u)
-                    .expect("coverage checked")
-                    .to_string();
-                for params in self.param_tuples_for_update(u)? {
-                    let elems: Vec<Elem> = params
-                        .iter()
-                        .map(|p| self.bridge.elem_of_term(p).map(|(_, e)| e))
-                        .collect::<Result<_>>()?;
-                    let next = exec::call_deterministic(self.schema, &st, &proc, &elems)?;
+                out
+            } else {
+                let chunk = frontier.len().div_ceil(threads).max(1);
+                let chunk_results: Vec<Result<Vec<Vec<DbState>>>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = frontier
+                        .chunks(chunk)
+                        .map(|states| {
+                            let ops = &ops;
+                            scope.spawn(move || {
+                                states
+                                    .iter()
+                                    .map(|st| {
+                                        ops.iter()
+                                            .map(|(proc, elems)| {
+                                                exec::call_deterministic(schema, st, proc, elems)
+                                                    .map_err(RefineError::from)
+                                            })
+                                            .collect::<Result<Vec<DbState>>>()
+                                    })
+                                    .collect::<Result<Vec<Vec<DbState>>>>()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                });
+                let mut out = Vec::with_capacity(frontier.len());
+                for c in chunk_results {
+                    out.extend(c?);
+                }
+                out
+            };
+            // Merge in (parent, operation) order — the serial FIFO order.
+            let mut next_frontier = Vec::new();
+            for succs in per_parent {
+                for next in succs {
                     if seen.len() >= max_states && !seen.contains(&next) {
                         truncated = true;
                         continue;
                     }
                     if seen.insert(next.clone()) {
                         order.push(next.clone());
-                        queue.push_back((next, d + 1));
+                        next_frontier.push(next);
                     }
                 }
             }
+            frontier = next_frontier;
+            d += 1;
         }
         Ok((order, truncated))
     }

@@ -32,7 +32,9 @@ mod report;
 pub mod witness;
 
 pub use bridge::ParamBridge;
-pub use equivalence::{cross_check, random_ops, CrossCheckStats, Mismatch, Op};
+pub use equivalence::{
+    cross_check, cross_check_threads, random_ops, CrossCheckStats, Mismatch, Op,
+};
 pub use error::{RefineError, Result};
 pub use interp1::InterpretationI;
 pub use interp2::{
@@ -40,6 +42,9 @@ pub use interp2::{
     InterpretationK, QueryImpl,
 };
 pub use obligations::{check_refinement_1_2, Refine12Config, Refine12Report, StateViolation};
-pub use reach::{explore_algebraic, AlgExploreLimits, AlgebraicExploration};
+pub use reach::{
+    explore_algebraic, explore_algebraic_threads, structure_of, structure_of_id, AlgExploreLimits,
+    AlgebraicExploration,
+};
 pub use report::FullReport;
 pub use witness::{check_valid_reachable, ValidReachableReport};

@@ -8,12 +8,32 @@
 //! `True` by rewriting. States are deduplicated by their *full* observation
 //! table (observational equality, §4.1); accessibility edges are single
 //! update applications.
+//!
+//! # Parallel exploration
+//!
+//! [`explore_algebraic`] runs a *level-synchronous* breadth-first search:
+//! with more than one thread (see [`eclectic_kernel::env_threads`]) every
+//! BFS level is split across worker threads, each owning a thread-local
+//! [`Rewriter`] over a [`StoreHandle`] of one shared
+//! [`ConcurrentTermStore`], plus a [`SharedMemo`] so normal forms computed
+//! by one worker are reused by all. Workers evaluate observation keys and
+//! candidate structures; the main thread then merges discoveries serially
+//! in (parent order, successor order) — exactly the order the serial FIFO
+//! search admits states — so state numbering, edges, witnesses and depths
+//! are **bit-identical** to the single-threaded result.
+//!
+//! Worker-side structure computation keyed by observation id is sound
+//! because the observation key covers *every* query at *every* parameter
+//! tuple, and the induced structure is a function of exactly those query
+//! values: equal keys imply equal structures.
 
-use std::collections::VecDeque;
 use std::sync::Arc;
 
+use eclectic_algebraic::induction::SuccessorPlan;
 use eclectic_algebraic::{induction, observe, AlgSpec, Rewriter};
-use eclectic_kernel::{FxHashMap, TermId};
+use eclectic_kernel::{
+    env_threads, ConcurrentTermStore, FxHashMap, Interner, SharedMemo, StoreHandle, TermId,
+};
 use eclectic_logic::{Domains, Signature, Structure, Term};
 use eclectic_temporal::{StateIdx, Universe};
 
@@ -55,7 +75,8 @@ pub struct AlgebraicExploration {
     pub abstraction_collision: bool,
 }
 
-/// Explores the reachable states of `spec` and builds `M(T2)`.
+/// Explores the reachable states of `spec` and builds `M(T2)`, using
+/// [`env_threads`] worker threads (the `ECLECTIC_THREADS` knob).
 ///
 /// # Errors
 /// Propagates rewriting/bridge errors; limit hits set `truncated` instead
@@ -67,71 +88,156 @@ pub fn explore_algebraic(
     domains: &Arc<Domains>,
     limits: AlgExploreLimits,
 ) -> Result<AlgebraicExploration> {
-    let bridge = ParamBridge::new(spec.signature(), info_sig, domains)?;
-    let mut rw = Rewriter::new(spec);
-    // States are deduplicated by *observation key*: the vector of interned
-    // normal forms of every simple observation. Keys are `Vec<TermId>`, so
-    // frontier lookup is hashing of ids — no term trees are compared.
-    let keys = observe::ObsKeys::new(&mut rw)?;
+    explore_algebraic_threads(spec, interp, info_sig, domains, limits, env_threads())
+}
 
-    let mut universe = Universe::new(info_sig.clone(), domains.clone());
-    let mut witnesses: Vec<Term> = Vec::new();
-    let mut depth: Vec<usize> = Vec::new();
-    let mut by_obs: FxHashMap<Vec<TermId>, StateIdx> = FxHashMap::default();
-    let mut truncated = false;
-    let mut abstraction_collision = false;
+/// As [`explore_algebraic`], with an explicit thread count. `threads <= 1`
+/// runs the serial search over a private [`eclectic_kernel::TermStore`];
+/// more threads run the level-synchronous parallel search over a shared
+/// [`ConcurrentTermStore`]. Both produce bit-identical explorations.
+///
+/// # Errors
+/// See [`explore_algebraic`].
+pub fn explore_algebraic_threads(
+    spec: &AlgSpec,
+    interp: &InterpretationI,
+    info_sig: &Arc<Signature>,
+    domains: &Arc<Domains>,
+    limits: AlgExploreLimits,
+    threads: usize,
+) -> Result<AlgebraicExploration> {
+    if threads <= 1 {
+        explore_serial(spec, interp, info_sig, domains, limits, Rewriter::new(spec))
+    } else {
+        explore_parallel(spec, interp, info_sig, domains, limits, threads)
+    }
+}
 
-    let initials = induction::initial_state_ids(&mut rw)?;
-    if initials.is_empty() {
-        return Err(RefineError::Alg(eclectic_algebraic::AlgError::BadDescription(
-            "no initial state constant".into(),
-        )));
+/// Shared per-exploration context for state admission.
+struct AdmitCtx<'c> {
+    keys: &'c observe::ObsKeys,
+    interp: &'c InterpretationI,
+    bridge: &'c ParamBridge,
+    info_sig: &'c Arc<Signature>,
+    domains: &'c Arc<Domains>,
+}
+
+/// Mutable exploration state shared by admission and merge.
+struct Explore {
+    universe: Universe,
+    witnesses: Vec<Term>,
+    depth: Vec<usize>,
+    by_obs: FxHashMap<TermId, StateIdx>,
+    truncated: bool,
+    abstraction_collision: bool,
+}
+
+impl Explore {
+    fn new(info_sig: &Arc<Signature>, domains: &Arc<Domains>) -> Self {
+        Explore {
+            universe: Universe::new(info_sig.clone(), domains.clone()),
+            witnesses: Vec::new(),
+            depth: Vec::new(),
+            by_obs: FxHashMap::default(),
+            truncated: false,
+            abstraction_collision: false,
+        }
     }
 
-    let mut queue: VecDeque<(StateIdx, TermId, usize)> = VecDeque::new();
-
-    let admit = |rw: &mut Rewriter<'_>,
-                     universe: &mut Universe,
-                     by_obs: &mut FxHashMap<Vec<TermId>, StateIdx>,
-                     witnesses: &mut Vec<Term>,
-                     depth: &mut Vec<usize>,
-                     abstraction_collision: &mut bool,
-                     term: TermId,
-                     d: usize|
-     -> Result<(StateIdx, bool)> {
-        let obs = keys.key(rw, term)?;
-        if let Some(&idx) = by_obs.get(&obs) {
+    /// Admits an interned ground state term: deduplicates by packed
+    /// observation id, computes the induced structure only for fresh
+    /// observational states. Returns the state index and whether it is a
+    /// fresh frontier entry.
+    fn admit<S: Interner>(
+        &mut self,
+        rw: &mut Rewriter<'_, S>,
+        ctx: &AdmitCtx<'_>,
+        row: &mut Vec<TermId>,
+        term: TermId,
+        d: usize,
+    ) -> Result<(StateIdx, bool)> {
+        let obs = ctx.keys.key_id(rw, term, row)?;
+        if let Some(&idx) = self.by_obs.get(&obs) {
             return Ok((idx, false));
         }
-        // Fresh observational state: only now is the owned tree needed.
-        let witness = rw.extern_term(term);
-        let st = structure_of(rw, interp, &bridge, info_sig, domains, &witness)?;
-        let pre_existing = universe.find_state(&st).is_some();
-        let (idx, fresh) = universe.add_state(st)?;
+        let st = structure_of_id(rw, ctx.interp, ctx.bridge, ctx.info_sig, ctx.domains, term)?;
+        self.insert_fresh_obs(obs, st, || rw.extern_term(term), d)
+    }
+
+    /// Installs a structure for a fresh observation id (not in `by_obs`).
+    /// `witness` is only materialised when the structure is genuinely new.
+    fn insert_fresh_obs(
+        &mut self,
+        obs: TermId,
+        st: Structure,
+        witness: impl FnOnce() -> Term,
+        d: usize,
+    ) -> Result<(StateIdx, bool)> {
+        let pre_existing = self.universe.find_state(&st).is_some();
+        let (idx, fresh) = self.universe.add_state(st)?;
         if pre_existing {
             // Same L1 structure reached from a different observation table.
-            *abstraction_collision = true;
-            by_obs.insert(obs, idx);
+            self.abstraction_collision = true;
+            self.by_obs.insert(obs, idx);
             return Ok((idx, false));
         }
         debug_assert!(fresh);
-        by_obs.insert(obs, idx);
-        witnesses.push(witness);
-        depth.push(d);
+        self.by_obs.insert(obs, idx);
+        self.witnesses.push(witness());
+        self.depth.push(d);
         Ok((idx, true))
+    }
+
+    fn finish(self) -> AlgebraicExploration {
+        AlgebraicExploration {
+            universe: self.universe,
+            witnesses: self.witnesses,
+            depth: self.depth,
+            truncated: self.truncated,
+            abstraction_collision: self.abstraction_collision,
+        }
+    }
+}
+
+/// The serial search, generic over the term-store backend. States are
+/// deduplicated by *packed observation id* (one interned tuple node per
+/// observation row — see [`observe::ObsKeys::key_id`]), so frontier lookup
+/// is a single id hash. Observation rows and successor lists reuse scratch
+/// buffers across states.
+fn explore_serial<S: Interner>(
+    spec: &AlgSpec,
+    interp: &InterpretationI,
+    info_sig: &Arc<Signature>,
+    domains: &Arc<Domains>,
+    limits: AlgExploreLimits,
+    mut rw: Rewriter<'_, S>,
+) -> Result<AlgebraicExploration> {
+    let bridge = ParamBridge::new(spec.signature(), info_sig, domains)?;
+    let keys = observe::ObsKeys::new(&mut rw)?;
+    let plan = SuccessorPlan::new(&mut rw)?;
+    let ctx = AdmitCtx {
+        keys: &keys,
+        interp,
+        bridge: &bridge,
+        info_sig,
+        domains,
     };
 
+    let mut ex = Explore::new(info_sig, domains);
+    let mut row: Vec<TermId> = Vec::with_capacity(keys.arity());
+    let mut succs: Vec<TermId> = Vec::with_capacity(plan.count());
+
+    let initials = induction::initial_state_ids(&mut rw)?;
+    if initials.is_empty() {
+        return Err(RefineError::Alg(
+            eclectic_algebraic::AlgError::BadDescription("no initial state constant".into()),
+        ));
+    }
+
+    let mut queue: std::collections::VecDeque<(StateIdx, TermId, usize)> =
+        std::collections::VecDeque::new();
     for t in initials {
-        let (idx, fresh) = admit(
-            &mut rw,
-            &mut universe,
-            &mut by_obs,
-            &mut witnesses,
-            &mut depth,
-            &mut abstraction_collision,
-            t,
-            0,
-        )?;
+        let (idx, fresh) = ex.admit(&mut rw, &ctx, &mut row, t, 0)?;
         if fresh {
             queue.push_back((idx, t, 0));
         }
@@ -139,53 +245,231 @@ pub fn explore_algebraic(
 
     while let Some((idx, term, d)) = queue.pop_front() {
         if d >= limits.max_depth {
-            truncated = true;
+            ex.truncated = true;
             continue;
         }
-        for succ in induction::successor_ids(&mut rw, term)? {
-            if universe.state_count() >= limits.max_states {
-                truncated = true;
+        plan.successors_into(&mut rw, term, &mut succs);
+        for &succ in &succs {
+            if ex.universe.state_count() >= limits.max_states {
+                ex.truncated = true;
                 break;
             }
-            let (sidx, fresh) = admit(
-                &mut rw,
-                &mut universe,
-                &mut by_obs,
-                &mut witnesses,
-                &mut depth,
-                &mut abstraction_collision,
-                succ,
-                d + 1,
-            )?;
-            universe.add_edge(idx, sidx);
+            let (sidx, fresh) = ex.admit(&mut rw, &ctx, &mut row, succ, d + 1)?;
+            ex.universe.add_edge(idx, sidx);
             if fresh {
                 queue.push_back((sidx, succ, d + 1));
             }
         }
     }
 
-    Ok(AlgebraicExploration {
-        universe,
-        witnesses,
-        depth,
-        truncated,
-        abstraction_collision,
-    })
+    Ok(ex.finish())
+}
+
+/// Per-item worker output: the successors of one frontier state, each with
+/// its packed observation id.
+type ItemSuccs = Vec<(TermId, TermId)>;
+
+/// One worker chunk's output: per-item successors plus the candidate
+/// structures for observation keys not yet in the dedup map.
+type ChunkResult = Result<(Vec<ItemSuccs>, FxHashMap<TermId, Structure>)>;
+
+/// A persistent worker: a rewriter over a shared-store handle plus scratch
+/// buffers, reused across BFS levels.
+struct Worker<'a> {
+    rw: Rewriter<'a, StoreHandle>,
+    row: Vec<TermId>,
+    succs: Vec<TermId>,
+}
+
+/// The level-synchronous parallel search. Every level runs two phases:
+///
+/// * **Phase A (parallel):** the frontier is split into contiguous chunks,
+///   one per worker. Each worker builds the successors of its states,
+///   evaluates their packed observation ids, and computes the induced
+///   structure for every observation id not already admitted (deduplicated
+///   locally). `by_obs` is only *read* during this phase.
+/// * **Phase B (serial merge):** discoveries are merged in (parent order,
+///   successor order) — the exact order the serial FIFO pops them — so the
+///   admitted states, their numbering, edges, witnesses and depths are
+///   bit-identical to [`explore_serial`].
+fn explore_parallel(
+    spec: &AlgSpec,
+    interp: &InterpretationI,
+    info_sig: &Arc<Signature>,
+    domains: &Arc<Domains>,
+    limits: AlgExploreLimits,
+    threads: usize,
+) -> Result<AlgebraicExploration> {
+    let bridge = ParamBridge::new(spec.signature(), info_sig, domains)?;
+    let store = ConcurrentTermStore::shared();
+    let memo = Arc::new(SharedMemo::default());
+    let mut rw0 = Rewriter::with_store(spec, StoreHandle::new(store.clone()));
+    rw0.set_shared_memo(memo.clone());
+    let keys = observe::ObsKeys::new(&mut rw0)?;
+    let plan = SuccessorPlan::new(&mut rw0)?;
+    let ctx = AdmitCtx {
+        keys: &keys,
+        interp,
+        bridge: &bridge,
+        info_sig,
+        domains,
+    };
+
+    let mut ex = Explore::new(info_sig, domains);
+    let mut row: Vec<TermId> = Vec::with_capacity(keys.arity());
+
+    let initials = induction::initial_state_ids(&mut rw0)?;
+    if initials.is_empty() {
+        return Err(RefineError::Alg(
+            eclectic_algebraic::AlgError::BadDescription("no initial state constant".into()),
+        ));
+    }
+
+    // The BFS frontier, admitted level by level. The serial FIFO queue
+    // always holds states of at most two consecutive depths, and the depth
+    // limit/truncation checks apply uniformly per level, so a frontier
+    // vector per level reproduces its order exactly.
+    let mut frontier: Vec<(StateIdx, TermId, usize)> = Vec::new();
+    for t in initials {
+        let (idx, fresh) = ex.admit(&mut rw0, &ctx, &mut row, t, 0)?;
+        if fresh {
+            frontier.push((idx, t, 0));
+        }
+    }
+
+    let mut workers: Vec<Worker<'_>> = (0..threads)
+        .map(|_| {
+            let mut rw = Rewriter::with_store(spec, StoreHandle::new(store.clone()));
+            rw.set_shared_memo(memo.clone());
+            Worker {
+                rw,
+                row: Vec::with_capacity(keys.arity()),
+                succs: Vec::with_capacity(plan.count()),
+            }
+        })
+        .collect();
+
+    while !frontier.is_empty() {
+        let d = frontier[0].2;
+        if d >= limits.max_depth {
+            // The serial search pops each of these and marks truncation.
+            ex.truncated = true;
+            break;
+        }
+
+        // Phase A: expand the level in parallel.
+        let chunk = frontier.len().div_ceil(workers.len()).max(1);
+        let by_obs = &ex.by_obs;
+        let chunk_results: Vec<ChunkResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = frontier
+                .chunks(chunk)
+                .zip(workers.iter_mut())
+                .map(|(items, w)| {
+                    let ctx = &ctx;
+                    let plan = &plan;
+                    scope.spawn(move || {
+                        let mut per_item: Vec<ItemSuccs> = Vec::with_capacity(items.len());
+                        let mut structs: FxHashMap<TermId, Structure> = FxHashMap::default();
+                        for &(_, term, _) in items {
+                            plan.successors_into(&mut w.rw, term, &mut w.succs);
+                            let mut out: ItemSuccs = Vec::with_capacity(w.succs.len());
+                            for i in 0..w.succs.len() {
+                                let succ = w.succs[i];
+                                let obs = ctx.keys.key_id(&mut w.rw, succ, &mut w.row)?;
+                                if !by_obs.contains_key(&obs) && !structs.contains_key(&obs) {
+                                    let st = structure_of_id(
+                                        &mut w.rw,
+                                        ctx.interp,
+                                        ctx.bridge,
+                                        ctx.info_sig,
+                                        ctx.domains,
+                                        succ,
+                                    )?;
+                                    structs.insert(obs, st);
+                                }
+                                out.push((succ, obs));
+                            }
+                            per_item.push(out);
+                        }
+                        Ok((per_item, structs))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        // Surface the first error in frontier order (chunks are contiguous,
+        // so chunk order is item order) — same error the serial search hits
+        // first among those its admission order would reach.
+        let mut per_item: Vec<ItemSuccs> = Vec::with_capacity(frontier.len());
+        let mut fresh_structs: FxHashMap<TermId, Structure> = FxHashMap::default();
+        for r in chunk_results {
+            let (items, structs) = r?;
+            per_item.extend(items);
+            // Workers deduplicate locally; across workers the entries for
+            // one observation id are identical structures.
+            fresh_structs.extend(structs);
+        }
+
+        // Phase B: serial merge in (parent, successor) order.
+        let mut next: Vec<(StateIdx, TermId, usize)> = Vec::new();
+        for (&(pidx, _, _), succs) in frontier.iter().zip(&per_item) {
+            for &(succ, obs) in succs {
+                if ex.universe.state_count() >= limits.max_states {
+                    ex.truncated = true;
+                    break;
+                }
+                if let Some(&sidx) = ex.by_obs.get(&obs) {
+                    ex.universe.add_edge(pidx, sidx);
+                    continue;
+                }
+                let st = fresh_structs
+                    .remove(&obs)
+                    .expect("phase A computed a structure for every fresh observation");
+                let (sidx, fresh) =
+                    ex.insert_fresh_obs(obs, st, || rw0.extern_term(succ), d + 1)?;
+                ex.universe.add_edge(pidx, sidx);
+                if fresh {
+                    next.push((sidx, succ, d + 1));
+                }
+            }
+        }
+        frontier = next;
+    }
+
+    Ok(ex.finish())
 }
 
 /// Builds the `L1` structure induced by a ground state term: each
 /// db-predicate holds of the tuples whose interpreting query rewrites to
 /// `True`.
-pub fn structure_of(
-    rw: &mut Rewriter<'_>,
+pub fn structure_of<S: Interner>(
+    rw: &mut Rewriter<'_, S>,
     interp: &InterpretationI,
     bridge: &ParamBridge,
     info_sig: &Arc<Signature>,
     domains: &Arc<Domains>,
     state_term: &Term,
 ) -> Result<Structure> {
+    let state = rw.intern(state_term);
+    structure_of_id(rw, interp, bridge, info_sig, domains, state)
+}
+
+/// As [`structure_of`], over an already-interned state term — the hot-path
+/// variant used by exploration: queries are evaluated by id with no term
+/// trees built.
+pub fn structure_of_id<S: Interner>(
+    rw: &mut Rewriter<'_, S>,
+    interp: &InterpretationI,
+    bridge: &ParamBridge,
+    info_sig: &Arc<Signature>,
+    domains: &Arc<Domains>,
+    state: TermId,
+) -> Result<Structure> {
     let alg = rw.spec().signature().clone();
     let mut st = Structure::new(info_sig.clone(), domains.clone());
+    let tru = rw.true_id();
+    let fls = rw.false_id();
     for (p, q) in interp.pairs() {
         let qsorts = alg.query_params(q)?;
         let lsorts: Vec<_> = qsorts
@@ -193,20 +477,18 @@ pub fn structure_of(
             .map(|&s| bridge.logic_sort(s))
             .collect::<Result<_>>()?;
         for tuple in domains.tuples(&lsorts) {
-            let args: Vec<Term> = tuple
+            let args: Vec<TermId> = tuple
                 .iter()
                 .zip(&lsorts)
-                .map(|(&e, &s)| bridge.term_of_elem(s, e))
+                .map(|(&e, &s)| Ok(rw.app_id(bridge.constant(s, e)?, &[])))
                 .collect::<Result<_>>()?;
-            let mut full = args;
-            full.push(state_term.clone());
-            let v = rw.normalize(&Term::App(q, full))?;
-            if v == alg.true_term() {
+            let v = rw.eval_query_id(q, &args, state)?;
+            if v == tru {
                 st.insert_pred(p, tuple)?;
-            } else if v != alg.false_term() {
+            } else if v != fls {
                 return Err(RefineError::Alg(
                     eclectic_algebraic::AlgError::NotSufficientlyComplete {
-                        term: eclectic_algebraic::term_str(&alg, &v),
+                        term: eclectic_algebraic::term_str(&alg, &rw.extern_term(v)),
                     },
                 ));
             }
@@ -235,9 +517,15 @@ mod tests {
             &[
                 ("eq1", "q_offered(c, initiate) = False"),
                 ("eq3", "q_offered(c, offer(c, U)) = True"),
-                ("eq4", "c != c' ==> q_offered(c, offer(c', U)) = q_offered(c, U)"),
+                (
+                    "eq4",
+                    "c != c' ==> q_offered(c, offer(c', U)) = q_offered(c, U)",
+                ),
                 ("eq6", "q_offered(c, cancel(c, U)) = False"),
-                ("eq7", "c != c' ==> q_offered(c, cancel(c', U)) = q_offered(c, U)"),
+                (
+                    "eq7",
+                    "c != c' ==> q_offered(c, cancel(c', U)) = q_offered(c, U)",
+                ),
             ],
         )
         .unwrap();
@@ -314,5 +602,28 @@ mod tests {
         let offered = info.pred_id("offered").unwrap();
         assert!(st.pred_holds(offered, &[eclectic_logic::Elem(0)]));
         assert!(!st.pred_holds(offered, &[eclectic_logic::Elem(1)]));
+    }
+
+    #[test]
+    fn parallel_exploration_is_bit_identical_to_serial() {
+        let (spec, interp, info, dom) = setup();
+        let limits = AlgExploreLimits {
+            max_depth: 5,
+            max_states: 100,
+        };
+        let serial = explore_algebraic_threads(&spec, &interp, &info, &dom, limits, 1).unwrap();
+        for threads in [2, 4, 8] {
+            let par =
+                explore_algebraic_threads(&spec, &interp, &info, &dom, limits, threads).unwrap();
+            assert_eq!(par.universe.state_count(), serial.universe.state_count());
+            assert_eq!(par.universe.edge_count(), serial.universe.edge_count());
+            assert_eq!(par.witnesses, serial.witnesses);
+            assert_eq!(par.depth, serial.depth);
+            assert_eq!(par.truncated, serial.truncated);
+            assert_eq!(par.abstraction_collision, serial.abstraction_collision);
+            for s in serial.universe.state_indices() {
+                assert_eq!(par.universe.successors(s), serial.universe.successors(s));
+            }
+        }
     }
 }

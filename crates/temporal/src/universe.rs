@@ -159,32 +159,46 @@ impl Universe {
     /// single-step relation or with its closure (see the DESIGN.md ablation).
     pub fn close_reflexive_transitive(&mut self) {
         let n = self.states.len();
-        // Floyd–Warshall-style boolean closure over BTreeSets; n is small in
-        // the intended bounded-verification workloads.
-        let mut reach: Vec<BTreeSet<StateIdx>> = self.succ.clone();
-        for (i, row) in reach.iter_mut().enumerate() {
-            row.insert(StateIdx(i));
-        }
-        loop {
-            let mut changed = false;
-            for i in 0..n {
-                let targets: Vec<StateIdx> = reach[i].iter().copied().collect();
-                for t in targets {
-                    let extra: Vec<StateIdx> = reach[t.index()]
-                        .iter()
-                        .copied()
-                        .filter(|x| !reach[i].contains(x))
-                        .collect();
-                    if !extra.is_empty() {
-                        changed = true;
-                        reach[i].extend(extra);
+        // One depth-first reachability sweep per source, fanned across
+        // [`eclectic_kernel::env_threads`] worker threads for large
+        // universes. Each source's reachable set is independent of every
+        // other's, so the result is identical for any thread count (and to
+        // the fixpoint iteration this replaces, at O(n·m) instead of its
+        // worst-case O(n³) set churn).
+        let compute = |i: usize| -> BTreeSet<StateIdx> {
+            let mut seen = vec![false; n];
+            let mut stack = vec![StateIdx(i)];
+            seen[i] = true;
+            let mut out = BTreeSet::new();
+            while let Some(s) = stack.pop() {
+                out.insert(s);
+                for &t in &self.succ[s.index()] {
+                    if !seen[t.index()] {
+                        seen[t.index()] = true;
+                        stack.push(t);
                     }
                 }
             }
-            if !changed {
-                break;
-            }
-        }
+            out
+        };
+        let threads = eclectic_kernel::env_threads().min(n.max(1));
+        let reach: Vec<BTreeSet<StateIdx>> = if threads <= 1 || n < 64 {
+            (0..n).map(compute).collect()
+        } else {
+            let chunk = n.div_ceil(threads).max(1);
+            let mut reach = vec![BTreeSet::new(); n];
+            std::thread::scope(|scope| {
+                for (c, slots) in reach.chunks_mut(chunk).enumerate() {
+                    let compute = &compute;
+                    scope.spawn(move || {
+                        for (off, slot) in slots.iter_mut().enumerate() {
+                            *slot = compute(c * chunk + off);
+                        }
+                    });
+                }
+            });
+            reach
+        };
         self.succ = reach;
         let mut pred = vec![BTreeSet::new(); n];
         for (a, bs) in self.succ.iter().enumerate() {
@@ -249,7 +263,10 @@ mod tests {
         assert!(!u.accessible(b, a));
         assert_eq!(u.state_count(), 2);
         assert_eq!(u.edge_count(), 1);
-        assert_eq!(u.predecessors(b).iter().copied().collect::<Vec<_>>(), vec![a]);
+        assert_eq!(
+            u.predecessors(b).iter().copied().collect::<Vec<_>>(),
+            vec![a]
+        );
     }
 
     #[test]

@@ -1,10 +1,13 @@
 # Task runner for the eclectic workspace (https://github.com/casey/just).
 
-# The full offline gate: release build, tests, lints with warnings denied.
+# The full offline gate: release build, tests, lints with warnings denied,
+# the parallel-determinism suite in release mode, and the reachability bench.
 verify:
     cargo build --release --workspace
     cargo test -q --workspace
     cargo clippy --workspace --all-targets -- -D warnings
+    cargo test -q -p eclectic-spec --release --test parallel_determinism
+    cargo run -p eclectic-bench --bin bench_reach_parallel --release
 
 # Timing benches, one target per experiment in EXPERIMENTS.md.
 bench:
@@ -13,3 +16,7 @@ bench:
 # Regenerate the EXPERIMENTS.md artifact table and BENCH_rewrite.json.
 harness:
     cargo run -p eclectic-bench --bin harness --release
+
+# Serial-vs-parallel reachability bench; writes BENCH_reach.json.
+bench-reach:
+    cargo run -p eclectic-bench --bin bench_reach_parallel --release
