@@ -9,10 +9,11 @@
 //! 2. an **exhaustive evaluation** pass: every ground query application over
 //!    every state term of bounded depth must normalise to a parameter name.
 
+use eclectic_kernel::{effective_workers, env_threads, Interner};
 use eclectic_logic::Term;
 
 use crate::error::{AlgError, Result};
-use crate::induction::{param_tuples, state_terms};
+use crate::induction::GroundSpace;
 use crate::printer::term_str;
 use crate::rewrite::Rewriter;
 use crate::spec::AlgSpec;
@@ -87,7 +88,8 @@ pub fn coverage(spec: &AlgSpec) -> Result<Vec<MissingCase>> {
 
 /// Exhaustive evaluation of all ground query applications over all state
 /// terms with at most `max_steps` updates. Stops collecting after
-/// `max_failures` stuck terms.
+/// `max_failures` stuck terms. Uses `ECLECTIC_THREADS` workers (see
+/// [`env_threads`]).
 ///
 /// # Errors
 /// Propagates unexpected rewriting errors (fuel exhaustion is recorded as a
@@ -97,42 +99,207 @@ pub fn exhaustive(
     max_steps: usize,
     max_failures: usize,
 ) -> Result<CompletenessReport> {
+    exhaustive_threads(spec, max_steps, max_failures, env_threads())
+}
+
+/// As [`exhaustive`] with an explicit worker count.
+///
+/// # Errors
+/// Propagates unexpected rewriting errors.
+pub fn exhaustive_threads(
+    spec: &AlgSpec,
+    max_steps: usize,
+    max_failures: usize,
+    threads: usize,
+) -> Result<CompletenessReport> {
+    let space = GroundSpace::new(spec.signature(), max_steps)?;
+    exhaustive_in(spec, &space, max_failures, threads)
+}
+
+/// As [`exhaustive_in`], serial, against a caller-held rewriter — so the
+/// sweep can reuse (and further warm) a normal-form memo shared with other
+/// passes over the same ground space, e.g. the confluence tie-break.
+///
+/// # Errors
+/// Propagates unexpected rewriting errors.
+pub fn exhaustive_with<S: Interner>(
+    rw: &mut Rewriter<'_, S>,
+    space: &GroundSpace,
+    max_failures: usize,
+) -> Result<CompletenessReport> {
+    let spec = rw.spec();
     let sig = spec.signature().clone();
-    let mut rw = Rewriter::new(spec);
     let mut report = CompletenessReport {
         missing: coverage(spec)?,
         ..CompletenessReport::default()
     };
-    'outer: for st in state_terms(&sig, max_steps)? {
+    for st in space.states() {
         for q in sig.queries() {
-            for params in param_tuples(&sig, &sig.query_params(q)?)? {
+            let tuples = space.tuples(&sig, &sig.query_params(q)?)?;
+            for params in tuples.iter() {
                 report.evaluated += 1;
                 let mut args = params.clone();
                 args.push(st.clone());
                 let t = Term::App(q, args);
-                match rw.normalize(&t) {
-                    Ok(n) if sig.is_param_name(&n) => {}
-                    Ok(n) => {
-                        report.stuck.push(StuckTerm {
-                            term: term_str(&sig, &t),
-                            normal_form: term_str(&sig, &n),
-                        });
-                    }
-                    Err(AlgError::RewriteLimit { term }) => {
-                        report.stuck.push(StuckTerm {
-                            term: term_str(&sig, &t),
-                            normal_form: format!("<fuel exhausted at {term}>"),
-                        });
-                    }
+                match eval_subject(rw, &sig, &t) {
+                    Ok(None) => {}
+                    Ok(Some(stuck)) => report.stuck.push(stuck),
                     Err(e) => return Err(e),
                 }
                 if report.stuck.len() >= max_failures {
-                    break 'outer;
+                    return Ok(report);
                 }
             }
         }
     }
     Ok(report)
+}
+
+/// One exhaustive-pass event, tagged with the ground instance's position in
+/// the serial enumeration order.
+enum EvalEvent {
+    Stuck(usize, StuckTerm),
+    Fail(usize, AlgError),
+}
+
+impl EvalEvent {
+    fn index(&self) -> usize {
+        match self {
+            EvalEvent::Stuck(k, _) | EvalEvent::Fail(k, _) => *k,
+        }
+    }
+}
+
+/// As [`exhaustive`] against a pre-enumerated [`GroundSpace`], so one
+/// enumeration can serve completeness, confluence resolution and induction.
+///
+/// Parallel runs are bit-identical to serial (same `stuck` contents and
+/// ordering, same `evaluated` count): workers stride over the ground
+/// instances, each instance's verdict is order-independent, and the merge
+/// replays the events in serial order — including the early stop once
+/// `max_failures` stuck terms have accumulated.
+///
+/// # Errors
+/// Propagates unexpected rewriting errors; the earliest error in
+/// enumeration order wins, exactly as in the serial loop.
+pub fn exhaustive_in(
+    spec: &AlgSpec,
+    space: &GroundSpace,
+    max_failures: usize,
+    threads: usize,
+) -> Result<CompletenessReport> {
+    let threads = effective_workers(threads);
+    let sig = spec.signature().clone();
+    let mut report = CompletenessReport {
+        missing: coverage(spec)?,
+        ..CompletenessReport::default()
+    };
+
+    // Flatten the ground instances in the serial enumeration order: states
+    // outer, then queries, then parameter tuples.
+    let mut subjects = Vec::new();
+    for st in space.states() {
+        for q in sig.queries() {
+            let tuples = space.tuples(&sig, &sig.query_params(q)?)?;
+            for params in tuples.iter() {
+                let mut args = params.clone();
+                args.push(st.clone());
+                subjects.push(Term::App(q, args));
+            }
+        }
+    }
+
+    // `max_failures == 0` makes the serial loop stop after the very first
+    // evaluation regardless of its outcome; only the serial path reproduces
+    // that, so route it (and trivial workloads) there.
+    if threads <= 1 || max_failures == 0 || subjects.len() < 2 {
+        let mut rw = Rewriter::new(spec);
+        return exhaustive_with(&mut rw, space, max_failures);
+    }
+
+    // Each worker owns a plain thread-local rewriter: the ground instances
+    // are independent, so nothing needs the shared store, and a private
+    // memo avoids shard-lock traffic on every intern.
+    let workers = threads.min(subjects.len());
+    let mut events: Vec<EvalEvent> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let subjects = &subjects;
+                let sig = &sig;
+                s.spawn(move || {
+                    let mut rw = Rewriter::new(spec);
+                    let mut local = Vec::new();
+                    let mut stuck_seen = 0usize;
+                    for (k, t) in subjects.iter().enumerate().skip(w).step_by(workers) {
+                        match eval_subject(&mut rw, sig, t) {
+                            Ok(None) => {}
+                            Ok(Some(stuck)) => {
+                                local.push(EvalEvent::Stuck(k, stuck));
+                                stuck_seen += 1;
+                                // This worker alone has reached the global
+                                // cap; the serial loop cannot look past the
+                                // index where that happens, so the rest of
+                                // the stride is unreachable.
+                                if stuck_seen >= max_failures {
+                                    break;
+                                }
+                            }
+                            Err(e) => {
+                                local.push(EvalEvent::Fail(k, e));
+                                break;
+                            }
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+
+    // Replay the events in serial order. Every worker covered its stride at
+    // least up to the globally earliest stop (its own early exits happen at
+    // or past that point), so no event the serial loop would have seen is
+    // missing.
+    events.sort_by_key(EvalEvent::index);
+    for ev in events {
+        match ev {
+            EvalEvent::Fail(_, e) => return Err(e),
+            EvalEvent::Stuck(k, stuck) => {
+                report.stuck.push(stuck);
+                if report.stuck.len() >= max_failures {
+                    report.evaluated = k + 1;
+                    return Ok(report);
+                }
+            }
+        }
+    }
+    report.evaluated = subjects.len();
+    Ok(report)
+}
+
+/// Evaluates one ground query application: `None` when it reduces to a
+/// parameter name, `Some` when it is stuck (including fuel exhaustion).
+fn eval_subject<S: Interner>(
+    rw: &mut Rewriter<'_, S>,
+    sig: &crate::signature::AlgSignature,
+    t: &Term,
+) -> Result<Option<StuckTerm>> {
+    match rw.normalize(t) {
+        Ok(n) if sig.is_param_name(&n) => Ok(None),
+        Ok(n) => Ok(Some(StuckTerm {
+            term: term_str(sig, t),
+            normal_form: term_str(sig, &n),
+        })),
+        Err(AlgError::RewriteLimit { term }) => Ok(Some(StuckTerm {
+            term: term_str(sig, t),
+            normal_form: format!("<fuel exhausted at {term}>"),
+        })),
+        Err(e) => Err(e),
+    }
 }
 
 #[cfg(test)]

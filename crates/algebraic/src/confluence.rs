@@ -10,16 +10,22 @@
 //! semantic tie-break is `resolve_overlap_on_ground`, which evaluates both
 //! reducts on ground instances.
 
+use std::sync::Arc;
+
+use eclectic_kernel::{
+    effective_workers, env_threads, ConcurrentTermStore, Interner, SharedMemo, StoreHandle,
+};
 use eclectic_logic::{rename_apart, unify, Formula, Subst, Term};
 
 use crate::equation::ConditionalEquation;
-use crate::error::Result;
+use crate::error::{AlgError, Result};
+use crate::induction::GroundSpace;
 use crate::printer::term_str;
 use crate::rewrite::Rewriter;
 use crate::spec::AlgSpec;
 
 /// A syntactic overlap between two equations.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Overlap {
     /// Name of the first equation.
     pub first: String,
@@ -48,51 +54,133 @@ impl Overlap {
     }
 }
 
-/// Finds every pairwise overlap between equation left-hand sides.
+/// Finds every pairwise overlap between equation left-hand sides, using
+/// `ECLECTIC_THREADS` workers (see [`env_threads`]).
 ///
 /// # Errors
 /// Propagates sorting errors (none for validated specs).
 pub fn critical_overlaps(spec: &AlgSpec) -> Result<Vec<Overlap>> {
-    let mut sig = spec.signature().logic().clone();
-    let mut out = Vec::new();
+    critical_overlaps_threads(spec, env_threads())
+}
+
+/// As [`critical_overlaps`] with an explicit worker count. Every thread
+/// count produces the same report: each candidate pair is analysed against
+/// its own clone of the signature (so renamed-apart variable names do not
+/// depend on which pairs were processed before), and the merge walks the
+/// pairs in the serial `(i, j)` order.
+///
+/// # Errors
+/// Propagates sorting errors; the first error in pair order wins.
+pub fn critical_overlaps_threads(spec: &AlgSpec, threads: usize) -> Result<Vec<Overlap>> {
+    let threads = effective_workers(threads);
     let eqs = spec.equations();
-    for (i, e1) in eqs.iter().enumerate() {
-        for e2 in &eqs[i + 1..] {
-            if e1.lhs_root() != e2.lhs_root() {
-                continue;
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for i in 0..eqs.len() {
+        for j in i + 1..eqs.len() {
+            if eqs[i].lhs_root() == eqs[j].lhs_root() {
+                pairs.push((i, j));
             }
-            // Rename e2 apart so shared variable names do not fake overlap.
-            let (lhs2, renaming) = rename_apart(&mut sig, &e2.lhs);
-            let Some(mgu) = unify(&sig, &e1.lhs, &lhs2)? else {
-                continue;
-            };
-            let rhs1 = mgu.apply_term(&e1.rhs);
-            let rhs2 = mgu.apply_term(&renaming.apply_term(&e2.rhs));
-            let cond1 = apply_to_condition(&sig, &mgu, &e1.condition)?;
-            let cond2_renamed = apply_to_condition(&sig, &renaming, &e2.condition)?;
-            let cond2 = apply_to_condition(&sig, &mgu, &cond2_renamed)?;
-            let rhs_equal = rhs1 == rhs2;
-            let conditions_complementary = complementary(&cond1, &cond2);
-            // Render with the extended signature: renamed-apart variables do
-            // not exist in the spec's own signature.
-            out.push(Overlap {
-                first: e1.name.clone(),
-                second: e2.name.clone(),
-                redex: eclectic_logic::term_display(&sig, &mgu.apply_term(&e1.lhs)).to_string(),
-                reducts: (
-                    eclectic_logic::term_display(&sig, &rhs1).to_string(),
-                    eclectic_logic::term_display(&sig, &rhs2).to_string(),
-                ),
-                conditions: (
-                    eclectic_logic::formula_display(&sig, &cond1).to_string(),
-                    eclectic_logic::formula_display(&sig, &cond2).to_string(),
-                ),
-                rhs_equal,
-                conditions_complementary,
-            });
+        }
+    }
+
+    if threads <= 1 || pairs.len() < 2 {
+        let mut out = Vec::new();
+        for &(i, j) in &pairs {
+            if let Some(o) = overlap_of_pair(spec, &eqs[i], &eqs[j])? {
+                out.push(o);
+            }
+        }
+        return Ok(out);
+    }
+
+    type PairOutcome = (Vec<(usize, Overlap)>, Option<(usize, AlgError)>);
+    let workers = threads.min(pairs.len());
+    let results: Vec<PairOutcome> =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let pairs = &pairs;
+                    s.spawn(move || {
+                        let mut found = Vec::new();
+                        for (k, &(i, j)) in pairs.iter().enumerate().skip(w).step_by(workers) {
+                            match overlap_of_pair(spec, &eqs[i], &eqs[j]) {
+                                Ok(Some(o)) => found.push((k, o)),
+                                Ok(None) => {}
+                                Err(e) => return (found, Some((k, e))),
+                            }
+                        }
+                        (found, None)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+    // Serial FIFO merge: replay the pair sequence in order, surfacing the
+    // earliest error exactly where the serial loop would have stopped.
+    let first_err = results
+        .iter()
+        .filter_map(|(_, e)| e.as_ref().map(|(k, _)| *k))
+        .min();
+    let mut slots: Vec<Option<Overlap>> = vec![None; pairs.len()];
+    for (found, _) in &results {
+        for (k, o) in found {
+            slots[*k] = Some(o.clone());
+        }
+    }
+    let mut out = Vec::new();
+    for (k, slot) in slots.into_iter().enumerate() {
+        if Some(k) == first_err {
+            let (_, err) = results
+                .into_iter()
+                .filter_map(|(_, e)| e)
+                .find(|(idx, _)| *idx == k)
+                .expect("error index recorded");
+            return Err(err);
+        }
+        if let Some(o) = slot {
+            out.push(o);
         }
     }
     Ok(out)
+}
+
+/// Analyses one candidate pair against a private clone of the signature.
+fn overlap_of_pair(
+    spec: &AlgSpec,
+    e1: &ConditionalEquation,
+    e2: &ConditionalEquation,
+) -> Result<Option<Overlap>> {
+    let mut sig = spec.signature().logic().clone();
+    // Rename e2 apart so shared variable names do not fake overlap.
+    let (lhs2, renaming) = rename_apart(&mut sig, &e2.lhs);
+    let Some(mgu) = unify(&sig, &e1.lhs, &lhs2)? else {
+        return Ok(None);
+    };
+    let rhs1 = mgu.apply_term(&e1.rhs);
+    let rhs2 = mgu.apply_term(&renaming.apply_term(&e2.rhs));
+    let cond1 = apply_to_condition(&sig, &mgu, &e1.condition)?;
+    let cond2_renamed = apply_to_condition(&sig, &renaming, &e2.condition)?;
+    let cond2 = apply_to_condition(&sig, &mgu, &cond2_renamed)?;
+    let rhs_equal = rhs1 == rhs2;
+    let conditions_complementary = complementary(&cond1, &cond2);
+    // Render with the extended signature: renamed-apart variables do not
+    // exist in the spec's own signature.
+    Ok(Some(Overlap {
+        first: e1.name.clone(),
+        second: e2.name.clone(),
+        redex: eclectic_logic::term_display(&sig, &mgu.apply_term(&e1.lhs)).to_string(),
+        reducts: (
+            eclectic_logic::term_display(&sig, &rhs1).to_string(),
+            eclectic_logic::term_display(&sig, &rhs2).to_string(),
+        ),
+        conditions: (
+            eclectic_logic::formula_display(&sig, &cond1).to_string(),
+            eclectic_logic::formula_display(&sig, &cond2).to_string(),
+        ),
+        rhs_equal,
+        conditions_complementary,
+    }))
 }
 
 fn apply_to_condition(
@@ -128,7 +216,8 @@ fn negations(f: &Formula) -> usize {
 /// Semantic tie-break for one overlap: on every ground instance of the
 /// unified redex over bounded state terms where *both* conditions hold,
 /// evaluate both reducts and compare. Returns the number of ground
-/// instances where both fired, and any disagreement rendering.
+/// instances where both fired, and any disagreement rendering. Uses
+/// `ECLECTIC_THREADS` workers (see [`env_threads`]).
 ///
 /// # Errors
 /// Propagates rewriting errors.
@@ -138,10 +227,115 @@ pub fn resolve_overlap_on_ground(
     e2: &ConditionalEquation,
     max_steps: usize,
 ) -> Result<(usize, Option<String>)> {
-    use crate::induction::{param_tuples, state_terms};
+    resolve_overlap_on_ground_threads(spec, e1, e2, max_steps, env_threads())
+}
 
-    let sig = spec.signature().clone();
-    let mut rw = Rewriter::new(spec);
+/// As [`resolve_overlap_on_ground`] with an explicit worker count.
+///
+/// # Errors
+/// Propagates rewriting errors.
+pub fn resolve_overlap_on_ground_threads(
+    spec: &AlgSpec,
+    e1: &ConditionalEquation,
+    e2: &ConditionalEquation,
+    max_steps: usize,
+    threads: usize,
+) -> Result<(usize, Option<String>)> {
+    let space = GroundSpace::new(spec.signature(), max_steps)?;
+    resolve_overlap_in(spec, &space, e1, e2, threads)
+}
+
+/// One ground-instance stop event, tagged with the instance's position in
+/// the serial enumeration order so the merge can replay the serial outcome.
+enum GroundStop {
+    Disagree(usize, String),
+    Error(usize, AlgError),
+}
+
+/// Resolves a whole list of overlap pairs against one shared
+/// [`GroundSpace`], parallelising *across pairs*: workers stride over the
+/// pair list and each reuses a single rewriter (and therefore its
+/// normal-form memo) for every pair it is assigned. Results come back in
+/// pair order; the first error in pair order wins, exactly as a serial
+/// loop over [`resolve_overlap_in`] would report it.
+///
+/// Bit-identity across worker counts is structural: a pair's verdict
+/// depends only on the pair and the ground space (memo warmth changes
+/// speed, never normal forms), and the merge is positional.
+///
+/// # Errors
+/// Propagates rewriting errors (earliest pair first).
+pub fn resolve_overlaps_in(
+    spec: &AlgSpec,
+    space: &GroundSpace,
+    pairs: &[(&ConditionalEquation, &ConditionalEquation)],
+    threads: usize,
+) -> Result<Vec<(usize, Option<String>)>> {
+    let threads = effective_workers(threads);
+    if threads <= 1 || pairs.len() < 2 {
+        let mut rw = Rewriter::new(spec);
+        return resolve_overlaps_with(&mut rw, space, pairs);
+    }
+    let workers = threads.min(pairs.len());
+    type Resolution = Result<(usize, Option<String>)>;
+    type PairResult = (usize, Resolution);
+    let results: Vec<Vec<PairResult>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut rw = Rewriter::new(spec);
+                    pairs
+                        .iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(workers)
+                        .map(|(k, (e1, e2))| (k, resolve_pair_with(&mut rw, space, e1, e2)))
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut slots: Vec<Option<Resolution>> = (0..pairs.len()).map(|_| None).collect();
+    for worker in results {
+        for (k, r) in worker {
+            slots[k] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every pair resolved"))
+        .collect()
+}
+
+/// As [`resolve_overlaps_in`], serial, against a caller-held rewriter — so
+/// one normal-form memo can serve the whole resolution sweep *and* whatever
+/// the caller runs next over the same ground space (e.g. the exhaustive
+/// completeness pass).
+///
+/// # Errors
+/// Propagates rewriting errors (earliest pair first).
+pub fn resolve_overlaps_with<S: Interner>(
+    rw: &mut Rewriter<'_, S>,
+    space: &GroundSpace,
+    pairs: &[(&ConditionalEquation, &ConditionalEquation)],
+) -> Result<Vec<(usize, Option<String>)>> {
+    pairs
+        .iter()
+        .map(|(e1, e2)| resolve_pair_with(rw, space, e1, e2))
+        .collect()
+}
+
+/// Resolves one pair with a caller-supplied rewriter, walking the ground
+/// instances in enumeration order (states outer, parameter tuples inner).
+fn resolve_pair_with<S: Interner>(
+    rw: &mut Rewriter<'_, S>,
+    space: &GroundSpace,
+    e1: &ConditionalEquation,
+    e2: &ConditionalEquation,
+) -> Result<(usize, Option<String>)> {
+    let sig = rw.spec().signature().clone();
     let Some(root) = e1.lhs_root() else {
         return Ok((0, None));
     };
@@ -149,27 +343,19 @@ pub fn resolve_overlap_on_ground(
         return Ok((0, None));
     }
     let qsorts = sig.query_params(root)?;
+    let tuples = space.tuples(&sig, &qsorts)?;
     let mut both_fired = 0usize;
-
-    for st in state_terms(&sig, max_steps)? {
-        for params in param_tuples(&sig, &qsorts)? {
+    for st in space.states() {
+        for params in tuples.iter() {
             let mut args = params.clone();
             args.push(st.clone());
             let subject = Term::App(root, args);
-            let r1 = try_rule(&mut rw, e1, &subject)?;
-            let r2 = try_rule(&mut rw, e2, &subject)?;
+            let r1 = try_rule(rw, e1, &subject)?;
+            let r2 = try_rule(rw, e2, &subject)?;
             if let (Some(v1), Some(v2)) = (r1, r2) {
                 both_fired += 1;
                 if v1 != v2 {
-                    return Ok((
-                        both_fired,
-                        Some(format!(
-                            "{} vs {} at {}",
-                            term_str(&sig, &v1),
-                            term_str(&sig, &v2),
-                            term_str(&sig, &subject)
-                        )),
-                    ));
+                    return Ok((both_fired, Some(disagreement(&sig, &v1, &v2, &subject))));
                 }
             }
         }
@@ -177,10 +363,141 @@ pub fn resolve_overlap_on_ground(
     Ok((both_fired, None))
 }
 
+/// As [`resolve_overlap_on_ground`] against a pre-enumerated
+/// [`GroundSpace`], so one enumeration can serve many overlap pairs.
+///
+/// Parallel runs are bit-identical to serial: workers stride over the
+/// ground instances, each instance's verdict depends only on the instance
+/// itself (normal forms are order-independent), and the merge stops at the
+/// globally earliest disagreement or error — exactly where the serial loop
+/// would have stopped.
+///
+/// # Errors
+/// Propagates rewriting errors.
+pub fn resolve_overlap_in(
+    spec: &AlgSpec,
+    space: &GroundSpace,
+    e1: &ConditionalEquation,
+    e2: &ConditionalEquation,
+    threads: usize,
+) -> Result<(usize, Option<String>)> {
+    let threads = effective_workers(threads);
+    let sig = spec.signature().clone();
+    let Some(root) = e1.lhs_root() else {
+        return Ok((0, None));
+    };
+    if e2.lhs_root() != Some(root) {
+        return Ok((0, None));
+    }
+    let qsorts = sig.query_params(root)?;
+    let tuples = space.tuples(&sig, &qsorts)?;
+
+    // Pre-build the subjects in the serial enumeration order: states outer,
+    // parameter tuples inner.
+    let mut subjects = Vec::with_capacity(space.states().len() * tuples.len());
+    for st in space.states() {
+        for params in tuples.iter() {
+            let mut args = params.clone();
+            args.push(st.clone());
+            subjects.push(Term::App(root, args));
+        }
+    }
+
+    if threads <= 1 || subjects.len() < 2 {
+        let mut rw = Rewriter::new(spec);
+        let mut both_fired = 0usize;
+        for subject in &subjects {
+            let r1 = try_rule(&mut rw, e1, subject)?;
+            let r2 = try_rule(&mut rw, e2, subject)?;
+            if let (Some(v1), Some(v2)) = (r1, r2) {
+                both_fired += 1;
+                if v1 != v2 {
+                    return Ok((both_fired, Some(disagreement(&sig, &v1, &v2, subject))));
+                }
+            }
+        }
+        return Ok((both_fired, None));
+    }
+
+    let workers = threads.min(subjects.len());
+    let store = Arc::new(ConcurrentTermStore::new());
+    let memo = Arc::new(SharedMemo::new());
+    let results: Vec<(Vec<usize>, Option<GroundStop>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let subjects = &subjects;
+                let sig = &sig;
+                let store = store.clone();
+                let memo = memo.clone();
+                s.spawn(move || {
+                    let mut rw = Rewriter::with_store(spec, StoreHandle::new(store));
+                    rw.set_shared_memo(memo);
+                    let mut fired = Vec::new();
+                    for (k, subject) in
+                        subjects.iter().enumerate().skip(w).step_by(workers)
+                    {
+                        let r1 = match try_rule(&mut rw, e1, subject) {
+                            Ok(r) => r,
+                            Err(e) => return (fired, Some(GroundStop::Error(k, e))),
+                        };
+                        let r2 = match try_rule(&mut rw, e2, subject) {
+                            Ok(r) => r,
+                            Err(e) => return (fired, Some(GroundStop::Error(k, e))),
+                        };
+                        if let (Some(v1), Some(v2)) = (r1, r2) {
+                            fired.push(k);
+                            if v1 != v2 {
+                                let msg = disagreement(sig, &v1, &v2, subject);
+                                return (fired, Some(GroundStop::Disagree(k, msg)));
+                            }
+                        }
+                    }
+                    (fired, None)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // A worker only skips instances *after* its own first stop event, and
+    // the serial loop never looks past the globally earliest stop, so every
+    // instance up to that point has a verdict. Replay in serial order.
+    let stop = results
+        .iter()
+        .filter_map(|(_, s)| s.as_ref())
+        .min_by_key(|s| match s {
+            GroundStop::Disagree(k, _) | GroundStop::Error(k, _) => *k,
+        });
+    match stop {
+        Some(GroundStop::Error(_, e)) => Err(e.clone()),
+        Some(GroundStop::Disagree(stop_idx, msg)) => {
+            let both_fired = results
+                .iter()
+                .flat_map(|(fired, _)| fired.iter())
+                .filter(|&&k| k <= *stop_idx)
+                .count();
+            Ok((both_fired, Some(msg.clone())))
+        }
+        None => {
+            let both_fired = results.iter().map(|(fired, _)| fired.len()).sum();
+            Ok((both_fired, None))
+        }
+    }
+}
+
+fn disagreement(sig: &crate::signature::AlgSignature, v1: &Term, v2: &Term, subject: &Term) -> String {
+    format!(
+        "{} vs {} at {}",
+        term_str(sig, v1),
+        term_str(sig, v2),
+        term_str(sig, subject)
+    )
+}
+
 /// If the equation fires on the ground subject, the normal form of its
 /// reduct; `None` if it does not match or its condition fails.
-fn try_rule(
-    rw: &mut Rewriter<'_>,
+fn try_rule<S: Interner>(
+    rw: &mut Rewriter<'_, S>,
     eq: &ConditionalEquation,
     subject: &Term,
 ) -> Result<Option<Term>> {
@@ -198,7 +515,7 @@ fn try_rule(
     Ok(Some(rw.normalize(&reduct)?))
 }
 
-fn eval_ground_condition(rw: &mut Rewriter<'_>, cond: &Formula) -> Result<bool> {
+fn eval_ground_condition<S: Interner>(rw: &mut Rewriter<'_, S>, cond: &Formula) -> Result<bool> {
     Ok(match cond {
         Formula::True => true,
         Formula::False => false,

@@ -7,7 +7,9 @@
 //! the update functions (§4.2). This module enumerates `T` up to a step
 //! bound and checks properties over it.
 
-use eclectic_kernel::{Interner, TermId};
+use std::sync::Arc;
+
+use eclectic_kernel::{FxHashMap, Interner, TermId};
 use eclectic_logic::{SortId, Term};
 
 use crate::error::{AlgError, Result};
@@ -258,6 +260,82 @@ pub fn state_terms(sig: &AlgSignature, max_steps: usize) -> Result<Vec<Term>> {
         .collect())
 }
 
+/// A cached ground-instance enumeration for one (signature, depth) pair:
+/// the bounded-depth state terms plus the parameter tuples of every query
+/// and update, each enumerated exactly once. The completeness, confluence
+/// and induction sweeps all iterate the same product of instances; sharing
+/// one `GroundSpace` removes their per-call re-enumeration and gives the
+/// parallel sweeps an immutable, `Sync` work list to chunk over.
+#[derive(Debug, Clone)]
+pub struct GroundSpace {
+    depth: usize,
+    levels: Vec<Vec<Term>>,
+    states: Vec<Term>,
+    tuples: FxHashMap<Vec<SortId>, Arc<Vec<Vec<Term>>>>,
+}
+
+impl GroundSpace {
+    /// Enumerates the space: state terms up to `depth` update applications
+    /// plus the parameter tuples of every declared query and update.
+    ///
+    /// # Errors
+    /// See [`state_terms_by_depth`] and [`param_tuples`].
+    pub fn new(sig: &AlgSignature, depth: usize) -> Result<Self> {
+        let levels = state_terms_by_depth(sig, depth)?;
+        let states = levels.iter().flatten().cloned().collect();
+        let mut tuples: FxHashMap<Vec<SortId>, Arc<Vec<Vec<Term>>>> = FxHashMap::default();
+        let mut sort_lists: Vec<Vec<SortId>> = Vec::new();
+        for q in sig.queries() {
+            sort_lists.push(sig.query_params(q)?);
+        }
+        for u in sig.updates() {
+            sort_lists.push(sig.update_params(u)?);
+        }
+        for sorts in sort_lists {
+            if let std::collections::hash_map::Entry::Vacant(e) = tuples.entry(sorts) {
+                let t = Arc::new(param_tuples(sig, e.key())?);
+                e.insert(t);
+            }
+        }
+        Ok(GroundSpace {
+            depth,
+            levels,
+            states,
+            tuples,
+        })
+    }
+
+    /// The step bound the state terms were enumerated to.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// State terms grouped by update count (as [`state_terms_by_depth`]).
+    #[must_use]
+    pub fn levels(&self) -> &[Vec<Term>] {
+        &self.levels
+    }
+
+    /// All state terms, flattened in depth order (as [`state_terms`]).
+    #[must_use]
+    pub fn states(&self) -> &[Term] {
+        &self.states
+    }
+
+    /// The parameter tuples over a sort list — cached when the list belongs
+    /// to a declared query or update, freshly enumerated otherwise.
+    ///
+    /// # Errors
+    /// See [`param_tuples`].
+    pub fn tuples(&self, sig: &AlgSignature, sorts: &[SortId]) -> Result<Arc<Vec<Vec<Term>>>> {
+        if let Some(t) = self.tuples.get(sorts) {
+            return Ok(t.clone());
+        }
+        Ok(Arc::new(param_tuples(sig, sorts)?))
+    }
+}
+
 /// Counterexample returned by [`check_invariant`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Counterexample {
@@ -283,14 +361,31 @@ pub fn check_invariant<F>(
 where
     F: FnMut(&mut Rewriter<'_>, &Term) -> Result<bool>,
 {
+    let space = GroundSpace::new(spec.signature(), max_steps)?;
+    check_invariant_in(spec, &space, &mut property)
+}
+
+/// As [`check_invariant`], over a pre-enumerated [`GroundSpace`] — callers
+/// running several sweeps at the same depth share one enumeration.
+///
+/// # Errors
+/// Propagates property/evaluation errors.
+pub fn check_invariant_in<F>(
+    spec: &AlgSpec,
+    space: &GroundSpace,
+    mut property: F,
+) -> Result<Option<Counterexample>>
+where
+    F: FnMut(&mut Rewriter<'_>, &Term) -> Result<bool>,
+{
     let mut rw = Rewriter::new(spec);
-    for (steps, level) in state_terms_by_depth(spec.signature(), max_steps)?
-        .into_iter()
-        .enumerate()
-    {
+    for (steps, level) in space.levels().iter().enumerate() {
         for t in level {
-            if !property(&mut rw, &t)? {
-                return Ok(Some(Counterexample { state: t, steps }));
+            if !property(&mut rw, t)? {
+                return Ok(Some(Counterexample {
+                    state: t.clone(),
+                    steps,
+                }));
             }
         }
     }

@@ -97,6 +97,9 @@ pub struct RewriteStats {
     pub steps: usize,
     /// Normal forms served from the cache.
     pub cache_hits: usize,
+    /// Normal forms computed because neither the local nor the shared memo
+    /// had them.
+    pub cache_misses: usize,
     /// Conditions evaluated.
     pub conditions: usize,
 }
@@ -353,6 +356,7 @@ impl<'a, S: Interner> Rewriter<'a, S> {
                 return Ok(hit);
             }
         }
+        self.stats.cache_misses += 1;
         let out = self.norm_uncached(t)?;
         self.memo.insert(t, out);
         if let Some(shared) = &self.shared_memo {

@@ -26,7 +26,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use eclectic_algebraic::{induction, observe, AlgSpec, LegacyRewriter, Rewriter};
+use eclectic_algebraic::{induction, observe, AlgSpec, LegacyRewriter, RewriteStats, Rewriter};
 use eclectic_bench::Runner;
 use eclectic_kernel::{FxHashMap, TermId};
 use eclectic_logic::{Domains, Signature, Term};
@@ -46,7 +46,7 @@ fn explore_pre_refactor(
     info_sig: &Arc<Signature>,
     domains: &Arc<Domains>,
     limits: AlgExploreLimits,
-) -> AlgebraicExploration {
+) -> (AlgebraicExploration, RewriteStats) {
     let bridge = ParamBridge::new(spec.signature(), info_sig, domains).unwrap();
     let mut rw = Rewriter::new(spec);
     let keys = observe::ObsKeys::new(&mut rw).unwrap();
@@ -125,13 +125,17 @@ fn explore_pre_refactor(
             }
         }
     }
-    AlgebraicExploration {
-        universe,
-        witnesses,
-        depth,
-        truncated,
-        abstraction_collision,
-    }
+    let stats = rw.stats();
+    (
+        AlgebraicExploration {
+            universe,
+            witnesses,
+            depth,
+            truncated,
+            abstraction_collision,
+        },
+        stats,
+    )
 }
 
 /// The same observational-quotient exploration on the legacy tree-cloning
@@ -292,6 +296,15 @@ fn main() {
         .median_ns;
     rl.finish();
 
+    // Rewrite-memo counters from one untimed serial exploration.
+    let (_, memo) = explore_pre_refactor(
+        &spec.functions,
+        &spec.interp_i,
+        spec.info_signature(),
+        &spec.info_domains,
+        limits,
+    );
+
     let mut r = Runner::new("reach_parallel").sample_size(10);
     let pre_refactor = r
         .bench("explore/pre_refactor_serial", || {
@@ -302,6 +315,7 @@ fn main() {
                 &spec.info_domains,
                 limits,
             )
+            .0
             .universe
             .state_count()
         })
@@ -343,8 +357,13 @@ fn main() {
         "  \"baseline\": \"legacy_tree_engine\",\n  \"baseline_median_ns\": {legacy:.0},\n"
     ));
     json.push_str(&format!(
-        "  \"pre_refactor_serial_median_ns\": {pre_refactor:.0},\n  \"rows\": [\n"
+        "  \"pre_refactor_serial_median_ns\": {pre_refactor:.0},\n"
     ));
+    json.push_str(&format!(
+        "  \"rewrite_memo\": {{\"steps\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"conditions\": {}}},\n",
+        memo.steps, memo.cache_hits, memo.cache_misses, memo.conditions
+    ));
+    json.push_str("  \"rows\": [\n");
     for (i, (threads, ns)) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"threads\": {threads}, \"median_ns\": {ns:.0}, \"speedup_vs_baseline\": {:.3}}}{}\n",

@@ -3,8 +3,9 @@
 //! cross-formalism testing.
 
 use eclectic_refine::{
-    check_equations, check_refinement_1_2, check_valid_reachable, cross_check, random_ops,
-    CrossCheckStats, FullReport, InducedAlgebra, Mismatch, Refine12Config,
+    check_dynamic, check_equations, check_refinement_1_2, check_valid_reachable, cross_check,
+    random_ops, CrossCheckStats, DynamicReport, FullReport, InducedAlgebra, Mismatch,
+    Refine12Config,
 };
 use eclectic_rpr::wgrammar;
 
@@ -27,6 +28,9 @@ pub struct VerifyConfig {
     pub random_traces: usize,
     /// Length of each random trace.
     pub trace_len: usize,
+    /// State cap for the dynamic-logic (PDL) obligations over the
+    /// representation universe; larger universes are gracefully skipped.
+    pub pdl_universe_cap: usize,
 }
 
 impl VerifyConfig {
@@ -40,22 +44,21 @@ impl VerifyConfig {
             candidate_cap: 100_000,
             random_traces: 5,
             trace_len: 12,
+            pdl_universe_cap: 1_024,
         }
     }
 
     /// Thorough bounds for integration tests and experiment regeneration.
     #[must_use]
     pub fn thorough() -> Self {
-        let mut refine12 = Refine12Config::quick();
-        refine12.limits.max_depth = 10;
-        refine12.completeness_depth = 3;
         VerifyConfig {
-            refine12,
+            refine12: Refine12Config::thorough(),
             eq_depth: 4,
             eq_max_states: 5_000,
             candidate_cap: 1_000_000,
             random_traces: 20,
             trace_len: 30,
+            pdl_universe_cap: 1 << 16,
         }
     }
 }
@@ -73,13 +76,19 @@ pub struct VerificationOutcome {
     pub cross_mismatch: Option<Mismatch>,
     /// Volume of the cross-formalism testing performed.
     pub cross_stats: CrossCheckStats,
+    /// The dynamic-logic (PDL) obligations over the representation
+    /// universe, batch-model-checked with a shared denotation cache.
+    pub dynamic: DynamicReport,
 }
 
 impl VerificationOutcome {
     /// Whether everything holds.
     #[must_use]
     pub fn is_correct(&self) -> bool {
-        self.grammar_ok && self.report.is_correct() && self.cross_mismatch.is_none()
+        self.grammar_ok
+            && self.report.is_correct()
+            && self.cross_mismatch.is_none()
+            && self.dynamic.is_correct()
     }
 }
 
@@ -123,6 +132,14 @@ pub fn verify(spec: &TriLevelSpec, config: &VerifyConfig) -> Result<Verification
     )?;
     let equations = check_equations(&mut induced, config.eq_depth, config.eq_max_states, 20)?;
 
+    // §5.1.2/§5.3 dynamic-logic obligations over the representation
+    // universe (batched PDL model checking with one denotation cache).
+    let dynamic = check_dynamic(
+        &spec.representation,
+        &spec.empty_state(),
+        config.pdl_universe_cap,
+    )?;
+
     // Randomised cross-formalism testing.
     let initial_name = initial_update_name(spec)?;
     let mut rng_state: u64 = 0x5eed_1234_abcd_0001;
@@ -162,6 +179,7 @@ pub fn verify(spec: &TriLevelSpec, config: &VerifyConfig) -> Result<Verification
         },
         cross_mismatch,
         cross_stats,
+        dynamic,
     })
 }
 

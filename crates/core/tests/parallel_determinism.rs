@@ -3,8 +3,12 @@
 //! and the parallel RPR reachability must reproduce the serial results
 //! bit-for-bit at every thread count.
 
+use eclectic_algebraic::{
+    completeness, confluence, parse_equations, AlgSignature, AlgSpec,
+};
 use eclectic_refine::{
-    cross_check_threads, explore_algebraic_threads, random_ops, AlgExploreLimits, InducedAlgebra,
+    check_dynamic_threads, cross_check_threads, explore_algebraic_threads, random_ops,
+    AlgExploreLimits, InducedAlgebra,
 };
 use eclectic_spec::domains::{bank, courses, library};
 use eclectic_spec::TriLevelSpec;
@@ -155,6 +159,193 @@ fn parallel_cross_check_matches_serial_on_every_domain() {
             let (m, s) = cross_check_threads(&spec.functions, &mut ind, &ops, threads).unwrap();
             assert_eq!(m, m1, "{name}: mismatch report at {threads} threads");
             assert_eq!(s, s1, "{name}: stats at {threads} threads");
+        }
+    }
+}
+
+/// Syntactically covered but semantically incomplete: `offer` on a
+/// different course has no equation, so those ground instances get stuck.
+fn stuck_spec() -> AlgSpec {
+    let mut a = AlgSignature::new().unwrap();
+    let course = a.add_param_sort("course", &["db", "ai"]).unwrap();
+    a.add_query("offered", &[course], None).unwrap();
+    a.add_update("initiate", &[], false).unwrap();
+    a.add_update("offer", &[course], true).unwrap();
+    a.add_update("cancel", &[course], true).unwrap();
+    a.add_param_var("c", course).unwrap();
+    a.add_param_var("c'", course).unwrap();
+    let eqs = parse_equations(
+        &mut a,
+        &[
+            ("eq1", "offered(c, initiate) = False"),
+            ("eq3", "offered(c, offer(c, U)) = True"),
+            ("eq6", "offered(c, cancel(c, U)) = False"),
+            ("eq7", "c != c' ==> offered(c, cancel(c', U)) = offered(c, U)"),
+        ],
+    )
+    .unwrap();
+    AlgSpec::new(a, eqs).unwrap()
+}
+
+/// Two rules that genuinely disagree on ground instances.
+fn conflicting_spec() -> AlgSpec {
+    let mut a = AlgSignature::new().unwrap();
+    let course = a.add_param_sort("course", &["db"]).unwrap();
+    a.add_query("offered", &[course], None).unwrap();
+    a.add_update("initiate", &[], false).unwrap();
+    a.add_update("offer", &[course], true).unwrap();
+    a.add_param_var("c", course).unwrap();
+    let eqs = parse_equations(
+        &mut a,
+        &[
+            ("good", "offered(c, offer(c, U)) = True"),
+            ("evil", "offered(c, offer(c, U)) = False"),
+            ("base", "offered(c, initiate) = False"),
+        ],
+    )
+    .unwrap();
+    AlgSpec::new(a, eqs).unwrap()
+}
+
+/// A single catch-all equation: no two left-hand sides overlap.
+fn overlap_free_spec() -> AlgSpec {
+    let mut a = AlgSignature::new().unwrap();
+    let course = a.add_param_sort("course", &["db", "ai"]).unwrap();
+    a.add_query("offered", &[course], None).unwrap();
+    a.add_update("initiate", &[], false).unwrap();
+    a.add_update("offer", &[course], true).unwrap();
+    a.add_param_var("c", course).unwrap();
+    let eqs = parse_equations(&mut a, &[("all", "offered(c, U) = False")]).unwrap();
+    AlgSpec::new(a, eqs).unwrap()
+}
+
+#[test]
+fn parallel_confluence_matches_serial_on_every_domain() {
+    for (name, spec, _) in domains() {
+        let alg = &spec.functions;
+        let serial = confluence::critical_overlaps_threads(alg, 1).unwrap();
+        for threads in THREADS {
+            let par = confluence::critical_overlaps_threads(alg, threads).unwrap();
+            assert_eq!(par, serial, "{name}: overlap report at {threads} threads");
+        }
+        for o in &serial {
+            let e1 = alg.equation(&o.first).unwrap();
+            let e2 = alg.equation(&o.second).unwrap();
+            let r1 = confluence::resolve_overlap_on_ground_threads(alg, e1, e2, 2, 1).unwrap();
+            for threads in THREADS {
+                let r = confluence::resolve_overlap_on_ground_threads(alg, e1, e2, 2, threads)
+                    .unwrap();
+                assert_eq!(
+                    r, r1,
+                    "{name}: {}/{} ground resolution at {threads} threads",
+                    o.first, o.second
+                );
+            }
+        }
+
+        // Pair-level parallelism: the whole overlap list resolved against a
+        // shared ground space, workers striding over pairs.
+        let space = eclectic_algebraic::induction::GroundSpace::new(alg.signature(), 2).unwrap();
+        let pairs: Vec<_> = serial
+            .iter()
+            .map(|o| {
+                (
+                    alg.equation(&o.first).unwrap(),
+                    alg.equation(&o.second).unwrap(),
+                )
+            })
+            .collect();
+        let batch1 = confluence::resolve_overlaps_in(alg, &space, &pairs, 1).unwrap();
+        for threads in THREADS {
+            let batch = confluence::resolve_overlaps_in(alg, &space, &pairs, threads).unwrap();
+            assert_eq!(batch, batch1, "{name}: pair batch at {threads} threads");
+        }
+        // And it agrees with the one-pair-at-a-time entry point.
+        for (pair, r) in pairs.iter().zip(&batch1) {
+            let single =
+                confluence::resolve_overlap_in(alg, &space, pair.0, pair.1, 1).unwrap();
+            assert_eq!(&single, r, "{name}: batch vs single-pair resolution");
+        }
+    }
+}
+
+#[test]
+fn parallel_confluence_edge_specs_match_serial() {
+    // No overlaps at all: every thread count agrees on the empty report.
+    let empty = overlap_free_spec();
+    for threads in [1, 2, 4, 8] {
+        assert!(confluence::critical_overlaps_threads(&empty, threads)
+            .unwrap()
+            .is_empty());
+    }
+
+    // A genuine disagreement: the stop event (fired count + rendering) must
+    // be bit-identical at every thread count.
+    let bad = conflicting_spec();
+    let e1 = bad.equation("good").unwrap();
+    let e2 = bad.equation("evil").unwrap();
+    let serial = confluence::resolve_overlap_on_ground_threads(&bad, e1, e2, 2, 1).unwrap();
+    assert!(serial.1.is_some());
+    for threads in THREADS {
+        let par = confluence::resolve_overlap_on_ground_threads(&bad, e1, e2, 2, threads).unwrap();
+        assert_eq!(par, serial, "disagreement at {threads} threads");
+    }
+}
+
+#[test]
+fn parallel_completeness_matches_serial_on_every_domain() {
+    for (name, spec, _) in domains() {
+        let serial = completeness::exhaustive_threads(&spec.functions, 3, 20, 1).unwrap();
+        assert!(serial.is_sufficiently_complete(), "{name}");
+        for threads in THREADS {
+            let par = completeness::exhaustive_threads(&spec.functions, 3, 20, threads).unwrap();
+            assert_eq!(par, serial, "{name}: completeness report at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn parallel_completeness_early_stop_matches_serial() {
+    // The stuck spec trips the failure cap; the replay must stop at the
+    // same instance (same `stuck` prefix, same `evaluated`) as serial.
+    let spec = stuck_spec();
+    for max_failures in [1, 3, 50] {
+        let serial = completeness::exhaustive_threads(&spec, 3, max_failures, 1).unwrap();
+        assert!(!serial.is_sufficiently_complete());
+        for threads in THREADS {
+            let par = completeness::exhaustive_threads(&spec, 3, max_failures, threads).unwrap();
+            assert_eq!(
+                par, serial,
+                "stuck spec, cap {max_failures}, {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_pdl_batch_obligations_match_serial_on_every_domain() {
+    // The dynamic-logic obligations run through the batched PDL model
+    // checker; verdicts must not depend on the worker count. (The bank
+    // universe exceeds the cap and exercises the graceful-skip path.)
+    for (name, spec, _) in domains() {
+        let serial =
+            check_dynamic_threads(&spec.representation, &spec.empty_state(), 1_024, 1).unwrap();
+        assert!(serial.is_correct(), "{name}: {:?}", serial.failures);
+        for threads in THREADS {
+            let par =
+                check_dynamic_threads(&spec.representation, &spec.empty_state(), 1_024, threads)
+                    .unwrap();
+            assert_eq!(par.failures, serial.failures, "{name} at {threads} threads");
+            assert_eq!(par.checked, serial.checked, "{name} at {threads} threads");
+            assert_eq!(
+                par.universe_states, serial.universe_states,
+                "{name} at {threads} threads"
+            );
+            assert_eq!(
+                par.unchecked_procs, serial.unchecked_procs,
+                "{name} at {threads} threads"
+            );
+            assert_eq!(par.skipped, serial.skipped, "{name} at {threads} threads");
         }
     }
 }

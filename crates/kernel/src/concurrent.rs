@@ -479,6 +479,19 @@ pub fn env_threads() -> usize {
     }
 }
 
+/// Caps a requested worker count at the host's available parallelism.
+///
+/// Every parallel sweep in this workspace is bit-identical across worker
+/// counts (the merges replay serial order), so shrinking the worker pool
+/// can never change a result — it only avoids oversubscription: extra
+/// workers on a saturated host add spawn cost and split the per-worker
+/// memo for zero concurrency.
+#[must_use]
+pub fn effective_workers(requested: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    requested.min(cores).max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

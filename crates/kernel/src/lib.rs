@@ -26,7 +26,9 @@ pub mod hash;
 mod ids;
 mod store;
 
-pub use concurrent::{env_threads, ConcurrentTermStore, SharedMemo, StoreHandle};
+pub use concurrent::{
+    effective_workers, env_threads, ConcurrentTermStore, SharedMemo, StoreHandle,
+};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{FuncId, PredId, SortId, VarId};
 pub use store::{Binding, Interner, SortError, SortOracle, TermId, TermNode, TermStore};

@@ -7,7 +7,7 @@ use crate::symbols::VarId;
 
 /// A (partial) assignment of carrier elements to variables, used when
 /// evaluating formulas with free variables.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct Valuation {
     map: BTreeMap<VarId, Elem>,
 }

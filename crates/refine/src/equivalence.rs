@@ -79,6 +79,7 @@ pub fn cross_check_threads(
     ops: &[Op],
     threads: usize,
 ) -> Result<(Option<Mismatch>, CrossCheckStats)> {
+    let threads = eclectic_kernel::effective_workers(threads);
     if threads <= 1 {
         cross_check_serial(ind, ops, Rewriter::new(spec))
     } else {

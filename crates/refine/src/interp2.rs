@@ -458,6 +458,7 @@ impl<'a> InducedAlgebra<'a> {
         max_states: usize,
         threads: usize,
     ) -> Result<(Vec<DbState>, bool)> {
+        let threads = eclectic_kernel::effective_workers(threads);
         let alg = self.spec.signature().clone();
         let mut initial = Vec::new();
         for u in alg.updates() {

@@ -41,7 +41,10 @@ pub use interp2::{
     check_equations, EquationCheckReport, EquationFailure, IndValue, InducedAlgebra,
     InterpretationK, QueryImpl,
 };
-pub use obligations::{check_refinement_1_2, Refine12Config, Refine12Report, StateViolation};
+pub use obligations::{
+    check_dynamic, check_dynamic_threads, check_refinement_1_2, DynamicFailure, DynamicReport,
+    Refine12Config, Refine12Report, StateViolation,
+};
 pub use reach::{
     explore_algebraic, explore_algebraic_threads, structure_of, structure_of_id, AlgExploreLimits,
     AlgebraicExploration,

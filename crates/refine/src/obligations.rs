@@ -8,7 +8,9 @@
 use std::sync::Arc;
 
 use eclectic_algebraic::{completeness, termination, AlgSpec};
-use eclectic_logic::{Domains, Signature, Theory};
+use eclectic_logic::{Domains, Elem, Formula, Signature, Theory, Valuation};
+use eclectic_rpr::pdl::Pdl;
+use eclectic_rpr::{denote, pdl, DbState, DenoteCache, FiniteUniverse, RprError, Schema, Stmt};
 use eclectic_temporal::{constraints, satisfaction, AccessibilityPolicy, StateIdx};
 
 use crate::error::Result;
@@ -46,6 +48,20 @@ impl Refine12Config {
             limits: AlgExploreLimits::default(),
             policy: AccessibilityPolicy::AsIs,
             completeness_depth: 3,
+        }
+    }
+
+    /// Thorough bounds: exploration depth 10, otherwise as [`quick`].
+    ///
+    /// [`quick`]: Refine12Config::quick
+    #[must_use]
+    pub fn thorough() -> Self {
+        Refine12Config {
+            limits: AlgExploreLimits {
+                max_depth: 10,
+                ..AlgExploreLimits::default()
+            },
+            ..Refine12Config::quick()
         }
     }
 }
@@ -135,6 +151,234 @@ pub fn check_refinement_1_2(
         transition_violations,
         exploration,
     })
+}
+
+/// One failed dynamic-logic contract: a procedure application whose
+/// denotation is not a total function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynamicFailure {
+    /// Procedure name.
+    pub proc: String,
+    /// The concrete parameter values.
+    pub args: Vec<Elem>,
+    /// What went wrong (`not total` / `not functional`).
+    pub reason: String,
+}
+
+/// Outcome of the §5.1.2/§5.3 dynamic-logic obligations: every
+/// deterministic while-free procedure body denotes a *total function* on
+/// the universe — totality is the PDL validity of `⟨body⟩True`, checked
+/// through the batched model checker; functionality is read off the cached
+/// denotation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DynamicReport {
+    /// Contract violations found.
+    pub failures: Vec<DynamicFailure>,
+    /// (proc, args) applications checked.
+    pub checked: usize,
+    /// Size of the enumerated universe (0 when skipped).
+    pub universe_states: usize,
+    /// Procedures outside the contract's fragment (nondeterministic or
+    /// containing `while`), listed by name and left unchecked.
+    pub unchecked_procs: Vec<String>,
+    /// Set when the universe exceeded the cap and the check was skipped.
+    pub skipped: Option<String>,
+    /// Denotation-cache counters for the run (one shared cache; every
+    /// functionality read reuses the totality phase's denotation).
+    pub cache_stats: eclectic_rpr::CacheStats,
+}
+
+impl DynamicReport {
+    /// Whether every checked contract holds.
+    #[must_use]
+    pub fn is_correct(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Checks the dynamic-logic obligations over the representation schema,
+/// using `ECLECTIC_THREADS` workers (see [`eclectic_kernel::env_threads`])
+/// for the denotation phase.
+///
+/// # Errors
+/// Propagates enumeration/evaluation errors (a universe over `cap` is a
+/// graceful skip, not an error).
+pub fn check_dynamic(schema: &Schema, template: &DbState, cap: usize) -> Result<DynamicReport> {
+    check_dynamic_threads(schema, template, cap, eclectic_kernel::env_threads())
+}
+
+/// As [`check_dynamic`] with an explicit worker count.
+///
+/// # Errors
+/// See [`check_dynamic`].
+pub fn check_dynamic_threads(
+    schema: &Schema,
+    template: &DbState,
+    cap: usize,
+    threads: usize,
+) -> Result<DynamicReport> {
+    let u = match FiniteUniverse::enumerate(template, schema.relations(), &[], cap) {
+        Ok(u) => u,
+        Err(RprError::UniverseTooLarge { required, cap }) => {
+            return Ok(DynamicReport {
+                skipped: Some(format!(
+                    "universe of {required} states exceeds the cap of {cap}"
+                )),
+                ..DynamicReport::default()
+            });
+        }
+        Err(e) => return Err(e.into()),
+    };
+
+    let threads = eclectic_kernel::effective_workers(threads);
+    let sig = u.signature().clone();
+    let domains = u.domains().clone();
+    let mut report = DynamicReport {
+        universe_states: u.len(),
+        ..DynamicReport::default()
+    };
+
+    // Flatten the (procedure, argument-tuple) applications in serial order.
+    let mut apps: Vec<(&eclectic_rpr::ProcDecl, Vec<Elem>, Valuation)> = Vec::new();
+    for proc in schema.procs() {
+        if !proc.body.is_deterministic() || !while_free(&proc.body) {
+            report.unchecked_procs.push(proc.name.clone());
+            continue;
+        }
+        for args in arg_tuples(&sig, &domains, &proc.params) {
+            let mut env = Valuation::new();
+            for (&param, &value) in proc.params.iter().zip(&args) {
+                env.set(param, value);
+            }
+            apps.push((proc, args, env));
+        }
+    }
+    report.checked = apps.len();
+
+    if threads <= 1 || apps.len() < 2 {
+        let mut cache = DenoteCache::new();
+        for (proc, args, env) in &apps {
+            report
+                .failures
+                .extend(check_application(&u, proc, args, env, &mut cache)?);
+        }
+        report.cache_stats = cache.stats();
+        return Ok(report);
+    }
+
+    // Workers stride over the applications, each with its own denotation
+    // cache (the environment differs between applications, so cross-
+    // application sharing is marginal; within one application the totality
+    // and functionality reads share the body's denotation). The merge walks
+    // the applications in serial order, so the failure list is bit-identical
+    // at every worker count; the cache counters are per-worker sums and are
+    // not.
+    let workers = threads.min(apps.len());
+    type AppOutcome = Result<(Vec<(usize, Vec<DynamicFailure>)>, eclectic_rpr::CacheStats)>;
+    let results: Vec<AppOutcome> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let apps = &apps;
+                let u = &u;
+                s.spawn(move || {
+                    let mut cache = DenoteCache::new();
+                    let mut out = Vec::new();
+                    for (k, (proc, args, env)) in
+                        apps.iter().enumerate().skip(w).step_by(workers)
+                    {
+                        out.push((k, check_application(u, proc, args, env, &mut cache)?));
+                    }
+                    Ok((out, cache.stats()))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut slots: Vec<Option<Vec<DynamicFailure>>> = vec![None; apps.len()];
+    for r in results {
+        let (outcomes, stats) = r?;
+        report.cache_stats.computed += stats.computed;
+        report.cache_stats.hits += stats.hits;
+        for (k, failures) in outcomes {
+            slots[k] = Some(failures);
+        }
+    }
+    for slot in slots {
+        report.failures.extend(slot.expect("every application checked"));
+    }
+    Ok(report)
+}
+
+/// Checks one procedure application's contracts: totality is the PDL
+/// validity of `⟨body⟩True` through the batched model checker;
+/// functionality is read off the (now cached) denotation.
+fn check_application(
+    u: &FiniteUniverse,
+    proc: &eclectic_rpr::ProcDecl,
+    args: &[Elem],
+    env: &Valuation,
+    cache: &mut DenoteCache,
+) -> Result<Vec<DynamicFailure>> {
+    let mut failures = Vec::new();
+    let total = Pdl::after_some(proc.body.clone(), Pdl::Atom(Formula::True));
+    let batch = pdl::check_batch_with(std::slice::from_ref(&total), u, env, cache, 1)?;
+    if !batch.valid[0] {
+        failures.push(DynamicFailure {
+            proc: proc.name.clone(),
+            args: args.to_vec(),
+            reason: "not total: some state has no successor".into(),
+        });
+    }
+    // The totality phase cached m(body); this lookup is free.
+    let m = denote::meaning_cached(u, &proc.body, env, cache)?;
+    if !m.is_functional() {
+        failures.push(DynamicFailure {
+            proc: proc.name.clone(),
+            args: args.to_vec(),
+            reason: "not functional: some state has two successors".into(),
+        });
+    }
+    Ok(failures)
+}
+
+/// Whether a statement contains no `while` loop (the fragment whose
+/// deterministic members denote total functions).
+fn while_free(s: &Stmt) -> bool {
+    match s {
+        Stmt::While(..) => false,
+        Stmt::Seq(p, q) | Stmt::Union(p, q) => while_free(p) && while_free(q),
+        Stmt::IfThenElse(_, p, q) => while_free(p) && while_free(q),
+        Stmt::IfThen(_, p) | Stmt::Star(p) => while_free(p),
+        Stmt::Assign(..)
+        | Stmt::RelAssign(..)
+        | Stmt::Test(_)
+        | Stmt::Insert(..)
+        | Stmt::Delete(..)
+        | Stmt::Skip => true,
+    }
+}
+
+/// All argument tuples over the parameter sorts (cartesian product).
+fn arg_tuples(
+    sig: &Signature,
+    domains: &Domains,
+    params: &[eclectic_logic::VarId],
+) -> Vec<Vec<Elem>> {
+    let mut out = vec![Vec::new()];
+    for &p in params {
+        let elems: Vec<Elem> = domains.elems(sig.var(p).sort).collect();
+        let mut next = Vec::with_capacity(out.len() * elems.len().max(1));
+        for prefix in &out {
+            for &e in &elems {
+                let mut t = prefix.clone();
+                t.push(e);
+                next.push(t);
+            }
+        }
+        out = next;
+    }
+    out
 }
 
 /// The consistent states of the explored universe (models of the static

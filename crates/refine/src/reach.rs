@@ -106,6 +106,7 @@ pub fn explore_algebraic_threads(
     limits: AlgExploreLimits,
     threads: usize,
 ) -> Result<AlgebraicExploration> {
+    let threads = eclectic_kernel::effective_workers(threads);
     if threads <= 1 {
         explore_serial(spec, interp, info_sig, domains, limits, Rewriter::new(spec))
     } else {

@@ -18,7 +18,7 @@ use crate::error::{Result, RprError};
 
 /// A relational term `{(x1, …, xn) / P}`: the set of tuples over the bound
 /// variables satisfying `P` (paper §5.1.1).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RelTerm {
     /// The tuple variables, in column order.
     pub vars: Vec<VarId>,
@@ -53,7 +53,7 @@ impl RelTerm {
 }
 
 /// An RPR statement.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Stmt {
     /// `x := t` — scalar program variable assignment (`x` is a distinguished
     /// constant; `t` may mention only parameter variables).
@@ -106,6 +106,51 @@ impl Stmt {
     #[must_use]
     pub fn guarded_by(self, cond: Formula) -> Stmt {
         Stmt::IfThen(cond, Box::new(self))
+    }
+
+    /// The free (parameter) variables the statement's meaning depends on:
+    /// variables of scalar-assignment terms and insert/delete argument
+    /// tuples, free variables of test/guard formulas, and relational-term
+    /// wff variables minus the tuple variables they bind.
+    #[must_use]
+    pub fn free_vars(&self) -> BTreeSet<VarId> {
+        let mut out = BTreeSet::new();
+        self.collect_free_vars(&mut out);
+        out
+    }
+
+    fn collect_free_vars(&self, out: &mut BTreeSet<VarId>) {
+        match self {
+            Stmt::Skip => {}
+            Stmt::Assign(_, t) => out.extend(t.vars()),
+            Stmt::RelAssign(_, rt) => {
+                for v in rt.wff.free_vars() {
+                    if !rt.vars.contains(&v) {
+                        out.insert(v);
+                    }
+                }
+            }
+            Stmt::Test(f) => out.extend(f.free_vars()),
+            Stmt::Insert(_, ts) | Stmt::Delete(_, ts) => {
+                for t in ts {
+                    out.extend(t.vars());
+                }
+            }
+            Stmt::Union(p, q) | Stmt::Seq(p, q) => {
+                p.collect_free_vars(out);
+                q.collect_free_vars(out);
+            }
+            Stmt::Star(p) => p.collect_free_vars(out),
+            Stmt::IfThen(c, p) | Stmt::While(c, p) => {
+                out.extend(c.free_vars());
+                p.collect_free_vars(out);
+            }
+            Stmt::IfThenElse(c, p, q) => {
+                out.extend(c.free_vars());
+                p.collect_free_vars(out);
+                q.collect_free_vars(out);
+            }
+        }
     }
 
     /// Whether the statement is *deterministic* in the paper's sense:

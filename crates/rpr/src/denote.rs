@@ -15,6 +15,7 @@
 //! environment [`Valuation`]. Derived constructs are interpreted through
 //! their definitions.
 
+use eclectic_logic::kernel::FxHashMap;
 use eclectic_logic::{eval, Elem, Valuation};
 
 use crate::ast::Stmt;
@@ -22,6 +23,171 @@ use crate::binrel::BinRel;
 use crate::error::{Result, RprError};
 use crate::schema::Schema;
 use crate::universe::FiniteUniverse;
+
+/// Hit/computed counters for a [`DenoteCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Denotations computed from scratch (one per distinct `(stmt, env)`).
+    pub computed: usize,
+    /// Lookups served from the cache.
+    pub hits: usize,
+}
+
+/// A memo of program denotations over one [`FiniteUniverse`], keyed by the
+/// statement's structural hash plus the parameter environment *restricted
+/// to the statement's free variables* (the meaning of a statement depends
+/// on nothing else once the universe is fixed) — so two procedure
+/// applications differing only in parameters a sub-statement never mentions
+/// share that sub-statement's denotation. A cache must only ever be used
+/// with the universe it was first filled against; callers hold one cache
+/// per universe.
+#[derive(Debug, Clone, Default)]
+pub struct DenoteCache {
+    map: FxHashMap<Valuation, FxHashMap<Stmt, BinRel>>,
+    computed: usize,
+    hits: usize,
+}
+
+impl DenoteCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        DenoteCache::default()
+    }
+
+    /// The hit/computed counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            computed: self.computed,
+            hits: self.hits,
+        }
+    }
+
+    /// Number of cached denotations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.values().map(FxHashMap::len).sum()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether the denotation of `stmt` under `env` is cached.
+    #[must_use]
+    pub fn contains(&self, stmt: &Stmt, env: &Valuation) -> bool {
+        let key = relevant_env(stmt, env);
+        self.map.get(&key).is_some_and(|m| m.contains_key(stmt))
+    }
+
+    /// A copy holding the same entries but zeroed counters — the
+    /// worker-local starting point for a parallel batch phase, whose
+    /// counters then record only that worker's activity.
+    #[must_use]
+    pub fn clone_entries(&self) -> DenoteCache {
+        DenoteCache {
+            map: self.map.clone(),
+            computed: 0,
+            hits: 0,
+        }
+    }
+
+    /// Adopts every entry of `other` this cache does not already hold
+    /// (entries for the same key are necessarily equal — denotations are
+    /// deterministic). Newly adopted entries count as computed.
+    pub fn absorb(&mut self, other: DenoteCache) {
+        self.hits += other.hits;
+        for (env, inner) in other.map {
+            let bucket = self.map.entry(env).or_default();
+            for (stmt, rel) in inner {
+                if let std::collections::hash_map::Entry::Vacant(e) = bucket.entry(stmt) {
+                    self.computed += 1;
+                    e.insert(rel);
+                }
+            }
+        }
+    }
+}
+
+/// As [`meaning`], memoised: every sub-statement's denotation is looked up
+/// in (and recorded into) `cache`, so a program — or a batch of programs —
+/// that repeats a sub-statement under the same environment computes it once.
+///
+/// # Errors
+/// See [`meaning`].
+pub fn meaning_cached(
+    u: &FiniteUniverse,
+    stmt: &Stmt,
+    env: &Valuation,
+    cache: &mut DenoteCache,
+) -> Result<BinRel> {
+    let key = relevant_env(stmt, env);
+    if let Some(r) = cache.map.get(&key).and_then(|m| m.get(stmt)) {
+        cache.hits += 1;
+        return Ok(r.clone());
+    }
+    let out = match stmt {
+        Stmt::Skip
+        | Stmt::Assign(..)
+        | Stmt::RelAssign(..)
+        | Stmt::Test(_)
+        | Stmt::Insert(..)
+        | Stmt::Delete(..) => meaning(u, stmt, env)?,
+        Stmt::Union(p, q) => {
+            meaning_cached(u, p, env, cache)?.union(&meaning_cached(u, q, env, cache)?)
+        }
+        Stmt::Seq(p, q) => {
+            meaning_cached(u, p, env, cache)?.compose(&meaning_cached(u, q, env, cache)?)
+        }
+        Stmt::Star(p) => meaning_cached(u, p, env, cache)?.star(u.len()),
+        Stmt::IfThen(c, p) => {
+            let test = meaning_cached(u, &Stmt::Test(c.clone()), env, cache)?;
+            let ntest = meaning_cached(u, &Stmt::Test(c.clone().not()), env, cache)?;
+            test.compose(&meaning_cached(u, p, env, cache)?).union(&ntest)
+        }
+        Stmt::IfThenElse(c, p, q) => {
+            let test = meaning_cached(u, &Stmt::Test(c.clone()), env, cache)?;
+            let ntest = meaning_cached(u, &Stmt::Test(c.clone().not()), env, cache)?;
+            test.compose(&meaning_cached(u, p, env, cache)?)
+                .union(&ntest.compose(&meaning_cached(u, q, env, cache)?))
+        }
+        Stmt::While(c, p) => {
+            let test = meaning_cached(u, &Stmt::Test(c.clone()), env, cache)?;
+            let ntest = meaning_cached(u, &Stmt::Test(c.clone().not()), env, cache)?;
+            test.compose(&meaning_cached(u, p, env, cache)?)
+                .star(u.len())
+                .compose(&ntest)
+        }
+    };
+    cache.computed += 1;
+    cache
+        .map
+        .entry(key)
+        .or_default()
+        .insert(stmt.clone(), out.clone());
+    Ok(out)
+}
+
+/// The environment restricted to the variables `stmt`'s meaning can read —
+/// the cache key, so applications differing only in parameters the
+/// statement never mentions share one denotation. Sound because a
+/// statement's denotation depends only on its free variables' values (and
+/// the fixed universe).
+fn relevant_env(stmt: &Stmt, env: &Valuation) -> Valuation {
+    if env.is_empty() {
+        return Valuation::new();
+    }
+    let mut out = Valuation::new();
+    for v in stmt.free_vars() {
+        if let Some(e) = env.get(v) {
+            out.set(v, e);
+        }
+    }
+    out
+}
 
 /// Computes `m(stmt)` over the universe, with parameters bound by `env`.
 ///

@@ -7,11 +7,12 @@
 //! statements and whose atoms are first-order wffs, model-checked over a
 //! finite universe.
 
+use eclectic_logic::kernel::{effective_workers, env_threads, FxHashSet};
 use eclectic_logic::{eval, Formula, Valuation};
 
 use crate::ast::Stmt;
 use crate::binrel::BinRel;
-use crate::denote::meaning;
+use crate::denote::{meaning, meaning_cached, CacheStats, DenoteCache};
 use crate::error::Result;
 use crate::universe::FiniteUniverse;
 
@@ -136,6 +137,193 @@ pub fn valid(u: &FiniteUniverse, phi: &Pdl) -> Result<bool> {
     Ok(satisfying_states(u, phi)?.into_iter().all(|b| b))
 }
 
+/// Result of a [`check_batch`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Per input formula, the satisfying-state bit vector (as
+    /// [`satisfying_states`]).
+    pub satisfying: Vec<Vec<bool>>,
+    /// Per input formula, whether it is valid in the universe.
+    pub valid: Vec<bool>,
+    /// Denotation-cache counters after the run. Unlike `satisfying` and
+    /// `valid` — which are bit-identical at every thread count — the
+    /// counters depend on how work was split across workers.
+    pub stats: CacheStats,
+}
+
+/// Model-checks many PDL formulas in one pass over the universe, computing
+/// each distinct modality program's denotation once (`[p]φ` and `⟨q⟩ψ`
+/// duplicated across formulas share one `meaning` computation). Uses
+/// `ECLECTIC_THREADS` workers (see [`env_threads`]) for the denotation
+/// phase.
+///
+/// # Errors
+/// See [`satisfying_states`].
+pub fn check_batch(formulas: &[Pdl], u: &FiniteUniverse) -> Result<BatchReport> {
+    check_batch_threads(formulas, u, env_threads())
+}
+
+/// As [`check_batch`] with an explicit worker count.
+///
+/// # Errors
+/// See [`satisfying_states`].
+pub fn check_batch_threads(
+    formulas: &[Pdl],
+    u: &FiniteUniverse,
+    threads: usize,
+) -> Result<BatchReport> {
+    let mut cache = DenoteCache::new();
+    check_batch_with(formulas, u, &Valuation::new(), &mut cache, threads)
+}
+
+/// As [`check_batch`] against a caller-held [`DenoteCache`] and parameter
+/// environment, so many batches over the same universe share denotations
+/// (the environment is part of the cache key).
+///
+/// Phase one computes the denotation of every not-yet-cached modality
+/// program — in parallel when `threads > 1`, each distinct program on
+/// exactly one worker. Phase two walks the formulas serially against the
+/// filled cache. `satisfying`/`valid` are bit-identical at every thread
+/// count; the cache counters are not (workers that race on a shared
+/// sub-statement each compute it locally).
+///
+/// # Errors
+/// See [`satisfying_states`].
+pub fn check_batch_with(
+    formulas: &[Pdl],
+    u: &FiniteUniverse,
+    env: &Valuation,
+    cache: &mut DenoteCache,
+    threads: usize,
+) -> Result<BatchReport> {
+    let threads = effective_workers(threads);
+    let mut seen: FxHashSet<&Stmt> = FxHashSet::default();
+    let mut programs: Vec<&Stmt> = Vec::new();
+    for phi in formulas {
+        collect_programs(phi, &mut seen, &mut programs);
+    }
+    let todo: Vec<&Stmt> = programs
+        .into_iter()
+        .filter(|p| !cache.contains(p, env))
+        .collect();
+
+    if threads > 1 && todo.len() > 1 {
+        let workers = threads.min(todo.len());
+        let locals: Vec<Result<DenoteCache>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let todo = &todo;
+                    let base = &*cache;
+                    s.spawn(move || {
+                        let mut local = base.clone_entries();
+                        for prog in todo.iter().skip(w).step_by(workers) {
+                            meaning_cached(u, prog, env, &mut local)?;
+                        }
+                        Ok(local)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for local in locals {
+            cache.absorb(local?);
+        }
+    } else {
+        for prog in todo {
+            meaning_cached(u, prog, env, cache)?;
+        }
+    }
+
+    let mut satisfying = Vec::with_capacity(formulas.len());
+    let mut valid = Vec::with_capacity(formulas.len());
+    for phi in formulas {
+        let sat = satisfying_states_cached(u, phi, env, cache)?;
+        valid.push(sat.iter().all(|b| *b));
+        satisfying.push(sat);
+    }
+    Ok(BatchReport {
+        satisfying,
+        valid,
+        stats: cache.stats(),
+    })
+}
+
+/// Collects the distinct modality programs of a formula in first-occurrence
+/// order (outermost first).
+fn collect_programs<'a>(phi: &'a Pdl, seen: &mut FxHashSet<&'a Stmt>, out: &mut Vec<&'a Stmt>) {
+    match phi {
+        Pdl::Atom(_) => {}
+        Pdl::Not(p) => collect_programs(p, seen, out),
+        Pdl::And(p, q) | Pdl::Or(p, q) | Pdl::Implies(p, q) => {
+            collect_programs(p, seen, out);
+            collect_programs(q, seen, out);
+        }
+        Pdl::Box(prog, p) | Pdl::Diamond(prog, p) => {
+            if seen.insert(prog) {
+                out.push(prog);
+            }
+            collect_programs(p, seen, out);
+        }
+    }
+}
+
+/// As [`satisfying_states`] against a caller-held denotation cache and
+/// parameter environment (atoms are evaluated under `env` too, which for
+/// the empty environment coincides with the closed-formula evaluation).
+///
+/// # Errors
+/// See [`satisfying_states`].
+pub fn satisfying_states_cached(
+    u: &FiniteUniverse,
+    phi: &Pdl,
+    env: &Valuation,
+    cache: &mut DenoteCache,
+) -> Result<Vec<bool>> {
+    let n = u.len();
+    Ok(match phi {
+        Pdl::Atom(f) => {
+            let mut out = vec![false; n];
+            for (i, st) in u.states().iter().enumerate() {
+                out[i] = eval::satisfies(st.structure(), env, f)?;
+            }
+            out
+        }
+        Pdl::Not(p) => satisfying_states_cached(u, p, env, cache)?
+            .into_iter()
+            .map(|b| !b)
+            .collect(),
+        Pdl::And(p, q) => zip_with(
+            satisfying_states_cached(u, p, env, cache)?,
+            satisfying_states_cached(u, q, env, cache)?,
+            |a, b| a && b,
+        ),
+        Pdl::Or(p, q) => zip_with(
+            satisfying_states_cached(u, p, env, cache)?,
+            satisfying_states_cached(u, q, env, cache)?,
+            |a, b| a || b,
+        ),
+        Pdl::Implies(p, q) => zip_with(
+            satisfying_states_cached(u, p, env, cache)?,
+            satisfying_states_cached(u, q, env, cache)?,
+            |a, b| !a || b,
+        ),
+        Pdl::Box(prog, p) => {
+            let m = meaning_cached(u, prog, env, cache)?;
+            let inner = satisfying_states_cached(u, p, env, cache)?;
+            (0..n)
+                .map(|i| m.image(i).into_iter().all(|j| inner[j]))
+                .collect()
+        }
+        Pdl::Diamond(prog, p) => {
+            let m = meaning_cached(u, prog, env, cache)?;
+            let inner = satisfying_states_cached(u, p, env, cache)?;
+            (0..n)
+                .map(|i| m.image(i).into_iter().any(|j| inner[j]))
+                .collect()
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +380,67 @@ mod tests {
         // iterations keep it absent).
         let psi = Pdl::after_all(insert.star(), Pdl::Atom(atom));
         assert!(!valid(&u, &psi).unwrap());
+    }
+
+    #[test]
+    fn batch_computes_each_program_once() {
+        let (u, insert, atom) = setup();
+        let a = Pdl::Atom(atom);
+        let batch = vec![
+            Pdl::after_all(insert.clone(), a.clone()),
+            Pdl::after_some(insert.clone(), a.clone()),
+            Pdl::after_all(Stmt::Skip, a.clone()),
+            Pdl::after_all(insert.clone().seq(Stmt::Skip), a.clone()),
+        ];
+        let report = check_batch_threads(&batch, &u, 1).unwrap();
+        // Three distinct denotations: insert, skip, insert;skip. The
+        // duplicated `insert` modality, the seq's two children, and the
+        // phase-two lookups of the three programs hit the cache.
+        assert_eq!(report.stats.computed, 3, "{:?}", report.stats);
+        assert!(report.stats.hits >= 3, "{:?}", report.stats);
+        // Verdicts agree with the one-formula checker.
+        for (phi, (sat, v)) in batch
+            .iter()
+            .zip(report.satisfying.iter().zip(report.valid.iter()))
+        {
+            assert_eq!(*sat, satisfying_states(&u, phi).unwrap());
+            assert_eq!(*v, valid(&u, phi).unwrap());
+        }
+    }
+
+    #[test]
+    fn batch_is_thread_count_invariant() {
+        let (u, insert, atom) = setup();
+        let a = Pdl::Atom(atom);
+        let batch = vec![
+            Pdl::after_all(insert.clone(), a.clone()),
+            Pdl::after_some(insert.clone().star(), a.clone()),
+            Pdl::after_all(Stmt::Skip, a.clone().not()),
+            Pdl::after_some(insert.clone().seq(Stmt::Skip), a.clone()),
+            Pdl::after_all(insert.clone().union(Stmt::Skip), a.clone()).implies(a.clone()),
+        ];
+        let serial = check_batch_threads(&batch, &u, 1).unwrap();
+        for threads in [2, 4, 8] {
+            let par = check_batch_threads(&batch, &u, threads).unwrap();
+            assert_eq!(par.satisfying, serial.satisfying, "threads={threads}");
+            assert_eq!(par.valid, serial.valid, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn shared_cache_carries_across_batches() {
+        let (u, insert, atom) = setup();
+        let a = Pdl::Atom(atom);
+        let mut cache = DenoteCache::new();
+        let env = Valuation::new();
+        let first = vec![Pdl::after_all(insert.clone(), a.clone())];
+        check_batch_with(&first, &u, &env, &mut cache, 1).unwrap();
+        let computed_before = cache.stats().computed;
+        // Re-checking the same program is a pure cache hit.
+        let second = vec![Pdl::after_some(insert, a)];
+        check_batch_with(&second, &u, &env, &mut cache, 1).unwrap();
+        assert_eq!(cache.stats().computed, computed_before);
+        assert!(cache.stats().hits > 0);
     }
 
     #[test]

@@ -1,13 +1,15 @@
 # Task runner for the eclectic workspace (https://github.com/casey/just).
 
 # The full offline gate: release build, tests, lints with warnings denied,
-# the parallel-determinism suite in release mode, and the reachability bench.
+# the parallel-determinism suite in release mode (now covering confluence,
+# completeness and PDL-batch sweeps), and both parallel benches.
 verify:
     cargo build --release --workspace
     cargo test -q --workspace
     cargo clippy --workspace --all-targets -- -D warnings
     cargo test -q -p eclectic-spec --release --test parallel_determinism
     cargo run -p eclectic-bench --bin bench_reach_parallel --release
+    cargo run -p eclectic-bench --bin bench_verify_parallel --release
 
 # Timing benches, one target per experiment in EXPERIMENTS.md.
 bench:
@@ -20,3 +22,11 @@ harness:
 # Serial-vs-parallel reachability bench; writes BENCH_reach.json.
 bench-reach:
     cargo run -p eclectic-bench --bin bench_reach_parallel --release
+
+# Serial-vs-parallel verification sweep (confluence + completeness + dynamic
+# PDL obligations); writes BENCH_verify.json.
+bench-verify:
+    cargo run -p eclectic-bench --bin bench_verify_parallel --release
+
+# Every benchmark artifact in one shot: harness + both parallel benches.
+bench-all: harness bench-reach bench-verify

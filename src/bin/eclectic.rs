@@ -108,6 +108,18 @@ fn main() -> ExitCode {
                         if outcome.grammar_ok { "ok" } else { "FAILED" }
                     );
                     println!("{}", outcome.report);
+                    match &outcome.dynamic.skipped {
+                        Some(reason) => println!("dynamic (PDL) obligations: skipped ({reason})"),
+                        None => println!(
+                            "dynamic (PDL) obligations: {} ({} applications over {} states, {} failures, {} denotations computed / {} cache hits)",
+                            if outcome.dynamic.is_correct() { "ok" } else { "FAILED" },
+                            outcome.dynamic.checked,
+                            outcome.dynamic.universe_states,
+                            outcome.dynamic.failures.len(),
+                            outcome.dynamic.cache_stats.computed,
+                            outcome.dynamic.cache_stats.hits,
+                        ),
+                    }
                     println!(
                         "cross-level testing: {} comparisons, {}",
                         outcome.cross_stats.comparisons,
