@@ -9,7 +9,7 @@
 //! 2. an **exhaustive evaluation** pass: every ground query application over
 //!    every state term of bounded depth must normalise to a parameter name.
 
-use eclectic_kernel::{effective_workers, env_threads, Interner};
+use eclectic_kernel::{effective_workers, env_threads, Budget, BudgetExceeded, Exhaustion, Interner};
 use eclectic_logic::Term;
 
 use crate::error::{AlgError, Result};
@@ -45,6 +45,10 @@ pub struct CompletenessReport {
     pub stuck: Vec<StuckTerm>,
     /// Ground query applications evaluated.
     pub evaluated: usize,
+    /// Set when a resource budget stopped the exhaustive pass early: the
+    /// verdicts above cover the serial-order prefix of `evaluated`
+    /// instances, and nothing is known about the rest.
+    pub exhausted: Option<Exhaustion>,
 }
 
 impl CompletenessReport {
@@ -116,6 +120,24 @@ pub fn exhaustive_threads(
     exhaustive_in(spec, &space, max_failures, threads)
 }
 
+/// As [`exhaustive_threads`], governed by a resource [`Budget`]: the sweep
+/// polls the budget before every ground instance (in serial enumeration
+/// order) and, when it trips, returns the verdicts for the completed prefix
+/// with [`CompletenessReport::exhausted`] set.
+///
+/// # Errors
+/// Propagates unexpected rewriting errors.
+pub fn exhaustive_budget(
+    spec: &AlgSpec,
+    max_steps: usize,
+    max_failures: usize,
+    budget: &Budget,
+    threads: usize,
+) -> Result<CompletenessReport> {
+    let space = GroundSpace::new(spec.signature(), max_steps)?;
+    exhaustive_budget_in(spec, &space, max_failures, budget, threads)
+}
+
 /// As [`exhaustive_in`], serial, against a caller-held rewriter — so the
 /// sweep can reuse (and further warm) a normal-form memo shared with other
 /// passes over the same ground space, e.g. the confluence tie-break.
@@ -127,6 +149,22 @@ pub fn exhaustive_with<S: Interner>(
     space: &GroundSpace,
     max_failures: usize,
 ) -> Result<CompletenessReport> {
+    exhaustive_budget_with(rw, space, max_failures, &Budget::unlimited())
+}
+
+/// As [`exhaustive_with`], governed by a resource [`Budget`] polled before
+/// every ground instance. A budget-aborted normalisation inside an instance
+/// ([`AlgError::Budget`]) also stops the sweep at that instance instead of
+/// mislabelling the term as stuck.
+///
+/// # Errors
+/// Propagates unexpected rewriting errors.
+pub fn exhaustive_budget_with<S: Interner>(
+    rw: &mut Rewriter<'_, S>,
+    space: &GroundSpace,
+    max_failures: usize,
+    budget: &Budget,
+) -> Result<CompletenessReport> {
     let spec = rw.spec();
     let sig = spec.signature().clone();
     let mut report = CompletenessReport {
@@ -137,15 +175,25 @@ pub fn exhaustive_with<S: Interner>(
         for q in sig.queries() {
             let tuples = space.tuples(&sig, &sig.query_params(q)?)?;
             for params in tuples.iter() {
-                report.evaluated += 1;
+                if let Some(reason) = budget.check(report.evaluated) {
+                    report.exhausted =
+                        Some(budget.exhaustion("completeness", reason, report.evaluated));
+                    return Ok(report);
+                }
                 let mut args = params.clone();
                 args.push(st.clone());
                 let t = Term::App(q, args);
                 match eval_subject(rw, &sig, &t) {
                     Ok(None) => {}
                     Ok(Some(stuck)) => report.stuck.push(stuck),
+                    Err(AlgError::Budget { reason }) => {
+                        report.exhausted =
+                            Some(budget.exhaustion("completeness", reason, report.evaluated));
+                        return Ok(report);
+                    }
                     Err(e) => return Err(e),
                 }
+                report.evaluated += 1;
                 if report.stuck.len() >= max_failures {
                     return Ok(report);
                 }
@@ -160,12 +208,23 @@ pub fn exhaustive_with<S: Interner>(
 enum EvalEvent {
     Stuck(usize, StuckTerm),
     Fail(usize, AlgError),
+    /// The budget tripped before instance `k` was evaluated.
+    Budget(usize, BudgetExceeded),
 }
 
 impl EvalEvent {
     fn index(&self) -> usize {
         match self {
-            EvalEvent::Stuck(k, _) | EvalEvent::Fail(k, _) => *k,
+            EvalEvent::Stuck(k, _) | EvalEvent::Fail(k, _) | EvalEvent::Budget(k, _) => *k,
+        }
+    }
+
+    /// Replay priority at equal index: a budget stop *before* instance `k`
+    /// precedes any verdict *about* instance `k`.
+    fn priority(&self) -> u8 {
+        match self {
+            EvalEvent::Budget(..) => 0,
+            EvalEvent::Stuck(..) | EvalEvent::Fail(..) => 1,
         }
     }
 }
@@ -186,6 +245,26 @@ pub fn exhaustive_in(
     spec: &AlgSpec,
     space: &GroundSpace,
     max_failures: usize,
+    threads: usize,
+) -> Result<CompletenessReport> {
+    exhaustive_budget_in(spec, space, max_failures, &Budget::unlimited(), threads)
+}
+
+/// As [`exhaustive_in`], governed by a resource [`Budget`].
+///
+/// Workers poll the budget before each of their serial-order slots, so a
+/// node-cap stop happens at the same instance index at every thread count
+/// and the partial report is bit-identical; deadline and cancellation stops
+/// yield a valid serial prefix whose length depends on timing.
+///
+/// # Errors
+/// Propagates unexpected rewriting errors; the earliest error in
+/// enumeration order wins, exactly as in the serial loop.
+pub fn exhaustive_budget_in(
+    spec: &AlgSpec,
+    space: &GroundSpace,
+    max_failures: usize,
+    budget: &Budget,
     threads: usize,
 ) -> Result<CompletenessReport> {
     let threads = effective_workers(threads);
@@ -214,7 +293,8 @@ pub fn exhaustive_in(
     // that, so route it (and trivial workloads) there.
     if threads <= 1 || max_failures == 0 || subjects.len() < 2 {
         let mut rw = Rewriter::new(spec);
-        return exhaustive_with(&mut rw, space, max_failures);
+        rw.set_budget(budget.without_node_cap());
+        return exhaustive_budget_with(&mut rw, space, max_failures, budget);
     }
 
     // Each worker owns a plain thread-local rewriter: the ground instances
@@ -228,9 +308,17 @@ pub fn exhaustive_in(
                 let sig = &sig;
                 s.spawn(move || {
                     let mut rw = Rewriter::new(spec);
+                    rw.set_budget(budget.without_node_cap());
                     let mut local = Vec::new();
                     let mut stuck_seen = 0usize;
                     for (k, t) in subjects.iter().enumerate().skip(w).step_by(workers) {
+                        // Budget poll at the slot boundary: the instance
+                        // index stands in for node accounting, so a node-cap
+                        // stop lands on the same slot at every thread count.
+                        if let Some(reason) = budget.check(k) {
+                            local.push(EvalEvent::Budget(k, reason));
+                            break;
+                        }
                         match eval_subject(&mut rw, sig, t) {
                             Ok(None) => {}
                             Ok(Some(stuck)) => {
@@ -243,6 +331,10 @@ pub fn exhaustive_in(
                                 if stuck_seen >= max_failures {
                                     break;
                                 }
+                            }
+                            Err(AlgError::Budget { reason }) => {
+                                local.push(EvalEvent::Budget(k, reason));
+                                break;
                             }
                             Err(e) => {
                                 local.push(EvalEvent::Fail(k, e));
@@ -264,10 +356,15 @@ pub fn exhaustive_in(
     // least up to the globally earliest stop (its own early exits happen at
     // or past that point), so no event the serial loop would have seen is
     // missing.
-    events.sort_by_key(EvalEvent::index);
+    events.sort_by_key(|ev| (ev.index(), ev.priority()));
     for ev in events {
         match ev {
             EvalEvent::Fail(_, e) => return Err(e),
+            EvalEvent::Budget(k, reason) => {
+                report.evaluated = k;
+                report.exhausted = Some(budget.exhaustion("completeness", reason, k));
+                return Ok(report);
+            }
             EvalEvent::Stuck(k, stuck) => {
                 report.stuck.push(stuck);
                 if report.stuck.len() >= max_failures {
@@ -294,9 +391,9 @@ fn eval_subject<S: Interner>(
             term: term_str(sig, t),
             normal_form: term_str(sig, &n),
         })),
-        Err(AlgError::RewriteLimit { term }) => Ok(Some(StuckTerm {
+        Err(AlgError::RewriteLimit { at, .. }) => Ok(Some(StuckTerm {
             term: term_str(sig, t),
-            normal_form: format!("<fuel exhausted at {term}>"),
+            normal_form: format!("<fuel exhausted at {at}>"),
         })),
         Err(e) => Err(e),
     }

@@ -13,7 +13,8 @@
 use std::sync::Arc;
 
 use eclectic_kernel::{
-    effective_workers, env_threads, ConcurrentTermStore, Interner, SharedMemo, StoreHandle,
+    effective_workers, env_threads, Budget, BudgetExceeded, ConcurrentTermStore, Exhaustion,
+    Interner, SharedMemo, StoreHandle,
 };
 use eclectic_logic::{rename_apart, unify, Formula, Subst, Term};
 
@@ -213,6 +214,10 @@ fn negations(f: &Formula) -> usize {
     }
 }
 
+/// Verdict of one ground tie-break: the number of ground instances where
+/// both reducts fired, and the first disagreement rendering, if any.
+pub type GroundResolution = (usize, Option<String>);
+
 /// Semantic tie-break for one overlap: on every ground instance of the
 /// unified redex over bounded state terms where *both* conditions hold,
 /// evaluate both reducts and compare. Returns the number of ground
@@ -271,42 +276,96 @@ pub fn resolve_overlaps_in(
     pairs: &[(&ConditionalEquation, &ConditionalEquation)],
     threads: usize,
 ) -> Result<Vec<(usize, Option<String>)>> {
+    resolve_overlaps_budget_in(spec, space, pairs, &Budget::unlimited(), threads)
+        .map(|(resolutions, _)| resolutions)
+}
+
+/// As [`resolve_overlaps_in`], governed by a resource [`Budget`] polled
+/// before each pair slot. On exhaustion the returned resolutions cover the
+/// serial-order prefix of pairs completed before the stop, and the
+/// [`Exhaustion`] records how many; a node-cap stop lands on the same pair
+/// index at every thread count (the pair index stands in for node
+/// accounting, since each worker rewrites in a private store).
+///
+/// # Errors
+/// Propagates rewriting errors (earliest pair first).
+pub fn resolve_overlaps_budget_in(
+    spec: &AlgSpec,
+    space: &GroundSpace,
+    pairs: &[(&ConditionalEquation, &ConditionalEquation)],
+    budget: &Budget,
+    threads: usize,
+) -> Result<(Vec<GroundResolution>, Option<Exhaustion>)> {
     let threads = effective_workers(threads);
+    let exhaustion = |reason: BudgetExceeded, k: usize| budget.exhaustion("confluence", reason, k);
     if threads <= 1 || pairs.len() < 2 {
         let mut rw = Rewriter::new(spec);
-        return resolve_overlaps_with(&mut rw, space, pairs);
+        rw.set_budget(budget.without_node_cap());
+        let mut out = Vec::with_capacity(pairs.len());
+        for (k, (e1, e2)) in pairs.iter().enumerate() {
+            if let Some(reason) = budget.check(k) {
+                return Ok((out, Some(exhaustion(reason, k))));
+            }
+            match resolve_pair_with(&mut rw, space, e1, e2) {
+                Ok(r) => out.push(r),
+                Err(AlgError::Budget { reason }) => {
+                    return Ok((out, Some(exhaustion(reason, k))));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        return Ok((out, None));
     }
     let workers = threads.min(pairs.len());
     type Resolution = Result<(usize, Option<String>)>;
     type PairResult = (usize, Resolution);
-    let results: Vec<Vec<PairResult>> = std::thread::scope(|s| {
+    type WorkerOut = (Vec<PairResult>, Option<(usize, BudgetExceeded)>);
+    let results: Vec<WorkerOut> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 s.spawn(move || {
                     let mut rw = Rewriter::new(spec);
-                    pairs
-                        .iter()
-                        .enumerate()
-                        .skip(w)
-                        .step_by(workers)
-                        .map(|(k, (e1, e2))| (k, resolve_pair_with(&mut rw, space, e1, e2)))
-                        .collect()
+                    rw.set_budget(budget.without_node_cap());
+                    let mut done: Vec<PairResult> = Vec::new();
+                    for (k, (e1, e2)) in pairs.iter().enumerate().skip(w).step_by(workers) {
+                        if let Some(reason) = budget.check(k) {
+                            return (done, Some((k, reason)));
+                        }
+                        match resolve_pair_with(&mut rw, space, e1, e2) {
+                            Err(AlgError::Budget { reason }) => {
+                                return (done, Some((k, reason)));
+                            }
+                            r => done.push((k, r)),
+                        }
+                    }
+                    (done, None)
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
 
-    let mut slots: Vec<Option<Resolution>> = (0..pairs.len()).map(|_| None).collect();
-    for worker in results {
+    // Earliest budget stop across workers: every pair before it has a
+    // verdict (workers only skip slots after their own stop), so the prefix
+    // below is exactly what a serial governed run would have produced.
+    let stop = results
+        .iter()
+        .filter_map(|(_, s)| *s)
+        .min_by_key(|(k, _)| *k);
+    let covered = stop.map_or(pairs.len(), |(k, _)| k);
+    let mut slots: Vec<Option<Resolution>> = (0..covered).map(|_| None).collect();
+    for (worker, _) in results {
         for (k, r) in worker {
-            slots[k] = Some(r);
+            if k < covered {
+                slots[k] = Some(r);
+            }
         }
     }
-    slots
+    let resolutions = slots
         .into_iter()
-        .map(|slot| slot.expect("every pair resolved"))
-        .collect()
+        .map(|slot| slot.expect("every pair before the stop resolved"))
+        .collect::<Result<Vec<_>>>()?;
+    Ok((resolutions, stop.map(|(k, reason)| exhaustion(reason, k))))
 }
 
 /// As [`resolve_overlaps_in`], serial, against a caller-held rewriter — so

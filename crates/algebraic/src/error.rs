@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use eclectic_kernel::BudgetExceeded;
 use eclectic_logic::LogicError;
 
 /// Errors raised while building or evaluating algebraic specifications.
@@ -24,8 +25,22 @@ pub enum AlgError {
     },
     /// Rewriting did not terminate within the fuel limit.
     RewriteLimit {
-        /// Rendering of the term being normalised.
-        term: String,
+        /// Rendering of the top-level term the caller asked to normalise
+        /// (filled in at the `normalize` entry points; empty only if fuel
+        /// ran out outside any top-level call).
+        subject: String,
+        /// Rendering of the subterm under normalisation when fuel ran out —
+        /// the innermost reduct actually spinning, which may be a term the
+        /// caller never wrote.
+        at: String,
+    },
+    /// A resource budget (node cap, cancellation or deadline) tripped
+    /// during rewriting. Unlike [`AlgError::RewriteLimit`] this is not a
+    /// property of the specification — the same term may normalise fine
+    /// under a larger budget.
+    Budget {
+        /// Which budget axis tripped.
+        reason: BudgetExceeded,
     },
     /// A condition contained a construct outside the allowed fragment
     /// (predicates or modalities).
@@ -57,8 +72,18 @@ impl fmt::Display for AlgError {
             AlgError::BadEquation { name, reason } => {
                 write!(f, "invalid equation `{name}`: {reason}")
             }
-            AlgError::RewriteLimit { term } => {
-                write!(f, "rewriting fuel exhausted while normalising `{term}`")
+            AlgError::RewriteLimit { subject, at } => {
+                if subject.is_empty() || subject == at {
+                    write!(f, "rewriting fuel exhausted at `{at}`")
+                } else {
+                    write!(
+                        f,
+                        "rewriting fuel exhausted at `{at}` while normalising `{subject}`"
+                    )
+                }
+            }
+            AlgError::Budget { reason } => {
+                write!(f, "rewriting budget exhausted: {reason}")
             }
             AlgError::BadCondition(m) => write!(f, "invalid condition: {m}"),
             AlgError::ConditionUndecided { term } => {

@@ -75,7 +75,15 @@ impl<'a> LegacyRewriter<'a> {
     /// evaluation errors on ground terms.
     pub fn normalize(&mut self, t: &Term) -> Result<Term> {
         self.remaining = self.fuel_limit;
-        self.norm(t)
+        self.norm(t).map_err(|e| match e {
+            // Fuel runs out on an inner reduct; name the term the caller
+            // actually asked about alongside the exhaustion site.
+            AlgError::RewriteLimit { at, .. } => AlgError::RewriteLimit {
+                subject: term_str(self.spec.signature(), t),
+                at,
+            },
+            other => other,
+        })
     }
 
     fn norm(&mut self, t: &Term) -> Result<Term> {
@@ -124,7 +132,8 @@ impl<'a> LegacyRewriter<'a> {
                 Ok(true) => {
                     if self.remaining == 0 {
                         return Err(AlgError::RewriteLimit {
-                            term: term_str(self.spec.signature(), &t),
+                            subject: String::new(),
+                            at: term_str(self.spec.signature(), &t),
                         });
                     }
                     self.remaining -= 1;

@@ -27,7 +27,9 @@
 
 use std::sync::Arc;
 
-use eclectic_kernel::{Binding, FxHashMap, Interner, SharedMemo, TermId, TermNode, TermStore};
+use eclectic_kernel::{
+    Binding, Budget, FxHashMap, Interner, SharedMemo, TermId, TermNode, TermStore,
+};
 use eclectic_logic::{Formula, FuncId, SortId, Subst, Term, VarId};
 
 use crate::error::{AlgError, Result};
@@ -194,7 +196,17 @@ pub struct Rewriter<'a, S: Interner = TermStore> {
     /// Optional cross-thread normal-form memo, consulted on a local-memo
     /// miss and fed with every normal form this rewriter computes.
     shared_memo: Option<Arc<SharedMemo>>,
+    /// Resource governor: polled every [`BUDGET_POLL_MASK`]+1 uncached
+    /// normalisations with the store's node count. Unlimited by default.
+    budget: Budget,
+    /// Poll pacing counter for the budget check.
+    poll_tick: u32,
 }
+
+/// Poll the budget every 64 uncached normalisations: often enough that a
+/// diverging rewrite notices a deadline within microseconds, rare enough
+/// that `Instant::now()` never shows up in a profile.
+const BUDGET_POLL_MASK: u32 = 63;
 
 impl<'a> Rewriter<'a> {
     /// Creates a rewriter over a fresh serial [`TermStore`] with the default
@@ -253,6 +265,8 @@ impl<'a, S: Interner> Rewriter<'a, S> {
             remaining: fuel_limit,
             stats: RewriteStats::default(),
             shared_memo: None,
+            budget: Budget::unlimited(),
+            poll_tick: 0,
         }
     }
 
@@ -261,6 +275,21 @@ impl<'a, S: Interner> Rewriter<'a, S> {
     /// rewriters on sibling threads reuse each other's work.
     pub fn set_shared_memo(&mut self, memo: Arc<SharedMemo>) {
         self.shared_memo = Some(memo);
+    }
+
+    /// Attaches a resource [`Budget`]: normalisation polls it periodically
+    /// (with the backing store's node count) and aborts with
+    /// [`AlgError::Budget`] when it trips. An aborted normalisation never
+    /// publishes to either memo, so a later call with a fresh budget
+    /// computes the true normal form.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// The resource budget currently governing this rewriter.
+    #[must_use]
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// The specification being evaluated.
@@ -278,6 +307,14 @@ impl<'a, S: Interner> Rewriter<'a, S> {
     /// Clears the memo cache (statistics and the term store are kept).
     pub fn clear_cache(&mut self) {
         self.memo.clear();
+    }
+
+    /// Adjusts the fuel limit for subsequent top-level calls. The memo is
+    /// kept: only true normal forms are ever memoised (an exhausted call
+    /// errors out before publishing), so entries computed under a smaller
+    /// limit remain valid.
+    pub fn set_fuel_limit(&mut self, fuel_limit: usize) {
+        self.fuel_limit = fuel_limit;
     }
 
     /// The term store backing this rewriter (terms stay valid for its whole
@@ -341,7 +378,15 @@ impl<'a, S: Interner> Rewriter<'a, S> {
     /// As [`Rewriter::normalize`].
     pub fn normalize_id(&mut self, t: TermId) -> Result<TermId> {
         self.remaining = self.fuel_limit;
-        self.norm(t)
+        self.norm(t).map_err(|e| match e {
+            // Fuel runs out on an inner reduct; name the term the caller
+            // actually asked about alongside the exhaustion site.
+            AlgError::RewriteLimit { at, .. } => AlgError::RewriteLimit {
+                subject: term_str(self.spec.signature(), &self.extern_term(t)),
+                at,
+            },
+            other => other,
+        })
     }
 
     fn norm(&mut self, t: TermId) -> Result<TermId> {
@@ -366,6 +411,12 @@ impl<'a, S: Interner> Rewriter<'a, S> {
     }
 
     fn norm_uncached(&mut self, t: TermId) -> Result<TermId> {
+        if self.poll_tick & BUDGET_POLL_MASK == 0 {
+            if let Some(reason) = self.budget.check(self.store.len()) {
+                return Err(AlgError::Budget { reason });
+            }
+        }
+        self.poll_tick = self.poll_tick.wrapping_add(1);
         let (f, args) = match self.store.node(t) {
             TermNode::Var(_) => return Ok(t),
             TermNode::App(f, args) => (*f, args.to_vec()),
@@ -394,7 +445,8 @@ impl<'a, S: Interner> Rewriter<'a, S> {
                 Ok(true) => {
                     if self.remaining == 0 {
                         return Err(AlgError::RewriteLimit {
-                            term: term_str(self.spec.signature(), &self.extern_term(t)),
+                            subject: String::new(),
+                            at: term_str(self.spec.signature(), &self.extern_term(t)),
                         });
                     }
                     self.remaining -= 1;
@@ -814,6 +866,119 @@ mod tests {
             rw.normalize(&t),
             Err(AlgError::RewriteLimit { .. })
         ));
+    }
+
+    #[test]
+    fn rewrite_limit_names_subject_and_exhaustion_site() {
+        let spec = mini_spec();
+        // Four rule applications to normalise; two of fuel. Exhaustion
+        // happens on an inner reduct the caller never wrote.
+        let subject_src = "offered(db, offer(ai, offer(ai, offer(ai, offer(db, initiate)))))";
+        let t = term(&spec, subject_src);
+        let mut rw = Rewriter::with_fuel(&spec, 2);
+        match rw.normalize(&t) {
+            Err(AlgError::RewriteLimit { subject, at }) => {
+                assert_eq!(subject, subject_src);
+                // eq4 stripped two `offer(ai, _)` layers before running dry.
+                assert_eq!(at, "offered(db, offer(ai, offer(db, initiate)))");
+            }
+            other => panic!("expected RewriteLimit, got {other:?}"),
+        }
+        // The error display names both terms.
+        let err = rw.normalize(&t).unwrap_err();
+        let shown = err.to_string();
+        assert!(shown.contains("offered(db, offer(ai, offer(db, initiate)))"), "{shown}");
+        assert!(shown.contains(subject_src), "{shown}");
+    }
+
+    #[test]
+    fn fuel_exhaustion_does_not_poison_memo() {
+        let spec = mini_spec();
+        let subject = term(
+            &spec,
+            "offered(db, offer(ai, offer(ai, offer(ai, offer(db, initiate)))))",
+        );
+        let mut rw = Rewriter::with_fuel(&spec, 2);
+        assert!(matches!(
+            rw.normalize(&subject),
+            Err(AlgError::RewriteLimit { .. })
+        ));
+        // Re-normalising through the SAME rewriter (same memo, same store)
+        // with ample fuel must produce the true normal form, not any
+        // truncated reduct left over from the exhausted attempt.
+        rw.set_fuel_limit(1_000);
+        let n = rw.normalize(&subject).unwrap();
+        assert_eq!(n, spec.signature().true_term());
+        // And a subsequent repeat is served from the memo, still correct.
+        let n2 = rw.normalize(&subject).unwrap();
+        assert_eq!(n2, spec.signature().true_term());
+    }
+
+    #[test]
+    fn fuel_exhaustion_does_not_poison_shared_memo() {
+        use eclectic_kernel::{ConcurrentTermStore, SharedMemo, StoreHandle};
+        let spec = mini_spec();
+        let store = ConcurrentTermStore::shared();
+        let memo = Arc::new(SharedMemo::new());
+        let subject_src = "offered(db, offer(ai, offer(ai, offer(ai, offer(db, initiate)))))";
+
+        // Worker A runs out of fuel mid-term and must publish nothing
+        // misleading to the shared memo.
+        let mut a = Rewriter::with_store_and_fuel(
+            &spec,
+            StoreHandle::new(Arc::clone(&store)),
+            2,
+        );
+        a.set_shared_memo(Arc::clone(&memo));
+        let t = term(&spec, subject_src);
+        assert!(matches!(a.normalize(&t), Err(AlgError::RewriteLimit { .. })));
+
+        // Worker B, sharing the store and memo, sees the true normal form.
+        let mut b =
+            Rewriter::with_store(&spec, StoreHandle::new(Arc::clone(&store)));
+        b.set_shared_memo(Arc::clone(&memo));
+        assert_eq!(b.normalize(&t).unwrap(), spec.signature().true_term());
+
+        // Worker A itself also recovers once its fuel is raised.
+        a.set_fuel_limit(1_000);
+        assert_eq!(a.normalize(&t).unwrap(), spec.signature().true_term());
+    }
+
+    #[test]
+    fn budget_axes_trip_rewriting_without_poisoning() {
+        use eclectic_kernel::{Budget, BudgetExceeded, CancelToken};
+        let spec = mini_spec();
+        let t = term(
+            &spec,
+            "offered(db, cancel(db, offer(ai, offer(db, initiate))))",
+        );
+
+        // A zero node cap trips before any work.
+        let mut rw = Rewriter::new(&spec);
+        rw.set_budget(Budget::unlimited().with_max_nodes(0));
+        assert!(matches!(
+            rw.normalize(&t),
+            Err(AlgError::Budget { reason: BudgetExceeded::Nodes })
+        ));
+
+        // A flipped cancel token trips, a zero deadline trips.
+        let tok = CancelToken::new();
+        tok.cancel();
+        rw.set_budget(Budget::unlimited().with_cancel(tok));
+        assert!(matches!(
+            rw.normalize(&t),
+            Err(AlgError::Budget { reason: BudgetExceeded::Cancelled })
+        ));
+        rw.set_budget(Budget::unlimited().with_deadline_ms(0));
+        assert!(matches!(
+            rw.normalize(&t),
+            Err(AlgError::Budget { reason: BudgetExceeded::Deadline })
+        ));
+
+        // Lifting the budget on the same rewriter yields the true normal
+        // form: aborted attempts left nothing stale in the memo.
+        rw.set_budget(Budget::unlimited());
+        assert_eq!(rw.normalize(&t).unwrap(), spec.signature().false_term());
     }
 
     #[test]

@@ -133,6 +133,7 @@ fn explore_pre_refactor(
             depth,
             truncated,
             abstraction_collision,
+            exhausted: None,
         },
         stats,
     )

@@ -45,4 +45,4 @@ mod verify;
 
 pub use error::{Result, SpecError};
 pub use spec::{CarrierSpec, TriLevelSpec};
-pub use verify::{verify, VerificationOutcome, VerifyConfig};
+pub use verify::{verify, StageStats, VerificationOutcome, VerifyConfig};

@@ -2,10 +2,13 @@
 //! obligation of the paper, plus the W-grammar syntax check and randomized
 //! cross-formalism testing.
 
+use std::time::Duration;
+
+use eclectic_kernel::{env_threads, Budget, Exhaustion};
 use eclectic_refine::{
-    check_dynamic, check_equations, check_refinement_1_2, check_valid_reachable, cross_check,
-    random_ops, CrossCheckStats, DynamicReport, FullReport, InducedAlgebra, Mismatch,
-    Refine12Config,
+    check_dynamic_budget, check_equations_budget, check_refinement_1_2_budget,
+    check_valid_reachable, cross_check_budget, random_ops, CrossCheckStats, DynamicReport,
+    FullReport, InducedAlgebra, Mismatch, Refine12Config, ValidReachableReport,
 };
 use eclectic_rpr::wgrammar;
 
@@ -31,6 +34,15 @@ pub struct VerifyConfig {
     /// State cap for the dynamic-logic (PDL) obligations over the
     /// representation universe; larger universes are gracefully skipped.
     pub pdl_universe_cap: usize,
+    /// Optional wall-clock deadline for the whole run, in milliseconds.
+    /// When it passes, the stage in flight stops at its next poll point and
+    /// reports a partial result; later stages trip at entry.
+    pub deadline_ms: Option<u64>,
+    /// Optional cap on interned term-store nodes per governed stage (a
+    /// memory budget). Deterministic at every thread count.
+    pub max_nodes: Option<usize>,
+    /// Print a per-stage elapsed/budget line to stdout as each stage ends.
+    pub print_stages: bool,
 }
 
 impl VerifyConfig {
@@ -45,6 +57,9 @@ impl VerifyConfig {
             random_traces: 5,
             trace_len: 12,
             pdl_universe_cap: 1_024,
+            deadline_ms: None,
+            max_nodes: None,
+            print_stages: false,
         }
     }
 
@@ -59,8 +74,35 @@ impl VerifyConfig {
             random_traces: 20,
             trace_len: 30,
             pdl_universe_cap: 1 << 16,
+            deadline_ms: None,
+            max_nodes: None,
+            print_stages: false,
         }
     }
+
+    /// The resource budget shared by every stage of [`verify`].
+    #[must_use]
+    pub fn budget(&self) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(ms) = self.deadline_ms {
+            b = b.with_deadline_ms(ms);
+        }
+        if let Some(n) = self.max_nodes {
+            b = b.with_max_nodes(n);
+        }
+        b
+    }
+}
+
+/// Timing and budget record for one stage of [`verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageStats {
+    /// Stage label (`refine12`, `witness`, `equations`, `dynamic`, `cross`).
+    pub name: &'static str,
+    /// Wall-clock time spent in the stage, in milliseconds.
+    pub elapsed_ms: u64,
+    /// Budget exhaustion recorded by the stage, if it was cut short.
+    pub exhausted: Option<Exhaustion>,
 }
 
 /// The outcome of a full verification run.
@@ -79,17 +121,54 @@ pub struct VerificationOutcome {
     /// The dynamic-logic (PDL) obligations over the representation
     /// universe, batch-model-checked with a shared denotation cache.
     pub dynamic: DynamicReport,
+    /// Per-stage elapsed time and budget exhaustion, in execution order.
+    pub stages: Vec<StageStats>,
 }
 
 impl VerificationOutcome {
-    /// Whether everything holds.
+    /// Whether everything holds. A budget-exhausted (partial) run never
+    /// claims correctness: only a completed battery counts.
     #[must_use]
     pub fn is_correct(&self) -> bool {
         self.grammar_ok
             && self.report.is_correct()
             && self.cross_mismatch.is_none()
             && self.dynamic.is_correct()
+            && self.exhausted().is_none()
     }
+
+    /// The first budget exhaustion recorded by any stage, if the run was
+    /// cut short.
+    #[must_use]
+    pub fn exhausted(&self) -> Option<&Exhaustion> {
+        self.stages.iter().find_map(|s| s.exhausted.as_ref())
+    }
+}
+
+/// Closes the current stage: records elapsed time since `start`, advances
+/// `start`, and optionally prints the per-stage line.
+fn record_stage(
+    print: bool,
+    budget: &Budget,
+    stages: &mut Vec<StageStats>,
+    start: &mut Duration,
+    name: &'static str,
+    exhausted: Option<Exhaustion>,
+) {
+    let now = budget.elapsed();
+    let elapsed_ms = u64::try_from(now.saturating_sub(*start).as_millis()).unwrap_or(u64::MAX);
+    *start = now;
+    if print {
+        match &exhausted {
+            Some(e) => println!("  stage {name:<9} {elapsed_ms:>6} ms  {e}"),
+            None => println!("  stage {name:<9} {elapsed_ms:>6} ms"),
+        }
+    }
+    stages.push(StageStats {
+        name,
+        elapsed_ms,
+        exhausted,
+    });
 }
 
 /// Runs the whole battery against a specification.
@@ -100,6 +179,14 @@ impl VerificationOutcome {
 pub fn verify(spec: &TriLevelSpec, config: &VerifyConfig) -> Result<VerificationOutcome> {
     spec.check_shape()?;
 
+    // One budget, shared by every stage: the deadline and cancellation axes
+    // persist across stages, while the node cap governs each stage's own
+    // term store.
+    let budget = config.budget();
+    let threads = env_threads();
+    let mut stages = Vec::new();
+    let mut stage_start = budget.elapsed();
+
     // Syntactic correctness under the W-grammar (paper §5.4 step 1).
     let (grammar_ok, grammar_error) = match wgrammar::check_schema(&spec.representation) {
         Ok(_) => (true, None),
@@ -107,21 +194,49 @@ pub fn verify(spec: &TriLevelSpec, config: &VerifyConfig) -> Result<Verification
     };
 
     // 1→2 obligations (a), (b), (d).
-    let refine12 = check_refinement_1_2(
+    let refine12 = check_refinement_1_2_budget(
         &spec.information,
         &spec.functions,
         &spec.interp_i,
         spec.info_signature(),
         &spec.info_domains,
         config.refine12,
+        &budget,
     )?;
+    record_stage(
+        config.print_stages,
+        &budget,
+        &mut stages,
+        &mut stage_start,
+        "refine12",
+        refine12.exhausted().cloned(),
+    );
 
-    // Obligation (c).
-    let valid_reachable = check_valid_reachable(
-        &spec.information,
-        &refine12.exploration,
-        config.candidate_cap,
-    )?;
+    // Obligation (c). Candidate enumeration is meaningless over a partial
+    // universe, so an exhausted exploration skips it (inconclusively).
+    let valid_reachable = if refine12.exploration.exhausted.is_some() {
+        ValidReachableReport {
+            candidates: 0,
+            valid: 0,
+            reachable_valid: 0,
+            unreachable: Vec::new(),
+            exploration_truncated: true,
+        }
+    } else {
+        check_valid_reachable(
+            &spec.information,
+            &refine12.exploration,
+            config.candidate_cap,
+        )?
+    };
+    record_stage(
+        config.print_stages,
+        &budget,
+        &mut stages,
+        &mut stage_start,
+        "witness",
+        None,
+    );
 
     // 2→3 equation validity in the induced algebra.
     let mut induced = InducedAlgebra::new(
@@ -130,15 +245,39 @@ pub fn verify(spec: &TriLevelSpec, config: &VerifyConfig) -> Result<Verification
         &spec.interp_k,
         spec.empty_state(),
     )?;
-    let equations = check_equations(&mut induced, config.eq_depth, config.eq_max_states, 20)?;
+    let equations = check_equations_budget(
+        &mut induced,
+        config.eq_depth,
+        config.eq_max_states,
+        20,
+        &budget,
+    )?;
+    record_stage(
+        config.print_stages,
+        &budget,
+        &mut stages,
+        &mut stage_start,
+        "equations",
+        equations.exhausted.clone(),
+    );
 
     // §5.1.2/§5.3 dynamic-logic obligations over the representation
     // universe (batched PDL model checking with one denotation cache).
-    let dynamic = check_dynamic(
+    let dynamic = check_dynamic_budget(
         &spec.representation,
         &spec.empty_state(),
         config.pdl_universe_cap,
+        &budget,
+        threads,
     )?;
+    record_stage(
+        config.print_stages,
+        &budget,
+        &mut stages,
+        &mut stage_start,
+        "dynamic",
+        dynamic.exhausted.clone(),
+    );
 
     // Randomised cross-formalism testing.
     let initial_name = initial_update_name(spec)?;
@@ -152,6 +291,7 @@ pub fn verify(spec: &TriLevelSpec, config: &VerifyConfig) -> Result<Verification
     };
     let mut cross_mismatch = None;
     let mut cross_stats = CrossCheckStats::default();
+    let mut cross_exhausted = None;
     for _ in 0..config.random_traces {
         let ops = random_ops(
             &spec.functions,
@@ -160,14 +300,27 @@ pub fn verify(spec: &TriLevelSpec, config: &VerifyConfig) -> Result<Verification
             config.trace_len,
             &mut choose,
         )?;
-        let (mismatch, stats) = cross_check(&spec.functions, &mut induced, &ops)?;
+        let (mismatch, stats, exhausted) =
+            cross_check_budget(&spec.functions, &mut induced, &ops, &budget, threads)?;
         cross_stats.ops += stats.ops;
         cross_stats.comparisons += stats.comparisons;
         if mismatch.is_some() {
             cross_mismatch = mismatch;
             break;
         }
+        if exhausted.is_some() {
+            cross_exhausted = exhausted;
+            break;
+        }
     }
+    record_stage(
+        config.print_stages,
+        &budget,
+        &mut stages,
+        &mut stage_start,
+        "cross",
+        cross_exhausted,
+    );
 
     Ok(VerificationOutcome {
         grammar_ok,
@@ -180,6 +333,7 @@ pub fn verify(spec: &TriLevelSpec, config: &VerifyConfig) -> Result<Verification
         cross_mismatch,
         cross_stats,
         dynamic,
+        stages,
     })
 }
 

@@ -3,15 +3,21 @@
 //! and the parallel RPR reachability must reproduce the serial results
 //! bit-for-bit at every thread count.
 
+use std::sync::Arc;
+
 use eclectic_algebraic::{
     completeness, confluence, parse_equations, AlgSignature, AlgSpec,
 };
+use eclectic_kernel::{Budget, BudgetExceeded};
+use eclectic_logic::{Domains, Elem, Formula, Signature, Term as LogicTerm};
 use eclectic_refine::{
-    check_dynamic_threads, cross_check_threads, explore_algebraic_threads, random_ops,
+    check_dynamic_budget, check_dynamic_threads, check_equations_budget, cross_check_budget,
+    cross_check_threads, explore_algebraic_budget, explore_algebraic_threads, random_ops,
     AlgExploreLimits, InducedAlgebra,
 };
+use eclectic_rpr::{check_batch_budget, DbState, FiniteUniverse, Pdl, Stmt};
 use eclectic_spec::domains::{bank, courses, library};
-use eclectic_spec::TriLevelSpec;
+use eclectic_spec::{verify, TriLevelSpec, VerifyConfig};
 
 const THREADS: [usize; 3] = [2, 4, 8];
 
@@ -371,4 +377,329 @@ fn parallel_rpr_reachability_matches_serial_on_every_domain() {
             assert_eq!(t, t1, "{name}: truncation at {threads} threads");
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Budget exhaustion: every governed sweep must produce the SAME partial
+// report at every thread count when the (deterministic) node axis trips.
+// ---------------------------------------------------------------------------
+
+const BUDGET_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn node_budget(cap: usize) -> Budget {
+    Budget::unlimited().with_max_nodes(cap)
+}
+
+#[test]
+fn node_capped_exploration_partial_report_is_thread_invariant() {
+    for (name, spec, depth) in domains() {
+        let limits = AlgExploreLimits {
+            max_depth: depth,
+            max_states: 10_000,
+        };
+        let budget = node_budget(200);
+        let base = explore_algebraic_budget(
+            &spec.functions,
+            &spec.interp_i,
+            spec.info_signature(),
+            &spec.info_domains,
+            limits,
+            &budget,
+            1,
+        )
+        .unwrap();
+        assert!(base.truncated, "{name}: cap 200 must trip");
+        let exhausted = base.exhausted.clone().expect(name);
+        assert_eq!(exhausted.stage, "explore", "{name}");
+        assert_eq!(exhausted.reason, BudgetExceeded::Nodes, "{name}");
+        for threads in BUDGET_THREADS {
+            let par = explore_algebraic_budget(
+                &spec.functions,
+                &spec.interp_i,
+                spec.info_signature(),
+                &spec.info_domains,
+                limits,
+                &budget,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(par.exhausted, base.exhausted, "{name} at {threads} threads");
+            assert_eq!(
+                par.universe.state_count(),
+                base.universe.state_count(),
+                "{name}: partial state count at {threads} threads"
+            );
+            assert_eq!(
+                par.witnesses, base.witnesses,
+                "{name}: partial witnesses at {threads} threads"
+            );
+            assert_eq!(par.depth, base.depth, "{name} at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn node_capped_rpr_reachability_partial_report_is_thread_invariant() {
+    for (name, spec, depth) in domains() {
+        let mk = || {
+            InducedAlgebra::new(
+                &spec.functions,
+                &spec.representation,
+                &spec.interp_k,
+                spec.empty_state(),
+            )
+            .unwrap()
+        };
+        let budget = node_budget(4);
+        let base = mk()
+            .reachable_states_budget(depth, 10_000, &budget, 1)
+            .unwrap();
+        assert!(base.1, "{name}: cap 4 must truncate");
+        assert!(base.2.is_some(), "{name}: cap 4 must trip");
+        assert_eq!(base.2.as_ref().unwrap().stage, "reach", "{name}");
+        for threads in BUDGET_THREADS {
+            let par = mk()
+                .reachable_states_budget(depth, 10_000, &budget, threads)
+                .unwrap();
+            assert_eq!(par, base, "{name}: partial reach at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn op_capped_cross_check_partial_report_is_thread_invariant() {
+    for (name, spec, _) in domains() {
+        let mut ind = InducedAlgebra::new(
+            &spec.functions,
+            &spec.representation,
+            &spec.interp_k,
+            spec.empty_state(),
+        )
+        .unwrap();
+        let mut state = 0x5eed_cafe_u64;
+        let mut rng = move |n: usize| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_f491_4f6c_dd1d) % n.max(1) as u64) as usize
+        };
+        let ops = random_ops(&spec.functions, &ind, "initiate", 20, &mut rng).unwrap();
+        let budget = node_budget(7);
+        let base = cross_check_budget(&spec.functions, &mut ind, &ops, &budget, 1).unwrap();
+        assert!(base.2.is_some(), "{name}: cap 7 must trip on 20 ops");
+        let e = base.2.as_ref().unwrap();
+        assert_eq!((e.stage, e.completed_units), ("cross", 7), "{name}");
+        for threads in BUDGET_THREADS {
+            let par =
+                cross_check_budget(&spec.functions, &mut ind, &ops, &budget, threads).unwrap();
+            assert_eq!(par, base, "{name}: partial cross-check at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn instance_capped_completeness_partial_report_is_thread_invariant() {
+    for (name, spec, _) in domains() {
+        let budget = node_budget(50);
+        let base = completeness::exhaustive_budget(&spec.functions, 3, 20, &budget, 1).unwrap();
+        let e = base.exhausted.clone().expect(name);
+        assert_eq!(
+            (e.stage, e.completed_units),
+            ("completeness", 50),
+            "{name}"
+        );
+        for threads in BUDGET_THREADS {
+            let par =
+                completeness::exhaustive_budget(&spec.functions, 3, 20, &budget, threads)
+                    .unwrap();
+            assert_eq!(par, base, "{name}: partial completeness at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn pair_capped_confluence_partial_report_is_thread_invariant() {
+    for (name, spec, _) in domains() {
+        let alg = &spec.functions;
+        let overlaps = confluence::critical_overlaps_threads(alg, 1).unwrap();
+        if overlaps.is_empty() {
+            continue;
+        }
+        let space = eclectic_algebraic::induction::GroundSpace::new(alg.signature(), 2).unwrap();
+        let pairs: Vec<_> = overlaps
+            .iter()
+            .map(|o| {
+                (
+                    alg.equation(&o.first).unwrap(),
+                    alg.equation(&o.second).unwrap(),
+                )
+            })
+            .collect();
+        for cap in [0, pairs.len().saturating_sub(1)] {
+            let budget = node_budget(cap);
+            let base = confluence::resolve_overlaps_budget_in(alg, &space, &pairs, &budget, 1)
+                .unwrap();
+            let e = base.1.clone().expect(name);
+            assert_eq!((e.stage, e.completed_units), ("confluence", cap), "{name}");
+            assert_eq!(base.0.len(), cap, "{name}: resolved prefix length");
+            for threads in BUDGET_THREADS {
+                let par =
+                    confluence::resolve_overlaps_budget_in(alg, &space, &pairs, &budget, threads)
+                        .unwrap();
+                assert_eq!(
+                    par, base,
+                    "{name}: partial confluence, cap {cap}, {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn application_capped_dynamic_partial_report_is_thread_invariant() {
+    for (name, spec, _) in domains() {
+        let budget = node_budget(5);
+        let base =
+            check_dynamic_budget(&spec.representation, &spec.empty_state(), 1_024, &budget, 1)
+                .unwrap();
+        if base.skipped.is_none() {
+            let e = base.exhausted.clone().expect(name);
+            assert_eq!((e.stage, e.completed_units), ("dynamic", 5), "{name}");
+            assert_eq!(base.checked, 5, "{name}");
+        }
+        for threads in BUDGET_THREADS {
+            let par = check_dynamic_budget(
+                &spec.representation,
+                &spec.empty_state(),
+                1_024,
+                &budget,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(par.failures, base.failures, "{name} at {threads} threads");
+            assert_eq!(par.checked, base.checked, "{name} at {threads} threads");
+            assert_eq!(par.exhausted, base.exhausted, "{name} at {threads} threads");
+            assert_eq!(par.skipped, base.skipped, "{name} at {threads} threads");
+        }
+    }
+}
+
+/// The tiny universe and formula batch of the rpr PDL unit tests: three
+/// distinct programs to denote, four formulas to judge.
+fn pdl_fixture() -> (FiniteUniverse, Vec<Pdl>) {
+    let mut sig = Signature::new();
+    let course = sig.add_sort("course").unwrap();
+    let offered = sig.add_db_predicate("OFFERED", &[course]).unwrap();
+    let x = sig.add_constant("x", course).unwrap();
+    let dom = Domains::from_names(&sig, &[("course", &["db"])]).unwrap();
+    let sig = Arc::new(sig);
+    let mut template = DbState::new(sig.clone(), Arc::new(dom));
+    template.set_scalar(x, Elem(0)).unwrap();
+    let u = FiniteUniverse::enumerate(&template, &[offered], &[x], 100).unwrap();
+    let insert = Stmt::Insert(offered, vec![LogicTerm::constant(x)]);
+    let atom = Pdl::Atom(Formula::Pred(offered, vec![LogicTerm::constant(x)]));
+    let formulas = vec![
+        Pdl::after_all(insert.clone(), atom.clone()),
+        Pdl::after_some(insert.clone(), atom.clone()),
+        Pdl::after_all(Stmt::Skip, atom.clone()),
+        Pdl::after_all(insert.seq(Stmt::Skip), atom),
+    ];
+    (u, formulas)
+}
+
+#[test]
+fn unit_capped_pdl_batch_partial_report_is_thread_invariant() {
+    let (u, formulas) = pdl_fixture();
+    // Cap 2 trips during the denotation phase (3 distinct programs): no
+    // verdicts. Cap 5 trips during the judgement phase (units 3 + j): a
+    // two-formula verdict prefix survives.
+    for (cap, verdicts) in [(2, 0), (5, 2)] {
+        let budget = node_budget(cap);
+        let base = check_batch_budget(&formulas, &u, &budget, 1).unwrap();
+        let e = base.exhausted.clone().expect("cap must trip");
+        assert_eq!((e.stage, e.completed_units), ("pdl", cap));
+        assert_eq!(base.valid.len(), verdicts, "verdict prefix at cap {cap}");
+        for threads in BUDGET_THREADS {
+            let par = check_batch_budget(&formulas, &u, &budget, threads).unwrap();
+            assert_eq!(par.satisfying, base.satisfying, "cap {cap}, {threads} threads");
+            assert_eq!(par.valid, base.valid, "cap {cap}, {threads} threads");
+            assert_eq!(par.exhausted, base.exhausted, "cap {cap}, {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn instance_capped_equation_check_reports_exhaustion() {
+    let spec = courses::courses(&courses::CoursesConfig::default()).unwrap();
+    let mk = || {
+        InducedAlgebra::new(
+            &spec.functions,
+            &spec.representation,
+            &spec.interp_k,
+            spec.empty_state(),
+        )
+        .unwrap()
+    };
+    let budget = node_budget(100);
+    let base = check_equations_budget(&mut mk(), 3, 2_000, 20, &budget).unwrap();
+    let e = base.exhausted.clone().expect("cap 100 must trip");
+    assert_eq!((e.stage, e.completed_units), ("equations", 100));
+    assert_eq!(base.instances, 100);
+    // Replay: the instance axis is deterministic.
+    let again = check_equations_budget(&mut mk(), 3, 2_000, 20, &budget).unwrap();
+    assert_eq!(again.exhausted, base.exhausted);
+    assert_eq!(again.instances, base.instances);
+    assert_eq!(again.failures, base.failures);
+}
+
+#[test]
+fn deadline_interrupts_oversized_exploration_instead_of_hanging() {
+    // A carrier far too large to finish in 100 ms: the budget's deadline
+    // axis must stop the (iterative, level-synchronous) sweep gracefully,
+    // on both the serial and the parallel path.
+    let spec = bank::bank(&bank::BankConfig::sized(5, 6)).unwrap();
+    let limits = AlgExploreLimits {
+        max_depth: 1_000_000,
+        max_states: 1_000_000,
+    };
+    for threads in [1, 4] {
+        let budget = Budget::unlimited().with_deadline_ms(100);
+        let started = std::time::Instant::now();
+        let out = explore_algebraic_budget(
+            &spec.functions,
+            &spec.interp_i,
+            spec.info_signature(),
+            &spec.info_domains,
+            limits,
+            &budget,
+            threads,
+        )
+        .unwrap();
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(30),
+            "deadline ignored at {threads} threads"
+        );
+        let e = out.exhausted.expect("deadline must trip");
+        assert_eq!(e.stage, "explore");
+        assert_eq!(e.reason, BudgetExceeded::Deadline);
+        assert!(out.truncated);
+    }
+}
+
+#[test]
+fn verify_under_tiny_node_cap_reports_deterministic_partial_outcome() {
+    let spec = courses::courses(&courses::CoursesConfig::default()).unwrap();
+    let mut config = VerifyConfig::quick();
+    config.max_nodes = Some(200);
+    let run = || {
+        let outcome = verify(&spec, &config).unwrap();
+        assert!(outcome.exhausted().is_some(), "cap 200 must trip");
+        assert!(!outcome.is_correct(), "a partial run never claims success");
+        outcome
+            .stages
+            .iter()
+            .map(|s| (s.name, s.exhausted.clone()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run(), "per-stage exhaustion must replay identically");
 }

@@ -1,0 +1,349 @@
+//! Resource governor for the long-running verification sweeps.
+//!
+//! Every obligation checker in this workspace is a bounded search over an
+//! unbounded space: rewriting may diverge (only fuel stops it), reachability
+//! closures grow geometrically, and PDL denotations scale with the universe.
+//! A [`Budget`] bounds the work done per request along three axes:
+//!
+//! - a **wall-clock deadline** measured from a monotonic start instant,
+//! - a **node cap** backed by the term arena's chunk accounting
+//!   ([`Interner::len`](crate::Interner::len) — the number of hash-consed
+//!   nodes allocated so far), and
+//! - a cooperative [`CancelToken`] (an `Arc<AtomicBool>`) that an external
+//!   caller may flip at any time.
+//!
+//! Budgets are polled cooperatively at *deterministic* boundaries —
+//! frontier levels in the BFS closures, per-unit stride slots in the
+//! embarrassingly parallel sweeps — so that exhaustion produces the same
+//! partial report at every thread count: the node axis is checked first
+//! (it depends only on serial-order progress, never on the scheduler), and
+//! an exhausted sweep reports an [`Exhaustion`] that echoes the *configured*
+//! limits rather than observed counters, making reports comparable with
+//! `==` across runs.
+//!
+//! Cheapness matters: `Budget::check` on an unlimited budget is three
+//! `Option` tests and no syscall; `Instant::now()` is only consulted when a
+//! deadline is actually set.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cooperative cancellation flag, cheaply cloneable and shareable across
+/// worker threads. Flipping it does not interrupt anything by itself; the
+/// governed sweeps poll it at their serial-order boundaries and wind down
+/// with a partial report.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Has [`cancel`](Self::cancel) been called on any clone?
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Which budget axis tripped.
+///
+/// The variants are ordered by check priority: node caps are examined
+/// before cancellation and deadlines because the node axis is a pure
+/// function of serial-order progress — checking it first keeps exhaustion
+/// reports bit-identical across thread counts even when a deadline is also
+/// configured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BudgetExceeded {
+    /// The hash-consed node count reached the configured cap.
+    Nodes,
+    /// A [`CancelToken`] was flipped.
+    Cancelled,
+    /// The wall-clock deadline elapsed.
+    Deadline,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BudgetExceeded::Nodes => "node cap reached",
+            BudgetExceeded::Cancelled => "cancelled",
+            BudgetExceeded::Deadline => "deadline elapsed",
+        })
+    }
+}
+
+/// A shareable work budget. Clones share the same start instant and cancel
+/// token, so a single budget built at the top of `verify` governs every
+/// stage: once one axis trips, every later stage trips at entry and returns
+/// an empty partial report instead of doing more work.
+#[derive(Clone, Debug)]
+pub struct Budget {
+    start: Instant,
+    deadline: Option<Duration>,
+    max_nodes: Option<usize>,
+    cancel: Option<CancelToken>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget with no limits on any axis. `check` never trips.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Budget {
+            start: Instant::now(),
+            deadline: None,
+            max_nodes: None,
+            cancel: None,
+        }
+    }
+
+    /// Set a wall-clock deadline, measured from the instant the budget was
+    /// constructed (not from this call).
+    #[must_use]
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline = Some(Duration::from_millis(ms));
+        self
+    }
+
+    /// Cap the number of hash-consed term nodes (or, on sweeps that do not
+    /// allocate terms, the number of completed serial-order units). The cap
+    /// trips when the count *reaches* the cap, so a cap of 0 trips before
+    /// any work is done.
+    #[must_use]
+    pub fn with_max_nodes(mut self, nodes: usize) -> Self {
+        self.max_nodes = Some(nodes);
+        self
+    }
+
+    /// Attach a cooperative cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// A copy of this budget with the node cap removed — the form handed to
+    /// per-worker rewriters inside strided sweeps. The sweep itself enforces
+    /// the node axis at serial-order slot boundaries; letting workers also
+    /// poll their *private* store sizes would make node-cap stops depend on
+    /// the schedule.
+    #[must_use]
+    pub fn without_node_cap(&self) -> Budget {
+        Budget {
+            max_nodes: None,
+            ..self.clone()
+        }
+    }
+
+    /// Read `ECLECTIC_DEADLINE_MS` / `ECLECTIC_MAX_NODES` from the
+    /// environment; unset or unparseable values leave that axis unlimited.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut b = Budget::unlimited();
+        if let Some(ms) = env_u64("ECLECTIC_DEADLINE_MS") {
+            b = b.with_deadline_ms(ms);
+        }
+        if let Some(n) = env_u64("ECLECTIC_MAX_NODES") {
+            b = b.with_max_nodes(n as usize);
+        }
+        b
+    }
+
+    /// The configured deadline in milliseconds, if any.
+    #[must_use]
+    pub fn deadline_ms(&self) -> Option<u64> {
+        self.deadline.map(|d| d.as_millis() as u64)
+    }
+
+    /// The configured node cap, if any.
+    #[must_use]
+    pub fn max_nodes(&self) -> Option<usize> {
+        self.max_nodes
+    }
+
+    /// True when no axis is limited — `check` can never trip.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_nodes.is_none() && self.cancel.is_none()
+    }
+
+    /// Wall-clock time since the budget was constructed.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Poll the budget with the current node count. Returns the first axis
+    /// that tripped, in [`BudgetExceeded`] priority order (nodes, then
+    /// cancellation, then deadline). `Instant::now()` is only consulted
+    /// when a deadline is configured.
+    #[must_use]
+    pub fn check(&self, nodes: usize) -> Option<BudgetExceeded> {
+        if let Some(cap) = self.max_nodes {
+            if nodes >= cap {
+                return Some(BudgetExceeded::Nodes);
+            }
+        }
+        if let Some(tok) = &self.cancel {
+            if tok.is_cancelled() {
+                return Some(BudgetExceeded::Cancelled);
+            }
+        }
+        if let Some(limit) = self.deadline {
+            if self.start.elapsed() >= limit {
+                return Some(BudgetExceeded::Deadline);
+            }
+        }
+        None
+    }
+
+    /// Build the [`Exhaustion`] record for a sweep that tripped this
+    /// budget. The record echoes the configured limits (not observed
+    /// counters), so two runs of the same sweep under the same budget
+    /// compare equal regardless of thread count or timing.
+    #[must_use]
+    pub fn exhaustion(
+        &self,
+        stage: &'static str,
+        reason: BudgetExceeded,
+        completed_units: usize,
+    ) -> Exhaustion {
+        Exhaustion {
+            stage,
+            reason,
+            completed_units,
+            max_nodes: self.max_nodes,
+            deadline_ms: self.deadline_ms(),
+        }
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    let raw = std::env::var(key).ok()?;
+    match raw.trim().parse::<u64>() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("eclectic: ignoring unparseable {key}={raw:?} (expected a non-negative integer)");
+            None
+        }
+    }
+}
+
+/// A deterministic partial-progress report attached to a sweep's verdict
+/// when its budget tripped. `completed_units` counts fully processed
+/// serial-order units (frontier levels, overlap pairs, evaluation subjects,
+/// …) — a *prefix* of the serial schedule, so the same report is produced
+/// at every thread count for the schedule-independent axes.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Exhaustion {
+    /// Which sweep ran out of budget (`"rewrite"`, `"explore"`, …).
+    pub stage: &'static str,
+    /// Which axis tripped.
+    pub reason: BudgetExceeded,
+    /// How many serial-order units completed before stopping.
+    pub completed_units: usize,
+    /// The configured node cap, echoed from the budget.
+    pub max_nodes: Option<usize>,
+    /// The configured deadline in milliseconds, echoed from the budget.
+    pub deadline_ms: Option<u64>,
+}
+
+impl fmt::Display for Exhaustion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} exhausted ({}) after {} unit(s)",
+            self.stage, self.reason, self.completed_units
+        )?;
+        if let Some(n) = self.max_nodes {
+            write!(f, ", node cap {n}")?;
+        }
+        if let Some(ms) = self.deadline_ms {
+            write!(f, ", deadline {ms} ms")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        assert_eq!(b.check(usize::MAX), None);
+    }
+
+    #[test]
+    fn node_cap_trips_at_cap_inclusive() {
+        let b = Budget::unlimited().with_max_nodes(10);
+        assert_eq!(b.check(9), None);
+        assert_eq!(b.check(10), Some(BudgetExceeded::Nodes));
+        assert_eq!(b.check(11), Some(BudgetExceeded::Nodes));
+        // A zero cap trips before any work at all.
+        let z = Budget::unlimited().with_max_nodes(0);
+        assert_eq!(z.check(0), Some(BudgetExceeded::Nodes));
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let tok = CancelToken::new();
+        let b = Budget::unlimited().with_cancel(tok.clone());
+        let b2 = b.clone();
+        assert_eq!(b.check(0), None);
+        tok.cancel();
+        assert_eq!(b.check(0), Some(BudgetExceeded::Cancelled));
+        assert_eq!(b2.check(0), Some(BudgetExceeded::Cancelled));
+    }
+
+    #[test]
+    fn nodes_axis_wins_over_cancel_and_deadline() {
+        let tok = CancelToken::new();
+        tok.cancel();
+        let b = Budget::unlimited()
+            .with_max_nodes(0)
+            .with_deadline_ms(0)
+            .with_cancel(tok);
+        assert_eq!(b.check(0), Some(BudgetExceeded::Nodes));
+        assert_eq!(b.check(usize::MAX), Some(BudgetExceeded::Nodes));
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        let b = Budget::unlimited().with_deadline_ms(0);
+        assert_eq!(b.check(0), Some(BudgetExceeded::Deadline));
+    }
+
+    #[test]
+    fn exhaustion_echoes_configured_limits() {
+        let b = Budget::unlimited().with_max_nodes(5).with_deadline_ms(250);
+        let e = b.exhaustion("explore", BudgetExceeded::Nodes, 3);
+        assert_eq!(e.stage, "explore");
+        assert_eq!(e.completed_units, 3);
+        assert_eq!(e.max_nodes, Some(5));
+        assert_eq!(e.deadline_ms, Some(250));
+        // Equal regardless of when / on which thread it was built.
+        assert_eq!(e, b.clone().exhaustion("explore", BudgetExceeded::Nodes, 3));
+        let shown = e.to_string();
+        assert!(shown.contains("explore"), "{shown}");
+        assert!(shown.contains("node cap 5"), "{shown}");
+    }
+}

@@ -21,11 +21,13 @@
 
 #![warn(missing_docs)]
 
+mod budget;
 mod concurrent;
 pub mod hash;
 mod ids;
 mod store;
 
+pub use budget::{Budget, BudgetExceeded, CancelToken, Exhaustion};
 pub use concurrent::{
     effective_workers, env_threads, ConcurrentTermStore, SharedMemo, StoreHandle,
 };

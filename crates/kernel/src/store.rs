@@ -252,6 +252,17 @@ pub trait Interner {
     /// Maximum nesting depth; a constant or variable has depth 1 (cached).
     fn depth(&self, t: TermId) -> usize;
 
+    /// Number of distinct terms interned so far — the backend's node
+    /// accounting, used by [`crate::Budget`] node caps. For a
+    /// [`crate::StoreHandle`] this is the *shared* store's count, so every
+    /// worker sees the same figure at a synchronized boundary.
+    fn len(&self) -> usize;
+
+    /// Whether nothing has been interned yet (companion to [`Interner::len`]).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Applies a binding, returning the interned result. Ground subtrees
     /// are returned as-is; unbound variables are left in place.
     fn subst(&mut self, t: TermId, binding: &Binding) -> TermId {
@@ -300,6 +311,10 @@ impl Interner for TermStore {
 
     fn depth(&self, t: TermId) -> usize {
         TermStore::depth(self, t)
+    }
+
+    fn len(&self) -> usize {
+        TermStore::len(self)
     }
 
     fn subst(&mut self, t: TermId, binding: &Binding) -> TermId {

@@ -13,15 +13,17 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use eclectic_algebraic::{induction, AlgSpec, Rewriter};
+use eclectic_algebraic::{induction, AlgError, AlgSpec, Rewriter};
 use eclectic_kernel::{
-    env_threads, ConcurrentTermStore, Interner, SharedMemo, StoreHandle, TermId,
+    env_threads, Budget, BudgetExceeded, ConcurrentTermStore, Exhaustion, Interner, SharedMemo,
+    StoreHandle, TermId,
 };
 use eclectic_logic::{Elem, FuncId, Term};
 use eclectic_rpr::DbState;
 
 use crate::error::{RefineError, Result};
 use crate::interp2::{IndValue, InducedAlgebra};
+use crate::reach::budget_stop;
 
 /// One operation of a replayable trace: update name plus parameter elements.
 pub type Op = (String, Vec<Elem>);
@@ -79,11 +81,32 @@ pub fn cross_check_threads(
     ops: &[Op],
     threads: usize,
 ) -> Result<(Option<Mismatch>, CrossCheckStats)> {
+    cross_check_budget(spec, ind, ops, &Budget::unlimited(), threads)
+        .map(|(m, stats, _)| (m, stats))
+}
+
+/// As [`cross_check_threads`], governed by a [`Budget`]. The budget is
+/// polled before each trace operation with the number of operations fully
+/// replayed so far, so a node cap stops after the same operation at every
+/// thread count; deadline and cancellation trips additionally interrupt the
+/// level-2 evaluations mid-operation and report the operations completed.
+/// Exhaustion returns the statistics so far with an [`Exhaustion`] record
+/// instead of failing.
+///
+/// # Errors
+/// See [`cross_check`]; budget exhaustion is *not* an error.
+pub fn cross_check_budget(
+    spec: &AlgSpec,
+    ind: &mut InducedAlgebra<'_>,
+    ops: &[Op],
+    budget: &Budget,
+    threads: usize,
+) -> Result<(Option<Mismatch>, CrossCheckStats, Option<Exhaustion>)> {
     let threads = eclectic_kernel::effective_workers(threads);
     if threads <= 1 {
-        cross_check_serial(ind, ops, Rewriter::new(spec))
+        cross_check_serial(ind, ops, budget, Rewriter::new(spec))
     } else {
-        cross_check_parallel(spec, ind, ops, threads)
+        cross_check_parallel(spec, ind, ops, budget, threads)
     }
 }
 
@@ -214,47 +237,87 @@ fn compare_site<S: Interner>(
 fn cross_check_serial<S: Interner>(
     ind: &mut InducedAlgebra<'_>,
     ops: &[Op],
+    budget: &Budget,
     mut rw: Rewriter<'_, S>,
-) -> Result<(Option<Mismatch>, CrossCheckStats)> {
+) -> Result<(Option<Mismatch>, CrossCheckStats, Option<Exhaustion>)> {
     let mut stats = CrossCheckStats::default();
-    let items = query_items(&mut rw, ind)?;
+    let exhaust =
+        |stats, reason, i| Ok((None, stats, Some(budget.exhaustion("cross", reason, i))));
+    if let Some(reason) = budget.check(0) {
+        return exhaust(stats, reason, 0);
+    }
+    rw.set_budget(budget.without_node_cap());
+    let items = match query_items(&mut rw, ind) {
+        Ok(items) => items,
+        Err(e) => match budget_stop(&e) {
+            Some(reason) => return exhaust(stats, reason, 0),
+            None => return Err(e),
+        },
+    };
 
     let mut term: Option<TermId> = None;
     let mut state: Option<DbState> = None;
 
     for (i, (name, args)) in ops.iter().enumerate() {
-        let (new_term, next_state) = step(&mut rw, ind, name, args, &mut term, &mut state)?;
+        if let Some(reason) = budget.check(i) {
+            return exhaust(stats, reason, i);
+        }
+        let (new_term, next_state) = match step(&mut rw, ind, name, args, &mut term, &mut state) {
+            Ok(pair) => pair,
+            Err(e) => match budget_stop(&e) {
+                Some(reason) => return exhaust(stats, reason, i),
+                None => return Err(e),
+            },
+        };
         stats.ops += 1;
         for item in &items {
             stats.comparisons += 1;
-            let l2 = rw.eval_query_id(item.0, &item.2, new_term)?;
+            let l2 = match rw.eval_query_id(item.0, &item.2, new_term) {
+                Ok(l2) => l2,
+                Err(AlgError::Budget { reason }) => return exhaust(stats, reason, i),
+                Err(e) => return Err(e.into()),
+            };
             if let Some(m) = compare_site(&mut rw, ind, item, l2, &next_state, i + 1)? {
-                return Ok((Some(m), stats));
+                return Ok((Some(m), stats, None));
             }
         }
         term = Some(new_term);
         state = Some(next_state);
     }
-    Ok((None, stats))
+    Ok((None, stats, None))
 }
 
 fn cross_check_parallel(
     spec: &AlgSpec,
     ind: &mut InducedAlgebra<'_>,
     ops: &[Op],
+    budget: &Budget,
     threads: usize,
-) -> Result<(Option<Mismatch>, CrossCheckStats)> {
+) -> Result<(Option<Mismatch>, CrossCheckStats, Option<Exhaustion>)> {
+    let mut stats = CrossCheckStats::default();
+    let exhaust =
+        |stats, reason, i| Ok((None, stats, Some(budget.exhaustion("cross", reason, i))));
+    if let Some(reason) = budget.check(0) {
+        return exhaust(stats, reason, 0);
+    }
     let store = ConcurrentTermStore::shared();
     let memo = Arc::new(SharedMemo::default());
     let mut rw0 = Rewriter::with_store(spec, StoreHandle::new(store.clone()));
     rw0.set_shared_memo(memo.clone());
-    let mut stats = CrossCheckStats::default();
-    let items = query_items(&mut rw0, ind)?;
+    rw0.set_budget(budget.without_node_cap());
+    let items = match query_items(&mut rw0, ind) {
+        Ok(items) => items,
+        Err(e) => match budget_stop(&e) {
+            Some(reason) => return exhaust(stats, reason, 0),
+            None => return Err(e),
+        },
+    };
 
     let mut workers: Vec<Rewriter<'_, StoreHandle>> = (0..threads)
         .map(|_| {
             let mut rw = Rewriter::with_store(spec, StoreHandle::new(store.clone()));
             rw.set_shared_memo(memo.clone());
+            rw.set_budget(budget.without_node_cap());
             rw
         })
         .collect();
@@ -263,7 +326,16 @@ fn cross_check_parallel(
     let mut state: Option<DbState> = None;
 
     for (i, (name, args)) in ops.iter().enumerate() {
-        let (new_term, next_state) = step(&mut rw0, ind, name, args, &mut term, &mut state)?;
+        if let Some(reason) = budget.check(i) {
+            return exhaust(stats, reason, i);
+        }
+        let (new_term, next_state) = match step(&mut rw0, ind, name, args, &mut term, &mut state) {
+            Ok(pair) => pair,
+            Err(e) => match budget_stop(&e) {
+                Some(reason) => return exhaust(stats, reason, i),
+                None => return Err(e),
+            },
+        };
         stats.ops += 1;
 
         // Fan the level-2 evaluations across the workers; ids are
@@ -271,40 +343,58 @@ fn cross_check_parallel(
         // same concurrent store. Chunks are contiguous, so joining in chunk
         // order surfaces errors in the serial site order.
         let chunk = items.len().div_ceil(workers.len()).max(1);
-        let l2_chunks: Vec<Result<Vec<TermId>>> = std::thread::scope(|scope| {
+        type SitesOut = Result<(Vec<TermId>, Option<BudgetExceeded>)>;
+        let l2_chunks: Vec<SitesOut> = std::thread::scope(|scope| {
             let handles: Vec<_> = items
                 .chunks(chunk)
                 .zip(workers.iter_mut())
                 .map(|(sites, w)| {
                     scope.spawn(move || {
-                        sites
-                            .iter()
-                            .map(|(q, _, param_ids)| {
-                                w.eval_query_id(*q, param_ids, new_term)
-                                    .map_err(RefineError::Alg)
-                            })
-                            .collect::<Result<Vec<TermId>>>()
+                        let mut out = Vec::with_capacity(sites.len());
+                        let mut stop = None;
+                        for (q, _, param_ids) in sites {
+                            match w.eval_query_id(*q, param_ids, new_term) {
+                                Ok(id) => out.push(id),
+                                Err(AlgError::Budget { reason }) => {
+                                    stop = Some(reason);
+                                    break;
+                                }
+                                Err(e) => return Err(RefineError::Alg(e)),
+                            }
+                        }
+                        Ok((out, stop))
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
         let mut l2s: Vec<TermId> = Vec::with_capacity(items.len());
+        let mut stop: Option<BudgetExceeded> = None;
         for c in l2_chunks {
-            l2s.extend(c?);
+            let (ids, s) = c?;
+            l2s.extend(ids);
+            if stop.is_none() {
+                stop = s;
+            }
+        }
+        if let Some(reason) = stop {
+            // A timing axis tripped inside a worker: this operation's
+            // comparisons are incomplete, so drop them and report the
+            // operations fully replayed.
+            return exhaust(stats, reason, i);
         }
 
         // Level 3 and the comparison stay serial, in site order.
         for (item, &l2) in items.iter().zip(&l2s) {
             stats.comparisons += 1;
             if let Some(m) = compare_site(&mut rw0, ind, item, l2, &next_state, i + 1)? {
-                return Ok((Some(m), stats));
+                return Ok((Some(m), stats, None));
             }
         }
         term = Some(new_term);
         state = Some(next_state);
     }
-    Ok((None, stats))
+    Ok((None, stats, None))
 }
 
 fn level2_value<S: Interner>(

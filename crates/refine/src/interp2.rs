@@ -14,6 +14,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use eclectic_algebraic::{AlgSpec, OpKind, Rewriter};
+use eclectic_kernel::{Budget, Exhaustion};
 use eclectic_logic::{Domains, Elem, Formula, FuncId, SortId, Term, VarId};
 use eclectic_rpr::{exec, DbState, FuncQueryDef, QueryDef, Schema};
 
@@ -458,7 +459,30 @@ impl<'a> InducedAlgebra<'a> {
         max_states: usize,
         threads: usize,
     ) -> Result<(Vec<DbState>, bool)> {
+        self.reachable_states_budget(max_depth, max_states, &Budget::unlimited(), threads)
+            .map(|(order, truncated, _)| (order, truncated))
+    }
+
+    /// As [`InducedAlgebra::reachable_states_threads`], governed by a
+    /// [`Budget`]. The budget is polled once per BFS level with the number
+    /// of distinct states admitted so far (a pure function of the levels
+    /// completed, independent of thread count); exhaustion returns the
+    /// states admitted so far with `truncated` set and an [`Exhaustion`]
+    /// record instead of failing.
+    ///
+    /// # Errors
+    /// Propagates execution errors; budget exhaustion is *not* an error.
+    pub fn reachable_states_budget(
+        &mut self,
+        max_depth: usize,
+        max_states: usize,
+        budget: &Budget,
+        threads: usize,
+    ) -> Result<(Vec<DbState>, bool, Option<Exhaustion>)> {
         let threads = eclectic_kernel::effective_workers(threads);
+        if let Some(reason) = budget.check(0) {
+            return Ok((Vec::new(), true, Some(budget.exhaustion("reach", reason, 0))));
+        }
         let alg = self.spec.signature().clone();
         let mut initial = Vec::new();
         for u in alg.updates() {
@@ -502,10 +526,18 @@ impl<'a> InducedAlgebra<'a> {
         }
 
         let schema = self.schema;
+        let mut exhausted = None;
         let mut d = 0;
         while !frontier.is_empty() {
             if d >= max_depth {
                 truncated = true;
+                break;
+            }
+            if let Some(reason) = budget.check(seen.len()) {
+                // Level boundary: `seen` holds exactly the states the
+                // completed levels admitted, at every thread count.
+                truncated = true;
+                exhausted = Some(budget.exhaustion("reach", reason, d));
                 break;
             }
             // All successors of the level, grouped per parent in op order.
@@ -569,7 +601,7 @@ impl<'a> InducedAlgebra<'a> {
             frontier = next_frontier;
             d += 1;
         }
-        Ok((order, truncated))
+        Ok((order, truncated, exhausted))
     }
 
     /// All parameter-name tuples for an update's parameter sorts.
@@ -615,6 +647,9 @@ pub struct EquationCheckReport {
     pub failures: Vec<EquationFailure>,
     /// Whether state enumeration was truncated.
     pub truncated: bool,
+    /// Set when a [`Budget`] tripped during enumeration or instance
+    /// evaluation; the counts above cover the completed prefix.
+    pub exhausted: Option<Exhaustion>,
 }
 
 impl EquationCheckReport {
@@ -639,14 +674,37 @@ pub fn check_equations(
     max_states: usize,
     max_failures: usize,
 ) -> Result<EquationCheckReport> {
+    check_equations_budget(ind, max_depth, max_states, max_failures, &Budget::unlimited())
+}
+
+/// As [`check_equations`], governed by a [`Budget`]: state enumeration is
+/// budgeted (see [`InducedAlgebra::reachable_states_budget`]) and instance
+/// evaluation polls the budget before each state with the number of
+/// instances evaluated so far. Exhaustion returns the partial report with
+/// `exhausted` set instead of failing.
+///
+/// # Errors
+/// Propagates evaluation errors; budget exhaustion is *not* an error.
+pub fn check_equations_budget(
+    ind: &mut InducedAlgebra<'_>,
+    max_depth: usize,
+    max_states: usize,
+    max_failures: usize,
+    budget: &Budget,
+) -> Result<EquationCheckReport> {
     let spec = ind.spec;
     let alg = spec.signature().clone();
-    let (states, truncated) = ind.reachable_states(max_depth, max_states)?;
+    let (states, truncated, reach_exhausted) =
+        ind.reachable_states_budget(max_depth, max_states, budget, eclectic_kernel::env_threads())?;
     let mut report = EquationCheckReport {
         states: states.len(),
         truncated,
         ..EquationCheckReport::default()
     };
+    if reach_exhausted.is_some() {
+        report.exhausted = reach_exhausted;
+        return Ok(report);
+    }
 
     for eq in spec.equations() {
         // Variables of the equation: parameter vars get all values, the
@@ -682,6 +740,11 @@ pub fn check_equations(
         }
 
         for st in &states {
+            if let Some(reason) = budget.check(report.instances) {
+                report.exhausted =
+                    Some(budget.exhaustion("equations", reason, report.instances));
+                return Ok(report);
+            }
             for env in &assignments {
                 let mut env = env.clone();
                 if let Some(&sv) = state_vars.first() {

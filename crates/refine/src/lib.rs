@@ -33,21 +33,23 @@ pub mod witness;
 
 pub use bridge::ParamBridge;
 pub use equivalence::{
-    cross_check, cross_check_threads, random_ops, CrossCheckStats, Mismatch, Op,
+    cross_check, cross_check_budget, cross_check_threads, random_ops, CrossCheckStats, Mismatch,
+    Op,
 };
 pub use error::{RefineError, Result};
 pub use interp1::InterpretationI;
 pub use interp2::{
-    check_equations, EquationCheckReport, EquationFailure, IndValue, InducedAlgebra,
-    InterpretationK, QueryImpl,
+    check_equations, check_equations_budget, EquationCheckReport, EquationFailure, IndValue,
+    InducedAlgebra, InterpretationK, QueryImpl,
 };
 pub use obligations::{
-    check_dynamic, check_dynamic_threads, check_refinement_1_2, DynamicFailure, DynamicReport,
-    Refine12Config, Refine12Report, StateViolation,
+    check_dynamic, check_dynamic_budget, check_dynamic_threads, check_refinement_1_2,
+    check_refinement_1_2_budget, DynamicFailure, DynamicReport, Refine12Config, Refine12Report,
+    StateViolation,
 };
 pub use reach::{
-    explore_algebraic, explore_algebraic_threads, structure_of, structure_of_id, AlgExploreLimits,
-    AlgebraicExploration,
+    explore_algebraic, explore_algebraic_budget, explore_algebraic_threads, structure_of,
+    structure_of_id, AlgExploreLimits, AlgebraicExploration,
 };
 pub use report::FullReport;
 pub use witness::{check_valid_reachable, ValidReachableReport};

@@ -8,6 +8,7 @@
 use std::sync::Arc;
 
 use eclectic_algebraic::{completeness, termination, AlgSpec};
+use eclectic_kernel::{Budget, BudgetExceeded, Exhaustion};
 use eclectic_logic::{Domains, Elem, Formula, Signature, Theory, Valuation};
 use eclectic_rpr::pdl::Pdl;
 use eclectic_rpr::{denote, pdl, DbState, DenoteCache, FiniteUniverse, RprError, Schema, Stmt};
@@ -15,7 +16,7 @@ use eclectic_temporal::{constraints, satisfaction, AccessibilityPolicy, StateIdx
 
 use crate::error::Result;
 use crate::interp1::InterpretationI;
-use crate::reach::{explore_algebraic, AlgExploreLimits, AlgebraicExploration};
+use crate::reach::{explore_algebraic_budget, AlgExploreLimits, AlgebraicExploration};
 
 /// One axiom violation, with a replayable witness trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +38,11 @@ pub struct Refine12Config {
     pub policy: AccessibilityPolicy,
     /// Depth for the exhaustive sufficient-completeness pass.
     pub completeness_depth: usize,
+    /// Wall-clock deadline for the whole check, in milliseconds
+    /// (`None` = no deadline).
+    pub deadline_ms: Option<u64>,
+    /// Cap on hash-consed term nodes (`None` = no cap).
+    pub max_nodes: Option<usize>,
 }
 
 impl Refine12Config {
@@ -48,7 +54,23 @@ impl Refine12Config {
             limits: AlgExploreLimits::default(),
             policy: AccessibilityPolicy::AsIs,
             completeness_depth: 3,
+            deadline_ms: None,
+            max_nodes: None,
         }
+    }
+
+    /// A [`Budget`] over the configured limits, started now. Unlimited when
+    /// neither `deadline_ms` nor `max_nodes` is set.
+    #[must_use]
+    pub fn budget(&self) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(ms) = self.deadline_ms {
+            b = b.with_deadline_ms(ms);
+        }
+        if let Some(n) = self.max_nodes {
+            b = b.with_max_nodes(n);
+        }
+        b
     }
 
     /// Thorough bounds: exploration depth 10, otherwise as [`quick`].
@@ -90,6 +112,16 @@ impl Refine12Report {
             && self.static_violations.is_empty()
             && self.transition_violations.is_empty()
     }
+
+    /// The first budget exhaustion hit while producing this report, if any
+    /// (the completeness pass runs before the exploration).
+    #[must_use]
+    pub fn exhausted(&self) -> Option<&Exhaustion> {
+        self.completeness
+            .exhausted
+            .as_ref()
+            .or(self.exploration.exhausted.as_ref())
+    }
 }
 
 /// Checks obligations (a), (b) and (d) for `T2` against `T1` under `I`.
@@ -104,10 +136,55 @@ pub fn check_refinement_1_2(
     domains: &Arc<Domains>,
     config: Refine12Config,
 ) -> Result<Refine12Report> {
-    let termination = termination::check_termination(spec)?;
-    let completeness = completeness::exhaustive(spec, config.completeness_depth, 20)?;
+    check_refinement_1_2_budget(
+        theory,
+        spec,
+        interp,
+        info_sig,
+        domains,
+        config,
+        &config.budget(),
+    )
+}
 
-    let exploration = explore_algebraic(spec, interp, info_sig, domains, config.limits)?;
+/// As [`check_refinement_1_2`], governed by an explicit [`Budget`] (shared
+/// with other stages by the caller; `config.deadline_ms`/`config.max_nodes`
+/// are ignored in favour of `budget`). When the completeness pass or the
+/// exploration exhausts the budget, the remaining obligations are skipped
+/// and the partial report carries the exhaustion — see
+/// [`Refine12Report::exhausted`].
+///
+/// # Errors
+/// Propagates exploration and evaluation errors; budget exhaustion is *not*
+/// an error.
+pub fn check_refinement_1_2_budget(
+    theory: &Theory,
+    spec: &AlgSpec,
+    interp: &InterpretationI,
+    info_sig: &Arc<Signature>,
+    domains: &Arc<Domains>,
+    config: Refine12Config,
+    budget: &Budget,
+) -> Result<Refine12Report> {
+    let threads = eclectic_kernel::env_threads();
+    let termination = termination::check_termination(spec)?;
+    let completeness =
+        completeness::exhaustive_budget(spec, config.completeness_depth, 20, budget, threads)?;
+
+    let exploration =
+        explore_algebraic_budget(spec, interp, info_sig, domains, config.limits, budget, threads)?;
+    if exploration.exhausted.is_some() {
+        // The universe is a prefix of the reachable states: axiom checks
+        // over it would report spurious partial-model violations, so skip
+        // them and surface the exhaustion instead.
+        return Ok(Refine12Report {
+            termination,
+            completeness,
+            static_violations: Vec::new(),
+            transition_violations: Vec::new(),
+            exploration,
+        });
+    }
 
     let universe;
     let u = match config.policy {
@@ -186,6 +263,9 @@ pub struct DynamicReport {
     /// Denotation-cache counters for the run (one shared cache; every
     /// functionality read reuses the totality phase's denotation).
     pub cache_stats: eclectic_rpr::CacheStats,
+    /// Set when a [`Budget`] tripped: `checked` then counts the
+    /// applications verified before stopping.
+    pub exhausted: Option<Exhaustion>,
 }
 
 impl DynamicReport {
@@ -217,6 +297,31 @@ pub fn check_dynamic_threads(
     cap: usize,
     threads: usize,
 ) -> Result<DynamicReport> {
+    check_dynamic_budget(schema, template, cap, &Budget::unlimited(), threads)
+}
+
+/// As [`check_dynamic_threads`], governed by a [`Budget`]. Workers poll the
+/// budget before each serial-order application slot with the slot index, so
+/// a node cap stops after the same number of applications at every worker
+/// count; deadline and cancellation stops report the applications whose
+/// serial-order prefix completed. Exhaustion returns the partial report
+/// with `exhausted` set instead of failing.
+///
+/// # Errors
+/// See [`check_dynamic`]; budget exhaustion is *not* an error.
+pub fn check_dynamic_budget(
+    schema: &Schema,
+    template: &DbState,
+    cap: usize,
+    budget: &Budget,
+    threads: usize,
+) -> Result<DynamicReport> {
+    if let Some(reason) = budget.check(0) {
+        return Ok(DynamicReport {
+            exhausted: Some(budget.exhaustion("dynamic", reason, 0)),
+            ..DynamicReport::default()
+        });
+    }
     let u = match FiniteUniverse::enumerate(template, schema.relations(), &[], cap) {
         Ok(u) => u,
         Err(RprError::UniverseTooLarge { required, cap }) => {
@@ -257,7 +362,12 @@ pub fn check_dynamic_threads(
 
     if threads <= 1 || apps.len() < 2 {
         let mut cache = DenoteCache::new();
-        for (proc, args, env) in &apps {
+        for (k, (proc, args, env)) in apps.iter().enumerate() {
+            if let Some(reason) = budget.check(k) {
+                report.checked = k;
+                report.exhausted = Some(budget.exhaustion("dynamic", reason, k));
+                break;
+            }
             report
                 .failures
                 .extend(check_application(&u, proc, args, env, &mut cache)?);
@@ -274,7 +384,11 @@ pub fn check_dynamic_threads(
     // at every worker count; the cache counters are per-worker sums and are
     // not.
     let workers = threads.min(apps.len());
-    type AppOutcome = Result<(Vec<(usize, Vec<DynamicFailure>)>, eclectic_rpr::CacheStats)>;
+    type AppOutcome = Result<(
+        Vec<(usize, Vec<DynamicFailure>)>,
+        eclectic_rpr::CacheStats,
+        Option<(usize, BudgetExceeded)>,
+    )>;
     let results: Vec<AppOutcome> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
@@ -283,12 +397,17 @@ pub fn check_dynamic_threads(
                 s.spawn(move || {
                     let mut cache = DenoteCache::new();
                     let mut out = Vec::new();
+                    let mut stop = None;
                     for (k, (proc, args, env)) in
                         apps.iter().enumerate().skip(w).step_by(workers)
                     {
+                        if let Some(reason) = budget.check(k) {
+                            stop = Some((k, reason));
+                            break;
+                        }
                         out.push((k, check_application(u, proc, args, env, &mut cache)?));
                     }
-                    Ok((out, cache.stats()))
+                    Ok((out, cache.stats(), stop))
                 })
             })
             .collect();
@@ -296,16 +415,28 @@ pub fn check_dynamic_threads(
     });
 
     let mut slots: Vec<Option<Vec<DynamicFailure>>> = vec![None; apps.len()];
+    let mut stop: Option<(usize, BudgetExceeded)> = None;
     for r in results {
-        let (outcomes, stats) = r?;
+        let (outcomes, stats, s) = r?;
         report.cache_stats.computed += stats.computed;
         report.cache_stats.hits += stats.hits;
         for (k, failures) in outcomes {
             slots[k] = Some(failures);
         }
+        if s.is_some_and(|(k, _)| stop.is_none_or(|(k0, _)| k < k0)) {
+            stop = s;
+        }
     }
-    for slot in slots {
+    // Every slot before the earliest stop has an outcome: a worker only
+    // skips slots at or after its own stop, and all stops are >= the
+    // earliest one.
+    let covered = stop.map_or(apps.len(), |(k, _)| k);
+    for slot in slots.into_iter().take(covered) {
         report.failures.extend(slot.expect("every application checked"));
+    }
+    if let Some((k, reason)) = stop {
+        report.checked = k;
+        report.exhausted = Some(budget.exhaustion("dynamic", reason, k));
     }
     Ok(report)
 }

@@ -30,9 +30,10 @@
 use std::sync::Arc;
 
 use eclectic_algebraic::induction::SuccessorPlan;
-use eclectic_algebraic::{induction, observe, AlgSpec, Rewriter};
+use eclectic_algebraic::{induction, observe, AlgError, AlgSpec, Rewriter};
 use eclectic_kernel::{
-    env_threads, ConcurrentTermStore, FxHashMap, Interner, SharedMemo, StoreHandle, TermId,
+    env_threads, Budget, BudgetExceeded, ConcurrentTermStore, Exhaustion, FxHashMap, Interner,
+    SharedMemo, StoreHandle, TermId,
 };
 use eclectic_logic::{Domains, Signature, Structure, Term};
 use eclectic_temporal::{StateIdx, Universe};
@@ -73,6 +74,9 @@ pub struct AlgebraicExploration {
     /// Whether two observationally distinct states collapsed onto the same
     /// `L1` structure (the interpretation abstracts information away).
     pub abstraction_collision: bool,
+    /// Set when a [`Budget`] tripped: the exploration holds the levels
+    /// completed before exhaustion (`truncated` is also set).
+    pub exhausted: Option<Exhaustion>,
 }
 
 /// Explores the reachable states of `spec` and builds `M(T2)`, using
@@ -106,12 +110,64 @@ pub fn explore_algebraic_threads(
     limits: AlgExploreLimits,
     threads: usize,
 ) -> Result<AlgebraicExploration> {
+    explore_algebraic_budget(
+        spec,
+        interp,
+        info_sig,
+        domains,
+        limits,
+        &Budget::unlimited(),
+        threads,
+    )
+}
+
+/// As [`explore_algebraic_threads`], governed by a [`Budget`]. The budget is
+/// polled once per BFS level against the term store's node count, so a node
+/// cap stops at the same level boundary regardless of thread count; deadline
+/// and cancellation trips additionally interrupt workers mid-level and stop
+/// at the enclosing level. Exhaustion sets `truncated` and `exhausted` on
+/// the partial exploration instead of failing.
+///
+/// # Errors
+/// See [`explore_algebraic`]; budget exhaustion is *not* an error.
+pub fn explore_algebraic_budget(
+    spec: &AlgSpec,
+    interp: &InterpretationI,
+    info_sig: &Arc<Signature>,
+    domains: &Arc<Domains>,
+    limits: AlgExploreLimits,
+    budget: &Budget,
+    threads: usize,
+) -> Result<AlgebraicExploration> {
     let threads = eclectic_kernel::effective_workers(threads);
     if threads <= 1 {
-        explore_serial(spec, interp, info_sig, domains, limits, Rewriter::new(spec))
+        explore_serial(
+            spec,
+            interp,
+            info_sig,
+            domains,
+            limits,
+            budget,
+            Rewriter::new(spec),
+        )
     } else {
-        explore_parallel(spec, interp, info_sig, domains, limits, threads)
+        explore_parallel(spec, interp, info_sig, domains, limits, budget, threads)
     }
+}
+
+/// Extracts the budget-trip reason from a propagated rewriting error, if
+/// that is what `e` is.
+pub(crate) fn budget_stop(e: &RefineError) -> Option<BudgetExceeded> {
+    match e {
+        RefineError::Alg(AlgError::Budget { reason }) => Some(*reason),
+        _ => None,
+    }
+}
+
+/// A budget trip re-raised as an error so the exploration bodies can unwind
+/// through `?`; the wrappers convert it back into a graceful partial report.
+pub(crate) fn budget_err(reason: BudgetExceeded) -> RefineError {
+    RefineError::Alg(AlgError::Budget { reason })
 }
 
 /// Shared per-exploration context for state admission.
@@ -131,6 +187,7 @@ struct Explore {
     by_obs: FxHashMap<TermId, StateIdx>,
     truncated: bool,
     abstraction_collision: bool,
+    exhausted: Option<Exhaustion>,
 }
 
 impl Explore {
@@ -142,6 +199,7 @@ impl Explore {
             by_obs: FxHashMap::default(),
             truncated: false,
             abstraction_collision: false,
+            exhausted: None,
         }
     }
 
@@ -196,7 +254,15 @@ impl Explore {
             depth: self.depth,
             truncated: self.truncated,
             abstraction_collision: self.abstraction_collision,
+            exhausted: self.exhausted,
         }
+    }
+
+    /// Records a budget trip: the exploration so far becomes the partial
+    /// result, marked truncated.
+    fn exhaust(&mut self, budget: &Budget, reason: BudgetExceeded, levels: usize) {
+        self.truncated = true;
+        self.exhausted = Some(budget.exhaustion("explore", reason, levels));
     }
 }
 
@@ -211,11 +277,43 @@ fn explore_serial<S: Interner>(
     info_sig: &Arc<Signature>,
     domains: &Arc<Domains>,
     limits: AlgExploreLimits,
+    budget: &Budget,
     mut rw: Rewriter<'_, S>,
 ) -> Result<AlgebraicExploration> {
+    let mut ex = Explore::new(info_sig, domains);
+    if let Some(reason) = budget.check(rw.store().len()) {
+        ex.exhaust(budget, reason, 0);
+        return Ok(ex.finish());
+    }
+    // The search polls the node cap itself at level boundaries; the
+    // rewriter only watches the timing axes (deadline, cancellation).
+    rw.set_budget(budget.without_node_cap());
+    let mut level = 0usize;
+    if let Err(e) = explore_serial_body(spec, interp, info_sig, domains, limits, budget, &mut rw, &mut ex, &mut level)
+    {
+        match budget_stop(&e) {
+            Some(reason) => ex.exhaust(budget, reason, level),
+            None => return Err(e),
+        }
+    }
+    Ok(ex.finish())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn explore_serial_body<S: Interner>(
+    spec: &AlgSpec,
+    interp: &InterpretationI,
+    info_sig: &Arc<Signature>,
+    domains: &Arc<Domains>,
+    limits: AlgExploreLimits,
+    budget: &Budget,
+    rw: &mut Rewriter<'_, S>,
+    ex: &mut Explore,
+    level: &mut usize,
+) -> Result<()> {
     let bridge = ParamBridge::new(spec.signature(), info_sig, domains)?;
-    let keys = observe::ObsKeys::new(&mut rw)?;
-    let plan = SuccessorPlan::new(&mut rw)?;
+    let keys = observe::ObsKeys::new(rw)?;
+    let plan = SuccessorPlan::new(rw)?;
     let ctx = AdmitCtx {
         keys: &keys,
         interp,
@@ -224,11 +322,10 @@ fn explore_serial<S: Interner>(
         domains,
     };
 
-    let mut ex = Explore::new(info_sig, domains);
     let mut row: Vec<TermId> = Vec::with_capacity(keys.arity());
     let mut succs: Vec<TermId> = Vec::with_capacity(plan.count());
 
-    let initials = induction::initial_state_ids(&mut rw)?;
+    let initials = induction::initial_state_ids(rw)?;
     if initials.is_empty() {
         return Err(RefineError::Alg(
             eclectic_algebraic::AlgError::BadDescription("no initial state constant".into()),
@@ -238,7 +335,7 @@ fn explore_serial<S: Interner>(
     let mut queue: std::collections::VecDeque<(StateIdx, TermId, usize)> =
         std::collections::VecDeque::new();
     for t in initials {
-        let (idx, fresh) = ex.admit(&mut rw, &ctx, &mut row, t, 0)?;
+        let (idx, fresh) = ex.admit(rw, &ctx, &mut row, t, 0)?;
         if fresh {
             queue.push_back((idx, t, 0));
         }
@@ -249,13 +346,23 @@ fn explore_serial<S: Interner>(
             ex.truncated = true;
             continue;
         }
-        plan.successors_into(&mut rw, term, &mut succs);
+        if d > *level {
+            // First pop of a new BFS level: every shallower state has been
+            // expanded, so the store's node count here is a pure function of
+            // the levels completed — the same poll the parallel search makes
+            // between levels.
+            *level = d;
+            if let Some(reason) = budget.check(rw.store().len()) {
+                return Err(budget_err(reason));
+            }
+        }
+        plan.successors_into(rw, term, &mut succs);
         for &succ in &succs {
             if ex.universe.state_count() >= limits.max_states {
                 ex.truncated = true;
                 break;
             }
-            let (sidx, fresh) = ex.admit(&mut rw, &ctx, &mut row, succ, d + 1)?;
+            let (sidx, fresh) = ex.admit(rw, &ctx, &mut row, succ, d + 1)?;
             ex.universe.add_edge(idx, sidx);
             if fresh {
                 queue.push_back((sidx, succ, d + 1));
@@ -263,7 +370,7 @@ fn explore_serial<S: Interner>(
         }
     }
 
-    Ok(ex.finish())
+    Ok(())
 }
 
 /// Per-item worker output: the successors of one frontier state, each with
@@ -271,8 +378,13 @@ fn explore_serial<S: Interner>(
 type ItemSuccs = Vec<(TermId, TermId)>;
 
 /// One worker chunk's output: per-item successors plus the candidate
-/// structures for observation keys not yet in the dedup map.
-type ChunkResult = Result<(Vec<ItemSuccs>, FxHashMap<TermId, Structure>)>;
+/// structures for observation keys not yet in the dedup map, plus the
+/// budget trip (if any) that made the worker stop early.
+type ChunkResult = Result<(
+    Vec<ItemSuccs>,
+    FxHashMap<TermId, Structure>,
+    Option<BudgetExceeded>,
+)>;
 
 /// A persistent worker: a rewriter over a shared-store handle plus scratch
 /// buffers, reused across BFS levels.
@@ -299,13 +411,45 @@ fn explore_parallel(
     info_sig: &Arc<Signature>,
     domains: &Arc<Domains>,
     limits: AlgExploreLimits,
+    budget: &Budget,
     threads: usize,
 ) -> Result<AlgebraicExploration> {
-    let bridge = ParamBridge::new(spec.signature(), info_sig, domains)?;
     let store = ConcurrentTermStore::shared();
+    let mut ex = Explore::new(info_sig, domains);
+    if let Some(reason) = budget.check(store.len()) {
+        ex.exhaust(budget, reason, 0);
+        return Ok(ex.finish());
+    }
+    let mut level = 0usize;
+    if let Err(e) = explore_parallel_body(
+        spec, interp, info_sig, domains, limits, budget, threads, &store, &mut ex, &mut level,
+    ) {
+        match budget_stop(&e) {
+            Some(reason) => ex.exhaust(budget, reason, level),
+            None => return Err(e),
+        }
+    }
+    Ok(ex.finish())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn explore_parallel_body(
+    spec: &AlgSpec,
+    interp: &InterpretationI,
+    info_sig: &Arc<Signature>,
+    domains: &Arc<Domains>,
+    limits: AlgExploreLimits,
+    budget: &Budget,
+    threads: usize,
+    store: &Arc<ConcurrentTermStore>,
+    ex: &mut Explore,
+    level: &mut usize,
+) -> Result<()> {
+    let bridge = ParamBridge::new(spec.signature(), info_sig, domains)?;
     let memo = Arc::new(SharedMemo::default());
     let mut rw0 = Rewriter::with_store(spec, StoreHandle::new(store.clone()));
     rw0.set_shared_memo(memo.clone());
+    rw0.set_budget(budget.without_node_cap());
     let keys = observe::ObsKeys::new(&mut rw0)?;
     let plan = SuccessorPlan::new(&mut rw0)?;
     let ctx = AdmitCtx {
@@ -316,7 +460,6 @@ fn explore_parallel(
         domains,
     };
 
-    let mut ex = Explore::new(info_sig, domains);
     let mut row: Vec<TermId> = Vec::with_capacity(keys.arity());
 
     let initials = induction::initial_state_ids(&mut rw0)?;
@@ -342,6 +485,7 @@ fn explore_parallel(
         .map(|_| {
             let mut rw = Rewriter::with_store(spec, StoreHandle::new(store.clone()));
             rw.set_shared_memo(memo.clone());
+            rw.set_budget(budget.without_node_cap());
             Worker {
                 rw,
                 row: Vec::with_capacity(keys.arity()),
@@ -357,6 +501,16 @@ fn explore_parallel(
             ex.truncated = true;
             break;
         }
+        if d > 0 {
+            // Level boundary: the shared store holds exactly the nodes the
+            // completed levels interned (hash-consing makes the set, hence
+            // the count, schedule-independent), so this poll stops at the
+            // same level as the serial search for the node axis.
+            *level = d;
+            if let Some(reason) = budget.check(store.len()) {
+                return Err(budget_err(reason));
+            }
+        }
 
         // Phase A: expand the level in parallel.
         let chunk = frontier.len().div_ceil(workers.len()).max(1);
@@ -371,28 +525,45 @@ fn explore_parallel(
                     scope.spawn(move || {
                         let mut per_item: Vec<ItemSuccs> = Vec::with_capacity(items.len());
                         let mut structs: FxHashMap<TermId, Structure> = FxHashMap::default();
-                        for &(_, term, _) in items {
+                        let mut stop: Option<BudgetExceeded> = None;
+                        'items: for &(_, term, _) in items {
                             plan.successors_into(&mut w.rw, term, &mut w.succs);
                             let mut out: ItemSuccs = Vec::with_capacity(w.succs.len());
                             for i in 0..w.succs.len() {
                                 let succ = w.succs[i];
-                                let obs = ctx.keys.key_id(&mut w.rw, succ, &mut w.row)?;
+                                let obs = match ctx.keys.key_id(&mut w.rw, succ, &mut w.row) {
+                                    Ok(obs) => obs,
+                                    Err(AlgError::Budget { reason }) => {
+                                        stop = Some(reason);
+                                        break 'items;
+                                    }
+                                    Err(e) => return Err(e.into()),
+                                };
                                 if !by_obs.contains_key(&obs) && !structs.contains_key(&obs) {
-                                    let st = structure_of_id(
+                                    let st = match structure_of_id(
                                         &mut w.rw,
                                         ctx.interp,
                                         ctx.bridge,
                                         ctx.info_sig,
                                         ctx.domains,
                                         succ,
-                                    )?;
+                                    ) {
+                                        Ok(st) => st,
+                                        Err(e) => match budget_stop(&e) {
+                                            Some(reason) => {
+                                                stop = Some(reason);
+                                                break 'items;
+                                            }
+                                            None => return Err(e),
+                                        },
+                                    };
                                     structs.insert(obs, st);
                                 }
                                 out.push((succ, obs));
                             }
                             per_item.push(out);
                         }
-                        Ok((per_item, structs))
+                        Ok((per_item, structs, stop))
                     })
                 })
                 .collect();
@@ -404,12 +575,22 @@ fn explore_parallel(
         // first among those its admission order would reach.
         let mut per_item: Vec<ItemSuccs> = Vec::with_capacity(frontier.len());
         let mut fresh_structs: FxHashMap<TermId, Structure> = FxHashMap::default();
+        let mut stop: Option<BudgetExceeded> = None;
         for r in chunk_results {
-            let (items, structs) = r?;
+            let (items, structs, s) = r?;
             per_item.extend(items);
             // Workers deduplicate locally; across workers the entries for
             // one observation id are identical structures.
             fresh_structs.extend(structs);
+            if stop.is_none() {
+                stop = s;
+            }
+        }
+        if let Some(reason) = stop {
+            // A timing axis tripped inside a worker: the level is
+            // incomplete, so discard it and report the levels that finished.
+            *level = d;
+            return Err(budget_err(reason));
         }
 
         // Phase B: serial merge in (parent, successor) order.
@@ -438,7 +619,7 @@ fn explore_parallel(
         frontier = next;
     }
 
-    Ok(ex.finish())
+    Ok(())
 }
 
 /// Builds the `L1` structure induced by a ground state term: each
@@ -603,6 +784,78 @@ mod tests {
         let offered = info.pred_id("offered").unwrap();
         assert!(st.pred_holds(offered, &[eclectic_logic::Elem(0)]));
         assert!(!st.pred_holds(offered, &[eclectic_logic::Elem(1)]));
+    }
+
+    #[test]
+    fn node_cap_zero_exhausts_before_exploring() {
+        let (spec, interp, info, dom) = setup();
+        let budget = Budget::unlimited().with_max_nodes(0);
+        let mut reports = Vec::new();
+        for threads in [1, 2, 4] {
+            let exp = explore_algebraic_budget(
+                &spec,
+                &interp,
+                &info,
+                &dom,
+                AlgExploreLimits::default(),
+                &budget,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(exp.universe.state_count(), 0);
+            assert!(exp.truncated);
+            let e = exp.exhausted.expect("node cap 0 must exhaust");
+            assert_eq!(e.stage, "explore");
+            assert_eq!(e.completed_units, 0);
+            reports.push(e);
+        }
+        assert!(reports.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn cancelled_budget_returns_partial_exploration() {
+        let (spec, interp, info, dom) = setup();
+        let tok = eclectic_kernel::CancelToken::new();
+        tok.cancel();
+        let budget = Budget::unlimited().with_cancel(tok);
+        for threads in [1, 4] {
+            let exp = explore_algebraic_budget(
+                &spec,
+                &interp,
+                &info,
+                &dom,
+                AlgExploreLimits::default(),
+                &budget,
+                threads,
+            )
+            .unwrap();
+            assert!(exp.truncated);
+            let e = exp.exhausted.expect("cancelled budget must exhaust");
+            assert_eq!(e.reason, eclectic_kernel::BudgetExceeded::Cancelled);
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_matches_ungoverned_exploration() {
+        let (spec, interp, info, dom) = setup();
+        let limits = AlgExploreLimits {
+            max_depth: 5,
+            max_states: 100,
+        };
+        let plain = explore_algebraic_threads(&spec, &interp, &info, &dom, limits, 1).unwrap();
+        let gov = explore_algebraic_budget(
+            &spec,
+            &interp,
+            &info,
+            &dom,
+            limits,
+            &Budget::unlimited(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(gov.universe.state_count(), plain.universe.state_count());
+        assert_eq!(gov.witnesses, plain.witnesses);
+        assert!(gov.exhausted.is_none());
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! statements and whose atoms are first-order wffs, model-checked over a
 //! finite universe.
 
-use eclectic_logic::kernel::{effective_workers, env_threads, FxHashSet};
+use eclectic_kernel::{
+    effective_workers, env_threads, Budget, BudgetExceeded, Exhaustion, FxHashSet,
+};
 use eclectic_logic::{eval, Formula, Valuation};
 
 use crate::ast::Stmt;
@@ -149,6 +151,10 @@ pub struct BatchReport {
     /// `valid` — which are bit-identical at every thread count — the
     /// counters depend on how work was split across workers.
     pub stats: CacheStats,
+    /// Set when a [`Budget`] tripped: `satisfying`/`valid` then hold the
+    /// verdicts of the formula prefix that completed (empty when the
+    /// denotation phase was interrupted).
+    pub exhausted: Option<Exhaustion>,
 }
 
 /// Model-checks many PDL formulas in one pass over the universe, computing
@@ -176,6 +182,21 @@ pub fn check_batch_threads(
     check_batch_with(formulas, u, &Valuation::new(), &mut cache, threads)
 }
 
+/// As [`check_batch_threads`], governed by a [`Budget`] — see
+/// [`check_batch_budget_with`] for the exhaustion semantics.
+///
+/// # Errors
+/// See [`satisfying_states`]; budget exhaustion is *not* an error.
+pub fn check_batch_budget(
+    formulas: &[Pdl],
+    u: &FiniteUniverse,
+    budget: &Budget,
+    threads: usize,
+) -> Result<BatchReport> {
+    let mut cache = DenoteCache::new();
+    check_batch_budget_with(formulas, u, &Valuation::new(), &mut cache, budget, threads)
+}
+
 /// As [`check_batch`] against a caller-held [`DenoteCache`] and parameter
 /// environment, so many batches over the same universe share denotations
 /// (the environment is part of the cache key).
@@ -196,7 +217,36 @@ pub fn check_batch_with(
     cache: &mut DenoteCache,
     threads: usize,
 ) -> Result<BatchReport> {
+    check_batch_budget_with(formulas, u, env, cache, &Budget::unlimited(), threads)
+}
+
+/// As [`check_batch_with`], governed by a [`Budget`]. Work is counted in
+/// serial-order units: first the not-yet-cached modality programs (polled
+/// before each denotation, by index), then the formulas (polled before each
+/// walk, offset by the program count) — so a node cap stops after the same
+/// unit at every worker count. Exhaustion keeps the verdict prefix computed
+/// so far and sets `exhausted` instead of failing; denotations finished
+/// before the stop stay in `cache` (they are complete, valid entries).
+///
+/// # Errors
+/// See [`satisfying_states`]; budget exhaustion is *not* an error.
+pub fn check_batch_budget_with(
+    formulas: &[Pdl],
+    u: &FiniteUniverse,
+    env: &Valuation,
+    cache: &mut DenoteCache,
+    budget: &Budget,
+    threads: usize,
+) -> Result<BatchReport> {
     let threads = effective_workers(threads);
+    if let Some(reason) = budget.check(0) {
+        return Ok(BatchReport {
+            satisfying: Vec::new(),
+            valid: Vec::new(),
+            stats: cache.stats(),
+            exhausted: Some(budget.exhaustion("pdl", reason, 0)),
+        });
+    }
     let mut seen: FxHashSet<&Stmt> = FxHashSet::default();
     let mut programs: Vec<&Stmt> = Vec::new();
     for phi in formulas {
@@ -206,37 +256,66 @@ pub fn check_batch_with(
         .into_iter()
         .filter(|p| !cache.contains(p, env))
         .collect();
+    let denotations = todo.len();
 
+    let mut stop: Option<(usize, BudgetExceeded)> = None;
     if threads > 1 && todo.len() > 1 {
         let workers = threads.min(todo.len());
-        let locals: Vec<Result<DenoteCache>> = std::thread::scope(|s| {
+        type LocalOut = Result<(DenoteCache, Option<(usize, BudgetExceeded)>)>;
+        let locals: Vec<LocalOut> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let todo = &todo;
                     let base = &*cache;
                     s.spawn(move || {
                         let mut local = base.clone_entries();
-                        for prog in todo.iter().skip(w).step_by(workers) {
+                        let mut stop = None;
+                        for (k, prog) in todo.iter().enumerate().skip(w).step_by(workers) {
+                            if let Some(reason) = budget.check(k) {
+                                stop = Some((k, reason));
+                                break;
+                            }
                             meaning_cached(u, prog, env, &mut local)?;
                         }
-                        Ok(local)
+                        Ok((local, stop))
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
         for local in locals {
-            cache.absorb(local?);
+            let (local, s) = local?;
+            cache.absorb(local);
+            if s.is_some_and(|(k, _)| stop.is_none_or(|(k0, _)| k < k0)) {
+                stop = s;
+            }
         }
     } else {
-        for prog in todo {
+        for (k, prog) in todo.iter().enumerate() {
+            if let Some(reason) = budget.check(k) {
+                stop = Some((k, reason));
+                break;
+            }
             meaning_cached(u, prog, env, cache)?;
         }
+    }
+    if let Some((k, reason)) = stop {
+        return Ok(BatchReport {
+            satisfying: Vec::new(),
+            valid: Vec::new(),
+            stats: cache.stats(),
+            exhausted: Some(budget.exhaustion("pdl", reason, k)),
+        });
     }
 
     let mut satisfying = Vec::with_capacity(formulas.len());
     let mut valid = Vec::with_capacity(formulas.len());
-    for phi in formulas {
+    let mut exhausted = None;
+    for (j, phi) in formulas.iter().enumerate() {
+        if let Some(reason) = budget.check(denotations + j) {
+            exhausted = Some(budget.exhaustion("pdl", reason, denotations + j));
+            break;
+        }
         let sat = satisfying_states_cached(u, phi, env, cache)?;
         valid.push(sat.iter().all(|b| *b));
         satisfying.push(sat);
@@ -245,6 +324,7 @@ pub fn check_batch_with(
         satisfying,
         valid,
         stats: cache.stats(),
+        exhausted,
     })
 }
 

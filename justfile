@@ -2,14 +2,20 @@
 
 # The full offline gate: release build, tests, lints with warnings denied,
 # the parallel-determinism suite in release mode (now covering confluence,
-# completeness and PDL-batch sweeps), and both parallel benches.
+# completeness, PDL-batch and budget-exhaustion sweeps), and both parallel
+# benches. The tier-1 steps run under a hard timeout so a hung sweep fails
+# the gate instead of wedging it.
 verify:
-    cargo build --release --workspace
-    cargo test -q --workspace
+    timeout 900 cargo build --release --workspace
+    timeout 1200 cargo test -q --workspace
     cargo clippy --workspace --all-targets -- -D warnings
-    cargo test -q -p eclectic-spec --release --test parallel_determinism
+    timeout 600 cargo test -q -p eclectic-spec --release --test parallel_determinism
     cargo run -p eclectic-bench --bin bench_reach_parallel --release
     cargo run -p eclectic-bench --bin bench_verify_parallel --release
+
+# Lints alone, warnings denied — the clippy slice of `just verify`.
+lint:
+    cargo clippy --workspace --all-targets -- -D warnings
 
 # Timing benches, one target per experiment in EXPERIMENTS.md.
 bench:

@@ -5,7 +5,7 @@
 //! eclectic axioms    <domain>                    print the T1 axioms
 //! eclectic equations <domain> [--style paper|synth]
 //! eclectic schema    <domain>                    print the T3 schema
-//! eclectic verify    <domain> [--depth N]        run every obligation
+//! eclectic verify    <domain> [--depth N] [--deadline-ms N] [--max-nodes N]
 //! eclectic trace     <domain> op[:a,b] …         replay operations
 //! ```
 //!
@@ -26,7 +26,8 @@ fn usage() -> ExitCode {
          eclectic axioms courses\n\
          eclectic equations courses --style synth\n\
          eclectic schema bank\n\
-         eclectic verify library --depth 8\n\
+         eclectic verify library --depth 8 --deadline-ms 5000 --max-nodes 100000\n\
+         (env fallbacks: ECLECTIC_DEADLINE_MS, ECLECTIC_MAX_NODES)\n\
          eclectic trace courses initiate offer:db enroll:ana,db cancel:db"
     );
     ExitCode::FAILURE
@@ -55,6 +56,22 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// A numeric limit from a command-line flag, falling back to an environment
+/// variable. A value that fails to parse is diagnosed and treated as unset.
+fn limit_value(args: &[String], flag: &str, env: &str) -> Option<u64> {
+    let (source, raw) = match flag_value(args, flag) {
+        Some(v) => (flag.to_string(), v),
+        None => (env.to_string(), std::env::var(env).ok()?),
+    };
+    match raw.parse() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!("warning: ignoring unparseable {source}={raw:?}");
+            None
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -101,6 +118,10 @@ fn main() -> ExitCode {
             config.refine12.limits.max_depth = flag_value(&args, "--depth")
                 .and_then(|d| d.parse().ok())
                 .unwrap_or(8);
+            config.deadline_ms = limit_value(&args, "--deadline-ms", "ECLECTIC_DEADLINE_MS");
+            config.max_nodes = limit_value(&args, "--max-nodes", "ECLECTIC_MAX_NODES")
+                .map(|n| usize::try_from(n).unwrap_or(usize::MAX));
+            config.print_stages = true;
             match verify(&spec, &config) {
                 Ok(outcome) => {
                     println!(
@@ -129,6 +150,9 @@ fn main() -> ExitCode {
                             "MISMATCH"
                         }
                     );
+                    if let Some(e) = outcome.exhausted() {
+                        println!("budget exhausted: {e} (partial report)");
+                    }
                     if outcome.is_correct() {
                         ExitCode::SUCCESS
                     } else {

@@ -6,7 +6,7 @@
 //! implementation (`LegacyRewriter`, kept behind the `legacy-rewrite`
 //! feature exactly for this test).
 
-use eclectic_algebraic::{induction, AlgSpec, LegacyRewriter, Rewriter};
+use eclectic_algebraic::{induction, AlgError, AlgSpec, LegacyRewriter, Rewriter};
 use eclectic_kernel::TermId;
 use eclectic_spec::domains::{bank, courses, library};
 
@@ -94,4 +94,85 @@ fn bank_interned_rewriter_matches_legacy_to_depth_4() {
     let spec = bank::functions_level(&bank::BankConfig::sized(2, 2)).unwrap();
     let compared = check_domain("bank", &spec, 4);
     assert!(compared > 100, "bank: only {compared} points compared");
+}
+
+/// Low-fuel differential: both rewriters must agree, subject by subject, on
+/// *which* ground observations exhaust the fuel limit ([`AlgError::RewriteLimit`])
+/// and which normalize — and on the normal form whenever both finish. Each
+/// subject gets cold rewriters so neither side rides a warm memo: the fuel
+/// ledger itself is under test, not the cache.
+fn check_domain_low_fuel(name: &str, spec: &AlgSpec, depth: usize, fuel: usize) -> (usize, usize) {
+    let sig = spec.signature().clone();
+    let states = induction::state_terms(&sig, depth).unwrap();
+    let queries: Vec<_> = sig.queries().collect();
+    let (mut normalized, mut limited) = (0usize, 0usize);
+    for state in &states {
+        for &q in &queries {
+            let sorts = sig.query_params(q).unwrap();
+            for params in induction::param_tuples(&sig, &sorts).unwrap() {
+                let legacy = LegacyRewriter::with_fuel(spec, fuel).eval_query(q, &params, state);
+                let interned = Rewriter::with_fuel(spec, fuel).eval_query(q, &params, state);
+                match (legacy, interned) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(
+                            a, b,
+                            "{name} fuel {fuel}: normal forms differ on {q:?} {params:?} at {state:?}"
+                        );
+                        normalized += 1;
+                    }
+                    (
+                        Err(AlgError::RewriteLimit { .. }),
+                        Err(AlgError::RewriteLimit { .. }),
+                    ) => limited += 1,
+                    (l, i) => panic!(
+                        "{name} fuel {fuel}: fuel classification differs on {q:?} {params:?} \
+                         at {state:?}: legacy {l:?} vs interned {i:?}"
+                    ),
+                }
+            }
+        }
+    }
+    (normalized, limited)
+}
+
+#[test]
+fn low_fuel_limit_classification_matches_legacy_on_every_domain() {
+    let domains: Vec<(&str, AlgSpec)> = vec![
+        (
+            "courses",
+            courses::functions_level(&courses::CoursesConfig::sized(
+                1,
+                2,
+                courses::EquationStyle::Paper,
+            ))
+            .unwrap(),
+        ),
+        (
+            "courses-synth",
+            courses::functions_level(&courses::CoursesConfig::sized(
+                1,
+                2,
+                courses::EquationStyle::Synthesized,
+            ))
+            .unwrap(),
+        ),
+        (
+            "library",
+            library::functions_level(&library::LibraryConfig::sized(1, 2)).unwrap(),
+        ),
+        (
+            "bank",
+            bank::functions_level(&bank::BankConfig::sized(2, 2)).unwrap(),
+        ),
+    ];
+    for (name, spec) in &domains {
+        for fuel in [4usize, 16, 64] {
+            let (normalized, limited) = check_domain_low_fuel(name, spec, 3, fuel);
+            assert!(normalized > 0, "{name} fuel {fuel}: nothing normalized");
+            // Fuel 4 must actually bite somewhere, or the test is vacuous.
+            if fuel == 4 {
+                assert!(limited > 0, "{name} fuel 4: no subject hit the limit");
+            }
+        }
+    }
 }
