@@ -155,12 +155,15 @@ fn compile_cond<S: Interner>(store: &mut S, f: &Formula) -> Cond {
     }
 }
 
-/// A conditional equation compiled onto the store.
+/// A conditional equation compiled onto the store. The condition sits
+/// behind an `Arc` so the hot rewrite loop can detach it from `self` for
+/// the (re-entrant) evaluation with a reference-count bump instead of a
+/// deep clone per matched attempt.
 #[derive(Debug, Clone)]
 struct Rule {
     lhs: TermId,
     rhs: TermId,
-    cond: Cond,
+    cond: Arc<Cond>,
 }
 
 /// A rewriting engine over one specification, with memoised normal forms.
@@ -181,8 +184,9 @@ pub struct Rewriter<'a, S: Interner = TermStore> {
     memo: FxHashMap<TermId, TermId>,
     /// Compiled rules, in equation order.
     rules: Vec<Rule>,
-    /// Rule indices grouped by lhs root symbol.
-    by_root: FxHashMap<FuncId, Vec<usize>>,
+    /// Rule indices grouped by lhs root symbol, behind `Arc` so the hot
+    /// loop detaches a candidate list without copying it.
+    by_root: FxHashMap<FuncId, Arc<[usize]>>,
     /// Interned `True` / `False`.
     tru: TermId,
     fls: TermId,
@@ -201,6 +205,9 @@ pub struct Rewriter<'a, S: Interner = TermStore> {
     budget: Budget,
     /// Poll pacing counter for the budget check.
     poll_tick: u32,
+    /// Pool of argument buffers reused across `norm_uncached` frames, so
+    /// per-node argument normalisation stops allocating a fresh `Vec`.
+    scratch: Vec<Vec<TermId>>,
 }
 
 /// Poll the budget every 64 uncached normalisations: often enough that a
@@ -242,16 +249,20 @@ impl<'a, S: Interner> Rewriter<'a, S> {
         let tru = store.constant(sig.true_fn());
         let fls = store.constant(sig.false_fn());
         let mut rules = Vec::with_capacity(spec.equations().len());
-        let mut by_root: FxHashMap<FuncId, Vec<usize>> = FxHashMap::default();
+        let mut groups: FxHashMap<FuncId, Vec<usize>> = FxHashMap::default();
         for (i, eq) in spec.equations().iter().enumerate() {
             let lhs = eq.lhs.intern(&mut store);
             let rhs = eq.rhs.intern(&mut store);
-            let cond = compile_cond(&mut store, &eq.condition);
+            let cond = Arc::new(compile_cond(&mut store, &eq.condition));
             rules.push(Rule { lhs, rhs, cond });
             if let Some(root) = eq.lhs_root() {
-                by_root.entry(root).or_default().push(i);
+                groups.entry(root).or_default().push(i);
             }
         }
+        let by_root = groups
+            .into_iter()
+            .map(|(root, idxs)| (root, Arc::from(idxs)))
+            .collect();
         Rewriter {
             spec,
             store,
@@ -267,6 +278,7 @@ impl<'a, S: Interner> Rewriter<'a, S> {
             shared_memo: None,
             budget: Budget::unlimited(),
             poll_tick: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -417,30 +429,39 @@ impl<'a, S: Interner> Rewriter<'a, S> {
             }
         }
         self.poll_tick = self.poll_tick.wrapping_add(1);
-        let (f, args) = match self.store.node(t) {
+        let f = match self.store.node(t) {
             TermNode::Var(_) => return Ok(t),
-            TermNode::App(f, args) => (*f, args.to_vec()),
+            TermNode::App(f, _) => *f,
         };
-        let mut nargs = Vec::with_capacity(args.len());
-        for a in args {
-            nargs.push(self.norm(a)?);
+        // Arguments are normalised in place in a pooled buffer (the `norm`
+        // recursion below pops its own); error unwinds drop the buffer,
+        // which only costs the pool a cold-path refill.
+        let mut nargs = self.scratch.pop().unwrap_or_default();
+        if let TermNode::App(_, args) = self.store.node(t) {
+            nargs.extend_from_slice(args);
+        }
+        for a in nargs.iter_mut() {
+            *a = self.norm(*a)?;
         }
         let t = self.store.app(f, &nargs);
 
-        if let Some(b) = self.try_builtin(t, f, &nargs)? {
+        let builtin = self.try_builtin(t, f, &nargs);
+        nargs.clear();
+        self.scratch.push(nargs);
+        if let Some(b) = builtin? {
             return Ok(b);
         }
 
         let candidates = match self.by_root.get(&f) {
-            Some(v) => v.clone(),
+            Some(v) => Arc::clone(v),
             None => return Ok(t),
         };
-        for i in candidates {
+        for &i in candidates.iter() {
             let mut binding = Binding::new();
             if !match_id(&self.store, self.rules[i].lhs, t, &mut binding) {
                 continue;
             }
-            let cond = self.rules[i].cond.clone();
+            let cond = Arc::clone(&self.rules[i].cond);
             match self.eval_condition(&cond, &binding) {
                 Ok(true) => {
                     if self.remaining == 0 {

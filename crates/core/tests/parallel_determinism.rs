@@ -703,3 +703,49 @@ fn verify_under_tiny_node_cap_reports_deterministic_partial_outcome() {
     };
     assert_eq!(run(), run(), "per-stage exhaustion must replay identically");
 }
+
+#[test]
+fn parallel_binrel_star_and_compose_match_serial() {
+    use eclectic_rpr::BinRel;
+    // Sizes straddling the kernel's serial threshold: small relations take
+    // the serial path regardless of the thread argument, the 300/512 cases
+    // genuinely fan rows across workers.
+    let mut state = 0x05ee_d0b1_75e7_u64;
+    let mut next = |n: usize| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % n as u64) as usize
+    };
+    for n in [3usize, 64, 300, 512] {
+        let mut r = BinRel::with_dim(n);
+        for _ in 0..n * 2 {
+            let (a, b) = (next(n), next(n));
+            r.insert(a, b);
+        }
+        let star = r.star(n);
+        let comp = r.compose(&r);
+        for threads in [2, 4, 8] {
+            assert_eq!(r.star_threads(n, threads), star, "star n={n} t={threads}");
+            assert_eq!(
+                r.compose_threads(&r, threads),
+                comp,
+                "compose n={n} t={threads}"
+            );
+        }
+        // Governed variants under an unlimited budget are the same code
+        // path with live polls; they must not perturb the output either.
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(
+                r.star_governed(n, &Budget::unlimited(), threads).unwrap(),
+                star,
+                "governed star n={n} t={threads}"
+            );
+            assert_eq!(
+                r.compose_governed(&r, &Budget::unlimited(), threads).unwrap(),
+                comp,
+                "governed compose n={n} t={threads}"
+            );
+        }
+    }
+}

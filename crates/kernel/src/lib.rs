@@ -21,12 +21,14 @@
 
 #![warn(missing_docs)]
 
+mod bitmat;
 mod budget;
 mod concurrent;
 pub mod hash;
 mod ids;
 mod store;
 
+pub use bitmat::{BitMatrix, ROW_POLL_STRIDE};
 pub use budget::{Budget, BudgetExceeded, CancelToken, Exhaustion};
 pub use concurrent::{
     effective_workers, env_threads, ConcurrentTermStore, SharedMemo, StoreHandle,

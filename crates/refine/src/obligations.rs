@@ -360,6 +360,10 @@ pub fn check_dynamic_budget(
     }
     report.checked = apps.len();
 
+    // Denotation-level governed ops poll only the timing axes; the node
+    // cap stays at these serial-order application slots, so a capped
+    // partial stops after the same slot at every worker count.
+    let timing = budget.without_node_cap();
     if threads <= 1 || apps.len() < 2 {
         let mut cache = DenoteCache::new();
         for (k, (proc, args, env)) in apps.iter().enumerate() {
@@ -368,9 +372,19 @@ pub fn check_dynamic_budget(
                 report.exhausted = Some(budget.exhaustion("dynamic", reason, k));
                 break;
             }
-            report
-                .failures
-                .extend(check_application(&u, proc, args, env, &mut cache)?);
+            // With a single application slot the row-level parallelism
+            // inside the relational operators still applies.
+            match check_application(&u, proc, args, env, &mut cache, &timing, threads) {
+                Ok(failures) => report.failures.extend(failures),
+                Err(e) => match crate::reach::budget_stop(&e) {
+                    Some(reason) => {
+                        report.checked = k;
+                        report.exhausted = Some(budget.exhaustion("dynamic", reason, k));
+                        break;
+                    }
+                    None => return Err(e),
+                },
+            }
         }
         report.cache_stats = cache.stats();
         return Ok(report);
@@ -394,6 +408,7 @@ pub fn check_dynamic_budget(
             .map(|w| {
                 let apps = &apps;
                 let u = &u;
+                let timing = &timing;
                 s.spawn(move || {
                     let mut cache = DenoteCache::new();
                     let mut out = Vec::new();
@@ -405,7 +420,16 @@ pub fn check_dynamic_budget(
                             stop = Some((k, reason));
                             break;
                         }
-                        out.push((k, check_application(u, proc, args, env, &mut cache)?));
+                        match check_application(u, proc, args, env, &mut cache, timing, 1) {
+                            Ok(failures) => out.push((k, failures)),
+                            Err(e) => match crate::reach::budget_stop(&e) {
+                                Some(reason) => {
+                                    stop = Some((k, reason));
+                                    break;
+                                }
+                                None => return Err(e),
+                            },
+                        }
                     }
                     Ok((out, cache.stats(), stop))
                 })
@@ -450,10 +474,18 @@ fn check_application(
     args: &[Elem],
     env: &Valuation,
     cache: &mut DenoteCache,
+    timing: &Budget,
+    threads: usize,
 ) -> Result<Vec<DynamicFailure>> {
     let mut failures = Vec::new();
     let total = Pdl::after_some(proc.body.clone(), Pdl::Atom(Formula::True));
-    let batch = pdl::check_batch_with(std::slice::from_ref(&total), u, env, cache, 1)?;
+    let batch =
+        pdl::check_batch_budget_with(std::slice::from_ref(&total), u, env, cache, timing, threads)?;
+    if let Some(ex) = batch.exhausted {
+        // Re-raise as an error so the striding loops unwind; the wrappers
+        // convert it back into a graceful partial report.
+        return Err(crate::reach::budget_err(ex.reason));
+    }
     if !batch.valid[0] {
         failures.push(DynamicFailure {
             proc: proc.name.clone(),

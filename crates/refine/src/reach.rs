@@ -160,6 +160,7 @@ pub fn explore_algebraic_budget(
 pub(crate) fn budget_stop(e: &RefineError) -> Option<BudgetExceeded> {
     match e {
         RefineError::Alg(AlgError::Budget { reason }) => Some(*reason),
+        RefineError::Rpr(eclectic_rpr::RprError::Budget { reason }) => Some(*reason),
         _ => None,
     }
 }

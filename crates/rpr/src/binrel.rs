@@ -1,12 +1,63 @@
 //! Binary relations over finite universes — the meanings of RPR statements.
+//!
+//! Since PR 6 the representation is a dense row-major bit matrix
+//! ([`eclectic_kernel::BitMatrix`]) rather than a `BTreeSet<(usize, usize)>`:
+//! union/meet are word-wise OR/AND, composition an OR-gather of rows, and
+//! the reflexive-transitive closure a word-parallel per-source BFS. The
+//! observable behaviour is unchanged: [`BinRel::iter`] streams pairs in the
+//! exact ascending `(a, b)` order of the old set, and equality compares the
+//! *pair sets* (two relations of different allocated dimensions are equal
+//! iff they hold the same pairs), so every report built on top stays
+//! bit-identical.
+//!
+//! The allocated dimension grows on demand under [`BinRel::insert`];
+//! builders that know the universe size up front use [`BinRel::with_dim`]
+//! to skip the growth re-layouts. Long-running operators have `*_threads`
+//! variants (row-strided across [`eclectic_kernel::effective_workers`],
+//! bit-identical at every worker count) and `*_governed` variants polling a
+//! [`Budget`] at row-stride boundaries on the timing axes.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
+
+use eclectic_kernel::{BitMatrix, Budget, BudgetExceeded};
 
 /// A binary relation over state indices `0..n`.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Clone, Default)]
 pub struct BinRel {
-    pairs: BTreeSet<(usize, usize)>,
+    mat: BitMatrix,
 }
+
+impl std::fmt::Debug for BinRel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BinRel")
+            .field("pairs", &self.iter().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// Equality is over the pair *sets*: the allocated dimensions may differ
+/// (e.g. an `identity(n)` composed against a relation grown pair-by-pair),
+/// only the pairs count — exactly the old `BTreeSet` equality.
+impl PartialEq for BinRel {
+    fn eq(&self, other: &Self) -> bool {
+        let (small, big) = if self.mat.dim() <= other.mat.dim() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let ws = small.mat.words_per_row();
+        let ns = small.mat.dim();
+        for r in 0..ns {
+            let rb = big.mat.row(r);
+            if small.mat.row(r) != &rb[..ws] || rb[ws..].iter().any(|&w| w != 0) {
+                return false;
+            }
+        }
+        (ns..big.mat.dim()).all(|r| big.mat.row(r).iter().all(|&w| w == 0))
+    }
+}
+
+impl Eq for BinRel {}
 
 impl BinRel {
     /// The empty relation.
@@ -15,134 +66,306 @@ impl BinRel {
         BinRel::default()
     }
 
+    /// The empty relation with dimension `n` pre-allocated, so `n * n`
+    /// inserts never re-layout. Equality ignores the dimension.
+    #[must_use]
+    pub fn with_dim(n: usize) -> Self {
+        BinRel {
+            mat: BitMatrix::new(n),
+        }
+    }
+
     /// The identity relation on `0..n`.
     #[must_use]
     pub fn identity(n: usize) -> Self {
         BinRel {
-            pairs: (0..n).map(|i| (i, i)).collect(),
+            mat: BitMatrix::identity(n),
         }
     }
 
     /// Builds from an iterator of pairs.
     #[must_use]
     pub fn from_pairs<I: IntoIterator<Item = (usize, usize)>>(pairs: I) -> Self {
-        BinRel {
-            pairs: pairs.into_iter().collect(),
+        let mut out = BinRel::new();
+        for (a, b) in pairs {
+            out.insert(a, b);
         }
+        out
+    }
+
+    /// The allocated dimension (indices `< dim()` are representable without
+    /// growth). Not part of the relation's identity.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.mat.dim()
+    }
+
+    /// Grows the allocated dimension to at least `d` (geometric, rounded to
+    /// whole words, so repeated inserts re-layout O(log) times).
+    fn ensure_dim(&mut self, d: usize) {
+        if d <= self.mat.dim() {
+            return;
+        }
+        let target = d.max(self.mat.dim() * 2).div_ceil(64) * 64;
+        self.mat = self.mat.resized(target);
     }
 
     /// Inserts a pair; returns whether it was new.
     pub fn insert(&mut self, a: usize, b: usize) -> bool {
-        self.pairs.insert((a, b))
+        self.ensure_dim(a.max(b) + 1);
+        self.mat.set(a, b)
     }
 
     /// Membership test.
     #[must_use]
     pub fn contains(&self, a: usize, b: usize) -> bool {
-        self.pairs.contains(&(a, b))
+        a < self.mat.dim() && b < self.mat.dim() && self.mat.get(a, b)
     }
 
     /// Number of pairs.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.pairs.len()
+        self.mat.count_ones()
     }
 
     /// Whether the relation is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.pairs.is_empty()
+        self.mat.is_zero()
     }
 
-    /// Iterates over the pairs.
+    /// Iterates over the pairs in ascending `(a, b)` order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.pairs.iter().copied()
+        self.mat.iter()
+    }
+
+    /// The pairs in ascending order, collected.
+    #[must_use]
+    pub fn pairs(&self) -> Vec<(usize, usize)> {
+        self.iter().collect()
     }
 
     /// The image of a single state: `{b | (a, b) ∈ R}`.
     #[must_use]
     pub fn image(&self, a: usize) -> BTreeSet<usize> {
-        self.pairs
-            .range((a, 0)..=(a, usize::MAX))
-            .map(|&(_, b)| b)
-            .collect()
+        if a >= self.mat.dim() {
+            return BTreeSet::new();
+        }
+        self.mat.iter_row(a).collect()
+    }
+
+    /// Row `a` as a bit-word slice (`None` beyond the allocated dimension) —
+    /// the word-parallel window the PDL modalities scan instead of
+    /// materialising [`image`](Self::image) sets.
+    #[must_use]
+    pub fn row_words(&self, a: usize) -> Option<&[u64]> {
+        (a < self.mat.dim()).then(|| self.mat.row(a))
     }
 
     /// Union — `m(p ∪ q) = m(p) ∪ m(q)`.
     #[must_use]
     pub fn union(&self, other: &BinRel) -> BinRel {
-        BinRel {
-            pairs: self.pairs.union(&other.pairs).copied().collect(),
+        let d = self.mat.dim().max(other.mat.dim());
+        let mut out = if self.mat.dim() == d {
+            self.clone()
+        } else {
+            BinRel {
+                mat: self.mat.resized(d),
+            }
+        };
+        if other.mat.dim() == d {
+            out.mat.or_assign(&other.mat);
+        } else {
+            out.mat.or_assign(&other.mat.resized(d));
         }
+        out
+    }
+
+    /// Intersection (meet) — word-wise AND.
+    #[must_use]
+    pub fn meet(&self, other: &BinRel) -> BinRel {
+        let d = self.mat.dim().max(other.mat.dim());
+        let mut out = if self.mat.dim() == d {
+            self.clone()
+        } else {
+            BinRel {
+                mat: self.mat.resized(d),
+            }
+        };
+        if other.mat.dim() == d {
+            out.mat.and_assign(&other.mat);
+        } else {
+            out.mat.and_assign(&other.mat.resized(d));
+        }
+        out
+    }
+
+    /// The diagonal complement on `0..n`: `{(i, i) | i < n, (i, i) ∉ R}`.
+    /// For a test denotation `m(c?)` this is exactly `m((¬c)?)` — the
+    /// guard-negation mask `If`/`While` desugarings need, derived without
+    /// re-denoting the negated formula.
+    #[must_use]
+    pub fn diag_complement(&self, n: usize) -> BinRel {
+        let mut out = BinRel::with_dim(n);
+        for i in 0..n {
+            if !self.contains(i, i) {
+                out.mat.set(i, i);
+            }
+        }
+        out
     }
 
     /// Composition — `m(p ; q) = m(p) ∘ m(q)` (apply `self` first).
     #[must_use]
     pub fn compose(&self, other: &BinRel) -> BinRel {
-        let mut by_src: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-        for (b, c) in other.iter() {
-            by_src.entry(b).or_default().push(c);
+        self.compose_threads(other, 1)
+    }
+
+    /// As [`compose`](Self::compose), fanning output rows across
+    /// [`eclectic_kernel::effective_workers`]`(threads)` workers; the
+    /// result is bit-identical at every worker count.
+    #[must_use]
+    pub fn compose_threads(&self, other: &BinRel, threads: usize) -> BinRel {
+        match self.compose_governed(other, &Budget::unlimited(), threads) {
+            Ok(r) => r,
+            Err(_) => unreachable!("unlimited budget never trips"),
         }
-        let mut out = BinRel::new();
-        for (a, b) in self.iter() {
-            if let Some(cs) = by_src.get(&b) {
-                for &c in cs {
-                    out.insert(a, c);
-                }
-            }
-        }
-        out
+    }
+
+    /// As [`compose_threads`](Self::compose_threads), polling `budget` at
+    /// row-stride boundaries (timing axes; callers strip the node cap).
+    ///
+    /// # Errors
+    /// Returns the tripped axis; partial output is discarded.
+    pub fn compose_governed(
+        &self,
+        other: &BinRel,
+        budget: &Budget,
+        threads: usize,
+    ) -> Result<BinRel, BudgetExceeded> {
+        use std::cmp::Ordering;
+        let mat = match self.mat.dim().cmp(&other.mat.dim()) {
+            Ordering::Equal => self.mat.compose_governed(&other.mat, budget, threads)?,
+            Ordering::Less => self
+                .mat
+                .resized(other.mat.dim())
+                .compose_governed(&other.mat, budget, threads)?,
+            Ordering::Greater => self.mat.compose_governed(
+                &other.mat.resized(self.mat.dim()),
+                budget,
+                threads,
+            )?,
+        };
+        Ok(BinRel { mat })
     }
 
     /// Reflexive-transitive closure over `0..n` — `m(p*) = (m(p))*`.
+    ///
+    /// As with the set-based implementation this replaced: the BFS may
+    /// traverse and emit targets `≥ n` reachable from a source `< n`, but
+    /// never *starts* from a source `≥ n`.
     #[must_use]
     pub fn star(&self, n: usize) -> BinRel {
-        let mut succ: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
-        for (a, b) in self.iter() {
-            succ.entry(a).or_default().insert(b);
+        self.star_threads(n, 1)
+    }
+
+    /// As [`star`](Self::star), fanning source rows across
+    /// [`eclectic_kernel::effective_workers`]`(threads)` workers; the
+    /// result is bit-identical at every worker count.
+    #[must_use]
+    pub fn star_threads(&self, n: usize, threads: usize) -> BinRel {
+        match self.star_governed(n, &Budget::unlimited(), threads) {
+            Ok(r) => r,
+            Err(_) => unreachable!("unlimited budget never trips"),
         }
-        let mut out = BinRel::new();
-        for start in 0..n {
-            // BFS from each node.
-            let mut seen = BTreeSet::new();
-            let mut stack = vec![start];
-            while let Some(x) = stack.pop() {
-                if seen.insert(x) {
-                    if let Some(next) = succ.get(&x) {
-                        for &y in next {
-                            if !seen.contains(&y) {
-                                stack.push(y);
-                            }
-                        }
-                    }
-                }
-            }
-            for b in seen {
-                out.insert(start, b);
-            }
+    }
+
+    /// As [`star_threads`](Self::star_threads), polling `budget` at
+    /// row-stride boundaries (timing axes; callers strip the node cap).
+    ///
+    /// # Errors
+    /// Returns the tripped axis; partial output is discarded.
+    pub fn star_governed(
+        &self,
+        n: usize,
+        budget: &Budget,
+        threads: usize,
+    ) -> Result<BinRel, BudgetExceeded> {
+        let d = self.mat.dim().max(n);
+        let closed = if self.mat.dim() == d {
+            self.mat.closure_governed(budget, threads)?
+        } else {
+            self.mat.resized(d).closure_governed(budget, threads)?
+        };
+        if n >= d {
+            return Ok(BinRel { mat: closed });
         }
-        out
+        // Only sources < n start a traversal; clear the rows beyond.
+        let mut mat = closed;
+        for r in n..d {
+            mat.row_mut(r).fill(0);
+        }
+        Ok(BinRel { mat })
     }
 
     /// Whether the relation is a partial function (each source has at most
     /// one target).
     #[must_use]
     pub fn is_functional(&self) -> bool {
-        let mut last: Option<usize> = None;
-        for (a, _) in self.iter() {
-            if last == Some(a) {
-                return false;
-            }
-            last = Some(a);
-        }
-        true
+        (0..self.mat.dim()).all(|r| {
+            self.mat
+                .row(r)
+                .iter()
+                .map(|w| w.count_ones())
+                .sum::<u32>()
+                <= 1
+        })
     }
 
     /// Whether the relation is total on `0..n` (each source has at least one
     /// target).
     #[must_use]
     pub fn is_total(&self, n: usize) -> bool {
-        (0..n).all(|a| self.pairs.range((a, 0)..=(a, usize::MAX)).next().is_some())
+        (0..n).all(|a| a < self.mat.dim() && self.mat.row(a).iter().any(|&w| w != 0))
+    }
+
+    /// One word-parallel `[p]`-modality sweep: `out[i]` is true iff every
+    /// target of `i` lies in `inner` (vacuously true for targets-free rows).
+    /// `inner[j]` gives the satisfaction of the inner formula at state `j`;
+    /// targets `≥ inner.len()` count as unsatisfied.
+    #[must_use]
+    pub fn box_states(&self, inner: &[bool]) -> Vec<bool> {
+        let mask = self.inner_mask(inner);
+        (0..inner.len())
+            .map(|i| match self.row_words(i) {
+                None => true,
+                Some(row) => row.iter().zip(&mask).all(|(&r, &m)| r & !m == 0),
+            })
+            .collect()
+    }
+
+    /// One word-parallel `⟨p⟩`-modality sweep: `out[i]` is true iff some
+    /// target of `i` lies in `inner`.
+    #[must_use]
+    pub fn diamond_states(&self, inner: &[bool]) -> Vec<bool> {
+        let mask = self.inner_mask(inner);
+        (0..inner.len())
+            .map(|i| match self.row_words(i) {
+                None => false,
+                Some(row) => row.iter().zip(&mask).any(|(&r, &m)| r & m != 0),
+            })
+            .collect()
+    }
+
+    /// `inner` packed into row-aligned words (bits `≥ inner.len()` clear).
+    fn inner_mask(&self, inner: &[bool]) -> Vec<u64> {
+        let mut mask = vec![0u64; self.mat.words_per_row().max(inner.len().div_ceil(64))];
+        for (j, &sat) in inner.iter().enumerate() {
+            if sat {
+                mask[j >> 6] |= 1u64 << (j & 63);
+            }
+        }
+        mask
     }
 }
 
@@ -187,5 +410,75 @@ mod tests {
         let id = BinRel::identity(3);
         assert_eq!(r.compose(&id), r);
         assert_eq!(id.compose(&r), r);
+    }
+
+    #[test]
+    fn equality_ignores_allocated_dimension() {
+        let mut grown = BinRel::with_dim(128);
+        grown.insert(0, 1);
+        let tight = BinRel::from_pairs([(0, 1)]);
+        assert_eq!(grown, tight);
+        assert_eq!(tight, grown);
+        assert_ne!(grown, BinRel::from_pairs([(0, 2)]));
+        assert_eq!(BinRel::with_dim(64), BinRel::new());
+    }
+
+    #[test]
+    fn star_can_emit_targets_beyond_n() {
+        // Pairs reach index 5 from source 0; star(2) keeps (0,5) but never
+        // starts from 5 — the old BFS behaviour.
+        let r = BinRel::from_pairs([(0, 5), (5, 6)]);
+        let s = r.star(2);
+        assert!(s.contains(0, 0) && s.contains(0, 5) && s.contains(0, 6));
+        assert!(s.contains(1, 1));
+        assert!(!s.contains(5, 5) && !s.contains(5, 6) && !s.contains(6, 6));
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn diag_complement_is_negated_test() {
+        let test = BinRel::from_pairs([(0, 0), (2, 2)]);
+        let ntest = test.diag_complement(4);
+        assert_eq!(ntest, BinRel::from_pairs([(1, 1), (3, 3)]));
+        assert_eq!(BinRel::new().diag_complement(2), BinRel::identity(2));
+    }
+
+    #[test]
+    fn meet_intersects() {
+        let a = BinRel::from_pairs([(0, 1), (1, 2), (2, 0)]);
+        let b = BinRel::from_pairs([(1, 2), (2, 1)]);
+        assert_eq!(a.meet(&b), BinRel::from_pairs([(1, 2)]));
+    }
+
+    #[test]
+    fn modal_sweeps_match_image_scans() {
+        let m = BinRel::from_pairs([(0, 1), (0, 2), (1, 2), (3, 0)]);
+        let inner = vec![false, true, true, false];
+        let box_ref: Vec<bool> = (0..inner.len())
+            .map(|i| m.image(i).into_iter().all(|j| inner[j]))
+            .collect();
+        let dia_ref: Vec<bool> = (0..inner.len())
+            .map(|i| m.image(i).into_iter().any(|j| inner[j]))
+            .collect();
+        assert_eq!(m.box_states(&inner), box_ref);
+        assert_eq!(m.diamond_states(&inner), dia_ref);
+    }
+
+    #[test]
+    fn threaded_variants_are_bit_identical() {
+        let mut r = BinRel::with_dim(300);
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..600 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            r.insert((x % 300) as usize, ((x >> 16) % 300) as usize);
+        }
+        let star1 = r.star(300);
+        let comp1 = r.compose(&r);
+        for threads in [2, 4, 8] {
+            assert_eq!(r.star_threads(300, threads), star1);
+            assert_eq!(r.compose_threads(&r, threads), comp1);
+        }
     }
 }

@@ -15,6 +15,7 @@
 //! environment [`Valuation`]. Derived constructs are interpreted through
 //! their definitions.
 
+use eclectic_kernel::Budget;
 use eclectic_logic::kernel::FxHashMap;
 use eclectic_logic::{eval, Elem, Valuation};
 
@@ -124,11 +125,38 @@ pub fn meaning_cached(
     env: &Valuation,
     cache: &mut DenoteCache,
 ) -> Result<BinRel> {
+    meaning_cached_governed(u, stmt, env, cache, &Budget::unlimited(), 1)
+}
+
+/// As [`meaning_cached`], with the long-running relational operators
+/// (`compose` on `Seq`/guards, `star` on loops) row-striped across
+/// `threads` workers and polling `budget` at row-stride boundaries.
+///
+/// Callers that also enforce a node cap strip it first
+/// ([`Budget::without_node_cap`]) — here the polls govern only the timing
+/// axes (deadline, cancellation), so partial reports stay bit-identical at
+/// every thread count; unit counting belongs to the caller's serial-order
+/// boundaries.
+///
+/// # Errors
+/// As [`meaning`], plus [`RprError::Budget`] when the budget trips; the
+/// cache keeps every completed sub-denotation (never a partial one).
+pub fn meaning_cached_governed(
+    u: &FiniteUniverse,
+    stmt: &Stmt,
+    env: &Valuation,
+    cache: &mut DenoteCache,
+    budget: &Budget,
+    threads: usize,
+) -> Result<BinRel> {
     let key = relevant_env(stmt, env);
     if let Some(r) = cache.map.get(&key).and_then(|m| m.get(stmt)) {
         cache.hits += 1;
         return Ok(r.clone());
     }
+    let governed = |r: std::result::Result<BinRel, eclectic_kernel::BudgetExceeded>| {
+        r.map_err(|reason| RprError::Budget { reason })
+    };
     let out = match stmt {
         Stmt::Skip
         | Stmt::Assign(..)
@@ -136,29 +164,37 @@ pub fn meaning_cached(
         | Stmt::Test(_)
         | Stmt::Insert(..)
         | Stmt::Delete(..) => meaning(u, stmt, env)?,
-        Stmt::Union(p, q) => {
-            meaning_cached(u, p, env, cache)?.union(&meaning_cached(u, q, env, cache)?)
-        }
+        Stmt::Union(p, q) => meaning_cached_governed(u, p, env, cache, budget, threads)?
+            .union(&meaning_cached_governed(u, q, env, cache, budget, threads)?),
         Stmt::Seq(p, q) => {
-            meaning_cached(u, p, env, cache)?.compose(&meaning_cached(u, q, env, cache)?)
+            let mp = meaning_cached_governed(u, p, env, cache, budget, threads)?;
+            let mq = meaning_cached_governed(u, q, env, cache, budget, threads)?;
+            governed(mp.compose_governed(&mq, budget, threads))?
         }
-        Stmt::Star(p) => meaning_cached(u, p, env, cache)?.star(u.len()),
+        Stmt::Star(p) => {
+            let mp = meaning_cached_governed(u, p, env, cache, budget, threads)?;
+            governed(mp.star_governed(u.len(), budget, threads))?
+        }
         Stmt::IfThen(c, p) => {
-            let test = meaning_cached(u, &Stmt::Test(c.clone()), env, cache)?;
-            let ntest = meaning_cached(u, &Stmt::Test(c.clone().not()), env, cache)?;
-            test.compose(&meaning_cached(u, p, env, cache)?).union(&ntest)
+            let test = meaning_cached_governed(u, &Stmt::Test(c.clone()), env, cache, budget, threads)?;
+            let ntest = cached_neg_test(u, c, &test, env, cache);
+            let mp = meaning_cached_governed(u, p, env, cache, budget, threads)?;
+            governed(test.compose_governed(&mp, budget, threads))?.union(&ntest)
         }
         Stmt::IfThenElse(c, p, q) => {
-            let test = meaning_cached(u, &Stmt::Test(c.clone()), env, cache)?;
-            let ntest = meaning_cached(u, &Stmt::Test(c.clone().not()), env, cache)?;
-            test.compose(&meaning_cached(u, p, env, cache)?)
-                .union(&ntest.compose(&meaning_cached(u, q, env, cache)?))
+            let test = meaning_cached_governed(u, &Stmt::Test(c.clone()), env, cache, budget, threads)?;
+            let ntest = cached_neg_test(u, c, &test, env, cache);
+            let mp = meaning_cached_governed(u, p, env, cache, budget, threads)?;
+            let mq = meaning_cached_governed(u, q, env, cache, budget, threads)?;
+            governed(test.compose_governed(&mp, budget, threads))?
+                .union(&governed(ntest.compose_governed(&mq, budget, threads))?)
         }
         Stmt::While(c, p) => {
-            let test = meaning_cached(u, &Stmt::Test(c.clone()), env, cache)?;
-            let ntest = meaning_cached(u, &Stmt::Test(c.clone().not()), env, cache)?;
-            test.compose(&meaning_cached(u, p, env, cache)?)
-                .star(u.len())
+            let test = meaning_cached_governed(u, &Stmt::Test(c.clone()), env, cache, budget, threads)?;
+            let ntest = cached_neg_test(u, c, &test, env, cache);
+            let mp = meaning_cached_governed(u, p, env, cache, budget, threads)?;
+            let body = governed(test.compose_governed(&mp, budget, threads))?;
+            governed(body.star_governed(u.len(), budget, threads))?
                 .compose(&ntest)
         }
     };
@@ -169,6 +205,30 @@ pub fn meaning_cached(
         .or_default()
         .insert(stmt.clone(), out.clone());
     Ok(out)
+}
+
+/// The denotation of the *negated* guard `(¬c)?`, derived as the diagonal
+/// complement of the already-computed `m(c?)` — `m(c?)` and `m((¬c)?)`
+/// partition the identity, so the negated test never re-evaluates `c`
+/// against every state. Cached under the `Stmt::Test(¬c)` key so direct
+/// denotations of the negated test hit the same entry.
+fn cached_neg_test(
+    u: &FiniteUniverse,
+    c: &eclectic_logic::Formula,
+    test: &BinRel,
+    env: &Valuation,
+    cache: &mut DenoteCache,
+) -> BinRel {
+    let nstmt = Stmt::Test(c.clone().not());
+    let key = relevant_env(&nstmt, env);
+    if let Some(r) = cache.map.get(&key).and_then(|m| m.get(&nstmt)) {
+        cache.hits += 1;
+        return r.clone();
+    }
+    let ntest = test.diag_complement(u.len());
+    cache.computed += 1;
+    cache.map.entry(key).or_default().insert(nstmt, ntest.clone());
+    ntest
 }
 
 /// The environment restricted to the variables `stmt`'s meaning can read —
@@ -199,7 +259,7 @@ pub fn meaning(u: &FiniteUniverse, stmt: &Stmt, env: &Valuation) -> Result<BinRe
     match stmt {
         Stmt::Skip => Ok(BinRel::identity(n)),
         Stmt::Assign(x, t) => {
-            let mut out = BinRel::new();
+            let mut out = BinRel::with_dim(n);
             for (i, st) in u.states().iter().enumerate() {
                 let v = eval::eval_term(st.structure(), env, t)?;
                 let mut next = st.clone();
@@ -209,7 +269,7 @@ pub fn meaning(u: &FiniteUniverse, stmt: &Stmt, env: &Valuation) -> Result<BinRe
             Ok(out)
         }
         Stmt::RelAssign(r, f) => {
-            let mut out = BinRel::new();
+            let mut out = BinRel::with_dim(n);
             for (i, st) in u.states().iter().enumerate() {
                 let rows =
                     eval::satisfying_assignments_with(st.structure(), env, &f.wff, &f.vars)?;
@@ -221,7 +281,7 @@ pub fn meaning(u: &FiniteUniverse, stmt: &Stmt, env: &Valuation) -> Result<BinRe
             Ok(out)
         }
         Stmt::Test(p) => {
-            let mut out = BinRel::new();
+            let mut out = BinRel::with_dim(n);
             for (i, st) in u.states().iter().enumerate() {
                 if eval::satisfies(st.structure(), env, p)? {
                     out.insert(i, i);
@@ -233,14 +293,15 @@ pub fn meaning(u: &FiniteUniverse, stmt: &Stmt, env: &Valuation) -> Result<BinRe
         Stmt::Seq(p, q) => Ok(meaning(u, p, env)?.compose(&meaning(u, q, env)?)),
         Stmt::Star(p) => Ok(meaning(u, p, env)?.star(n)),
         Stmt::IfThen(c, p) => {
-            // (c?; p) ∪ ¬c?
+            // (c?; p) ∪ ¬c? — the negated guard is the diagonal complement
+            // of the positive one, never a second denotation pass.
             let test = meaning(u, &Stmt::Test(c.clone()), env)?;
-            let ntest = meaning(u, &Stmt::Test(c.clone().not()), env)?;
+            let ntest = test.diag_complement(n);
             Ok(test.compose(&meaning(u, p, env)?).union(&ntest))
         }
         Stmt::IfThenElse(c, p, q) => {
             let test = meaning(u, &Stmt::Test(c.clone()), env)?;
-            let ntest = meaning(u, &Stmt::Test(c.clone().not()), env)?;
+            let ntest = test.diag_complement(n);
             Ok(test
                 .compose(&meaning(u, p, env)?)
                 .union(&ntest.compose(&meaning(u, q, env)?)))
@@ -248,11 +309,11 @@ pub fn meaning(u: &FiniteUniverse, stmt: &Stmt, env: &Valuation) -> Result<BinRe
         Stmt::While(c, p) => {
             // (c?; p)* ; ¬c?
             let test = meaning(u, &Stmt::Test(c.clone()), env)?;
-            let ntest = meaning(u, &Stmt::Test(c.clone().not()), env)?;
+            let ntest = test.diag_complement(n);
             Ok(test.compose(&meaning(u, p, env)?).star(n).compose(&ntest))
         }
         Stmt::Insert(r, args) => {
-            let mut out = BinRel::new();
+            let mut out = BinRel::with_dim(n);
             for (i, st) in u.states().iter().enumerate() {
                 let tuple = eval_tuple(st, env, args)?;
                 let mut next = st.clone();
@@ -262,7 +323,7 @@ pub fn meaning(u: &FiniteUniverse, stmt: &Stmt, env: &Valuation) -> Result<BinRe
             Ok(out)
         }
         Stmt::Delete(r, args) => {
-            let mut out = BinRel::new();
+            let mut out = BinRel::with_dim(n);
             for (i, st) in u.states().iter().enumerate() {
                 let tuple = eval_tuple(st, env, args)?;
                 let mut next = st.clone();

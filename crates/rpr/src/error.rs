@@ -49,6 +49,11 @@ pub enum RprError {
     },
     /// A W-grammar validation failure.
     Grammar(String),
+    /// A governed denotation tripped its resource budget mid-computation.
+    Budget {
+        /// Which budget axis tripped.
+        reason: eclectic_kernel::BudgetExceeded,
+    },
 }
 
 impl fmt::Display for RprError {
@@ -75,6 +80,7 @@ impl fmt::Display for RprError {
                 write!(f, "parse error at byte {offset}: {message}")
             }
             RprError::Grammar(m) => write!(f, "W-grammar: {m}"),
+            RprError::Budget { reason } => write!(f, "denotation budget exhausted: {reason}"),
         }
     }
 }

@@ -14,8 +14,8 @@ use eclectic_logic::{eval, Formula, Valuation};
 
 use crate::ast::Stmt;
 use crate::binrel::BinRel;
-use crate::denote::{meaning, meaning_cached, CacheStats, DenoteCache};
-use crate::error::Result;
+use crate::denote::{meaning, meaning_cached, meaning_cached_governed, CacheStats, DenoteCache};
+use crate::error::{Result, RprError};
 use crate::universe::FiniteUniverse;
 
 /// A PDL formula over RPR programs.
@@ -105,16 +105,12 @@ pub fn satisfying_states(u: &FiniteUniverse, phi: &Pdl) -> Result<Vec<bool>> {
         Pdl::Box(prog, p) => {
             let m: BinRel = meaning(u, prog, &Valuation::new())?;
             let inner = satisfying_states(u, p)?;
-            (0..n)
-                .map(|i| m.image(i).into_iter().all(|j| inner[j]))
-                .collect()
+            m.box_states(&inner)
         }
         Pdl::Diamond(prog, p) => {
             let m: BinRel = meaning(u, prog, &Valuation::new())?;
             let inner = satisfying_states(u, p)?;
-            (0..n)
-                .map(|i| m.image(i).into_iter().any(|j| inner[j]))
-                .collect()
+            m.diamond_states(&inner)
         }
     })
 }
@@ -258,6 +254,10 @@ pub fn check_batch_budget_with(
         .collect();
     let denotations = todo.len();
 
+    // Workers and governed relational ops poll only the timing axes; the
+    // node cap is enforced here, at serial-order unit boundaries, so a
+    // capped partial stops after the same unit at every thread count.
+    let timing = budget.without_node_cap();
     let mut stop: Option<(usize, BudgetExceeded)> = None;
     if threads > 1 && todo.len() > 1 {
         let workers = threads.min(todo.len());
@@ -267,6 +267,7 @@ pub fn check_batch_budget_with(
                 .map(|w| {
                     let todo = &todo;
                     let base = &*cache;
+                    let timing = &timing;
                     s.spawn(move || {
                         let mut local = base.clone_entries();
                         let mut stop = None;
@@ -275,7 +276,14 @@ pub fn check_batch_budget_with(
                                 stop = Some((k, reason));
                                 break;
                             }
-                            meaning_cached(u, prog, env, &mut local)?;
+                            match meaning_cached_governed(u, prog, env, &mut local, timing, 1) {
+                                Ok(_) => {}
+                                Err(RprError::Budget { reason }) => {
+                                    stop = Some((k, reason));
+                                    break;
+                                }
+                                Err(e) => return Err(e),
+                            }
                         }
                         Ok((local, stop))
                     })
@@ -296,7 +304,16 @@ pub fn check_batch_budget_with(
                 stop = Some((k, reason));
                 break;
             }
-            meaning_cached(u, prog, env, cache)?;
+            // A lone oversized program still gets row-level parallelism
+            // inside its star/compose operators.
+            match meaning_cached_governed(u, prog, env, cache, &timing, threads) {
+                Ok(_) => {}
+                Err(RprError::Budget { reason }) => {
+                    stop = Some((k, reason));
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
     if let Some((k, reason)) = stop {
@@ -390,16 +407,12 @@ pub fn satisfying_states_cached(
         Pdl::Box(prog, p) => {
             let m = meaning_cached(u, prog, env, cache)?;
             let inner = satisfying_states_cached(u, p, env, cache)?;
-            (0..n)
-                .map(|i| m.image(i).into_iter().all(|j| inner[j]))
-                .collect()
+            m.box_states(&inner)
         }
         Pdl::Diamond(prog, p) => {
             let m = meaning_cached(u, prog, env, cache)?;
             let inner = satisfying_states_cached(u, p, env, cache)?;
-            (0..n)
-                .map(|i| m.image(i).into_iter().any(|j| inner[j]))
-                .collect()
+            m.diamond_states(&inner)
         }
     })
 }

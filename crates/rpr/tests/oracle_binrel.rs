@@ -1,0 +1,255 @@
+//! Differential oracle: the bit-matrix [`BinRel`] against the
+//! `BTreeSet<(usize, usize)>` implementation it replaced, kept here as a
+//! test-only reference. Every public observation — `pairs()` (and hence
+//! iteration order), `image()`, `contains`/`len`, `union`/`meet`,
+//! `compose`, `star`, `diag_complement`, `is_functional`/`is_total`, the
+//! modal sweeps — must be bit-identical on randomized relations of every
+//! size from empty to full.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use eclectic_rpr::BinRel;
+
+/// The pre-bitset `BinRel`: a sorted pair set. Operations are verbatim
+/// ports of the old implementation (compose's per-call `by_src` index,
+/// star's per-source BFS over a successor map built from *all* pairs).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct SetRel {
+    pairs: BTreeSet<(usize, usize)>,
+}
+
+impl SetRel {
+    fn identity(n: usize) -> Self {
+        SetRel {
+            pairs: (0..n).map(|i| (i, i)).collect(),
+        }
+    }
+
+    fn insert(&mut self, a: usize, b: usize) -> bool {
+        self.pairs.insert((a, b))
+    }
+
+    fn contains(&self, a: usize, b: usize) -> bool {
+        self.pairs.contains(&(a, b))
+    }
+
+    fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    fn pairs(&self) -> Vec<(usize, usize)> {
+        self.pairs.iter().copied().collect()
+    }
+
+    fn image(&self, a: usize) -> BTreeSet<usize> {
+        self.pairs
+            .range((a, 0)..=(a, usize::MAX))
+            .map(|&(_, b)| b)
+            .collect()
+    }
+
+    fn union(&self, other: &SetRel) -> SetRel {
+        SetRel {
+            pairs: self.pairs.union(&other.pairs).copied().collect(),
+        }
+    }
+
+    fn meet(&self, other: &SetRel) -> SetRel {
+        SetRel {
+            pairs: self.pairs.intersection(&other.pairs).copied().collect(),
+        }
+    }
+
+    fn compose(&self, other: &SetRel) -> SetRel {
+        let mut by_src: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for &(a, b) in &other.pairs {
+            by_src.entry(a).or_default().push(b);
+        }
+        let mut out = SetRel::default();
+        for &(a, b) in &self.pairs {
+            if let Some(cs) = by_src.get(&b) {
+                for &c in cs {
+                    out.insert(a, c);
+                }
+            }
+        }
+        out
+    }
+
+    fn star(&self, n: usize) -> SetRel {
+        let mut succ: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for &(a, b) in &self.pairs {
+            succ.entry(a).or_default().push(b);
+        }
+        let mut out = SetRel::default();
+        for start in 0..n {
+            let mut seen = BTreeSet::new();
+            let mut stack = vec![start];
+            seen.insert(start);
+            while let Some(s) = stack.pop() {
+                out.insert(start, s);
+                if let Some(ts) = succ.get(&s) {
+                    for &t in ts {
+                        if seen.insert(t) {
+                            stack.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn diag_complement(&self, n: usize) -> SetRel {
+        SetRel {
+            pairs: (0..n)
+                .filter(|&i| !self.contains(i, i))
+                .map(|i| (i, i))
+                .collect(),
+        }
+    }
+
+    fn is_functional(&self) -> bool {
+        let mut last = None;
+        for &(a, _) in &self.pairs {
+            if last == Some(a) {
+                return false;
+            }
+            last = Some(a);
+        }
+        true
+    }
+
+    fn is_total(&self, n: usize) -> bool {
+        (0..n).all(|a| self.pairs.range((a, 0)..=(a, usize::MAX)).next().is_some())
+    }
+}
+
+/// A seeded xorshift generator — deterministic across runs and platforms.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// A (bitset, reference) pair built from the same random pair stream.
+fn random_pair(rng: &mut Lcg, n: usize, density_pct: usize) -> (BinRel, SetRel) {
+    let mut new = BinRel::new();
+    let mut old = SetRel::default();
+    let target = n * n * density_pct / 100;
+    for _ in 0..target {
+        let (a, b) = (rng.below(n), rng.below(n));
+        assert_eq!(new.insert(a, b), old.insert(a, b));
+    }
+    (new, old)
+}
+
+fn full(n: usize) -> (BinRel, SetRel) {
+    let mut new = BinRel::with_dim(n);
+    let mut old = SetRel::default();
+    for a in 0..n {
+        for b in 0..n {
+            new.insert(a, b);
+            old.insert(a, b);
+        }
+    }
+    (new, old)
+}
+
+/// Asserts every observation of `new` matches the reference `old`.
+fn assert_observations(new: &BinRel, old: &SetRel, n: usize) {
+    assert_eq!(new.pairs(), old.pairs());
+    assert_eq!(new.iter().collect::<Vec<_>>(), old.pairs());
+    assert_eq!(new.len(), old.len());
+    assert_eq!(new.is_empty(), old.pairs.is_empty());
+    assert_eq!(new.is_functional(), old.is_functional());
+    assert_eq!(new.is_total(n), old.is_total(n));
+    for a in 0..n + 2 {
+        assert_eq!(new.image(a), old.image(a));
+        for b in 0..n + 2 {
+            assert_eq!(new.contains(a, b), old.contains(a, b));
+        }
+    }
+}
+
+#[test]
+fn randomized_relations_match_the_reference() {
+    let mut rng = Lcg(0x00ec_1ec7_1c00_5eed);
+    for n in 1..=64 {
+        for density_pct in [5, 30, 80] {
+            let (xn, xo) = random_pair(&mut rng, n, density_pct);
+            let (yn, yo) = random_pair(&mut rng, n, density_pct);
+            assert_observations(&xn, &xo, n);
+            assert_observations(&xn.union(&yn), &xo.union(&yo), n);
+            assert_observations(&xn.meet(&yn), &xo.meet(&yo), n);
+            assert_observations(&xn.compose(&yn), &xo.compose(&yo), n);
+            assert_observations(&xn.star(n), &xo.star(n), n);
+            assert_observations(&xn.diag_complement(n), &xo.diag_complement(n), n);
+        }
+    }
+}
+
+#[test]
+fn empty_and_full_relations_match_the_reference() {
+    for n in [1, 2, 63, 64, 65] {
+        let (en, eo) = (BinRel::new(), SetRel::default());
+        assert_observations(&en, &eo, n);
+        assert_observations(&en.star(n), &eo.star(n), n);
+        assert_observations(&en.diag_complement(n), &eo.diag_complement(n), n);
+
+        let (fn_, fo) = full(n);
+        assert_observations(&fn_, &fo, n);
+        assert_observations(&fn_.compose(&fn_), &fo.compose(&fo), n);
+        assert_observations(&fn_.star(n), &fo.star(n), n);
+        assert_observations(&fn_.union(&en), &fo.union(&eo), n);
+
+        let (idn, ido) = (BinRel::identity(n), SetRel::identity(n));
+        assert_observations(&idn, &ido, n);
+        assert_observations(&fn_.compose(&idn), &fo.compose(&ido), n);
+    }
+}
+
+#[test]
+fn star_matches_reference_beyond_the_start_bound() {
+    // The old BFS can traverse and emit targets >= n from sources < n but
+    // never starts from them; the bitset version must reproduce that.
+    let mut rng = Lcg(0x00b1_75e7_ca5e);
+    for _ in 0..50 {
+        let span = 1 + rng.below(48);
+        let mut new = BinRel::new();
+        let mut old = SetRel::default();
+        for _ in 0..span * 2 {
+            let (a, b) = (rng.below(span), rng.below(span));
+            new.insert(a, b);
+            old.insert(a, b);
+        }
+        let n = 1 + rng.below(span);
+        assert_observations(&new.star(n), &old.star(n), span);
+    }
+}
+
+#[test]
+fn modal_sweeps_match_reference_image_scans() {
+    let mut rng = Lcg(0x0dd5_0f0a_1100);
+    for n in [1, 7, 33, 64] {
+        let (m, old) = random_pair(&mut rng, n, 25);
+        let inner: Vec<bool> = (0..n).map(|_| rng.below(2) == 0).collect();
+        let box_ref: Vec<bool> = (0..n)
+            .map(|i| old.image(i).into_iter().all(|j| inner[j]))
+            .collect();
+        let dia_ref: Vec<bool> = (0..n)
+            .map(|i| old.image(i).into_iter().any(|j| inner[j]))
+            .collect();
+        assert_eq!(m.box_states(&inner), box_ref);
+        assert_eq!(m.diamond_states(&inner), dia_ref);
+    }
+}

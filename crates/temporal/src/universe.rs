@@ -159,47 +159,22 @@ impl Universe {
     /// single-step relation or with its closure (see the DESIGN.md ablation).
     pub fn close_reflexive_transitive(&mut self) {
         let n = self.states.len();
-        // One depth-first reachability sweep per source, fanned across
-        // [`eclectic_kernel::env_threads`] worker threads for large
-        // universes. Each source's reachable set is independent of every
-        // other's, so the result is identical for any thread count (and to
-        // the fixpoint iteration this replaces, at O(n·m) instead of its
-        // worst-case O(n³) set churn).
-        let compute = |i: usize| -> BTreeSet<StateIdx> {
-            let mut seen = vec![false; n];
-            let mut stack = vec![StateIdx(i)];
-            seen[i] = true;
-            let mut out = BTreeSet::new();
-            while let Some(s) = stack.pop() {
-                out.insert(s);
-                for &t in &self.succ[s.index()] {
-                    if !seen[t.index()] {
-                        seen[t.index()] = true;
-                        stack.push(t);
-                    }
-                }
+        // The closure runs on the shared dense bit-matrix kernel: one
+        // word-parallel per-source BFS, row-strided across
+        // [`eclectic_kernel::env_threads`] workers for large universes
+        // (each source's reachable row is independent of every other's, so
+        // the result is identical for any thread count, and to the fixpoint
+        // iteration this replaced).
+        let mut mat = eclectic_kernel::BitMatrix::new(n);
+        for (a, bs) in self.succ.iter().enumerate() {
+            for &b in bs {
+                mat.set(a, b.index());
             }
-            out
-        };
-        let threads = eclectic_kernel::env_threads().min(n.max(1));
-        let reach: Vec<BTreeSet<StateIdx>> = if threads <= 1 || n < 64 {
-            (0..n).map(compute).collect()
-        } else {
-            let chunk = n.div_ceil(threads).max(1);
-            let mut reach = vec![BTreeSet::new(); n];
-            std::thread::scope(|scope| {
-                for (c, slots) in reach.chunks_mut(chunk).enumerate() {
-                    let compute = &compute;
-                    scope.spawn(move || {
-                        for (off, slot) in slots.iter_mut().enumerate() {
-                            *slot = compute(c * chunk + off);
-                        }
-                    });
-                }
-            });
-            reach
-        };
-        self.succ = reach;
+        }
+        let closed = mat.closure_reflexive_transitive(eclectic_kernel::env_threads());
+        self.succ = (0..n)
+            .map(|a| closed.iter_row(a).map(StateIdx).collect())
+            .collect();
         let mut pred = vec![BTreeSet::new(); n];
         for (a, bs) in self.succ.iter().enumerate() {
             for &b in bs {

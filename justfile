@@ -12,6 +12,7 @@ verify:
     timeout 600 cargo test -q -p eclectic-spec --release --test parallel_determinism
     cargo run -p eclectic-bench --bin bench_reach_parallel --release
     cargo run -p eclectic-bench --bin bench_verify_parallel --release
+    timeout 900 cargo run -p eclectic-bench --bin bench_pdl_parallel --release
 
 # Lints alone, warnings denied — the clippy slice of `just verify`.
 lint:
@@ -34,5 +35,10 @@ bench-reach:
 bench-verify:
     cargo run -p eclectic-bench --bin bench_verify_parallel --release
 
-# Every benchmark artifact in one shot: harness + both parallel benches.
-bench-all: harness bench-reach bench-verify
+# Old-vs-new relation-kernel comparison on the batched PDL/dynamic-logic
+# workload (bit-identity asserted in-bench); writes BENCH_pdl.json.
+bench-pdl:
+    timeout 900 cargo run -p eclectic-bench --bin bench_pdl_parallel --release
+
+# Every benchmark artifact in one shot: harness + all parallel benches.
+bench-all: harness bench-reach bench-verify bench-pdl
