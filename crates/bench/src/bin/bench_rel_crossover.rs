@@ -1,0 +1,222 @@
+//! Dense vs sparse vs auto relation-kernel comparison on sparse
+//! star-closure workloads; writes `BENCH_rel.json`.
+//!
+//! The workload is the shape the sparse backend exists for: disjoint
+//! 8-node rings, so every source's reflexive-transitive closure reaches
+//! exactly its own cluster. Entry count stays linear in the dimension
+//! while the dense bit matrix pays `n · ⌈n/64⌉` words regardless — the
+//! dense per-source BFS touches whole rows, the sparse semi-naive
+//! worklist only the eight reached nodes. Three arms per dimension
+//! (256 / 1 k / 4 k): forced dense, forced sparse, and the unforced
+//! automatic policy.
+//!
+//! Pass gates:
+//! - at every dimension the auto arm is within 10% of the best backend
+//!   (the crossover constant must route each size to the right kernel);
+//! - sparse beats dense by ≥ 1.5× at dim 4096;
+//! - closure pair sets are bit-identical across all three arms at every
+//!   dimension, and a 1024-state PDL + contract batch produces
+//!   bit-identical verdicts under forced dense and forced sparse;
+//! - the large-universe capstone completes: a generated 2¹⁷-state domain
+//!   (≥ 10⁵ states, far beyond the dense wall of ~2 GB per relation)
+//!   model-checks its full PDL batch and its totality/functionality
+//!   contracts under the automatically-selected sparse backend.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use eclectic_bench::Runner;
+use eclectic_kernel::{force_rel_backend, Budget, Rel, RelBackend, RelChoice};
+use eclectic_logic::{Domains, Elem, Formula, Signature, Term as LogicTerm, Valuation};
+use eclectic_rpr::denote::meaning;
+use eclectic_rpr::{check_batch_budget, DbState, FiniteUniverse, Pdl, Stmt};
+
+/// Cluster size of the star-closure workload: each source reaches exactly
+/// this many nodes whatever the dimension.
+const CLUSTER: usize = 8;
+
+/// Edges of the disjoint-ring workload (`n` must be a multiple of
+/// [`CLUSTER`]): node `i` points at the next node of its ring.
+fn ring_edges(n: usize) -> impl Iterator<Item = (usize, usize)> {
+    assert_eq!(n % CLUSTER, 0);
+    (0..n).map(|i| {
+        let base = i - i % CLUSTER;
+        (i, base + (i + 1) % CLUSTER)
+    })
+}
+
+fn build(n: usize, backend: Option<RelBackend>) -> Rel {
+    let mut r = match backend {
+        Some(b) => Rel::with_backend(n, b),
+        None => Rel::new(n),
+    };
+    for (a, b) in ring_edges(n) {
+        r.set(a, b);
+    }
+    r
+}
+
+/// A generated domain with one marked-items predicate over `bits` items:
+/// the representation universe is all `2^bits` subsets.
+fn synthetic_universe(bits: usize, cap: usize) -> (FiniteUniverse, Vec<Pdl>, Stmt) {
+    let mut sig = Signature::new();
+    let item = sig.add_sort("item").unwrap();
+    let marked = sig.add_db_predicate("MARKED", &[item]).unwrap();
+    let x = sig.add_constant("x", item).unwrap();
+    let names: Vec<String> = (0..bits).map(|i| format!("i{i:02}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let dom = Domains::from_names(&sig, &[("item", &name_refs)]).unwrap();
+    let sig = Arc::new(sig);
+    let mut template = DbState::new(sig, Arc::new(dom));
+    template.set_scalar(x, Elem(0)).unwrap();
+    // `x` stays pinned at the template value (it is not a varying scalar),
+    // so the universe is exactly the `2^bits` subsets of MARKED.
+    let u = FiniteUniverse::enumerate(&template, &[marked], &[], cap).unwrap();
+    let insert = Stmt::Insert(marked, vec![LogicTerm::constant(x)]);
+    let atom = Pdl::Atom(Formula::Pred(marked, vec![LogicTerm::constant(x)]));
+    let formulas = vec![
+        Pdl::after_all(insert.clone(), atom.clone()),
+        Pdl::after_some(insert.clone(), atom.clone()),
+        Pdl::after_all(Stmt::Skip, atom.clone()),
+        Pdl::after_all(insert.clone().seq(Stmt::Skip), atom),
+    ];
+    (u, formulas, insert)
+}
+
+/// PDL verdicts plus the dynamic-contract observations (totality and
+/// functionality of the deterministic `insert` application) on a
+/// synthetic universe — the fields that must be backend-invariant.
+fn batch_fingerprint(bits: usize, threads: usize) -> (Vec<bool>, Vec<bool>, bool, bool) {
+    let (u, formulas, insert) = synthetic_universe(bits, 1 << bits);
+    let report = check_batch_budget(&formulas, &u, &Budget::unlimited(), threads).unwrap();
+    let r = meaning(&u, &insert, &Valuation::new()).unwrap();
+    let first_sat = report.satisfying.first().cloned().unwrap_or_default();
+    (
+        report.valid,
+        first_sat,
+        r.is_total(u.len()),
+        r.is_functional(),
+    )
+}
+
+fn main() {
+    let dims = [256usize, 1024, 4096];
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let workload =
+        format!("disjoint {CLUSTER}-ring reflexive-transitive closure at dims {dims:?}");
+
+    // Closure pair sets must be bit-identical across backends before any
+    // timing is trusted.
+    let mut identical = true;
+    for &n in &dims {
+        let dense = build(n, Some(RelBackend::Dense)).closure_reflexive_transitive(1);
+        let sparse = build(n, Some(RelBackend::Sparse)).closure_reflexive_transitive(1);
+        let auto = build(n, None).closure_reflexive_transitive(1);
+        if !dense.set_eq(&sparse) || !dense.set_eq(&auto) {
+            eprintln!("MISMATCH: closure pair sets diverge at dim {n}");
+            identical = false;
+        }
+    }
+    // The same PDL + contract batch on a 2^10-state generated domain must
+    // produce bit-identical verdicts under each forced backend.
+    let fp_dense = {
+        let _g = force_rel_backend(RelChoice::Dense);
+        batch_fingerprint(10, 4)
+    };
+    let fp_sparse = {
+        let _g = force_rel_backend(RelChoice::Sparse);
+        batch_fingerprint(10, 4)
+    };
+    if fp_dense != fp_sparse {
+        eprintln!("MISMATCH: PDL/contract verdicts diverge between backends");
+        identical = false;
+    }
+
+    // The capstone: a generated domain past the dense wall (2^17 states;
+    // a dense relation there would be 2^17 · 2^17/64 words ≈ 2 GB). The
+    // automatic policy must route it to the sparse backend and complete
+    // the full PDL batch plus the dynamic contracts.
+    let cap_start = Instant::now();
+    let (valid, first_sat, total, functional) = batch_fingerprint(17, 4);
+    let cap_elapsed_ms = cap_start.elapsed().as_millis();
+    let cap_states = 1usize << 17;
+    let capstone_ok = valid == fp_dense.0 && total && functional && !first_sat.is_empty();
+    println!(
+        "large universe: {cap_states} states, {} formulas valid, contracts total={total} \
+         functional={functional}, {cap_elapsed_ms} ms",
+        valid.iter().filter(|&&v| v).count()
+    );
+
+    let mut r = Runner::new("rel_crossover").sample_size(10).warmup(2);
+    let mut rows: Vec<(usize, f64, f64, f64, &'static str)> = Vec::new();
+    for &n in &dims {
+        let dense = build(n, Some(RelBackend::Dense));
+        let sparse = build(n, Some(RelBackend::Sparse));
+        let auto = build(n, None);
+        let auto_backend = match auto.backend() {
+            RelBackend::Dense => "dense",
+            RelBackend::Sparse => "sparse",
+        };
+        let d = r
+            .bench(format!("star/dense_{n}"), || {
+                dense.closure_reflexive_transitive(1).count_ones()
+            })
+            .median_ns;
+        let s = r
+            .bench(format!("star/sparse_{n}"), || {
+                sparse.closure_reflexive_transitive(1).count_ones()
+            })
+            .median_ns;
+        let a = r
+            .bench(format!("star/auto_{n}"), || {
+                auto.closure_reflexive_transitive(1).count_ones()
+            })
+            .median_ns;
+        rows.push((n, d, s, a, auto_backend));
+    }
+    r.finish();
+
+    let gate_auto = rows.iter().all(|&(_, d, s, a, _)| a <= d.min(s) * 1.10);
+    let sparse_speedup_4k = rows
+        .iter()
+        .find(|&&(n, ..)| n == 4096)
+        .map(|&(_, d, s, ..)| d / s)
+        .unwrap_or(0.0);
+    let gate_sparse = sparse_speedup_4k >= 1.5;
+    let pass = gate_auto && gate_sparse && identical && capstone_ok;
+
+    let mut json = String::from("{\n  \"bench\": \"rel_crossover\",\n");
+    json.push_str(&format!("  \"workload\": \"{workload}\",\n"));
+    json.push_str(&format!("  \"available_cores\": {cores},\n"));
+    json.push_str("  \"rows\": [\n");
+    for (i, (n, d, s, a, ab)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"dim\": {n}, \"dense_ns\": {d:.0}, \"sparse_ns\": {s:.0}, \
+             \"auto_ns\": {a:.0}, \"auto_backend\": \"{ab}\", \
+             \"sparse_speedup_vs_dense\": {:.3}, \"auto_within_10pct_of_best\": {}}}{}\n",
+            d / s,
+            *a <= d.min(*s) * 1.10,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"sparse_speedup_at_4096\": {sparse_speedup_4k:.3},\n  \
+         \"sparse_speedup_threshold\": 1.5,\n  \"gate_auto_within_10pct\": {gate_auto},\n  \
+         \"gate_sparse_speedup\": {gate_sparse},\n  \"verdicts_bit_identical\": {identical},\n"
+    ));
+    json.push_str(&format!(
+        "  \"large_universe\": {{\"states\": {cap_states}, \"formulas\": {}, \
+         \"valid_count\": {}, \"contracts_total_and_functional\": {}, \
+         \"elapsed_ms\": {cap_elapsed_ms}, \"completed\": {capstone_ok}}},\n",
+        valid.len(),
+        valid.iter().filter(|&&v| v).count(),
+        total && functional,
+    ));
+    json.push_str(&format!("  \"pass\": {pass}\n}}\n"));
+    std::fs::write("BENCH_rel.json", &json).expect("write BENCH_rel.json");
+    println!(
+        "\nBENCH_rel.json written (sparse {sparse_speedup_4k:.2}x dense at 4096, auto within \
+         10% of best: {gate_auto}, identical: {identical}, capstone: {capstone_ok})"
+    );
+    assert!(pass, "BENCH_rel gates failed");
+}

@@ -38,9 +38,55 @@ use crate::concurrent::effective_workers;
 /// `Instant::now()` stays invisible in profiles.
 pub const ROW_POLL_STRIDE: usize = 64;
 
-/// Minimum dimension before compose/closure fan out to worker threads;
-/// below this the spawn overhead dwarfs the row work.
-const PAR_MIN_DIM: usize = 256;
+/// Default minimum dimension before compose/closure fan out to worker
+/// threads; below this the spawn overhead dwarfs the row work. Override
+/// with `ECLECTIC_PAR_MIN_DIM` (see [`par_min_dim`]).
+const PAR_MIN_DIM_DEFAULT: usize = 256;
+
+/// How one `ECLECTIC_PAR_MIN_DIM` value parses. Split out so the full
+/// parse table is unit-testable without touching the process environment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ParMinDimSpec {
+    /// Variable unset: use [`PAR_MIN_DIM_DEFAULT`].
+    Unset,
+    /// A parsed dimension floor (0 means "always fan out").
+    Dim(usize),
+    /// Unparseable: fall back to the default, but warn.
+    Invalid,
+}
+
+fn parse_par_min_dim(value: Option<&str>) -> ParMinDimSpec {
+    let Some(raw) = value else {
+        return ParMinDimSpec::Unset;
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(d) => ParMinDimSpec::Dim(d),
+        Err(_) => ParMinDimSpec::Invalid,
+    }
+}
+
+/// The effective parallelism dimension floor: `ECLECTIC_PAR_MIN_DIM` if
+/// set and parseable, else [`PAR_MIN_DIM_DEFAULT`]. Read once per process;
+/// an unparseable value warns once on stderr and falls back to the
+/// default, mirroring `env_threads`.
+pub(crate) fn par_min_dim() -> usize {
+    static DIM: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DIM.get_or_init(|| {
+        let value = std::env::var("ECLECTIC_PAR_MIN_DIM").ok();
+        match parse_par_min_dim(value.as_deref()) {
+            ParMinDimSpec::Unset => PAR_MIN_DIM_DEFAULT,
+            ParMinDimSpec::Dim(d) => d,
+            ParMinDimSpec::Invalid => {
+                eprintln!(
+                    "eclectic: unparseable ECLECTIC_PAR_MIN_DIM={:?}; expected a \
+                     non-negative integer — falling back to {PAR_MIN_DIM_DEFAULT}",
+                    value.as_deref().unwrap_or_default()
+                );
+                PAR_MIN_DIM_DEFAULT
+            }
+        }
+    })
+}
 
 /// A dense square bit matrix over `0..n`, row-major in `u64` words.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -101,6 +147,13 @@ impl BitMatrix {
     #[must_use]
     pub fn words_per_row(&self) -> usize {
         self.wpr
+    }
+
+    /// Total allocated `u64` words (`n · words_per_row`) — the dense
+    /// backend's storage unit for [`Budget::check_rel`].
+    #[must_use]
+    pub fn word_count(&self) -> usize {
+        self.bits.len()
     }
 
     /// Whether bit `(r, c)` is set.
@@ -255,6 +308,11 @@ impl BitMatrix {
         assert_eq!(self.n, other.n, "BitMatrix dimension mismatch");
         let n = self.n;
         let wpr = self.wpr;
+        // Dense output cost is fixed at allocation time: guard the
+        // relation-memory axis before committing `n · wpr` words.
+        if let Some(reason) = budget.check_rel(n * wpr) {
+            return Err(reason);
+        }
         let mut out = BitMatrix::new(n);
         if n == 0 {
             return Ok(out);
@@ -281,7 +339,7 @@ impl BitMatrix {
             Ok(())
         };
         let workers = effective_workers(threads).min(n.max(1));
-        if workers <= 1 || n < PAR_MIN_DIM {
+        if workers <= 1 || n < par_min_dim() {
             compose_rows(0, &mut out.bits)?;
         } else {
             let chunk = n.div_ceil(workers);
@@ -328,6 +386,10 @@ impl BitMatrix {
     ) -> Result<BitMatrix, BudgetExceeded> {
         let n = self.n;
         let wpr = self.wpr;
+        // Same allocation-time relation-memory guard as `compose_governed`.
+        if let Some(reason) = budget.check_rel(n * wpr) {
+            return Err(reason);
+        }
         let mut out = BitMatrix::new(n);
         if n == 0 {
             return Ok(out);
@@ -360,7 +422,7 @@ impl BitMatrix {
             Ok(())
         };
         let workers = effective_workers(threads).min(n.max(1));
-        if workers <= 1 || n < PAR_MIN_DIM {
+        if workers <= 1 || n < par_min_dim() {
             close_rows(0, &mut out.bits)?;
         } else {
             let chunk = n.div_ceil(workers);
@@ -473,6 +535,36 @@ mod tests {
             Err(BudgetExceeded::Cancelled)
         );
         assert!(m.compose_governed(&m, &Budget::unlimited(), 2).is_ok());
+    }
+
+    #[test]
+    fn par_min_dim_parse_table() {
+        assert_eq!(parse_par_min_dim(None), ParMinDimSpec::Unset);
+        assert_eq!(parse_par_min_dim(Some("0")), ParMinDimSpec::Dim(0));
+        assert_eq!(parse_par_min_dim(Some("256")), ParMinDimSpec::Dim(256));
+        assert_eq!(parse_par_min_dim(Some(" 1024 ")), ParMinDimSpec::Dim(1024));
+        assert_eq!(parse_par_min_dim(Some("")), ParMinDimSpec::Invalid);
+        assert_eq!(parse_par_min_dim(Some("-1")), ParMinDimSpec::Invalid);
+        assert_eq!(parse_par_min_dim(Some("auto")), ParMinDimSpec::Invalid);
+        assert_eq!(parse_par_min_dim(Some("2x")), ParMinDimSpec::Invalid);
+    }
+
+    #[test]
+    fn governed_ops_guard_relation_memory_at_entry() {
+        let m = from_pairs(64, &[(0, 1)]);
+        // 64 × 1 = 64 output words; a 32-word cap trips before allocation,
+        // and survives node-cap stripping (it is a separate axis).
+        let capped = Budget::unlimited().with_max_rel_entries(32);
+        assert_eq!(
+            m.compose_governed(&m, &capped, 1),
+            Err(BudgetExceeded::RelMemory)
+        );
+        assert_eq!(
+            m.closure_governed(&capped.without_node_cap(), 2),
+            Err(BudgetExceeded::RelMemory)
+        );
+        let roomy = Budget::unlimited().with_max_rel_entries(10_000);
+        assert!(m.compose_governed(&m, &roomy, 1).is_ok());
     }
 
     #[test]

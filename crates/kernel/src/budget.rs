@@ -8,7 +8,12 @@
 //! - a **wall-clock deadline** measured from a monotonic start instant,
 //! - a **node cap** backed by the term arena's chunk accounting
 //!   ([`Interner::len`](crate::Interner::len) — the number of hash-consed
-//!   nodes allocated so far), and
+//!   nodes allocated so far),
+//! - a **relation-memory cap** polled by the relation kernels with the
+//!   number of backend storage units a single governed operation has
+//!   allocated (`u64` words for the dense bit matrix, adjacency entries
+//!   for the sparse backend), so a materialization that would exhaust
+//!   memory trips [`Exhaustion`] instead of OOMing, and
 //! - a cooperative [`CancelToken`] (an `Arc<AtomicBool>`) that an external
 //!   caller may flip at any time.
 //!
@@ -67,6 +72,11 @@ impl CancelToken {
 pub enum BudgetExceeded {
     /// The hash-consed node count reached the configured cap.
     Nodes,
+    /// A governed relation operation reached the configured cap on backend
+    /// storage units (dense words / sparse adjacency entries). Like the
+    /// deadline this is a safety axis, not a serial-order one: a parallel
+    /// sweep may notice it at a schedule-dependent unit.
+    RelMemory,
     /// A [`CancelToken`] was flipped.
     Cancelled,
     /// The wall-clock deadline elapsed.
@@ -77,6 +87,7 @@ impl fmt::Display for BudgetExceeded {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
             BudgetExceeded::Nodes => "node cap reached",
+            BudgetExceeded::RelMemory => "relation memory cap reached",
             BudgetExceeded::Cancelled => "cancelled",
             BudgetExceeded::Deadline => "deadline elapsed",
         })
@@ -92,6 +103,7 @@ pub struct Budget {
     start: Instant,
     deadline: Option<Duration>,
     max_nodes: Option<usize>,
+    max_rel_entries: Option<usize>,
     cancel: Option<CancelToken>,
 }
 
@@ -109,6 +121,7 @@ impl Budget {
             start: Instant::now(),
             deadline: None,
             max_nodes: None,
+            max_rel_entries: None,
             cancel: None,
         }
     }
@@ -131,6 +144,19 @@ impl Budget {
         self
     }
 
+    /// Cap the number of backend storage units (dense `u64` words / sparse
+    /// adjacency entries) a single governed relation operation may
+    /// materialize. Polled by the relation kernels via
+    /// [`check_rel`](Self::check_rel); trips when the count *reaches* the
+    /// cap. The cap survives [`without_node_cap`](Self::without_node_cap),
+    /// so strided sweeps keep their memory protection while the node axis
+    /// stays caller-enforced.
+    #[must_use]
+    pub fn with_max_rel_entries(mut self, entries: usize) -> Self {
+        self.max_rel_entries = Some(entries);
+        self
+    }
+
     /// Attach a cooperative cancellation token.
     #[must_use]
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
@@ -142,7 +168,8 @@ impl Budget {
     /// per-worker rewriters inside strided sweeps. The sweep itself enforces
     /// the node axis at serial-order slot boundaries; letting workers also
     /// poll their *private* store sizes would make node-cap stops depend on
-    /// the schedule.
+    /// the schedule. The relation-memory cap is *kept*: it guards against a
+    /// single runaway materialization inside a worker, like the deadline.
     #[must_use]
     pub fn without_node_cap(&self) -> Budget {
         Budget {
@@ -151,8 +178,9 @@ impl Budget {
         }
     }
 
-    /// Read `ECLECTIC_DEADLINE_MS` / `ECLECTIC_MAX_NODES` from the
-    /// environment; unset or unparseable values leave that axis unlimited.
+    /// Read `ECLECTIC_DEADLINE_MS` / `ECLECTIC_MAX_NODES` /
+    /// `ECLECTIC_MAX_REL_ENTRIES` from the environment; unset or
+    /// unparseable values leave that axis unlimited.
     #[must_use]
     pub fn from_env() -> Self {
         let mut b = Budget::unlimited();
@@ -161,6 +189,9 @@ impl Budget {
         }
         if let Some(n) = env_u64("ECLECTIC_MAX_NODES") {
             b = b.with_max_nodes(n as usize);
+        }
+        if let Some(n) = env_u64("ECLECTIC_MAX_REL_ENTRIES") {
+            b = b.with_max_rel_entries(n as usize);
         }
         b
     }
@@ -177,10 +208,19 @@ impl Budget {
         self.max_nodes
     }
 
+    /// The configured relation-memory cap (backend storage units), if any.
+    #[must_use]
+    pub fn max_rel_entries(&self) -> Option<usize> {
+        self.max_rel_entries
+    }
+
     /// True when no axis is limited — `check` can never trip.
     #[must_use]
     pub fn is_unlimited(&self) -> bool {
-        self.deadline.is_none() && self.max_nodes.is_none() && self.cancel.is_none()
+        self.deadline.is_none()
+            && self.max_nodes.is_none()
+            && self.max_rel_entries.is_none()
+            && self.cancel.is_none()
     }
 
     /// Wall-clock time since the budget was constructed.
@@ -213,6 +253,22 @@ impl Budget {
         None
     }
 
+    /// Poll the budget from inside a governed relation operation with the
+    /// backend storage units (dense words / sparse entries) that operation
+    /// has allocated so far. Checks the relation-memory axis first, then
+    /// falls through to [`check`](Self::check) with a zero node count, so
+    /// the timing axes (cancellation, deadline) keep their existing poll
+    /// points.
+    #[must_use]
+    pub fn check_rel(&self, entries: usize) -> Option<BudgetExceeded> {
+        if let Some(cap) = self.max_rel_entries {
+            if entries >= cap {
+                return Some(BudgetExceeded::RelMemory);
+            }
+        }
+        self.check(0)
+    }
+
     /// Build the [`Exhaustion`] record for a sweep that tripped this
     /// budget. The record echoes the configured limits (not observed
     /// counters), so two runs of the same sweep under the same budget
@@ -229,6 +285,7 @@ impl Budget {
             reason,
             completed_units,
             max_nodes: self.max_nodes,
+            max_rel_entries: self.max_rel_entries,
             deadline_ms: self.deadline_ms(),
         }
     }
@@ -260,6 +317,8 @@ pub struct Exhaustion {
     pub completed_units: usize,
     /// The configured node cap, echoed from the budget.
     pub max_nodes: Option<usize>,
+    /// The configured relation-memory cap, echoed from the budget.
+    pub max_rel_entries: Option<usize>,
     /// The configured deadline in milliseconds, echoed from the budget.
     pub deadline_ms: Option<u64>,
 }
@@ -273,6 +332,9 @@ impl fmt::Display for Exhaustion {
         )?;
         if let Some(n) = self.max_nodes {
             write!(f, ", node cap {n}")?;
+        }
+        if let Some(n) = self.max_rel_entries {
+            write!(f, ", relation memory cap {n}")?;
         }
         if let Some(ms) = self.deadline_ms {
             write!(f, ", deadline {ms} ms")?;
@@ -330,6 +392,28 @@ mod tests {
     fn zero_deadline_trips_immediately() {
         let b = Budget::unlimited().with_deadline_ms(0);
         assert_eq!(b.check(0), Some(BudgetExceeded::Deadline));
+    }
+
+    #[test]
+    fn rel_memory_cap_trips_only_through_check_rel() {
+        let b = Budget::unlimited().with_max_rel_entries(100);
+        assert!(!b.is_unlimited());
+        assert_eq!(b.max_rel_entries(), Some(100));
+        // The plain node-count poll never sees the relation axis...
+        assert_eq!(b.check(usize::MAX - 1), None);
+        // ...but the relation kernels' poll does, inclusively at the cap.
+        assert_eq!(b.check_rel(99), None);
+        assert_eq!(b.check_rel(100), Some(BudgetExceeded::RelMemory));
+        // It survives node-cap stripping (workers keep memory protection).
+        assert_eq!(
+            b.without_node_cap().check_rel(100),
+            Some(BudgetExceeded::RelMemory)
+        );
+        // And falls through to the timing axes below the cap.
+        let tok = CancelToken::new();
+        tok.cancel();
+        let c = b.with_cancel(tok);
+        assert_eq!(c.check_rel(0), Some(BudgetExceeded::Cancelled));
     }
 
     #[test]

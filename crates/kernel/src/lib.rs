@@ -26,10 +26,17 @@ mod budget;
 mod concurrent;
 pub mod hash;
 mod ids;
+mod rel;
+mod sparse;
 mod store;
 
 pub use bitmat::{BitMatrix, ROW_POLL_STRIDE};
 pub use budget::{Budget, BudgetExceeded, CancelToken, Exhaustion};
+pub use rel::{
+    force_rel_backend, rel_backend_for, Rel, RelBackend, RelBackendGuard, RelChoice, RowIter,
+    REL_DENSE_MAX_DIM,
+};
+pub use sparse::SparseRel;
 pub use concurrent::{
     effective_workers, env_threads, ConcurrentTermStore, SharedMemo, StoreHandle,
 };

@@ -1,30 +1,36 @@
 //! Binary relations over finite universes — the meanings of RPR statements.
 //!
-//! Since PR 6 the representation is a dense row-major bit matrix
-//! ([`eclectic_kernel::BitMatrix`]) rather than a `BTreeSet<(usize, usize)>`:
-//! union/meet are word-wise OR/AND, composition an OR-gather of rows, and
-//! the reflexive-transitive closure a word-parallel per-source BFS. The
-//! observable behaviour is unchanged: [`BinRel::iter`] streams pairs in the
-//! exact ascending `(a, b)` order of the old set, and equality compares the
-//! *pair sets* (two relations of different allocated dimensions are equal
-//! iff they hold the same pairs), so every report built on top stays
-//! bit-identical.
+//! Since PR 6 the representation is no longer a `BTreeSet<(usize, usize)>`
+//! but the kernel's dual-backend [`eclectic_kernel::Rel`]: a dense
+//! row-major bit matrix on small universes (union/meet are word-wise
+//! OR/AND, composition an OR-gather of rows, the reflexive-transitive
+//! closure a word-parallel per-source BFS) and a sparse sorted-adjacency
+//! store past the crossover dimension (sorted-merge set algebra,
+//! semi-naive delta closure), selected per relation by
+//! `ECLECTIC_REL_BACKEND` / the automatic policy. The observable behaviour
+//! is unchanged on both backends: [`BinRel::iter`] streams pairs in the
+//! exact ascending `(a, b)` order of the old set, and equality compares
+//! the *pair sets* (two relations of different allocated dimensions — or
+//! different backends — are equal iff they hold the same pairs), so every
+//! report built on top stays bit-identical.
 //!
 //! The allocated dimension grows on demand under [`BinRel::insert`];
 //! builders that know the universe size up front use [`BinRel::with_dim`]
-//! to skip the growth re-layouts. Long-running operators have `*_threads`
-//! variants (row-strided across [`eclectic_kernel::effective_workers`],
-//! bit-identical at every worker count) and `*_governed` variants polling a
-//! [`Budget`] at row-stride boundaries on the timing axes.
+//! to skip the growth re-layouts (and to let the policy pick the sparse
+//! backend immediately on huge universes). Long-running operators have
+//! `*_threads` variants (row-strided across
+//! [`eclectic_kernel::effective_workers`], bit-identical at every worker
+//! count) and `*_governed` variants polling a [`Budget`] at row-stride
+//! boundaries on the timing and relation-memory axes.
 
 use std::collections::BTreeSet;
 
-use eclectic_kernel::{BitMatrix, Budget, BudgetExceeded};
+use eclectic_kernel::{Budget, BudgetExceeded, Rel, RelBackend};
 
 /// A binary relation over state indices `0..n`.
 #[derive(Clone, Default)]
 pub struct BinRel {
-    mat: BitMatrix,
+    rel: Rel,
 }
 
 impl std::fmt::Debug for BinRel {
@@ -35,25 +41,13 @@ impl std::fmt::Debug for BinRel {
     }
 }
 
-/// Equality is over the pair *sets*: the allocated dimensions may differ
-/// (e.g. an `identity(n)` composed against a relation grown pair-by-pair),
-/// only the pairs count — exactly the old `BTreeSet` equality.
+/// Equality is over the pair *sets*: the allocated dimensions and storage
+/// backends may differ (e.g. an `identity(n)` composed against a relation
+/// grown pair-by-pair), only the pairs count — exactly the old `BTreeSet`
+/// equality.
 impl PartialEq for BinRel {
     fn eq(&self, other: &Self) -> bool {
-        let (small, big) = if self.mat.dim() <= other.mat.dim() {
-            (self, other)
-        } else {
-            (other, self)
-        };
-        let ws = small.mat.words_per_row();
-        let ns = small.mat.dim();
-        for r in 0..ns {
-            let rb = big.mat.row(r);
-            if small.mat.row(r) != &rb[..ws] || rb[ws..].iter().any(|&w| w != 0) {
-                return false;
-            }
-        }
-        (ns..big.mat.dim()).all(|r| big.mat.row(r).iter().all(|&w| w == 0))
+        self.rel.set_eq(&other.rel)
     }
 }
 
@@ -70,16 +64,14 @@ impl BinRel {
     /// inserts never re-layout. Equality ignores the dimension.
     #[must_use]
     pub fn with_dim(n: usize) -> Self {
-        BinRel {
-            mat: BitMatrix::new(n),
-        }
+        BinRel { rel: Rel::new(n) }
     }
 
     /// The identity relation on `0..n`.
     #[must_use]
     pub fn identity(n: usize) -> Self {
         BinRel {
-            mat: BitMatrix::identity(n),
+            rel: Rel::identity(n),
         }
     }
 
@@ -97,46 +89,56 @@ impl BinRel {
     /// growth). Not part of the relation's identity.
     #[must_use]
     pub fn dim(&self) -> usize {
-        self.mat.dim()
+        self.rel.dim()
+    }
+
+    /// The storage backend currently holding the relation — dense bit
+    /// matrix or sparse adjacency, per the kernel's crossover policy. Not
+    /// part of the relation's identity.
+    #[must_use]
+    pub fn backend(&self) -> RelBackend {
+        self.rel.backend()
     }
 
     /// Grows the allocated dimension to at least `d` (geometric, rounded to
-    /// whole words, so repeated inserts re-layout O(log) times).
+    /// whole words, so repeated inserts re-layout O(log) times); growth
+    /// across the crossover migrates the relation to sparse storage.
     fn ensure_dim(&mut self, d: usize) {
-        if d <= self.mat.dim() {
+        if d <= self.rel.dim() {
             return;
         }
-        let target = d.max(self.mat.dim() * 2).div_ceil(64) * 64;
-        self.mat = self.mat.resized(target);
+        let target = d.max(self.rel.dim() * 2).div_ceil(64) * 64;
+        self.rel = self.rel.resized(target);
     }
 
     /// Inserts a pair; returns whether it was new.
     pub fn insert(&mut self, a: usize, b: usize) -> bool {
         self.ensure_dim(a.max(b) + 1);
-        self.mat.set(a, b)
+        self.rel.set(a, b)
     }
 
     /// Membership test.
     #[must_use]
     pub fn contains(&self, a: usize, b: usize) -> bool {
-        a < self.mat.dim() && b < self.mat.dim() && self.mat.get(a, b)
+        a < self.rel.dim() && b < self.rel.dim() && self.rel.get(a, b)
     }
 
     /// Number of pairs.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.mat.count_ones()
+        self.rel.count_ones()
     }
 
     /// Whether the relation is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.mat.is_zero()
+        self.rel.is_zero()
     }
 
-    /// Iterates over the pairs in ascending `(a, b)` order.
+    /// Iterates over the pairs in ascending `(a, b)` order — identical on
+    /// both backends.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.mat.iter()
+        self.rel.iter()
     }
 
     /// The pairs in ascending order, collected.
@@ -148,56 +150,26 @@ impl BinRel {
     /// The image of a single state: `{b | (a, b) ∈ R}`.
     #[must_use]
     pub fn image(&self, a: usize) -> BTreeSet<usize> {
-        if a >= self.mat.dim() {
+        if a >= self.rel.dim() {
             return BTreeSet::new();
         }
-        self.mat.iter_row(a).collect()
-    }
-
-    /// Row `a` as a bit-word slice (`None` beyond the allocated dimension) —
-    /// the word-parallel window the PDL modalities scan instead of
-    /// materialising [`image`](Self::image) sets.
-    #[must_use]
-    pub fn row_words(&self, a: usize) -> Option<&[u64]> {
-        (a < self.mat.dim()).then(|| self.mat.row(a))
+        self.rel.iter_row(a).collect()
     }
 
     /// Union — `m(p ∪ q) = m(p) ∪ m(q)`.
     #[must_use]
     pub fn union(&self, other: &BinRel) -> BinRel {
-        let d = self.mat.dim().max(other.mat.dim());
-        let mut out = if self.mat.dim() == d {
-            self.clone()
-        } else {
-            BinRel {
-                mat: self.mat.resized(d),
-            }
-        };
-        if other.mat.dim() == d {
-            out.mat.or_assign(&other.mat);
-        } else {
-            out.mat.or_assign(&other.mat.resized(d));
+        BinRel {
+            rel: self.rel.union(&other.rel),
         }
-        out
     }
 
-    /// Intersection (meet) — word-wise AND.
+    /// Intersection (meet).
     #[must_use]
     pub fn meet(&self, other: &BinRel) -> BinRel {
-        let d = self.mat.dim().max(other.mat.dim());
-        let mut out = if self.mat.dim() == d {
-            self.clone()
-        } else {
-            BinRel {
-                mat: self.mat.resized(d),
-            }
-        };
-        if other.mat.dim() == d {
-            out.mat.and_assign(&other.mat);
-        } else {
-            out.mat.and_assign(&other.mat.resized(d));
+        BinRel {
+            rel: self.rel.meet(&other.rel),
         }
-        out
     }
 
     /// The diagonal complement on `0..n`: `{(i, i) | i < n, (i, i) ∉ R}`.
@@ -209,7 +181,7 @@ impl BinRel {
         let mut out = BinRel::with_dim(n);
         for i in 0..n {
             if !self.contains(i, i) {
-                out.mat.set(i, i);
+                out.rel.set(i, i);
             }
         }
         out
@@ -233,7 +205,8 @@ impl BinRel {
     }
 
     /// As [`compose_threads`](Self::compose_threads), polling `budget` at
-    /// row-stride boundaries (timing axes; callers strip the node cap).
+    /// row-stride boundaries (timing and relation-memory axes; callers
+    /// strip the node cap).
     ///
     /// # Errors
     /// Returns the tripped axis; partial output is discarded.
@@ -243,20 +216,9 @@ impl BinRel {
         budget: &Budget,
         threads: usize,
     ) -> Result<BinRel, BudgetExceeded> {
-        use std::cmp::Ordering;
-        let mat = match self.mat.dim().cmp(&other.mat.dim()) {
-            Ordering::Equal => self.mat.compose_governed(&other.mat, budget, threads)?,
-            Ordering::Less => self
-                .mat
-                .resized(other.mat.dim())
-                .compose_governed(&other.mat, budget, threads)?,
-            Ordering::Greater => self.mat.compose_governed(
-                &other.mat.resized(self.mat.dim()),
-                budget,
-                threads,
-            )?,
-        };
-        Ok(BinRel { mat })
+        Ok(BinRel {
+            rel: self.rel.compose_governed(&other.rel, budget, threads)?,
+        })
     }
 
     /// Reflexive-transitive closure over `0..n` — `m(p*) = (m(p))*`.
@@ -281,7 +243,8 @@ impl BinRel {
     }
 
     /// As [`star_threads`](Self::star_threads), polling `budget` at
-    /// row-stride boundaries (timing axes; callers strip the node cap).
+    /// row-stride boundaries (timing and relation-memory axes; callers
+    /// strip the node cap).
     ///
     /// # Errors
     /// Returns the tripped axis; partial output is discarded.
@@ -291,81 +254,48 @@ impl BinRel {
         budget: &Budget,
         threads: usize,
     ) -> Result<BinRel, BudgetExceeded> {
-        let d = self.mat.dim().max(n);
-        let closed = if self.mat.dim() == d {
-            self.mat.closure_governed(budget, threads)?
+        let d = self.rel.dim().max(n);
+        let mut closed = if self.rel.dim() == d {
+            self.rel.closure_governed(budget, threads)?
         } else {
-            self.mat.resized(d).closure_governed(budget, threads)?
+            self.rel.resized(d).closure_governed(budget, threads)?
         };
-        if n >= d {
-            return Ok(BinRel { mat: closed });
-        }
         // Only sources < n start a traversal; clear the rows beyond.
-        let mut mat = closed;
         for r in n..d {
-            mat.row_mut(r).fill(0);
+            closed.clear_row(r);
         }
-        Ok(BinRel { mat })
+        Ok(BinRel { rel: closed })
     }
 
     /// Whether the relation is a partial function (each source has at most
     /// one target).
     #[must_use]
     pub fn is_functional(&self) -> bool {
-        (0..self.mat.dim()).all(|r| {
-            self.mat
-                .row(r)
-                .iter()
-                .map(|w| w.count_ones())
-                .sum::<u32>()
-                <= 1
-        })
+        self.rel.is_functional()
     }
 
     /// Whether the relation is total on `0..n` (each source has at least one
     /// target).
     #[must_use]
     pub fn is_total(&self, n: usize) -> bool {
-        (0..n).all(|a| a < self.mat.dim() && self.mat.row(a).iter().any(|&w| w != 0))
+        self.rel.is_total(n)
     }
 
-    /// One word-parallel `[p]`-modality sweep: `out[i]` is true iff every
-    /// target of `i` lies in `inner` (vacuously true for targets-free rows).
-    /// `inner[j]` gives the satisfaction of the inner formula at state `j`;
-    /// targets `≥ inner.len()` count as unsatisfied.
+    /// One `[p]`-modality sweep: `out[i]` is true iff every target of `i`
+    /// lies in `inner` (vacuously true for target-free rows). `inner[j]`
+    /// gives the satisfaction of the inner formula at state `j`; targets
+    /// `≥ inner.len()` count as unsatisfied. Word-parallel on the dense
+    /// backend, an adjacency scan on the sparse one.
     #[must_use]
     pub fn box_states(&self, inner: &[bool]) -> Vec<bool> {
-        let mask = self.inner_mask(inner);
-        (0..inner.len())
-            .map(|i| match self.row_words(i) {
-                None => true,
-                Some(row) => row.iter().zip(&mask).all(|(&r, &m)| r & !m == 0),
-            })
-            .collect()
+        self.rel.box_states(inner)
     }
 
-    /// One word-parallel `⟨p⟩`-modality sweep: `out[i]` is true iff some
-    /// target of `i` lies in `inner`.
+    /// One `⟨p⟩`-modality sweep: `out[i]` is true iff some target of `i`
+    /// lies in `inner`.
     #[must_use]
     pub fn diamond_states(&self, inner: &[bool]) -> Vec<bool> {
-        let mask = self.inner_mask(inner);
-        (0..inner.len())
-            .map(|i| match self.row_words(i) {
-                None => false,
-                Some(row) => row.iter().zip(&mask).any(|(&r, &m)| r & m != 0),
-            })
-            .collect()
-    }
-
-    /// `inner` packed into row-aligned words (bits `≥ inner.len()` clear).
-    fn inner_mask(&self, inner: &[bool]) -> Vec<u64> {
-        let mut mask = vec![0u64; self.mat.words_per_row().max(inner.len().div_ceil(64))];
-        for (j, &sat) in inner.iter().enumerate() {
-            if sat {
-                mask[j >> 6] |= 1u64 << (j & 63);
-            }
-        }
-        mask
+        self.rel.diamond_states(inner)
     }
 }
 
@@ -480,5 +410,21 @@ mod tests {
             assert_eq!(r.star_threads(300, threads), star1);
             assert_eq!(r.compose_threads(&r, threads), comp1);
         }
+    }
+
+    #[test]
+    fn forced_sparse_backend_reproduces_dense_observations() {
+        let pairs = [(0usize, 1usize), (1, 2), (2, 0), (5, 70), (70, 5)];
+        let dense = {
+            let _g = eclectic_kernel::force_rel_backend(eclectic_kernel::RelChoice::Dense);
+            let r = BinRel::from_pairs(pairs);
+            (r.star(71).pairs(), r.compose(&r).pairs(), r.dim())
+        };
+        let _g = eclectic_kernel::force_rel_backend(eclectic_kernel::RelChoice::Sparse);
+        let r = BinRel::from_pairs(pairs);
+        assert_eq!(r.backend(), RelBackend::Sparse);
+        assert_eq!(r.star(71).pairs(), dense.0);
+        assert_eq!(r.compose(&r).pairs(), dense.1);
+        assert_eq!(r.dim(), dense.2);
     }
 }

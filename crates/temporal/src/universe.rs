@@ -159,13 +159,15 @@ impl Universe {
     /// single-step relation or with its closure (see the DESIGN.md ablation).
     pub fn close_reflexive_transitive(&mut self) {
         let n = self.states.len();
-        // The closure runs on the shared dense bit-matrix kernel: one
-        // word-parallel per-source BFS, row-strided across
+        // The closure runs on the shared dual-backend relation kernel: a
+        // word-parallel per-source BFS on the dense bit matrix for small
+        // universes, a semi-naive delta closure on sorted adjacency lists
+        // past the crossover dimension, row-strided across
         // [`eclectic_kernel::env_threads`] workers for large universes
         // (each source's reachable row is independent of every other's, so
-        // the result is identical for any thread count, and to the fixpoint
-        // iteration this replaced).
-        let mut mat = eclectic_kernel::BitMatrix::new(n);
+        // the result is identical for any thread count and either backend,
+        // and to the fixpoint iteration this replaced).
+        let mut mat = eclectic_kernel::Rel::new(n);
         for (a, bs) in self.succ.iter().enumerate() {
             for &b in bs {
                 mat.set(a, b.index());

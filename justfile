@@ -2,9 +2,9 @@
 
 # The full offline gate: release build, tests, lints with warnings denied,
 # the parallel-determinism suite in release mode (now covering confluence,
-# completeness, PDL-batch and budget-exhaustion sweeps), and both parallel
-# benches. The tier-1 steps run under a hard timeout so a hung sweep fails
-# the gate instead of wedging it.
+# completeness, PDL-batch, budget-exhaustion and sparse-backend sweeps),
+# and the parallel/crossover benches. The tier-1 steps run under a hard
+# timeout so a hung sweep fails the gate instead of wedging it.
 verify:
     timeout 900 cargo build --release --workspace
     timeout 1200 cargo test -q --workspace
@@ -13,6 +13,7 @@ verify:
     cargo run -p eclectic-bench --bin bench_reach_parallel --release
     cargo run -p eclectic-bench --bin bench_verify_parallel --release
     timeout 900 cargo run -p eclectic-bench --bin bench_pdl_parallel --release
+    timeout 900 cargo run -p eclectic-bench --bin bench_rel_crossover --release
 
 # Lints alone, warnings denied — the clippy slice of `just verify`.
 lint:
@@ -40,5 +41,11 @@ bench-verify:
 bench-pdl:
     timeout 900 cargo run -p eclectic-bench --bin bench_pdl_parallel --release
 
+# Dense-vs-sparse-vs-auto relation-kernel crossover on star-closure
+# workloads plus the 2^17-state sparse capstone (bit-identity asserted
+# in-bench); writes BENCH_rel.json.
+bench-rel:
+    timeout 900 cargo run -p eclectic-bench --bin bench_rel_crossover --release
+
 # Every benchmark artifact in one shot: harness + all parallel benches.
-bench-all: harness bench-reach bench-verify bench-pdl
+bench-all: harness bench-reach bench-verify bench-pdl bench-rel
