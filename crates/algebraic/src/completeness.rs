@@ -9,7 +9,10 @@
 //! 2. an **exhaustive evaluation** pass: every ground query application over
 //!    every state term of bounded depth must normalise to a parameter name.
 
-use eclectic_kernel::{effective_workers, env_threads, Budget, BudgetExceeded, Exhaustion, Interner};
+use eclectic_kernel::{
+    effective_workers, env_threads, run_workers, Budget, BudgetExceeded, Exhaustion, IndexQueue,
+    Interner,
+};
 use eclectic_logic::Term;
 
 use crate::error::{AlgError, Result};
@@ -301,56 +304,57 @@ pub fn exhaustive_budget_in(
     // are independent, so nothing needs the shared store, and a private
     // memo avoids shard-lock traffic on every intern.
     let workers = threads.min(subjects.len());
-    let mut events: Vec<EvalEvent> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let subjects = &subjects;
-                let sig = &sig;
-                s.spawn(move || {
-                    let mut rw = Rewriter::new(spec);
-                    rw.set_budget(budget.without_node_cap());
-                    let mut local = Vec::new();
-                    let mut stuck_seen = 0usize;
-                    for (k, t) in subjects.iter().enumerate().skip(w).step_by(workers) {
-                        // Budget poll at the slot boundary: the instance
-                        // index stands in for node accounting, so a node-cap
-                        // stop lands on the same slot at every thread count.
-                        if let Some(reason) = budget.check(k) {
-                            local.push(EvalEvent::Budget(k, reason));
-                            break;
+    let queue = IndexQueue::new(subjects.len(), workers);
+    let mut events: Vec<EvalEvent> = run_workers(workers, |_| {
+        let subjects = &subjects;
+        let sig = &sig;
+        let queue = &queue;
+        move || {
+            let mut rw = Rewriter::new(spec);
+            rw.set_budget(budget.without_node_cap());
+            let mut local = Vec::new();
+            let mut stuck_seen = 0usize;
+            'claims: while let Some(range) = queue.claim() {
+                for k in range {
+                    let t = &subjects[k];
+                    // Budget poll at the slot boundary: the instance
+                    // index stands in for node accounting, so a node-cap
+                    // stop lands on the same slot at every worker count.
+                    if let Some(reason) = budget.check(k) {
+                        local.push(EvalEvent::Budget(k, reason));
+                        break 'claims;
+                    }
+                    match eval_subject(&mut rw, sig, t) {
+                        Ok(None) => {}
+                        Ok(Some(stuck)) => {
+                            local.push(EvalEvent::Stuck(k, stuck));
+                            stuck_seen += 1;
+                            // This worker alone has reached the global
+                            // cap; the serial loop cannot look past the
+                            // index where that happens, and chunks are
+                            // claimed in increasing order, so everything
+                            // this worker would still claim is unreachable.
+                            if stuck_seen >= max_failures {
+                                break 'claims;
+                            }
                         }
-                        match eval_subject(&mut rw, sig, t) {
-                            Ok(None) => {}
-                            Ok(Some(stuck)) => {
-                                local.push(EvalEvent::Stuck(k, stuck));
-                                stuck_seen += 1;
-                                // This worker alone has reached the global
-                                // cap; the serial loop cannot look past the
-                                // index where that happens, so the rest of
-                                // the stride is unreachable.
-                                if stuck_seen >= max_failures {
-                                    break;
-                                }
-                            }
-                            Err(AlgError::Budget { reason }) => {
-                                local.push(EvalEvent::Budget(k, reason));
-                                break;
-                            }
-                            Err(e) => {
-                                local.push(EvalEvent::Fail(k, e));
-                                break;
-                            }
+                        Err(AlgError::Budget { reason }) => {
+                            local.push(EvalEvent::Budget(k, reason));
+                            break 'claims;
+                        }
+                        Err(e) => {
+                            local.push(EvalEvent::Fail(k, e));
+                            break 'claims;
                         }
                     }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().unwrap())
-            .collect()
-    });
+                }
+            }
+            local
+        }
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
     // Replay the events in serial order. Every worker covered its stride at
     // least up to the globally earliest stop (its own early exits happen at

@@ -13,7 +13,8 @@
 use std::sync::Arc;
 
 use eclectic_kernel::{
-    effective_workers, env_threads, Budget, BudgetExceeded, ConcurrentTermStore, Exhaustion,
+    effective_workers, env_threads, run_workers, Budget, BudgetExceeded, ConcurrentTermStore,
+    Exhaustion, IndexQueue,
     Interner, SharedMemo, StoreHandle,
 };
 use eclectic_logic::{rename_apart, unify, Formula, Subst, Term};
@@ -96,26 +97,25 @@ pub fn critical_overlaps_threads(spec: &AlgSpec, threads: usize) -> Result<Vec<O
 
     type PairOutcome = (Vec<(usize, Overlap)>, Option<(usize, AlgError)>);
     let workers = threads.min(pairs.len());
-    let results: Vec<PairOutcome> =
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    let pairs = &pairs;
-                    s.spawn(move || {
-                        let mut found = Vec::new();
-                        for (k, &(i, j)) in pairs.iter().enumerate().skip(w).step_by(workers) {
-                            match overlap_of_pair(spec, &eqs[i], &eqs[j]) {
-                                Ok(Some(o)) => found.push((k, o)),
-                                Ok(None) => {}
-                                Err(e) => return (found, Some((k, e))),
-                            }
-                        }
-                        (found, None)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
+    let queue = IndexQueue::new(pairs.len(), workers);
+    let results: Vec<PairOutcome> = run_workers(workers, |_| {
+        let pairs = &pairs;
+        let queue = &queue;
+        move || {
+            let mut found = Vec::new();
+            while let Some(range) = queue.claim() {
+                for k in range {
+                    let (i, j) = pairs[k];
+                    match overlap_of_pair(spec, &eqs[i], &eqs[j]) {
+                        Ok(Some(o)) => found.push((k, o)),
+                        Ok(None) => {}
+                        Err(e) => return (found, Some((k, e))),
+                    }
+                }
+            }
+            (found, None)
+        }
+    });
 
     // Serial FIFO merge: replay the pair sequence in order, surfacing the
     // earliest error exactly where the serial loop would have stopped.
@@ -320,29 +320,29 @@ pub fn resolve_overlaps_budget_in(
     type Resolution = Result<(usize, Option<String>)>;
     type PairResult = (usize, Resolution);
     type WorkerOut = (Vec<PairResult>, Option<(usize, BudgetExceeded)>);
-    let results: Vec<WorkerOut> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                s.spawn(move || {
-                    let mut rw = Rewriter::new(spec);
-                    rw.set_budget(budget.without_node_cap());
-                    let mut done: Vec<PairResult> = Vec::new();
-                    for (k, (e1, e2)) in pairs.iter().enumerate().skip(w).step_by(workers) {
-                        if let Some(reason) = budget.check(k) {
+    let queue = IndexQueue::new(pairs.len(), workers);
+    let results: Vec<WorkerOut> = run_workers(workers, |_| {
+        let queue = &queue;
+        move || {
+            let mut rw = Rewriter::new(spec);
+            rw.set_budget(budget.without_node_cap());
+            let mut done: Vec<PairResult> = Vec::new();
+            while let Some(range) = queue.claim() {
+                for k in range {
+                    let (e1, e2) = pairs[k];
+                    if let Some(reason) = budget.check(k) {
+                        return (done, Some((k, reason)));
+                    }
+                    match resolve_pair_with(&mut rw, space, e1, e2) {
+                        Err(AlgError::Budget { reason }) => {
                             return (done, Some((k, reason)));
                         }
-                        match resolve_pair_with(&mut rw, space, e1, e2) {
-                            Err(AlgError::Budget { reason }) => {
-                                return (done, Some((k, reason)));
-                            }
-                            r => done.push((k, r)),
-                        }
+                        r => done.push((k, r)),
                     }
-                    (done, None)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+                }
+            }
+            (done, None)
+        }
     });
 
     // Earliest budget stop across workers: every pair before it has a
@@ -481,41 +481,39 @@ pub fn resolve_overlap_in(
     let workers = threads.min(subjects.len());
     let store = Arc::new(ConcurrentTermStore::new());
     let memo = Arc::new(SharedMemo::new());
-    let results: Vec<(Vec<usize>, Option<GroundStop>)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let subjects = &subjects;
-                let sig = &sig;
-                let store = store.clone();
-                let memo = memo.clone();
-                s.spawn(move || {
-                    let mut rw = Rewriter::with_store(spec, StoreHandle::new(store));
-                    rw.set_shared_memo(memo);
-                    let mut fired = Vec::new();
-                    for (k, subject) in
-                        subjects.iter().enumerate().skip(w).step_by(workers)
-                    {
-                        let r1 = match try_rule(&mut rw, e1, subject) {
-                            Ok(r) => r,
-                            Err(e) => return (fired, Some(GroundStop::Error(k, e))),
-                        };
-                        let r2 = match try_rule(&mut rw, e2, subject) {
-                            Ok(r) => r,
-                            Err(e) => return (fired, Some(GroundStop::Error(k, e))),
-                        };
-                        if let (Some(v1), Some(v2)) = (r1, r2) {
-                            fired.push(k);
-                            if v1 != v2 {
-                                let msg = disagreement(sig, &v1, &v2, subject);
-                                return (fired, Some(GroundStop::Disagree(k, msg)));
-                            }
+    let queue = IndexQueue::new(subjects.len(), workers);
+    let results: Vec<(Vec<usize>, Option<GroundStop>)> = run_workers(workers, |_| {
+        let subjects = &subjects;
+        let sig = &sig;
+        let queue = &queue;
+        let store = store.clone();
+        let memo = memo.clone();
+        move || {
+            let mut rw = Rewriter::with_store(spec, StoreHandle::new(store));
+            rw.set_shared_memo(memo);
+            let mut fired = Vec::new();
+            while let Some(range) = queue.claim() {
+                for k in range {
+                    let subject = &subjects[k];
+                    let r1 = match try_rule(&mut rw, e1, subject) {
+                        Ok(r) => r,
+                        Err(e) => return (fired, Some(GroundStop::Error(k, e))),
+                    };
+                    let r2 = match try_rule(&mut rw, e2, subject) {
+                        Ok(r) => r,
+                        Err(e) => return (fired, Some(GroundStop::Error(k, e))),
+                    };
+                    if let (Some(v1), Some(v2)) = (r1, r2) {
+                        fired.push(k);
+                        if v1 != v2 {
+                            let msg = disagreement(sig, &v1, &v2, subject);
+                            return (fired, Some(GroundStop::Disagree(k, msg)));
                         }
                     }
-                    (fired, None)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+                }
+            }
+            (fired, None)
+        }
     });
 
     // A worker only skips instances *after* its own first stop event, and

@@ -32,7 +32,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use eclectic_bench::Runner;
+use eclectic_bench::{Runner, SpeedupGate};
 use eclectic_kernel::Budget;
 use eclectic_logic::{Elem, Formula, Valuation};
 use eclectic_refine::check_dynamic_threads;
@@ -627,7 +627,8 @@ fn main() {
         .find(|(t, _)| *t == 4)
         .map(|&(_, ns)| baseline / ns)
         .unwrap_or(0.0);
-    let pass = at4 >= threshold && matches;
+    let gate = SpeedupGate::new(4, threshold, at4);
+    let pass = gate.pass() && matches;
 
     let mut json = String::from("{\n  \"bench\": \"pdl_parallel\",\n");
     json.push_str(&format!("  \"workload\": \"{workload}\",\n"));
@@ -644,7 +645,8 @@ fn main() {
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"speedup_at_4_threads\": {at4:.3},\n  \"threshold\": {threshold},\n  \"parallel_matches_serial\": {matches},\n  \"pass\": {pass}\n}}\n"
+        "  ],\n  \"speedup_at_4_threads\": {at4:.3},\n  \"threshold\": {threshold},\n  \"speedup_gate\": {},\n  \"parallel_matches_serial\": {matches},\n  \"pass\": {pass}\n}}\n",
+        gate.json()
     ));
     std::fs::write("BENCH_pdl.json", &json).expect("write BENCH_pdl.json");
     println!(
@@ -654,4 +656,5 @@ fn main() {
         matches,
         "parallel PDL checking must be bit-identical to serial"
     );
+    gate.check("BENCH_pdl 4-thread speedup");
 }

@@ -27,7 +27,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use eclectic_algebraic::{induction, observe, AlgSpec, LegacyRewriter, RewriteStats, Rewriter};
-use eclectic_bench::Runner;
+use eclectic_bench::{Runner, SpeedupGate};
 use eclectic_kernel::{FxHashMap, TermId};
 use eclectic_logic::{Domains, Signature, Term};
 use eclectic_refine::{
@@ -349,7 +349,8 @@ fn main() {
         .find(|(t, _)| *t == 4)
         .map(|&(_, ns)| legacy / ns)
         .unwrap_or(0.0);
-    let pass = at4 >= threshold && matches;
+    let gate = SpeedupGate::new(4, threshold, at4);
+    let pass = gate.pass() && matches;
 
     let mut json = String::from("{\n  \"bench\": \"reach_parallel\",\n");
     json.push_str(&format!("  \"workload\": \"{workload}\",\n"));
@@ -373,7 +374,8 @@ fn main() {
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"speedup_at_4_threads\": {at4:.3},\n  \"threshold\": {threshold},\n  \"parallel_matches_serial\": {matches},\n  \"pass\": {pass}\n}}\n"
+        "  ],\n  \"speedup_at_4_threads\": {at4:.3},\n  \"threshold\": {threshold},\n  \"speedup_gate\": {},\n  \"parallel_matches_serial\": {matches},\n  \"pass\": {pass}\n}}\n",
+        gate.json()
     ));
     std::fs::write("BENCH_reach.json", &json).expect("write BENCH_reach.json");
     println!(
@@ -383,4 +385,5 @@ fn main() {
         matches,
         "parallel exploration must be bit-identical to serial"
     );
+    gate.check("BENCH_reach 4-thread speedup");
 }

@@ -1,0 +1,251 @@
+//! Work-stealing scheduler vs scoped-thread baseline on the combined
+//! verification battery; writes `BENCH_sched.json`.
+//!
+//! Run with: `cargo run -p eclectic-bench --bin bench_sched --release`
+//!
+//! The workload is the full [`eclectic_spec::verify`] battery (W-grammar,
+//! 1→2 obligations, witness enumeration, 2→3 equations, dynamic-logic
+//! contracts, randomized cross-formalism traces) over all three packaged
+//! domains. At more than one thread the battery runs as a stage DAG on the
+//! shared `kernel::sched` pool, so this is exactly the multi-stage shape
+//! the work-stealing executor exists for: independent stage chains and
+//! their inner sweeps sharing idle workers instead of fencing at
+//! per-call-site `thread::scope` barriers.
+//!
+//! Two arms per worker count (1/2/4/8), both under a lifted worker-core
+//! clamp so the requested workers genuinely run even on a small host:
+//!
+//! * **scoped** — `SchedMode::Scoped`, the pre-refactor baseline: every
+//!   `run_tasks` call spawns fresh scoped threads and joins them;
+//! * **steal** — `SchedMode::Steal`, the persistent pool with cross-region
+//!   stealing.
+//!
+//! Before timing, bit-identity is asserted in-bench: every (mode, workers)
+//! pair must reproduce the 1-worker scoped [`VerificationOutcome`]
+//! fingerprint exactly — including a node-capped run whose per-stage
+//! `Exhaustion` partials must be worker-invariant. The pass gate requires
+//! the stealing executor ≥ 1.15× over the scoped baseline at 8 workers;
+//! on hosts with fewer than 8 cores the gate records the shortfall and
+//! warns instead of asserting fictitious scaling (see
+//! [`eclectic_bench::SpeedupGate`]).
+
+use eclectic_bench::{host_cores, Runner, SpeedupGate};
+use eclectic_kernel::{force_sched_mode, force_worker_cap, Exhaustion, SchedMode};
+use eclectic_spec::domains::{bank, courses, library};
+use eclectic_spec::{verify, TriLevelSpec, VerificationOutcome, VerifyConfig};
+
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+const THRESHOLD: f64 = 1.15;
+/// Node cap for the budget-partial identity arm (trips inside refine12 on
+/// every packaged domain).
+const PARTIAL_NODE_CAP: usize = 200;
+
+fn specs() -> Vec<(&'static str, TriLevelSpec)> {
+    vec![
+        (
+            "courses",
+            courses::courses(&courses::CoursesConfig::default()).unwrap(),
+        ),
+        (
+            "library",
+            library::library(&library::LibraryConfig::default()).unwrap(),
+        ),
+        ("bank", bank::bank(&bank::BankConfig::default()).unwrap()),
+    ]
+}
+
+/// `verify` sizes its sweeps from `ECLECTIC_THREADS`; the bench varies it
+/// between runs. Safe here: set only from the main thread while no tasks
+/// are in flight (the pool's workers park between `run_tasks` regions).
+fn set_threads(n: usize) {
+    std::env::set_var("ECLECTIC_THREADS", n.to_string());
+}
+
+/// Everything a [`VerificationOutcome`] decides, for bit-identity
+/// comparison across modes and worker counts. Wall-clock stage times and
+/// the dynamic checker's denotation-cache counters are excluded: both are
+/// legitimately schedule-dependent.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    grammar_ok: bool,
+    correct: bool,
+    refine12: String,
+    exploration: String,
+    valid_reachable: String,
+    equations: String,
+    dynamic: String,
+    cross: String,
+    stages: Vec<(&'static str, Option<Exhaustion>)>,
+}
+
+impl Fingerprint {
+    fn of(o: &VerificationOutcome) -> Fingerprint {
+        let r12 = &o.report.refine12;
+        let u = &r12.exploration.universe;
+        Fingerprint {
+            grammar_ok: o.grammar_ok,
+            correct: o.is_correct(),
+            refine12: format!(
+                "{:?}",
+                (
+                    &r12.termination,
+                    &r12.completeness,
+                    &r12.static_violations,
+                    &r12.transition_violations,
+                )
+            ),
+            exploration: format!(
+                "{:?}",
+                (
+                    &r12.exploration.witnesses,
+                    &r12.exploration.depth,
+                    r12.exploration.truncated,
+                    r12.exploration.abstraction_collision,
+                    &r12.exploration.exhausted,
+                    u.state_count(),
+                    u.edge_count(),
+                )
+            ),
+            valid_reachable: format!("{:?}", o.report.valid_reachable),
+            equations: format!("{:?}", o.report.equations),
+            dynamic: format!(
+                "{:?}",
+                (
+                    &o.dynamic.failures,
+                    o.dynamic.checked,
+                    o.dynamic.universe_states,
+                    &o.dynamic.unchecked_procs,
+                    &o.dynamic.skipped,
+                    &o.dynamic.exhausted,
+                )
+            ),
+            cross: format!("{:?}", (&o.cross_mismatch, &o.cross_stats)),
+            stages: o
+                .stages
+                .iter()
+                .map(|s| (s.name, s.exhausted.clone()))
+                .collect(),
+        }
+    }
+}
+
+fn battery(specs: &[(&'static str, TriLevelSpec)], config: &VerifyConfig) -> Vec<Fingerprint> {
+    specs
+        .iter()
+        .map(|(_, s)| Fingerprint::of(&verify(s, config).unwrap()))
+        .collect()
+}
+
+fn mode_name(mode: SchedMode) -> &'static str {
+    match mode {
+        SchedMode::Steal => "steal",
+        SchedMode::Scoped => "scoped",
+    }
+}
+
+fn main() {
+    let cores = host_cores();
+    // Lift the host-core clamp so 2/4/8 workers genuinely run; the bench
+    // is about scheduling overhead, and the identity contract must hold
+    // even oversubscribed.
+    let _cap = force_worker_cap(usize::MAX);
+    let specs = specs();
+    let config = VerifyConfig::quick();
+    let mut capped = VerifyConfig::quick();
+    capped.max_nodes = Some(PARTIAL_NODE_CAP);
+
+    // Bit-identity before timing: the 1-worker scoped battery is the
+    // reference for every (mode, workers) pair, on both the uncapped
+    // outcome and the node-capped partial.
+    let (reference, capped_reference) = {
+        let _m = force_sched_mode(SchedMode::Scoped);
+        set_threads(1);
+        (battery(&specs, &config), battery(&specs, &capped))
+    };
+    for fp in &capped_reference {
+        assert!(
+            fp.stages.iter().any(|(_, e)| e.is_some()),
+            "node cap {PARTIAL_NODE_CAP} must trip a stage"
+        );
+    }
+    let mut identical = true;
+    let mut partials_identical = true;
+    for mode in [SchedMode::Scoped, SchedMode::Steal] {
+        let _m = force_sched_mode(mode);
+        for workers in WORKERS {
+            set_threads(workers);
+            let fp = battery(&specs, &config);
+            if fp != reference {
+                identical = false;
+                eprintln!("MISMATCH: outcome at {}/{workers}", mode_name(mode));
+            }
+            let pfp = battery(&specs, &capped);
+            if pfp != capped_reference {
+                partials_identical = false;
+                eprintln!("MISMATCH: capped partial at {}/{workers}", mode_name(mode));
+            }
+        }
+    }
+
+    // Timing: the full battery per (mode, workers).
+    let mut r = Runner::new("sched").sample_size(5).warmup(1);
+    let mut rows: Vec<(&'static str, usize, f64)> = Vec::new();
+    for mode in [SchedMode::Scoped, SchedMode::Steal] {
+        let _m = force_sched_mode(mode);
+        for workers in WORKERS {
+            set_threads(workers);
+            let m = r
+                .bench(format!("{}/workers_{workers}", mode_name(mode)), || {
+                    specs
+                        .iter()
+                        .map(|(_, s)| verify(s, &config).unwrap().dynamic.checked)
+                        .sum::<usize>()
+                })
+                .median_ns;
+            rows.push((mode_name(mode), workers, m));
+        }
+    }
+    r.finish();
+
+    let median = |mode: &str, workers: usize| {
+        rows.iter()
+            .find(|&&(m, w, _)| m == mode && w == workers)
+            .map(|&(_, _, ns)| ns)
+            .unwrap_or(f64::NAN)
+    };
+    let at8 = median("scoped", 8) / median("steal", 8);
+    let gate = SpeedupGate::new(8, THRESHOLD, at8);
+    let pass = gate.pass() && identical && partials_identical;
+
+    let mut json = String::from("{\n  \"bench\": \"sched\",\n");
+    json.push_str(
+        "  \"workload\": \"courses+library+bank full verify battery (quick bounds)\",\n",
+    );
+    json.push_str(&format!("  \"available_cores\": {cores},\n"));
+    json.push_str("  \"baseline\": \"scoped_threads_per_call\",\n");
+    json.push_str("  \"rows\": [\n");
+    for (i, (mode, workers, ns)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{mode}\", \"workers\": {workers}, \"median_ns\": {ns:.0}, \
+             \"speedup_vs_scoped\": {:.3}}}{}\n",
+            median("scoped", *workers) / ns,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"speedup_steal_vs_scoped_at_8\": {at8:.3},\n  \"threshold\": {THRESHOLD},\n  \
+         \"speedup_gate\": {},\n  \"outcomes_bit_identical\": {identical},\n  \
+         \"capped_partials_bit_identical\": {partials_identical},\n  \"pass\": {pass}\n}}\n",
+        gate.json()
+    ));
+    std::fs::write("BENCH_sched.json", &json).expect("write BENCH_sched.json");
+    println!(
+        "\nBENCH_sched.json written (steal {at8:.2}x scoped at 8 workers, threshold {THRESHOLD}x, \
+         identical: {identical}, capped partials identical: {partials_identical})"
+    );
+    assert!(
+        identical && partials_identical,
+        "work-stealing outcomes must be bit-identical to the scoped baseline"
+    );
+    gate.check("BENCH_sched steal-vs-scoped at 8 workers");
+}

@@ -33,7 +33,7 @@ use eclectic_algebraic::{
     completeness, confluence, induction, match_term, term_str, AlgError, AlgSpec,
     ConditionalEquation, RewriteStats, Rewriter,
 };
-use eclectic_bench::Runner;
+use eclectic_bench::{Runner, SpeedupGate};
 use eclectic_logic::{Elem, Formula, Subst, Term, Valuation};
 use eclectic_refine::{check_dynamic_threads, DynamicFailure};
 use eclectic_rpr::{denote, FiniteUniverse, RprError, Stmt};
@@ -439,7 +439,8 @@ fn main() {
         .find(|(t, _)| *t == 4)
         .map(|&(_, ns)| baseline / ns)
         .unwrap_or(0.0);
-    let pass = at4 >= threshold && matches;
+    let gate = SpeedupGate::new(4, threshold, at4);
+    let pass = gate.pass() && matches;
 
     let mut json = String::from("{\n  \"bench\": \"verify_parallel\",\n");
     json.push_str(&format!("  \"workload\": \"{workload}\",\n"));
@@ -460,7 +461,8 @@ fn main() {
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"speedup_at_4_threads\": {at4:.3},\n  \"threshold\": {threshold},\n  \"parallel_matches_serial\": {matches},\n  \"pass\": {pass}\n}}\n"
+        "  ],\n  \"speedup_at_4_threads\": {at4:.3},\n  \"threshold\": {threshold},\n  \"speedup_gate\": {},\n  \"parallel_matches_serial\": {matches},\n  \"pass\": {pass}\n}}\n",
+        gate.json()
     ));
     std::fs::write("BENCH_verify.json", &json).expect("write BENCH_verify.json");
     println!(
@@ -470,4 +472,5 @@ fn main() {
         matches,
         "parallel verification sweeps must be bit-identical to serial"
     );
+    gate.check("BENCH_verify 4-thread speedup");
 }

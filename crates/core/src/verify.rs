@@ -1,14 +1,21 @@
 //! One-call verification of a tri-level specification: every refinement
 //! obligation of the paper, plus the W-grammar syntax check and randomized
 //! cross-formalism testing.
+//!
+//! When more than one thread is configured, the battery runs as a small
+//! stage DAG on the shared [`eclectic_kernel::sched`] pool: the three
+//! independent chains `{refine12 → witness}`, `{equations → cross}` and
+//! `{dynamic}` execute concurrently (their inner sweeps steal idle workers
+//! from each other), while the reported stage order stays canonical.
 
 use std::time::Duration;
 
-use eclectic_kernel::{env_threads, Budget, Exhaustion};
+use eclectic_kernel::{env_threads, run_tasks, Budget, Exhaustion};
 use eclectic_refine::{
     check_dynamic_budget, check_equations_budget, check_refinement_1_2_budget,
     check_valid_reachable, cross_check_budget, random_ops, CrossCheckStats, DynamicReport,
-    FullReport, InducedAlgebra, Mismatch, Refine12Config, ValidReachableReport,
+    EquationCheckReport, FullReport, InducedAlgebra, Mismatch, Refine12Config, Refine12Report,
+    ValidReachableReport,
 };
 use eclectic_rpr::wgrammar;
 
@@ -121,7 +128,8 @@ pub struct VerificationOutcome {
     /// The dynamic-logic (PDL) obligations over the representation
     /// universe, batch-model-checked with a shared denotation cache.
     pub dynamic: DynamicReport,
-    /// Per-stage elapsed time and budget exhaustion, in execution order.
+    /// Per-stage elapsed time and budget exhaustion, in canonical order
+    /// (`refine12`, `witness`, `equations`, `dynamic`, `cross`).
     pub stages: Vec<StageStats>,
 }
 
@@ -158,18 +166,40 @@ fn record_stage(
     let now = budget.elapsed();
     let elapsed_ms = u64::try_from(now.saturating_sub(*start).as_millis()).unwrap_or(u64::MAX);
     *start = now;
-    if print {
-        match &exhausted {
-            Some(e) => println!("  stage {name:<9} {elapsed_ms:>6} ms  {e}"),
-            None => println!("  stage {name:<9} {elapsed_ms:>6} ms"),
-        }
-    }
-    stages.push(StageStats {
+    let stats = StageStats {
         name,
         elapsed_ms,
         exhausted,
-    });
+    };
+    if print {
+        print_stage_line(&stats);
+    }
+    stages.push(stats);
 }
+
+/// Prints one `  stage <name> <ms>` line (the `print_stages` format).
+fn print_stage_line(s: &StageStats) {
+    let StageStats {
+        name,
+        elapsed_ms,
+        exhausted,
+    } = s;
+    match exhausted {
+        Some(e) => println!("  stage {name:<9} {elapsed_ms:>6} ms  {e}"),
+        None => println!("  stage {name:<9} {elapsed_ms:>6} ms"),
+    }
+}
+
+/// Everything [`verify`] computes after the grammar check, in one bundle:
+/// the refinement report, the PDL report, the cross-check result and the
+/// per-stage records in canonical order.
+type VerifyBody = (
+    FullReport,
+    DynamicReport,
+    Option<Mismatch>,
+    CrossCheckStats,
+    Vec<StageStats>,
+);
 
 /// Runs the whole battery against a specification.
 ///
@@ -184,8 +214,6 @@ pub fn verify(spec: &TriLevelSpec, config: &VerifyConfig) -> Result<Verification
     // term store.
     let budget = config.budget();
     let threads = env_threads();
-    let mut stages = Vec::new();
-    let mut stage_start = budget.elapsed();
 
     // Syntactic correctness under the W-grammar (paper §5.4 step 1).
     let (grammar_ok, grammar_error) = match wgrammar::check_schema(&spec.representation) {
@@ -193,93 +221,116 @@ pub fn verify(spec: &TriLevelSpec, config: &VerifyConfig) -> Result<Verification
         Err(e) => (false, Some(e.to_string())),
     };
 
-    // 1→2 obligations (a), (b), (d).
-    let refine12 = check_refinement_1_2_budget(
+    let (report, dynamic, cross_mismatch, cross_stats, stages) = if threads > 1 {
+        verify_staged(spec, config, &budget, threads)?
+    } else {
+        verify_serial(spec, config, &budget, threads)?
+    };
+
+    Ok(VerificationOutcome {
+        grammar_ok,
+        grammar_error,
+        report,
+        cross_mismatch,
+        cross_stats,
+        dynamic,
+        stages,
+    })
+}
+
+/// 1→2 obligations (a), (b), (d).
+fn stage_refine12(
+    spec: &TriLevelSpec,
+    config: &VerifyConfig,
+    budget: &Budget,
+) -> Result<Refine12Report> {
+    Ok(check_refinement_1_2_budget(
         &spec.information,
         &spec.functions,
         &spec.interp_i,
         spec.info_signature(),
         &spec.info_domains,
         config.refine12,
-        &budget,
-    )?;
-    record_stage(
-        config.print_stages,
-        &budget,
-        &mut stages,
-        &mut stage_start,
-        "refine12",
-        refine12.exhausted().cloned(),
-    );
+        budget,
+    )?)
+}
 
-    // Obligation (c). Candidate enumeration is meaningless over a partial
-    // universe, so an exhausted exploration skips it (inconclusively).
-    let valid_reachable = if refine12.exploration.exhausted.is_some() {
-        ValidReachableReport {
+/// Obligation (c). Candidate enumeration is meaningless over a partial
+/// universe, so an exhausted exploration skips it (inconclusively).
+fn stage_witness(
+    spec: &TriLevelSpec,
+    refine12: &Refine12Report,
+    config: &VerifyConfig,
+) -> Result<ValidReachableReport> {
+    if refine12.exploration.exhausted.is_some() {
+        Ok(ValidReachableReport {
             candidates: 0,
             valid: 0,
             reachable_valid: 0,
             unreachable: Vec::new(),
             exploration_truncated: true,
-        }
+        })
     } else {
-        check_valid_reachable(
+        Ok(check_valid_reachable(
             &spec.information,
             &refine12.exploration,
             config.candidate_cap,
-        )?
-    };
-    record_stage(
-        config.print_stages,
-        &budget,
-        &mut stages,
-        &mut stage_start,
-        "witness",
-        None,
-    );
+        )?)
+    }
+}
 
-    // 2→3 equation validity in the induced algebra.
-    let mut induced = InducedAlgebra::new(
+/// The algebra induced by interpretation `K` over the representation level,
+/// shared by the `equations` and `cross` stages.
+fn make_induced(spec: &TriLevelSpec) -> Result<InducedAlgebra<'_>> {
+    Ok(InducedAlgebra::new(
         &spec.functions,
         &spec.representation,
         &spec.interp_k,
         spec.empty_state(),
-    )?;
-    let equations = check_equations_budget(
-        &mut induced,
+    )?)
+}
+
+/// 2→3 equation validity in the induced algebra.
+fn stage_equations(
+    induced: &mut InducedAlgebra<'_>,
+    config: &VerifyConfig,
+    budget: &Budget,
+) -> Result<EquationCheckReport> {
+    Ok(check_equations_budget(
+        induced,
         config.eq_depth,
         config.eq_max_states,
         20,
-        &budget,
-    )?;
-    record_stage(
-        config.print_stages,
-        &budget,
-        &mut stages,
-        &mut stage_start,
-        "equations",
-        equations.exhausted.clone(),
-    );
+        budget,
+    )?)
+}
 
-    // §5.1.2/§5.3 dynamic-logic obligations over the representation
-    // universe (batched PDL model checking with one denotation cache).
-    let dynamic = check_dynamic_budget(
+/// §5.1.2/§5.3 dynamic-logic obligations over the representation universe
+/// (batched PDL model checking with one denotation cache).
+fn stage_dynamic(
+    spec: &TriLevelSpec,
+    config: &VerifyConfig,
+    budget: &Budget,
+    threads: usize,
+) -> Result<DynamicReport> {
+    Ok(check_dynamic_budget(
         &spec.representation,
         &spec.empty_state(),
         config.pdl_universe_cap,
-        &budget,
+        budget,
         threads,
-    )?;
-    record_stage(
-        config.print_stages,
-        &budget,
-        &mut stages,
-        &mut stage_start,
-        "dynamic",
-        dynamic.exhausted.clone(),
-    );
+    )?)
+}
 
-    // Randomised cross-formalism testing.
+/// Randomised cross-formalism testing with a deterministic xorshift64*
+/// trace generator.
+fn stage_cross(
+    spec: &TriLevelSpec,
+    induced: &mut InducedAlgebra<'_>,
+    config: &VerifyConfig,
+    budget: &Budget,
+    threads: usize,
+) -> Result<(Option<Mismatch>, CrossCheckStats, Option<Exhaustion>)> {
     let initial_name = initial_update_name(spec)?;
     let mut rng_state: u64 = 0x5eed_1234_abcd_0001;
     let mut choose = move |n: usize| {
@@ -295,13 +346,13 @@ pub fn verify(spec: &TriLevelSpec, config: &VerifyConfig) -> Result<Verification
     for _ in 0..config.random_traces {
         let ops = random_ops(
             &spec.functions,
-            &induced,
+            induced,
             &initial_name,
             config.trace_len,
             &mut choose,
         )?;
         let (mismatch, stats, exhausted) =
-            cross_check_budget(&spec.functions, &mut induced, &ops, &budget, threads)?;
+            cross_check_budget(&spec.functions, induced, &ops, budget, threads)?;
         cross_stats.ops += stats.ops;
         cross_stats.comparisons += stats.comparisons;
         if mismatch.is_some() {
@@ -313,28 +364,197 @@ pub fn verify(spec: &TriLevelSpec, config: &VerifyConfig) -> Result<Verification
             break;
         }
     }
+    Ok((cross_mismatch, cross_stats, cross_exhausted))
+}
+
+/// The sequential battery: one stage after another in canonical order, with
+/// per-stage lines printed as each stage closes.
+fn verify_serial(
+    spec: &TriLevelSpec,
+    config: &VerifyConfig,
+    budget: &Budget,
+    threads: usize,
+) -> Result<VerifyBody> {
+    let mut stages = Vec::new();
+    let mut stage_start = budget.elapsed();
+
+    let refine12 = stage_refine12(spec, config, budget)?;
     record_stage(
         config.print_stages,
-        &budget,
+        budget,
+        &mut stages,
+        &mut stage_start,
+        "refine12",
+        refine12.exhausted().cloned(),
+    );
+
+    let valid_reachable = stage_witness(spec, &refine12, config)?;
+    record_stage(
+        config.print_stages,
+        budget,
+        &mut stages,
+        &mut stage_start,
+        "witness",
+        None,
+    );
+
+    let mut induced = make_induced(spec)?;
+    let equations = stage_equations(&mut induced, config, budget)?;
+    record_stage(
+        config.print_stages,
+        budget,
+        &mut stages,
+        &mut stage_start,
+        "equations",
+        equations.exhausted.clone(),
+    );
+
+    let dynamic = stage_dynamic(spec, config, budget, threads)?;
+    record_stage(
+        config.print_stages,
+        budget,
+        &mut stages,
+        &mut stage_start,
+        "dynamic",
+        dynamic.exhausted.clone(),
+    );
+
+    let (cross_mismatch, cross_stats, cross_exhausted) =
+        stage_cross(spec, &mut induced, config, budget, threads)?;
+    record_stage(
+        config.print_stages,
+        budget,
         &mut stages,
         &mut stage_start,
         "cross",
         cross_exhausted,
     );
 
-    Ok(VerificationOutcome {
-        grammar_ok,
-        grammar_error,
-        report: FullReport {
+    Ok((
+        FullReport {
             refine12,
             valid_reachable,
             equations,
         },
+        dynamic,
         cross_mismatch,
         cross_stats,
-        dynamic,
         stages,
-    })
+    ))
+}
+
+/// Result of the `refine12 → witness` chain.
+type ChainAOut = Result<(Refine12Report, ValidReachableReport, Vec<StageStats>)>;
+/// Result of the `equations → cross` chain (they share the induced algebra).
+type ChainBOut = Result<(
+    EquationCheckReport,
+    Option<Mismatch>,
+    CrossCheckStats,
+    Vec<StageStats>,
+)>;
+/// Result of the independent `dynamic` chain.
+type ChainCOut = Result<(DynamicReport, StageStats)>;
+
+/// Per-chain results of the staged battery. Each chain carries its own
+/// stage records, timed against the shared budget clock from the moment the
+/// chain starts running.
+enum ChainOut {
+    A(Box<ChainAOut>),
+    B(Box<ChainBOut>),
+    C(Box<ChainCOut>),
+}
+
+/// The staged battery: the three independent chains run concurrently as
+/// tasks on the shared scheduler pool; their inner sweeps enqueue work on
+/// the same pool, so idle chain workers steal sweep items from busy ones.
+///
+/// Every stage computes exactly what it computes serially — the chains
+/// share no mutable state (each governed stage owns its term store, and the
+/// node-cap axis is checked per store), so reports are bit-identical to the
+/// serial schedule. Only wall-clock-dependent behaviour (deadline trips,
+/// `elapsed_ms`) is schedule-sensitive, exactly as at any other worker
+/// count. When several chains fail hard, the error surfaced follows the
+/// fixed chain priority A, B, C.
+fn verify_staged(
+    spec: &TriLevelSpec,
+    config: &VerifyConfig,
+    budget: &Budget,
+    threads: usize,
+) -> Result<VerifyBody> {
+    let chain_a = || {
+        let mut stages = Vec::new();
+        let mut start = budget.elapsed();
+        let refine12 = stage_refine12(spec, config, budget)?;
+        let exhausted = refine12.exhausted().cloned();
+        record_stage(false, budget, &mut stages, &mut start, "refine12", exhausted);
+        let valid_reachable = stage_witness(spec, &refine12, config)?;
+        record_stage(false, budget, &mut stages, &mut start, "witness", None);
+        Ok((refine12, valid_reachable, stages))
+    };
+    let chain_b = || {
+        let mut stages = Vec::new();
+        let mut start = budget.elapsed();
+        let mut induced = make_induced(spec)?;
+        let equations = stage_equations(&mut induced, config, budget)?;
+        let exhausted = equations.exhausted.clone();
+        record_stage(false, budget, &mut stages, &mut start, "equations", exhausted);
+        let (cross_mismatch, cross_stats, cross_exhausted) =
+            stage_cross(spec, &mut induced, config, budget, threads)?;
+        record_stage(false, budget, &mut stages, &mut start, "cross", cross_exhausted);
+        Ok((equations, cross_mismatch, cross_stats, stages))
+    };
+    let chain_c = || {
+        let mut stages = Vec::new();
+        let mut start = budget.elapsed();
+        let dynamic = stage_dynamic(spec, config, budget, threads)?;
+        let exhausted = dynamic.exhausted.clone();
+        record_stage(false, budget, &mut stages, &mut start, "dynamic", exhausted);
+        let stage = stages.pop().expect("dynamic stage recorded");
+        Ok((dynamic, stage))
+    };
+
+    let tasks: Vec<Box<dyn FnOnce() -> ChainOut + Send + '_>> = vec![
+        Box::new(|| ChainOut::A(Box::new(chain_a()))),
+        Box::new(|| ChainOut::B(Box::new(chain_b()))),
+        Box::new(|| ChainOut::C(Box::new(chain_c()))),
+    ];
+    let (mut a, mut b, mut c) = (None, None, None);
+    for out in run_tasks(threads.min(3), tasks) {
+        match out {
+            ChainOut::A(r) => a = Some(r),
+            ChainOut::B(r) => b = Some(r),
+            ChainOut::C(r) => c = Some(r),
+        }
+    }
+    let (refine12, valid_reachable, stages_a) = (*a.expect("chain A ran"))?;
+    let (equations, cross_mismatch, cross_stats, stages_b) = (*b.expect("chain B ran"))?;
+    let (dynamic, dynamic_stage) = (*c.expect("chain C ran"))?;
+
+    // Reassemble the canonical stage order: refine12, witness, equations,
+    // dynamic, cross.
+    let mut stages = Vec::with_capacity(5);
+    stages.extend(stages_a);
+    let mut chain_b_stages = stages_b.into_iter();
+    stages.push(chain_b_stages.next().expect("equations stage recorded"));
+    stages.push(dynamic_stage);
+    stages.extend(chain_b_stages);
+    if config.print_stages {
+        for s in &stages {
+            print_stage_line(s);
+        }
+    }
+
+    Ok((
+        FullReport {
+            refine12,
+            valid_reachable,
+            equations,
+        },
+        dynamic,
+        cross_mismatch,
+        cross_stats,
+        stages,
+    ))
 }
 
 /// The name of the specification's initial update constant.

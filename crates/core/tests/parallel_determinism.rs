@@ -750,6 +750,228 @@ fn parallel_binrel_star_and_compose_match_serial() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Scheduler-specific cases. The tests above run under `effective_workers`,
+// which clamps to the host's cores — on a small CI box "8 threads" can mean
+// one real worker. Here the cap override lifts that clamp so 2/4/8 workers
+// GENUINELY run on the shared pool, and the work-stealing executor is
+// compared against the scoped-thread baseline bit for bit. The override
+// guards serialize these tests against each other.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn work_stealing_matches_scoped_baseline_at_real_worker_counts() {
+    use eclectic_kernel::{force_sched_mode, force_worker_cap, SchedMode};
+    let _cap = force_worker_cap(usize::MAX);
+    for (name, spec, depth) in domains() {
+        let limits = AlgExploreLimits {
+            // Bound the deepest domain: the point is scheduling, not volume.
+            max_depth: depth.min(6),
+            max_states: 10_000,
+        };
+        let explore = |threads: usize| {
+            explore_algebraic_threads(
+                &spec.functions,
+                &spec.interp_i,
+                spec.info_signature(),
+                &spec.info_domains,
+                limits,
+                threads,
+            )
+            .unwrap()
+        };
+        let reference = {
+            let _m = force_sched_mode(SchedMode::Scoped);
+            explore(1)
+        };
+        let ref_dynamic = {
+            let _m = force_sched_mode(SchedMode::Scoped);
+            check_dynamic_threads(&spec.representation, &spec.empty_state(), 1_024, 1).unwrap()
+        };
+        let ref_complete = {
+            let _m = force_sched_mode(SchedMode::Scoped);
+            completeness::exhaustive_threads(&spec.functions, 3, 20, 1).unwrap()
+        };
+        // Work-stealing at every worker count, plus the scoped mode at 4
+        // workers, must all reproduce the 1-worker scoped reference.
+        let runs = [
+            (SchedMode::Steal, 1),
+            (SchedMode::Steal, 2),
+            (SchedMode::Steal, 4),
+            (SchedMode::Steal, 8),
+            (SchedMode::Scoped, 4),
+        ];
+        for (mode, threads) in runs {
+            let _m = force_sched_mode(mode);
+            let par = explore(threads);
+            assert_eq!(
+                par.witnesses, reference.witnesses,
+                "{name}: witnesses, {mode:?} at {threads} workers"
+            );
+            assert_eq!(
+                par.universe.edge_count(),
+                reference.universe.edge_count(),
+                "{name}: edges, {mode:?} at {threads} workers"
+            );
+            assert_eq!(
+                par.truncated, reference.truncated,
+                "{name}: truncation, {mode:?} at {threads} workers"
+            );
+            let dynamic =
+                check_dynamic_threads(&spec.representation, &spec.empty_state(), 1_024, threads)
+                    .unwrap();
+            assert_eq!(
+                dynamic.failures, ref_dynamic.failures,
+                "{name}: PDL verdicts, {mode:?} at {threads} workers"
+            );
+            assert_eq!(
+                dynamic.checked, ref_dynamic.checked,
+                "{name}: PDL volume, {mode:?} at {threads} workers"
+            );
+            let complete =
+                completeness::exhaustive_threads(&spec.functions, 3, 20, threads).unwrap();
+            assert_eq!(
+                complete, ref_complete,
+                "{name}: completeness, {mode:?} at {threads} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn node_capped_partials_are_bit_identical_under_real_stealing() {
+    use eclectic_kernel::{force_sched_mode, force_worker_cap, SchedMode};
+    let _cap = force_worker_cap(usize::MAX);
+    let _m = force_sched_mode(SchedMode::Steal);
+    for (name, spec, depth) in domains() {
+        let limits = AlgExploreLimits {
+            max_depth: depth,
+            max_states: 10_000,
+        };
+        let budget = node_budget(200);
+        let base = explore_algebraic_budget(
+            &spec.functions,
+            &spec.interp_i,
+            spec.info_signature(),
+            &spec.info_domains,
+            limits,
+            &budget,
+            1,
+        )
+        .unwrap();
+        assert!(base.truncated, "{name}: cap 200 must trip under stealing");
+        assert_eq!(
+            base.exhausted.as_ref().map(|e| e.reason),
+            Some(BudgetExceeded::Nodes),
+            "{name}"
+        );
+        for threads in [2, 4, 8] {
+            let par = explore_algebraic_budget(
+                &spec.functions,
+                &spec.interp_i,
+                spec.info_signature(),
+                &spec.info_domains,
+                limits,
+                &budget,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(
+                par.exhausted, base.exhausted,
+                "{name}: exhaustion at {threads} real workers"
+            );
+            assert_eq!(
+                par.witnesses, base.witnesses,
+                "{name}: partial witnesses at {threads} real workers"
+            );
+            assert_eq!(
+                par.universe.state_count(),
+                base.universe.state_count(),
+                "{name}: partial states at {threads} real workers"
+            );
+        }
+    }
+    // The PDL batch's serial-unit cap must also replay exactly with real
+    // workers stealing denotation and judgement items.
+    let (u, formulas) = pdl_fixture();
+    for (cap, verdicts) in [(2, 0), (5, 2)] {
+        let budget = node_budget(cap);
+        let base = check_batch_budget(&formulas, &u, &budget, 1).unwrap();
+        assert_eq!(base.valid.len(), verdicts, "verdict prefix at cap {cap}");
+        for threads in [2, 4, 8] {
+            let par = check_batch_budget(&formulas, &u, &budget, threads).unwrap();
+            assert_eq!(par.valid, base.valid, "cap {cap} at {threads} real workers");
+            assert_eq!(
+                par.exhausted, base.exhausted,
+                "cap {cap} at {threads} real workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn mid_sweep_cancel_leaves_shared_memos_unpoisoned() {
+    use eclectic_kernel::{force_sched_mode, force_worker_cap, CancelToken, SchedMode};
+    let _cap = force_worker_cap(usize::MAX);
+    let _m = force_sched_mode(SchedMode::Steal);
+    let spec = courses::courses(&courses::CoursesConfig::default()).unwrap();
+    let mk_ind = || {
+        InducedAlgebra::new(
+            &spec.functions,
+            &spec.representation,
+            &spec.interp_k,
+            spec.empty_state(),
+        )
+        .unwrap()
+    };
+    let mut state = 0x5eed_cafe_u64;
+    let mut rng = move |n: usize| {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545_f491_4f6c_dd1d) % n.max(1) as u64) as usize
+    };
+    let ops = random_ops(&spec.functions, &mk_ind(), "initiate", 20, &mut rng).unwrap();
+
+    // Pristine reference: a fresh algebra, no cancellation anywhere.
+    let mut pristine = mk_ind();
+    let expected =
+        cross_check_budget(&spec.functions, &mut pristine, &ops, &Budget::unlimited(), 4).unwrap();
+    assert!(expected.2.is_none(), "reference run must complete");
+
+    let mut ind = mk_ind();
+    // An already-flipped token trips at the first poll: a deterministic
+    // partial at every real worker count.
+    let token = CancelToken::new();
+    token.cancel();
+    let cancelled = Budget::unlimited().with_cancel(token);
+    for threads in [1, 2, 4, 8] {
+        let out = cross_check_budget(&spec.functions, &mut ind, &ops, &cancelled, threads).unwrap();
+        assert_eq!(
+            out.2.as_ref().map(|e| e.reason),
+            Some(BudgetExceeded::Cancelled),
+            "pre-tripped token at {threads} workers"
+        );
+    }
+    // A token flipped WHILE the sweep runs: whether or not workers observe
+    // it in time, the run must not corrupt the shared rewrite memos.
+    let racing = CancelToken::new();
+    let budget = Budget::unlimited().with_cancel(racing.clone());
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_micros(200));
+        racing.cancel();
+    });
+    let _ = cross_check_budget(&spec.functions, &mut ind, &ops, &budget, 8).unwrap();
+    canceller.join().unwrap();
+
+    // The same (warmed, repeatedly interrupted) algebra must now finish the
+    // sweep and agree bit-for-bit with the pristine reference: cancellation
+    // may cut a sweep short but never poisons what the memos retain.
+    let redo =
+        cross_check_budget(&spec.functions, &mut ind, &ops, &Budget::unlimited(), 4).unwrap();
+    assert_eq!(redo, expected, "memos must be unpoisoned after cancellation");
+}
+
 #[test]
 fn sparse_backend_star_compose_and_capped_pdl_are_thread_invariant() {
     use eclectic_kernel::{force_rel_backend, RelChoice};

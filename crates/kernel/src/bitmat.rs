@@ -31,61 +31,22 @@
 //! sweeps.
 
 use crate::budget::{Budget, BudgetExceeded};
-use crate::concurrent::effective_workers;
+use crate::envcfg::{effective_workers, par_min_dim};
 
 /// Rows processed between two budget polls inside a governed sweep: often
 /// enough that a deadline is noticed quickly, rare enough that
 /// `Instant::now()` stays invisible in profiles.
 pub const ROW_POLL_STRIDE: usize = 64;
 
-/// Default minimum dimension before compose/closure fan out to worker
-/// threads; below this the spawn overhead dwarfs the row work. Override
-/// with `ECLECTIC_PAR_MIN_DIM` (see [`par_min_dim`]).
-const PAR_MIN_DIM_DEFAULT: usize = 256;
+/// One row-range job handed to the scheduler by the parallel relation
+/// sweeps: process rows, succeed or report the tripped budget axis.
+type RowTask<'a> = Box<dyn FnOnce() -> Result<(), BudgetExceeded> + Send + 'a>;
 
-/// How one `ECLECTIC_PAR_MIN_DIM` value parses. Split out so the full
-/// parse table is unit-testable without touching the process environment.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum ParMinDimSpec {
-    /// Variable unset: use [`PAR_MIN_DIM_DEFAULT`].
-    Unset,
-    /// A parsed dimension floor (0 means "always fan out").
-    Dim(usize),
-    /// Unparseable: fall back to the default, but warn.
-    Invalid,
-}
-
-fn parse_par_min_dim(value: Option<&str>) -> ParMinDimSpec {
-    let Some(raw) = value else {
-        return ParMinDimSpec::Unset;
-    };
-    match raw.trim().parse::<usize>() {
-        Ok(d) => ParMinDimSpec::Dim(d),
-        Err(_) => ParMinDimSpec::Invalid,
-    }
-}
-
-/// The effective parallelism dimension floor: `ECLECTIC_PAR_MIN_DIM` if
-/// set and parseable, else [`PAR_MIN_DIM_DEFAULT`]. Read once per process;
-/// an unparseable value warns once on stderr and falls back to the
-/// default, mirroring `env_threads`.
-pub(crate) fn par_min_dim() -> usize {
-    static DIM: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *DIM.get_or_init(|| {
-        let value = std::env::var("ECLECTIC_PAR_MIN_DIM").ok();
-        match parse_par_min_dim(value.as_deref()) {
-            ParMinDimSpec::Unset => PAR_MIN_DIM_DEFAULT,
-            ParMinDimSpec::Dim(d) => d,
-            ParMinDimSpec::Invalid => {
-                eprintln!(
-                    "eclectic: unparseable ECLECTIC_PAR_MIN_DIM={:?}; expected a \
-                     non-negative integer — falling back to {PAR_MIN_DIM_DEFAULT}",
-                    value.as_deref().unwrap_or_default()
-                );
-                PAR_MIN_DIM_DEFAULT
-            }
-        }
-    })
+/// Rows per scheduler task for the parallel row sweeps: fine enough that
+/// idle pool workers can steal (≈4 tasks per worker), coarse enough that
+/// one task amortizes its dispatch (at least [`ROW_POLL_STRIDE`] rows).
+pub(crate) fn row_task_chunk(n: usize, workers: usize) -> usize {
+    n.div_ceil(workers.max(1) * 4).max(ROW_POLL_STRIDE)
 }
 
 /// A dense square bit matrix over `0..n`, row-major in `u64` words.
@@ -342,20 +303,18 @@ impl BitMatrix {
         if workers <= 1 || n < par_min_dim() {
             compose_rows(0, &mut out.bits)?;
         } else {
-            let chunk = n.div_ceil(workers);
-            let outcomes: Vec<Result<(), BudgetExceeded>> = std::thread::scope(|s| {
-                let handles: Vec<_> = out
-                    .bits
-                    .chunks_mut(chunk * wpr)
-                    .enumerate()
-                    .map(|(c, rows)| {
-                        let compose_rows = &compose_rows;
-                        s.spawn(move || compose_rows(c * chunk, rows))
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            });
-            for o in outcomes {
+            let chunk = row_task_chunk(n, workers);
+            let compose_rows = &compose_rows;
+            let tasks: Vec<RowTask<'_>> = out
+                .bits
+                .chunks_mut(chunk * wpr)
+                .enumerate()
+                .map(|(c, rows)| {
+                    let f: RowTask<'_> = Box::new(move || compose_rows(c * chunk, rows));
+                    f
+                })
+                .collect();
+            for o in crate::sched::run_tasks(workers, tasks) {
                 o?;
             }
         }
@@ -425,20 +384,18 @@ impl BitMatrix {
         if workers <= 1 || n < par_min_dim() {
             close_rows(0, &mut out.bits)?;
         } else {
-            let chunk = n.div_ceil(workers);
-            let outcomes: Vec<Result<(), BudgetExceeded>> = std::thread::scope(|s| {
-                let handles: Vec<_> = out
-                    .bits
-                    .chunks_mut(chunk * wpr)
-                    .enumerate()
-                    .map(|(c, rows)| {
-                        let close_rows = &close_rows;
-                        s.spawn(move || close_rows(c * chunk, rows))
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            });
-            for o in outcomes {
+            let chunk = row_task_chunk(n, workers);
+            let close_rows = &close_rows;
+            let tasks: Vec<RowTask<'_>> = out
+                .bits
+                .chunks_mut(chunk * wpr)
+                .enumerate()
+                .map(|(c, rows)| {
+                    let f: RowTask<'_> = Box::new(move || close_rows(c * chunk, rows));
+                    f
+                })
+                .collect();
+            for o in crate::sched::run_tasks(workers, tasks) {
                 o?;
             }
         }
@@ -535,18 +492,6 @@ mod tests {
             Err(BudgetExceeded::Cancelled)
         );
         assert!(m.compose_governed(&m, &Budget::unlimited(), 2).is_ok());
-    }
-
-    #[test]
-    fn par_min_dim_parse_table() {
-        assert_eq!(parse_par_min_dim(None), ParMinDimSpec::Unset);
-        assert_eq!(parse_par_min_dim(Some("0")), ParMinDimSpec::Dim(0));
-        assert_eq!(parse_par_min_dim(Some("256")), ParMinDimSpec::Dim(256));
-        assert_eq!(parse_par_min_dim(Some(" 1024 ")), ParMinDimSpec::Dim(1024));
-        assert_eq!(parse_par_min_dim(Some("")), ParMinDimSpec::Invalid);
-        assert_eq!(parse_par_min_dim(Some("-1")), ParMinDimSpec::Invalid);
-        assert_eq!(parse_par_min_dim(Some("auto")), ParMinDimSpec::Invalid);
-        assert_eq!(parse_par_min_dim(Some("2x")), ParMinDimSpec::Invalid);
     }
 
     #[test]

@@ -464,79 +464,6 @@ impl SharedMemo {
     }
 }
 
-/// How one `ECLECTIC_THREADS` value parses. Split out of [`env_threads`] so
-/// the full parse table is unit-testable without touching the process
-/// environment.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum ThreadsSpec {
-    /// Variable unset: serial, the safe default for unit tests.
-    Unset,
-    /// `0` or `auto`: use [`std::thread::available_parallelism`].
-    Auto,
-    /// An explicit positive count.
-    Count(usize),
-    /// Unparseable (e.g. `"abc"`, `"-2"`): fall back to serial, but warn.
-    Invalid,
-}
-
-fn parse_threads(value: Option<&str>) -> ThreadsSpec {
-    let Some(raw) = value else {
-        return ThreadsSpec::Unset;
-    };
-    let s = raw.trim();
-    if s == "0" || s.eq_ignore_ascii_case("auto") {
-        return ThreadsSpec::Auto;
-    }
-    match s.parse::<usize>() {
-        Ok(n) => ThreadsSpec::Count(n.max(1)),
-        Err(_) => ThreadsSpec::Invalid,
-    }
-}
-
-/// The worker-thread count selected by the `ECLECTIC_THREADS` environment
-/// variable: unset means `1` (serial — the safe default for the many small
-/// explorations in unit tests), `0` or `auto` means
-/// [`std::thread::available_parallelism`], and any other `N` means `N`.
-///
-/// An unparseable value (e.g. `"abc"`, `"-2"`) also falls back to `1`, but
-/// emits a one-time warning on stderr naming the bad value — silently
-/// serializing every sweep is a miserable thing to debug.
-#[must_use]
-pub fn env_threads() -> usize {
-    let value = std::env::var("ECLECTIC_THREADS").ok();
-    match parse_threads(value.as_deref()) {
-        ThreadsSpec::Unset => 1,
-        ThreadsSpec::Auto => {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-        }
-        ThreadsSpec::Count(n) => n,
-        ThreadsSpec::Invalid => {
-            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
-            WARN_ONCE.call_once(|| {
-                eprintln!(
-                    "eclectic: unparseable ECLECTIC_THREADS={:?}; expected a count, `0` or \
-                     `auto` — falling back to 1 worker (serial)",
-                    value.as_deref().unwrap_or_default()
-                );
-            });
-            1
-        }
-    }
-}
-
-/// Caps a requested worker count at the host's available parallelism.
-///
-/// Every parallel sweep in this workspace is bit-identical across worker
-/// counts (the merges replay serial order), so shrinking the worker pool
-/// can never change a result — it only avoids oversubscription: extra
-/// workers on a saturated host add spawn cost and split the per-worker
-/// memo for zero concurrency.
-#[must_use]
-pub fn effective_workers(requested: usize) -> usize {
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    requested.min(cores).max(1)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -634,31 +561,6 @@ mod tests {
         // And the ids are distinct across distinct terms.
         let set: std::collections::BTreeSet<_> = ids[0].iter().copied().collect();
         assert_eq!(set.len(), TERMS as usize);
-    }
-
-    #[test]
-    fn threads_parse_table() {
-        // Unset → serial.
-        assert_eq!(parse_threads(None), ThreadsSpec::Unset);
-        // `0` / `auto` (any case, with whitespace) → host parallelism.
-        assert_eq!(parse_threads(Some("0")), ThreadsSpec::Auto);
-        assert_eq!(parse_threads(Some("auto")), ThreadsSpec::Auto);
-        assert_eq!(parse_threads(Some(" AUTO ")), ThreadsSpec::Auto);
-        // Explicit counts pass through (1 stays 1).
-        assert_eq!(parse_threads(Some("1")), ThreadsSpec::Count(1));
-        assert_eq!(parse_threads(Some(" 8 ")), ThreadsSpec::Count(8));
-        // Garbage and negatives are flagged, not silently serialized.
-        assert_eq!(parse_threads(Some("abc")), ThreadsSpec::Invalid);
-        assert_eq!(parse_threads(Some("-2")), ThreadsSpec::Invalid);
-        assert_eq!(parse_threads(Some("")), ThreadsSpec::Invalid);
-        assert_eq!(parse_threads(Some("3.5")), ThreadsSpec::Invalid);
-        // Huge-but-parseable counts are accepted here and clamped to the
-        // host by `effective_workers` at spawn time.
-        assert_eq!(parse_threads(Some("100000")), ThreadsSpec::Count(100_000));
-        let cores =
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        assert_eq!(effective_workers(100_000), cores);
-        assert_eq!(effective_workers(0), 1);
     }
 
     #[test]

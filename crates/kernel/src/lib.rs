@@ -24,22 +24,27 @@
 mod bitmat;
 mod budget;
 mod concurrent;
+mod envcfg;
 pub mod hash;
 mod ids;
 mod rel;
+pub mod sched;
 mod sparse;
 mod store;
 
 pub use bitmat::{BitMatrix, ROW_POLL_STRIDE};
 pub use budget::{Budget, BudgetExceeded, CancelToken, Exhaustion};
+pub use envcfg::{effective_workers, env_threads, force_worker_cap, WorkerCapGuard};
 pub use rel::{
     force_rel_backend, rel_backend_for, Rel, RelBackend, RelBackendGuard, RelChoice, RowIter,
     REL_DENSE_MAX_DIM,
 };
-pub use sparse::SparseRel;
-pub use concurrent::{
-    effective_workers, env_threads, ConcurrentTermStore, SharedMemo, StoreHandle,
+pub use sched::{
+    force_sched_mode, run_chunked, run_tasks, run_workers, sched_mode, IndexQueue, SchedMode,
+    SchedModeGuard,
 };
+pub use sparse::SparseRel;
+pub use concurrent::{ConcurrentTermStore, SharedMemo, StoreHandle};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{FuncId, PredId, SortId, VarId};
 pub use store::{Binding, Interner, SortError, SortOracle, TermId, TermNode, TermStore};

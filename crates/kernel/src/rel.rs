@@ -24,9 +24,10 @@
 //! other (the override is process-global).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use crate::bitmat::BitMatrix;
+use crate::envcfg::{env_rel_backend, BackendSpec};
 use crate::budget::{Budget, BudgetExceeded};
 use crate::sparse::SparseRel;
 
@@ -97,58 +98,6 @@ pub fn force_rel_backend(choice: RelChoice) -> RelBackendGuard {
     RelBackendGuard { _lock: lock }
 }
 
-/// How one `ECLECTIC_REL_BACKEND` value parses. Split out so the full
-/// parse table is unit-testable without touching the process environment.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum BackendSpec {
-    /// Variable unset: the automatic crossover policy.
-    Unset,
-    /// `auto`: the automatic crossover policy, explicitly.
-    Auto,
-    /// `dense`: every relation on the bit-matrix backend.
-    Dense,
-    /// `sparse`: every relation on the adjacency backend.
-    Sparse,
-    /// Unparseable: fall back to `auto`, but warn.
-    Invalid,
-}
-
-fn parse_rel_backend(value: Option<&str>) -> BackendSpec {
-    let Some(raw) = value else {
-        return BackendSpec::Unset;
-    };
-    let s = raw.trim();
-    if s.eq_ignore_ascii_case("auto") {
-        BackendSpec::Auto
-    } else if s.eq_ignore_ascii_case("dense") {
-        BackendSpec::Dense
-    } else if s.eq_ignore_ascii_case("sparse") {
-        BackendSpec::Sparse
-    } else {
-        BackendSpec::Invalid
-    }
-}
-
-/// The environment-selected policy, read once per process (relations are
-/// constructed on hot paths; `std::env::var` takes a lock). An
-/// unparseable value falls back to `auto` with a one-time warning on
-/// stderr, mirroring `env_threads`.
-fn env_backend() -> BackendSpec {
-    static SPEC: OnceLock<BackendSpec> = OnceLock::new();
-    *SPEC.get_or_init(|| {
-        let value = std::env::var("ECLECTIC_REL_BACKEND").ok();
-        let spec = parse_rel_backend(value.as_deref());
-        if spec == BackendSpec::Invalid {
-            eprintln!(
-                "eclectic: unparseable ECLECTIC_REL_BACKEND={:?}; expected `dense`, `sparse` \
-                 or `auto` — falling back to the automatic crossover",
-                value.as_deref().unwrap_or_default()
-            );
-        }
-        spec
-    })
-}
-
 /// The backend the current policy assigns to a relation of the given
 /// dimension: a [`force_rel_backend`] override wins, then
 /// `ECLECTIC_REL_BACKEND`, then the automatic crossover at
@@ -167,7 +116,7 @@ pub fn rel_backend_for(dim: usize) -> RelBackend {
             }
         }
     }
-    match env_backend() {
+    match env_rel_backend() {
         BackendSpec::Dense => RelBackend::Dense,
         BackendSpec::Sparse => RelBackend::Sparse,
         BackendSpec::Unset | BackendSpec::Auto | BackendSpec::Invalid => {
@@ -628,18 +577,6 @@ fn dense_inner_mask(m: &BitMatrix, inner: &[bool]) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn backend_parse_table() {
-        assert_eq!(parse_rel_backend(None), BackendSpec::Unset);
-        assert_eq!(parse_rel_backend(Some("auto")), BackendSpec::Auto);
-        assert_eq!(parse_rel_backend(Some("AUTO")), BackendSpec::Auto);
-        assert_eq!(parse_rel_backend(Some(" dense ")), BackendSpec::Dense);
-        assert_eq!(parse_rel_backend(Some("Sparse")), BackendSpec::Sparse);
-        assert_eq!(parse_rel_backend(Some("")), BackendSpec::Invalid);
-        assert_eq!(parse_rel_backend(Some("bitmat")), BackendSpec::Invalid);
-        assert_eq!(parse_rel_backend(Some("3")), BackendSpec::Invalid);
-    }
 
     #[test]
     fn forced_policy_pins_and_restores() {

@@ -37,9 +37,9 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::bitmat::{par_min_dim, ROW_POLL_STRIDE};
+use crate::bitmat::{row_task_chunk, ROW_POLL_STRIDE};
 use crate::budget::{Budget, BudgetExceeded};
-use crate::concurrent::effective_workers;
+use crate::envcfg::{effective_workers, par_min_dim};
 
 /// A sparse square boolean matrix over `0..n`: one sorted, deduplicated
 /// `u32` column list per row.
@@ -328,20 +328,19 @@ impl SparseRel {
         if workers <= 1 || n < par_min_dim() {
             compose_rows(0, &mut out.rows)?;
         } else {
-            let chunk = n.div_ceil(workers);
-            let outcomes: Vec<Result<(), BudgetExceeded>> = std::thread::scope(|s| {
-                let handles: Vec<_> = out
-                    .rows
-                    .chunks_mut(chunk)
-                    .enumerate()
-                    .map(|(c, rows)| {
-                        let compose_rows = &compose_rows;
-                        s.spawn(move || compose_rows(c * chunk, rows))
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            });
-            for o in outcomes {
+            let chunk = row_task_chunk(n, workers);
+            let compose_rows = &compose_rows;
+            let tasks: Vec<Box<dyn FnOnce() -> Result<(), BudgetExceeded> + Send + '_>> = out
+                .rows
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(c, rows)| {
+                    let f: Box<dyn FnOnce() -> Result<(), BudgetExceeded> + Send + '_> =
+                        Box::new(move || compose_rows(c * chunk, rows));
+                    f
+                })
+                .collect();
+            for o in crate::sched::run_tasks(workers, tasks) {
                 o?;
             }
         }
@@ -417,20 +416,19 @@ impl SparseRel {
         if workers <= 1 || n < par_min_dim() {
             close_rows(0, &mut out.rows)?;
         } else {
-            let chunk = n.div_ceil(workers);
-            let outcomes: Vec<Result<(), BudgetExceeded>> = std::thread::scope(|s| {
-                let handles: Vec<_> = out
-                    .rows
-                    .chunks_mut(chunk)
-                    .enumerate()
-                    .map(|(c, rows)| {
-                        let close_rows = &close_rows;
-                        s.spawn(move || close_rows(c * chunk, rows))
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            });
-            for o in outcomes {
+            let chunk = row_task_chunk(n, workers);
+            let close_rows = &close_rows;
+            let tasks: Vec<Box<dyn FnOnce() -> Result<(), BudgetExceeded> + Send + '_>> = out
+                .rows
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(c, rows)| {
+                    let f: Box<dyn FnOnce() -> Result<(), BudgetExceeded> + Send + '_> =
+                        Box::new(move || close_rows(c * chunk, rows));
+                    f
+                })
+                .collect();
+            for o in crate::sched::run_tasks(workers, tasks) {
                 o?;
             }
         }

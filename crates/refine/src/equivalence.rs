@@ -15,8 +15,8 @@ use std::sync::Arc;
 
 use eclectic_algebraic::{induction, AlgError, AlgSpec, Rewriter};
 use eclectic_kernel::{
-    env_threads, Budget, BudgetExceeded, ConcurrentTermStore, Exhaustion, Interner, SharedMemo,
-    StoreHandle, TermId,
+    env_threads, run_tasks, Budget, BudgetExceeded, ConcurrentTermStore, Exhaustion, IndexQueue,
+    Interner, SharedMemo, StoreHandle, TermId,
 };
 use eclectic_logic::{Elem, FuncId, Term};
 use eclectic_rpr::DbState;
@@ -340,49 +340,81 @@ fn cross_check_parallel(
 
         // Fan the level-2 evaluations across the workers; ids are
         // comparable across rewriters because every handle interns into the
-        // same concurrent store. Chunks are contiguous, so joining in chunk
-        // order surfaces errors in the serial site order.
-        let chunk = items.len().div_ceil(workers.len()).max(1);
-        type SitesOut = Result<(Vec<TermId>, Option<BudgetExceeded>)>;
-        let l2_chunks: Vec<SitesOut> = std::thread::scope(|scope| {
-            let handles: Vec<_> = items
-                .chunks(chunk)
-                .zip(workers.iter_mut())
-                .map(|(sites, w)| {
-                    scope.spawn(move || {
-                        let mut out = Vec::with_capacity(sites.len());
-                        let mut stop = None;
-                        for (q, _, param_ids) in sites {
-                            match w.eval_query_id(*q, param_ids, new_term) {
-                                Ok(id) => out.push(id),
-                                Err(AlgError::Budget { reason }) => {
-                                    stop = Some(reason);
-                                    break;
+        // same concurrent store. Sites are claimed in chunks off a shared
+        // queue and slotted by site index, so the merge replays serial
+        // site order whatever the claim interleaving was.
+        let nworkers = workers.len().min(items.len()).max(1);
+        let queue = IndexQueue::new(items.len(), nworkers);
+        type SitesOut = (
+            Vec<(usize, TermId)>,
+            Option<(usize, BudgetExceeded)>,
+            Option<(usize, RefineError)>,
+        );
+        let site_outs: Vec<SitesOut> = {
+            let queue = &queue;
+            let items = &items;
+            let tasks: Vec<Box<dyn FnOnce() -> SitesOut + Send + '_>> = workers
+                .iter_mut()
+                .take(nworkers)
+                .map(|w| {
+                    let f: Box<dyn FnOnce() -> SitesOut + Send + '_> = Box::new(move || {
+                        let mut out = Vec::new();
+                        while let Some(range) = queue.claim() {
+                            for k in range {
+                                let (q, _, param_ids) = &items[k];
+                                match w.eval_query_id(*q, param_ids, new_term) {
+                                    Ok(id) => out.push((k, id)),
+                                    Err(AlgError::Budget { reason }) => {
+                                        return (out, Some((k, reason)), None);
+                                    }
+                                    Err(e) => {
+                                        return (out, None, Some((k, RefineError::Alg(e))));
+                                    }
                                 }
-                                Err(e) => return Err(RefineError::Alg(e)),
                             }
                         }
-                        Ok((out, stop))
-                    })
+                        (out, None, None)
+                    });
+                    f
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
-        let mut l2s: Vec<TermId> = Vec::with_capacity(items.len());
-        let mut stop: Option<BudgetExceeded> = None;
-        for c in l2_chunks {
-            let (ids, s) = c?;
-            l2s.extend(ids);
-            if stop.is_none() {
-                stop = s;
-            }
+            run_tasks(nworkers, tasks)
+        };
+        // Replay in site order: the earliest hard error wins (exactly the
+        // one the serial site loop would have hit), else the earliest
+        // timing stop.
+        let first_err = site_outs
+            .iter()
+            .filter_map(|(_, _, e)| e.as_ref().map(|(k, _)| *k))
+            .min();
+        if let Some(k0) = first_err {
+            let (_, e) = site_outs
+                .into_iter()
+                .filter_map(|(_, _, e)| e)
+                .find(|(k, _)| *k == k0)
+                .expect("error index recorded");
+            return Err(e);
         }
-        if let Some(reason) = stop {
+        let stop = site_outs
+            .iter()
+            .filter_map(|(_, s, _)| *s)
+            .min_by_key(|(k, _)| *k);
+        if let Some((_, reason)) = stop {
             // A timing axis tripped inside a worker: this operation's
             // comparisons are incomplete, so drop them and report the
             // operations fully replayed.
             return exhaust(stats, reason, i);
         }
+        let mut slots: Vec<Option<TermId>> = vec![None; items.len()];
+        for (ids, _, _) in site_outs {
+            for (k, id) in ids {
+                slots[k] = Some(id);
+            }
+        }
+        let l2s: Vec<TermId> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every site evaluated"))
+            .collect();
 
         // Level 3 and the comparison stay serial, in site order.
         for (item, &l2) in items.iter().zip(&l2s) {

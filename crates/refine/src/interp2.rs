@@ -14,7 +14,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use eclectic_algebraic::{AlgSpec, OpKind, Rewriter};
-use eclectic_kernel::{Budget, Exhaustion};
+use eclectic_kernel::{run_workers, Budget, Exhaustion, IndexQueue};
 use eclectic_logic::{Domains, Elem, Formula, FuncId, SortId, Term, VarId};
 use eclectic_rpr::{exec, DbState, FuncQueryDef, QueryDef, Schema};
 
@@ -555,34 +555,58 @@ impl<'a> InducedAlgebra<'a> {
                 }
                 out
             } else {
-                let chunk = frontier.len().div_ceil(threads).max(1);
-                let chunk_results: Vec<Result<Vec<Vec<DbState>>>> = std::thread::scope(|scope| {
-                    let handles: Vec<_> = frontier
-                        .chunks(chunk)
-                        .map(|states| {
-                            let ops = &ops;
-                            scope.spawn(move || {
-                                states
+                let workers = threads.min(frontier.len());
+                let queue = IndexQueue::new(frontier.len(), workers);
+                type ParentOut = (Vec<(usize, Vec<DbState>)>, Option<(usize, RefineError)>);
+                let results: Vec<ParentOut> = run_workers(workers, |_| {
+                    let ops = &ops;
+                    let frontier = &frontier;
+                    let queue = &queue;
+                    move || {
+                        let mut done = Vec::new();
+                        while let Some(range) = queue.claim() {
+                            for k in range {
+                                let st = &frontier[k];
+                                match ops
                                     .iter()
-                                    .map(|st| {
-                                        ops.iter()
-                                            .map(|(proc, elems)| {
-                                                exec::call_deterministic(schema, st, proc, elems)
-                                                    .map_err(RefineError::from)
-                                            })
-                                            .collect::<Result<Vec<DbState>>>()
+                                    .map(|(proc, elems)| {
+                                        exec::call_deterministic(schema, st, proc, elems)
+                                            .map_err(RefineError::from)
                                     })
-                                    .collect::<Result<Vec<Vec<DbState>>>>()
-                            })
-                        })
-                        .collect();
-                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                                    .collect::<Result<Vec<DbState>>>()
+                                {
+                                    Ok(succs) => done.push((k, succs)),
+                                    Err(e) => return (done, Some((k, e))),
+                                }
+                            }
+                        }
+                        (done, None)
+                    }
                 });
-                let mut out = Vec::with_capacity(frontier.len());
-                for c in chunk_results {
-                    out.extend(c?);
+                // Replay in parent order; the earliest error is exactly the
+                // one the serial loop would have hit first.
+                let first_err = results
+                    .iter()
+                    .filter_map(|(_, e)| e.as_ref().map(|(k, _)| *k))
+                    .min();
+                if let Some(k0) = first_err {
+                    let (_, e) = results
+                        .into_iter()
+                        .filter_map(|(_, e)| e)
+                        .find(|(k, _)| *k == k0)
+                        .expect("error index recorded");
+                    return Err(e);
                 }
-                out
+                let mut slots: Vec<Option<Vec<DbState>>> = vec![None; frontier.len()];
+                for (done, _) in results {
+                    for (k, succs) in done {
+                        slots[k] = Some(succs);
+                    }
+                }
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("every parent expanded"))
+                    .collect()
             };
             // Merge in (parent, operation) order — the serial FIFO order.
             let mut next_frontier = Vec::new();

@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use eclectic_algebraic::{completeness, termination, AlgSpec};
-use eclectic_kernel::{Budget, BudgetExceeded, Exhaustion};
+use eclectic_kernel::{run_workers, Budget, BudgetExceeded, Exhaustion, IndexQueue};
 use eclectic_logic::{Domains, Elem, Formula, Signature, Theory, Valuation};
 use eclectic_rpr::pdl::Pdl;
 use eclectic_rpr::{denote, pdl, DbState, DenoteCache, FiniteUniverse, RprError, Schema, Stmt};
@@ -403,39 +403,37 @@ pub fn check_dynamic_budget(
         eclectic_rpr::CacheStats,
         Option<(usize, BudgetExceeded)>,
     )>;
-    let results: Vec<AppOutcome> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let apps = &apps;
-                let u = &u;
-                let timing = &timing;
-                s.spawn(move || {
-                    let mut cache = DenoteCache::new();
-                    let mut out = Vec::new();
-                    let mut stop = None;
-                    for (k, (proc, args, env)) in
-                        apps.iter().enumerate().skip(w).step_by(workers)
-                    {
-                        if let Some(reason) = budget.check(k) {
-                            stop = Some((k, reason));
-                            break;
-                        }
-                        match check_application(u, proc, args, env, &mut cache, timing, 1) {
-                            Ok(failures) => out.push((k, failures)),
-                            Err(e) => match crate::reach::budget_stop(&e) {
-                                Some(reason) => {
-                                    stop = Some((k, reason));
-                                    break;
-                                }
-                                None => return Err(e),
-                            },
-                        }
+    let queue = IndexQueue::new(apps.len(), workers);
+    let results: Vec<AppOutcome> = run_workers(workers, |_| {
+        let apps = &apps;
+        let u = &u;
+        let timing = &timing;
+        let queue = &queue;
+        move || {
+            let mut cache = DenoteCache::new();
+            let mut out = Vec::new();
+            let mut stop = None;
+            'claims: while let Some(range) = queue.claim() {
+                for k in range {
+                    let (proc, args, env) = &apps[k];
+                    if let Some(reason) = budget.check(k) {
+                        stop = Some((k, reason));
+                        break 'claims;
                     }
-                    Ok((out, cache.stats(), stop))
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+                    match check_application(u, proc, args, env, &mut cache, timing, 1) {
+                        Ok(failures) => out.push((k, failures)),
+                        Err(e) => match crate::reach::budget_stop(&e) {
+                            Some(reason) => {
+                                stop = Some((k, reason));
+                                break 'claims;
+                            }
+                            None => return Err(e),
+                        },
+                    }
+                }
+            }
+            Ok((out, cache.stats(), stop))
+        }
     });
 
     let mut slots: Vec<Option<Vec<DynamicFailure>>> = vec![None; apps.len()];

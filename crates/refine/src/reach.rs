@@ -32,8 +32,8 @@ use std::sync::Arc;
 use eclectic_algebraic::induction::SuccessorPlan;
 use eclectic_algebraic::{induction, observe, AlgError, AlgSpec, Rewriter};
 use eclectic_kernel::{
-    env_threads, Budget, BudgetExceeded, ConcurrentTermStore, Exhaustion, FxHashMap, Interner,
-    SharedMemo, StoreHandle, TermId,
+    env_threads, run_tasks, Budget, BudgetExceeded, ConcurrentTermStore, Exhaustion, FxHashMap,
+    IndexQueue, Interner, SharedMemo, StoreHandle, TermId,
 };
 use eclectic_logic::{Domains, Signature, Structure, Term};
 use eclectic_temporal::{StateIdx, Universe};
@@ -378,14 +378,17 @@ fn explore_serial_body<S: Interner>(
 /// its packed observation id.
 type ItemSuccs = Vec<(TermId, TermId)>;
 
-/// One worker chunk's output: per-item successors plus the candidate
-/// structures for observation keys not yet in the dedup map, plus the
-/// budget trip (if any) that made the worker stop early.
-type ChunkResult = Result<(
-    Vec<ItemSuccs>,
+/// One worker task's output: successors keyed by frontier index, the
+/// candidate structures for observation keys not yet in the dedup map,
+/// the budget trip (if any) that made the worker stop early, and the
+/// first hard error (if any), both keyed by the frontier index they
+/// occurred at so the merge can replay serial order.
+type TaskResult = (
+    Vec<(usize, ItemSuccs)>,
     FxHashMap<TermId, Structure>,
-    Option<BudgetExceeded>,
-)>;
+    Option<(usize, BudgetExceeded)>,
+    Option<(usize, RefineError)>,
+);
 
 /// A persistent worker: a rewriter over a shared-store handle plus scratch
 /// buffers, reused across BFS levels.
@@ -513,79 +516,110 @@ fn explore_parallel_body(
             }
         }
 
-        // Phase A: expand the level in parallel.
-        let chunk = frontier.len().div_ceil(workers.len()).max(1);
+        // Phase A: expand the level in parallel. Frontier items are
+        // claimed in chunks off a shared queue (idle scheduler workers
+        // steal the tail of a slow worker's share) and keyed by frontier
+        // index, so the merge below replays serial order regardless of
+        // which worker expanded what.
+        let nworkers = workers.len().min(frontier.len()).max(1);
+        let queue = IndexQueue::new(frontier.len(), nworkers);
         let by_obs = &ex.by_obs;
-        let chunk_results: Vec<ChunkResult> = std::thread::scope(|scope| {
-            let handles: Vec<_> = frontier
-                .chunks(chunk)
-                .zip(workers.iter_mut())
-                .map(|(items, w)| {
+        let task_results: Vec<TaskResult> = {
+            let queue = &queue;
+            let frontier = &frontier;
+            let tasks: Vec<Box<dyn FnOnce() -> TaskResult + Send + '_>> = workers
+                .iter_mut()
+                .take(nworkers)
+                .map(|w| {
                     let ctx = &ctx;
                     let plan = &plan;
-                    scope.spawn(move || {
-                        let mut per_item: Vec<ItemSuccs> = Vec::with_capacity(items.len());
+                    let f: Box<dyn FnOnce() -> TaskResult + Send + '_> = Box::new(move || {
+                        let mut per_item: Vec<(usize, ItemSuccs)> = Vec::new();
                         let mut structs: FxHashMap<TermId, Structure> = FxHashMap::default();
-                        let mut stop: Option<BudgetExceeded> = None;
-                        'items: for &(_, term, _) in items {
-                            plan.successors_into(&mut w.rw, term, &mut w.succs);
-                            let mut out: ItemSuccs = Vec::with_capacity(w.succs.len());
-                            for i in 0..w.succs.len() {
-                                let succ = w.succs[i];
-                                let obs = match ctx.keys.key_id(&mut w.rw, succ, &mut w.row) {
-                                    Ok(obs) => obs,
-                                    Err(AlgError::Budget { reason }) => {
-                                        stop = Some(reason);
-                                        break 'items;
-                                    }
-                                    Err(e) => return Err(e.into()),
-                                };
-                                if !by_obs.contains_key(&obs) && !structs.contains_key(&obs) {
-                                    let st = match structure_of_id(
-                                        &mut w.rw,
-                                        ctx.interp,
-                                        ctx.bridge,
-                                        ctx.info_sig,
-                                        ctx.domains,
-                                        succ,
-                                    ) {
-                                        Ok(st) => st,
-                                        Err(e) => match budget_stop(&e) {
-                                            Some(reason) => {
-                                                stop = Some(reason);
-                                                break 'items;
-                                            }
-                                            None => return Err(e),
-                                        },
+                        while let Some(range) = queue.claim() {
+                            for k in range {
+                                let (_, term, _) = frontier[k];
+                                plan.successors_into(&mut w.rw, term, &mut w.succs);
+                                let mut out: ItemSuccs = Vec::with_capacity(w.succs.len());
+                                for i in 0..w.succs.len() {
+                                    let succ = w.succs[i];
+                                    let obs = match ctx.keys.key_id(&mut w.rw, succ, &mut w.row)
+                                    {
+                                        Ok(obs) => obs,
+                                        Err(AlgError::Budget { reason }) => {
+                                            return (per_item, structs, Some((k, reason)), None);
+                                        }
+                                        Err(e) => {
+                                            return (per_item, structs, None, Some((k, e.into())));
+                                        }
                                     };
-                                    structs.insert(obs, st);
+                                    if !by_obs.contains_key(&obs) && !structs.contains_key(&obs) {
+                                        let st = match structure_of_id(
+                                            &mut w.rw,
+                                            ctx.interp,
+                                            ctx.bridge,
+                                            ctx.info_sig,
+                                            ctx.domains,
+                                            succ,
+                                        ) {
+                                            Ok(st) => st,
+                                            Err(e) => match budget_stop(&e) {
+                                                Some(reason) => {
+                                                    return (
+                                                        per_item,
+                                                        structs,
+                                                        Some((k, reason)),
+                                                        None,
+                                                    );
+                                                }
+                                                None => {
+                                                    return (per_item, structs, None, Some((k, e)));
+                                                }
+                                            },
+                                        };
+                                        structs.insert(obs, st);
+                                    }
+                                    out.push((succ, obs));
                                 }
-                                out.push((succ, obs));
+                                per_item.push((k, out));
                             }
-                            per_item.push(out);
                         }
-                        Ok((per_item, structs, stop))
-                    })
+                        (per_item, structs, None, None)
+                    });
+                    f
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
+            run_tasks(nworkers, tasks)
+        };
 
-        // Surface the first error in frontier order (chunks are contiguous,
-        // so chunk order is item order) — same error the serial search hits
-        // first among those its admission order would reach.
-        let mut per_item: Vec<ItemSuccs> = Vec::with_capacity(frontier.len());
+        // Surface the first error in frontier order — the same error the
+        // serial search hits first among those its admission order would
+        // reach.
+        let first_err = task_results
+            .iter()
+            .filter_map(|(_, _, _, e)| e.as_ref().map(|(k, _)| *k))
+            .min();
+        if let Some(k0) = first_err {
+            let (_, e) = task_results
+                .into_iter()
+                .filter_map(|(_, _, _, e)| e)
+                .find(|(k, _)| *k == k0)
+                .expect("error index recorded");
+            return Err(e);
+        }
+        let stop = task_results
+            .iter()
+            .filter_map(|(_, _, s, _)| s.as_ref().map(|(_, r)| *r))
+            .next();
+        let mut slots: Vec<Option<ItemSuccs>> = vec![None; frontier.len()];
         let mut fresh_structs: FxHashMap<TermId, Structure> = FxHashMap::default();
-        let mut stop: Option<BudgetExceeded> = None;
-        for r in chunk_results {
-            let (items, structs, s) = r?;
-            per_item.extend(items);
+        for (items, structs, _, _) in task_results {
+            for (k, out) in items {
+                slots[k] = Some(out);
+            }
             // Workers deduplicate locally; across workers the entries for
             // one observation id are identical structures.
             fresh_structs.extend(structs);
-            if stop.is_none() {
-                stop = s;
-            }
         }
         if let Some(reason) = stop {
             // A timing axis tripped inside a worker: the level is
@@ -593,6 +627,10 @@ fn explore_parallel_body(
             *level = d;
             return Err(budget_err(reason));
         }
+        let per_item: Vec<ItemSuccs> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every frontier item expanded"))
+            .collect();
 
         // Phase B: serial merge in (parent, successor) order.
         let mut next: Vec<(StateIdx, TermId, usize)> = Vec::new();

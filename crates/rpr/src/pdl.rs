@@ -8,7 +8,8 @@
 //! finite universe.
 
 use eclectic_kernel::{
-    effective_workers, env_threads, Budget, BudgetExceeded, Exhaustion, FxHashSet,
+    effective_workers, env_threads, run_workers, Budget, BudgetExceeded, Exhaustion, FxHashSet,
+    IndexQueue,
 };
 use eclectic_logic::{eval, Formula, Valuation};
 
@@ -262,34 +263,34 @@ pub fn check_batch_budget_with(
     if threads > 1 && todo.len() > 1 {
         let workers = threads.min(todo.len());
         type LocalOut = Result<(DenoteCache, Option<(usize, BudgetExceeded)>)>;
-        let locals: Vec<LocalOut> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    let todo = &todo;
-                    let base = &*cache;
-                    let timing = &timing;
-                    s.spawn(move || {
-                        let mut local = base.clone_entries();
-                        let mut stop = None;
-                        for (k, prog) in todo.iter().enumerate().skip(w).step_by(workers) {
-                            if let Some(reason) = budget.check(k) {
-                                stop = Some((k, reason));
-                                break;
-                            }
-                            match meaning_cached_governed(u, prog, env, &mut local, timing, 1) {
-                                Ok(_) => {}
-                                Err(RprError::Budget { reason }) => {
-                                    stop = Some((k, reason));
-                                    break;
-                                }
-                                Err(e) => return Err(e),
-                            }
+        let queue = IndexQueue::new(todo.len(), workers);
+        let locals: Vec<LocalOut> = run_workers(workers, |_| {
+            let todo = &todo;
+            let base = &*cache;
+            let timing = &timing;
+            let queue = &queue;
+            move || {
+                let mut local = base.clone_entries();
+                let mut stop = None;
+                'claims: while let Some(range) = queue.claim() {
+                    for k in range {
+                        let prog = todo[k];
+                        if let Some(reason) = budget.check(k) {
+                            stop = Some((k, reason));
+                            break 'claims;
                         }
-                        Ok((local, stop))
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+                        match meaning_cached_governed(u, prog, env, &mut local, timing, 1) {
+                            Ok(_) => {}
+                            Err(RprError::Budget { reason }) => {
+                                stop = Some((k, reason));
+                                break 'claims;
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+                Ok((local, stop))
+            }
         });
         for local in locals {
             let (local, s) = local?;

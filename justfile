@@ -14,6 +14,7 @@ verify:
     cargo run -p eclectic-bench --bin bench_verify_parallel --release
     timeout 900 cargo run -p eclectic-bench --bin bench_pdl_parallel --release
     timeout 900 cargo run -p eclectic-bench --bin bench_rel_crossover --release
+    timeout 900 cargo run -p eclectic-bench --bin bench_sched --release
 
 # Lints alone, warnings denied — the clippy slice of `just verify`.
 lint:
@@ -47,5 +48,11 @@ bench-pdl:
 bench-rel:
     timeout 900 cargo run -p eclectic-bench --bin bench_rel_crossover --release
 
+# Scoped-thread baseline vs the work-stealing scheduler on the full verify
+# battery at 1/2/4/8 real workers (bit-identity, including node-capped
+# partials, asserted in-bench); writes BENCH_sched.json.
+bench-sched:
+    timeout 900 cargo run -p eclectic-bench --bin bench_sched --release
+
 # Every benchmark artifact in one shot: harness + all parallel benches.
-bench-all: harness bench-reach bench-verify bench-pdl bench-rel
+bench-all: harness bench-reach bench-verify bench-pdl bench-rel bench-sched
