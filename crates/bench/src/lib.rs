@@ -116,13 +116,42 @@ impl Runner {
         self.results.last().expect("just pushed")
     }
 
-    /// Prints the closing line of the group.
+    /// Prints the closing line of the group, plus the starved-host
+    /// warning when there is one (see [`starved_host_warning`]).
     pub fn finish(&self) {
+        if let Some(w) = starved_host_warning() {
+            println!("WARN: {w}");
+        }
         println!(
             "group `{}`: {} benchmark(s) done",
             self.group,
             self.results.len()
         );
+    }
+}
+
+/// A human-readable warning when the host has a single available core —
+/// every thread-scaling measurement in that environment reflects the
+/// container, not the code. Bench binaries embed this as a top-level
+/// `"warning"` field in their JSON artifacts (see [`warning_json`]) so a
+/// reader of a committed artifact can tell a starved run from a real one,
+/// and [`Runner::finish`] prints it.
+#[must_use]
+pub fn starved_host_warning() -> Option<String> {
+    (host_cores() == 1).then(|| {
+        "host reports a single available core; thread-scaling rows measure \
+         the container, not the code"
+            .to_string()
+    })
+}
+
+/// The starved-host warning as a top-level JSON field fragment:
+/// `"warning": "..."` on a single-core host, `"warning": null` otherwise.
+#[must_use]
+pub fn warning_json() -> String {
+    match starved_host_warning() {
+        Some(w) => format!("\"warning\": \"{w}\""),
+        None => "\"warning\": null".to_string(),
     }
 }
 
@@ -276,6 +305,18 @@ mod tests {
         // JSON fragment records enforcement honestly.
         let j = starved.json();
         assert!(j.contains("\"enforced\": false") && j.contains("\"available_cores\": 1"));
+    }
+
+    #[test]
+    fn warning_field_tracks_host_cores() {
+        let j = warning_json();
+        if host_cores() == 1 {
+            assert!(j.starts_with("\"warning\": \"host reports"));
+            assert!(starved_host_warning().is_some());
+        } else {
+            assert_eq!(j, "\"warning\": null");
+            assert!(starved_host_warning().is_none());
+        }
     }
 
     #[test]

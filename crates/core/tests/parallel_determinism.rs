@@ -1022,3 +1022,60 @@ fn sparse_backend_star_compose_and_capped_pdl_are_thread_invariant() {
         }
     }
 }
+
+#[test]
+fn compressed_backend_closure_and_capped_pdl_are_thread_invariant() {
+    use eclectic_kernel::{force_rel_backend, RelChoice};
+    use eclectic_rpr::BinRel;
+    // Pin every relation to the compressed container backend: the chunked
+    // row representation must give the same bit-identity guarantees the
+    // dense and sparse kernels do, at every worker count, including for
+    // the semi-naive closure's row fan-out and node-capped PDL partials.
+    let _g = force_rel_backend(RelChoice::Compressed);
+    let mut state = 0x000c_a7e1_117e_u64;
+    let mut next = |n: usize| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % n as u64) as usize
+    };
+    // 512 straddles the parallel threshold: rows genuinely fan out across
+    // workers; 64 stays serial — both must agree with the 1-worker run.
+    for n in [64usize, 512] {
+        let mut r = BinRel::with_dim(n);
+        for _ in 0..n * 2 {
+            let (a, b) = (next(n), next(n));
+            r.insert(a, b);
+        }
+        let star = r.star_threads(n, 1);
+        let comp = r.compose_threads(&r, 1);
+        for threads in BUDGET_THREADS {
+            assert_eq!(r.star_threads(n, threads), star, "star n={n} t={threads}");
+            assert_eq!(
+                r.compose_threads(&r, threads),
+                comp,
+                "compose n={n} t={threads}"
+            );
+        }
+    }
+    // The node-capped partial must stop after the same serial unit and
+    // report bit-identically at 1/2/4/8 workers on this backend too.
+    let (u, formulas) = pdl_fixture();
+    for (cap, verdicts) in [(2, 0), (5, 2)] {
+        let budget = node_budget(cap);
+        let base = check_batch_budget(&formulas, &u, &budget, 1).unwrap();
+        let e = base.exhausted.clone().expect("cap must trip on compressed");
+        assert_eq!((e.stage, e.completed_units), ("pdl", cap));
+        assert_eq!(
+            base.valid.len(),
+            verdicts,
+            "compressed verdict prefix, cap {cap}"
+        );
+        for threads in BUDGET_THREADS {
+            let par = check_batch_budget(&formulas, &u, &budget, threads).unwrap();
+            assert_eq!(par.satisfying, base.satisfying, "cap {cap}, {threads} threads");
+            assert_eq!(par.valid, base.valid, "cap {cap}, {threads} threads");
+            assert_eq!(par.exhausted, base.exhausted, "cap {cap}, {threads} threads");
+        }
+    }
+}

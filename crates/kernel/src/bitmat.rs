@@ -110,8 +110,9 @@ impl BitMatrix {
         self.wpr
     }
 
-    /// Total allocated `u64` words (`n · words_per_row`) — the dense
-    /// backend's storage unit for [`Budget::check_rel`].
+    /// Total allocated `u64` words (`n · words_per_row`). The dense
+    /// backend reports `8 ×` this to [`Budget::check_rel`] — every
+    /// backend accounts in estimated bytes.
     #[must_use]
     pub fn word_count(&self) -> usize {
         self.bits.len()
@@ -270,8 +271,9 @@ impl BitMatrix {
         let n = self.n;
         let wpr = self.wpr;
         // Dense output cost is fixed at allocation time: guard the
-        // relation-memory axis before committing `n · wpr` words.
-        if let Some(reason) = budget.check_rel(n * wpr) {
+        // relation-memory axis with the `n · wpr` words' byte size before
+        // committing them.
+        if let Some(reason) = budget.check_rel(n * wpr * 8) {
             return Err(reason);
         }
         let mut out = BitMatrix::new(n);
@@ -346,7 +348,7 @@ impl BitMatrix {
         let n = self.n;
         let wpr = self.wpr;
         // Same allocation-time relation-memory guard as `compose_governed`.
-        if let Some(reason) = budget.check_rel(n * wpr) {
+        if let Some(reason) = budget.check_rel(n * wpr * 8) {
             return Err(reason);
         }
         let mut out = BitMatrix::new(n);
@@ -497,8 +499,8 @@ mod tests {
     #[test]
     fn governed_ops_guard_relation_memory_at_entry() {
         let m = from_pairs(64, &[(0, 1)]);
-        // 64 × 1 = 64 output words; a 32-word cap trips before allocation,
-        // and survives node-cap stripping (it is a separate axis).
+        // 64 × 1 = 64 output words = 512 bytes; a 32-byte cap trips before
+        // allocation, and survives node-cap stripping (separate axis).
         let capped = Budget::unlimited().with_max_rel_entries(32);
         assert_eq!(
             m.compose_governed(&m, &capped, 1),

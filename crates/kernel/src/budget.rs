@@ -10,10 +10,12 @@
 //!   ([`Interner::len`](crate::Interner::len) — the number of hash-consed
 //!   nodes allocated so far),
 //! - a **relation-memory cap** polled by the relation kernels with the
-//!   number of backend storage units a single governed operation has
-//!   allocated (`u64` words for the dense bit matrix, adjacency entries
-//!   for the sparse backend), so a materialization that would exhaust
-//!   memory trips [`Exhaustion`] instead of OOMing, and
+//!   estimated *bytes* a single governed operation has allocated (8 per
+//!   dense `u64` word, 4 per sparse adjacency entry, the container byte
+//!   formula for the compressed backend) — one currency across all
+//!   backends, so the cap means the same thing whichever representation
+//!   the policy picks, and a materialization that would exhaust memory
+//!   trips [`Exhaustion`] instead of OOMing, and
 //! - a cooperative [`CancelToken`] (an `Arc<AtomicBool>`) that an external
 //!   caller may flip at any time.
 //!
@@ -72,10 +74,11 @@ impl CancelToken {
 pub enum BudgetExceeded {
     /// The hash-consed node count reached the configured cap.
     Nodes,
-    /// A governed relation operation reached the configured cap on backend
-    /// storage units (dense words / sparse adjacency entries). Like the
-    /// deadline this is a safety axis, not a serial-order one: a parallel
-    /// sweep may notice it at a schedule-dependent unit.
+    /// A governed relation operation reached the configured cap on
+    /// estimated backend bytes (dense words × 8 / sparse entries × 4 /
+    /// compressed container bytes). Like the deadline this is a safety
+    /// axis, not a serial-order one: a parallel sweep may notice it at a
+    /// schedule-dependent unit.
     RelMemory,
     /// A [`CancelToken`] was flipped.
     Cancelled,
@@ -144,13 +147,16 @@ impl Budget {
         self
     }
 
-    /// Cap the number of backend storage units (dense `u64` words / sparse
-    /// adjacency entries) a single governed relation operation may
-    /// materialize. Polled by the relation kernels via
-    /// [`check_rel`](Self::check_rel); trips when the count *reaches* the
-    /// cap. The cap survives [`without_node_cap`](Self::without_node_cap),
-    /// so strided sweeps keep their memory protection while the node axis
-    /// stays caller-enforced.
+    /// Cap the estimated bytes a single governed relation operation may
+    /// materialize (each backend reports its own honest estimate: dense
+    /// words × 8, sparse entries × 4, compressed container bytes). Polled
+    /// by the relation kernels via [`check_rel`](Self::check_rel); trips
+    /// when the estimate *reaches* the cap. The cap survives
+    /// [`without_node_cap`](Self::without_node_cap), so strided sweeps
+    /// keep their memory protection while the node axis stays
+    /// caller-enforced. The name keeps the historical `entries` wording
+    /// (and the `ECLECTIC_MAX_REL_ENTRIES` env var) for compatibility;
+    /// the unit is bytes.
     #[must_use]
     pub fn with_max_rel_entries(mut self, entries: usize) -> Self {
         self.max_rel_entries = Some(entries);
@@ -208,7 +214,7 @@ impl Budget {
         self.max_nodes
     }
 
-    /// The configured relation-memory cap (backend storage units), if any.
+    /// The configured relation-memory cap (estimated bytes), if any.
     #[must_use]
     pub fn max_rel_entries(&self) -> Option<usize> {
         self.max_rel_entries
@@ -254,11 +260,11 @@ impl Budget {
     }
 
     /// Poll the budget from inside a governed relation operation with the
-    /// backend storage units (dense words / sparse entries) that operation
-    /// has allocated so far. Checks the relation-memory axis first, then
-    /// falls through to [`check`](Self::check) with a zero node count, so
-    /// the timing axes (cancellation, deadline) keep their existing poll
-    /// points.
+    /// estimated bytes (dense words × 8 / sparse entries × 4 / compressed
+    /// container bytes) that operation has allocated so far. Checks the
+    /// relation-memory axis first, then falls through to
+    /// [`check`](Self::check) with a zero node count, so the timing axes
+    /// (cancellation, deadline) keep their existing poll points.
     #[must_use]
     pub fn check_rel(&self, entries: usize) -> Option<BudgetExceeded> {
         if let Some(cap) = self.max_rel_entries {

@@ -6,12 +6,13 @@
 //! default and emits a single stderr warning naming the bad value —
 //! silently ignoring a typo'd tunable is a miserable thing to debug.
 //!
-//! | variable                | values                    | default        |
-//! |-------------------------|---------------------------|----------------|
-//! | `ECLECTIC_THREADS`      | count, `0`/`auto`         | 1 (serial)     |
-//! | `ECLECTIC_REL_BACKEND`  | `dense`/`sparse`/`auto`   | auto crossover |
-//! | `ECLECTIC_PAR_MIN_DIM`  | non-negative integer      | 256            |
-//! | `ECLECTIC_SCHED`        | `steal`/`scoped`          | steal          |
+//! | variable                           | values                               | default        |
+//! |------------------------------------|--------------------------------------|----------------|
+//! | `ECLECTIC_THREADS`                 | count, `0`/`auto`                    | 1 (serial)     |
+//! | `ECLECTIC_REL_BACKEND`             | `dense`/`sparse`/`compressed`/`auto` | auto crossover |
+//! | `ECLECTIC_PAR_MIN_DIM`             | non-negative integer                 | 256            |
+//! | `ECLECTIC_REL_COMPRESSED_MIN_DIM`  | non-negative integer                 | 65536          |
+//! | `ECLECTIC_SCHED`                   | `steal`/`scoped`                     | steal          |
 //!
 //! The parse functions are split from the environment reads so the full
 //! parse tables are unit-testable without touching the process
@@ -188,6 +189,62 @@ pub(crate) fn par_min_dim() -> usize {
 }
 
 // ---------------------------------------------------------------------------
+// ECLECTIC_REL_COMPRESSED_MIN_DIM
+// ---------------------------------------------------------------------------
+
+/// Default minimum dimension at which the `auto` policy prefers the
+/// compressed chunk-container backend over plain sorted adjacency: one
+/// full 2¹⁶ chunk. Below this every row fits one chunk and the sparse
+/// backend's flat `u32` rows have less per-row overhead; at and above it
+/// closures of block-structured transition relations compress entries
+/// into runs (see `BENCH_rel.json` for the measured capstone).
+pub(crate) const REL_COMPRESSED_MIN_DIM_DEFAULT: usize = 1 << 16;
+
+/// How one `ECLECTIC_REL_COMPRESSED_MIN_DIM` value parses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum CompressedMinDimSpec {
+    /// Variable unset: use [`REL_COMPRESSED_MIN_DIM_DEFAULT`].
+    Unset,
+    /// A parsed dimension floor (0 means "always prefer compressed over
+    /// sparse").
+    Dim(usize),
+    /// Unparseable: fall back to the default, but warn.
+    Invalid,
+}
+
+pub(crate) fn parse_rel_compressed_min_dim(value: Option<&str>) -> CompressedMinDimSpec {
+    let Some(raw) = value else {
+        return CompressedMinDimSpec::Unset;
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(d) => CompressedMinDimSpec::Dim(d),
+        Err(_) => CompressedMinDimSpec::Invalid,
+    }
+}
+
+/// The effective compressed-crossover floor for the `auto` relation
+/// policy: `ECLECTIC_REL_COMPRESSED_MIN_DIM` if set and parseable, else
+/// [`REL_COMPRESSED_MIN_DIM_DEFAULT`].
+pub(crate) fn rel_compressed_min_dim() -> usize {
+    static DIM: OnceLock<usize> = OnceLock::new();
+    *DIM.get_or_init(|| {
+        let value = std::env::var("ECLECTIC_REL_COMPRESSED_MIN_DIM").ok();
+        match parse_rel_compressed_min_dim(value.as_deref()) {
+            CompressedMinDimSpec::Unset => REL_COMPRESSED_MIN_DIM_DEFAULT,
+            CompressedMinDimSpec::Dim(d) => d,
+            CompressedMinDimSpec::Invalid => {
+                eprintln!(
+                    "eclectic: unparseable ECLECTIC_REL_COMPRESSED_MIN_DIM={:?}; expected a \
+                     non-negative integer — falling back to {REL_COMPRESSED_MIN_DIM_DEFAULT}",
+                    value.as_deref().unwrap_or_default()
+                );
+                REL_COMPRESSED_MIN_DIM_DEFAULT
+            }
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
 // ECLECTIC_REL_BACKEND
 // ---------------------------------------------------------------------------
 
@@ -202,6 +259,8 @@ pub(crate) enum BackendSpec {
     Dense,
     /// `sparse`: every relation on the adjacency backend.
     Sparse,
+    /// `compressed`: every relation on the chunk-container backend.
+    Compressed,
     /// Unparseable: fall back to `auto`, but warn.
     Invalid,
 }
@@ -217,6 +276,8 @@ pub(crate) fn parse_rel_backend(value: Option<&str>) -> BackendSpec {
         BackendSpec::Dense
     } else if s.eq_ignore_ascii_case("sparse") {
         BackendSpec::Sparse
+    } else if s.eq_ignore_ascii_case("compressed") {
+        BackendSpec::Compressed
     } else {
         BackendSpec::Invalid
     }
@@ -231,8 +292,8 @@ pub(crate) fn env_rel_backend() -> BackendSpec {
         let spec = parse_rel_backend(value.as_deref());
         if spec == BackendSpec::Invalid {
             eprintln!(
-                "eclectic: unparseable ECLECTIC_REL_BACKEND={:?}; expected `dense`, `sparse` \
-                 or `auto` — falling back to the automatic crossover",
+                "eclectic: unparseable ECLECTIC_REL_BACKEND={:?}; expected `dense`, `sparse`, \
+                 `compressed` or `auto` — falling back to the automatic crossover",
                 value.as_deref().unwrap_or_default()
             );
         }
@@ -333,8 +394,41 @@ mod tests {
         assert_eq!(parse_rel_backend(Some("auto")), BackendSpec::Auto);
         assert_eq!(parse_rel_backend(Some(" DENSE ")), BackendSpec::Dense);
         assert_eq!(parse_rel_backend(Some("sparse")), BackendSpec::Sparse);
+        assert_eq!(
+            parse_rel_backend(Some(" Compressed ")),
+            BackendSpec::Compressed
+        );
+        assert_eq!(parse_rel_backend(Some("roaring")), BackendSpec::Invalid);
         assert_eq!(parse_rel_backend(Some("btree")), BackendSpec::Invalid);
         assert_eq!(parse_rel_backend(Some("")), BackendSpec::Invalid);
+    }
+
+    #[test]
+    fn rel_compressed_min_dim_parse_table() {
+        assert_eq!(
+            parse_rel_compressed_min_dim(None),
+            CompressedMinDimSpec::Unset
+        );
+        assert_eq!(
+            parse_rel_compressed_min_dim(Some("0")),
+            CompressedMinDimSpec::Dim(0)
+        );
+        assert_eq!(
+            parse_rel_compressed_min_dim(Some(" 131072 ")),
+            CompressedMinDimSpec::Dim(131_072)
+        );
+        assert_eq!(
+            parse_rel_compressed_min_dim(Some("abc")),
+            CompressedMinDimSpec::Invalid
+        );
+        assert_eq!(
+            parse_rel_compressed_min_dim(Some("-1")),
+            CompressedMinDimSpec::Invalid
+        );
+        assert_eq!(
+            parse_rel_compressed_min_dim(Some("")),
+            CompressedMinDimSpec::Invalid
+        );
     }
 
     #[test]

@@ -23,7 +23,9 @@
 
 mod bitmat;
 mod budget;
+mod closure;
 mod concurrent;
+mod container;
 mod envcfg;
 pub mod hash;
 mod ids;
@@ -34,6 +36,8 @@ mod store;
 
 pub use bitmat::{BitMatrix, ROW_POLL_STRIDE};
 pub use budget::{Budget, BudgetExceeded, CancelToken, Exhaustion};
+pub use closure::LazyClosure;
+pub use container::{CompressedRel, CompressedRow};
 pub use envcfg::{effective_workers, env_threads, force_worker_cap, WorkerCapGuard};
 pub use rel::{
     force_rel_backend, rel_backend_for, Rel, RelBackend, RelBackendGuard, RelChoice, RowIter,

@@ -1,18 +1,25 @@
-//! The dual-backend relation kernel: one [`Rel`] value is either a dense
-//! [`BitMatrix`] or a sparse [`SparseRel`], chosen per relation by a
-//! density/dimension crossover policy.
+//! The multi-backend relation kernel: one [`Rel`] value is a dense
+//! [`BitMatrix`], a sparse [`SparseRel`], or a compressed
+//! [`CompressedRel`], chosen per relation by a density/dimension
+//! crossover policy.
 //!
 //! Small universes live on the dense backend, where union/meet/compose
 //! are word operations (64 pairs per instruction); past the crossover
 //! dimension the same relation would cost `n · ⌈n/64⌉` words *per
 //! relation* regardless of content (a million-state relation is ~125 GB),
-//! so large universes live on the sparse backend, which spends one entry
-//! per pair. [`rel_backend_for`] decides: an explicit
-//! `ECLECTIC_REL_BACKEND=dense|sparse` pins every relation to one
-//! backend; unset or `auto` picks dense at dimensions up to
-//! [`REL_DENSE_MAX_DIM`] and sparse above. Binary operations between
-//! mixed backends coerce both operands to the policy backend for the
-//! result dimension, so the choice never leaks into results.
+//! so large universes live on the sparse backend, which spends one `u32`
+//! entry per pair. Past the *compressed* crossover
+//! ([`crate::envcfg`]'s `ECLECTIC_REL_COMPRESSED_MIN_DIM`, default one
+//! full 2¹⁶ chunk) relations move to the chunk-container backend, whose
+//! run encodings collapse the contiguous reachable blocks that
+//! million-state closures produce to a few bytes per row.
+//! [`rel_backend_for`] decides: an explicit
+//! `ECLECTIC_REL_BACKEND=dense|sparse|compressed` pins every relation to
+//! one backend; unset or `auto` picks dense at dimensions up to
+//! [`REL_DENSE_MAX_DIM`], compressed at the compressed floor and above,
+//! and sparse between. Binary operations between mixed backends coerce
+//! both operands to the policy backend for the result dimension, so the
+//! choice never leaks into results.
 //!
 //! Both backends uphold the same *iteration-order contract*: pairs stream
 //! in ascending lexicographic `(a, b)` order, exactly the order a
@@ -27,7 +34,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use crate::bitmat::BitMatrix;
-use crate::envcfg::{env_rel_backend, BackendSpec};
+use crate::container::{CompressedRel, RowValues};
+use crate::envcfg::{env_rel_backend, rel_compressed_min_dim, BackendSpec};
 use crate::budget::{Budget, BudgetExceeded};
 use crate::sparse::SparseRel;
 
@@ -44,6 +52,8 @@ pub enum RelBackend {
     Dense,
     /// Sorted adjacency lists ([`SparseRel`]).
     Sparse,
+    /// Chunk-container rows ([`CompressedRel`]).
+    Compressed,
 }
 
 /// A backend override for tests and benches: pin every relation to one
@@ -54,13 +64,16 @@ pub enum RelChoice {
     Dense,
     /// Every relation sparse, at any dimension.
     Sparse,
-    /// The automatic policy with the given crossover dimension (dense at
-    /// dimensions `<=` the value, sparse above).
+    /// Every relation compressed, at any dimension.
+    Compressed,
+    /// The automatic policy with the given dense crossover dimension
+    /// (dense at dimensions `<=` the value, then sparse, then compressed
+    /// at the compressed floor and above).
     AutoAt(usize),
 }
 
 /// Process-global backend override: 0 = none, 1 = dense, 2 = sparse,
-/// `k >= 3` = auto with crossover dimension `k - 3`.
+/// 3 = compressed, `k >= 4` = auto with dense crossover dimension `k - 4`.
 static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
 /// Serializes holders of [`force_rel_backend`] guards — the override is
@@ -92,39 +105,47 @@ pub fn force_rel_backend(choice: RelChoice) -> RelBackendGuard {
     let code = match choice {
         RelChoice::Dense => 1,
         RelChoice::Sparse => 2,
-        RelChoice::AutoAt(dim) => dim.saturating_add(3),
+        RelChoice::Compressed => 3,
+        RelChoice::AutoAt(dim) => dim.saturating_add(4),
     };
     OVERRIDE.store(code, Ordering::SeqCst);
     RelBackendGuard { _lock: lock }
 }
 
+/// The `auto` tiering: dense up to the dense crossover, compressed at
+/// the compressed floor and above, sparse between. (A dense crossover
+/// at or above the compressed floor gives sparse no band, which is a
+/// legitimate two-tier policy.)
+fn auto_backend(dim: usize, dense_max: usize) -> RelBackend {
+    if dim <= dense_max {
+        RelBackend::Dense
+    } else if dim >= rel_compressed_min_dim() {
+        RelBackend::Compressed
+    } else {
+        RelBackend::Sparse
+    }
+}
+
 /// The backend the current policy assigns to a relation of the given
 /// dimension: a [`force_rel_backend`] override wins, then
-/// `ECLECTIC_REL_BACKEND`, then the automatic crossover at
-/// [`REL_DENSE_MAX_DIM`].
+/// `ECLECTIC_REL_BACKEND`, then the automatic tiering at
+/// [`REL_DENSE_MAX_DIM`] and the compressed floor
+/// (`ECLECTIC_REL_COMPRESSED_MIN_DIM`).
 #[must_use]
 pub fn rel_backend_for(dim: usize) -> RelBackend {
     match OVERRIDE.load(Ordering::SeqCst) {
         0 => {}
         1 => return RelBackend::Dense,
         2 => return RelBackend::Sparse,
-        k => {
-            return if dim <= k - 3 {
-                RelBackend::Dense
-            } else {
-                RelBackend::Sparse
-            }
-        }
+        3 => return RelBackend::Compressed,
+        k => return auto_backend(dim, k - 4),
     }
     match env_rel_backend() {
         BackendSpec::Dense => RelBackend::Dense,
         BackendSpec::Sparse => RelBackend::Sparse,
+        BackendSpec::Compressed => RelBackend::Compressed,
         BackendSpec::Unset | BackendSpec::Auto | BackendSpec::Invalid => {
-            if dim <= REL_DENSE_MAX_DIM {
-                RelBackend::Dense
-            } else {
-                RelBackend::Sparse
-            }
+            auto_backend(dim, REL_DENSE_MAX_DIM)
         }
     }
 }
@@ -138,6 +159,8 @@ pub enum Rel {
     Dense(BitMatrix),
     /// Sparse sorted-adjacency storage.
     Sparse(SparseRel),
+    /// Compressed chunk-container storage.
+    Compressed(CompressedRel),
 }
 
 impl Default for Rel {
@@ -179,6 +202,8 @@ pub enum RowIter<'a> {
     Dense(DenseRowIter<'a>),
     /// A sparse adjacency-list scan.
     Sparse(std::slice::Iter<'a, u32>),
+    /// A compressed chunk-container scan.
+    Compressed(RowValues<'a>),
     /// A row beyond the allocated dimension (always empty).
     Empty,
 }
@@ -190,6 +215,7 @@ impl Iterator for RowIter<'_> {
         match self {
             RowIter::Dense(it) => it.next(),
             RowIter::Sparse(it) => it.next().map(|&c| c as usize),
+            RowIter::Compressed(it) => it.next().map(|c| c as usize),
             RowIter::Empty => None,
         }
     }
@@ -208,6 +234,7 @@ impl Rel {
         match backend {
             RelBackend::Dense => Rel::Dense(BitMatrix::new(n)),
             RelBackend::Sparse => Rel::Sparse(SparseRel::new(n)),
+            RelBackend::Compressed => Rel::Compressed(CompressedRel::new(n)),
         }
     }
 
@@ -217,6 +244,7 @@ impl Rel {
         match rel_backend_for(n) {
             RelBackend::Dense => Rel::Dense(BitMatrix::identity(n)),
             RelBackend::Sparse => Rel::Sparse(SparseRel::identity(n)),
+            RelBackend::Compressed => Rel::Compressed(CompressedRel::identity(n)),
         }
     }
 
@@ -226,6 +254,7 @@ impl Rel {
         match self {
             Rel::Dense(_) => RelBackend::Dense,
             Rel::Sparse(_) => RelBackend::Sparse,
+            Rel::Compressed(_) => RelBackend::Compressed,
         }
     }
 
@@ -235,17 +264,21 @@ impl Rel {
         match self {
             Rel::Dense(m) => m.dim(),
             Rel::Sparse(m) => m.dim(),
+            Rel::Compressed(m) => m.dim(),
         }
     }
 
-    /// The backend storage units currently allocated: `u64` words for the
-    /// dense backend, adjacency entries for the sparse one — the same
-    /// units [`Budget::check_rel`] accounts.
+    /// Estimated bytes of backend storage currently allocated: 8 per
+    /// dense `u64` word, 4 per sparse adjacency entry, and the
+    /// container-formula estimate for the compressed backend — the same
+    /// byte units [`Budget::check_rel`] accounts, comparable across
+    /// backends.
     #[must_use]
-    pub fn mem_units(&self) -> usize {
+    pub fn mem_bytes(&self) -> usize {
         match self {
-            Rel::Dense(m) => m.word_count(),
-            Rel::Sparse(m) => m.entry_count(),
+            Rel::Dense(m) => m.word_count() * 8,
+            Rel::Sparse(m) => m.entry_count() * 4,
+            Rel::Compressed(m) => m.byte_size(),
         }
     }
 
@@ -258,6 +291,7 @@ impl Rel {
         match self {
             Rel::Dense(m) => m.get(r, c),
             Rel::Sparse(m) => m.get(r, c),
+            Rel::Compressed(m) => m.get(r, c),
         }
     }
 
@@ -269,6 +303,7 @@ impl Rel {
         match self {
             Rel::Dense(m) => m.set(r, c),
             Rel::Sparse(m) => m.set(r, c),
+            Rel::Compressed(m) => m.set(r, c),
         }
     }
 
@@ -280,6 +315,7 @@ impl Rel {
         match self {
             Rel::Dense(m) => m.row_mut(r).fill(0),
             Rel::Sparse(m) => m.clear_row(r),
+            Rel::Compressed(m) => m.clear_row(r),
         }
     }
 
@@ -289,6 +325,7 @@ impl Rel {
         match self {
             Rel::Dense(m) => m.count_ones(),
             Rel::Sparse(m) => m.count_ones(),
+            Rel::Compressed(m) => m.count_ones(),
         }
     }
 
@@ -298,6 +335,7 @@ impl Rel {
         match self {
             Rel::Dense(m) => m.is_zero(),
             Rel::Sparse(m) => m.is_zero(),
+            Rel::Compressed(m) => m.is_zero(),
         }
     }
 
@@ -324,6 +362,7 @@ impl Rel {
                 word: 0,
             }),
             Rel::Sparse(m) => RowIter::Sparse(m.row(r).iter()),
+            Rel::Compressed(m) => RowIter::Compressed(m.row(r).iter()),
         }
     }
 
@@ -351,32 +390,24 @@ impl Rel {
     #[must_use]
     pub fn coerced(&self, d: usize, backend: RelBackend) -> Rel {
         assert!(d >= self.dim(), "Rel cannot shrink");
-        match (self, backend) {
-            (Rel::Dense(m), RelBackend::Dense) => Rel::Dense(if m.dim() == d {
-                m.clone()
-            } else {
-                m.resized(d)
-            }),
-            (Rel::Sparse(m), RelBackend::Sparse) => Rel::Sparse(if m.dim() == d {
-                m.clone()
-            } else {
-                m.resized(d)
-            }),
-            (Rel::Dense(m), RelBackend::Sparse) => {
-                let mut out = SparseRel::new(d);
-                for (r, c) in m.iter() {
-                    out.set(r, c);
+        if self.backend() == backend {
+            // Same backend: clone or grow in place.
+            return match self {
+                Rel::Dense(m) => Rel::Dense(if m.dim() == d { m.clone() } else { m.resized(d) }),
+                Rel::Sparse(m) => Rel::Sparse(if m.dim() == d { m.clone() } else { m.resized(d) }),
+                Rel::Compressed(m) => {
+                    Rel::Compressed(if m.dim() == d { m.clone() } else { m.resized(d) })
                 }
-                Rel::Sparse(out)
-            }
-            (Rel::Sparse(m), RelBackend::Dense) => {
-                let mut out = BitMatrix::new(d);
-                for (r, c) in m.iter() {
-                    out.set(r, c);
-                }
-                Rel::Dense(out)
-            }
+            };
         }
+        // Cross-backend conversion replays the pair stream; both sides
+        // uphold the ascending iteration-order contract, so the sorted
+        // inserts stay cheap (appends at the row tail).
+        let mut out = Rel::with_backend(d, backend);
+        for (r, c) in self.iter() {
+            out.set(r, c);
+        }
+        out
     }
 
     /// Union at the joined dimension, on the policy backend for it.
@@ -389,6 +420,7 @@ impl Rel {
         match (&mut out, &rhs) {
             (Rel::Dense(a), Rel::Dense(b)) => a.or_assign(b),
             (Rel::Sparse(a), Rel::Sparse(b)) => a.or_assign(b),
+            (Rel::Compressed(a), Rel::Compressed(b)) => a.or_assign(b),
             _ => unreachable!("operands coerced to one backend"),
         }
         out
@@ -404,6 +436,7 @@ impl Rel {
         match (&mut out, &rhs) {
             (Rel::Dense(a), Rel::Dense(b)) => a.and_assign(b),
             (Rel::Sparse(a), Rel::Sparse(b)) => a.and_assign(b),
+            (Rel::Compressed(a), Rel::Compressed(b)) => a.and_assign(b),
             _ => unreachable!("operands coerced to one backend"),
         }
         out
@@ -434,6 +467,9 @@ impl Rel {
             (Rel::Sparse(a), Rel::Sparse(b)) => {
                 Ok(Rel::Sparse(a.compose_governed(b, budget, threads)?))
             }
+            (Rel::Compressed(a), Rel::Compressed(b)) => {
+                Ok(Rel::Compressed(a.compose_governed(b, budget, threads)?))
+            }
             _ => unreachable!("operands coerced to one backend"),
         }
     }
@@ -452,6 +488,7 @@ impl Rel {
         match self {
             Rel::Dense(m) => Ok(Rel::Dense(m.closure_governed(budget, threads)?)),
             Rel::Sparse(m) => Ok(Rel::Sparse(m.closure_governed(budget, threads)?)),
+            Rel::Compressed(m) => Ok(Rel::Compressed(m.closure_governed(budget, threads)?)),
         }
     }
 
@@ -473,6 +510,7 @@ impl Rel {
                 m.row(r).iter().map(|w| w.count_ones()).sum::<u32>() <= 1
             }),
             Rel::Sparse(m) => (0..m.dim()).all(|r| m.row(r).len() <= 1),
+            Rel::Compressed(m) => (0..m.dim()).all(|r| m.row(r).len() <= 1),
         }
     }
 
@@ -483,13 +521,14 @@ impl Rel {
         match self {
             Rel::Dense(m) => (0..n).all(|a| a < m.dim() && m.row(a).iter().any(|&w| w != 0)),
             Rel::Sparse(m) => (0..n).all(|a| a < m.dim() && !m.row(a).is_empty()),
+            Rel::Compressed(m) => (0..n).all(|a| a < m.dim() && !m.row(a).is_empty()),
         }
     }
 
     /// One `[p]`-modality sweep: `out[i]` is true iff every target of `i`
     /// lies in `inner` (vacuously true for target-free rows); targets
     /// `≥ inner.len()` count as unsatisfied. Word-parallel on the dense
-    /// backend, an adjacency scan on the sparse one.
+    /// backend, an adjacency/container scan on the other two.
     #[must_use]
     pub fn box_states(&self, inner: &[bool]) -> Vec<bool> {
         match self {
@@ -504,7 +543,7 @@ impl Rel {
                     })
                     .collect()
             }
-            Rel::Sparse(_) => (0..inner.len())
+            Rel::Sparse(_) | Rel::Compressed(_) => (0..inner.len())
                 .map(|i| {
                     self.row_iter_or_empty(i)
                         .all(|j| j < inner.len() && inner[j])
@@ -529,7 +568,7 @@ impl Rel {
                     })
                     .collect()
             }
-            Rel::Sparse(_) => (0..inner.len())
+            Rel::Sparse(_) | Rel::Compressed(_) => (0..inner.len())
                 .map(|i| {
                     self.row_iter_or_empty(i)
                         .any(|j| j < inner.len() && inner[j])
@@ -590,9 +629,21 @@ mod tests {
             assert_eq!(rel_backend_for(1 << 20), RelBackend::Dense);
         }
         {
+            let _g = force_rel_backend(RelChoice::Compressed);
+            assert_eq!(rel_backend_for(1), RelBackend::Compressed);
+            assert_eq!(Rel::new(8).backend(), RelBackend::Compressed);
+        }
+        {
             let _g = force_rel_backend(RelChoice::AutoAt(100));
             assert_eq!(rel_backend_for(100), RelBackend::Dense);
             assert_eq!(rel_backend_for(101), RelBackend::Sparse);
+            // The compressed floor still applies above the dense band
+            // (default one full chunk unless the env overrides it).
+            let floor = crate::envcfg::rel_compressed_min_dim();
+            if floor > 101 {
+                assert_eq!(rel_backend_for(floor - 1), RelBackend::Sparse);
+            }
+            assert_eq!(rel_backend_for(floor.max(101)), RelBackend::Compressed);
         }
     }
 
@@ -633,13 +684,16 @@ mod tests {
         let _g = force_rel_backend(RelChoice::AutoAt(64));
         let mut d = Rel::with_backend(40, RelBackend::Dense);
         let mut s = Rel::with_backend(300, RelBackend::Sparse);
+        let mut c = Rel::with_backend(90_000, RelBackend::Compressed);
         for (a, b) in [(0usize, 5usize), (17, 3), (39, 39)] {
             d.set(a, b);
             s.set(a, b);
+            c.set(a, b);
         }
         assert!(d.set_eq(&s) && s.set_eq(&d));
+        assert!(d.set_eq(&c) && c.set_eq(&d) && s.set_eq(&c));
         s.set(40, 0);
-        assert!(!d.set_eq(&s) && !s.set_eq(&d));
+        assert!(!d.set_eq(&s) && !s.set_eq(&d) && !c.set_eq(&s));
     }
 
     #[test]
@@ -647,20 +701,60 @@ mod tests {
         let pairs = [(0usize, 1usize), (0, 2), (1, 2), (3, 0), (5, 5)];
         let mut d = Rel::with_backend(6, RelBackend::Dense);
         let mut s = Rel::with_backend(6, RelBackend::Sparse);
+        let mut c = Rel::with_backend(6, RelBackend::Compressed);
         for &(a, b) in &pairs {
             d.set(a, b);
             s.set(a, b);
+            c.set(a, b);
         }
         let inner = vec![false, true, true, false, true, false];
         assert_eq!(d.box_states(&inner), s.box_states(&inner));
+        assert_eq!(d.box_states(&inner), c.box_states(&inner));
         assert_eq!(d.diamond_states(&inner), s.diamond_states(&inner));
+        assert_eq!(d.diamond_states(&inner), c.diamond_states(&inner));
         assert_eq!(d.is_functional(), s.is_functional());
+        assert_eq!(d.is_functional(), c.is_functional());
         for n in 0..7 {
             assert_eq!(d.is_total(n), s.is_total(n));
+            assert_eq!(d.is_total(n), c.is_total(n));
         }
+        let closed: Vec<_> = d.closure_reflexive_transitive(1).iter().collect();
         assert_eq!(
-            d.closure_reflexive_transitive(1).iter().collect::<Vec<_>>(),
+            closed,
             s.closure_reflexive_transitive(1).iter().collect::<Vec<_>>()
         );
+        assert_eq!(
+            closed,
+            c.closure_reflexive_transitive(1).iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn compressed_coercions_and_byte_accounting() {
+        let _g = force_rel_backend(RelChoice::Compressed);
+        let mut r = Rel::new(70_000);
+        assert_eq!(r.backend(), RelBackend::Compressed);
+        for c in 0..640usize {
+            r.set(7, 65_200 + c);
+        }
+        // One run straddling the chunk boundary → two containers. Point
+        // inserts keep array encodings (336 + 304 values)...
+        assert_eq!(r.count_ones(), 640);
+        assert_eq!(r.mem_bytes(), (8 + 2 * 336) + (8 + 2 * 304));
+        // ...while bulk-built rows normalize: composing with the identity
+        // rebuilds the row as one 4-byte run per chunk.
+        let norm = r
+            .compose_governed(&Rel::identity(70_000), &Budget::unlimited(), 1)
+            .unwrap();
+        assert!(norm.set_eq(&r));
+        assert_eq!(norm.mem_bytes(), 2 * (8 + 4));
+        // Round-trip through the sparse backend preserves the pair set
+        // (a dense coercion at this dim would allocate ~600 MB).
+        let s = r.coerced(70_000, RelBackend::Sparse);
+        assert!(s.set_eq(&r));
+        assert_eq!(s.mem_bytes(), 4 * 640);
+        let back = s.coerced(70_000, RelBackend::Compressed);
+        assert!(back.set_eq(&r));
+        assert_eq!(back.mem_bytes(), r.mem_bytes());
     }
 }

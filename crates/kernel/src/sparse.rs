@@ -31,9 +31,11 @@
 //! kernel; each output row depends only on the inputs, so results are
 //! bit-identical at every worker count. The `*_governed` variants poll a
 //! [`Budget`] every [`ROW_POLL_STRIDE`] rows through
-//! [`Budget::check_rel`], passing the total adjacency entries the
-//! operation has materialized so far, so a runaway closure on a huge
-//! universe trips `RelMemory` instead of OOMing.
+//! [`Budget::check_rel`], passing the estimated *bytes* (4 per adjacency
+//! entry) the operation has materialized so far — the same currency every
+//! backend reports, so `RelMemory` means one thing regardless of
+//! representation — and a runaway closure on a huge universe trips
+//! instead of OOMing.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -47,6 +49,11 @@ use crate::envcfg::{effective_workers, par_min_dim};
 pub struct SparseRel {
     n: usize,
     rows: Vec<Vec<u32>>,
+    /// Cached total of `rows[i].len()` — kept current by every mutator so
+    /// [`entry_count`](Self::entry_count) is O(1). The budget polls inside
+    /// `ROW_POLL_STRIDE` loops call it every stride; re-summing a
+    /// million-row matrix there would turn each poll into a full scan.
+    entries: usize,
 }
 
 /// Merges two sorted, deduplicated slices into their sorted union.
@@ -108,6 +115,7 @@ impl SparseRel {
         SparseRel {
             n,
             rows: vec![Vec::new(); n],
+            entries: 0,
         }
     }
 
@@ -118,6 +126,7 @@ impl SparseRel {
         for (i, row) in m.rows.iter_mut().enumerate() {
             row.push(i as u32);
         }
+        m.entries = n;
         m
     }
 
@@ -127,12 +136,12 @@ impl SparseRel {
         self.n
     }
 
-    /// Total adjacency entries allocated — the storage units the
-    /// relation-memory budget axis accounts for this backend (one per
-    /// pair).
+    /// Total adjacency entries allocated (one per pair). O(1): the count
+    /// is cached and kept current by every mutator, so the budget polls
+    /// that fire every [`ROW_POLL_STRIDE`] rows stay constant-time.
     #[must_use]
     pub fn entry_count(&self) -> usize {
-        self.rows.iter().map(Vec::len).sum()
+        self.entries
     }
 
     /// Whether bit `(r, c)` is set.
@@ -156,6 +165,7 @@ impl SparseRel {
             Ok(_) => false,
             Err(pos) => {
                 row.insert(pos, c as u32);
+                self.entries += 1;
                 true
             }
         }
@@ -177,6 +187,7 @@ impl SparseRel {
     /// Panics if `r` is out of range.
     pub fn clear_row(&mut self, r: usize) {
         assert!(r < self.n);
+        self.entries -= self.rows[r].len();
         self.rows[r].clear();
     }
 
@@ -189,7 +200,7 @@ impl SparseRel {
     /// Whether no bit is set.
     #[must_use]
     pub fn is_zero(&self) -> bool {
-        self.rows.iter().all(Vec::is_empty)
+        self.entries == 0
     }
 
     /// Sorted-merge union of `other` into `self`, row by row.
@@ -202,11 +213,13 @@ impl SparseRel {
             if b.is_empty() {
                 continue;
             }
+            self.entries -= a.len();
             if a.is_empty() {
                 *a = b.clone();
             } else {
                 *a = merge_union(a, b);
             }
+            self.entries += a.len();
         }
     }
 
@@ -220,11 +233,13 @@ impl SparseRel {
             if a.is_empty() {
                 continue;
             }
+            self.entries -= a.len();
             if b.is_empty() {
                 a.clear();
             } else {
                 *a = merge_intersect(a, b);
             }
+            self.entries += a.len();
         }
     }
 
@@ -254,6 +269,7 @@ impl SparseRel {
         assert!(d >= self.n, "SparseRel cannot shrink");
         let mut out = SparseRel::new(d);
         out.rows[..self.n].clone_from_slice(&self.rows);
+        out.entries = self.entries;
         out
     }
 
@@ -284,7 +300,8 @@ impl SparseRel {
 
     /// As [`compose_threads`](Self::compose_threads), polling `budget`
     /// every [`ROW_POLL_STRIDE`] rows via [`Budget::check_rel`] with the
-    /// total entries materialized so far across all workers.
+    /// estimated bytes (4 per entry) materialized so far across all
+    /// workers.
     ///
     /// # Errors
     /// Returns the tripped axis; partial output is discarded.
@@ -308,7 +325,7 @@ impl SparseRel {
             let mut buf: Vec<u32> = Vec::new();
             for (i, orow) in rows.iter_mut().enumerate() {
                 if i % ROW_POLL_STRIDE == 0 {
-                    if let Some(reason) = budget.check_rel(entries.load(Ordering::Relaxed)) {
+                    if let Some(reason) = budget.check_rel(4 * entries.load(Ordering::Relaxed)) {
                         return Err(reason);
                     }
                 }
@@ -344,6 +361,7 @@ impl SparseRel {
                 o?;
             }
         }
+        out.entries = entries.load(Ordering::Relaxed);
         Ok(out)
     }
 
@@ -360,7 +378,8 @@ impl SparseRel {
 
     /// As [`closure_reflexive_transitive`](Self::closure_reflexive_transitive),
     /// polling `budget` every [`ROW_POLL_STRIDE`] source rows via
-    /// [`Budget::check_rel`] with the total entries materialized so far.
+    /// [`Budget::check_rel`] with the estimated bytes (4 per entry)
+    /// materialized so far.
     ///
     /// # Errors
     /// Returns the tripped axis; the partial closure is discarded.
@@ -381,7 +400,7 @@ impl SparseRel {
             let mut in_closed = vec![false; n];
             for (i, seen) in rows.iter_mut().enumerate() {
                 if i % ROW_POLL_STRIDE == 0 {
-                    if let Some(reason) = budget.check_rel(entries.load(Ordering::Relaxed)) {
+                    if let Some(reason) = budget.check_rel(4 * entries.load(Ordering::Relaxed)) {
                         return Err(reason);
                     }
                 }
@@ -432,6 +451,7 @@ impl SparseRel {
                 o?;
             }
         }
+        out.entries = entries.load(Ordering::Relaxed);
         Ok(out)
     }
 }
@@ -532,7 +552,8 @@ mod tests {
 
     #[test]
     fn capped_sparse_closure_trips_instead_of_materializing() {
-        // A long chain: the closure holds ~n²/2 entries, far over the cap.
+        // A long chain: the closure holds ~n²/2 entries (~8.4 MB at 4
+        // bytes each), far over the 10 kB cap.
         let n = 2048;
         let mut m = SparseRel::new(n);
         for i in 0..n - 1 {

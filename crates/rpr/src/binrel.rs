@@ -25,7 +25,7 @@
 
 use std::collections::BTreeSet;
 
-use eclectic_kernel::{Budget, BudgetExceeded, Rel, RelBackend};
+use eclectic_kernel::{Budget, BudgetExceeded, LazyClosure, Rel, RelBackend};
 
 /// A binary relation over state indices `0..n`.
 #[derive(Clone, Default)]
@@ -254,17 +254,59 @@ impl BinRel {
         budget: &Budget,
         threads: usize,
     ) -> Result<BinRel, BudgetExceeded> {
-        let d = self.rel.dim().max(n);
-        let mut closed = if self.rel.dim() == d {
-            self.rel.closure_governed(budget, threads)?
+        // Materialization goes through the demand-driven closure layer;
+        // with nothing pre-demanded it takes the backend's parallel
+        // fast path, so only sources < n start a traversal and the
+        // result is bit-identical at every worker count.
+        let closed = if self.rel.dim() >= n {
+            LazyClosure::new(&self.rel).materialize_governed(n, budget, threads)?
         } else {
-            self.rel.resized(d).closure_governed(budget, threads)?
+            let grown = self.rel.resized(n);
+            LazyClosure::new(&grown).materialize_governed(n, budget, threads)?
         };
-        // Only sources < n start a traversal; clear the rows beyond.
-        for r in n..d {
-            closed.clear_row(r);
-        }
         Ok(BinRel { rel: closed })
+    }
+
+    /// `[self*]`-modality sweep without materializing the closure:
+    /// equivalent to `self.star_governed(inner.len(), ..)` followed by
+    /// [`box_states`](Self::box_states), but each source's traversal
+    /// stops at the first violating reachable state and sweep-wide
+    /// verdict memos keep the whole pass near-linear — the closure
+    /// relation itself is never built.
+    ///
+    /// # Errors
+    /// Returns the tripped axis; partial verdicts are discarded.
+    pub fn box_star_states_governed(
+        &self,
+        inner: &[bool],
+        budget: &Budget,
+    ) -> Result<Vec<bool>, BudgetExceeded> {
+        if self.rel.dim() >= inner.len() {
+            LazyClosure::new(&self.rel).box_star_states(inner, budget)
+        } else {
+            let grown = self.rel.resized(inner.len());
+            LazyClosure::new(&grown).box_star_states(inner, budget)
+        }
+    }
+
+    /// `⟨self*⟩`-modality sweep without materializing the closure:
+    /// equivalent to `self.star_governed(inner.len(), ..)` followed by
+    /// [`diamond_states`](Self::diamond_states); dual memoization to
+    /// [`box_star_states_governed`](Self::box_star_states_governed).
+    ///
+    /// # Errors
+    /// Returns the tripped axis; partial verdicts are discarded.
+    pub fn diamond_star_states_governed(
+        &self,
+        inner: &[bool],
+        budget: &Budget,
+    ) -> Result<Vec<bool>, BudgetExceeded> {
+        if self.rel.dim() >= inner.len() {
+            LazyClosure::new(&self.rel).diamond_star_states(inner, budget)
+        } else {
+            let grown = self.rel.resized(inner.len());
+            LazyClosure::new(&grown).diamond_star_states(inner, budget)
+        }
     }
 
     /// Whether the relation is a partial function (each source has at most

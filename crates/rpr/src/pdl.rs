@@ -249,8 +249,20 @@ pub fn check_batch_budget_with(
     for phi in formulas {
         collect_programs(phi, &mut seen, &mut programs);
     }
+    // Formula-directed laziness: a top-level `[q*]`/`⟨q*⟩` modality never
+    // needs the closure relation itself — phase 2 answers it with a
+    // demand-driven sweep over `m(q)`. Substitute `q*` with `q` here so
+    // phase 1 denotes only the base relation (first-occurrence order and
+    // the serial unit count stay deterministic; `While` and nested stars
+    // still materialize inside `meaning_cached_governed`).
+    let mut seen_subst: FxHashSet<&Stmt> = FxHashSet::default();
     let todo: Vec<&Stmt> = programs
         .into_iter()
+        .map(|p| match p {
+            Stmt::Star(q) if !cache.contains(p, env) => &**q,
+            other => other,
+        })
+        .filter(|p| seen_subst.insert(*p))
         .filter(|p| !cache.contains(p, env))
         .collect();
     let denotations = todo.len();
@@ -334,7 +346,18 @@ pub fn check_batch_budget_with(
             exhausted = Some(budget.exhaustion("pdl", reason, denotations + j));
             break;
         }
-        let sat = satisfying_states_cached(u, phi, env, cache)?;
+        // Lazy star sweeps inside poll the timing and relation-memory
+        // axes; the node cap stays enforced at the serial unit boundary
+        // above, and the loop is serial, so a trip surfaces after the
+        // same formula at every thread count.
+        let sat = match satisfying_states_governed(u, phi, env, cache, &timing) {
+            Ok(s) => s,
+            Err(RprError::Budget { reason }) => {
+                exhausted = Some(budget.exhaustion("pdl", reason, denotations + j));
+                break;
+            }
+            Err(e) => return Err(e),
+        };
         valid.push(sat.iter().all(|b| *b));
         satisfying.push(sat);
     }
@@ -377,6 +400,26 @@ pub fn satisfying_states_cached(
     env: &Valuation,
     cache: &mut DenoteCache,
 ) -> Result<Vec<bool>> {
+    satisfying_states_governed(u, phi, env, cache, &Budget::unlimited())
+}
+
+/// As [`satisfying_states_cached`], polling `budget` inside the lazy
+/// `[q*]`/`⟨q*⟩` sweeps. A star modality whose closure is *not* already
+/// cached is answered by a demand-driven sweep over the cached `m(q)`
+/// (see [`BinRel::box_star_states_governed`]) — the closure relation is
+/// never materialized and never enters the cache; a cached closure (or
+/// any non-star program) is swept directly.
+///
+/// # Errors
+/// See [`satisfying_states`], plus [`RprError::Budget`] when the budget
+/// trips inside a lazy sweep.
+pub fn satisfying_states_governed(
+    u: &FiniteUniverse,
+    phi: &Pdl,
+    env: &Valuation,
+    cache: &mut DenoteCache,
+    budget: &Budget,
+) -> Result<Vec<bool>> {
     let n = u.len();
     Ok(match phi {
         Pdl::Atom(f) => {
@@ -386,34 +429,46 @@ pub fn satisfying_states_cached(
             }
             out
         }
-        Pdl::Not(p) => satisfying_states_cached(u, p, env, cache)?
+        Pdl::Not(p) => satisfying_states_governed(u, p, env, cache, budget)?
             .into_iter()
             .map(|b| !b)
             .collect(),
         Pdl::And(p, q) => zip_with(
-            satisfying_states_cached(u, p, env, cache)?,
-            satisfying_states_cached(u, q, env, cache)?,
+            satisfying_states_governed(u, p, env, cache, budget)?,
+            satisfying_states_governed(u, q, env, cache, budget)?,
             |a, b| a && b,
         ),
         Pdl::Or(p, q) => zip_with(
-            satisfying_states_cached(u, p, env, cache)?,
-            satisfying_states_cached(u, q, env, cache)?,
+            satisfying_states_governed(u, p, env, cache, budget)?,
+            satisfying_states_governed(u, q, env, cache, budget)?,
             |a, b| a || b,
         ),
         Pdl::Implies(p, q) => zip_with(
-            satisfying_states_cached(u, p, env, cache)?,
-            satisfying_states_cached(u, q, env, cache)?,
+            satisfying_states_governed(u, p, env, cache, budget)?,
+            satisfying_states_governed(u, q, env, cache, budget)?,
             |a, b| !a || b,
         ),
         Pdl::Box(prog, p) => {
-            let m = meaning_cached(u, prog, env, cache)?;
-            let inner = satisfying_states_cached(u, p, env, cache)?;
-            m.box_states(&inner)
+            let inner = satisfying_states_governed(u, p, env, cache, budget)?;
+            match prog {
+                Stmt::Star(q) if !cache.contains(prog, env) => {
+                    let mq = meaning_cached(u, q, env, cache)?;
+                    mq.box_star_states_governed(&inner, budget)
+                        .map_err(|reason| RprError::Budget { reason })?
+                }
+                _ => meaning_cached(u, prog, env, cache)?.box_states(&inner),
+            }
         }
         Pdl::Diamond(prog, p) => {
-            let m = meaning_cached(u, prog, env, cache)?;
-            let inner = satisfying_states_cached(u, p, env, cache)?;
-            m.diamond_states(&inner)
+            let inner = satisfying_states_governed(u, p, env, cache, budget)?;
+            match prog {
+                Stmt::Star(q) if !cache.contains(prog, env) => {
+                    let mq = meaning_cached(u, q, env, cache)?;
+                    mq.diamond_star_states_governed(&inner, budget)
+                        .map_err(|reason| RprError::Budget { reason })?
+                }
+                _ => meaning_cached(u, prog, env, cache)?.diamond_states(&inner),
+            }
         }
     })
 }

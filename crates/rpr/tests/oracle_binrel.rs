@@ -1,12 +1,15 @@
-//! Differential oracle: the dual-backend [`BinRel`] against the
+//! Differential oracle: the triple-backend [`BinRel`] against the
 //! `BTreeSet<(usize, usize)>` implementation it replaced, kept here as a
 //! test-only reference. Every public observation — `pairs()` (and hence
 //! iteration order), `image()`, `contains`/`len`, `union`/`meet`,
 //! `compose`, `star`, `diag_complement`, `is_functional`/`is_total`, the
 //! modal sweeps — must be bit-identical on randomized relations of every
 //! size from empty to full, on the dense backend, on the sparse backend,
-//! and under the automatic crossover (a *three-way* differential:
-//! reference vs `BitMatrix` vs `SparseRel`).
+//! on the compressed container backend, and under the automatic
+//! crossover (a *four-way* differential: reference vs `BitMatrix` vs
+//! `SparseRel` vs `CompressedRel`). Large-dimension cases up to 2¹⁷
+//! exercise the compressed backend's 2¹⁶-aligned chunk boundaries
+//! (columns 65535/65536), empty, full, and single-run rows.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -257,13 +260,14 @@ fn assert_observations_light(new: &BinRel, old: &SetRel, n: usize, tag: &str) {
 }
 
 #[test]
-fn three_way_differential_up_to_dim_512() {
+fn four_way_differential_up_to_dim_512() {
     // Low densities keep the BTreeSet reference tractable at dim 512 while
     // still producing non-trivial closures; the same seeded pair streams
     // are replayed against the reference and against `BinRel` under forced
-    // dense, forced sparse, and a mixed automatic crossover (dims at or
-    // below 128 dense, above sparse — so the 256/512 runs exercise the
-    // sparse path and cross-dimension coercions under `auto` too).
+    // dense, forced sparse, forced compressed, and a mixed automatic
+    // crossover (dims at or below 128 dense, above sparse/compressed — so
+    // the 256/512 runs exercise cross-dimension coercions under `auto`
+    // too).
     let mut rng = Lcg(0x0003_e570_f2e1_5eed);
     for n in [96usize, 128, 256, 512] {
         for density_pct in [1usize, 3] {
@@ -285,6 +289,7 @@ fn three_way_differential_up_to_dim_512() {
             for choice in [
                 RelChoice::Dense,
                 RelChoice::Sparse,
+                RelChoice::Compressed,
                 RelChoice::AutoAt(128),
             ] {
                 let _g = force_rel_backend(choice);
@@ -313,7 +318,7 @@ fn forced_backends_match_reference_on_small_randomized_relations() {
     // The full-density small-dimension sweep of
     // `randomized_relations_match_the_reference`, replayed on each forced
     // backend (the unforced test covers whatever the environment picks).
-    for choice in [RelChoice::Dense, RelChoice::Sparse] {
+    for choice in [RelChoice::Dense, RelChoice::Sparse, RelChoice::Compressed] {
         let _g = force_rel_backend(choice);
         let mut rng = Lcg(0x00ec_1ec7_1c00_5eed);
         for n in (1..=64).step_by(7) {
@@ -370,7 +375,117 @@ fn domain_verification_batches_are_backend_invariant() {
             "{name}: dynamic batch must run or record why it was skipped"
         );
         assert_eq!(run(RelChoice::Sparse), dense, "{name}: sparse vs dense");
+        assert_eq!(
+            run(RelChoice::Compressed),
+            dense,
+            "{name}: compressed vs dense"
+        );
         assert_eq!(run(RelChoice::AutoAt(0)), dense, "{name}: auto(0) vs dense");
+    }
+}
+
+#[test]
+fn large_dimension_differential_spans_chunk_boundaries() {
+    // Dimensions past 2¹⁶ exercise the compressed backend's chunk split:
+    // pairs at columns 65535/65536 land in adjacent containers, a long
+    // contiguous stretch normalizes to a run container, a full row spans
+    // every container of a chunk row, and random pairs scatter across
+    // chunks. The dense backend is excluded (a 2¹⁷ bit matrix is ~2 GB);
+    // sparse, compressed, and the automatic policy (which routes these
+    // dims to compressed) must all match the BTreeSet reference.
+    let mut rng = Lcg(0x000c_0a57_a11c_e5ed);
+    for n in [(1usize << 16) + 96, 1usize << 17] {
+        let boundary_rows = [0usize, 7, 65_535, 65_536, n - 1];
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        // Chunk-boundary pairs on both sides of every 2¹⁶ split.
+        for &r in &boundary_rows {
+            pairs.extend([(r, 65_535), (r, 65_536), (r, 0), (r, n - 1)]);
+        }
+        // A single-run row: one contiguous stretch crossing the boundary.
+        pairs.extend((65_400..65_700).map(|c| (11usize, c)));
+        // Random scatter across all chunks (rows 0..n, cols 0..n).
+        pairs.extend((0..2048).map(|_| (rng.below(n), rng.below(n))));
+        // A short ring among the boundary rows gives `star` real work.
+        pairs.extend([
+            (65_535, 65_536),
+            (65_536, 7),
+            (7, 65_535),
+            (n - 1, n - 1),
+        ]);
+        let mut old = SetRel::default();
+        for &(a, b) in &pairs {
+            old.insert(a, b);
+        }
+        let star_bound = 65_600; // sources below the bound, targets beyond
+        let so = old.star(star_bound);
+        let co = old.compose(&old);
+        for choice in [
+            RelChoice::Sparse,
+            RelChoice::Compressed,
+            RelChoice::AutoAt(512),
+        ] {
+            let _g = force_rel_backend(choice);
+            let tag = format!("n={n} {choice:?}");
+            let mut new = BinRel::with_dim(n);
+            for &(a, b) in &pairs {
+                new.insert(a, b);
+            }
+            assert_observations_light(&new, &old, n, &tag);
+            assert_observations_light(&new.compose(&new), &co, n, &tag);
+            assert_observations_light(&new.star(star_bound), &so, n, &tag);
+            // Boundary-sensitive point probes on top of the sampled rows.
+            for &r in &boundary_rows {
+                assert_eq!(new.image(r), old.image(r), "{tag}: image({r})");
+                assert_eq!(
+                    new.contains(r, 65_535),
+                    old.contains(r, 65_535),
+                    "{tag}: ({r}, 65535)"
+                );
+                assert_eq!(
+                    new.contains(r, 65_536),
+                    old.contains(r, 65_536),
+                    "{tag}: ({r}, 65536)"
+                );
+            }
+            assert_eq!(new.image(11), old.image(11), "{tag}: run row");
+        }
+    }
+}
+
+#[test]
+fn full_and_empty_rows_match_at_chunk_scale() {
+    // One row completely full (an entire chunk row of full containers),
+    // its neighbors completely empty — the encodings must normalize
+    // without disturbing any observation, and modal sweeps over the
+    // compressed backend must match sparse.
+    let n = (1usize << 16) + 512;
+    let mut old = SetRel::default();
+    for c in 0..n {
+        old.insert(3, c);
+    }
+    old.insert(5, 65_535);
+    old.insert(5, 65_536);
+    let so = old.star(8);
+    for choice in [RelChoice::Sparse, RelChoice::Compressed] {
+        let _g = force_rel_backend(choice);
+        let tag = format!("full-row {choice:?}");
+        let mut new = BinRel::with_dim(n);
+        for c in 0..n {
+            new.insert(3, c);
+        }
+        new.insert(5, 65_535);
+        new.insert(5, 65_536);
+        assert_observations_light(&new, &old, n, &tag);
+        assert_observations_light(&new.star(8), &so, n, &tag);
+        let inner: Vec<bool> = (0..n).map(|i| i % 3 != 0).collect();
+        let box_ref: Vec<bool> = (0..n)
+            .map(|i| old.image(i).into_iter().all(|j| inner[j]))
+            .collect();
+        let dia_ref: Vec<bool> = (0..n)
+            .map(|i| old.image(i).into_iter().any(|j| inner[j]))
+            .collect();
+        assert_eq!(new.box_states(&inner), box_ref, "{tag}: box");
+        assert_eq!(new.diamond_states(&inner), dia_ref, "{tag}: diamond");
     }
 }
 

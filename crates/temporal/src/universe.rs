@@ -173,7 +173,13 @@ impl Universe {
                 mat.set(a, b.index());
             }
         }
-        let closed = mat.closure_reflexive_transitive(eclectic_kernel::env_threads());
+        let closed = eclectic_kernel::LazyClosure::new(&mat)
+            .materialize_governed(
+                n,
+                &eclectic_kernel::Budget::unlimited(),
+                eclectic_kernel::env_threads(),
+            )
+            .unwrap_or_else(|_| unreachable!("unlimited budget never trips"));
         self.succ = (0..n)
             .map(|a| closed.iter_row(a).map(StateIdx).collect())
             .collect();

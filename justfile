@@ -14,6 +14,7 @@ verify:
     cargo run -p eclectic-bench --bin bench_verify_parallel --release
     timeout 900 cargo run -p eclectic-bench --bin bench_pdl_parallel --release
     timeout 900 cargo run -p eclectic-bench --bin bench_rel_crossover --release
+    timeout 900 env ECLECTIC_MAX_REL_ENTRIES=67108864 cargo run -p eclectic-bench --bin bench_rel_crossover --release -- large
     timeout 900 cargo run -p eclectic-bench --bin bench_sched --release
 
 # Lints alone, warnings denied — the clippy slice of `just verify`.
@@ -42,11 +43,18 @@ bench-verify:
 bench-pdl:
     timeout 900 cargo run -p eclectic-bench --bin bench_pdl_parallel --release
 
-# Dense-vs-sparse-vs-auto relation-kernel crossover on star-closure
-# workloads plus the 2^17-state sparse capstone (bit-identity asserted
+# Dense-vs-sparse-vs-compressed-vs-auto relation-kernel crossover on
+# star-closure workloads plus the 2^17-state generated-domain capstone and
+# the 2^20-state compressed-closure capstone (bit-identity asserted
 # in-bench); writes BENCH_rel.json.
 bench-rel:
     timeout 900 cargo run -p eclectic-bench --bin bench_rel_crossover --release
+
+# Million-state compressed-closure capstone alone, under an explicit
+# relation-memory byte budget (64 MiB) that the uncompressed sparse
+# backend must trip — the focused `perf` slice of bench-rel.
+bench-rel-large:
+    timeout 900 env ECLECTIC_MAX_REL_ENTRIES=67108864 cargo run -p eclectic-bench --bin bench_rel_crossover --release -- large
 
 # Scoped-thread baseline vs the work-stealing scheduler on the full verify
 # battery at 1/2/4/8 real workers (bit-identity, including node-capped
@@ -54,5 +62,7 @@ bench-rel:
 bench-sched:
     timeout 900 cargo run -p eclectic-bench --bin bench_sched --release
 
-# Every benchmark artifact in one shot: harness + all parallel benches.
-bench-all: harness bench-reach bench-verify bench-pdl bench-rel bench-sched
+# Every benchmark artifact in one shot: harness + all parallel benches,
+# closing with the starved-host warning status recorded in the artifacts.
+bench-all: harness bench-reach bench-verify bench-pdl bench-rel bench-rel-large bench-sched
+    @grep -o '"warning": [^,]*' BENCH_rel.json
