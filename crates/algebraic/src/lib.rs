@@ -63,6 +63,7 @@ pub mod legacy;
 pub mod observe;
 mod parser;
 mod printer;
+pub mod random;
 mod rewrite;
 mod signature;
 mod spec;
@@ -74,6 +75,7 @@ pub use equation::{check_condition_fragment, ConditionalEquation, EquationKind};
 pub use error::{AlgError, Result};
 pub use parser::{parse_equation, parse_equations};
 pub use printer::{condition_str, equation_str, term_str};
+pub use random::random_descriptions;
 #[cfg(feature = "legacy-rewrite")]
 pub use legacy::LegacyRewriter;
 pub use rewrite::{match_id, match_term, RewriteStats, Rewriter};

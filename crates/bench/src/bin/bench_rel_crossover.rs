@@ -49,7 +49,7 @@ const CLUSTER: usize = 8;
 const BLOCK: usize = 64;
 
 /// Default relation-memory budget for the million-state capstone when
-/// `ECLECTIC_MAX_REL_ENTRIES` is unset: 64 MiB. The compressed closure
+/// `ECLECTIC_MAX_REL_BYTES` is unset: 64 MiB. The compressed closure
 /// fits in ~12 MiB; the sparse closure would need ~256 MiB.
 const LARGE_BUDGET_BYTES: usize = 64 << 20;
 
@@ -261,7 +261,7 @@ fn report_large(large: &LargeCapstone) {
 fn main() {
     // `bench_rel_crossover large` runs only the million-state capstone —
     // the `just bench-rel-large` entry point, which pins the byte budget
-    // via `ECLECTIC_MAX_REL_ENTRIES`. The full run (no argument) also
+    // via `ECLECTIC_MAX_REL_BYTES`. The full run (no argument) also
     // includes it and records it in BENCH_rel.json.
     if std::env::args().nth(1).as_deref() == Some("large") {
         let large = large_capstone();

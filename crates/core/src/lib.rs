@@ -39,10 +39,11 @@
 
 pub mod domains;
 mod error;
+pub mod fuzz;
 pub mod methodology;
 mod spec;
 mod verify;
 
 pub use error::{Result, SpecError};
 pub use spec::{CarrierSpec, TriLevelSpec};
-pub use verify::{verify, StageStats, VerificationOutcome, VerifyConfig};
+pub use verify::{verify, verify_with_threads, StageStats, VerificationOutcome, VerifyConfig};

@@ -207,13 +207,28 @@ type VerifyBody = (
 /// Propagates evaluation errors (bounded-verification *failures* are
 /// reported in the outcome, not as errors).
 pub fn verify(spec: &TriLevelSpec, config: &VerifyConfig) -> Result<VerificationOutcome> {
+    verify_with_threads(spec, config, env_threads())
+}
+
+/// As [`verify`], but with an explicit worker count instead of the
+/// `ECLECTIC_THREADS` environment axis — the entry point for harnesses
+/// (differential fuzzing, scheduler benchmarks) that sweep thread counts
+/// within one process without touching the environment.
+///
+/// # Errors
+/// See [`verify`].
+pub fn verify_with_threads(
+    spec: &TriLevelSpec,
+    config: &VerifyConfig,
+    threads: usize,
+) -> Result<VerificationOutcome> {
     spec.check_shape()?;
 
     // One budget, shared by every stage: the deadline and cancellation axes
     // persist across stages, while the node cap governs each stage's own
     // term store.
     let budget = config.budget();
-    let threads = env_threads();
+    let threads = threads.max(1);
 
     // Syntactic correctness under the W-grammar (paper §5.4 step 1).
     let (grammar_ok, grammar_error) = match wgrammar::check_schema(&spec.representation) {

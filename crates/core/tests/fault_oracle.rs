@@ -1,0 +1,25 @@
+//! Validates that the differential harness has teeth: a deliberately
+//! injected relation-kernel fault must surface as a divergence (or an
+//! outright verification failure) on at least one fuzzed domain.
+//!
+//! Kept in its own integration-test binary because the fault flag is
+//! process-global — no other test may share this process.
+
+use eclectic_spec::fuzz::{run_differential, FuzzConfig};
+
+#[test]
+fn injected_sparse_union_fault_is_caught() {
+    let cfg = FuzzConfig::default();
+    let _fault = eclectic_kernel::force_rel_fault();
+    let caught = (0..16u64).any(|seed| {
+        run_differential(seed, &cfg)
+            .map(|r| !r.divergences.is_empty())
+            // A verification error under the fault also counts as caught.
+            .unwrap_or(true)
+    });
+    assert!(
+        caught,
+        "the harness reported zero divergence across 16 seeds despite a \
+         deliberately corrupted sparse union"
+    );
+}

@@ -154,9 +154,10 @@ impl Budget {
     /// when the estimate *reaches* the cap. The cap survives
     /// [`without_node_cap`](Self::without_node_cap), so strided sweeps
     /// keep their memory protection while the node axis stays
-    /// caller-enforced. The name keeps the historical `entries` wording
-    /// (and the `ECLECTIC_MAX_REL_ENTRIES` env var) for compatibility;
-    /// the unit is bytes.
+    /// caller-enforced. The method name keeps the historical `entries`
+    /// wording for compatibility; the unit is bytes, and the documented
+    /// environment spelling is `ECLECTIC_MAX_REL_BYTES` (the legacy
+    /// `ECLECTIC_MAX_REL_ENTRIES` still works, with a one-time warning).
     #[must_use]
     pub fn with_max_rel_entries(mut self, entries: usize) -> Self {
         self.max_rel_entries = Some(entries);
@@ -185,8 +186,11 @@ impl Budget {
     }
 
     /// Read `ECLECTIC_DEADLINE_MS` / `ECLECTIC_MAX_NODES` /
-    /// `ECLECTIC_MAX_REL_ENTRIES` from the environment; unset or
-    /// unparseable values leave that axis unlimited.
+    /// `ECLECTIC_MAX_REL_BYTES` from the environment; unset or
+    /// unparseable values leave that axis unlimited. The relation-memory
+    /// axis also accepts its legacy `ECLECTIC_MAX_REL_ENTRIES` spelling
+    /// (same byte unit, one-time deprecation warning) — see
+    /// [`crate::envcfg`].
     #[must_use]
     pub fn from_env() -> Self {
         let mut b = Budget::unlimited();
@@ -196,8 +200,8 @@ impl Budget {
         if let Some(n) = env_u64("ECLECTIC_MAX_NODES") {
             b = b.with_max_nodes(n as usize);
         }
-        if let Some(n) = env_u64("ECLECTIC_MAX_REL_ENTRIES") {
-            b = b.with_max_rel_entries(n as usize);
+        if let Some(n) = crate::envcfg::env_max_rel_bytes() {
+            b = b.with_max_rel_entries(n);
         }
         b
     }

@@ -30,6 +30,7 @@ mod envcfg;
 pub mod hash;
 mod ids;
 mod rel;
+pub mod rng;
 pub mod sched;
 mod sparse;
 mod store;
@@ -40,9 +41,10 @@ pub use closure::LazyClosure;
 pub use container::{CompressedRel, CompressedRow};
 pub use envcfg::{effective_workers, env_threads, force_worker_cap, WorkerCapGuard};
 pub use rel::{
-    force_rel_backend, rel_backend_for, Rel, RelBackend, RelBackendGuard, RelChoice, RowIter,
-    REL_DENSE_MAX_DIM,
+    force_rel_backend, force_rel_fault, rel_backend_for, Rel, RelBackend, RelBackendGuard,
+    RelChoice, RelFaultGuard, RowIter, REL_DENSE_MAX_DIM,
 };
+pub use rng::Rng;
 pub use sched::{
     force_sched_mode, run_chunked, run_tasks, run_workers, sched_mode, IndexQueue, SchedMode,
     SchedModeGuard,

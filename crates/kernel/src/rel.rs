@@ -112,6 +112,48 @@ pub fn force_rel_backend(choice: RelChoice) -> RelBackendGuard {
     RelBackendGuard { _lock: lock }
 }
 
+/// Process-global fault-injection flag for oracle validation (see
+/// [`force_rel_fault`]).
+static FAULT: AtomicUsize = AtomicUsize::new(0);
+
+/// Serializes holders of [`force_rel_fault`] guards — the flag is
+/// process-global, like the backend override.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// RAII guard for an injected relation-kernel fault; restores correct
+/// behaviour on drop. Holding it excludes every other fault section in the
+/// process.
+pub struct RelFaultGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for RelFaultGuard {
+    fn drop(&mut self) {
+        FAULT.store(0, Ordering::SeqCst);
+    }
+}
+
+/// Injects a deliberate, deterministic fault into the **sparse** backend's
+/// `union` for the lifetime of the returned guard: the lexicographically
+/// largest pair of each union result is silently dropped, mimicking an
+/// off-by-one merge bug.
+///
+/// This exists purely to prove that the differential fuzzing oracle has
+/// teeth — a harness that compares backends pairwise must detect the
+/// divergence this fault introduces, or the harness itself is broken.
+/// Never enable it outside a test.
+#[must_use]
+pub fn force_rel_fault() -> RelFaultGuard {
+    let lock = FAULT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    FAULT.store(1, Ordering::SeqCst);
+    RelFaultGuard { _lock: lock }
+}
+
+/// Whether a [`force_rel_fault`] guard is live.
+fn rel_fault_active() -> bool {
+    FAULT.load(Ordering::SeqCst) != 0
+}
+
 /// The `auto` tiering: dense up to the dense crossover, compressed at
 /// the compressed floor and above, sparse between. (A dense crossover
 /// at or above the compressed floor gives sparse no band, which is a
@@ -422,6 +464,18 @@ impl Rel {
             (Rel::Sparse(a), Rel::Sparse(b)) => a.or_assign(b),
             (Rel::Compressed(a), Rel::Compressed(b)) => a.or_assign(b),
             _ => unreachable!("operands coerced to one backend"),
+        }
+        if rel_fault_active() && matches!(out, Rel::Sparse(_)) {
+            // Injected oracle-validation fault: drop the largest pair.
+            if let Some(victim) = out.iter().last() {
+                let mut broken = Rel::with_backend(d, backend);
+                for (r, c) in out.iter() {
+                    if (r, c) != victim {
+                        broken.set(r, c);
+                    }
+                }
+                return broken;
+            }
         }
         out
     }

@@ -27,6 +27,7 @@ mod error;
 mod interp1;
 mod interp2;
 pub mod obligations;
+pub mod random;
 pub mod reach;
 mod report;
 pub mod witness;

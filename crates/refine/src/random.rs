@@ -1,0 +1,78 @@
+//! Random-but-equivalent query implementations for the differential
+//! fuzzer.
+//!
+//! The interpretation `K` maps each level-2 Boolean query to a wff of
+//! `L3`; *any* logically equivalent wff induces the same algebra, so the
+//! fuzzer draws a random syntactic variant per query — `P`, `¬¬P`,
+//! `P ∧ True`, `P ∨ False` — from its seed stream. Every engine axis must
+//! agree on the induced behaviour regardless of which variant it was
+//! handed; a divergence here means some evaluator special-cases a
+//! connective incorrectly.
+
+use eclectic_kernel::Rng;
+use eclectic_logic::Formula;
+
+/// Wraps `base` in one of four equivalence-preserving shells, chosen by the
+/// next draw of `rng`: identity, double negation, conjunction with `True`,
+/// or disjunction with `False`.
+#[must_use]
+pub fn equivalent_variant(base: Formula, rng: &mut Rng) -> Formula {
+    match rng.below(4) {
+        0 => base,
+        1 => base.not().not(),
+        2 => base.and(Formula::True),
+        _ => base.or(Formula::False),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclectic_logic::{Signature, Term};
+
+    #[test]
+    fn variants_are_equivalent_under_evaluation() {
+        // Evaluate each variant of `R(db)` over a one-relation structure:
+        // all four shells must agree with the base, in both truth states.
+        let mut sig = Signature::new();
+        let course = sig.add_sort("course").unwrap();
+        let db = sig.add_constant("db", course).unwrap();
+        let r = sig.add_db_predicate("R", &[course]).unwrap();
+        let base = Formula::Pred(r, vec![Term::constant(db)]);
+
+        let domains = eclectic_logic::Domains::from_names(&sig, &[("course", &["db"])]).unwrap();
+        let sig = std::sync::Arc::new(sig);
+        let domains = std::sync::Arc::new(domains);
+        for filled in [false, true] {
+            let mut st = eclectic_logic::Structure::new(sig.clone(), domains.clone());
+            st.set_constant(db, eclectic_logic::Elem(0)).unwrap();
+            if filled {
+                st.insert_pred(r, vec![eclectic_logic::Elem(0)]).unwrap();
+            }
+            let env = eclectic_logic::Valuation::new();
+            let expect = eclectic_logic::eval::satisfies(&st, &env, &base).unwrap();
+            assert_eq!(expect, filled);
+            let mut rng = Rng::new(99);
+            for _ in 0..16 {
+                let v = equivalent_variant(base.clone(), &mut rng);
+                assert_eq!(eclectic_logic::eval::satisfies(&st, &env, &v).unwrap(), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn variant_choice_is_seed_deterministic() {
+        let mut sig = Signature::new();
+        let course = sig.add_sort("course").unwrap();
+        let db = sig.add_constant("db", course).unwrap();
+        let r = sig.add_db_predicate("R", &[course]).unwrap();
+        let base = Formula::Pred(r, vec![Term::constant(db)]);
+        let draw = |seed| {
+            let mut rng = Rng::new(seed);
+            format!("{:?}", equivalent_variant(base.clone(), &mut rng))
+        };
+        assert_eq!(draw(5), draw(5));
+        let distinct: std::collections::BTreeSet<_> = (0..16).map(draw).collect();
+        assert!(distinct.len() > 1);
+    }
+}

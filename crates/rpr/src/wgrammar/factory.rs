@@ -1,0 +1,235 @@
+//! Scenario factory: deriving random *domain shapes* from the W-grammar
+//! metalanguage.
+//!
+//! The paper's §5.1.1 uses a two-level grammar to describe the space of
+//! well-formed schemas; this module walks the same metalanguage the other
+//! way round — it **samples** it. From a single `u64` seed and a
+//! [`ShapeConfig`], [`derive_shape`] draws a [`DomainShape`]: a many-sorted
+//! vocabulary of sorts with finite carriers, Boolean queries, and state
+//! updates, with every identifier drawn from the `LETTER`/`ALPHA`
+//! metarules via [`enumerate_protonotions`] so that the names themselves
+//! are words of the schema grammar's metalanguage. Higher layers
+//! (`eclectic-spec`) turn a shape into a complete tri-level specification;
+//! this crate only knows about names and arities, which is exactly what the
+//! W-grammar itself describes.
+//!
+//! Determinism contract: equal `(seed, config)` pairs yield equal shapes,
+//! on every platform — the only entropy source is the SplitMix64 stream.
+
+use eclectic_kernel::Rng;
+
+use crate::wgrammar::generate::enumerate_protonotions;
+use crate::wgrammar::hyper::Protonotion;
+use crate::wgrammar::meta::MetaGrammar;
+
+/// Size knobs for [`derive_shape`]. All counts are exact, not maxima,
+/// except arity which is drawn uniformly from `1..=max_arity` per
+/// operation parameter list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeConfig {
+    /// Number of parameter sorts.
+    pub sorts: usize,
+    /// Carrier size of each sort (number of named constants).
+    pub elems_per_sort: usize,
+    /// Number of Boolean queries.
+    pub queries: usize,
+    /// Number of state updates.
+    pub updates: usize,
+    /// Maximum parameter count per query/update (minimum is 1: the RPR
+    /// grammar's `columns` rule has no nullary form).
+    pub max_arity: usize,
+}
+
+impl Default for ShapeConfig {
+    fn default() -> Self {
+        ShapeConfig {
+            sorts: 2,
+            elems_per_sort: 2,
+            queries: 2,
+            updates: 2,
+            max_arity: 2,
+        }
+    }
+}
+
+impl ShapeConfig {
+    /// Clamps every knob into the range the downstream machinery supports;
+    /// used by fuzz drivers so arbitrary configs cannot produce degenerate
+    /// (empty) domains.
+    #[must_use]
+    pub fn clamped(self) -> Self {
+        ShapeConfig {
+            sorts: self.sorts.clamp(1, 4),
+            elems_per_sort: self.elems_per_sort.clamp(1, 4),
+            queries: self.queries.clamp(1, 5),
+            updates: self.updates.clamp(1, 4),
+            max_arity: self.max_arity.clamp(1, 3),
+        }
+    }
+}
+
+/// One operation of a shape: a name plus the indices (into
+/// [`DomainShape::sorts`]) of its parameter sorts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpShape {
+    /// Operation identifier (a metalanguage word, uniquified by suffix).
+    pub name: String,
+    /// Parameter sorts as indices into the shape's sort list.
+    pub param_sorts: Vec<usize>,
+}
+
+/// A randomly derived many-sorted vocabulary: the *shape* of a domain,
+/// before any equations or procedures are attached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainShape {
+    /// The seed that produced this shape (for reproduction).
+    pub seed: u64,
+    /// Parameter sorts with their carrier element names.
+    pub sorts: Vec<(String, Vec<String>)>,
+    /// Boolean queries over the sorts.
+    pub queries: Vec<OpShape>,
+    /// State updates over the sorts.
+    pub updates: Vec<OpShape>,
+}
+
+/// The metagrammar the factory samples identifiers from: a small alphabet
+/// keeps the enumeration pool dense in short words.
+fn name_metagrammar() -> MetaGrammar {
+    let mut meta = MetaGrammar::new();
+    meta.add_letters("LETTER", "abcdefgh");
+    meta.add_identifier("ALPHA", "LETTER");
+    meta
+}
+
+/// Draws `count` identifiers seeded from the `ALPHA` metalanguage pool. A
+/// tag-plus-index suffix keeps them distinct by construction.
+fn draw_names(rng: &mut Rng, pool: &[Protonotion], count: usize, tag: &str) -> Vec<String> {
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let word = if pool.is_empty() {
+            tag.to_string()
+        } else {
+            pool[rng.below(pool.len())].concat()
+        };
+        out.push(format!("{word}_{tag}{i}"));
+    }
+    out
+}
+
+/// Derives a domain shape from a seed. Equal `(seed, cfg)` inputs produce
+/// equal shapes; the config is clamped via [`ShapeConfig::clamped`] first.
+#[must_use]
+pub fn derive_shape(seed: u64, cfg: &ShapeConfig) -> DomainShape {
+    let cfg = cfg.clamped();
+    let mut rng = Rng::new(seed);
+    let meta = name_metagrammar();
+    let pool = enumerate_protonotions(&meta, "ALPHA", 2, 64);
+
+    let sort_names = draw_names(&mut rng, &pool, cfg.sorts, "s");
+    let sorts: Vec<(String, Vec<String>)> = sort_names
+        .into_iter()
+        .enumerate()
+        .map(|(si, name)| {
+            let elems = (0..cfg.elems_per_sort)
+                .map(|ei| {
+                    let word = pool[rng.below(pool.len())].concat();
+                    format!("{word}_e{si}_{ei}")
+                })
+                .collect();
+            (name, elems)
+        })
+        .collect();
+
+    let op = |count: usize, tag: &str, rng: &mut Rng| -> Vec<OpShape> {
+        draw_names(rng, &pool, count, tag)
+            .into_iter()
+            .map(|name| {
+                let arity = rng.range(1, cfg.max_arity);
+                let param_sorts = (0..arity)
+                    .map(|_| rng.below(cfg.sorts))
+                    .collect();
+                OpShape { name, param_sorts }
+            })
+            .collect()
+    };
+
+    let queries = op(cfg.queries, "q", &mut rng);
+    let updates = op(cfg.updates, "u", &mut rng);
+
+    DomainShape {
+        seed,
+        sorts,
+        queries,
+        updates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_shape() {
+        let cfg = ShapeConfig::default();
+        let a = derive_shape(42, &cfg);
+        let b = derive_shape(42, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = ShapeConfig::default();
+        let shapes: Vec<_> = (0..8).map(|s| derive_shape(s, &cfg)).collect();
+        let distinct = shapes
+            .iter()
+            .map(|s| format!("{s:?}"))
+            .collect::<std::collections::BTreeSet<_>>();
+        assert!(distinct.len() > 1, "seeds should vary the shape");
+    }
+
+    #[test]
+    fn shapes_respect_config_and_are_well_formed() {
+        let cfg = ShapeConfig {
+            sorts: 3,
+            elems_per_sort: 2,
+            queries: 4,
+            updates: 3,
+            max_arity: 2,
+        };
+        for seed in 0..32 {
+            let s = derive_shape(seed, &cfg);
+            assert_eq!(s.sorts.len(), 3);
+            assert!(s.sorts.iter().all(|(_, e)| e.len() == 2));
+            assert_eq!(s.queries.len(), 4);
+            assert_eq!(s.updates.len(), 3);
+            for o in s.queries.iter().chain(&s.updates) {
+                assert!(!o.param_sorts.is_empty(), "nullary ops break the RPR grammar");
+                assert!(o.param_sorts.len() <= 2);
+                assert!(o.param_sorts.iter().all(|&i| i < 3));
+            }
+            // All names distinct across the whole shape.
+            let mut names: Vec<&str> = s.sorts.iter().map(|(n, _)| n.as_str()).collect();
+            names.extend(s.sorts.iter().flat_map(|(_, e)| e.iter().map(String::as_str)));
+            names.extend(s.queries.iter().map(|o| o.name.as_str()));
+            names.extend(s.updates.iter().map(|o| o.name.as_str()));
+            let set: std::collections::BTreeSet<_> = names.iter().collect();
+            assert_eq!(set.len(), names.len(), "duplicate identifier in shape");
+        }
+    }
+
+    #[test]
+    fn degenerate_configs_are_clamped() {
+        let cfg = ShapeConfig {
+            sorts: 0,
+            elems_per_sort: 0,
+            queries: 0,
+            updates: 0,
+            max_arity: 0,
+        };
+        let s = derive_shape(7, &cfg);
+        assert_eq!(s.sorts.len(), 1);
+        assert_eq!(s.queries.len(), 1);
+        assert_eq!(s.updates.len(), 1);
+        assert!(s.queries[0].param_sorts.len() == 1);
+    }
+}

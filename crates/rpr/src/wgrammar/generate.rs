@@ -5,10 +5,16 @@
 
 use std::collections::VecDeque;
 
+use crate::error::{Result, RprError};
 use crate::wgrammar::hyper::{HyperSym, Hypernotion, Protonotion, RhsItem, WGrammar};
 use crate::wgrammar::meta::{MetaGrammar, MetaSym};
 use crate::wgrammar::solve::{Binding, Solver};
 use crate::wgrammar::validate::{Child, DerivTree};
+
+/// Hard ceiling on [`GenLimits::max_depth`]: each depth level is a real
+/// recursion frame, so an unbounded caller-supplied depth could overflow
+/// the stack before the tree caps ever bite.
+pub const MAX_GEN_DEPTH: usize = 64;
 
 /// Caps for generation (the languages are usually infinite).
 #[derive(Debug, Clone, Copy)]
@@ -102,24 +108,45 @@ fn metas_of(h: &Hypernotion, out: &mut Vec<String>) {
     }
 }
 
-/// Instantiates a hypernotion under a (total, for its metanotions) binding.
-fn instantiate(h: &Hypernotion, binding: &Binding) -> Protonotion {
+/// Instantiates a hypernotion under a binding; `None` when a metanotion in
+/// `h` has no bound value (the candidate is infeasible, not a panic).
+fn instantiate(h: &Hypernotion, binding: &Binding) -> Option<Protonotion> {
     let mut out = Vec::new();
     for s in h {
         match s {
             HyperSym::Mark(m) => out.push(m.clone()),
-            HyperSym::Meta(m) => out.extend(binding[m].iter().cloned()),
+            HyperSym::Meta(m) => out.extend(binding.get(m)?.iter().cloned()),
         }
     }
-    out
+    Some(out)
 }
 
 /// Generates derivation trees for a notion, up to the limits. Every
 /// returned tree validates against the grammar (tested).
-#[must_use]
-pub fn generate(g: &WGrammar, notion: &Protonotion, limits: GenLimits) -> Vec<DerivTree> {
+///
+/// # Errors
+///
+/// Returns [`RprError::Grammar`] when `limits.max_depth` exceeds
+/// [`MAX_GEN_DEPTH`] (each level is a recursion frame) or when the
+/// consistent-substitution solver overflows its step budget on a
+/// degenerate grammar — the result would be silently incomplete.
+pub fn generate(g: &WGrammar, notion: &Protonotion, limits: GenLimits) -> Result<Vec<DerivTree>> {
+    if limits.max_depth > MAX_GEN_DEPTH {
+        return Err(RprError::Grammar(format!(
+            "generation depth {} exceeds MAX_GEN_DEPTH {MAX_GEN_DEPTH}",
+            limits.max_depth
+        )));
+    }
     let mut solver = Solver::new(g);
-    gen_notion(g, &mut solver, notion, limits.max_depth, &limits)
+    let trees = gen_notion(g, &mut solver, notion, limits.max_depth, &limits);
+    if solver.overflowed() {
+        return Err(RprError::Grammar(format!(
+            "consistent-substitution search overflowed its step budget \
+             generating `{}`",
+            notion.join(" ")
+        )));
+    }
+    Ok(trees)
 }
 
 fn gen_notion(
@@ -174,11 +201,17 @@ fn gen_notion(
                 for item in &rule.rhs {
                     match item {
                         RhsItem::Leaves(h) => {
-                            let toks = instantiate(h, &binding);
+                            let Some(toks) = instantiate(h, &binding) else {
+                                feasible = false;
+                                break;
+                            };
                             options.push(vec![toks.into_iter().map(Child::Leaf).collect()]);
                         }
                         RhsItem::Notion(h) => {
-                            let child_notion = instantiate(h, &binding);
+                            let Some(child_notion) = instantiate(h, &binding) else {
+                                feasible = false;
+                                break;
+                            };
                             let subs = gen_notion(g, solver, &child_notion, depth - 1, limits);
                             if subs.is_empty() {
                                 feasible = false;
@@ -272,7 +305,7 @@ mod tests {
         // pair with a fixed name.
         let mut notion = vec!["pair".to_string()];
         notion.extend(["a".to_string(), "b".to_string()]);
-        let trees = generate(&g, &notion, GenLimits::default());
+        let trees = generate(&g, &notion, GenLimits::default()).unwrap();
         assert!(!trees.is_empty());
         for t in &trees {
             validate(&g, t).unwrap();
@@ -286,7 +319,7 @@ mod tests {
         // have the SAME name twice.
         let g = pair_grammar();
         let notion = vec!["pair".to_string(), "a".to_string()];
-        let trees = generate(&g, &notion, GenLimits::default());
+        let trees = generate(&g, &notion, GenLimits::default()).unwrap();
         assert!(!trees.is_empty());
         for t in &trees {
             assert_eq!(t.terminal_yield(), vec!["a", "a"]);
@@ -309,7 +342,7 @@ mod tests {
             max_meta_values: 4,
             max_trees: 40,
         };
-        let trees = generate(&g, &notion, limits);
+        let trees = generate(&g, &notion, limits).unwrap();
         assert!(!trees.is_empty());
         let mut saw_insert = false;
         for t in &trees {
@@ -318,5 +351,46 @@ mod tests {
             saw_insert |= y.first().map(String::as_str) == Some("insert");
         }
         assert!(saw_insert, "generation covers the insert form");
+    }
+
+    #[test]
+    fn excessive_depth_is_an_error_not_a_stack_overflow() {
+        let g = pair_grammar();
+        let notion = vec!["pair".to_string(), "a".to_string()];
+        let limits = GenLimits {
+            max_depth: MAX_GEN_DEPTH + 1,
+            ..GenLimits::default()
+        };
+        let err = generate(&g, &notion, limits).unwrap_err();
+        assert!(err.to_string().contains("MAX_GEN_DEPTH"));
+    }
+
+    #[test]
+    fn degenerate_inputs_generate_nothing_without_panicking() {
+        let g = pair_grammar();
+        // Unknown notion: no candidate rules, empty result.
+        let trees = generate(&g, &vec!["nonsense".to_string()], GenLimits::default()).unwrap();
+        assert!(trees.is_empty());
+        // Empty notion: no first mark, still no panic.
+        let trees = generate(&g, &Vec::new(), GenLimits::default()).unwrap();
+        assert!(trees.is_empty());
+        // A grammar whose rhs mentions a metanotion whose shortest word
+        // exceeds `max_meta_len`: the unbound enumeration is empty, so the
+        // rule is infeasible — previously this path could panic in
+        // `instantiate` on the missing binding.
+        let mut meta = MetaGrammar::new();
+        meta.add_letters("LETTER", "ab");
+        meta.add(
+            "LONG",
+            std::iter::repeat_with(|| MetaSym::mark("x")).take(16).collect(),
+        );
+        let rules = vec![HyperRule {
+            name: "ghost".into(),
+            lhs: hyper("ghost"),
+            rhs: vec![RhsItem::Leaves(hyper("LONG"))],
+        }];
+        let g2 = WGrammar::new(meta, rules);
+        let trees = generate(&g2, &vec!["ghost".to_string()], GenLimits::default()).unwrap();
+        assert!(trees.is_empty());
     }
 }

@@ -10,6 +10,7 @@
 //!   "all relational program variables in OPL are declared in SCL" check.
 
 pub mod earley;
+pub mod factory;
 pub mod generate;
 pub mod hyper;
 pub mod meta;
@@ -17,7 +18,8 @@ pub mod rpr_grammar;
 pub mod solve;
 pub mod validate;
 
-pub use generate::{enumerate_protonotions, generate, GenLimits};
+pub use factory::{derive_shape, DomainShape, OpShape, ShapeConfig};
+pub use generate::{enumerate_protonotions, generate, GenLimits, MAX_GEN_DEPTH};
 pub use hyper::{hyper, proto, HyperRule, HyperSym, Hypernotion, Protonotion, RhsItem, WGrammar};
 pub use meta::{MetaGrammar, MetaSym};
 pub use rpr_grammar::{check_schema, rpr_wgrammar, schema_derivation};

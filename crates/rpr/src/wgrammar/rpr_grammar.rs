@@ -293,7 +293,11 @@ fn column_node(sort: &str) -> DerivTree {
 
 fn columns_node(sorts: &[String]) -> DerivTree {
     let k = sorts.len();
-    if k == 1 {
+    if k == 0 {
+        // Zero columns: the grammar has no nullary columns rule, so emit a
+        // dead-end node validation rejects instead of underflowing below.
+        DerivTree::node(notion("columns", Vec::new()), vec![])
+    } else if k == 1 {
         DerivTree::node(notion("columns", unary(1)), vec![Child::Node(column_node(&sorts[0]))])
     } else {
         DerivTree::node(
@@ -376,7 +380,10 @@ fn abstract_node(head: &str, tail: Protonotion) -> DerivTree {
 }
 
 fn args_node(count: usize) -> DerivTree {
-    if count == 1 {
+    if count == 0 {
+        // No nullary args rule either — dead-end node, see `columns_node`.
+        DerivTree::node(notion("args", Vec::new()), vec![])
+    } else if count == 1 {
         DerivTree::node(
             notion("args", unary(1)),
             vec![Child::Node(abstract_node("term", Vec::new()))],
@@ -491,6 +498,19 @@ pub fn schema_derivation(schema: &Schema) -> Result<DerivTree> {
             "the W-grammar describes schemas with at least one relation and one procedure".into(),
         ));
     }
+    if let Some(&r) = schema
+        .relations()
+        .iter()
+        .find(|&&r| sig.pred(r).domain.is_empty())
+    {
+        // The columns metarule requires at least one column (`columns i`),
+        // so a zero-arity relation has no derivation — reject up front
+        // instead of building an invalid (formerly panicking) tree.
+        return Err(crate::error::RprError::BadSchema(format!(
+            "relation {} has arity 0; the W-grammar requires at least one column",
+            sig.pred(r).name
+        )));
+    }
     let decl_entries: Vec<(String, Vec<String>)> = schema
         .relations()
         .iter()
@@ -598,6 +618,23 @@ mod tests {
             vec![Child::Node(name_node("TAKES"))],
         );
         assert!(validate(&rpr_wgrammar(), &cheat).is_err());
+    }
+
+    #[test]
+    fn zero_arity_relation_rejected_not_panicking() {
+        use crate::ast::Stmt;
+        use crate::schema::ProcDecl;
+        let mut sig = Signature::new();
+        let flag = sig.add_db_predicate("FLAG", &[]).unwrap();
+        let proc = ProcDecl {
+            name: "noop".into(),
+            params: vec![],
+            body: Stmt::Skip,
+        };
+        let schema = Schema::new(Arc::new(sig), vec![flag], vec![proc]).unwrap();
+        let err = schema_derivation(&schema).unwrap_err();
+        assert!(err.to_string().contains("arity 0"), "got: {err}");
+        assert!(check_schema(&schema).is_err());
     }
 
     #[test]

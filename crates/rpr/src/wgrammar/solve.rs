@@ -19,21 +19,68 @@ pub type Binding = BTreeMap<String, Protonotion>;
 /// consistent substitution.
 pub type Equation = (Hypernotion, Protonotion);
 
+/// Default cap on backtracking-search steps (`match_hyper` entries) per
+/// `solve`/`solve_all` call. The packaged grammars solve their systems in
+/// well under a thousand steps; a degenerate grammar with highly ambiguous
+/// metanotions can otherwise blow up exponentially — or, on very long
+/// protonotions, recurse deeply enough to overflow the stack. When the cap
+/// trips, the search stops and [`Solver::overflowed`] reports it so
+/// callers can fail gracefully instead of dying.
+pub const SOLVE_STEP_LIMIT: usize = 1 << 20;
+
+/// Cap on the recursion depth of the split search, independent of the step
+/// cap: each recursion frame consumes real stack, so a million cheap steps
+/// must not all nest.
+const SOLVE_DEPTH_LIMIT: usize = 4_096;
+
 /// Solver with memoised metalanguage membership.
 #[derive(Debug)]
 pub struct Solver<'g> {
     grammar: &'g WGrammar,
     memo: BTreeMap<(String, Protonotion), bool>,
+    step_limit: usize,
+    steps: usize,
+    overflowed: bool,
 }
 
 impl<'g> Solver<'g> {
-    /// Creates a solver over a grammar.
+    /// Creates a solver over a grammar with the default
+    /// [`SOLVE_STEP_LIMIT`].
     #[must_use]
     pub fn new(grammar: &'g WGrammar) -> Self {
+        Self::with_step_limit(grammar, SOLVE_STEP_LIMIT)
+    }
+
+    /// Creates a solver with an explicit step cap (for tests exercising the
+    /// overflow path cheaply).
+    #[must_use]
+    pub fn with_step_limit(grammar: &'g WGrammar, step_limit: usize) -> Self {
         Solver {
             grammar,
             memo: BTreeMap::new(),
+            step_limit,
+            steps: 0,
+            overflowed: false,
         }
+    }
+
+    /// Whether some `solve`/`solve_all` call since construction hit the
+    /// step or recursion-depth cap — its answer may be incomplete, and
+    /// callers that need totality should fail rather than trust it.
+    #[must_use]
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Charges one search step (and `depth` against the recursion cap);
+    /// returns `false` when the budget is exhausted.
+    fn charge(&mut self, depth: usize) -> bool {
+        self.steps += 1;
+        if self.steps > self.step_limit || depth > SOLVE_DEPTH_LIMIT {
+            self.overflowed = true;
+            return false;
+        }
+        true
     }
 
     /// Whether `tokens` belongs to the metalanguage of `meta`.
@@ -48,22 +95,31 @@ impl<'g> Solver<'g> {
     }
 
     /// Solves a system of equations; returns a satisfying substitution.
+    /// A search that hits the step/depth cap returns `None` and sets
+    /// [`overflowed`](Self::overflowed).
     pub fn solve(&mut self, equations: &[Equation]) -> Option<Binding> {
+        self.steps = 0;
         let mut binding = Binding::new();
-        if self.solve_from(equations, 0, &mut binding) {
+        if self.solve_from(equations, 0, &mut binding, 0) {
             Some(binding)
         } else {
             None
         }
     }
 
-    fn solve_from(&mut self, eqs: &[Equation], idx: usize, binding: &mut Binding) -> bool {
+    fn solve_from(
+        &mut self,
+        eqs: &[Equation],
+        idx: usize,
+        binding: &mut Binding,
+        depth: usize,
+    ) -> bool {
         let Some((pattern, tokens)) = eqs.get(idx) else {
             return true;
         };
         let pattern = pattern.clone();
         let tokens = tokens.clone();
-        self.match_hyper(&pattern, &tokens, eqs, idx, binding)
+        self.match_hyper(&pattern, &tokens, eqs, idx, binding, depth)
     }
 
     /// Matches `pat` against `toks`, then continues with the remaining
@@ -75,18 +131,29 @@ impl<'g> Solver<'g> {
         eqs: &[Equation],
         idx: usize,
         binding: &mut Binding,
+        depth: usize,
     ) -> bool {
+        if !self.charge(depth) {
+            return false;
+        }
         match pat.first() {
-            None => toks.is_empty() && self.solve_from(eqs, idx + 1, binding),
+            None => toks.is_empty() && self.solve_from(eqs, idx + 1, binding, depth + 1),
             Some(HyperSym::Mark(m)) => {
                 toks.first() == Some(m)
-                    && self.match_hyper(&pat[1..], &toks[1..], eqs, idx, binding)
+                    && self.match_hyper(&pat[1..], &toks[1..], eqs, idx, binding, depth + 1)
             }
             Some(HyperSym::Meta(mv)) => {
                 if let Some(bound) = binding.get(mv).cloned() {
                     return toks.len() >= bound.len()
                         && toks[..bound.len()] == bound[..]
-                        && self.match_hyper(&pat[1..], &toks[bound.len()..], eqs, idx, binding);
+                        && self.match_hyper(
+                            &pat[1..],
+                            &toks[bound.len()..],
+                            eqs,
+                            idx,
+                            binding,
+                            depth + 1,
+                        );
                 }
                 for split in 0..=toks.len() {
                     let candidate = &toks[..split];
@@ -94,10 +161,13 @@ impl<'g> Solver<'g> {
                         continue;
                     }
                     binding.insert(mv.clone(), candidate.to_vec());
-                    if self.match_hyper(&pat[1..], &toks[split..], eqs, idx, binding) {
+                    if self.match_hyper(&pat[1..], &toks[split..], eqs, idx, binding, depth + 1) {
                         return true;
                     }
                     binding.remove(mv);
+                    if self.overflowed {
+                        return false;
+                    }
                 }
                 false
             }
@@ -105,11 +175,14 @@ impl<'g> Solver<'g> {
     }
 
     /// Enumerates up to `cap` satisfying substitutions (for generation —
-    /// ambiguous splits yield several).
+    /// ambiguous splits yield several). A search that hits the step/depth
+    /// cap returns what it found so far and sets
+    /// [`overflowed`](Self::overflowed).
     pub fn solve_all(&mut self, equations: &[Equation], cap: usize) -> Vec<Binding> {
+        self.steps = 0;
         let mut out = Vec::new();
         let mut binding = Binding::new();
-        self.solve_from_all(equations, 0, &mut binding, &mut out, cap);
+        self.solve_from_all(equations, 0, &mut binding, &mut out, cap, 0);
         out
     }
 
@@ -120,6 +193,7 @@ impl<'g> Solver<'g> {
         binding: &mut Binding,
         out: &mut Vec<Binding>,
         cap: usize,
+        depth: usize,
     ) {
         if out.len() >= cap {
             return;
@@ -130,7 +204,7 @@ impl<'g> Solver<'g> {
         };
         let pattern = pattern.clone();
         let tokens = tokens.clone();
-        self.match_hyper_all(&pattern, &tokens, eqs, idx, binding, out, cap);
+        self.match_hyper_all(&pattern, &tokens, eqs, idx, binding, out, cap, depth);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -143,19 +217,20 @@ impl<'g> Solver<'g> {
         binding: &mut Binding,
         out: &mut Vec<Binding>,
         cap: usize,
+        depth: usize,
     ) {
-        if out.len() >= cap {
+        if out.len() >= cap || !self.charge(depth) {
             return;
         }
         match pat.first() {
             None => {
                 if toks.is_empty() {
-                    self.solve_from_all(eqs, idx + 1, binding, out, cap);
+                    self.solve_from_all(eqs, idx + 1, binding, out, cap, depth + 1);
                 }
             }
             Some(HyperSym::Mark(m)) => {
                 if toks.first() == Some(m) {
-                    self.match_hyper_all(&pat[1..], &toks[1..], eqs, idx, binding, out, cap);
+                    self.match_hyper_all(&pat[1..], &toks[1..], eqs, idx, binding, out, cap, depth + 1);
                 }
             }
             Some(HyperSym::Meta(mv)) => {
@@ -169,6 +244,7 @@ impl<'g> Solver<'g> {
                             binding,
                             out,
                             cap,
+                            depth + 1,
                         );
                     }
                     return;
@@ -179,8 +255,11 @@ impl<'g> Solver<'g> {
                         continue;
                     }
                     binding.insert(mv.clone(), candidate.to_vec());
-                    self.match_hyper_all(&pat[1..], &toks[split..], eqs, idx, binding, out, cap);
+                    self.match_hyper_all(&pat[1..], &toks[split..], eqs, idx, binding, out, cap, depth + 1);
                     binding.remove(mv);
+                    if self.overflowed {
+                        return;
+                    }
                 }
             }
         }
@@ -302,6 +381,29 @@ mod tests {
         assert_eq!(b["ALPHA"], proto("a"));
         assert_eq!(b["NUM"], proto("i"));
         assert_eq!(b["DECS"], proto("rel b b has i i"));
+    }
+
+    #[test]
+    fn step_limit_overflow_is_reported() {
+        let g = grammar();
+        // A cap of 2 steps cannot finish even the simple split search.
+        let mut s = Solver::with_step_limit(&g, 2);
+        let eqs = [(
+            hyper("list rel ALPHA has NUM DECS"),
+            proto("list rel a has i rel b b has i i"),
+        )];
+        assert!(s.solve(&eqs).is_none());
+        assert!(s.overflowed());
+        // The same system solves fine under the default cap, and a fresh
+        // solver reports no overflow.
+        let mut fresh = Solver::new(&g);
+        assert!(fresh.solve(&eqs).is_some());
+        assert!(!fresh.overflowed());
+        // solve_all under a tiny cap also flags instead of diverging.
+        let mut capped = Solver::with_step_limit(&g, 2);
+        let found = capped.solve_all(&eqs, 8);
+        assert!(found.is_empty());
+        assert!(capped.overflowed());
     }
 
     #[test]

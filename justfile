@@ -14,8 +14,9 @@ verify:
     cargo run -p eclectic-bench --bin bench_verify_parallel --release
     timeout 900 cargo run -p eclectic-bench --bin bench_pdl_parallel --release
     timeout 900 cargo run -p eclectic-bench --bin bench_rel_crossover --release
-    timeout 900 env ECLECTIC_MAX_REL_ENTRIES=67108864 cargo run -p eclectic-bench --bin bench_rel_crossover --release -- large
+    timeout 900 env ECLECTIC_MAX_REL_BYTES=67108864 cargo run -p eclectic-bench --bin bench_rel_crossover --release -- large
     timeout 900 cargo run -p eclectic-bench --bin bench_sched --release
+    timeout 900 cargo run -p eclectic-bench --bin bench_scenarios --release -- --smoke
 
 # Lints alone, warnings denied — the clippy slice of `just verify`.
 lint:
@@ -54,7 +55,7 @@ bench-rel:
 # relation-memory byte budget (64 MiB) that the uncompressed sparse
 # backend must trip — the focused `perf` slice of bench-rel.
 bench-rel-large:
-    timeout 900 env ECLECTIC_MAX_REL_ENTRIES=67108864 cargo run -p eclectic-bench --bin bench_rel_crossover --release -- large
+    timeout 900 env ECLECTIC_MAX_REL_BYTES=67108864 cargo run -p eclectic-bench --bin bench_rel_crossover --release -- large
 
 # Scoped-thread baseline vs the work-stealing scheduler on the full verify
 # battery at 1/2/4/8 real workers (bit-identity, including node-capped
@@ -62,7 +63,18 @@ bench-rel-large:
 bench-sched:
     timeout 900 cargo run -p eclectic-bench --bin bench_sched --release
 
+# Differential fuzzing smoke: a fixed 32-seed corpus through the full
+# engine grid; fails on any divergence or generator panic.
+fuzz-smoke:
+    timeout 900 cargo run -p eclectic-bench --bin bench_scenarios --release -- --smoke
+
+# Full differential-fuzzing sweep (ECLECTIC_FUZZ_SEEDS seeds, default 500)
+# through the full engine grid; writes BENCH_scenarios.json with the
+# domains/second rate. Divergences auto-shrink into tests/corpus/ fixtures.
+fuzz:
+    timeout 900 cargo run -p eclectic-bench --bin bench_scenarios --release
+
 # Every benchmark artifact in one shot: harness + all parallel benches,
 # closing with the starved-host warning status recorded in the artifacts.
-bench-all: harness bench-reach bench-verify bench-pdl bench-rel bench-rel-large bench-sched
+bench-all: harness bench-reach bench-verify bench-pdl bench-rel bench-rel-large bench-sched fuzz
     @grep -o '"warning": [^,]*' BENCH_rel.json
