@@ -10,8 +10,8 @@
 //!    every state term of bounded depth must normalise to a parameter name.
 
 use eclectic_kernel::{
-    effective_workers, env_threads, run_workers, Budget, BudgetExceeded, Exhaustion, IndexQueue,
-    Interner,
+    effective_workers, env_threads, run_workers_prio, Budget, BudgetExceeded, Exhaustion,
+    IndexQueue, Interner, Priority,
 };
 use eclectic_logic::Term;
 
@@ -271,14 +271,73 @@ pub fn exhaustive_budget_in(
     threads: usize,
 ) -> Result<CompletenessReport> {
     let threads = effective_workers(threads);
-    let sig = spec.signature().clone();
-    let mut report = CompletenessReport {
-        missing: coverage(spec)?,
-        ..CompletenessReport::default()
-    };
+    let sweep = plan_exhaustive(spec, space, max_failures)?;
 
-    // Flatten the ground instances in the serial enumeration order: states
-    // outer, then queries, then parameter tuples.
+    // `max_failures == 0` makes the serial loop stop after the very first
+    // evaluation regardless of its outcome; only the serial path reproduces
+    // that, so route it (and trivial workloads) there.
+    if threads <= 1 || max_failures == 0 || sweep.len() < 2 {
+        let mut rw = Rewriter::new(spec);
+        rw.set_budget(budget.without_node_cap());
+        return exhaustive_budget_with(&mut rw, space, max_failures, budget);
+    }
+
+    // Each worker owns a plain thread-local rewriter: the ground instances
+    // are independent, so nothing needs the shared store, and a private
+    // memo avoids shard-lock traffic on every intern. The region runs at
+    // Bulk priority — it is a wide grid with no dependents.
+    let workers = threads.min(sweep.len());
+    let queue = IndexQueue::new(sweep.len(), workers);
+    let strips: Vec<SweepEvents> = run_workers_prio(workers, Priority::Bulk, |_| {
+        let sweep = &sweep;
+        let queue = &queue;
+        move || {
+            let mut rw = Rewriter::new(spec);
+            rw.set_budget(budget.without_node_cap());
+            let mut local = SweepEvents(Vec::new());
+            let mut stuck_seen = 0usize;
+            while let Some(range) = queue.claim() {
+                if !sweep.run_range_with(&mut rw, range, budget, &mut stuck_seen, &mut local) {
+                    break;
+                }
+            }
+            local
+        }
+    });
+    sweep.merge(strips, budget)
+}
+
+/// The flattened exhaustive-evaluation workload: every ground query
+/// application in serial enumeration order, sliceable into per-(state,
+/// query) strips that an obligation-DAG scheduler can run as independent
+/// pool tasks. [`CompletenessSweep::run_strip`] evaluates one contiguous
+/// slot range; [`CompletenessSweep::merge`] replays any set of strip
+/// results covering the serial prefix into the same report the monolithic
+/// [`exhaustive_budget_in`] produces, bit-identical however the strips
+/// were scheduled or partitioned.
+pub struct CompletenessSweep<'s> {
+    spec: &'s AlgSpec,
+    sig: std::sync::Arc<crate::signature::AlgSignature>,
+    subjects: Vec<Term>,
+    max_failures: usize,
+}
+
+/// Events from one strip of a [`CompletenessSweep`], opaque to callers and
+/// consumed by [`CompletenessSweep::merge`].
+pub struct SweepEvents(Vec<EvalEvent>);
+
+/// Flattens the ground instances of `space` in the serial enumeration
+/// order (states outer, then queries, then parameter tuples) into a
+/// [`CompletenessSweep`].
+///
+/// # Errors
+/// Propagates signature errors.
+pub fn plan_exhaustive<'s>(
+    spec: &'s AlgSpec,
+    space: &GroundSpace,
+    max_failures: usize,
+) -> Result<CompletenessSweep<'s>> {
+    let sig = spec.signature().clone();
     let mut subjects = Vec::new();
     for st in space.states() {
         for q in sig.queries() {
@@ -290,96 +349,140 @@ pub fn exhaustive_budget_in(
             }
         }
     }
+    Ok(CompletenessSweep {
+        spec,
+        sig,
+        subjects,
+        max_failures,
+    })
+}
 
-    // `max_failures == 0` makes the serial loop stop after the very first
-    // evaluation regardless of its outcome; only the serial path reproduces
-    // that, so route it (and trivial workloads) there.
-    if threads <= 1 || max_failures == 0 || subjects.len() < 2 {
-        let mut rw = Rewriter::new(spec);
-        rw.set_budget(budget.without_node_cap());
-        return exhaustive_budget_with(&mut rw, space, max_failures, budget);
+impl CompletenessSweep<'_> {
+    /// Total number of ground instances.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.subjects.len()
     }
 
-    // Each worker owns a plain thread-local rewriter: the ground instances
-    // are independent, so nothing needs the shared store, and a private
-    // memo avoids shard-lock traffic on every intern.
-    let workers = threads.min(subjects.len());
-    let queue = IndexQueue::new(subjects.len(), workers);
-    let mut events: Vec<EvalEvent> = run_workers(workers, |_| {
-        let subjects = &subjects;
-        let sig = &sig;
-        let queue = &queue;
-        move || {
-            let mut rw = Rewriter::new(spec);
-            rw.set_budget(budget.without_node_cap());
-            let mut local = Vec::new();
-            let mut stuck_seen = 0usize;
-            'claims: while let Some(range) = queue.claim() {
-                for k in range {
-                    let t = &subjects[k];
-                    // Budget poll at the slot boundary: the instance
-                    // index stands in for node accounting, so a node-cap
-                    // stop lands on the same slot at every worker count.
-                    if let Some(reason) = budget.check(k) {
-                        local.push(EvalEvent::Budget(k, reason));
-                        break 'claims;
-                    }
-                    match eval_subject(&mut rw, sig, t) {
-                        Ok(None) => {}
-                        Ok(Some(stuck)) => {
-                            local.push(EvalEvent::Stuck(k, stuck));
-                            stuck_seen += 1;
-                            // This worker alone has reached the global
-                            // cap; the serial loop cannot look past the
-                            // index where that happens, and chunks are
-                            // claimed in increasing order, so everything
-                            // this worker would still claim is unreachable.
-                            if stuck_seen >= max_failures {
-                                break 'claims;
-                            }
-                        }
-                        Err(AlgError::Budget { reason }) => {
-                            local.push(EvalEvent::Budget(k, reason));
-                            break 'claims;
-                        }
-                        Err(e) => {
-                            local.push(EvalEvent::Fail(k, e));
-                            break 'claims;
-                        }
+    /// Whether there are no ground instances.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.subjects.is_empty()
+    }
+
+    /// Partitions the instance range into at most `strips` contiguous
+    /// near-even strips (a pure function of `len` and `strips`, never of
+    /// timing).
+    #[must_use]
+    pub fn strip_ranges(&self, strips: usize) -> Vec<std::ops::Range<usize>> {
+        let n = self.subjects.len();
+        let strips = strips.clamp(1, n.max(1));
+        let chunk = n.div_ceil(strips).max(1);
+        (0..n.div_ceil(chunk.max(1)))
+            .map(|i| (i * chunk)..n.min((i + 1) * chunk))
+            .filter(|r| !r.is_empty())
+            .collect()
+    }
+
+    /// Evaluates one contiguous strip with a private rewriter, polling
+    /// `budget` at each global slot index. A strip stops early once it has
+    /// seen `max_failures` stuck terms on its own: the serial loop cannot
+    /// look past the slot where the global count reaches the cap, and that
+    /// slot is at or before any single strip's local cap.
+    #[must_use]
+    pub fn run_strip(&self, range: std::ops::Range<usize>, budget: &Budget) -> SweepEvents {
+        let mut rw = Rewriter::new(self.spec);
+        rw.set_budget(budget.without_node_cap());
+        let mut events = SweepEvents(Vec::new());
+        let mut stuck_seen = 0usize;
+        let _ = self.run_range_with(&mut rw, range, budget, &mut stuck_seen, &mut events);
+        events
+    }
+
+    /// The shared strip loop: evaluates `range` in increasing slot order
+    /// against a caller-held rewriter, carrying the caller's running stuck
+    /// count. Returns `false` when the caller should stop claiming more
+    /// ranges (budget stop, error event, or local stuck cap reached).
+    fn run_range_with<S: Interner>(
+        &self,
+        rw: &mut Rewriter<'_, S>,
+        range: std::ops::Range<usize>,
+        budget: &Budget,
+        stuck_seen: &mut usize,
+        out: &mut SweepEvents,
+    ) -> bool {
+        for k in range {
+            let t = &self.subjects[k];
+            // Budget poll at the slot boundary: the instance index stands
+            // in for node accounting, so a node-cap stop lands on the same
+            // slot at every worker count and strip partition.
+            if let Some(reason) = budget.check(k) {
+                out.0.push(EvalEvent::Budget(k, reason));
+                return false;
+            }
+            match eval_subject(rw, &self.sig, t) {
+                Ok(None) => {}
+                Ok(Some(stuck)) => {
+                    out.0.push(EvalEvent::Stuck(k, stuck));
+                    *stuck_seen += 1;
+                    // This strip alone has reached the global cap; the
+                    // serial loop cannot look past the index where that
+                    // happens, and slots within a strip are processed in
+                    // increasing order, so everything further is
+                    // unreachable.
+                    if *stuck_seen >= self.max_failures {
+                        return false;
                     }
                 }
+                Err(AlgError::Budget { reason }) => {
+                    out.0.push(EvalEvent::Budget(k, reason));
+                    return false;
+                }
+                Err(e) => {
+                    out.0.push(EvalEvent::Fail(k, e));
+                    return false;
+                }
             }
-            local
         }
-    })
-    .into_iter()
-    .flatten()
-    .collect();
+        true
+    }
 
-    // Replay the events in serial order. Every worker covered its stride at
-    // least up to the globally earliest stop (its own early exits happen at
-    // or past that point), so no event the serial loop would have seen is
-    // missing.
-    events.sort_by_key(|ev| (ev.index(), ev.priority()));
-    for ev in events {
-        match ev {
-            EvalEvent::Fail(_, e) => return Err(e),
-            EvalEvent::Budget(k, reason) => {
-                report.evaluated = k;
-                report.exhausted = Some(budget.exhaustion("completeness", reason, k));
-                return Ok(report);
-            }
-            EvalEvent::Stuck(k, stuck) => {
-                report.stuck.push(stuck);
-                if report.stuck.len() >= max_failures {
-                    report.evaluated = k + 1;
+    /// Replays strip events in serial order into the final report —
+    /// including the early stop once `max_failures` stuck terms have
+    /// accumulated. Every strip covered its slots at least up to the
+    /// globally earliest stop (local early exits happen at or past that
+    /// point), so no event the serial loop would have seen is missing.
+    ///
+    /// # Errors
+    /// Propagates the earliest rewriting error in enumeration order,
+    /// exactly as in the serial loop.
+    pub fn merge(&self, strips: Vec<SweepEvents>, budget: &Budget) -> Result<CompletenessReport> {
+        let mut report = CompletenessReport {
+            missing: coverage(self.spec)?,
+            ..CompletenessReport::default()
+        };
+        let mut events: Vec<EvalEvent> = strips.into_iter().flat_map(|s| s.0).collect();
+        events.sort_by_key(|ev| (ev.index(), ev.priority()));
+        for ev in events {
+            match ev {
+                EvalEvent::Fail(_, e) => return Err(e),
+                EvalEvent::Budget(k, reason) => {
+                    report.evaluated = k;
+                    report.exhausted = Some(budget.exhaustion("completeness", reason, k));
                     return Ok(report);
                 }
+                EvalEvent::Stuck(k, stuck) => {
+                    report.stuck.push(stuck);
+                    if report.stuck.len() >= self.max_failures {
+                        report.evaluated = k + 1;
+                        return Ok(report);
+                    }
+                }
             }
         }
+        report.evaluated = self.subjects.len();
+        Ok(report)
     }
-    report.evaluated = subjects.len();
-    Ok(report)
 }
 
 /// Evaluates one ground query application: `None` when it reduces to a

@@ -13,9 +13,8 @@
 use std::sync::Arc;
 
 use eclectic_kernel::{
-    effective_workers, env_threads, run_workers, Budget, BudgetExceeded, ConcurrentTermStore,
-    Exhaustion, IndexQueue,
-    Interner, SharedMemo, StoreHandle,
+    effective_workers, env_threads, run_workers_prio, Budget, BudgetExceeded, ConcurrentTermStore,
+    Exhaustion, IndexQueue, Interner, Priority, SharedMemo, StoreHandle,
 };
 use eclectic_logic::{rename_apart, unify, Formula, Subst, Term};
 
@@ -98,7 +97,7 @@ pub fn critical_overlaps_threads(spec: &AlgSpec, threads: usize) -> Result<Vec<O
     type PairOutcome = (Vec<(usize, Overlap)>, Option<(usize, AlgError)>);
     let workers = threads.min(pairs.len());
     let queue = IndexQueue::new(pairs.len(), workers);
-    let results: Vec<PairOutcome> = run_workers(workers, |_| {
+    let results: Vec<PairOutcome> = run_workers_prio(workers, Priority::Bulk, |_| {
         let pairs = &pairs;
         let queue = &queue;
         move || {
@@ -218,6 +217,104 @@ fn negations(f: &Formula) -> usize {
 /// both reducts fired, and the first disagreement rendering, if any.
 pub type GroundResolution = (usize, Option<String>);
 
+/// Outcome of resolving one overlap pair at its serial slot, opaque to
+/// callers and consumed by [`merge_pair_units`]. Produced either by the
+/// striding worker loop inside [`resolve_overlaps_budget_in`] or — one pair
+/// at a time — by [`resolve_pair_budget`], so an obligation-DAG scheduler
+/// can run each pair as its own pool task and still merge into the exact
+/// serial report.
+pub struct PairUnit {
+    slot: usize,
+    verdict: PairVerdict,
+}
+
+enum PairVerdict {
+    Done(GroundResolution),
+    Stop(BudgetExceeded),
+    Fail(AlgError),
+}
+
+/// Resolves one overlap pair as a standalone task: polls `budget` at the
+/// pair's serial `slot`, then evaluates both reducts on the shared ground
+/// space with a private rewriter. A pair's verdict depends only on the pair
+/// and the space (memo warmth changes speed, never normal forms), so units
+/// scheduled in any order merge to the same report as the striding sweep.
+#[must_use]
+pub fn resolve_pair_budget(
+    spec: &AlgSpec,
+    space: &GroundSpace,
+    slot: usize,
+    e1: &ConditionalEquation,
+    e2: &ConditionalEquation,
+    budget: &Budget,
+) -> PairUnit {
+    let mut rw = Rewriter::new(spec);
+    rw.set_budget(budget.without_node_cap());
+    resolve_pair_unit_with(&mut rw, space, slot, e1, e2, budget)
+}
+
+/// The shared per-slot step: budget poll at the slot boundary, then the
+/// pair resolution against a caller-held rewriter.
+fn resolve_pair_unit_with<S: Interner>(
+    rw: &mut Rewriter<'_, S>,
+    space: &GroundSpace,
+    slot: usize,
+    e1: &ConditionalEquation,
+    e2: &ConditionalEquation,
+    budget: &Budget,
+) -> PairUnit {
+    let verdict = if let Some(reason) = budget.check(slot) {
+        PairVerdict::Stop(reason)
+    } else {
+        match resolve_pair_with(rw, space, e1, e2) {
+            Ok(r) => PairVerdict::Done(r),
+            Err(AlgError::Budget { reason }) => PairVerdict::Stop(reason),
+            Err(e) => PairVerdict::Fail(e),
+        }
+    };
+    PairUnit { slot, verdict }
+}
+
+/// Replays per-pair units in serial slot order: the earliest budget stop
+/// truncates the report, and the earliest error below that stop propagates
+/// — exactly the serial loop's outcome. Every slot below the earliest stop
+/// must be present (units only go missing at or past a stop, which holds
+/// for both the striding sweep and a cancelled DAG run that kept every
+/// pre-stop unit).
+///
+/// # Errors
+/// Propagates rewriting errors (earliest pair first).
+pub fn merge_pair_units(
+    units: Vec<PairUnit>,
+    total_pairs: usize,
+    budget: &Budget,
+) -> Result<(Vec<GroundResolution>, Option<Exhaustion>)> {
+    let exhaustion = |reason: BudgetExceeded, k: usize| budget.exhaustion("confluence", reason, k);
+    let stop = units
+        .iter()
+        .filter_map(|u| match &u.verdict {
+            PairVerdict::Stop(reason) => Some((u.slot, *reason)),
+            _ => None,
+        })
+        .min_by_key(|(k, _)| *k);
+    let covered = stop.map_or(total_pairs, |(k, _)| k);
+    let mut slots: Vec<Option<PairVerdict>> = (0..covered).map(|_| None).collect();
+    for u in units {
+        if u.slot < covered {
+            slots[u.slot] = Some(u.verdict);
+        }
+    }
+    let mut resolutions = Vec::with_capacity(covered);
+    for slot in slots {
+        match slot.expect("every pair before the stop resolved") {
+            PairVerdict::Done(r) => resolutions.push(r),
+            PairVerdict::Fail(e) => return Err(e),
+            PairVerdict::Stop(_) => unreachable!("stops filtered by covered prefix"),
+        }
+    }
+    Ok((resolutions, stop.map(|(k, reason)| exhaustion(reason, k))))
+}
+
 /// Semantic tie-break for one overlap: on every ground instance of the
 /// unified redex over bounded state terms where *both* conditions hold,
 /// evaluate both reducts and compare. Returns the number of ground
@@ -317,55 +414,33 @@ pub fn resolve_overlaps_budget_in(
         return Ok((out, None));
     }
     let workers = threads.min(pairs.len());
-    type Resolution = Result<(usize, Option<String>)>;
-    type PairResult = (usize, Resolution);
-    type WorkerOut = (Vec<PairResult>, Option<(usize, BudgetExceeded)>);
     let queue = IndexQueue::new(pairs.len(), workers);
-    let results: Vec<WorkerOut> = run_workers(workers, |_| {
+    let units: Vec<PairUnit> = run_workers_prio(workers, Priority::Bulk, |_| {
         let queue = &queue;
         move || {
             let mut rw = Rewriter::new(spec);
             rw.set_budget(budget.without_node_cap());
-            let mut done: Vec<PairResult> = Vec::new();
-            while let Some(range) = queue.claim() {
+            let mut done: Vec<PairUnit> = Vec::new();
+            'claims: while let Some(range) = queue.claim() {
                 for k in range {
                     let (e1, e2) = pairs[k];
-                    if let Some(reason) = budget.check(k) {
-                        return (done, Some((k, reason)));
-                    }
-                    match resolve_pair_with(&mut rw, space, e1, e2) {
-                        Err(AlgError::Budget { reason }) => {
-                            return (done, Some((k, reason)));
-                        }
-                        r => done.push((k, r)),
+                    let unit = resolve_pair_unit_with(&mut rw, space, k, e1, e2, budget);
+                    let stop = matches!(unit.verdict, PairVerdict::Stop(_));
+                    done.push(unit);
+                    // A worker only skips slots *after* its own stop, so
+                    // the merge's covered prefix stays fully populated.
+                    if stop {
+                        break 'claims;
                     }
                 }
             }
-            (done, None)
+            done
         }
-    });
-
-    // Earliest budget stop across workers: every pair before it has a
-    // verdict (workers only skip slots after their own stop), so the prefix
-    // below is exactly what a serial governed run would have produced.
-    let stop = results
-        .iter()
-        .filter_map(|(_, s)| *s)
-        .min_by_key(|(k, _)| *k);
-    let covered = stop.map_or(pairs.len(), |(k, _)| k);
-    let mut slots: Vec<Option<Resolution>> = (0..covered).map(|_| None).collect();
-    for (worker, _) in results {
-        for (k, r) in worker {
-            if k < covered {
-                slots[k] = Some(r);
-            }
-        }
-    }
-    let resolutions = slots
-        .into_iter()
-        .map(|slot| slot.expect("every pair before the stop resolved"))
-        .collect::<Result<Vec<_>>>()?;
-    Ok((resolutions, stop.map(|(k, reason)| exhaustion(reason, k))))
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    merge_pair_units(units, pairs.len(), budget)
 }
 
 /// As [`resolve_overlaps_in`], serial, against a caller-held rewriter — so
@@ -482,7 +557,7 @@ pub fn resolve_overlap_in(
     let store = Arc::new(ConcurrentTermStore::new());
     let memo = Arc::new(SharedMemo::new());
     let queue = IndexQueue::new(subjects.len(), workers);
-    let results: Vec<(Vec<usize>, Option<GroundStop>)> = run_workers(workers, |_| {
+    let results: Vec<(Vec<usize>, Option<GroundStop>)> = run_workers_prio(workers, Priority::Bulk, |_| {
         let subjects = &subjects;
         let sig = &sig;
         let queue = &queue;

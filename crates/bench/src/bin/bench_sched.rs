@@ -1,38 +1,43 @@
-//! Work-stealing scheduler vs scoped-thread baseline on the combined
-//! verification battery; writes `BENCH_sched.json`.
+//! Scheduler and battery-shape comparison on the combined verification
+//! battery; writes `BENCH_sched.json`.
 //!
 //! Run with: `cargo run -p eclectic-bench --bin bench_sched --release`
 //!
 //! The workload is the full [`eclectic_spec::verify`] battery (W-grammar,
 //! 1→2 obligations, witness enumeration, 2→3 equations, dynamic-logic
 //! contracts, randomized cross-formalism traces) over all three packaged
-//! domains. At more than one thread the battery runs as a stage DAG on the
-//! shared `kernel::sched` pool, so this is exactly the multi-stage shape
-//! the work-stealing executor exists for: independent stage chains and
-//! their inner sweeps sharing idle workers instead of fencing at
-//! per-call-site `thread::scope` barriers.
+//! domains. At more than one thread the battery runs as a DAG on the
+//! shared `kernel::sched` pool in one of two shapes:
 //!
-//! Two arms per worker count (1/2/4/8), both under a lifted worker-core
-//! clamp so the requested workers genuinely run even on a small host:
+//! * **chain** — [`DagShape::Chain`], the pre-refactor stage DAG: four
+//!   coarse chains whose inner sweeps parallelize but whose stages fence
+//!   at chain-level barriers;
+//! * **fine** — [`DagShape::Fine`], the obligation-granular DAG: each
+//!   §4.4/§5.4 obligation is its own pool task, completion of the
+//!   exploration node individually unblocks axioms and witness
+//!   enumeration, and latency-critical nodes carry `Priority::High` so
+//!   they drain ahead of bulk grid sweeps.
 //!
-//! * **scoped** — `SchedMode::Scoped`, the pre-refactor baseline: every
-//!   `run_tasks` call spawns fresh scoped threads and joins them;
-//! * **steal** — `SchedMode::Steal`, the persistent pool with cross-region
-//!   stealing.
+//! Three timed arms per worker count (1/2/4/8), all under a lifted
+//! worker-core clamp so the requested workers genuinely run even on a
+//! small host: `scoped/chain` (scoped-thread baseline), `steal/chain`,
+//! and `steal/fine`.
 //!
-//! Before timing, bit-identity is asserted in-bench: every (mode, workers)
-//! pair must reproduce the 1-worker scoped [`VerificationOutcome`]
-//! fingerprint exactly — including a node-capped run whose per-stage
-//! `Exhaustion` partials must be worker-invariant. The pass gate requires
-//! the stealing executor ≥ 1.15× over the scoped baseline at 8 workers;
-//! on hosts with fewer than 8 cores the gate records the shortfall and
-//! warns instead of asserting fictitious scaling (see
-//! [`eclectic_bench::SpeedupGate`]).
+//! Before timing, bit-identity is asserted in-bench: every
+//! (mode, shape, workers) combination must reproduce the 1-worker scoped
+//! [`VerificationOutcome`] fingerprint exactly — including a node-capped
+//! run whose per-stage `Exhaustion` partials must be worker- and
+//! shape-invariant. The pass gate requires the fine obligation DAG
+//! ≥ 1.15× over the chain DAG at 8 stealing workers; on hosts with fewer
+//! than 8 cores the gate records the shortfall and warns instead of
+//! asserting fictitious scaling (see [`eclectic_bench::SpeedupGate`]).
 
 use eclectic_bench::{host_cores, Runner, SpeedupGate};
 use eclectic_kernel::{force_sched_mode, force_worker_cap, Exhaustion, SchedMode};
 use eclectic_spec::domains::{bank, courses, library};
-use eclectic_spec::{verify, TriLevelSpec, VerificationOutcome, VerifyConfig};
+use eclectic_spec::{
+    force_dag_shape, verify, DagShape, TriLevelSpec, VerificationOutcome, VerifyConfig,
+};
 
 const WORKERS: [usize; 4] = [1, 2, 4, 8];
 const THRESHOLD: f64 = 1.15;
@@ -62,9 +67,9 @@ fn set_threads(n: usize) {
 }
 
 /// Everything a [`VerificationOutcome`] decides, for bit-identity
-/// comparison across modes and worker counts. Wall-clock stage times and
-/// the dynamic checker's denotation-cache counters are excluded: both are
-/// legitimately schedule-dependent.
+/// comparison across modes, shapes and worker counts. Wall-clock stage
+/// times and the dynamic checker's denotation-cache counters are
+/// excluded: both are legitimately schedule-dependent.
 #[derive(Debug, PartialEq)]
 struct Fingerprint {
     grammar_ok: bool,
@@ -143,6 +148,13 @@ fn mode_name(mode: SchedMode) -> &'static str {
     }
 }
 
+fn shape_name(shape: DagShape) -> &'static str {
+    match shape {
+        DagShape::Fine => "fine",
+        DagShape::Chain => "chain",
+    }
+}
+
 fn main() {
     let cores = host_cores();
     // Lift the host-core clamp so 2/4/8 workers genuinely run; the bench
@@ -155,10 +167,11 @@ fn main() {
     capped.max_nodes = Some(PARTIAL_NODE_CAP);
 
     // Bit-identity before timing: the 1-worker scoped battery is the
-    // reference for every (mode, workers) pair, on both the uncapped
-    // outcome and the node-capped partial.
+    // reference for every (mode, shape, workers) combination, on both the
+    // uncapped outcome and the node-capped partial.
     let (reference, capped_reference) = {
         let _m = force_sched_mode(SchedMode::Scoped);
+        let _s = force_dag_shape(DagShape::Chain);
         set_threads(1);
         (battery(&specs, &config), battery(&specs, &capped))
     };
@@ -172,49 +185,74 @@ fn main() {
     let mut partials_identical = true;
     for mode in [SchedMode::Scoped, SchedMode::Steal] {
         let _m = force_sched_mode(mode);
-        for workers in WORKERS {
-            set_threads(workers);
-            let fp = battery(&specs, &config);
-            if fp != reference {
-                identical = false;
-                eprintln!("MISMATCH: outcome at {}/{workers}", mode_name(mode));
-            }
-            let pfp = battery(&specs, &capped);
-            if pfp != capped_reference {
-                partials_identical = false;
-                eprintln!("MISMATCH: capped partial at {}/{workers}", mode_name(mode));
+        for shape in [DagShape::Chain, DagShape::Fine] {
+            let _s = force_dag_shape(shape);
+            for workers in WORKERS {
+                set_threads(workers);
+                let fp = battery(&specs, &config);
+                if fp != reference {
+                    identical = false;
+                    eprintln!(
+                        "MISMATCH: outcome at {}/{}/{workers}",
+                        mode_name(mode),
+                        shape_name(shape)
+                    );
+                }
+                let pfp = battery(&specs, &capped);
+                if pfp != capped_reference {
+                    partials_identical = false;
+                    eprintln!(
+                        "MISMATCH: capped partial at {}/{}/{workers}",
+                        mode_name(mode),
+                        shape_name(shape)
+                    );
+                }
             }
         }
     }
 
-    // Timing: the full battery per (mode, workers).
+    // Timing: the full battery per (mode, shape, workers) arm.
+    let arms: [(SchedMode, DagShape); 3] = [
+        (SchedMode::Scoped, DagShape::Chain),
+        (SchedMode::Steal, DagShape::Chain),
+        (SchedMode::Steal, DagShape::Fine),
+    ];
     let mut r = Runner::new("sched").sample_size(5).warmup(1);
-    let mut rows: Vec<(&'static str, usize, f64)> = Vec::new();
-    for mode in [SchedMode::Scoped, SchedMode::Steal] {
+    let mut rows: Vec<(&'static str, &'static str, usize, f64)> = Vec::new();
+    for (mode, shape) in arms {
         let _m = force_sched_mode(mode);
+        let _s = force_dag_shape(shape);
         for workers in WORKERS {
             set_threads(workers);
             let m = r
-                .bench(format!("{}/workers_{workers}", mode_name(mode)), || {
-                    specs
-                        .iter()
-                        .map(|(_, s)| verify(s, &config).unwrap().dynamic.checked)
-                        .sum::<usize>()
-                })
+                .bench(
+                    format!(
+                        "{}_{}/workers_{workers}",
+                        mode_name(mode),
+                        shape_name(shape)
+                    ),
+                    || {
+                        specs
+                            .iter()
+                            .map(|(_, s)| verify(s, &config).unwrap().dynamic.checked)
+                            .sum::<usize>()
+                    },
+                )
                 .median_ns;
-            rows.push((mode_name(mode), workers, m));
+            rows.push((mode_name(mode), shape_name(shape), workers, m));
         }
     }
     r.finish();
 
-    let median = |mode: &str, workers: usize| {
+    let median = |mode: &str, shape: &str, workers: usize| {
         rows.iter()
-            .find(|&&(m, w, _)| m == mode && w == workers)
-            .map(|&(_, _, ns)| ns)
+            .find(|&&(m, s, w, _)| m == mode && s == shape && w == workers)
+            .map(|&(_, _, _, ns)| ns)
             .unwrap_or(f64::NAN)
     };
-    let at8 = median("scoped", 8) / median("steal", 8);
-    let gate = SpeedupGate::new(8, THRESHOLD, at8);
+    let fine_at8 = median("steal", "chain", 8) / median("steal", "fine", 8);
+    let steal_at8 = median("scoped", "chain", 8) / median("steal", "chain", 8);
+    let gate = SpeedupGate::new(8, THRESHOLD, fine_at8);
     let pass = gate.pass() && identical && partials_identical;
 
     let mut json = String::from("{\n  \"bench\": \"sched\",\n");
@@ -222,30 +260,32 @@ fn main() {
         "  \"workload\": \"courses+library+bank full verify battery (quick bounds)\",\n",
     );
     json.push_str(&format!("  \"available_cores\": {cores},\n"));
-    json.push_str("  \"baseline\": \"scoped_threads_per_call\",\n");
+    json.push_str("  \"baseline\": \"chain_dag\",\n");
     json.push_str("  \"rows\": [\n");
-    for (i, (mode, workers, ns)) in rows.iter().enumerate() {
+    for (i, (mode, shape, workers, ns)) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"mode\": \"{mode}\", \"workers\": {workers}, \"median_ns\": {ns:.0}, \
-             \"speedup_vs_scoped\": {:.3}}}{}\n",
-            median("scoped", *workers) / ns,
+            "    {{\"mode\": \"{mode}\", \"shape\": \"{shape}\", \"workers\": {workers}, \
+             \"median_ns\": {ns:.0}, \"speedup_vs_scoped_chain\": {:.3}}}{}\n",
+            median("scoped", "chain", *workers) / ns,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"speedup_steal_vs_scoped_at_8\": {at8:.3},\n  \"threshold\": {THRESHOLD},\n  \
+        "  ],\n  \"speedup_fine_vs_chain_at_8\": {fine_at8:.3},\n  \
+         \"speedup_steal_vs_scoped_at_8\": {steal_at8:.3},\n  \"threshold\": {THRESHOLD},\n  \
          \"speedup_gate\": {},\n  \"outcomes_bit_identical\": {identical},\n  \
          \"capped_partials_bit_identical\": {partials_identical},\n  \"pass\": {pass}\n}}\n",
         gate.json()
     ));
     std::fs::write("BENCH_sched.json", &json).expect("write BENCH_sched.json");
     println!(
-        "\nBENCH_sched.json written (steal {at8:.2}x scoped at 8 workers, threshold {THRESHOLD}x, \
-         identical: {identical}, capped partials identical: {partials_identical})"
+        "\nBENCH_sched.json written (fine {fine_at8:.2}x chain at 8 stealing workers, \
+         threshold {THRESHOLD}x, identical: {identical}, capped partials identical: \
+         {partials_identical})"
     );
     assert!(
         identical && partials_identical,
-        "work-stealing outcomes must be bit-identical to the scoped baseline"
+        "obligation-DAG outcomes must be bit-identical to the scoped chain baseline"
     );
-    gate.check("BENCH_sched steal-vs-scoped at 8 workers");
+    gate.check("BENCH_sched fine-vs-chain at 8 workers");
 }

@@ -26,8 +26,8 @@ use std::sync::Arc;
 
 use eclectic_algebraic::{random_descriptions, synthesize, AlgSignature, AlgSpec};
 use eclectic_kernel::{
-    force_rel_backend, force_sched_mode, force_worker_cap, Exhaustion, RelChoice, Rng, SchedMode,
-    REL_DENSE_MAX_DIM,
+    env_threads, force_rel_backend, force_sched_mode, force_worker_cap, run_tasks, Exhaustion,
+    RelChoice, Rng, SchedMode, REL_DENSE_MAX_DIM,
 };
 use eclectic_logic::{Formula, Signature, SortId, Term, Theory, VarId};
 use eclectic_refine::{random::equivalent_variant, InterpretationI, InterpretationK, QueryImpl};
@@ -37,7 +37,9 @@ use eclectic_rpr::QueryDef;
 use crate::error::{Result, SpecError};
 use crate::methodology::derive_schema;
 use crate::spec::{CarrierSpec, TriLevelSpec};
-use crate::verify::{verify_with_threads, VerificationOutcome, VerifyConfig};
+use crate::verify::{
+    force_dag_shape, verify_with_threads, DagShape, VerificationOutcome, VerifyConfig,
+};
 
 /// Node-budget used for the capped-prefix differential axis. Small enough
 /// to trip inside refine12 on most generated domains, large enough that the
@@ -352,8 +354,9 @@ impl Fingerprint {
 /// errors exactly as they must agree on fingerprints.
 pub type EngineOutcome = std::result::Result<Fingerprint, String>;
 
-/// Verifies `spec` under one engine combination, capturing either the
-/// schedule-independent fingerprint or the rendered error.
+/// Verifies `spec` under one engine combination (the default obligation-DAG
+/// battery shape), capturing either the schedule-independent fingerprint or
+/// the rendered error.
 pub fn engine_outcome(
     spec: &TriLevelSpec,
     vc: &VerifyConfig,
@@ -361,8 +364,23 @@ pub fn engine_outcome(
     mode: SchedMode,
     workers: usize,
 ) -> EngineOutcome {
+    engine_outcome_shaped(spec, vc, backend, mode, workers, DagShape::Fine)
+}
+
+/// [`engine_outcome`] with an explicit battery [`DagShape`] — the axis that
+/// cross-checks the obligation-granularity DAG against the coarse chain
+/// decomposition.
+pub fn engine_outcome_shaped(
+    spec: &TriLevelSpec,
+    vc: &VerifyConfig,
+    backend: RelChoice,
+    mode: SchedMode,
+    workers: usize,
+    shape: DagShape,
+) -> EngineOutcome {
     let _backend = force_rel_backend(backend);
     let _mode = force_sched_mode(mode);
+    let _shape = force_dag_shape(shape);
     match verify_with_threads(spec, vc, workers) {
         Ok(o) => Ok(Fingerprint::of(&o)),
         Err(e) => Err(e.to_string()),
@@ -403,27 +421,52 @@ pub struct DifferentialReport {
     pub divergences: Vec<Divergence>,
 }
 
+/// One engine combination of the differential grid:
+/// `(label, backend, scheduler, workers, battery shape)`.
+pub type EngineCombo = (String, RelChoice, SchedMode, usize, DagShape);
+
 /// The engine combinations every domain is verified under, beyond the
-/// baseline: each combination is `(label, backend, scheduler, workers)`.
+/// baseline. Multi-worker combos run the default obligation-DAG battery;
+/// the `shape:chain/…` arms re-run the same workloads under the coarse
+/// chain decomposition, cross-checking the two task shapes against each
+/// other (and, transitively, against the serial baseline).
 #[must_use]
-pub fn engine_combos() -> Vec<(String, RelChoice, SchedMode, usize)> {
+pub fn engine_combos() -> Vec<EngineCombo> {
     let auto = RelChoice::AutoAt(REL_DENSE_MAX_DIM);
+    let fine = DagShape::Fine;
     let mut combos = vec![
-        ("backend:dense/steal/1".into(), RelChoice::Dense, SchedMode::Steal, 1),
-        ("backend:sparse/steal/1".into(), RelChoice::Sparse, SchedMode::Steal, 1),
+        ("backend:dense/steal/1".into(), RelChoice::Dense, SchedMode::Steal, 1, fine),
+        ("backend:sparse/steal/1".into(), RelChoice::Sparse, SchedMode::Steal, 1, fine),
         (
             "backend:compressed/steal/1".into(),
             RelChoice::Compressed,
             SchedMode::Steal,
             1,
+            fine,
         ),
     ];
     for workers in [2usize, 4, 8] {
-        combos.push((format!("sched:steal/{workers}"), auto, SchedMode::Steal, workers));
+        combos.push((format!("sched:steal/{workers}"), auto, SchedMode::Steal, workers, fine));
     }
     for workers in [1usize, 2, 4, 8] {
-        combos.push((format!("sched:scoped/{workers}"), auto, SchedMode::Scoped, workers));
+        combos.push((format!("sched:scoped/{workers}"), auto, SchedMode::Scoped, workers, fine));
     }
+    for workers in [2usize, 4, 8] {
+        combos.push((
+            format!("shape:chain/steal/{workers}"),
+            auto,
+            SchedMode::Steal,
+            workers,
+            DagShape::Chain,
+        ));
+    }
+    combos.push((
+        "shape:chain/scoped/4".into(),
+        auto,
+        SchedMode::Scoped,
+        4,
+        DagShape::Chain,
+    ));
     combos
 }
 
@@ -480,8 +523,8 @@ pub fn run_differential(seed: u64, cfg: &FuzzConfig) -> Result<DifferentialRepor
 
     let baseline = engine_outcome(&spec, &vc, auto, SchedMode::Steal, 1);
     let mut divergences = Vec::new();
-    for (axis, backend, mode, workers) in engine_combos() {
-        let outcome = engine_outcome(&spec, &vc, backend, mode, workers);
+    for (axis, backend, mode, workers, shape) in engine_combos() {
+        let outcome = engine_outcome_shaped(&spec, &vc, backend, mode, workers, shape);
         if let Some(detail) = outcome_difference(&baseline, &outcome) {
             divergences.push(Divergence { axis, detail });
         }
@@ -708,24 +751,119 @@ pub struct CorpusOutcome {
 
 /// Sweeps seeds `0..count` (offset by `base`), running the full
 /// differential battery on each and shrinking any divergence found.
+///
+/// The sweep is parallelised on the shared scheduler pool with the engine
+/// combinations *outer* and the seeds *inner*: the force-guards that pin a
+/// backend/scheduler/shape are process-global, so each combination is
+/// pinned once and every seed's verification runs concurrently under it.
+/// Fingerprints are thread-invariant by construction, so the outcome is
+/// identical to the serial per-seed [`run_differential`] loop — results
+/// land in seed order and any shrinking happens serially afterwards.
 #[must_use]
 pub fn run_corpus(base: u64, count: usize, cfg: &FuzzConfig) -> CorpusOutcome {
     let mut out = CorpusOutcome::default();
-    for i in 0..count {
+    let threads = env_threads();
+
+    // Generate every domain first — pure and guard-free, so seeds fan out
+    // on the pool directly.
+    type Built = std::result::Result<TriLevelSpec, String>;
+    let built: Vec<Built> = {
+        let tasks: Vec<Box<dyn FnOnce() -> Built + Send + '_>> = (0..count)
+            .map(|i| {
+                let seed = base + i as u64;
+                Box::new(move || build_domain(seed, cfg).map_err(|e| e.to_string()))
+                    as Box<dyn FnOnce() -> Built + Send + '_>
+            })
+            .collect();
+        run_tasks(threads, tasks)
+    };
+    let mut specs: Vec<(u64, TriLevelSpec)> = Vec::new();
+    for (i, b) in built.into_iter().enumerate() {
         let seed = base + i as u64;
-        match run_differential(seed, cfg) {
-            Ok(report) => {
+        match b {
+            Ok(spec) => {
                 out.domains += 1;
-                if !report.divergences.is_empty() {
-                    let shrunk = shrink(seed, cfg);
-                    let final_divs = run_differential(seed, &shrunk)
-                        .map(|r| r.divergences)
-                        .unwrap_or(report.divergences);
-                    out.failures.push((seed, shrunk, final_divs));
-                }
+                specs.push((seed, spec));
             }
-            Err(e) => out.generator_errors.push((seed, e.to_string())),
+            Err(e) => out.generator_errors.push((seed, e)),
         }
+    }
+
+    // One engine arm across every seed, under one set of force guards.
+    let vc = cfg.verify_config();
+    let sweep = |backend: RelChoice, mode: SchedMode, workers: usize, shape: DagShape, vc: &VerifyConfig| -> Vec<EngineOutcome> {
+        let _cap = force_worker_cap(usize::MAX);
+        let _backend = force_rel_backend(backend);
+        let _mode = force_sched_mode(mode);
+        let _shape = force_dag_shape(shape);
+        let tasks: Vec<Box<dyn FnOnce() -> EngineOutcome + Send + '_>> = specs
+            .iter()
+            .map(|(_, spec)| {
+                Box::new(move || match verify_with_threads(spec, vc, workers) {
+                    Ok(o) => Ok(Fingerprint::of(&o)),
+                    Err(e) => Err(e.to_string()),
+                }) as Box<dyn FnOnce() -> EngineOutcome + Send + '_>
+            })
+            .collect();
+        run_tasks(threads, tasks)
+    };
+
+    let auto = RelChoice::AutoAt(REL_DENSE_MAX_DIM);
+    let baseline = sweep(auto, SchedMode::Steal, 1, DagShape::Fine, &vc);
+    let mut per_seed: Vec<Vec<Divergence>> = vec![Vec::new(); specs.len()];
+    for (axis, backend, mode, workers, shape) in engine_combos() {
+        let outcomes = sweep(backend, mode, workers, shape, &vc);
+        for (j, outcome) in outcomes.iter().enumerate() {
+            if let Some(detail) = outcome_difference(&baseline[j], outcome) {
+                per_seed[j].push(Divergence {
+                    axis: axis.clone(),
+                    detail,
+                });
+            }
+        }
+    }
+
+    // Budget-capped partial runs: deterministic across engines, and a
+    // prefix of the uncapped outcome.
+    let mut capped_vc = vc;
+    capped_vc.max_nodes = Some(CAPPED_NODES);
+    let capped_dense = sweep(RelChoice::Dense, SchedMode::Steal, 1, DagShape::Fine, &capped_vc);
+    let capped_sparse = sweep(RelChoice::Sparse, SchedMode::Scoped, 2, DagShape::Fine, &capped_vc);
+    for j in 0..specs.len() {
+        if let Some(detail) = outcome_difference(&capped_dense[j], &capped_sparse[j]) {
+            per_seed[j].push(Divergence {
+                axis: "capped:dense/steal/1-vs-sparse/scoped/2".into(),
+                detail,
+            });
+        }
+        if let (Ok(capped), Ok(full)) = (&capped_dense[j], &baseline[j]) {
+            if let Some(detail) = prefix_violation(capped, full) {
+                per_seed[j].push(Divergence {
+                    axis: "capped:prefix-of-uncapped".into(),
+                    detail,
+                });
+            }
+        }
+    }
+
+    #[cfg(feature = "legacy-rewrite")]
+    for (j, (seed, spec)) in specs.iter().enumerate() {
+        match legacy_divergences(spec) {
+            Ok(divs) => per_seed[j].extend(divs),
+            Err(e) => out.generator_errors.push((*seed, e.to_string())),
+        }
+    }
+
+    // Shrink serially, in seed order, exactly as the serial sweep did.
+    for ((seed, _), divergences) in specs.iter().zip(per_seed) {
+        if divergences.is_empty() {
+            continue;
+        }
+        let shrunk = shrink(*seed, cfg);
+        let final_divs = run_differential(*seed, &shrunk)
+            .map(|r| r.divergences)
+            .unwrap_or(divergences);
+        out.failures.push((*seed, shrunk, final_divs));
     }
     out
 }

@@ -2,19 +2,40 @@
 //! obligation of the paper, plus the W-grammar syntax check and randomized
 //! cross-formalism testing.
 //!
-//! When more than one thread is configured, the battery runs as a small
-//! stage DAG on the shared [`eclectic_kernel::sched`] pool: the three
-//! independent chains `{refine12 → witness}`, `{equations → cross}` and
-//! `{dynamic}` execute concurrently (their inner sweeps steal idle workers
-//! from each other), while the reported stage order stays canonical.
+//! When more than one thread is configured, the battery runs as a task DAG
+//! on the shared [`eclectic_kernel::sched`] pool, in one of two shapes
+//! (see [`DagShape`]):
+//!
+//! - **Fine** (the default): every proof obligation is its own pool task
+//!   at obligation granularity — termination, the completeness sweep, the
+//!   universe exploration, the axiom sweep, witness enumeration, the
+//!   equation check, per-procedure dynamic obligations and the cross
+//!   check — with completion-count edges (`explore → {axioms, witness}`,
+//!   `equations → cross`) so each task unblocks the moment its inputs
+//!   exist. Latency-critical tasks run at [`Priority::High`]; wide grid
+//!   sweeps at [`Priority::Bulk`] so they cannot starve the critical path.
+//! - **Chain**: the three coarse chains `{refine12 → witness}`,
+//!   `{equations → cross}` and `{dynamic}` as single tasks — the A/B
+//!   baseline for `bench_sched` and differential fuzzing.
+//!
+//! Both shapes compute exactly what the serial battery computes — every
+//! governed sweep owns its term store and polls deterministic budget axes
+//! at serial slot indices — so reports are bit-identical across shapes and
+//! worker counts; the reported stage order stays canonical.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
-use eclectic_kernel::{env_threads, run_tasks, Budget, Exhaustion};
+use eclectic_algebraic::{completeness, termination};
+use eclectic_kernel::{env_threads, run_tasks, run_tasks_prio, Budget, DagBuilder, Exhaustion, Priority};
 use eclectic_refine::{
     check_dynamic_budget, check_equations_budget, check_refinement_1_2_budget,
-    check_valid_reachable, cross_check_budget, random_ops, CrossCheckStats, DynamicReport,
-    EquationCheckReport, FullReport, InducedAlgebra, Mismatch, Refine12Config, Refine12Report,
+    check_valid_reachable,
+    cross_check_budget, obligation_axioms, obligation_completeness, obligation_exploration,
+    obligation_termination, plan_dynamic, random_ops, AlgebraicExploration, CrossCheckStats,
+    DynamicPrep, DynamicReport, DynamicUnitOutcome, EquationCheckReport, FullReport,
+    InducedAlgebra, Mismatch, Refine12Config, Refine12Report, StateViolation,
     ValidReachableReport,
 };
 use eclectic_rpr::wgrammar;
@@ -201,6 +222,59 @@ type VerifyBody = (
     Vec<StageStats>,
 );
 
+/// Which task decomposition the staged battery (`threads > 1`) uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DagShape {
+    /// Obligation-granularity tasks with completion-count unblock edges —
+    /// the default.
+    Fine,
+    /// The three coarse chains `{refine12 → witness}`, `{equations →
+    /// cross}`, `{dynamic}` as single tasks — the A/B baseline.
+    Chain,
+}
+
+/// Process-global shape override: 0 = none, 1 = fine, 2 = chain.
+static SHAPE_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Serializes holders of [`force_dag_shape`] guards.
+static SHAPE_LOCK: Mutex<()> = Mutex::new(());
+
+/// RAII guard for a forced battery shape; restores the default on drop.
+/// Holding it excludes every other forced-shape section in the process.
+pub struct DagShapeGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for DagShapeGuard {
+    fn drop(&mut self) {
+        SHAPE_OVERRIDE.store(0, Ordering::SeqCst);
+    }
+}
+
+/// Forces the staged battery's [`DagShape`] for the lifetime of the
+/// returned guard. Intended for tests, benches and the differential fuzzer,
+/// which A/B the two decompositions in one process.
+#[must_use]
+pub fn force_dag_shape(shape: DagShape) -> DagShapeGuard {
+    let lock = SHAPE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let code = match shape {
+        DagShape::Fine => 1,
+        DagShape::Chain => 2,
+    };
+    SHAPE_OVERRIDE.store(code, Ordering::SeqCst);
+    DagShapeGuard { _lock: lock }
+}
+
+/// The battery shape in effect: a [`force_dag_shape`] override wins,
+/// otherwise [`DagShape::Fine`].
+#[must_use]
+pub fn dag_shape() -> DagShape {
+    match SHAPE_OVERRIDE.load(Ordering::SeqCst) {
+        2 => DagShape::Chain,
+        _ => DagShape::Fine,
+    }
+}
+
 /// Runs the whole battery against a specification.
 ///
 /// # Errors
@@ -237,7 +311,10 @@ pub fn verify_with_threads(
     };
 
     let (report, dynamic, cross_mismatch, cross_stats, stages) = if threads > 1 {
-        verify_staged(spec, config, &budget, threads)?
+        match dag_shape() {
+            DagShape::Fine => verify_staged_fine(spec, config, &budget, threads)?,
+            DagShape::Chain => verify_staged(spec, config, &budget, threads)?,
+        }
     } else {
         verify_serial(spec, config, &budget, threads)?
     };
@@ -277,7 +354,18 @@ fn stage_witness(
     refine12: &Refine12Report,
     config: &VerifyConfig,
 ) -> Result<ValidReachableReport> {
-    if refine12.exploration.exhausted.is_some() {
+    stage_witness_from(spec, &refine12.exploration, config)
+}
+
+/// [`stage_witness`] against the bare exploration — what the obligation
+/// DAG's witness task actually needs, so its unblock edge is `explore →
+/// witness` rather than the whole refine12 chain.
+fn stage_witness_from(
+    spec: &TriLevelSpec,
+    exploration: &AlgebraicExploration,
+    config: &VerifyConfig,
+) -> Result<ValidReachableReport> {
+    if exploration.exhausted.is_some() {
         Ok(ValidReachableReport {
             candidates: 0,
             valid: 0,
@@ -288,7 +376,7 @@ fn stage_witness(
     } else {
         Ok(check_valid_reachable(
             &spec.information,
-            &refine12.exploration,
+            exploration,
             config.candidate_cap,
         )?)
     }
@@ -553,6 +641,242 @@ fn verify_staged(
     stages.push(chain_b_stages.next().expect("equations stage recorded"));
     stages.push(dynamic_stage);
     stages.extend(chain_b_stages);
+    if config.print_stages {
+        for s in &stages {
+            print_stage_line(s);
+        }
+    }
+
+    Ok((
+        FullReport {
+            refine12,
+            valid_reachable,
+            equations,
+        },
+        dynamic,
+        cross_mismatch,
+        cross_stats,
+        stages,
+    ))
+}
+
+/// Milliseconds elapsed on the shared budget clock since `start`.
+fn span_ms(budget: &Budget, start: Duration) -> u64 {
+    u64::try_from(budget.elapsed().saturating_sub(start).as_millis()).unwrap_or(u64::MAX)
+}
+
+/// The obligation-granularity battery: every proof obligation is its own
+/// pool task, wired with completion-count edges so a task unblocks the
+/// moment its actual inputs exist:
+///
+/// ```text
+///   term (High)      compl (Bulk)      explore (High)      equations (High)      dynamic (Bulk)
+///                                        /        \              |
+///                                axioms (Bulk)  witness (High)  cross (High)
+/// ```
+///
+/// In particular `witness` depends on `explore` *only* — it starts while
+/// the axiom sweep is still grinding, where the chain shape held it behind
+/// the whole refine12 chain. Bulk tasks (wide grid sweeps, and the
+/// per-procedure dynamic units spawned inside the `dynamic` task) drain
+/// after High ones under the priority-aware injector, keeping the
+/// latency-critical `explore → witness` and `equations → cross` paths
+/// short.
+///
+/// Nodes communicate through caller-frame slots; the dependency edges are
+/// the happens-before each read needs, and the DAG barrier covers the
+/// assembly reads. Every obligation computes exactly its serial result, so
+/// the assembled reports are bit-identical to [`verify_serial`] and
+/// [`verify_staged`]; errors surface in canonical serial order.
+#[allow(clippy::too_many_lines)]
+fn verify_staged_fine(
+    spec: &TriLevelSpec,
+    config: &VerifyConfig,
+    budget: &Budget,
+    threads: usize,
+) -> Result<VerifyBody> {
+    use std::sync::Arc;
+    type RR<T> = std::result::Result<T, eclectic_refine::RefineError>;
+
+    type Timed<T> = Option<(T, u64)>;
+    let term_slot: Mutex<Timed<RR<termination::TerminationReport>>> = Mutex::new(None);
+    let compl_slot: Mutex<Timed<RR<completeness::CompletenessReport>>> = Mutex::new(None);
+    let explore_slot: Mutex<Timed<RR<Arc<AlgebraicExploration>>>> = Mutex::new(None);
+    type Violations = (Vec<StateViolation>, Vec<StateViolation>);
+    let axioms_slot: Mutex<Timed<Option<RR<Violations>>>> = Mutex::new(None);
+    let witness_slot: Mutex<Timed<Option<Result<ValidReachableReport>>>> = Mutex::new(None);
+    let equations_slot: Mutex<Timed<Result<EquationCheckReport>>> = Mutex::new(None);
+    let induced_slot: Mutex<Option<InducedAlgebra<'_>>> = Mutex::new(None);
+    type CrossOut = (Option<Mismatch>, CrossCheckStats, Option<Exhaustion>);
+    let cross_slot: Mutex<Timed<Option<Result<CrossOut>>>> = Mutex::new(None);
+    let dynamic_slot: Mutex<Timed<Result<DynamicReport>>> = Mutex::new(None);
+
+    // A successfully explored universe, cloned out of the slot by each
+    // downstream task (cheap: it is behind an `Arc`).
+    let explored = || -> Option<Arc<AlgebraicExploration>> {
+        match explore_slot.lock().unwrap().as_ref() {
+            Some((Ok(e), _)) => Some(e.clone()),
+            _ => None,
+        }
+    };
+
+    let mut dag: DagBuilder<'_, ()> = DagBuilder::new();
+    dag.spawn(Priority::High, || {
+        let t0 = budget.elapsed();
+        let r = obligation_termination(&spec.functions);
+        *term_slot.lock().unwrap() = Some((r, span_ms(budget, t0)));
+    });
+    dag.spawn(Priority::Bulk, || {
+        let t0 = budget.elapsed();
+        let r = obligation_completeness(
+            &spec.functions,
+            config.refine12.completeness_depth,
+            budget,
+            threads,
+        );
+        *compl_slot.lock().unwrap() = Some((r, span_ms(budget, t0)));
+    });
+    let explore = dag.spawn(Priority::High, || {
+        let t0 = budget.elapsed();
+        let r = obligation_exploration(
+            &spec.functions,
+            &spec.interp_i,
+            spec.info_signature(),
+            &spec.info_domains,
+            config.refine12.limits,
+            budget,
+            threads,
+        );
+        *explore_slot.lock().unwrap() = Some((r.map(Arc::new), span_ms(budget, t0)));
+    });
+    dag.spawn_dependent(Priority::Bulk, &[explore], || {
+        let t0 = budget.elapsed();
+        let r = explored().map(|e| {
+            obligation_axioms(&spec.information, &spec.functions, config.refine12.policy, &e)
+        });
+        *axioms_slot.lock().unwrap() = Some((r, span_ms(budget, t0)));
+    });
+    dag.spawn_dependent(Priority::High, &[explore], || {
+        let t0 = budget.elapsed();
+        let r = explored().map(|e| stage_witness_from(spec, &e, config));
+        *witness_slot.lock().unwrap() = Some((r, span_ms(budget, t0)));
+    });
+    let equations = dag.spawn(Priority::High, || {
+        let t0 = budget.elapsed();
+        let r = (|| {
+            let mut induced = make_induced(spec)?;
+            let eqs = stage_equations(&mut induced, config, budget)?;
+            *induced_slot.lock().unwrap() = Some(induced);
+            Ok(eqs)
+        })();
+        *equations_slot.lock().unwrap() = Some((r, span_ms(budget, t0)));
+    });
+    dag.spawn_dependent(Priority::High, &[equations], || {
+        let t0 = budget.elapsed();
+        let taken = induced_slot.lock().unwrap().take();
+        let r = taken.map(|mut induced| stage_cross(spec, &mut induced, config, budget, threads));
+        *cross_slot.lock().unwrap() = Some((r, span_ms(budget, t0)));
+    });
+    dag.spawn(Priority::Bulk, || {
+        let t0 = budget.elapsed();
+        let r = (|| {
+            let template = spec.empty_state();
+            match plan_dynamic(&spec.representation, &template, config.pdl_universe_cap, budget)? {
+                DynamicPrep::Done(report) => Ok(report),
+                DynamicPrep::Plan(plan) => {
+                    let n = plan.procs();
+                    if n == 0 {
+                        return Ok(plan.merge(Vec::new(), budget));
+                    }
+                    // Per-procedure obligation units as Bulk pool tasks;
+                    // each owns its denotation cache and processes its
+                    // contiguous slot range in serial order, so the merge
+                    // replays the exact serial verdicts.
+                    let plan_ref = &plan;
+                    let units: Vec<Box<dyn FnOnce() -> RR<DynamicUnitOutcome> + Send + '_>> =
+                        (0..n)
+                            .map(|i| {
+                                Box::new(move || plan_ref.run_proc(i, budget, 1))
+                                    as Box<dyn FnOnce() -> _ + Send + '_>
+                            })
+                            .collect();
+                    let outcomes = run_tasks_prio(threads.min(n), Priority::Bulk, units)
+                        .into_iter()
+                        .collect::<RR<Vec<_>>>()?;
+                    Ok(plan.merge(outcomes, budget))
+                }
+            }
+        })();
+        *dynamic_slot.lock().unwrap() = Some((r, span_ms(budget, t0)));
+    });
+    let _: Vec<()> = dag.run(threads);
+
+    // Assemble in canonical serial order, so the error surfaced (and the
+    // partial-report semantics) match `verify_serial` exactly: termination,
+    // completeness, exploration, axioms, witness, equations, dynamic,
+    // cross.
+    let (term_r, term_ms) = term_slot.into_inner().unwrap().expect("termination task ran");
+    let termination = term_r?;
+    let (compl_r, compl_ms) = compl_slot.into_inner().unwrap().expect("completeness task ran");
+    let completeness = compl_r?;
+    let (explore_r, explore_ms) = explore_slot.into_inner().unwrap().expect("exploration task ran");
+    let exploration_arc = explore_r?;
+    let (axioms_r, axioms_ms) = axioms_slot.into_inner().unwrap().expect("axioms task ran");
+    let (static_violations, transition_violations) =
+        axioms_r.expect("axioms ran after successful exploration")?;
+    let (witness_r, witness_ms) = witness_slot.into_inner().unwrap().expect("witness task ran");
+    let valid_reachable = witness_r.expect("witness ran after successful exploration")?;
+    let (equations_r, equations_ms) = equations_slot.into_inner().unwrap().expect("equations task ran");
+    let equations = equations_r?;
+    let (dynamic_r, dynamic_ms) = dynamic_slot.into_inner().unwrap().expect("dynamic task ran");
+    let dynamic = dynamic_r?;
+    let (cross_r, cross_ms) = cross_slot.into_inner().unwrap().expect("cross task ran");
+    let (cross_mismatch, cross_stats, cross_exhausted) =
+        cross_r.expect("cross ran after successful equations")?;
+
+    // Every other `Arc` clone died with its task; a failed unwrap can only
+    // mean a leaked clone, so fall back to a deep clone rather than panic.
+    let exploration =
+        Arc::try_unwrap(exploration_arc).unwrap_or_else(|a| a.as_ref().clone());
+    let refine12 = Refine12Report {
+        termination,
+        completeness,
+        static_violations,
+        transition_violations,
+        exploration,
+    };
+
+    let refine12_ms = term_ms
+        .saturating_add(compl_ms)
+        .saturating_add(explore_ms)
+        .saturating_add(axioms_ms);
+    let stages = vec![
+        StageStats {
+            name: "refine12",
+            elapsed_ms: refine12_ms,
+            exhausted: refine12.exhausted().cloned(),
+        },
+        StageStats {
+            name: "witness",
+            elapsed_ms: witness_ms,
+            exhausted: None,
+        },
+        StageStats {
+            name: "equations",
+            elapsed_ms: equations_ms,
+            exhausted: equations.exhausted.clone(),
+        },
+        StageStats {
+            name: "dynamic",
+            elapsed_ms: dynamic_ms,
+            exhausted: dynamic.exhausted.clone(),
+        },
+        StageStats {
+            name: "cross",
+            elapsed_ms: cross_ms,
+            exhausted: cross_exhausted,
+        },
+    ];
     if config.print_stages {
         for s in &stages {
             print_stage_line(s);

@@ -1,7 +1,7 @@
 //! Replays every differential-fuzzing corpus fixture (`tests/corpus/*.toml`
 //! at the workspace root) across the full backend × scheduler × worker-count
-//! grid: the schedule-independent fingerprint must be byte-identical for
-//! every combination.
+//! × battery-shape grid: the schedule-independent fingerprint must be
+//! byte-identical for every combination.
 //!
 //! New fixtures are added automatically: drop a `fixture_toml`-format file
 //! in the corpus directory and this test picks it up.
@@ -10,7 +10,10 @@ use std::fs;
 use std::path::PathBuf;
 
 use eclectic_kernel::{force_worker_cap, RelChoice, SchedMode};
-use eclectic_spec::fuzz::{build_domain, engine_outcome, outcome_difference, parse_fixture};
+use eclectic_spec::fuzz::{
+    build_domain, engine_outcome, engine_outcome_shaped, outcome_difference, parse_fixture,
+};
+use eclectic_spec::DagShape;
 
 fn corpus_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
@@ -43,13 +46,16 @@ fn corpus_fixtures_replay_identically_across_all_engines() {
         for backend in [RelChoice::Dense, RelChoice::Sparse, RelChoice::Compressed] {
             for mode in [SchedMode::Steal, SchedMode::Scoped] {
                 for workers in [1usize, 2, 4, 8] {
-                    let outcome = engine_outcome(&spec, &vc, backend, mode, workers);
-                    if let Some(detail) = outcome_difference(&baseline, &outcome) {
-                        panic!(
-                            "{}: {backend:?}/{mode:?}/{workers} diverged from \
-                             dense/steal/1: {detail}",
-                            path.display()
-                        );
+                    for shape in [DagShape::Fine, DagShape::Chain] {
+                        let outcome =
+                            engine_outcome_shaped(&spec, &vc, backend, mode, workers, shape);
+                        if let Some(detail) = outcome_difference(&baseline, &outcome) {
+                            panic!(
+                                "{}: {backend:?}/{mode:?}/{workers}/{shape:?} diverged from \
+                                 dense/steal/1: {detail}",
+                                path.display()
+                            );
+                        }
                     }
                 }
             }

@@ -972,6 +972,164 @@ fn mid_sweep_cancel_leaves_shared_memos_unpoisoned() {
     assert_eq!(redo, expected, "memos must be unpoisoned after cancellation");
 }
 
+// ---------------------------------------------------------------------------
+// Obligation-DAG battery shape. The fine shape decomposes the staged battery
+// into per-obligation pool tasks (per-procedure dynamic units, per-pair
+// overlaps, completeness strips, refine12 obligations with dependency edges
+// into witness enumeration); its reports must be bit-identical to the
+// chain-shaped battery and the serial reference at every genuine worker
+// count, under both scheduler modes, including budget-capped partials.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn obligation_dag_battery_matches_serial_reference_on_every_domain() {
+    use eclectic_kernel::{force_worker_cap, RelChoice, SchedMode};
+    use eclectic_spec::fuzz::{engine_outcome_shaped, outcome_difference};
+    use eclectic_spec::DagShape;
+    let _cap = force_worker_cap(usize::MAX);
+    let vc = VerifyConfig::quick();
+    for (name, spec, _) in domains() {
+        let reference = engine_outcome_shaped(
+            &spec,
+            &vc,
+            RelChoice::Dense,
+            SchedMode::Steal,
+            1,
+            DagShape::Chain,
+        );
+        for mode in [SchedMode::Steal, SchedMode::Scoped] {
+            for workers in BUDGET_THREADS {
+                let fine =
+                    engine_outcome_shaped(&spec, &vc, RelChoice::Dense, mode, workers, DagShape::Fine);
+                if let Some(detail) = outcome_difference(&reference, &fine) {
+                    panic!("{name}: fine DAG under {mode:?} at {workers} workers diverged: {detail}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn node_capped_exhaustion_partial_is_shape_and_worker_invariant() {
+    // A node cap tripping mid-grid inside refine12: the partial outcome —
+    // which stages ran, which stage recorded the Exhaustion, and the
+    // truncated exploration itself — must not depend on the battery shape
+    // or the number of genuine workers, because the cap is polled at
+    // serial slot indices and the merge replays slots in serial order.
+    use eclectic_kernel::{force_sched_mode, force_worker_cap, SchedMode};
+    use eclectic_spec::{force_dag_shape, verify_with_threads, DagShape};
+    let _cap = force_worker_cap(usize::MAX);
+    let _m = force_sched_mode(SchedMode::Steal);
+    let mut config = VerifyConfig::quick();
+    config.max_nodes = Some(200);
+    for (name, spec, _) in domains() {
+        let fingerprint = |shape: DagShape, workers: usize| {
+            let _s = force_dag_shape(shape);
+            let o = verify_with_threads(&spec, &config, workers).unwrap();
+            (
+                o.is_correct(),
+                format!("{:?}", o.report.refine12.exploration.exhausted),
+                o.stages
+                    .iter()
+                    .map(|s| (s.name, s.exhausted.clone()))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let base = fingerprint(DagShape::Chain, 1);
+        assert!(
+            base.2.iter().any(|(_, e)| e.is_some()),
+            "{name}: cap 200 must trip a stage"
+        );
+        for shape in [DagShape::Chain, DagShape::Fine] {
+            for workers in BUDGET_THREADS {
+                assert_eq!(
+                    fingerprint(shape, workers),
+                    base,
+                    "{name}: capped partial, {shape:?} at {workers} workers"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mid_sweep_cancel_trips_dynamic_units_without_poisoning_shared_state() {
+    // The per-procedure dynamic units of the obligation DAG under a
+    // CancelToken: a pre-tripped token stops every unit at its first slot
+    // and the merge reports the cancellation at slot 0; a token flipped
+    // while units are in flight may cut the sweep anywhere, but must leave
+    // the schema and template reusable — a fresh uncancelled run must
+    // reproduce the pristine report bit for bit.
+    use eclectic_kernel::{force_sched_mode, force_worker_cap, CancelToken, SchedMode};
+    use eclectic_refine::{plan_dynamic, DynamicPrep};
+    let _cap = force_worker_cap(usize::MAX);
+    let _m = force_sched_mode(SchedMode::Steal);
+    let spec = courses::courses(&courses::CoursesConfig::default()).unwrap();
+    let pristine =
+        check_dynamic_budget(&spec.representation, &spec.empty_state(), 1_024, &Budget::unlimited(), 4)
+            .unwrap();
+    assert!(pristine.exhausted.is_none(), "reference run must complete");
+
+    let plan = |budget: &Budget| match plan_dynamic(
+        &spec.representation,
+        &spec.empty_state(),
+        1_024,
+        budget,
+    )
+    .unwrap()
+    {
+        DynamicPrep::Plan(p) => p,
+        DynamicPrep::Done(r) => panic!("courses must leave per-procedure units, got {r:?}"),
+    };
+
+    // Pre-tripped token: every unit stops at the first slot of its range,
+    // so the merged stop replays at global slot 0 with nothing checked.
+    let token = CancelToken::new();
+    token.cancel();
+    let cancelled = Budget::unlimited().with_cancel(token);
+    let p = plan(&Budget::unlimited());
+    let outcomes: Vec<_> = (0..p.procs())
+        .map(|i| p.run_proc(i, &cancelled, 1).unwrap())
+        .collect();
+    let report = p.merge(outcomes, &cancelled);
+    assert_eq!(
+        report.exhausted.as_ref().map(|e| e.reason),
+        Some(BudgetExceeded::Cancelled),
+        "pre-tripped token must surface as a cancellation partial"
+    );
+    assert_eq!(report.checked, 0, "no slot may complete under a tripped token");
+    assert!(report.failures.is_empty());
+
+    // Token flipped WHILE units run on the pool: whatever prefix survives,
+    // the shared inputs must not be poisoned.
+    let racing = CancelToken::new();
+    let budget = Budget::unlimited().with_cancel(racing.clone());
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_micros(200));
+        racing.cancel();
+    });
+    let p = plan(&budget);
+    let outcomes: Vec<_> = (0..p.procs())
+        .map(|i| p.run_proc(i, &budget, 4).unwrap())
+        .collect();
+    let _ = p.merge(outcomes, &budget);
+    canceller.join().unwrap();
+
+    // A fresh uncancelled plan over the same schema and template must agree
+    // with the monolithic pristine reference exactly.
+    let p = plan(&Budget::unlimited());
+    let outcomes: Vec<_> = (0..p.procs())
+        .map(|i| p.run_proc(i, &Budget::unlimited(), 4).unwrap())
+        .collect();
+    let redo = p.merge(outcomes, &Budget::unlimited());
+    assert_eq!(redo.failures, pristine.failures, "verdicts after cancellation");
+    assert_eq!(redo.checked, pristine.checked, "volume after cancellation");
+    assert_eq!(redo.universe_states, pristine.universe_states);
+    assert_eq!(redo.unchecked_procs, pristine.unchecked_procs);
+    assert_eq!(redo.skipped, pristine.skipped);
+    assert!(redo.exhausted.is_none(), "uncancelled replay must complete");
+}
+
 #[test]
 fn sparse_backend_star_compose_and_capped_pdl_are_thread_invariant() {
     use eclectic_kernel::{force_rel_backend, RelChoice};

@@ -33,6 +33,27 @@
 //! per-call scoped-thread behaviour for A/B debugging; `steal` (the
 //! default) uses the persistent pool. Both modes produce bit-identical
 //! results — only scheduling changes.
+//!
+//! # Priority classes
+//!
+//! Every region carries one of three [`Priority`] classes. When priority
+//! scanning is on (`ECLECTIC_SCHED_PRIORITY`, default on), a pool thread
+//! looking for work serves the highest-priority non-drained region first,
+//! breaking ties by submission order, and re-scans after every task so a
+//! newly published latency-critical region preempts further claims from a
+//! bulk sweep at task granularity. With priority off the scan is the flat
+//! oldest-first baseline. Priorities never affect results — only which
+//! region a freed thread serves next.
+//!
+//! # Obligation DAGs
+//!
+//! [`DagBuilder`] turns "task B may only start after tasks A₁..Aₖ" into
+//! pool-native completion counting: each node keeps a pending-dependency
+//! count, and the task that decrements a count to zero submits the
+//! unblocked node to the injector as its own single-task region (at the
+//! node's priority) — no chain-level barrier, no coordinator thread.
+//! Outputs are slotted by node index, so DAG results are as deterministic
+//! as [`run_tasks`]'s.
 
 use std::any::Any;
 use std::collections::VecDeque;
@@ -98,6 +119,58 @@ pub fn sched_mode() -> SchedMode {
     match envcfg::env_sched() {
         SchedSpec::Scoped => SchedMode::Scoped,
         SchedSpec::Unset | SchedSpec::Steal | SchedSpec::Invalid => SchedMode::Steal,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Priority classes
+// ---------------------------------------------------------------------------
+
+/// The fixed set of injector priority classes, most urgent first.
+///
+/// Latency-critical regions — obligation-DAG nodes whose completion
+/// unblocks downstream work (refine12 exploration → witness enumeration,
+/// equations → cross-check) — run [`High`](Priority::High); ordinary
+/// sweeps run [`Normal`](Priority::Normal); wide grid sweeps with no
+/// dependents (completeness strips, per-procedure dynamic obligations,
+/// batched PDL denotation, overlap resolution) run
+/// [`Bulk`](Priority::Bulk) so they soak up whatever threads the critical
+/// path leaves idle instead of starving it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Latency-critical: draining this region unblocks dependent work.
+    High,
+    /// The default class for sweeps with no special urgency.
+    Normal,
+    /// Wide background grids; served only when nothing more urgent waits.
+    Bulk,
+}
+
+impl Priority {
+    /// Scan rank: lower drains first.
+    fn rank(self) -> u8 {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Bulk => 2,
+        }
+    }
+}
+
+/// Which region slot a work-seeking thread serves, as a pure function of
+/// the scan snapshot: `(priority, drained)` per region in submission
+/// order. Priority-on picks the highest-priority non-drained region
+/// (ties to the oldest); priority-off is the flat oldest-first baseline.
+fn pick_region_slot(regions: &[(Priority, bool)], priority_on: bool) -> Option<usize> {
+    if priority_on {
+        regions
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, drained))| !drained)
+            .min_by_key(|(i, (p, _))| (p.rank(), *i))
+            .map(|(i, _)| i)
+    } else {
+        regions.iter().position(|(_, drained)| !drained)
     }
 }
 
@@ -188,6 +261,8 @@ struct Region {
     tasks: Vec<Mutex<Option<ErasedTask>>>,
     /// Claim cursor over `tasks`.
     next: AtomicUsize,
+    /// Injector class: which regions work-seeking threads serve first.
+    priority: Priority,
     /// Count of settled tasks (executed, or panicked-and-recorded),
     /// guarded with [`Region::cv`] for the submitter's completion wait.
     settled: Mutex<usize>,
@@ -198,10 +273,11 @@ struct Region {
 }
 
 impl Region {
-    fn new(tasks: Vec<ErasedTask>) -> Self {
+    fn new(tasks: Vec<ErasedTask>, priority: Priority) -> Self {
         Region {
             tasks: tasks.into_iter().map(|t| Mutex::new(Some(t))).collect(),
             next: AtomicUsize::new(0),
+            priority,
             settled: Mutex::new(0),
             cv: Condvar::new(),
             panic: Mutex::new(None),
@@ -302,15 +378,61 @@ impl Pool {
         st.regions.retain(|r| !Arc::ptr_eq(r, region));
     }
 
+    /// Picks the region a work-seeking thread should serve next, honouring
+    /// priority then submission order (or submission order alone with
+    /// priority scanning off).
+    fn scan(st: &PoolState, priority_on: bool) -> Option<Arc<Region>> {
+        let snapshot: Vec<(Priority, bool)> = st
+            .regions
+            .iter()
+            .map(|r| (r.priority, r.drained()))
+            .collect();
+        pick_region_slot(&snapshot, priority_on).map(|i| Arc::clone(&st.regions[i]))
+    }
+
+    /// Claims and runs one task from the best available region. Returns
+    /// `false` when no region has unclaimed work — the caller should park.
+    /// Used by threads that must make progress on behalf of someone else's
+    /// sweep (DAG submitters waiting for their nodes to settle).
+    fn try_run_one(&self) -> bool {
+        loop {
+            let found = {
+                let st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                Self::scan(&st, envcfg::sched_priority_on())
+            };
+            let Some(region) = found else {
+                return false;
+            };
+            // The region can drain between scan and claim; rescan if so —
+            // each retry observes a region some other thread just emptied,
+            // so the loop terminates.
+            if let Some(i) = region.claim() {
+                region.run(i);
+                return true;
+            }
+        }
+    }
+
     fn worker_loop(&'static self) {
         let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
-            let found = st.regions.iter().find(|r| !r.drained()).cloned();
+            let priority_on = envcfg::sched_priority_on();
+            let found = Self::scan(&st, priority_on);
             match found {
                 Some(region) => {
                     drop(st);
-                    while let Some(i) = region.claim() {
-                        region.run(i);
+                    if priority_on {
+                        // Claim one task, then rescan: a latency-critical
+                        // region published mid-sweep preempts further
+                        // claims from a bulk region at task granularity.
+                        if let Some(i) = region.claim() {
+                            region.run(i);
+                        }
+                    } else {
+                        // Flat baseline: drain the chosen region.
+                        while let Some(i) = region.claim() {
+                            region.run(i);
+                        }
                     }
                     drop(region);
                     st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
@@ -353,12 +475,25 @@ pub fn run_tasks<'env, T: Send + 'env>(
     workers: usize,
     tasks: Vec<Box<dyn FnOnce() -> T + Send + 'env>>,
 ) -> Vec<T> {
+    run_tasks_prio(workers, Priority::Normal, tasks)
+}
+
+/// [`run_tasks`] with an explicit injector [`Priority`] for the region.
+/// Bulk grid sweeps tag themselves [`Priority::Bulk`] so freed pool
+/// threads drain latency-critical regions first; results are identical at
+/// every priority.
+#[must_use]
+pub fn run_tasks_prio<'env, T: Send + 'env>(
+    workers: usize,
+    priority: Priority,
+    tasks: Vec<Box<dyn FnOnce() -> T + Send + 'env>>,
+) -> Vec<T> {
     if workers <= 1 || tasks.len() <= 1 {
         return tasks.into_iter().map(|t| t()).collect();
     }
     match sched_mode() {
         SchedMode::Scoped => run_tasks_scoped(tasks),
-        SchedMode::Steal => run_tasks_steal(workers, tasks),
+        SchedMode::Steal => run_tasks_steal(workers, priority, tasks),
     }
 }
 
@@ -385,6 +520,7 @@ fn run_tasks_scoped<'env, T: Send + 'env>(
 /// The persistent-pool path.
 fn run_tasks_steal<'env, T: Send + 'env>(
     workers: usize,
+    priority: Priority,
     tasks: Vec<Box<dyn FnOnce() -> T + Send + 'env>>,
 ) -> Vec<T> {
     let n = tasks.len();
@@ -409,7 +545,7 @@ fn run_tasks_steal<'env, T: Send + 'env>(
             let f: ErasedTask = unsafe { std::mem::transmute::<_, ErasedTask>(f) };
             erased.push(f);
         }
-        Arc::new(Region::new(erased))
+        Arc::new(Region::new(erased, priority))
     };
 
     let pool = Pool::get();
@@ -444,7 +580,18 @@ fn run_tasks_steal<'env, T: Send + 'env>(
 /// shared [`IndexQueue`]: it hides the `Box<dyn FnOnce>` ceremony
 /// [`run_tasks`] needs from heterogeneous call sites.
 #[must_use]
-pub fn run_workers<'env, T, F, M>(workers: usize, mut make: M) -> Vec<T>
+pub fn run_workers<'env, T, F, M>(workers: usize, make: M) -> Vec<T>
+where
+    T: Send + 'env,
+    F: FnOnce() -> T + Send + 'env,
+    M: FnMut(usize) -> F,
+{
+    run_workers_prio(workers, Priority::Normal, make)
+}
+
+/// [`run_workers`] with an explicit injector [`Priority`] for the region.
+#[must_use]
+pub fn run_workers_prio<'env, T, F, M>(workers: usize, priority: Priority, mut make: M) -> Vec<T>
 where
     T: Send + 'env,
     F: FnOnce() -> T + Send + 'env,
@@ -453,7 +600,7 @@ where
     let tasks: Vec<Box<dyn FnOnce() -> T + Send + 'env>> = (0..workers)
         .map(|w| Box::new(make(w)) as Box<dyn FnOnce() -> T + Send + 'env>)
         .collect();
-    run_tasks(workers, tasks)
+    run_tasks_prio(workers, priority, tasks)
 }
 
 /// Convenience for the ubiquitous "fan `0..len` items across `workers`
@@ -490,6 +637,472 @@ where
         })
         .collect();
     run_tasks(workers, tasks)
+}
+
+// ---------------------------------------------------------------------------
+// DagBuilder — pool-native completion-count DAGs
+// ---------------------------------------------------------------------------
+
+/// A handle to a task spawned on a [`DagBuilder`], used to declare
+/// dependency edges. Handles only exist for already-spawned tasks, so
+/// every edge points backwards and the graph is acyclic by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskHandle(usize);
+
+impl TaskHandle {
+    /// The node's index — also its output slot in [`DagBuilder::run`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+struct DagNode<'env, T> {
+    body: Box<dyn FnOnce() -> T + Send + 'env>,
+    deps: Vec<usize>,
+    priority: Priority,
+}
+
+/// A batch of tasks with explicit completion-count dependency edges,
+/// executed with pool-native unblocking: the task that settles the last
+/// dependency of node `d` submits `d` to the injector itself (at `d`'s
+/// [`Priority`]), so an unblocked node starts the moment its inputs exist
+/// instead of at a chain-level barrier.
+///
+/// Execution is as deterministic as [`run_tasks`]: outputs land in spawn
+/// order, the serial path (`workers <= 1` or a single node) runs nodes
+/// inline in (priority, spawn-order) topological order, and the first
+/// panic in spawn order is resumed on the calling thread after every node
+/// settles. Nodes communicate values along edges through caller-frame
+/// slots (e.g. `Mutex<Option<V>>`); a dependency edge is exactly the
+/// happens-before the read needs.
+pub struct DagBuilder<'env, T: Send + 'env> {
+    nodes: Vec<DagNode<'env, T>>,
+}
+
+impl<'env, T: Send + 'env> Default for DagBuilder<'env, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'env, T: Send + 'env> DagBuilder<'env, T> {
+    /// An empty DAG.
+    #[must_use]
+    pub fn new() -> Self {
+        DagBuilder { nodes: Vec::new() }
+    }
+
+    /// Number of spawned nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no nodes have been spawned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Spawns a root node (no dependencies).
+    pub fn spawn<F>(&mut self, priority: Priority, body: F) -> TaskHandle
+    where
+        F: FnOnce() -> T + Send + 'env,
+    {
+        self.spawn_dependent(priority, &[], body)
+    }
+
+    /// Spawns a node that may only start after every task in `deps` has
+    /// completed. Completion of the last dependency submits this node to
+    /// the pool injector at `priority`.
+    pub fn spawn_dependent<F>(
+        &mut self,
+        priority: Priority,
+        deps: &[TaskHandle],
+        body: F,
+    ) -> TaskHandle
+    where
+        F: FnOnce() -> T + Send + 'env,
+    {
+        let index = self.nodes.len();
+        for d in deps {
+            assert!(d.0 < index, "dependency handle from a different DAG");
+        }
+        self.nodes.push(DagNode {
+            body: Box::new(body),
+            deps: deps.iter().map(|d| d.0).collect(),
+            priority,
+        });
+        TaskHandle(index)
+    }
+
+    /// Runs the DAG to completion and returns node outputs in spawn order.
+    #[must_use]
+    pub fn run(self, workers: usize) -> Vec<T> {
+        let n = self.nodes.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if workers <= 1 || n == 1 {
+            return run_dag_serial(self.nodes);
+        }
+        match sched_mode() {
+            SchedMode::Scoped => run_dag_driver(self.nodes, workers),
+            SchedMode::Steal => run_dag_steal(self.nodes, workers),
+        }
+    }
+}
+
+/// Builds the reverse edge lists and initial pending-dependency counts.
+fn dag_edges<T>(nodes: &[DagNode<'_, T>]) -> (Vec<Vec<usize>>, Vec<usize>) {
+    let mut dependents = vec![Vec::new(); nodes.len()];
+    let mut pending = vec![0usize; nodes.len()];
+    for (i, node) in nodes.iter().enumerate() {
+        pending[i] = node.deps.len();
+        for &d in &node.deps {
+            dependents[d].push(i);
+        }
+    }
+    (dependents, pending)
+}
+
+/// Position of the next node to run from `ready`: highest priority, then
+/// lowest spawn index — the same rule the parallel paths use to order
+/// their ready queues, so the serial path is the canonical linearisation.
+fn dag_pick(ready: &[usize], priorities: &[Priority]) -> Option<usize> {
+    ready
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, &i)| (priorities[i].rank(), i))
+        .map(|(pos, _)| pos)
+}
+
+/// Inline execution in (priority, spawn-order) topological order; panics
+/// propagate directly, mirroring [`run_tasks`]'s serial path.
+fn run_dag_serial<'env, T: Send + 'env>(nodes: Vec<DagNode<'env, T>>) -> Vec<T> {
+    let (dependents, mut pending) = dag_edges(&nodes);
+    let priorities: Vec<Priority> = nodes.iter().map(|n| n.priority).collect();
+    let n = nodes.len();
+    let mut bodies: Vec<Option<Box<dyn FnOnce() -> T + Send + 'env>>> =
+        nodes.into_iter().map(|node| Some(node.body)).collect();
+    let mut ready: Vec<usize> = (0..n).filter(|&i| pending[i] == 0).collect();
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    while let Some(pos) = dag_pick(&ready, &priorities) {
+        let i = ready.swap_remove(pos);
+        let body = bodies[i].take().expect("node runs once");
+        out[i] = Some(body());
+        for &d in &dependents[i] {
+            pending[d] -= 1;
+            if pending[d] == 0 {
+                ready.push(d);
+            }
+        }
+    }
+    out.into_iter()
+        .map(|o| o.expect("acyclic DAG settles every node"))
+        .collect()
+}
+
+/// Shared coordination state for the parallel DAG paths.
+struct DagState {
+    ready: Vec<usize>,
+    pending: Vec<usize>,
+    /// Nodes handed to an executor (or cancelled); used to settle
+    /// never-started nodes exactly once when a panic cancels the DAG.
+    started: Vec<bool>,
+    /// Nodes not yet settled (run, panicked, or cancelled).
+    remaining: usize,
+    /// Nodes currently executing on some thread.
+    running: usize,
+    /// First panic payload by node index.
+    panic: Option<(usize, Box<dyn Any + Send>)>,
+    cancelled: bool,
+}
+
+impl DagState {
+    fn new(pending: Vec<usize>) -> Self {
+        let n = pending.len();
+        let ready = (0..n).filter(|&i| pending[i] == 0).collect();
+        DagState {
+            ready,
+            pending,
+            started: vec![false; n],
+            remaining: n,
+            running: 0,
+            panic: None,
+            cancelled: false,
+        }
+    }
+
+    /// Records a panic from node `i` and cancels every node that has not
+    /// started: their dependencies will never settle, so they are marked
+    /// settled here or `remaining` would never reach zero.
+    fn record_panic(&mut self, i: usize, payload: Box<dyn Any + Send>) {
+        if self.panic.as_ref().is_none_or(|(j, _)| i < *j) {
+            self.panic = Some((i, payload));
+        }
+        self.cancelled = true;
+        self.ready.clear();
+        for j in 0..self.started.len() {
+            if !self.started[j] {
+                self.started[j] = true;
+                self.remaining -= 1;
+            }
+        }
+    }
+
+    /// Settles node `i` after a successful run and returns the dependents
+    /// it unblocked.
+    fn settle_ok(&mut self, i: usize, dependents: &[Vec<usize>]) -> Vec<usize> {
+        self.remaining -= 1;
+        let mut unblocked = Vec::new();
+        if !self.cancelled {
+            for &d in &dependents[i] {
+                self.pending[d] -= 1;
+                if self.pending[d] == 0 {
+                    unblocked.push(d);
+                }
+            }
+        }
+        unblocked
+    }
+}
+
+/// One-shot DAG node bodies, each taken under its mutex exactly once.
+type DagBodies<'env, T> = Vec<Mutex<Option<Box<dyn FnOnce() -> T + Send + 'env>>>>;
+
+/// Scoped-mode DAG execution: `min(workers, n)` driver tasks share a
+/// ready queue ordered by (priority, spawn index). There is no persistent
+/// pool in scoped mode, so unblocked nodes go to the shared queue and an
+/// idle driver picks them up. Used only as the A/B baseline; results are
+/// bit-identical to the pool-native path.
+fn run_dag_driver<'env, T: Send + 'env>(nodes: Vec<DagNode<'env, T>>, workers: usize) -> Vec<T> {
+    let (dependents, pending) = dag_edges(&nodes);
+    let priorities: Vec<Priority> = nodes.iter().map(|n| n.priority).collect();
+    let n = nodes.len();
+    let outputs: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let bodies: DagBodies<'env, T> = nodes
+        .into_iter()
+        .map(|node| Mutex::new(Some(node.body)))
+        .collect();
+    let state = Mutex::new(DagState::new(pending));
+    let cv = Condvar::new();
+
+    let drivers = workers.min(n);
+    let driver = |_w: usize| {
+        let mut st = state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if st.remaining == 0 {
+                cv.notify_all();
+                return;
+            }
+            if let Some(pos) = dag_pick(&st.ready, &priorities) {
+                let i = st.ready.swap_remove(pos);
+                st.started[i] = true;
+                st.running += 1;
+                drop(st);
+                let body = bodies[i]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .expect("node runs once");
+                let result = catch_unwind(AssertUnwindSafe(body));
+                st = state.lock().unwrap_or_else(PoisonError::into_inner);
+                st.running -= 1;
+                match result {
+                    Ok(v) => {
+                        outputs.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(v);
+                        let unblocked = st.settle_ok(i, &dependents);
+                        st.ready.extend(unblocked);
+                    }
+                    Err(payload) => {
+                        st.remaining -= 1;
+                        st.record_panic(i, payload);
+                    }
+                }
+                cv.notify_all();
+            } else {
+                debug_assert!(
+                    st.running > 0,
+                    "DAG stalled: empty ready queue with nothing running"
+                );
+                st = cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    };
+    let _: Vec<()> = run_workers(drivers, |w| {
+        let driver = &driver;
+        move || driver(w)
+    });
+
+    if let Some((_, payload)) = state
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+        .panic
+        .take()
+    {
+        resume_unwind(payload);
+    }
+    outputs
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+        .into_iter()
+        .map(|o| o.expect("settled node produced no output"))
+        .collect()
+}
+
+/// Pool-native DAG execution: every node is its own single-task region at
+/// the node's priority, and the thread that settles the last dependency of
+/// node `d` submits `d`'s region itself. No coordinator blocks: pool
+/// threads between DAG nodes serve whatever other regions exist (the
+/// nodes' own nested sweeps included), and the calling thread helps
+/// through [`Pool::try_run_one`] until the DAG settles.
+fn run_dag_steal<'env, T: Send + 'env>(nodes: Vec<DagNode<'env, T>>, workers: usize) -> Vec<T> {
+    struct Shared<'env, T: Send + 'env> {
+        bodies: DagBodies<'env, T>,
+        outputs: Mutex<Vec<Option<T>>>,
+        dependents: Vec<Vec<usize>>,
+        priorities: Vec<Priority>,
+        state: Mutex<DagState>,
+        done_cv: Condvar,
+        regions: Mutex<Vec<Arc<Region>>>,
+        helpers: usize,
+    }
+
+    /// Executes node `i`: runs the body, settles it, and submits every
+    /// dependent whose pending count reached zero.
+    fn exec_node<'env, T: Send + 'env>(shared: &Shared<'env, T>, i: usize) {
+        let body = shared.bodies[i]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("node runs once");
+        let result = catch_unwind(AssertUnwindSafe(body));
+        let unblocked = {
+            let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            match result {
+                Ok(v) => {
+                    shared.outputs.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(v);
+                    let unblocked = st.settle_ok(i, &shared.dependents);
+                    for &d in &unblocked {
+                        st.started[d] = true;
+                    }
+                    unblocked
+                }
+                Err(payload) => {
+                    st.remaining -= 1;
+                    st.record_panic(i, payload);
+                    Vec::new()
+                }
+            }
+        };
+        for d in unblocked {
+            submit_node(shared, d);
+        }
+        shared.done_cv.notify_all();
+    }
+
+    /// Publishes node `d` as a single-task region at its priority.
+    fn submit_node<'env, T: Send + 'env>(shared: &Shared<'env, T>, d: usize) {
+        let f: Box<dyn FnOnce() + Send + '_> = Box::new(move || exec_node(shared, d));
+        // SAFETY: lifetime erasure only, with the same protocol as
+        // `run_tasks_steal`: `run_dag_steal` does not return until every
+        // node settles (the `done_cv` wait below), each erased closure is
+        // consumed by then, and all node regions are retired from the pool
+        // registry before `Shared` leaves scope.
+        let f: ErasedTask = unsafe { std::mem::transmute::<_, ErasedTask>(f) };
+        let region = Arc::new(Region::new(vec![f], shared.priorities[d]));
+        shared
+            .regions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Arc::clone(&region));
+        Pool::get().submit(region, shared.helpers);
+    }
+
+    let (dependents, pending) = dag_edges(&nodes);
+    let priorities: Vec<Priority> = nodes.iter().map(|n| n.priority).collect();
+    let n = nodes.len();
+    let shared = Shared {
+        bodies: nodes
+            .into_iter()
+            .map(|node| Mutex::new(Some(node.body)))
+            .collect(),
+        outputs: Mutex::new((0..n).map(|_| None).collect()),
+        dependents,
+        priorities,
+        state: Mutex::new(DagState::new(pending)),
+        done_cv: Condvar::new(),
+        regions: Mutex::new(Vec::new()),
+        helpers: workers.saturating_sub(1),
+    };
+
+    let roots: Vec<usize> = {
+        let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let roots = std::mem::take(&mut st.ready);
+        for &i in &roots {
+            st.started[i] = true;
+        }
+        roots
+    };
+    for i in roots {
+        submit_node(&shared, i);
+    }
+
+    // The caller is always a worker: it drains DAG nodes and any other
+    // region (nested sweeps) until the DAG settles, so even an otherwise
+    // saturated pool makes progress — the nesting argument of
+    // `run_tasks_steal` carried over.
+    let pool = Pool::get();
+    loop {
+        {
+            let st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            if st.remaining == 0 {
+                break;
+            }
+        }
+        if !pool.try_run_one() {
+            let st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            if st.remaining == 0 {
+                break;
+            }
+            // Timed wait: a nested sweep published after the scan above
+            // notifies the pool, not `done_cv`, so don't sleep through it.
+            let (st, _) = shared
+                .done_cv
+                .wait_timeout(st, std::time::Duration::from_millis(2))
+                .unwrap_or_else(PoisonError::into_inner);
+            drop(st);
+        }
+    }
+
+    for region in shared
+        .regions
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .drain(..)
+    {
+        region.wait_settled();
+        pool.retire(&region);
+    }
+
+    if let Some((_, payload)) = shared
+        .state
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .panic
+        .take()
+    {
+        resume_unwind(payload);
+    }
+    shared
+        .outputs
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+        .into_iter()
+        .map(|o| o.expect("settled node produced no output"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -635,6 +1248,129 @@ mod tests {
                 }
             });
             assert_eq!(merge(parts), expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn region_scan_honours_priority_then_submission_order() {
+        let regions = [
+            (Priority::Bulk, false),
+            (Priority::Normal, false),
+            (Priority::High, false),
+            (Priority::High, false),
+        ];
+        // Priority on: the oldest High region wins.
+        assert_eq!(pick_region_slot(&regions, true), Some(2));
+        // Priority off: flat submission order.
+        assert_eq!(pick_region_slot(&regions, false), Some(0));
+        // Drained regions are skipped under both disciplines.
+        let drained_high = [
+            (Priority::High, true),
+            (Priority::Bulk, false),
+            (Priority::Normal, false),
+        ];
+        assert_eq!(pick_region_slot(&drained_high, true), Some(2));
+        assert_eq!(pick_region_slot(&drained_high, false), Some(1));
+        // Nothing to serve.
+        assert_eq!(pick_region_slot(&[(Priority::High, true)], true), None);
+        assert_eq!(pick_region_slot(&[], false), None);
+    }
+
+    #[test]
+    fn dag_outputs_land_in_spawn_order() {
+        let _cap = force_worker_cap(usize::MAX);
+        for mode in [SchedMode::Steal, SchedMode::Scoped] {
+            let _g = force_sched_mode(mode);
+            for workers in [1usize, 2, 4, 8] {
+                let mut dag: DagBuilder<'_, usize> = DagBuilder::new();
+                let mut handles = Vec::new();
+                for k in 0..13 {
+                    let deps: Vec<TaskHandle> = if k >= 2 {
+                        vec![handles[k - 1], handles[k - 2]]
+                    } else {
+                        Vec::new()
+                    };
+                    let prio = match k % 3 {
+                        0 => Priority::High,
+                        1 => Priority::Normal,
+                        _ => Priority::Bulk,
+                    };
+                    handles.push(dag.spawn_dependent(prio, &deps, move || k * k));
+                }
+                let out = dag.run(workers);
+                assert_eq!(
+                    out,
+                    (0..13).map(|k| k * k).collect::<Vec<_>>(),
+                    "{mode:?} workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dag_completion_counts_gate_dependents() {
+        let _cap = force_worker_cap(usize::MAX);
+        for mode in [SchedMode::Steal, SchedMode::Scoped] {
+            let _g = force_sched_mode(mode);
+            let slot_a: Mutex<Option<usize>> = Mutex::new(None);
+            let slot_b: Mutex<Option<usize>> = Mutex::new(None);
+            let mut dag: DagBuilder<'_, ()> = DagBuilder::new();
+            let a = dag.spawn(Priority::Normal, || {
+                *slot_a.lock().unwrap() = Some(7);
+            });
+            let b = dag.spawn(Priority::Bulk, || {
+                *slot_b.lock().unwrap() = Some(35);
+            });
+            // The join node must observe both inputs: the completion count
+            // is the happens-before edge.
+            let joined: Mutex<Option<usize>> = Mutex::new(None);
+            let _c = dag.spawn_dependent(Priority::High, &[a, b], || {
+                let x = slot_a.lock().unwrap().expect("dep A settled");
+                let y = slot_b.lock().unwrap().expect("dep B settled");
+                *joined.lock().unwrap() = Some(x + y);
+            });
+            let _ = dag.run(4);
+            assert_eq!(*joined.lock().unwrap(), Some(42), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn dag_serial_path_runs_priority_then_spawn_order() {
+        let order: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+        let mut dag: DagBuilder<'_, ()> = DagBuilder::new();
+        let push = |name: &'static str| {
+            let order = &order;
+            move || order.lock().unwrap().push(name)
+        };
+        let bulk = dag.spawn(Priority::Bulk, push("bulk"));
+        let _normal = dag.spawn(Priority::Normal, push("normal"));
+        let _high = dag.spawn(Priority::High, push("high"));
+        // Not ready until `bulk` settles — and `bulk`, being the lowest
+        // class, runs last among the roots, so this lands at the end
+        // despite its High class.
+        let _tail = dag.spawn_dependent(Priority::High, &[bulk], push("tail"));
+        let _ = dag.run(1);
+        assert_eq!(*order.lock().unwrap(), vec!["high", "normal", "bulk", "tail"]);
+    }
+
+    #[test]
+    fn dag_panic_cancels_dependents_and_propagates() {
+        let _cap = force_worker_cap(usize::MAX);
+        for mode in [SchedMode::Steal, SchedMode::Scoped] {
+            let _g = force_sched_mode(mode);
+            let ran_dependent = Mutex::new(false);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let mut dag: DagBuilder<'_, ()> = DagBuilder::new();
+                let boom = dag.spawn(Priority::Normal, || panic!("node failed"));
+                let _dep = dag.spawn_dependent(Priority::Normal, &[boom], || {
+                    *ran_dependent.lock().unwrap() = true;
+                });
+                dag.run(4)
+            }));
+            let payload = result.expect_err("DAG node panicked");
+            let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+            assert_eq!(msg, "node failed", "{mode:?}");
+            assert!(!*ran_dependent.lock().unwrap(), "{mode:?}");
         }
     }
 

@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use eclectic_algebraic::{completeness, termination, AlgSpec};
-use eclectic_kernel::{run_workers, Budget, BudgetExceeded, Exhaustion, IndexQueue};
+use eclectic_kernel::{run_workers_prio, Budget, BudgetExceeded, Exhaustion, IndexQueue, Priority};
 use eclectic_logic::{Domains, Elem, Formula, Signature, Theory, Valuation};
 use eclectic_rpr::pdl::Pdl;
 use eclectic_rpr::{denote, pdl, DbState, DenoteCache, FiniteUniverse, RprError, Schema, Stmt};
@@ -167,27 +167,88 @@ pub fn check_refinement_1_2_budget(
     budget: &Budget,
 ) -> Result<Refine12Report> {
     let threads = eclectic_kernel::env_threads();
-    let termination = termination::check_termination(spec)?;
+    let termination = obligation_termination(spec)?;
     let completeness =
-        completeness::exhaustive_budget(spec, config.completeness_depth, 20, budget, threads)?;
-
+        obligation_completeness(spec, config.completeness_depth, budget, threads)?;
     let exploration =
-        explore_algebraic_budget(spec, interp, info_sig, domains, config.limits, budget, threads)?;
+        obligation_exploration(spec, interp, info_sig, domains, config.limits, budget, threads)?;
+    let (static_violations, transition_violations) =
+        obligation_axioms(theory, spec, config.policy, &exploration)?;
+    Ok(Refine12Report {
+        termination,
+        completeness,
+        static_violations,
+        transition_violations,
+        exploration,
+    })
+}
+
+/// Obligation (a), circularity half: the Q-equation termination analysis.
+/// A per-obligation entry point, so an obligation-DAG scheduler can run it
+/// as its own pool task.
+///
+/// # Errors
+/// Propagates analysis errors.
+pub fn obligation_termination(spec: &AlgSpec) -> Result<termination::TerminationReport> {
+    Ok(termination::check_termination(spec)?)
+}
+
+/// Obligation (a), coverage half: the exhaustive sufficient-completeness
+/// sweep at `depth`, reporting up to 20 stuck terms. A per-obligation
+/// entry point for obligation-DAG schedulers; independent of the other
+/// refine12 obligations.
+///
+/// # Errors
+/// Propagates evaluation errors; budget exhaustion is *not* an error.
+pub fn obligation_completeness(
+    spec: &AlgSpec,
+    depth: usize,
+    budget: &Budget,
+    threads: usize,
+) -> Result<completeness::CompletenessReport> {
+    Ok(completeness::exhaustive_budget(spec, depth, 20, budget, threads)?)
+}
+
+/// The universe construction `M(T2)`: bounded exploration of the
+/// algebraic transition system. A per-obligation entry point; its
+/// completion is what unblocks the axiom sweep (obligations (b)/(d)) and
+/// the witness enumeration (obligation (c)) in the obligation DAG.
+///
+/// # Errors
+/// Propagates exploration errors; budget exhaustion is *not* an error.
+pub fn obligation_exploration(
+    spec: &AlgSpec,
+    interp: &InterpretationI,
+    info_sig: &Arc<Signature>,
+    domains: &Arc<Domains>,
+    limits: AlgExploreLimits,
+    budget: &Budget,
+    threads: usize,
+) -> Result<AlgebraicExploration> {
+    explore_algebraic_budget(spec, interp, info_sig, domains, limits, budget, threads)
+}
+
+/// Obligations (b) and (d): the per-axiom per-state satisfaction sweep
+/// over an explored universe, split into `(static, transition)`
+/// violations. When the exploration was truncated by a budget the sweep
+/// is skipped (a prefix universe would report spurious partial-model
+/// violations) and both lists come back empty — the caller surfaces the
+/// exploration's exhaustion instead.
+///
+/// # Errors
+/// Propagates evaluation errors.
+pub fn obligation_axioms(
+    theory: &Theory,
+    spec: &AlgSpec,
+    policy: AccessibilityPolicy,
+    exploration: &AlgebraicExploration,
+) -> Result<(Vec<StateViolation>, Vec<StateViolation>)> {
     if exploration.exhausted.is_some() {
-        // The universe is a prefix of the reachable states: axiom checks
-        // over it would report spurious partial-model violations, so skip
-        // them and surface the exhaustion instead.
-        return Ok(Refine12Report {
-            termination,
-            completeness,
-            static_violations: Vec::new(),
-            transition_violations: Vec::new(),
-            exploration,
-        });
+        return Ok((Vec::new(), Vec::new()));
     }
 
     let universe;
-    let u = match config.policy {
+    let u = match policy {
         AccessibilityPolicy::AsIs => &exploration.universe,
         AccessibilityPolicy::TransitiveClosure => {
             let mut c = exploration.universe.clone();
@@ -220,14 +281,7 @@ pub fn check_refinement_1_2_budget(
             }
         }
     }
-
-    Ok(Refine12Report {
-        termination,
-        completeness,
-        static_violations,
-        transition_violations,
-        exploration,
-    })
+    Ok((static_violations, transition_violations))
 }
 
 /// One failed dynamic-logic contract: a procedure application whose
@@ -316,40 +370,102 @@ pub fn check_dynamic_budget(
     budget: &Budget,
     threads: usize,
 ) -> Result<DynamicReport> {
+    let plan = match plan_dynamic(schema, template, cap, budget)? {
+        DynamicPrep::Done(report) => return Ok(report),
+        DynamicPrep::Plan(plan) => plan,
+    };
+    let threads = eclectic_kernel::effective_workers(threads);
+    if threads <= 1 || plan.apps.len() < 2 {
+        return plan.run_serial(budget, threads);
+    }
+    plan.run_striding(budget, threads)
+}
+
+/// The per-application results of one dynamic obligation unit: slot-keyed
+/// failure lists, the unit's cache counters, and its earliest budget stop
+/// (serial slot index + reason), if any.
+pub type DynamicUnitOutcome = (
+    Vec<(usize, Vec<DynamicFailure>)>,
+    eclectic_rpr::CacheStats,
+    Option<(usize, BudgetExceeded)>,
+);
+
+/// What [`plan_dynamic`] produced: either a finished report (empty budget,
+/// oversized universe, or no checkable applications) or a plan whose
+/// per-procedure obligations can run as independent pool tasks.
+pub enum DynamicPrep<'s> {
+    /// The check completed (or was skipped) during planning.
+    Done(DynamicReport),
+    /// Per-procedure obligations remain; see [`DynamicPlan`]. Boxed: the
+    /// plan (universe + flattened applications) dwarfs the `Done` report.
+    Plan(Box<DynamicPlan<'s>>),
+}
+
+/// The flattened dynamic-obligation workload: the enumerated universe plus
+/// every (procedure, argument-tuple) application in serial order, grouped
+/// into per-procedure slot ranges so an obligation-DAG scheduler can run
+/// [`DynamicPlan::run_proc`] units in parallel and [`DynamicPlan::merge`]
+/// their outcomes into the same report the monolithic
+/// [`check_dynamic_budget`] produces.
+pub struct DynamicPlan<'s> {
+    u: FiniteUniverse,
+    apps: Vec<(&'s eclectic_rpr::ProcDecl, Vec<Elem>, Valuation)>,
+    proc_ranges: Vec<std::ops::Range<usize>>,
+    base: DynamicReport,
+    /// Denotation-level governed ops poll only the timing axes; the node
+    /// cap stays at the serial-order application slots, so a capped
+    /// partial stops after the same slot at every worker count.
+    timing: Budget,
+}
+
+/// Enumerates the universe and flattens the checkable applications,
+/// producing either a finished report or a [`DynamicPlan`].
+///
+/// # Errors
+/// Propagates enumeration errors (a universe over `cap` is a graceful
+/// skip, not an error).
+pub fn plan_dynamic<'s>(
+    schema: &'s Schema,
+    template: &DbState,
+    cap: usize,
+    budget: &Budget,
+) -> Result<DynamicPrep<'s>> {
     if let Some(reason) = budget.check(0) {
-        return Ok(DynamicReport {
+        return Ok(DynamicPrep::Done(DynamicReport {
             exhausted: Some(budget.exhaustion("dynamic", reason, 0)),
             ..DynamicReport::default()
-        });
+        }));
     }
     let u = match FiniteUniverse::enumerate(template, schema.relations(), &[], cap) {
         Ok(u) => u,
         Err(RprError::UniverseTooLarge { required, cap }) => {
-            return Ok(DynamicReport {
+            return Ok(DynamicPrep::Done(DynamicReport {
                 skipped: Some(format!(
                     "universe of {required} states exceeds the cap of {cap}"
                 )),
                 ..DynamicReport::default()
-            });
+            }));
         }
         Err(e) => return Err(e.into()),
     };
 
-    let threads = eclectic_kernel::effective_workers(threads);
     let sig = u.signature().clone();
     let domains = u.domains().clone();
-    let mut report = DynamicReport {
+    let mut base = DynamicReport {
         universe_states: u.len(),
         ..DynamicReport::default()
     };
 
-    // Flatten the (procedure, argument-tuple) applications in serial order.
+    // Flatten the (procedure, argument-tuple) applications in serial order,
+    // remembering each procedure's contiguous slot range.
     let mut apps: Vec<(&eclectic_rpr::ProcDecl, Vec<Elem>, Valuation)> = Vec::new();
+    let mut proc_ranges = Vec::new();
     for proc in schema.procs() {
         if !proc.body.is_deterministic() || !while_free(&proc.body) {
-            report.unchecked_procs.push(proc.name.clone());
+            base.unchecked_procs.push(proc.name.clone());
             continue;
         }
+        let start = apps.len();
         for args in arg_tuples(&sig, &domains, &proc.params) {
             let mut env = Valuation::new();
             for (&param, &value) in proc.params.iter().zip(&args) {
@@ -357,16 +473,107 @@ pub fn check_dynamic_budget(
             }
             apps.push((proc, args, env));
         }
+        if apps.len() > start {
+            proc_ranges.push(start..apps.len());
+        }
     }
-    report.checked = apps.len();
+    base.checked = apps.len();
 
-    // Denotation-level governed ops poll only the timing axes; the node
-    // cap stays at these serial-order application slots, so a capped
-    // partial stops after the same slot at every worker count.
     let timing = budget.without_node_cap();
-    if threads <= 1 || apps.len() < 2 {
+    Ok(DynamicPrep::Plan(Box::new(DynamicPlan {
+        u,
+        apps,
+        proc_ranges,
+        base,
+        timing,
+    })))
+}
+
+impl<'s> DynamicPlan<'s> {
+    /// Number of per-procedure obligation units.
+    #[must_use]
+    pub fn procs(&self) -> usize {
+        self.proc_ranges.len()
+    }
+
+    /// Total number of application slots.
+    #[must_use]
+    pub fn apps_len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Runs the dynamic obligations of procedure unit `i` (one contiguous
+    /// slot range, processed in increasing serial order with a private
+    /// denotation cache), polling `budget` at each global slot index. The
+    /// prefix invariant of the slot-replay merge holds because a unit only
+    /// skips slots at or after its own stop.
+    ///
+    /// # Errors
+    /// Propagates non-budget evaluation errors.
+    pub fn run_proc(&self, i: usize, budget: &Budget, threads: usize) -> Result<DynamicUnitOutcome> {
         let mut cache = DenoteCache::new();
-        for (k, (proc, args, env)) in apps.iter().enumerate() {
+        let mut out = Vec::new();
+        let mut stop = None;
+        for k in self.proc_ranges[i].clone() {
+            let (proc, args, env) = &self.apps[k];
+            if let Some(reason) = budget.check(k) {
+                stop = Some((k, reason));
+                break;
+            }
+            match check_application(&self.u, proc, args, env, &mut cache, &self.timing, threads) {
+                Ok(failures) => out.push((k, failures)),
+                Err(e) => match crate::reach::budget_stop(&e) {
+                    Some(reason) => {
+                        stop = Some((k, reason));
+                        break;
+                    }
+                    None => return Err(e),
+                },
+            }
+        }
+        Ok((out, cache.stats(), stop))
+    }
+
+    /// Replays per-unit outcomes in serial slot order into the final
+    /// report: earliest stop wins, every slot below it has a verdict, and
+    /// the failure list is bit-identical however the units were scheduled.
+    /// Cache counters are summed across units and are scheduling-dependent.
+    #[must_use]
+    pub fn merge(self, outcomes: Vec<DynamicUnitOutcome>, budget: &Budget) -> DynamicReport {
+        let mut report = self.base;
+        let mut slots: Vec<Option<Vec<DynamicFailure>>> = vec![None; self.apps.len()];
+        let mut stop: Option<(usize, BudgetExceeded)> = None;
+        for (unit, stats, s) in outcomes {
+            report.cache_stats.computed += stats.computed;
+            report.cache_stats.hits += stats.hits;
+            for (k, failures) in unit {
+                slots[k] = Some(failures);
+            }
+            if s.is_some_and(|(k, _)| stop.is_none_or(|(k0, _)| k < k0)) {
+                stop = s;
+            }
+        }
+        // Every slot before the earliest stop has an outcome: a unit only
+        // skips slots at or after its own stop, and all stops are >= the
+        // earliest one.
+        let covered = stop.map_or(self.apps.len(), |(k, _)| k);
+        for slot in slots.into_iter().take(covered) {
+            report.failures.extend(slot.expect("every application checked"));
+        }
+        if let Some((k, reason)) = stop {
+            report.checked = k;
+            report.exhausted = Some(budget.exhaustion("dynamic", reason, k));
+        }
+        report
+    }
+
+    /// The pre-plan serial path: one shared denotation cache over all
+    /// applications, row-level parallelism inside the relational operators
+    /// when `threads > 1`.
+    fn run_serial(self, budget: &Budget, threads: usize) -> Result<DynamicReport> {
+        let mut report = self.base;
+        let mut cache = DenoteCache::new();
+        for (k, (proc, args, env)) in self.apps.iter().enumerate() {
             if let Some(reason) = budget.check(k) {
                 report.checked = k;
                 report.exhausted = Some(budget.exhaustion("dynamic", reason, k));
@@ -374,7 +581,7 @@ pub fn check_dynamic_budget(
             }
             // With a single application slot the row-level parallelism
             // inside the relational operators still applies.
-            match check_application(&u, proc, args, env, &mut cache, &timing, threads) {
+            match check_application(&self.u, proc, args, env, &mut cache, &self.timing, threads) {
                 Ok(failures) => report.failures.extend(failures),
                 Err(e) => match crate::reach::budget_stop(&e) {
                     Some(reason) => {
@@ -387,80 +594,52 @@ pub fn check_dynamic_budget(
             }
         }
         report.cache_stats = cache.stats();
-        return Ok(report);
+        Ok(report)
     }
 
-    // Workers stride over the applications, each with its own denotation
-    // cache (the environment differs between applications, so cross-
-    // application sharing is marginal; within one application the totality
-    // and functionality reads share the body's denotation). The merge walks
-    // the applications in serial order, so the failure list is bit-identical
-    // at every worker count; the cache counters are per-worker sums and are
-    // not.
-    let workers = threads.min(apps.len());
-    type AppOutcome = Result<(
-        Vec<(usize, Vec<DynamicFailure>)>,
-        eclectic_rpr::CacheStats,
-        Option<(usize, BudgetExceeded)>,
-    )>;
-    let queue = IndexQueue::new(apps.len(), workers);
-    let results: Vec<AppOutcome> = run_workers(workers, |_| {
-        let apps = &apps;
-        let u = &u;
-        let timing = &timing;
-        let queue = &queue;
-        move || {
-            let mut cache = DenoteCache::new();
-            let mut out = Vec::new();
-            let mut stop = None;
-            'claims: while let Some(range) = queue.claim() {
-                for k in range {
-                    let (proc, args, env) = &apps[k];
-                    if let Some(reason) = budget.check(k) {
-                        stop = Some((k, reason));
-                        break 'claims;
-                    }
-                    match check_application(u, proc, args, env, &mut cache, timing, 1) {
-                        Ok(failures) => out.push((k, failures)),
-                        Err(e) => match crate::reach::budget_stop(&e) {
-                            Some(reason) => {
+    /// The chain-DAG parallel path: workers stride over all applications
+    /// through an [`IndexQueue`], each with its own denotation cache (the
+    /// environment differs between applications, so cross-application
+    /// sharing is marginal; within one application the totality and
+    /// functionality reads share the body's denotation).
+    fn run_striding(self, budget: &Budget, threads: usize) -> Result<DynamicReport> {
+        let workers = threads.min(self.apps.len());
+        let queue = IndexQueue::new(self.apps.len(), workers);
+        let results: Vec<Result<DynamicUnitOutcome>> =
+            run_workers_prio(workers, Priority::Bulk, |_| {
+                let apps = &self.apps;
+                let u = &self.u;
+                let timing = &self.timing;
+                let queue = &queue;
+                move || {
+                    let mut cache = DenoteCache::new();
+                    let mut out = Vec::new();
+                    let mut stop = None;
+                    'claims: while let Some(range) = queue.claim() {
+                        for k in range {
+                            let (proc, args, env) = &apps[k];
+                            if let Some(reason) = budget.check(k) {
                                 stop = Some((k, reason));
                                 break 'claims;
                             }
-                            None => return Err(e),
-                        },
+                            match check_application(u, proc, args, env, &mut cache, timing, 1) {
+                                Ok(failures) => out.push((k, failures)),
+                                Err(e) => match crate::reach::budget_stop(&e) {
+                                    Some(reason) => {
+                                        stop = Some((k, reason));
+                                        break 'claims;
+                                    }
+                                    None => return Err(e),
+                                },
+                            }
+                        }
                     }
+                    Ok((out, cache.stats(), stop))
                 }
-            }
-            Ok((out, cache.stats(), stop))
-        }
-    });
-
-    let mut slots: Vec<Option<Vec<DynamicFailure>>> = vec![None; apps.len()];
-    let mut stop: Option<(usize, BudgetExceeded)> = None;
-    for r in results {
-        let (outcomes, stats, s) = r?;
-        report.cache_stats.computed += stats.computed;
-        report.cache_stats.hits += stats.hits;
-        for (k, failures) in outcomes {
-            slots[k] = Some(failures);
-        }
-        if s.is_some_and(|(k, _)| stop.is_none_or(|(k0, _)| k < k0)) {
-            stop = s;
-        }
+            });
+        let outcomes = results.into_iter().collect::<Result<Vec<_>>>()?;
+        Ok(self.merge(outcomes, budget))
     }
-    // Every slot before the earliest stop has an outcome: a worker only
-    // skips slots at or after its own stop, and all stops are >= the
-    // earliest one.
-    let covered = stop.map_or(apps.len(), |(k, _)| k);
-    for slot in slots.into_iter().take(covered) {
-        report.failures.extend(slot.expect("every application checked"));
-    }
-    if let Some((k, reason)) = stop {
-        report.checked = k;
-        report.exhausted = Some(budget.exhaustion("dynamic", reason, k));
-    }
-    Ok(report)
 }
 
 /// Checks one procedure application's contracts: totality is the PDL

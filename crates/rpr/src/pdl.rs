@@ -8,7 +8,8 @@
 //! finite universe.
 
 use eclectic_kernel::{
-    effective_workers, env_threads, run_workers, Budget, BudgetExceeded, Exhaustion, FxHashSet,
+    effective_workers, env_threads, run_workers_prio, Budget, BudgetExceeded, Exhaustion, FxHashSet,
+    Priority,
     IndexQueue,
 };
 use eclectic_logic::{eval, Formula, Valuation};
@@ -276,7 +277,7 @@ pub fn check_batch_budget_with(
         let workers = threads.min(todo.len());
         type LocalOut = Result<(DenoteCache, Option<(usize, BudgetExceeded)>)>;
         let queue = IndexQueue::new(todo.len(), workers);
-        let locals: Vec<LocalOut> = run_workers(workers, |_| {
+        let locals: Vec<LocalOut> = run_workers_prio(workers, Priority::Bulk, |_| {
             let todo = &todo;
             let base = &*cache;
             let timing = &timing;

@@ -57,9 +57,11 @@ bench-rel:
 bench-rel-large:
     timeout 900 env ECLECTIC_MAX_REL_BYTES=67108864 cargo run -p eclectic-bench --bin bench_rel_crossover --release -- large
 
-# Scoped-thread baseline vs the work-stealing scheduler on the full verify
-# battery at 1/2/4/8 real workers (bit-identity, including node-capped
-# partials, asserted in-bench); writes BENCH_sched.json.
+# Chain-shaped vs obligation-shaped verify battery (plus the scoped-thread
+# baseline) at 1/2/4/8 real workers (bit-identity, including node-capped
+# partials, asserted in-bench across every mode × shape × worker-count
+# combination); regenerates BENCH_sched.json — part of `just verify`, so
+# the artifact never drifts from the code.
 bench-sched:
     timeout 900 cargo run -p eclectic-bench --bin bench_sched --release
 
